@@ -1,0 +1,71 @@
+// Ablation A11: closed form vs discrete-event simulation. For the
+// idealized policies the steady-state cache is deterministic, so response
+// time has a closed form (core/analytic_model.h). This bench sweeps the
+// Figure-9/10 grid with both methods; the small systematic residual is
+// the request-phase correlation the closed form ignores (demand fetches
+// complete at slot boundaries, so request times are not uniform).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/analytic_model.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation A11", "closed-form model vs simulation (P and "
+                                "PIX, D5, CacheSize = 500)");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;
+  base.measured_requests = bench::MeasuredRequests(150000);
+
+  AsciiTable table({"Policy", "Delta", "Noise%", "Analytic", "Simulated",
+                    "Error%"});
+  RunningStat errors;
+  for (PolicyKind policy : {PolicyKind::kP, PolicyKind::kPix}) {
+    for (uint64_t delta : {1, 3, 5}) {
+      for (double noise : {0.0, 30.0, 60.0}) {
+        SimParams params = base;
+        params.policy = policy;
+        params.delta = delta;
+        params.noise_percent = noise;
+        auto prediction = PredictResponse(params);
+        auto simulated = RunSimulation(params);
+        BCAST_CHECK(prediction.ok()) << prediction.status().ToString();
+        BCAST_CHECK(simulated.ok()) << simulated.status().ToString();
+        const double sim = simulated->metrics.mean_response_time();
+        const double err =
+            100.0 * (sim - prediction->response_time) / sim;
+        errors.Add(err);
+        table.AddRow({PolicyKindName(policy), std::to_string(delta),
+                      FormatDouble(noise, 0),
+                      FormatDouble(prediction->response_time, 1),
+                      FormatDouble(sim, 1), FormatDouble(err, 2)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nMean signed error " << FormatDouble(errors.mean(), 2)
+            << "% (min " << FormatDouble(errors.min(), 2) << "%, max "
+            << FormatDouble(errors.max(), 2)
+            << "%).\nExpected: the simulation is consistently slightly "
+               "slower (a few percent,\ngrowing with delta and shrinking "
+               "with noise) — the phase-correlation penalty\nof demand "
+               "fetching: requests resume right after fetches complete, "
+               "which is\nexactly when the fast disk's chunk has just "
+               "passed. The uniform-request-time\nclosed form cannot see "
+               "this; hit rates agree exactly.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

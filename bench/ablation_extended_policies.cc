@@ -1,0 +1,83 @@
+// Ablation A7: the extension policies (LRU-2 with and without the
+// frequency term, 2Q, 2QX, CLOCK) against the paper's line-up, at the
+// Figure-13 operating point. Answers Section 5.5's open question: do
+// LRU-k/2Q-style improvements close the LIX-to-PIX gap?
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation A7", "extended replacement policies — D5, "
+                               "CacheSize = 500, Delta = 3, Noise = 30%");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;
+  base.delta = 3;
+  base.noise_percent = 30.0;
+  base.measured_requests = bench::MeasuredRequests(60000);
+
+  struct Entry {
+    std::string label;
+    PolicyKind kind;
+    PolicyOptions options;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"LRU", PolicyKind::kLru, {}});
+  entries.push_back({"CLOCK", PolicyKind::kClock, {}});
+  entries.push_back({"2Q", PolicyKind::kTwoQ, {}});
+  {
+    PolicyOptions o;
+    o.two_q.use_frequency = true;
+    entries.push_back({"2QX", PolicyKind::kTwoQ, o});
+  }
+  entries.push_back({"L", PolicyKind::kL, {}});
+  entries.push_back({"LIX", PolicyKind::kLix, {}});
+  {
+    PolicyOptions o;
+    o.lru_k.k = 2;
+    o.lru_k.use_frequency = false;
+    entries.push_back({"LRU-2", PolicyKind::kLruK, o});
+    o.lru_k.use_frequency = true;
+    entries.push_back({"LRU-2X", PolicyKind::kLruK, o});
+  }
+  entries.push_back({"GD", PolicyKind::kGreedyDual, {}});
+  entries.push_back({"PIX (bound)", PolicyKind::kPix, {}});
+
+  AsciiTable table({"Policy", "MeanRT", "CacheHit%", "Disk3%"});
+  for (const Entry& entry : entries) {
+    SimParams params = base;
+    params.policy = entry.kind;
+    params.policy_options = entry.options;
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    const auto fractions = result->metrics.LocationFractions();
+    table.AddRow({entry.label,
+                  FormatDouble(result->metrics.mean_response_time(), 1),
+                  FormatDouble(100.0 * result->metrics.hit_rate(), 1),
+                  FormatDouble(100.0 * fractions.back(), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: the cost-aware policies (LIX, GD, LRU-2X) "
+               "cluster toward PIX; their\ncost-blind twins (L, LRU-2, "
+               "2Q, CLOCK, LRU) trail far behind — the cost term,\nnot "
+               "the recency estimator, is what matters on a broadcast "
+               "disk. 2QX barely\ndiffers from 2Q because its cost term "
+               "only arbitrates the A1in-vs-Am choice,\nnot the victim "
+               "ranking. GreedyDual needs no probability estimates at all "
+               "and\nstill lands near LIX.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

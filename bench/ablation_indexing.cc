@@ -1,0 +1,91 @@
+// Ablation A9: indexing on air and selective tuning. Quantifies the
+// paper's power argument — fixed inter-arrival + (1,m) indexing let a
+// receiver doze through nearly the whole broadcast — and reproduces the
+// classic access-latency / tuning-time tradeoff on top of the paper's D5
+// multi-disk program.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "broadcast/generator.h"
+#include "broadcast/indexing.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation A9", "(1,m) indexing: access latency vs tuning "
+                               "time on the D5 broadcast");
+
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  BCAST_CHECK(layout.ok());
+  auto zipf = RegionZipfGenerator::Make(1000, 50, 0.95);
+  BCAST_CHECK(zipf.ok());
+  std::vector<double> probs(5000, 0.0);
+  for (PageId p = 0; p < 1000; ++p) probs[p] = zipf->Probability(p);
+
+  const uint64_t samples = 50000;
+  Rng rng(7);
+
+  AsciiTable table({"Protocol", "m", "IndexOverhead%", "Latency",
+                    "Tuning", "Doze%"});
+  auto add_row = [&](const std::string& name, uint64_t copies,
+                     TuningProtocol protocol) {
+    auto data = GenerateMultiDiskProgram(*layout);
+    BCAST_CHECK(data.ok());
+    auto indexed =
+        IndexedProgram::Make(std::move(*data), IndexConfig{copies, 128, 64});
+    BCAST_CHECK(indexed.ok()) << indexed.status().ToString();
+    auto analysis =
+        AnalyzeTuning(*indexed, probs, protocol, samples, &rng);
+    BCAST_CHECK(analysis.ok()) << analysis.status().ToString();
+    const double doze =
+        100.0 * (1.0 - analysis->expected_tuning /
+                           analysis->expected_latency);
+    table.AddRow({name, std::to_string(copies),
+                  FormatDouble(100.0 * indexed->IndexOverhead(), 2),
+                  FormatDouble(analysis->expected_latency, 1),
+                  FormatDouble(analysis->expected_tuning, 1),
+                  FormatDouble(doze, 1)});
+  };
+
+  add_row("continuous listen", 1, TuningProtocol::kContinuousListen);
+  add_row("known schedule", 1, TuningProtocol::kKnownSchedule);
+  for (uint64_t m : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    add_row("(1,m) index", m, TuningProtocol::kOneMIndex);
+  }
+  {
+    auto data = GenerateMultiDiskProgram(*layout);
+    BCAST_CHECK(data.ok());
+    uint64_t slots = 0, levels = 0;
+    auto probe = IndexedProgram::Make(std::move(*data), {1, 128, 64});
+    BCAST_CHECK(probe.ok());
+    slots = probe->index_slots_per_copy();
+    levels = probe->tree_levels();
+    const uint64_t m_star =
+        OptimalIndexCopies(probe->data().period(), slots);
+    std::cout << "Index: " << slots << " slots/copy, " << levels
+              << " levels; square-root rule suggests m* = " << m_star
+              << "\n\n";
+    add_row("(1,m*) rule", m_star, TuningProtocol::kOneMIndex);
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: continuous listening burns its whole latency "
+               "in radio-on time; a\nknown static schedule needs 1 slot; "
+               "(1,m) indexing holds tuning constant at\n2 + tree levels "
+               "while latency is U-shaped in m (index-wait falls, period\n"
+               "overhead grows). The square-root rule assumes uniform "
+               "access; the Zipf-skewed\nworkload pushes the latency "
+               "optimum to a larger m.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A4: LIX's alpha constant. The paper fixes alpha = 0.25 without
+// justification; this sweep shows how sensitive LIX is to the weight of
+// the most recent inter-access gap in its probability estimator.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation A4", "LIX alpha sweep — D5, CacheSize = 500, "
+                               "Delta = 3, Noise = 30%");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;
+  base.delta = 3;
+  base.noise_percent = 30.0;
+  base.policy = PolicyKind::kLix;
+  base.measured_requests = bench::MeasuredRequests(60000);
+
+  const std::vector<double> alphas{0.05, 0.1, 0.25, 0.5, 0.75, 0.95};
+  Series lix{"LIX", {}};
+  Series l{"L", {}};
+  for (double alpha : alphas) {
+    SimParams params = base;
+    params.policy_options.lix.alpha = alpha;
+    params.policy = PolicyKind::kLix;
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    lix.y.push_back(result->metrics.mean_response_time());
+    params.policy = PolicyKind::kL;
+    result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    l.y.push_back(result->metrics.mean_response_time());
+  }
+
+  PrintXYTable(std::cout, "Response time vs alpha", "alpha", alphas,
+               {lix, l}, 1);
+  std::cout << "\nCSV:\n";
+  PrintXYCsv(std::cout, "alpha", alphas, {lix, l});
+  std::cout << "\nExpected: a broad flat region around the paper's 0.25 — "
+               "the frequency term,\nnot the estimator's exact smoothing, "
+               "carries LIX's advantage.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A1: the Bus Stop Paradox at paper scale. Same bandwidth
+// allocation, three interleavings — multi-disk (fixed gaps), skewed
+// (clustered repeats), random (i.i.d. slots) — measured in simulation,
+// with tail latencies to show that variance, not just the mean, suffers.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "common/string_util.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation A1",
+                "program regularity: multi-disk vs skewed vs random");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 1;
+  base.delta = 3;
+  base.measured_requests = bench::MeasuredRequests(60000);
+
+  AsciiTable table({"Program", "MeanRT", "StddevRT", "MaxRT"});
+  for (auto [kind, name] :
+       {std::pair{ProgramKind::kMultiDisk, "multi-disk"},
+        std::pair{ProgramKind::kSkewed, "skewed"},
+        std::pair{ProgramKind::kRandom, "random"}}) {
+    SimParams params = base;
+    params.program_kind = kind;
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    const RunningStat& rt = result->metrics.response_time();
+    table.AddRow({name, FormatDouble(rt.mean(), 1),
+                  FormatDouble(rt.stddev(), 1), FormatDouble(rt.max(), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: multi-disk wins on mean AND has the tightest "
+               "tail; the random\nprogram's variance in inter-arrival "
+               "times costs both.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

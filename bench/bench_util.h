@@ -1,0 +1,105 @@
+/// \file bench_util.h
+/// \brief Shared configuration and output helpers for the figure/table
+/// reproduction binaries.
+///
+/// Every binary prints (a) a header naming the paper artifact it
+/// regenerates, (b) the aligned table of results, and (c) the same data as
+/// CSV for plotting. Request counts default to paper fidelity but can be
+/// reduced via the BCAST_BENCH_REQUESTS environment variable for smoke
+/// runs.
+
+#ifndef BCAST_BENCH_BENCH_UTIL_H_
+#define BCAST_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/experiment.h"
+#include "core/params.h"
+#include "core/simulator.h"
+
+namespace bcast::bench {
+
+/// Paper Table 4 noise levels (percent).
+inline const std::vector<double> kNoiseLevels{0, 15, 30, 45, 60, 75};
+
+/// Delta sweep used by the figures.
+inline const std::vector<uint64_t> kDeltas{0, 1, 2, 3, 4, 5, 6, 7};
+
+/// The five disk configurations of Figure 5 (sizes only; frequencies come
+/// from Delta).
+struct NamedConfig {
+  const char* name;
+  std::vector<uint64_t> sizes;
+};
+inline const std::vector<NamedConfig> kFigure5Configs{
+    {"D1<500,4500>", {500, 4500}},
+    {"D2<900,4100>", {900, 4100}},
+    {"D3<2500,2500>", {2500, 2500}},
+    {"D4<300,1200,3500>", {300, 1200, 3500}},
+    {"D5<500,2000,2500>", {500, 2000, 2500}},
+};
+
+/// Measured requests per configuration point; override with
+/// BCAST_BENCH_REQUESTS.
+inline uint64_t MeasuredRequests(uint64_t fallback = 150000) {
+  if (const char* env = std::getenv("BCAST_BENCH_REQUESTS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return fallback;
+}
+
+/// Seeds averaged per point (damps noise-mapping draw variance); override
+/// with BCAST_BENCH_SEEDS.
+inline uint64_t Replications(uint64_t fallback = 3) {
+  if (const char* env = std::getenv("BCAST_BENCH_SEEDS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<uint64_t>(v);
+  }
+  return fallback;
+}
+
+/// The paper's base configuration (Table 4) with D5 disks.
+inline SimParams PaperParams() {
+  SimParams params;
+  params.measured_requests = MeasuredRequests();
+  return params;
+}
+
+/// Prints the standard banner for a reproduced artifact.
+inline void Banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==================================================\n"
+            << artifact << " — " << what << "\n"
+            << "Broadcast Disks (Acharya et al., SIGMOD '95)\n"
+            << "==================================================\n";
+}
+
+/// Converts delta values to doubles for the x-axis.
+inline std::vector<double> XsFromDeltas(const std::vector<uint64_t>& deltas) {
+  return std::vector<double>(deltas.begin(), deltas.end());
+}
+
+/// Runs a noise-series sweep over delta: one series per noise level.
+/// Dies on simulation errors (benchmarks have no one to report to).
+inline std::vector<Series> NoiseSeriesOverDelta(const SimParams& base) {
+  std::vector<Series> series;
+  for (double noise : kNoiseLevels) {
+    SimParams params = base;
+    params.noise_percent = noise;
+    auto values = SweepDelta(params, kDeltas, Replications());
+    BCAST_CHECK(values.ok()) << values.status().ToString();
+    series.push_back({"Noise" + std::to_string(static_cast<int>(noise)) +
+                          "%",
+                      *values});
+  }
+  return series;
+}
+
+}  // namespace bcast::bench
+
+#endif  // BCAST_BENCH_BENCH_UTIL_H_

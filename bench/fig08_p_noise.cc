@@ -1,0 +1,41 @@
+// Reproduces Figure 8: noise sensitivity of disk D5 <500,2000,2500> with
+// a 500-page cache managed by the idealized P policy (keep the highest
+// access probabilities) and Offset = CacheSize. The surprising paper
+// result: caching on pure probability makes the client MORE sensitive to
+// noise — P's misses increasingly land on the slow disks.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Figure 8",
+                "noise sensitivity — D5, CacheSize = 500, policy P");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;  // Offset = CacheSize: hottest pages on slow disk
+  base.policy = PolicyKind::kP;
+
+  const std::vector<Series> series = bench::NoiseSeriesOverDelta(base);
+  const std::vector<double> xs = bench::XsFromDeltas(bench::kDeltas);
+  PrintXYTable(std::cout, "Response time vs Delta per noise level", "Delta",
+               xs, series);
+  std::cout << "\nCSV:\n";
+  PrintXYCsv(std::cout, "delta", xs, series);
+  std::cout << "\nExpected shape: absolute response times far below the "
+               "no-cache case, but high\nnoise curves cross above the "
+               "flat-disk level once delta exceeds ~2 — the cache\nbased "
+               "only on probability amplifies noise sensitivity.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

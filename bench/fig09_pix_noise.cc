@@ -1,0 +1,39 @@
+// Reproduces Figure 9: the same experiment as Figure 8 but with the
+// cost-based PIX policy (evict lowest probability/frequency). PIX shields
+// the client from broadcast mismatch: response stays below the flat-disk
+// baseline for every noise level and delta.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Figure 9",
+                "noise sensitivity — D5, CacheSize = 500, policy PIX");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;
+  base.policy = PolicyKind::kPix;
+
+  const std::vector<Series> series = bench::NoiseSeriesOverDelta(base);
+  const std::vector<double> xs = bench::XsFromDeltas(bench::kDeltas);
+  PrintXYTable(std::cout, "Response time vs Delta per noise level", "Delta",
+               xs, series);
+  std::cout << "\nCSV:\n";
+  PrintXYCsv(std::cout, "delta", xs, series);
+  std::cout << "\nExpected shape: noise still costs, but curves stay flat "
+               "in delta and below the\nflat-disk baseline everywhere — "
+               "cost-based replacement absorbs the mismatch.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 15: noise sensitivity of LRU, L and LIX at Delta 3,
+// D5, CacheSize = Offset = 500. LIX outperforms both across the entire
+// noise range; L is only somewhat better than LRU.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace bcast {
+namespace {
+
+void Run() {
+  bench::Banner("Figure 15", "LRU / L / LIX vs Noise — D5, CacheSize = "
+                             "500, Delta = 3");
+
+  SimParams base = bench::PaperParams();
+  base.cache_size = 500;
+  base.offset = 500;
+  base.delta = 3;
+
+  std::vector<Series> series;
+  for (PolicyKind policy :
+       {PolicyKind::kLru, PolicyKind::kL, PolicyKind::kLix}) {
+    SimParams params = base;
+    params.policy = policy;
+    auto values = SweepNoise(params, bench::kNoiseLevels, bench::Replications());
+    BCAST_CHECK(values.ok()) << values.status().ToString();
+    series.push_back({PolicyKindName(policy), *values});
+  }
+
+  PrintXYTable(std::cout, "Response time vs Noise", "Noise%",
+               bench::kNoiseLevels, series);
+  std::cout << "\nCSV:\n";
+  PrintXYCsv(std::cout, "noise_pct", bench::kNoiseLevels, series);
+  std::cout << "\nExpected shape: LIX degrades with noise but stays below "
+               "both L and LRU across\nthe whole range; L's margin over "
+               "LRU is modest. (In our reproduction LRU\nitself improves "
+               "slightly with noise: at Offset = CacheSize its misses are "
+               "all on\nthe slowest disk, and noise can only pull hot "
+               "pages onto faster ones.)\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks: per-operation cost of every replacement policy under a
+// Zipf-like access stream. Confirms the paper's claim that LIX does a
+// constant number of operations per replacement, "the same order as LRU".
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/factory.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+constexpr PageId kNumPages = 5000;
+constexpr uint64_t kCapacity = 500;
+
+class BenchCatalog : public PageCatalog {
+ public:
+  BenchCatalog() {
+    auto zipf = RegionZipfGenerator::Make(kNumPages, 50, 0.95);
+    for (PageId p = 0; p < kNumPages; ++p) {
+      probs_.push_back(zipf->Probability(p));
+      disks_.push_back(p < 500 ? 0 : (p < 2500 ? 1 : 2));
+      freqs_.push_back(p < 500 ? 0.02 : (p < 2500 ? 0.01 : 0.002));
+    }
+  }
+  double Probability(PageId p) const override { return probs_[p]; }
+  double Frequency(PageId p) const override { return freqs_[p]; }
+  DiskIndex DiskOf(PageId p) const override { return disks_[p]; }
+  uint64_t NumDisks() const override { return 3; }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> freqs_;
+  std::vector<DiskIndex> disks_;
+};
+
+void RunPolicy(benchmark::State& state, PolicyKind kind) {
+  BenchCatalog catalog;
+  auto policy = MakeCachePolicy(kind, kCapacity, kNumPages, &catalog);
+  if (!policy.ok()) {
+    state.SkipWithError("policy construction failed");
+    return;
+  }
+  auto zipf = RegionZipfGenerator::Make(kNumPages, 50, 0.95);
+  Rng rng(1234);
+  double now = 0.0;
+  for (auto _ : state) {
+    const PageId page = static_cast<PageId>(zipf->Sample(&rng));
+    now += 1.0;
+    if (!(*policy)->Lookup(page, now)) {
+      (*policy)->Insert(page, now);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CacheLru(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kLru);
+}
+void BM_CacheClock(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kClock);
+}
+void BM_CacheP(benchmark::State& state) { RunPolicy(state, PolicyKind::kP); }
+void BM_CachePix(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kPix);
+}
+void BM_CacheL(benchmark::State& state) { RunPolicy(state, PolicyKind::kL); }
+void BM_CacheLix(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kLix);
+}
+void BM_CacheLruK(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kLruK);
+}
+void BM_CacheTwoQ(benchmark::State& state) {
+  RunPolicy(state, PolicyKind::kTwoQ);
+}
+
+BENCHMARK(BM_CacheLru);
+BENCHMARK(BM_CacheClock);
+BENCHMARK(BM_CacheP);
+BENCHMARK(BM_CachePix);
+BENCHMARK(BM_CacheL);
+BENCHMARK(BM_CacheLix);
+BENCHMARK(BM_CacheLruK);
+BENCHMARK(BM_CacheTwoQ);
+
+}  // namespace
+}  // namespace bcast

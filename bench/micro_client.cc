@@ -1,0 +1,82 @@
+// Microbenchmarks: client-side machinery — mapping construction,
+// serialization, schedule learning, and a full end-to-end simulated
+// request (the cost of one simulated client operation).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "broadcast/generator.h"
+#include "broadcast/serialize.h"
+#include "client/mapping.h"
+#include "client/schedule_learner.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+void BM_MappingConstruction(benchmark::State& state) {
+  const double noise = static_cast<double>(state.range(0));
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto mapping = Mapping::Make(*layout, 500, noise, Rng(seed++));
+    benchmark::DoNotOptimize(mapping);
+  }
+}
+BENCHMARK(BM_MappingConstruction)->Arg(0)->Arg(30)->Arg(75);
+
+void BM_SaveProgram(benchmark::State& state) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  for (auto _ : state) {
+    std::ostringstream out;
+    benchmark::DoNotOptimize(SaveProgram(*program, &out));
+  }
+}
+BENCHMARK(BM_SaveProgram);
+
+void BM_LoadProgram(benchmark::State& state) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  std::ostringstream out;
+  benchmark::DoNotOptimize(SaveProgram(*program, &out));
+  const std::string text = out.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(LoadProgram(&in));
+  }
+}
+BENCHMARK(BM_LoadProgram);
+
+void BM_ScheduleLearnerObserve(benchmark::State& state) {
+  auto layout = MakeDeltaLayout({50, 200, 250}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  ScheduleLearner learner;
+  uint64_t slot = 0;
+  for (auto _ : state) {
+    learner.Observe(program->page_at(slot % program->period()));
+    ++slot;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleLearnerObserve);
+
+void BM_SimulatedRequest(benchmark::State& state) {
+  // Amortized cost of one simulated request, end to end (paper scale).
+  SimParams params;
+  params.policy = PolicyKind::kLix;
+  params.cache_size = 500;
+  params.offset = 500;
+  params.noise_percent = 30.0;
+  params.measured_requests = 20000;
+  for (auto _ : state) {
+    auto result = RunSimulation(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SimulatedRequest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,54 @@
+// Microbenchmarks: the DES kernel's event throughput — raw callbacks,
+// cancellation, and coroutine delay loops.
+
+#include <benchmark/benchmark.h>
+
+#include "des/simulation.h"
+
+namespace bcast {
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    for (int i = 0; i < batch; ++i) {
+      sim.Schedule(static_cast<double>(i % 97), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  des::Simulation sim;
+  for (auto _ : state) {
+    const auto id = sim.Schedule(1e12, [] {});
+    benchmark::DoNotOptimize(sim.CancelEvent(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleCancel);
+
+des::Process DelayLoop(des::Simulation* sim, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim->Delay(1.0);
+  }
+}
+
+void BM_CoroutineDelays(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    sim.Spawn(DelayLoop(&sim, n));
+    sim.Run();
+    benchmark::DoNotOptimize(sim.Now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineDelays)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,55 @@
+// Microbenchmarks: broadcast program generation and next-arrival lookup.
+
+#include <benchmark/benchmark.h>
+
+#include "broadcast/generator.h"
+#include "common/rng.h"
+
+namespace bcast {
+namespace {
+
+void BM_GenerateMultiDisk(benchmark::State& state) {
+  const uint64_t delta = static_cast<uint64_t>(state.range(0));
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, delta);
+  for (auto _ : state) {
+    auto program = GenerateMultiDiskProgram(*layout);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_GenerateMultiDisk)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_GenerateFlat(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = GenerateFlatProgram(5000);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_GenerateFlat);
+
+void BM_NextArrival(benchmark::State& state) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  Rng rng(5);
+  double t = 0.0;
+  for (auto _ : state) {
+    const PageId page = static_cast<PageId>(rng.NextBounded(5000));
+    t += 2.0;
+    benchmark::DoNotOptimize(program->NextArrivalStart(page, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NextArrival);
+
+void BM_InterArrivalGaps(benchmark::State& state) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 7);
+  auto program = GenerateMultiDiskProgram(*layout);
+  PageId page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program->InterArrivalGaps(page));
+    page = (page + 1) % 5000;
+  }
+}
+BENCHMARK(BM_InterArrivalGaps);
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,60 @@
+// Microbenchmarks: random number generation and Zipf sampling — the inner
+// loop of every simulated request.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBounded(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(5000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngBounded);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto zipf = ZipfDistribution::Make(n, 0.95);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf->Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(20)->Arg(1000)->Arg(100000);
+
+void BM_RegionZipfSample(benchmark::State& state) {
+  auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen->Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegionZipfSample);
+
+void BM_ZipfConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+    benchmark::DoNotOptimize(gen);
+  }
+}
+BENCHMARK(BM_ZipfConstruction);
+
+}  // namespace
+}  // namespace bcast

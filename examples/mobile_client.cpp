@@ -1,0 +1,80 @@
+// Mobile stock-quote terminal — the paper's information-dispersal
+// scenario (Section 1.1: "stock prices ... mutual fund information
+// services"). A brokerage broadcasts quote pages to battery-powered
+// handhelds with no uplink. This example compares every cache policy the
+// library ships on one realistic handheld, and shows the fixed
+// inter-arrival property that lets a receiver sleep between the
+// broadcasts it needs (the paper's power-saving argument in Section 2.1).
+
+#include <iostream>
+
+#include "broadcast/generator.h"
+#include "common/table.h"
+#include "common/string_util.h"
+#include "core/simulator.h"
+
+using namespace bcast;  // NOLINT: example brevity
+
+int main() {
+  // 4000 instruments: 400 blue chips on the fast disk, 1200 mid caps,
+  // 2400 long-tail tickers. The handheld tracks the hottest 800.
+  SimParams base;
+  base.disk_sizes = {400, 1200, 2400};
+  base.delta = 3;
+  base.access_range = 800;
+  base.region_size = 40;
+  base.cache_size = 200;
+  base.offset = 200;          // server expects caching clients
+  base.noise_percent = 25.0;  // this user's watchlist is not the average
+  base.measured_requests = 40000;
+
+  std::cout << "Handheld quote terminal: 4000 instruments, 200-page cache, "
+               "25% watchlist mismatch\n\n";
+
+  AsciiTable table({"Policy", "MeanRT", "CacheHit%", "FromSlowDisk%",
+                    "Comment"});
+  struct Row {
+    PolicyKind kind;
+    const char* comment;
+  };
+  const Row rows[] = {
+      {PolicyKind::kLru, "recency only"},
+      {PolicyKind::kClock, "cheap recency approximation"},
+      {PolicyKind::kTwoQ, "scan-resistant recency"},
+      {PolicyKind::kL, "probability estimate only"},
+      {PolicyKind::kLix, "probability / broadcast frequency"},
+      {PolicyKind::kLruK, "k-distance + frequency"},
+      {PolicyKind::kP, "idealized probability (unimplementable)"},
+      {PolicyKind::kPix, "idealized cost-based bound"},
+  };
+  for (const Row& row : rows) {
+    SimParams params = base;
+    params.policy = row.kind;
+    auto result = RunSimulation(params);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    const auto fractions = result->metrics.LocationFractions();
+    table.AddRow({PolicyKindName(row.kind),
+                  FormatDouble(result->metrics.mean_response_time(), 1),
+                  FormatDouble(100.0 * result->metrics.hit_rate(), 1),
+                  FormatDouble(100.0 * fractions.back(), 1), row.comment});
+  }
+  table.Print(std::cout);
+
+  // Power argument: fixed inter-arrival lets the radio sleep.
+  auto layout = MakeDeltaLayout(base.disk_sizes, base.delta);
+  auto program = GenerateMultiDiskProgram(*layout);
+  if (program.ok()) {
+    const PageId blue_chip = 0;
+    const auto gaps = program->InterArrivalGaps(blue_chip);
+    std::cout << "\nBlue-chip pages repeat every " << gaps[0]
+              << " slots with zero variance: a receiver that needs one "
+                 "can power its radio\ndown for "
+              << gaps[0] - 1
+              << " slots between copies — impossible under a random "
+                 "broadcast schedule.\n";
+  }
+  return 0;
+}

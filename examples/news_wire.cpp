@@ -1,0 +1,99 @@
+// News-wire dissemination — volatile, time-sensitive information (the
+// paper's Section-1.1 motivating domain) on a broadcast disk.
+//
+// A wire service pushes 2000 story pages to receive-only terminals.
+// Breaking stories (the hot disk) update constantly; archive pages almost
+// never. The example shows:
+//   1. a terminal *learning* the schedule off the air (ScheduleLearner),
+//      which is what makes selective tuning possible with zero uplink;
+//   2. the staleness/latency tradeoff of the three consistency actions
+//      as the update rate rises (RunUpdateSimulation).
+
+#include <iostream>
+
+#include "broadcast/generator.h"
+#include "client/schedule_learner.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/updates.h"
+
+using namespace bcast;  // NOLINT: example brevity
+
+int main() {
+  // The wire: 100 breaking stories, 500 developing, 1400 archive.
+  SimParams wire;
+  wire.disk_sizes = {100, 500, 1400};
+  wire.delta = 4;
+  wire.access_range = 600;  // terminals read breaking + developing
+  wire.region_size = 30;
+  wire.cache_size = 150;
+  wire.policy = PolicyKind::kLix;
+  wire.measured_requests = 30000;
+
+  // --- 1. Learn the schedule off the air. ---
+  auto layout = MakeDeltaLayout(wire.disk_sizes, wire.delta);
+  auto program = GenerateMultiDiskProgram(*layout);
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return 1;
+  }
+  ScheduleLearner learner;
+  uint64_t listened = 0;
+  // Tune in mid-broadcast and listen until the period is confirmed.
+  const uint64_t start = 777 % program->period();
+  while (!learner.converged() ||
+         learner.observed() < 2 * learner.CandidatePeriod()) {
+    learner.Observe(program->page_at((start + listened) % program->period()));
+    ++listened;
+    if (listened > 4 * program->period()) break;  // safety
+  }
+  auto learned = learner.Build();
+  if (!learned.ok()) {
+    std::cerr << learned.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Terminal tuned in mid-stream and learned the schedule after "
+            << listened << " slots:\n  period " << learned->period()
+            << " (true: " << program->period() << "), breaking story repeats"
+            << " every " << learned->InterArrivalGaps(0)[0]
+            << " slots, archive every " << learned->InterArrivalGaps(1999)[0]
+            << ".\n  Frequency classes recovered: "
+            << learned->num_disks() << " disks (true: "
+            << program->num_disks() << ").\n\n";
+
+  // --- 2. Updates: how should the terminal stay fresh? ---
+  std::cout << "Terminal cache: " << wire.cache_size
+            << " pages, LIX. Updates hit breaking stories hardest "
+               "(Zipf 1.2 over the hot ranking).\n\n";
+  AsciiTable table({"Updates/unit", "Action", "MeanRT", "Stale%",
+                    "FreshHit%"});
+  for (double rate : {0.02, 0.2}) {
+    for (auto [action, name] :
+         {std::pair{ConsistencyAction::kNone, "serve-stale"},
+          std::pair{ConsistencyAction::kInvalidate, "invalidate"},
+          std::pair{ConsistencyAction::kAutoRefresh, "auto-refresh"}}) {
+      UpdateParams updates;
+      updates.update_rate = rate;
+      updates.update_theta = 1.2;
+      updates.action = action;
+      auto result = RunUpdateSimulation(wire, updates);
+      if (!result.ok()) {
+        std::cerr << result.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddRow(
+          {FormatDouble(rate, 2), name,
+           FormatDouble(result->mean_response_time, 1),
+           FormatDouble(100.0 * result->StaleFraction(), 2),
+           FormatDouble(100.0 * result->fresh_hits /
+                            static_cast<double>(result->requests),
+                        1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nFor a news wire, auto-refresh is the natural choice: the "
+               "radio is already\nlistening for the schedule, and hot "
+               "stories refresh themselves every few\nhundred slots at "
+               "zero request latency.\n";
+  return 0;
+}

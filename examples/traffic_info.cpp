@@ -1,0 +1,105 @@
+// Traffic information dissemination — one of the paper's motivating
+// applications (Section 1.1: "traffic information systems ... volatile,
+// time-sensitive information such as ... traffic updates").
+//
+// A metropolitan traffic server broadcasts road-segment condition pages
+// to in-vehicle receivers that cannot transmit back. Incident-prone
+// arterial segments are in high demand; residential streets are rarely
+// queried. The example designs a broadcast for that demand curve and
+// quantifies what commuters experience, including during an incident
+// surge that the (static) broadcast was not tuned for.
+
+#include <iostream>
+
+#include "broadcast/analysis.h"
+#include "broadcast/generator.h"
+#include "common/table.h"
+#include "common/string_util.h"
+#include "core/simulator.h"
+
+using namespace bcast;  // NOLINT: example brevity
+
+namespace {
+
+// Road database: 3000 segment pages, hottest first.
+//   - 150 arterial/highway segments: queried constantly
+//   - 850 major-road segments: queried regularly
+//   - 2000 residential segments: queried rarely
+constexpr uint64_t kArterial = 150;
+constexpr uint64_t kMajor = 850;
+constexpr uint64_t kResidential = 2000;
+
+SimParams CommuterParams() {
+  SimParams params;
+  params.disk_sizes = {kArterial, kMajor, kResidential};
+  params.delta = 4;
+  // A commuter app queries the 1000 hottest segments along its routes.
+  params.access_range = 1000;
+  params.region_size = 50;
+  params.theta = 0.95;
+  params.cache_size = 120;   // in-dash unit memory
+  params.policy = PolicyKind::kLix;
+  params.think_time = 2.0;
+  params.measured_requests = 40000;
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Traffic broadcast for " << (kArterial + kMajor + kResidential)
+            << " road segments (arterial/major/residential)\n\n";
+
+  // Broadcast design summary.
+  auto layout = MakeDeltaLayout({kArterial, kMajor, kResidential}, 4);
+  auto program = GenerateMultiDiskProgram(*layout);
+  if (!program.ok()) {
+    std::cerr << program.status().ToString() << "\n";
+    return 1;
+  }
+  AsciiTable design({"Tier", "Segments", "RelFreq", "Repeat every",
+                     "Worst-case wait"});
+  const char* tiers[] = {"arterial", "major", "residential"};
+  PageId first_page[] = {0, kArterial, kArterial + kMajor};
+  for (int d = 0; d < 3; ++d) {
+    const PageId p = first_page[d];
+    const auto gaps = program->InterArrivalGaps(p);
+    design.AddRow({tiers[d], std::to_string(layout->sizes[d]),
+                   std::to_string(layout->rel_freqs[d]),
+                   StrFormat("%llu slots",
+                             static_cast<unsigned long long>(gaps[0])),
+                   StrFormat("%.0f slots", static_cast<double>(gaps[0]))});
+  }
+  design.Print(std::cout);
+  std::cout << "Broadcast period: " << program->period() << " slots, "
+            << program->EmptySlots()
+            << " spare slots (available for indexes/alerts)\n\n";
+
+  // Normal commute vs incident surge. An incident re-ranks demand: many
+  // drivers suddenly query segments the server considered cold. We model
+  // that as mapping noise (the broadcast no longer matches the workload).
+  AsciiTable results({"Scenario", "Policy", "MeanRT", "CacheHit%"});
+  for (double noise : {0.0, 40.0}) {
+    for (PolicyKind policy : {PolicyKind::kLru, PolicyKind::kLix}) {
+      SimParams params = CommuterParams();
+      params.noise_percent = noise;
+      params.policy = policy;
+      auto result = RunSimulation(params);
+      if (!result.ok()) {
+        std::cerr << result.status().ToString() << "\n";
+        return 1;
+      }
+      results.AddRow({noise == 0.0 ? "normal commute" : "incident surge",
+                      PolicyKindName(policy),
+                      FormatDouble(result->metrics.mean_response_time(), 1),
+                      FormatDouble(100.0 * result->metrics.hit_rate(), 1)});
+    }
+  }
+  results.Print(std::cout);
+
+  std::cout << "\nTakeaway: with a cost-aware cache (LIX) the in-vehicle "
+               "unit keeps residential\nsegments it cares about cached "
+               "(they repeat rarely on air), so even when an\nincident "
+               "shifts demand, lookups stay fast without any uplink.\n";
+  return 0;
+}

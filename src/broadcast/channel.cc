@@ -1,0 +1,33 @@
+#include "broadcast/channel.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+BroadcastChannel::BroadcastChannel(des::Simulation* sim,
+                                   const BroadcastProgram* program)
+    : sim_(sim), program_(program) {
+  BCAST_CHECK(sim != nullptr);
+  BCAST_CHECK(program != nullptr);
+  served_per_disk_.assign(program->num_disks(), 0);
+}
+
+void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
+  const double now = channel_->sim_->Now();
+  const double done = channel_->program_->NextArrivalEnd(page_, now);
+  wait_ = done - now;
+  BroadcastChannel* channel = channel_;
+  const PageId page = page_;
+  channel_->sim_->ScheduleAt(done, [channel, page, h]() {
+    ++channel->served_per_disk_[channel->program_->DiskOf(page)];
+    ++channel->total_served_;
+    h.resume();
+  });
+}
+
+void BroadcastChannel::ResetStats() {
+  served_per_disk_.assign(program_->num_disks(), 0);
+  total_served_ = 0;
+}
+
+}  // namespace bcast

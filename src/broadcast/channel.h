@@ -1,0 +1,84 @@
+/// \file channel.h
+/// \brief The broadcast channel: connects a program to simulated time.
+///
+/// The server side of the paper's architecture is fully described by its
+/// periodic program; at simulated time t, slot `floor(t) mod period` is on
+/// the air. A client process obtains a page with
+/// `co_await channel->WaitForPage(p)` — it resumes when the next complete
+/// transmission of p has been received (a transmission already in progress
+/// cannot be joined mid-slot).
+
+#ifndef BCAST_BROADCAST_CHANNEL_H_
+#define BCAST_BROADCAST_CHANNEL_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.h"
+#include "des/simulation.h"
+
+namespace bcast {
+
+/// \brief A shared broadcast medium carrying one `BroadcastProgram`.
+///
+/// Any number of client processes may wait on the channel concurrently;
+/// it is a pure broadcast, so waits never contend.
+class BroadcastChannel {
+ public:
+  /// Creates a channel broadcasting \p program on \p sim's clock.
+  /// Both must outlive the channel.
+  BroadcastChannel(des::Simulation* sim, const BroadcastProgram* program);
+
+  /// The program on the air.
+  const BroadcastProgram& program() const { return *program_; }
+
+  /// Start time of the next transmission of \p p at or after now.
+  double NextArrivalStart(PageId p) const {
+    return program_->NextArrivalStart(p, sim_->Now());
+  }
+
+  /// Awaitable that resumes once \p p has been fully received; records
+  /// per-disk service statistics on resumption.
+  class PageAwaiter {
+   public:
+    PageAwaiter(BroadcastChannel* channel, PageId page)
+        : channel_(channel), page_(page) {}
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    /// Returns the wait duration in broadcast units.
+    double await_resume() const noexcept { return wait_; }
+
+   private:
+    BroadcastChannel* channel_;
+    PageId page_;
+    double wait_ = 0.0;
+  };
+
+  /// Waits for the next complete broadcast of \p p.
+  PageAwaiter WaitForPage(PageId p) { return PageAwaiter(this, p); }
+
+  /// Pages delivered so far, per disk index.
+  const std::vector<uint64_t>& served_per_disk() const {
+    return served_per_disk_;
+  }
+
+  /// Total pages delivered over the channel.
+  uint64_t total_served() const { return total_served_; }
+
+  /// Resets delivery statistics (e.g. at the end of cache warm-up).
+  void ResetStats();
+
+ private:
+  friend class PageAwaiter;
+
+  des::Simulation* sim_;
+  const BroadcastProgram* program_;
+  std::vector<uint64_t> served_per_disk_;
+  uint64_t total_served_ = 0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_CHANNEL_H_

@@ -1,0 +1,61 @@
+/// \file disk_config.h
+/// \brief The multi-disk layout: how many disks, their sizes and speeds.
+///
+/// A broadcast program is shaped by three "knobs" (paper Section 2.2): the
+/// number of disks, the pages per disk, and each disk's integer relative
+/// broadcast frequency. `DiskLayout` captures exactly these. The study
+/// organizes frequency choices through a single parameter Delta (Section
+/// 4.2): `rel_freq(i) = (N - i) * Delta + 1` with disks numbered 1..N
+/// fastest-to-slowest; `MakeDeltaLayout` implements that rule.
+
+#ifndef BCAST_BROADCAST_DISK_CONFIG_H_
+#define BCAST_BROADCAST_DISK_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief Sizes and relative frequencies of the broadcast disks,
+/// fastest disk first.
+struct DiskLayout {
+  /// Pages assigned to each disk; disk 0 holds the hottest pages.
+  std::vector<uint64_t> sizes;
+
+  /// Integer relative broadcast frequency of each disk. Must be
+  /// non-increasing (disk 0 spins fastest) and positive.
+  std::vector<uint64_t> rel_freqs;
+
+  /// Total pages across all disks (the ServerDBSize this layout serves).
+  uint64_t TotalPages() const;
+
+  /// Number of disks.
+  uint64_t NumDisks() const { return sizes.size(); }
+
+  /// Renders like "<500,2000,2500>@freqs{7,4,1}" for logs and tables.
+  std::string ToString() const;
+};
+
+/// \brief Checks structural validity: non-empty, equal lengths, positive
+/// sizes and frequencies, non-increasing frequencies.
+Status ValidateLayout(const DiskLayout& layout);
+
+/// \brief Builds a layout from disk \p sizes and the paper's Delta rule:
+/// with N disks, disk i (1-based) gets `rel_freq(i) = (N - i) * delta + 1`.
+///
+/// delta == 0 yields a flat broadcast (all frequencies 1); larger delta
+/// increases the speed differential. For a 3-disk layout, delta = 1 gives
+/// 3:2:1 and delta = 3 gives 7:4:1, matching Section 4.2.
+Result<DiskLayout> MakeDeltaLayout(std::vector<uint64_t> sizes,
+                                   uint64_t delta);
+
+/// \brief Builds a layout with explicit relative frequencies.
+Result<DiskLayout> MakeLayout(std::vector<uint64_t> sizes,
+                              std::vector<uint64_t> rel_freqs);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_DISK_CONFIG_H_

@@ -1,0 +1,187 @@
+#include "broadcast/generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace bcast {
+
+std::vector<DiskIndex> DiskOfPages(const DiskLayout& layout) {
+  std::vector<DiskIndex> disk_of;
+  disk_of.reserve(layout.TotalPages());
+  for (DiskIndex d = 0; d < layout.NumDisks(); ++d) {
+    disk_of.insert(disk_of.end(), layout.sizes[d], d);
+  }
+  return disk_of;
+}
+
+Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout) {
+  BCAST_RETURN_IF_ERROR(ValidateLayout(layout));
+
+  const uint64_t num_disks = layout.NumDisks();
+  const uint64_t total_pages = layout.TotalPages();
+  if (total_pages > static_cast<uint64_t>(kEmptySlot)) {
+    return Status::OutOfRange("too many pages for PageId");
+  }
+
+  // Step 4: max_chunks = LCM of the relative frequencies; disk i splits
+  // into num_chunks(i) = max_chunks / rel_freq(i) chunks.
+  Result<uint64_t> lcm = LcmOfAll(layout.rel_freqs);
+  if (!lcm.ok()) return lcm.status();
+  const uint64_t max_chunks = *lcm;
+
+  std::vector<uint64_t> num_chunks(num_disks);
+  std::vector<uint64_t> chunk_size(num_disks);
+  uint64_t minor_cycle_len = 0;
+  for (uint64_t i = 0; i < num_disks; ++i) {
+    num_chunks[i] = max_chunks / layout.rel_freqs[i];
+    // Equal-size chunks keep every minor cycle the same length, which is
+    // what makes per-page inter-arrival times fixed; a short final chunk
+    // is padded with empty slots instead.
+    chunk_size[i] = CeilDiv(layout.sizes[i], num_chunks[i]);
+    minor_cycle_len += chunk_size[i];
+  }
+
+  Result<uint64_t> period = CheckedMul(max_chunks, minor_cycle_len);
+  if (!period.ok()) return period.status();
+  if (*period > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::OutOfRange(
+        "broadcast period " + std::to_string(*period) +
+        " slots is too long; choose smaller relative frequencies");
+  }
+
+  // First physical page of each disk.
+  std::vector<uint64_t> disk_base(num_disks, 0);
+  for (uint64_t i = 1; i < num_disks; ++i) {
+    disk_base[i] = disk_base[i - 1] + layout.sizes[i - 1];
+  }
+
+  // Step 5: broadcast chunk C(i, m mod num_chunks(i)) for every disk i in
+  // minor cycle m.
+  std::vector<PageId> slots;
+  slots.reserve(*period);
+  for (uint64_t m = 0; m < max_chunks; ++m) {
+    for (uint64_t i = 0; i < num_disks; ++i) {
+      const uint64_t chunk = m % num_chunks[i];
+      const uint64_t first = chunk * chunk_size[i];
+      for (uint64_t r = 0; r < chunk_size[i]; ++r) {
+        const uint64_t offset = first + r;
+        if (offset < layout.sizes[i]) {
+          slots.push_back(static_cast<PageId>(disk_base[i] + offset));
+        } else {
+          slots.push_back(kEmptySlot);
+        }
+      }
+    }
+  }
+  BCAST_CHECK_EQ(slots.size(), *period);
+
+  return BroadcastProgram::Make(std::move(slots),
+                                static_cast<PageId>(total_pages),
+                                DiskOfPages(layout));
+}
+
+Result<BroadcastProgram> GenerateFlatProgram(uint64_t num_pages) {
+  if (num_pages == 0) {
+    return Status::InvalidArgument("flat program needs at least one page");
+  }
+  if (num_pages > static_cast<uint64_t>(kEmptySlot)) {
+    return Status::OutOfRange("too many pages for PageId");
+  }
+  std::vector<PageId> slots(num_pages);
+  std::iota(slots.begin(), slots.end(), PageId{0});
+  return BroadcastProgram::Make(std::move(slots),
+                                static_cast<PageId>(num_pages));
+}
+
+Result<BroadcastProgram> GenerateSkewedProgram(const DiskLayout& layout) {
+  BCAST_RETURN_IF_ERROR(ValidateLayout(layout));
+  const uint64_t total_pages = layout.TotalPages();
+  if (total_pages > static_cast<uint64_t>(kEmptySlot)) {
+    return Status::OutOfRange("too many pages for PageId");
+  }
+
+  uint64_t period = 0;
+  for (uint64_t i = 0; i < layout.NumDisks(); ++i) {
+    period += layout.sizes[i] * layout.rel_freqs[i];
+  }
+  if (period > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::OutOfRange("skewed program period too long");
+  }
+
+  std::vector<PageId> slots;
+  slots.reserve(period);
+  PageId page = 0;
+  for (uint64_t i = 0; i < layout.NumDisks(); ++i) {
+    for (uint64_t k = 0; k < layout.sizes[i]; ++k, ++page) {
+      for (uint64_t rep = 0; rep < layout.rel_freqs[i]; ++rep) {
+        slots.push_back(page);
+      }
+    }
+  }
+  return BroadcastProgram::Make(std::move(slots),
+                                static_cast<PageId>(total_pages),
+                                DiskOfPages(layout));
+}
+
+Result<BroadcastProgram> GenerateRandomProgram(const DiskLayout& layout,
+                                               uint64_t period, Rng* rng) {
+  BCAST_RETURN_IF_ERROR(ValidateLayout(layout));
+  BCAST_CHECK(rng != nullptr);
+  const uint64_t total_pages = layout.TotalPages();
+  if (period < total_pages) {
+    return Status::InvalidArgument(
+        "period must be at least the page count so every page can appear");
+  }
+  if (period > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::OutOfRange("random program period too long");
+  }
+
+  // Bandwidth share of page p on disk i is rel_freq(i) / sum over pages.
+  const std::vector<DiskIndex> disk_of = DiskOfPages(layout);
+  double total_weight = 0.0;
+  for (uint64_t i = 0; i < layout.NumDisks(); ++i) {
+    total_weight += static_cast<double>(layout.sizes[i]) *
+                    static_cast<double>(layout.rel_freqs[i]);
+  }
+  std::vector<double> cdf(total_pages);
+  double acc = 0.0;
+  for (uint64_t p = 0; p < total_pages; ++p) {
+    acc += static_cast<double>(layout.rel_freqs[disk_of[p]]) / total_weight;
+    cdf[p] = acc;
+  }
+  cdf.back() = 1.0;
+
+  std::vector<PageId> slots(period);
+  for (uint64_t s = 0; s < period; ++s) {
+    const double u = rng->NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    slots[s] = static_cast<PageId>(it - cdf.begin());
+  }
+
+  // A valid program serves every page: overwrite random slots with any
+  // page that was never drawn (rare for realistic periods).
+  std::vector<uint32_t> seen(total_pages, 0);
+  for (PageId p : slots) ++seen[p];
+  for (uint64_t p = 0; p < total_pages; ++p) {
+    if (seen[p] > 0) continue;
+    // Steal a slot from a page that appears more than once.
+    for (;;) {
+      const uint64_t s = rng->NextBounded(period);
+      if (seen[slots[s]] > 1) {
+        --seen[slots[s]];
+        slots[s] = static_cast<PageId>(p);
+        ++seen[p];
+        break;
+      }
+    }
+  }
+
+  return BroadcastProgram::Make(std::move(slots),
+                                static_cast<PageId>(total_pages), disk_of);
+}
+
+}  // namespace bcast

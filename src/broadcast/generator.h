@@ -1,0 +1,60 @@
+/// \file generator.h
+/// \brief Broadcast program generators: multi-disk (the paper's algorithm),
+/// plus flat, skewed and random reference programs.
+///
+/// Pages are assumed pre-sorted hottest-first (steps 1-2 of the Section-2.2
+/// algorithm are the layout: physical page 0 is the hottest and disk 0 the
+/// fastest). Mapping a client's possibly different view onto this ordering
+/// is the job of `client/mapping.h` (Offset/Noise).
+
+#ifndef BCAST_BROADCAST_GENERATOR_H_
+#define BCAST_BROADCAST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/program.h"
+#include "common/rng.h"
+
+namespace bcast {
+
+/// \brief The Section-2.2 algorithm: interleaves one chunk of every disk
+/// per minor cycle, producing a periodic program with fixed per-page
+/// inter-arrival times.
+///
+/// With `max_chunks = lcm(rel_freqs)`, disk i is split into
+/// `max_chunks / rel_freq(i)` equal chunks of `ceil(size_i / num_chunks_i)`
+/// slots (the last chunk padded with `kEmptySlot` when the division is not
+/// even). Minor cycle m carries chunk `m mod num_chunks_i` of every disk i;
+/// the period is `max_chunks` minor cycles. Every page of disk i therefore
+/// appears exactly `rel_freq(i)` times per period at equal spacing.
+Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout);
+
+/// \brief A flat program: pages 0..num_pages-1 broadcast cyclically with
+/// equal frequency (Figure 1). Equivalent to a one-disk layout.
+Result<BroadcastProgram> GenerateFlatProgram(uint64_t num_pages);
+
+/// \brief A skewed program (Figure 2b): per cycle, each page of disk i is
+/// broadcast `rel_freq(i)` times *consecutively*. Bandwidth allocation
+/// matches the multi-disk program, but inter-arrival gaps are unequal, so
+/// expected delay is worse (the Bus Stop Paradox; Table 1).
+Result<BroadcastProgram> GenerateSkewedProgram(const DiskLayout& layout);
+
+/// \brief A random program (Section 2.1's "generated randomly according to
+/// those bandwidth allocations"): \p period slots drawn i.i.d. with
+/// probability proportional to each page's bandwidth share, then patched so
+/// every page appears at least once (a valid program must serve all pages).
+///
+/// \param period Number of slots to draw; must be >= the layout's total
+///        page count. Pass the multi-disk program's period for a
+///        like-for-like comparison.
+Result<BroadcastProgram> GenerateRandomProgram(const DiskLayout& layout,
+                                               uint64_t period, Rng* rng);
+
+/// \brief Per-page disk index implied by \p layout (page 0 is the first
+/// page of disk 0).
+std::vector<DiskIndex> DiskOfPages(const DiskLayout& layout);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_GENERATOR_H_

@@ -1,0 +1,228 @@
+#include "broadcast/indexing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace bcast {
+namespace {
+
+// Index geometry: leaves hold `entries_per_slot` page entries; every
+// level above packs `fanout` children per slot.
+void IndexGeometry(uint64_t num_pages, const IndexConfig& config,
+                   uint64_t* slots, uint64_t* levels) {
+  uint64_t level_nodes = CeilDiv(num_pages, config.entries_per_slot);
+  *slots = level_nodes;
+  *levels = 1;
+  while (level_nodes > 1) {
+    level_nodes = CeilDiv(level_nodes, config.fanout);
+    *slots += level_nodes;
+    ++(*levels);
+  }
+}
+
+}  // namespace
+
+Result<IndexedProgram> IndexedProgram::Make(BroadcastProgram data,
+                                            IndexConfig config) {
+  if (config.num_copies == 0) {
+    return Status::InvalidArgument("need at least one index copy");
+  }
+  if (config.entries_per_slot == 0 || config.fanout == 0) {
+    return Status::InvalidArgument(
+        "entries_per_slot and fanout must be positive");
+  }
+  const uint64_t data_period = data.period();
+  if (config.num_copies > data_period) {
+    return Status::InvalidArgument(
+        "more index copies than data slots to interleave them between");
+  }
+
+  uint64_t index_slots = 0;
+  uint64_t levels = 0;
+  IndexGeometry(data.num_pages(), config, &index_slots, &levels);
+
+  const uint64_t m = config.num_copies;
+  std::vector<uint64_t> run_data_start(m + 1);
+  std::vector<uint64_t> run_expanded_start(m + 1);
+  for (uint64_t j = 0; j <= m; ++j) {
+    run_data_start[j] = data_period * j / m;
+    run_expanded_start[j] = run_data_start[j] + (j + 1) * index_slots;
+  }
+  // run_expanded_start[m] is one past the period; the (m+1)-th "copy"
+  // does not exist. The true period:
+  return IndexedProgram(std::move(data), config, index_slots, levels,
+                        std::move(run_data_start),
+                        std::move(run_expanded_start));
+}
+
+IndexedProgram::IndexedProgram(BroadcastProgram data, IndexConfig config,
+                               uint64_t index_slots, uint64_t levels,
+                               std::vector<uint64_t> run_data_start,
+                               std::vector<uint64_t> run_expanded_start)
+    : data_(std::move(data)),
+      config_(config),
+      index_slots_(index_slots),
+      levels_(levels),
+      period_(data_.period() + config.num_copies * index_slots),
+      run_data_start_(std::move(run_data_start)),
+      run_expanded_start_(std::move(run_expanded_start)) {}
+
+double IndexedProgram::IndexOverhead() const {
+  return static_cast<double>(config_.num_copies * index_slots_) /
+         static_cast<double>(period_);
+}
+
+uint64_t IndexedProgram::DataToExpanded(uint64_t d) const {
+  BCAST_CHECK_LT(d, data_.period());
+  // Largest run j with run_data_start_[j] <= d.
+  const auto it = std::upper_bound(run_data_start_.begin(),
+                                   run_data_start_.end(), d);
+  const uint64_t j = static_cast<uint64_t>(it - run_data_start_.begin()) - 1;
+  return d + (j + 1) * index_slots_;
+}
+
+uint64_t IndexedProgram::ExpandedToDataCeil(double t_within_period) const {
+  BCAST_CHECK_GE(t_within_period, 0.0);
+  BCAST_CHECK_LT(t_within_period, static_cast<double>(period_));
+  const uint64_t e = static_cast<uint64_t>(std::ceil(t_within_period));
+  if (e >= period_) return data_.period();
+  // Largest run j whose data region starts at or before e.
+  const auto it = std::upper_bound(run_expanded_start_.begin(),
+                                   run_expanded_start_.end(),
+                                   static_cast<uint64_t>(e));
+  if (it == run_expanded_start_.begin()) {
+    return run_data_start_[0];  // inside index copy 0
+  }
+  const uint64_t j =
+      static_cast<uint64_t>(it - run_expanded_start_.begin()) - 1;
+  const uint64_t run_len = run_data_start_[j + 1] - run_data_start_[j];
+  const uint64_t into_run = e - run_expanded_start_[j];
+  if (into_run >= run_len) {
+    // e lies inside index copy j+1 (or exactly at the next run's start).
+    return run_data_start_[j + 1];
+  }
+  return run_data_start_[j] + into_run;
+}
+
+double IndexedProgram::NextDataArrivalStart(PageId p, double t) const {
+  BCAST_CHECK_GE(t, 0.0);
+  const double dperiod = static_cast<double>(period_);
+  const double cycle = std::floor(t / dperiod);
+  double within = t - cycle * dperiod;
+  if (within >= dperiod) within = 0.0;
+
+  const uint64_t d0 = ExpandedToDataCeil(within);
+  if (d0 >= data_.period()) {
+    const double s = data_.NextArrivalStart(p, 0.0);
+    return (cycle + 1.0) * dperiod +
+           static_cast<double>(DataToExpanded(static_cast<uint64_t>(s)));
+  }
+  const double s = data_.NextArrivalStart(p, static_cast<double>(d0));
+  const uint64_t slot = static_cast<uint64_t>(s);
+  if (slot < data_.period()) {
+    return cycle * dperiod + static_cast<double>(DataToExpanded(slot));
+  }
+  return (cycle + 1.0) * dperiod +
+         static_cast<double>(DataToExpanded(slot - data_.period()));
+}
+
+double IndexedProgram::NextIndexCopyStart(double t) const {
+  BCAST_CHECK_GE(t, 0.0);
+  const double dperiod = static_cast<double>(period_);
+  const double cycle = std::floor(t / dperiod);
+  double within = t - cycle * dperiod;
+  if (within >= dperiod) within = 0.0;
+  // Copy j starts at expanded position run_data_start_[j] + j*S.
+  for (uint64_t j = 0; j < config_.num_copies; ++j) {
+    const double start =
+        static_cast<double>(run_data_start_[j] + j * index_slots_);
+    if (start >= within) return cycle * dperiod + start;
+  }
+  return (cycle + 1.0) * dperiod + 0.0;  // copy 0 starts each period
+}
+
+Result<TuningAnalysis> AnalyzeTuning(const IndexedProgram& program,
+                                     const std::vector<double>& probs,
+                                     TuningProtocol protocol,
+                                     uint64_t samples, Rng* rng) {
+  if (probs.size() != program.data().num_pages()) {
+    return Status::InvalidArgument("need one probability per data page");
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  BCAST_CHECK(rng != nullptr);
+
+  // Page sampler.
+  std::vector<double> cdf(probs.size());
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] < 0.0) {
+      return Status::InvalidArgument("probabilities must be >= 0");
+    }
+    total += probs[i];
+    cdf[i] = total;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("at least one page must be requestable");
+  }
+
+  const double dperiod = static_cast<double>(program.period());
+  const double levels = static_cast<double>(program.tree_levels());
+  double latency_sum = 0.0;
+  double tuning_sum = 0.0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    const double u = rng->NextDouble() * total;
+    const PageId page = static_cast<PageId>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const double t = rng->NextDouble() * dperiod;
+
+    switch (protocol) {
+      case TuningProtocol::kContinuousListen: {
+        const double done = program.NextDataArrivalStart(page, t) + 1.0;
+        latency_sum += done - t;
+        tuning_sum += done - t;
+        break;
+      }
+      case TuningProtocol::kKnownSchedule: {
+        const double done = program.NextDataArrivalStart(page, t) + 1.0;
+        latency_sum += done - t;
+        tuning_sum += 1.0;  // wake exactly for the page's slot
+        break;
+      }
+      case TuningProtocol::kOneMIndex: {
+        // Initial probe: read one slot to learn the next index copy's
+        // offset, then doze.
+        const double probe_end = std::ceil(t) + 1.0;
+        // Descend the index at the next copy.
+        const double index_start = program.NextIndexCopyStart(probe_end);
+        const double index_end = index_start + levels;
+        // Doze until the page, then read it.
+        const double done =
+            program.NextDataArrivalStart(page, index_end) + 1.0;
+        latency_sum += done - t;
+        tuning_sum += 1.0 + levels + 1.0;
+        break;
+      }
+    }
+  }
+  TuningAnalysis analysis;
+  analysis.expected_latency = latency_sum / static_cast<double>(samples);
+  analysis.expected_tuning = tuning_sum / static_cast<double>(samples);
+  return analysis;
+}
+
+uint64_t OptimalIndexCopies(uint64_t data_slots,
+                            uint64_t index_slots_per_copy) {
+  BCAST_CHECK_GT(data_slots, 0u);
+  BCAST_CHECK_GT(index_slots_per_copy, 0u);
+  const double m = std::sqrt(static_cast<double>(data_slots) /
+                             static_cast<double>(index_slots_per_copy));
+  const uint64_t rounded = static_cast<uint64_t>(std::llround(m));
+  return std::clamp<uint64_t>(rounded, 1, data_slots);
+}
+
+}  // namespace bcast

@@ -1,0 +1,150 @@
+/// \file indexing.h
+/// \brief (1,m) indexing on air and selective tuning (extension).
+///
+/// The paper argues (Section 2.1) that fixed inter-arrival times let a
+/// client *sleep* between the broadcasts it needs, and notes (Section 2.2)
+/// that unused slots can carry indexes; integrating indexes "to support
+/// broadcast program changes" is Section-7 future work, building on
+/// Imielinski et al.'s "Energy Efficient Indexing on Air" [Imie94b].
+///
+/// This module implements the classic **(1,m) indexing** organization: a
+/// B+-tree-style index over all pages' next-arrival offsets is broadcast
+/// as `m` complete copies spaced evenly through each data period. Clients
+/// then trade a little *access latency* (the period grows by m index
+/// copies) for a huge reduction in *tuning time* — the broadcast units the
+/// receiver is actively listening, a proxy for radio energy:
+///
+///   - `kContinuousListen`: no index; the client listens until the page
+///     arrives. Tuning time == access latency (the paper's base model).
+///   - `kKnownSchedule`: the client knows the (static) program and wakes
+///     exactly for its page: 1 slot of tuning. Only possible because the
+///     multi-disk program is periodic with fixed inter-arrivals.
+///   - `kOneMIndex`: the client does not know the schedule (e.g. it just
+///     woke up, or the program changes between cycles): initial probe →
+///     doze to the next index copy → descend the index (`levels` probes)
+///     → doze to the page's slot → read it.
+
+#ifndef BCAST_BROADCAST_INDEXING_H_
+#define BCAST_BROADCAST_INDEXING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief Geometry of the on-air index.
+struct IndexConfig {
+  /// Complete index copies per data period (the "m" of (1,m) indexing).
+  uint64_t num_copies = 1;
+
+  /// Leaf entries that fit in one broadcast slot.
+  uint64_t entries_per_slot = 128;
+
+  /// Children per non-leaf node (one node per slot).
+  uint64_t fanout = 64;
+};
+
+/// \brief A data program with m interleaved index copies, on an expanded
+/// slot timeline.
+///
+/// Expanded period = data period + m * slots-per-index-copy. The data
+/// slots keep their relative order; index copy j precedes the j-th of m
+/// (nearly) equal runs of data slots. All time arguments below are in
+/// *expanded* broadcast units.
+class IndexedProgram {
+ public:
+  /// Builds the indexed organization over \p data.
+  /// Fails if the config has zero copies/entries/fanout or if m exceeds
+  /// the data period.
+  static Result<IndexedProgram> Make(BroadcastProgram data,
+                                     IndexConfig config);
+
+  /// The underlying data program (its own, unexpanded timeline).
+  const BroadcastProgram& data() const { return data_; }
+
+  /// Expanded period in slots.
+  uint64_t period() const { return period_; }
+
+  /// Slots occupied by one complete index copy.
+  uint64_t index_slots_per_copy() const { return index_slots_; }
+
+  /// Height of the index tree (levels probed during a descent,
+  /// including the leaf).
+  uint64_t tree_levels() const { return levels_; }
+
+  /// Number of index copies per period (the m).
+  uint64_t num_copies() const { return config_.num_copies; }
+
+  /// Fraction of the expanded period spent on index slots.
+  double IndexOverhead() const;
+
+  /// Expanded start time of the first transmission of data page \p p at
+  /// or after expanded time \p t.
+  double NextDataArrivalStart(PageId p, double t) const;
+
+  /// Expanded start time of the first index-copy beginning at or after
+  /// expanded time \p t.
+  double NextIndexCopyStart(double t) const;
+
+ private:
+  IndexedProgram(BroadcastProgram data, IndexConfig config,
+                 uint64_t index_slots, uint64_t levels,
+                 std::vector<uint64_t> run_data_start,
+                 std::vector<uint64_t> run_expanded_start);
+
+  // Expanded slot position of data slot \p d (one period).
+  uint64_t DataToExpanded(uint64_t d) const;
+
+  // First data slot whose expanded start is >= \p t (may equal the data
+  // period, meaning "next period's slot 0").
+  uint64_t ExpandedToDataCeil(double t_within_period) const;
+
+  BroadcastProgram data_;
+  IndexConfig config_;
+  uint64_t index_slots_;
+  uint64_t levels_;
+  uint64_t period_;
+  // Run j spans data slots [run_data_start_[j], run_data_start_[j+1]);
+  // its index copy occupies expanded slots [run_expanded_start_[j] -
+  // index_slots_, run_expanded_start_[j]).
+  std::vector<uint64_t> run_data_start_;      // size m+1
+  std::vector<uint64_t> run_expanded_start_;  // size m+1
+};
+
+/// \brief The client's page-retrieval protocol.
+enum class TuningProtocol {
+  kContinuousListen,  ///< Listen until the page arrives (paper's model).
+  kKnownSchedule,     ///< Wake exactly at the page's slot (static program).
+  kOneMIndex,         ///< Probe → index copy → descend → doze → read.
+};
+
+/// \brief Expected cost of a protocol under an access distribution.
+struct TuningAnalysis {
+  double expected_latency = 0.0;  ///< Request-to-page-in-hand, in slots.
+  double expected_tuning = 0.0;   ///< Radio-on slots per request.
+};
+
+/// \brief Monte-Carlo estimate (over request times uniform in the period
+/// and pages drawn from \p probs) of a protocol's costs.
+///
+/// \param probs One probability per data page (need not be normalized;
+///        zero entries are never requested).
+/// \param samples Number of simulated requests (>= 1).
+Result<TuningAnalysis> AnalyzeTuning(const IndexedProgram& program,
+                                     const std::vector<double>& probs,
+                                     TuningProtocol protocol,
+                                     uint64_t samples, Rng* rng);
+
+/// \brief The classic square-root rule for the optimal number of index
+/// copies: m* ≈ sqrt(data_slots / index_slots_per_copy), clamped to
+/// [1, data_slots].
+uint64_t OptimalIndexCopies(uint64_t data_slots,
+                            uint64_t index_slots_per_copy);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_INDEXING_H_

@@ -1,0 +1,164 @@
+#include "broadcast/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace bcast {
+namespace {
+
+// Expected delay of a layout given the cumulative probability at each page
+// boundary (prefix[k] = sum of probs of pages [0, k)).
+double DelayFromPrefix(const DiskLayout& layout,
+                       const std::vector<double>& prefix) {
+  const uint64_t n = layout.NumDisks();
+  Result<uint64_t> lcm = LcmOfAll(layout.rel_freqs);
+  BCAST_CHECK(lcm.ok()) << lcm.status().ToString();
+  const uint64_t max_chunks = *lcm;
+
+  std::vector<uint64_t> num_chunks(n);
+  uint64_t minor_len = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    num_chunks[i] = max_chunks / layout.rel_freqs[i];
+    minor_len += CeilDiv(layout.sizes[i], num_chunks[i]);
+  }
+
+  double delay = 0.0;
+  uint64_t base = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Every page of disk i recurs after exactly num_chunks(i) minor
+    // cycles, so its fixed gap is num_chunks(i) * minor_len and the
+    // expected wait for a uniformly timed request is half the gap.
+    const double gap =
+        static_cast<double>(num_chunks[i]) * static_cast<double>(minor_len);
+    const double mass = prefix[base + layout.sizes[i]] - prefix[base];
+    delay += mass * gap / 2.0;
+    base += layout.sizes[i];
+  }
+  const double total_mass = prefix.back();
+  return total_mass > 0.0 ? delay / total_mass : 0.0;
+}
+
+std::vector<double> PrefixSums(const std::vector<double>& probs) {
+  std::vector<double> prefix(probs.size() + 1, 0.0);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    prefix[i + 1] = prefix[i] + probs[i];
+  }
+  return prefix;
+}
+
+}  // namespace
+
+double AnalyticExpectedDelay(const DiskLayout& layout,
+                             const std::vector<double>& probs_hot_first) {
+  BCAST_CHECK_EQ(layout.TotalPages(), probs_hot_first.size());
+  Status st = ValidateLayout(layout);
+  BCAST_CHECK(st.ok()) << st.ToString();
+  return DelayFromPrefix(layout, PrefixSums(probs_hot_first));
+}
+
+std::vector<double> SquareRootBandwidthShares(
+    const std::vector<double>& probs) {
+  std::vector<double> shares(probs.size());
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    BCAST_CHECK_GE(probs[i], 0.0);
+    shares[i] = std::sqrt(probs[i]);
+    total += shares[i];
+  }
+  if (total > 0.0) {
+    for (double& s : shares) s /= total;
+  }
+  return shares;
+}
+
+Result<OptimizedLayout> OptimizeLayout(
+    const std::vector<double>& probs_hot_first, uint64_t num_disks,
+    uint64_t max_delta) {
+  const uint64_t total = probs_hot_first.size();
+  if (total == 0) {
+    return Status::InvalidArgument("need at least one page");
+  }
+  if (num_disks == 0) {
+    return Status::InvalidArgument("need at least one disk");
+  }
+  if (num_disks > total) {
+    return Status::InvalidArgument("more disks than pages");
+  }
+  for (size_t i = 1; i < probs_hot_first.size(); ++i) {
+    if (probs_hot_first[i] > probs_hot_first[i - 1] + 1e-12) {
+      return Status::InvalidArgument(
+          "probabilities must be sorted hottest first");
+    }
+  }
+
+  const std::vector<double> prefix = PrefixSums(probs_hot_first);
+
+  // Boundaries b_0=0 < b_1 < ... < b_{K-1} < b_K=total; disk i holds pages
+  // [b_i, b_{i+1}).
+  auto sizes_from = [&](const std::vector<uint64_t>& bounds) {
+    std::vector<uint64_t> sizes(num_disks);
+    for (uint64_t i = 0; i < num_disks; ++i) {
+      sizes[i] = bounds[i + 1] - bounds[i];
+    }
+    return sizes;
+  };
+
+  OptimizedLayout best;
+  bool have_best = false;
+
+  for (uint64_t delta = 0; delta <= max_delta; ++delta) {
+    // Start from an equal split.
+    std::vector<uint64_t> bounds(num_disks + 1);
+    for (uint64_t i = 0; i <= num_disks; ++i) {
+      bounds[i] = total * i / num_disks;
+    }
+
+    auto eval = [&](const std::vector<uint64_t>& b) {
+      Result<DiskLayout> layout = MakeDeltaLayout(sizes_from(b), delta);
+      BCAST_CHECK(layout.ok()) << layout.status().ToString();
+      return DelayFromPrefix(*layout, prefix);
+    };
+
+    double cost = eval(bounds);
+    // Coordinate descent with geometrically shrinking steps.
+    for (uint64_t step = std::max<uint64_t>(total / 8, 1); step >= 1;
+         step /= 2) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (uint64_t i = 1; i < num_disks; ++i) {
+          for (int dir : {-1, +1}) {
+            const int64_t moved = static_cast<int64_t>(bounds[i]) +
+                                  dir * static_cast<int64_t>(step);
+            if (moved <= static_cast<int64_t>(bounds[i - 1]) ||
+                moved >= static_cast<int64_t>(bounds[i + 1])) {
+              continue;
+            }
+            std::vector<uint64_t> cand = bounds;
+            cand[i] = static_cast<uint64_t>(moved);
+            const double c = eval(cand);
+            if (c + 1e-12 < cost) {
+              cost = c;
+              bounds = std::move(cand);
+              improved = true;
+            }
+          }
+        }
+      }
+      if (step == 1) break;
+    }
+
+    if (!have_best || cost < best.expected_delay) {
+      Result<DiskLayout> layout = MakeDeltaLayout(sizes_from(bounds), delta);
+      BCAST_CHECK(layout.ok());
+      best = OptimizedLayout{*layout, delta, cost};
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace bcast

@@ -1,0 +1,67 @@
+/// \file optimizer.h
+/// \brief Automatic broadcast-program design (extension).
+///
+/// The paper leaves "the automatic determination of these parameters for a
+/// given access probability distribution" as future work (Section 2.2) and
+/// asks in Section 7 for "concrete design principles for deciding how many
+/// disks to use, what the best relative spinning speeds should be, and how
+/// to segment the client access range". This module provides:
+///
+///  - `AnalyticExpectedDelay`: the exact expected broadcast delay of a
+///    multi-disk layout under a given access distribution, computed in
+///    O(num_disks) from the layout's chunk geometry (every page of disk i
+///    has the fixed gap `num_chunks(i) * minor_cycle_len`).
+///  - `SquareRootBandwidthShares`: the classic result that, ignoring
+///    integrality, expected delay is minimized when a page's bandwidth
+///    share is proportional to the square root of its access probability.
+///  - `OptimizeLayout`: a deterministic coordinate-descent search over disk
+///    boundaries and Delta that minimizes the analytic expected delay.
+
+#ifndef BCAST_BROADCAST_OPTIMIZER_H_
+#define BCAST_BROADCAST_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+
+namespace bcast {
+
+/// \brief Exact expected wait (in broadcast units, to transmission start)
+/// for the multi-disk program generated from \p layout, under access
+/// probabilities \p probs_hot_first (one entry per physical page, page 0
+/// hottest; zero entries allowed; need not be normalized — the result is
+/// scaled by their sum if they are not).
+double AnalyticExpectedDelay(const DiskLayout& layout,
+                             const std::vector<double>& probs_hot_first);
+
+/// \brief The optimal continuous bandwidth share per page: proportional to
+/// sqrt(p_i). Returned shares sum to 1. Useful as a design target that
+/// integer multi-disk frequencies approximate.
+std::vector<double> SquareRootBandwidthShares(
+    const std::vector<double>& probs);
+
+/// \brief Result of `OptimizeLayout`.
+struct OptimizedLayout {
+  DiskLayout layout;       ///< Best layout found.
+  uint64_t delta = 0;      ///< The Delta that produced its frequencies.
+  double expected_delay = 0.0;  ///< Its analytic expected delay.
+};
+
+/// \brief Searches disk-boundary positions and Delta for the layout with
+/// the lowest analytic expected delay.
+///
+/// Deterministic: starts from an equal split for each Delta in
+/// [0, max_delta] and coordinate-descends each boundary with shrinking
+/// steps. With `num_disks == 1` this returns the flat layout.
+///
+/// \param probs_hot_first Per-page access probability, hottest first.
+/// \param num_disks       Number of disks to use (>= 1).
+/// \param max_delta       Largest Delta to consider (>= 0).
+Result<OptimizedLayout> OptimizeLayout(
+    const std::vector<double>& probs_hot_first, uint64_t num_disks,
+    uint64_t max_delta);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_OPTIMIZER_H_

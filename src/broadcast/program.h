@@ -1,0 +1,107 @@
+/// \file program.h
+/// \brief An immutable periodic broadcast schedule and its lookups.
+///
+/// A `BroadcastProgram` is one period of the server's cyclic schedule: a
+/// sequence of slots, each carrying a physical page (or `kEmptySlot`). The
+/// server repeats the period forever. Time is measured in broadcast units:
+/// slot s of cycle k occupies [k*period + s, k*period + s + 1).
+///
+/// A client that wants page p at time t must catch a transmission from its
+/// start: the page is in hand at `NextArrivalEnd(p, t)` = the end of the
+/// first slot holding p whose start is >= t (a partially transmitted page
+/// cannot be picked up mid-slot).
+
+#ifndef BCAST_BROADCAST_PROGRAM_H_
+#define BCAST_BROADCAST_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief One period of a cyclic broadcast schedule with O(log n)
+/// next-arrival lookup and per-page frequency/disk metadata.
+class BroadcastProgram {
+ public:
+  /// Builds a program from one period of \p slots.
+  ///
+  /// \param slots      Page per slot; `kEmptySlot` marks filler slots.
+  /// \param num_pages  Physical pages are [0, num_pages); every one of them
+  ///                   must appear at least once (a page never broadcast
+  ///                   would hang any client that needs it).
+  /// \param disk_of    Optional disk index per page (same length as
+  ///                   num_pages); empty means "single disk 0 for all".
+  static Result<BroadcastProgram> Make(std::vector<PageId> slots,
+                                       PageId num_pages,
+                                       std::vector<DiskIndex> disk_of = {});
+
+  /// Length of one period in slots (= broadcast units).
+  uint64_t period() const { return slots_.size(); }
+
+  /// Number of distinct physical pages the program serves.
+  PageId num_pages() const { return num_pages_; }
+
+  /// Number of disks (1 for flat programs).
+  uint64_t num_disks() const { return num_disks_; }
+
+  /// The page in slot \p s of the period (may be `kEmptySlot`).
+  PageId page_at(SlotId s) const { return slots_[s]; }
+
+  /// Raw slot vector of one period.
+  const std::vector<PageId>& slots() const { return slots_; }
+
+  /// Times page \p p appears per period (its relative broadcast amount).
+  uint64_t Frequency(PageId p) const;
+
+  /// Fraction of all slots carrying page \p p — the "X" in PIX: arrivals
+  /// per broadcast unit, in (0, 1].
+  double NormalizedFrequency(PageId p) const;
+
+  /// Disk holding page \p p (0 = fastest).
+  DiskIndex DiskOf(PageId p) const;
+
+  /// Slots per period that carry no page.
+  uint64_t EmptySlots() const { return empty_slots_; }
+
+  /// Start time of the first transmission of \p p at or after time \p t.
+  double NextArrivalStart(PageId p, double t) const;
+
+  /// Time the client holds page \p p if it starts waiting at \p t
+  /// (== NextArrivalStart + 1 transmission unit).
+  double NextArrivalEnd(PageId p, double t) const {
+    return NextArrivalStart(p, t) + 1.0;
+  }
+
+  /// The period-wrapped gaps (in slots) between consecutive transmissions
+  /// of \p p; their sum is always `period()`. A multi-disk program yields
+  /// all-equal gaps; a skewed one does not (the Bus Stop Paradox).
+  std::vector<uint64_t> InterArrivalGaps(PageId p) const;
+
+  /// True iff every gap of \p p is identical — the paper's "fixed
+  /// inter-arrival times" property.
+  bool HasFixedInterArrival(PageId p) const;
+
+ private:
+  BroadcastProgram(std::vector<PageId> slots, PageId num_pages,
+                   std::vector<DiskIndex> disk_of,
+                   std::vector<uint32_t> arrival_index,
+                   std::vector<uint32_t> arrival_slots, uint64_t empty_slots,
+                   uint64_t num_disks);
+
+  // Arrival slots of page p, ascending: arrival_slots_[arrival_index_[p]
+  // .. arrival_index_[p+1]).
+  std::vector<PageId> slots_;
+  PageId num_pages_;
+  std::vector<DiskIndex> disk_of_;
+  std::vector<uint32_t> arrival_index_;
+  std::vector<uint32_t> arrival_slots_;
+  uint64_t empty_slots_;
+  uint64_t num_disks_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_PROGRAM_H_

@@ -1,0 +1,142 @@
+#include "broadcast/serialize.h"
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace bcast {
+namespace {
+
+constexpr char kMagic[] = "bcast-program v1";
+
+Status MalformedAt(uint64_t line, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 what);
+}
+
+}  // namespace
+
+Status SaveProgram(const BroadcastProgram& program, std::ostream* out) {
+  BCAST_CHECK(out != nullptr);
+  *out << kMagic << "\n";
+  *out << "period " << program.period() << " pages " << program.num_pages()
+       << " disks " << program.num_disks() << "\n";
+  *out << "slots";
+  for (SlotId s = 0; s < program.period(); ++s) {
+    const PageId p = program.page_at(s);
+    if (p == kEmptySlot) {
+      *out << " -";
+    } else {
+      *out << ' ' << p;
+    }
+  }
+  *out << "\n";
+  if (program.num_disks() > 1) {
+    *out << "diskof";
+    for (PageId p = 0; p < program.num_pages(); ++p) {
+      *out << ' ' << program.DiskOf(p);
+    }
+    *out << "\n";
+  }
+  *out << "end\n";
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<BroadcastProgram> LoadProgram(std::istream* in) {
+  BCAST_CHECK(in != nullptr);
+  uint64_t line_no = 0;
+  std::string line;
+
+  auto next_line = [&]() -> bool {
+    ++line_no;
+    return static_cast<bool>(std::getline(*in, line));
+  };
+
+  if (!next_line() || line != kMagic) {
+    return MalformedAt(line_no, "expected header '" + std::string(kMagic) +
+                                    "'");
+  }
+
+  if (!next_line()) return MalformedAt(line_no, "missing size line");
+  uint64_t period = 0, pages = 0, disks = 0;
+  {
+    std::istringstream sizes(line);
+    std::string k1, k2, k3;
+    if (!(sizes >> k1 >> period >> k2 >> pages >> k3 >> disks) ||
+        k1 != "period" || k2 != "pages" || k3 != "disks") {
+      return MalformedAt(line_no, "expected 'period N pages N disks N'");
+    }
+  }
+  if (period == 0 || pages == 0 || disks == 0) {
+    return MalformedAt(line_no, "sizes must be positive");
+  }
+
+  if (!next_line()) return MalformedAt(line_no, "missing slots line");
+  std::vector<PageId> slots;
+  slots.reserve(period);
+  {
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword != "slots") return MalformedAt(line_no, "expected 'slots'");
+    std::string token;
+    while (tokens >> token) {
+      if (token == "-") {
+        slots.push_back(kEmptySlot);
+        continue;
+      }
+      Result<std::vector<uint64_t>> value = ParseUint64List(token);
+      if (!value.ok() || value->size() != 1) {
+        return MalformedAt(line_no, "bad slot token '" + token + "'");
+      }
+      if ((*value)[0] >= pages) {
+        return MalformedAt(line_no, "slot page out of range: " + token);
+      }
+      slots.push_back(static_cast<PageId>((*value)[0]));
+    }
+  }
+  if (slots.size() != period) {
+    return MalformedAt(line_no,
+                       "expected " + std::to_string(period) + " slots, got " +
+                           std::to_string(slots.size()));
+  }
+
+  std::vector<DiskIndex> disk_of;
+  if (!next_line()) return MalformedAt(line_no, "missing diskof/end line");
+  if (StartsWith(line, "diskof")) {
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    uint64_t d = 0;
+    while (tokens >> d) {
+      if (d >= disks) {
+        return MalformedAt(line_no, "disk index out of range");
+      }
+      disk_of.push_back(static_cast<DiskIndex>(d));
+    }
+    if (disk_of.size() != pages) {
+      return MalformedAt(line_no, "expected one disk per page");
+    }
+    if (!next_line()) return MalformedAt(line_no, "missing end line");
+  } else if (disks > 1) {
+    return MalformedAt(line_no, "multi-disk program needs a diskof line");
+  }
+  if (line != "end") return MalformedAt(line_no, "expected 'end'");
+
+  Result<BroadcastProgram> program = BroadcastProgram::Make(
+      std::move(slots), static_cast<PageId>(pages), std::move(disk_of));
+  if (!program.ok()) {
+    return Status::InvalidArgument("invalid program: " +
+                                   program.status().message());
+  }
+  if (program->num_disks() != disks) {
+    return Status::InvalidArgument(
+        "declared disk count does not match diskof data");
+  }
+  return program;
+}
+
+}  // namespace bcast

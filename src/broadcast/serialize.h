@@ -1,0 +1,37 @@
+/// \file serialize.h
+/// \brief Saving and loading broadcast programs.
+///
+/// A server must hand its program to tooling (and, in deployments with
+/// any out-of-band channel, to clients who then tune selectively). The
+/// format is a line-oriented text format, versioned, self-describing and
+/// diff-friendly:
+///
+///     bcast-program v1
+///     period <slots> pages <count> disks <count>
+///     slots <id|- ...>            # '-' marks an empty slot
+///     diskof <disk ...>           # one entry per page; omitted if 1 disk
+///     end
+///
+/// Loading validates everything `BroadcastProgram::Make` validates, so a
+/// corrupted file can never produce a program that hangs a client.
+
+#ifndef BCAST_BROADCAST_SERIALIZE_H_
+#define BCAST_BROADCAST_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "broadcast/program.h"
+
+namespace bcast {
+
+/// \brief Writes \p program to \p out in the v1 text format.
+Status SaveProgram(const BroadcastProgram& program, std::ostream* out);
+
+/// \brief Parses a program from \p in; fails with a line-numbered message
+/// on malformed input.
+Result<BroadcastProgram> LoadProgram(std::istream* in);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_SERIALIZE_H_

@@ -1,0 +1,35 @@
+/// \file types.h
+/// \brief Fundamental identifiers shared across the broadcast library.
+
+#ifndef BCAST_BROADCAST_TYPES_H_
+#define BCAST_BROADCAST_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace bcast {
+
+/// Identifies one fixed-length data item ("page", per paper Section 2.2).
+/// Physical pages are numbered 0..ServerDBSize-1, hottest first from the
+/// server's point of view; logical pages are the client's numbering.
+using PageId = uint32_t;
+
+/// Identifies a slot position within one broadcast period.
+using SlotId = uint64_t;
+
+/// Marks an unused broadcast slot (Section 2.2: chunks that do not divide
+/// evenly leave empty slots, which a real deployment would fill with
+/// indexes or extra copies of very hot pages).
+inline constexpr PageId kEmptySlot = std::numeric_limits<PageId>::max();
+
+/// Index of a broadcast disk; 0 is the fastest, per the paper's convention
+/// that disk 1 spins fastest (we use 0-based indexing internally).
+using DiskIndex = uint32_t;
+
+/// Disk index reported for pages that are not on any disk (e.g. a flat
+/// program is modelled as a single disk 0).
+inline constexpr DiskIndex kNoDisk = std::numeric_limits<DiskIndex>::max();
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_TYPES_H_

@@ -1,0 +1,15 @@
+#include "cache/cache_policy.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+CachePolicy::CachePolicy(uint64_t capacity, PageId num_pages,
+                         const PageCatalog* catalog)
+    : capacity_(capacity), num_pages_(num_pages), catalog_(catalog) {
+  BCAST_CHECK_GE(capacity, 1u) << "cache capacity must be at least 1";
+  BCAST_CHECK_GT(num_pages, 0u);
+  BCAST_CHECK(catalog != nullptr);
+}
+
+}  // namespace bcast

@@ -1,0 +1,102 @@
+/// \file cache_policy.h
+/// \brief The client cache abstraction shared by all replacement policies.
+///
+/// In a push-based system the cache's job changes (paper Section 3): it
+/// should hold pages whose *local* probability of access is high relative
+/// to their broadcast frequency, not merely the hottest pages. Policies
+/// therefore get access to a `PageCatalog` describing, per logical page,
+/// the client's access probability (known exactly in the simulation, used
+/// by the idealized P/PIX policies) and the broadcast frequency and disk of
+/// the physical page it maps to (known exactly at any client that has read
+/// the program structure off the air; used by PIX/LIX).
+///
+/// All policies operate on *logical* page ids — the client's own numbering
+/// — since that is what the application requests.
+
+#ifndef BCAST_CACHE_CACHE_POLICY_H_
+#define BCAST_CACHE_CACHE_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "broadcast/types.h"
+
+namespace bcast {
+
+/// \brief Per-page knowledge available to replacement policies.
+class PageCatalog {
+ public:
+  virtual ~PageCatalog() = default;
+
+  /// The client's probability of requesting logical page \p page next.
+  /// Only the idealized policies (P, PIX) may use this.
+  virtual double Probability(PageId page) const = 0;
+
+  /// Normalized broadcast frequency (arrivals per broadcast unit) of the
+  /// physical page that \p page maps to — the "X" in PIX.
+  virtual double Frequency(PageId page) const = 0;
+
+  /// Broadcast disk (0 = fastest) of the physical page \p page maps to.
+  virtual DiskIndex DiskOf(PageId page) const = 0;
+
+  /// Number of disks in the broadcast program.
+  virtual uint64_t NumDisks() const = 0;
+};
+
+/// \brief Interface of a fixed-capacity client page cache.
+///
+/// Usage per client request at simulated time `now`:
+///   1. `Lookup(page, now)` — true on a hit (and the policy updates its
+///      recency/estimate state);
+///   2. on a miss, fetch the page from the broadcast, then call
+///      `Insert(page, now)` — the policy decides admission and eviction,
+///      never exceeding `capacity()`.
+class CachePolicy {
+ public:
+  /// \param capacity  Cache slots; must be >= 1 (the paper's "no caching"
+  ///                  baseline is capacity 1).
+  /// \param num_pages Logical page-id space is [0, num_pages).
+  /// \param catalog   Page knowledge; must outlive the policy. May be used
+  ///                  or ignored depending on the policy.
+  CachePolicy(uint64_t capacity, PageId num_pages, const PageCatalog* catalog);
+  virtual ~CachePolicy() = default;
+
+  CachePolicy(const CachePolicy&) = delete;
+  CachePolicy& operator=(const CachePolicy&) = delete;
+
+  /// Probes for \p page at simulated time \p now; updates policy state on
+  /// a hit. Returns whether the page was cached.
+  virtual bool Lookup(PageId page, double now) = 0;
+
+  /// Offers \p page (just fetched) for admission at time \p now. The
+  /// policy may decline (cost-based policies do when the newcomer is the
+  /// least valuable candidate). Must not be called for a cached page.
+  virtual void Insert(PageId page, double now) = 0;
+
+  /// Read-only membership test (no state update) for tests and metrics.
+  virtual bool Contains(PageId page) const = 0;
+
+  /// Pages currently cached.
+  virtual uint64_t size() const = 0;
+
+  /// Human-readable policy name ("LRU", "PIX", ...).
+  virtual std::string name() const = 0;
+
+  /// Maximum pages the cache can hold.
+  uint64_t capacity() const { return capacity_; }
+
+  /// Logical page-id space.
+  PageId num_pages() const { return num_pages_; }
+
+ protected:
+  const PageCatalog& catalog() const { return *catalog_; }
+
+ private:
+  uint64_t capacity_;
+  PageId num_pages_;
+  const PageCatalog* catalog_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_CACHE_POLICY_H_

@@ -1,0 +1,42 @@
+/// \file clock.h
+/// \brief CLOCK (second-chance) replacement — a cheap LRU approximation
+/// baseline (extension).
+
+#ifndef BCAST_CACHE_CLOCK_H_
+#define BCAST_CACHE_CLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// \brief Classic CLOCK: cached pages sit on a circular buffer with a
+/// reference bit; the hand sweeps, clearing bits, and evicts the first
+/// unreferenced page. Included to show where hardware-cheap recency
+/// approximations land between LRU and the cost-based policies.
+class ClockCache : public CachePolicy {
+ public:
+  ClockCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog);
+
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override { return slot_of_[page] >= 0; }
+  uint64_t size() const override { return used_; }
+  std::string name() const override { return "CLOCK"; }
+
+ private:
+  struct Slot {
+    PageId page = kEmptySlot;
+    bool referenced = false;
+  };
+  std::vector<Slot> slots_;
+  std::vector<int64_t> slot_of_;  // page -> slot index, -1 if absent
+  uint64_t hand_ = 0;
+  uint64_t used_ = 0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_CLOCK_H_

@@ -1,0 +1,115 @@
+#include "cache/factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "cache/clock.h"
+#include "cache/greedy_dual.h"
+#include "cache/lru.h"
+#include "cache/p_policy.h"
+
+namespace bcast {
+
+std::string PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kP:
+      return "P";
+    case PolicyKind::kPix:
+      return "PIX";
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kL:
+      return "L";
+    case PolicyKind::kLix:
+      return "LIX";
+    case PolicyKind::kLruK:
+      return "LRU-K";
+    case PolicyKind::kTwoQ:
+      return "2Q";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kGreedyDual:
+      return "GD";
+  }
+  return "?";
+}
+
+Result<PolicyKind> ParsePolicyKind(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  if (lower == "p") return PolicyKind::kP;
+  if (lower == "pix") return PolicyKind::kPix;
+  if (lower == "lru") return PolicyKind::kLru;
+  if (lower == "l") return PolicyKind::kL;
+  if (lower == "lix") return PolicyKind::kLix;
+  if (lower == "lru-k" || lower == "lruk" || lower == "lru2" ||
+      lower == "lru-2") {
+    return PolicyKind::kLruK;
+  }
+  if (lower == "2q" || lower == "twoq") return PolicyKind::kTwoQ;
+  if (lower == "clock") return PolicyKind::kClock;
+  if (lower == "gd" || lower == "greedydual" || lower == "greedy-dual") {
+    return PolicyKind::kGreedyDual;
+  }
+  return Status::InvalidArgument("unknown cache policy: " +
+                                 std::string(name));
+}
+
+Result<std::unique_ptr<CachePolicy>> MakeCachePolicy(
+    PolicyKind kind, uint64_t capacity, PageId num_pages,
+    const PageCatalog* catalog, const PolicyOptions& options) {
+  if (capacity == 0) {
+    return Status::InvalidArgument(
+        "cache capacity must be >= 1 (use 1 for the no-caching baseline)");
+  }
+  if (num_pages == 0) {
+    return Status::InvalidArgument("num_pages must be positive");
+  }
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
+  }
+  std::unique_ptr<CachePolicy> policy;
+  switch (kind) {
+    case PolicyKind::kP:
+      policy = std::make_unique<PCache>(capacity, num_pages, catalog);
+      break;
+    case PolicyKind::kPix:
+      policy = std::make_unique<PixCache>(capacity, num_pages, catalog);
+      break;
+    case PolicyKind::kLru:
+      policy = std::make_unique<LruCache>(capacity, num_pages, catalog);
+      break;
+    case PolicyKind::kL: {
+      LixOptions lix = options.lix;
+      lix.use_frequency = false;
+      policy = std::make_unique<LixCache>(capacity, num_pages, catalog, lix);
+      break;
+    }
+    case PolicyKind::kLix: {
+      LixOptions lix = options.lix;
+      lix.use_frequency = true;
+      policy = std::make_unique<LixCache>(capacity, num_pages, catalog, lix);
+      break;
+    }
+    case PolicyKind::kLruK:
+      policy = std::make_unique<LruKCache>(capacity, num_pages, catalog,
+                                           options.lru_k);
+      break;
+    case PolicyKind::kTwoQ:
+      policy = std::make_unique<TwoQCache>(capacity, num_pages, catalog,
+                                           options.two_q);
+      break;
+    case PolicyKind::kClock:
+      policy = std::make_unique<ClockCache>(capacity, num_pages, catalog);
+      break;
+    case PolicyKind::kGreedyDual:
+      policy =
+          std::make_unique<GreedyDualCache>(capacity, num_pages, catalog);
+      break;
+  }
+  return policy;
+}
+
+}  // namespace bcast

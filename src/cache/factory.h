@@ -1,0 +1,54 @@
+/// \file factory.h
+/// \brief Constructing cache policies by name/kind.
+
+#ifndef BCAST_CACHE_FACTORY_H_
+#define BCAST_CACHE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/cache_policy.h"
+#include "cache/lix.h"
+#include "cache/lru_k.h"
+#include "cache/two_q.h"
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief All available replacement policies.
+enum class PolicyKind {
+  kP,      ///< Idealized: keep highest access probability (Section 5.3).
+  kPix,    ///< Idealized: keep highest probability/frequency (Section 5.4).
+  kLru,    ///< Classic LRU (Section 5.5).
+  kL,      ///< LIX without the frequency term (Section 5.5.1).
+  kLix,    ///< Implementable PIX approximation (Section 5.5).
+  kLruK,   ///< LRU-k per-disk variant (extension).
+  kTwoQ,   ///< 2Q (extension).
+  kClock,  ///< CLOCK second-chance (extension).
+  kGreedyDual,  ///< GreedyDual with broadcast cost (extension).
+};
+
+/// \brief Tuning knobs forwarded to the concrete policies.
+struct PolicyOptions {
+  LixOptions lix;
+  LruKOptions lru_k;
+  TwoQOptions two_q;
+};
+
+/// Canonical display name of \p kind ("P", "PIX", "LRU", ...).
+std::string PolicyKindName(PolicyKind kind);
+
+/// Parses a (case-insensitive) policy name; accepts the canonical names
+/// plus "2q", "lru2", "lruk", "clock".
+Result<PolicyKind> ParsePolicyKind(std::string_view name);
+
+/// \brief Builds a policy of \p kind over [0, num_pages) logical pages with
+/// \p capacity slots, consulting \p catalog (which must outlive the cache).
+Result<std::unique_ptr<CachePolicy>> MakeCachePolicy(
+    PolicyKind kind, uint64_t capacity, PageId num_pages,
+    const PageCatalog* catalog, const PolicyOptions& options = {});
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_FACTORY_H_

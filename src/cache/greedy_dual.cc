@@ -1,0 +1,53 @@
+#include "cache/greedy_dual.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+GreedyDualCache::GreedyDualCache(uint64_t capacity, PageId num_pages,
+                                 const PageCatalog* catalog)
+    : CachePolicy(capacity, num_pages, catalog),
+      credit_(num_pages, 0.0),
+      cached_(num_pages, false) {}
+
+double GreedyDualCache::Cost(PageId page) const {
+  const double freq = catalog().Frequency(page);
+  BCAST_CHECK_GT(freq, 0.0) << "page " << page << " is never broadcast";
+  return 1.0 / (2.0 * freq);  // expected re-acquisition delay, gap/2
+}
+
+double GreedyDualCache::CreditOf(PageId page) const {
+  BCAST_CHECK(cached_[page]);
+  return credit_[page];
+}
+
+void GreedyDualCache::Refresh(PageId page) {
+  const double fresh = inflation_ + Cost(page);
+  if (cached_[page]) {
+    ordered_.erase({credit_[page], page});
+  }
+  credit_[page] = fresh;
+  cached_[page] = true;
+  ordered_.insert({fresh, page});
+}
+
+bool GreedyDualCache::Lookup(PageId page, double /*now*/) {
+  if (!cached_[page]) return false;
+  Refresh(page);
+  return true;
+}
+
+void GreedyDualCache::Insert(PageId page, double /*now*/) {
+  BCAST_CHECK(!cached_[page]) << "inserting a cached page";
+  if (ordered_.size() == capacity()) {
+    const auto victim = ordered_.begin();
+    // The victim's credit becomes the new inflation level: everything
+    // still cached is now worth "credit - L" in effective terms.
+    inflation_ = victim->first;
+    cached_[victim->second] = false;
+    ordered_.erase(victim);
+  }
+  Refresh(page);
+}
+
+}  // namespace bcast

@@ -1,0 +1,65 @@
+/// \file greedy_dual.h
+/// \brief GreedyDual replacement (Young, 1991) on a broadcast disk
+/// (extension).
+///
+/// GreedyDual is the canonical cost-aware caching algorithm, contemporary
+/// with the paper: each cached page carries a credit
+///
+///     H(page) = L + cost(page)
+///
+/// set on every fetch *and refreshed on every hit*, where `L` is a global
+/// "inflation" value equal to the credit of the last victim. Eviction
+/// removes the minimum-H page. Recency and cost trade off automatically:
+/// a page not touched for a while keeps its old (deflated) H while L
+/// inflates past it. With cost == 1, GreedyDual is exactly LRU; here the
+/// cost is the expected re-acquisition delay, gap/2 = 1/(2·frequency) —
+/// observable by any client, like LIX's frequency term, and requiring no
+/// probability estimates at all.
+///
+/// Included to place the paper's LIX in the broader cost-aware landscape:
+/// see bench/ablation_extended_policies.
+
+#ifndef BCAST_CACHE_GREEDY_DUAL_H_
+#define BCAST_CACHE_GREEDY_DUAL_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// \brief GreedyDual with broadcast re-acquisition cost.
+class GreedyDualCache : public CachePolicy {
+ public:
+  GreedyDualCache(uint64_t capacity, PageId num_pages,
+                  const PageCatalog* catalog);
+
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override { return cached_[page]; }
+  uint64_t size() const override { return ordered_.size(); }
+  std::string name() const override { return "GD"; }
+
+  /// Current credit of a cached page (for tests).
+  double CreditOf(PageId page) const;
+
+  /// The global inflation value L (for tests).
+  double inflation() const { return inflation_; }
+
+ private:
+  double Cost(PageId page) const;
+  void Refresh(PageId page);
+
+  std::vector<double> credit_;
+  std::vector<bool> cached_;
+  // Ascending by (credit, page); begin() is the next victim.
+  std::set<std::pair<double, PageId>> ordered_;
+  double inflation_ = 0.0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_GREEDY_DUAL_H_

@@ -1,0 +1,83 @@
+#include "cache/lix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bcast {
+namespace {
+
+// Smallest inter-access gap used in the estimator; guards against division
+// by zero if a page is hit twice at the same simulated instant.
+constexpr double kMinGap = 1e-9;
+
+}  // namespace
+
+LixCache::LixCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog, LixOptions options)
+    : CachePolicy(capacity, num_pages, catalog),
+      options_(options),
+      state_(num_pages),
+      cached_(num_pages, false) {
+  BCAST_CHECK_GT(options.alpha, 0.0);
+  BCAST_CHECK_LE(options.alpha, 1.0);
+  const uint64_t num_disks = std::max<uint64_t>(catalog->NumDisks(), 1);
+  chains_.reserve(num_disks);
+  for (uint64_t d = 0; d < num_disks; ++d) chains_.emplace_back(num_pages);
+}
+
+double LixCache::AgedEstimate(PageId page, double now) const {
+  const PageState& ps = state_[page];
+  const double gap = std::max(now - ps.last_access, kMinGap);
+  return options_.alpha / gap + (1.0 - options_.alpha) * ps.estimate;
+}
+
+double LixCache::EvaluateLix(PageId page, double now) const {
+  BCAST_CHECK(cached_[page]);
+  const double estimate = AgedEstimate(page, now);
+  if (!options_.use_frequency) return estimate;
+  const double freq = catalog().Frequency(page);
+  BCAST_CHECK_GT(freq, 0.0);
+  return estimate / freq;
+}
+
+bool LixCache::Lookup(PageId page, double now) {
+  if (!cached_[page]) return false;
+  PageState& ps = state_[page];
+  ps.estimate = AgedEstimate(page, now);
+  ps.last_access = now;
+  chains_[catalog().DiskOf(page)].Touch(page);
+  return true;
+}
+
+void LixCache::Insert(PageId page, double now) {
+  BCAST_CHECK(!cached_[page]) << "inserting a cached page";
+  if (size_ == capacity()) {
+    // Evaluate only the least-recently-used page of each chain; evict the
+    // one with the smallest lix value. Ties break toward the faster disk's
+    // candidate (its pages are the cheapest to re-acquire).
+    PageId victim = kEmptySlot;
+    double victim_lix = 0.0;
+    for (const LruList& chain : chains_) {
+      const PageId bottom = chain.Back();
+      if (bottom == kEmptySlot) continue;
+      const double lix = EvaluateLix(bottom, now);
+      if (victim == kEmptySlot || lix < victim_lix) {
+        victim = bottom;
+        victim_lix = lix;
+      }
+    }
+    BCAST_CHECK_NE(victim, kEmptySlot);
+    chains_[catalog().DiskOf(victim)].Remove(victim);
+    cached_[victim] = false;
+    --size_;
+  }
+  // The newcomer enters the chain of the disk it is broadcast on, with a
+  // fresh estimate (p = 0, t = now).
+  state_[page] = PageState{0.0, now};
+  cached_[page] = true;
+  chains_[catalog().DiskOf(page)].PushFront(page);
+  ++size_;
+}
+
+}  // namespace bcast

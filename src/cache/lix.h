@@ -1,0 +1,91 @@
+/// \file lix.h
+/// \brief LIX and L — the implementable cost-based policies (Section 5.5).
+///
+/// LIX keeps one LRU chain per broadcast disk (it reduces to plain LRU on a
+/// flat, one-disk broadcast). Each cached page carries a running access
+/// probability estimate `p` and its last access time `t`; on a hit,
+///
+///     p  <-  alpha / (now - t)  +  (1 - alpha) * p,       t <- now
+///
+/// with alpha = 0.25 in the paper. On replacement, only the bottom (least
+/// recently used) page of each chain is evaluated: its current estimate is
+/// aged the same way and divided by its broadcast frequency to give its
+/// `lix` value; the page with the smallest lix is ejected and the newcomer
+/// enters the chain of the disk it is broadcast on. Chains grow and shrink
+/// dynamically. Cost per replacement is O(num_disks), the same order as
+/// LRU.
+///
+/// L is LIX with the frequency division removed (all pages assumed equally
+/// frequent); comparing L to LRU isolates the value of the probability
+/// estimator, and LIX to L the value of the frequency term.
+
+#ifndef BCAST_CACHE_LIX_H_
+#define BCAST_CACHE_LIX_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cache/lru.h"
+
+namespace bcast {
+
+/// \brief Options for `LixCache`.
+struct LixOptions {
+  /// Weight of the most recent inter-access gap in the running estimate.
+  double alpha = 0.25;
+
+  /// When false, the frequency division is skipped — this is policy "L".
+  bool use_frequency = true;
+};
+
+/// \brief The LIX replacement policy (and L, via options).
+class LixCache : public CachePolicy {
+ public:
+  LixCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
+           LixOptions options = {});
+
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override { return cached_[page]; }
+  uint64_t size() const override { return size_; }
+  std::string name() const override {
+    return options_.use_frequency ? "LIX" : "L";
+  }
+
+  /// The lix value \p page would have if evaluated at \p now (for tests).
+  /// The page must be cached.
+  double EvaluateLix(PageId page, double now) const;
+
+  /// Current length of the chain for disk \p d (chains resize dynamically
+  /// with the access pattern; exposed for tests and metrics).
+  uint64_t ChainSize(DiskIndex d) const { return chains_[d].size(); }
+
+ private:
+  /// Ages the running estimate of \p page to \p now without committing.
+  double AgedEstimate(PageId page, double now) const;
+
+  struct PageState {
+    double estimate = 0.0;   // running probability estimate
+    double last_access = 0.0;
+  };
+
+  LixOptions options_;
+  std::vector<LruList> chains_;  // one per broadcast disk
+  std::vector<PageState> state_;
+  std::vector<bool> cached_;
+  uint64_t size_ = 0;
+};
+
+/// \brief Convenience wrapper: the paper's "L" policy.
+class LCache : public LixCache {
+ public:
+  LCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
+         double alpha = 0.25)
+      : LixCache(capacity, num_pages, catalog,
+                 LixOptions{alpha, /*use_frequency=*/false}) {}
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_LIX_H_

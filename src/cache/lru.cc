@@ -1,0 +1,57 @@
+#include "cache/lru.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+LruList::LruList(PageId num_pages) : nodes_(num_pages) {}
+
+void LruList::PushFront(PageId page) {
+  Node& node = nodes_[page];
+  BCAST_CHECK(!node.linked) << "page already linked";
+  node.linked = true;
+  node.prev = kEmptySlot;
+  node.next = head_;
+  if (head_ != kEmptySlot) nodes_[head_].prev = page;
+  head_ = page;
+  if (tail_ == kEmptySlot) tail_ = page;
+  ++size_;
+}
+
+void LruList::Remove(PageId page) {
+  Node& node = nodes_[page];
+  BCAST_CHECK(node.linked) << "removing unlinked page";
+  if (node.prev != kEmptySlot) nodes_[node.prev].next = node.next;
+  if (node.next != kEmptySlot) nodes_[node.next].prev = node.prev;
+  if (head_ == page) head_ = node.next;
+  if (tail_ == page) tail_ = node.prev;
+  node.linked = false;
+  node.prev = node.next = kEmptySlot;
+  --size_;
+}
+
+void LruList::Touch(PageId page) {
+  if (head_ == page) return;
+  Remove(page);
+  PushFront(page);
+}
+
+LruCache::LruCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog)
+    : CachePolicy(capacity, num_pages, catalog), list_(num_pages) {}
+
+bool LruCache::Lookup(PageId page, double /*now*/) {
+  if (!list_.Contains(page)) return false;
+  list_.Touch(page);
+  return true;
+}
+
+void LruCache::Insert(PageId page, double /*now*/) {
+  BCAST_CHECK(!list_.Contains(page)) << "inserting a cached page";
+  if (list_.size() == capacity()) {
+    list_.Remove(list_.Back());
+  }
+  list_.PushFront(page);
+}
+
+}  // namespace bcast

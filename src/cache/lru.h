@@ -1,0 +1,72 @@
+/// \file lru.h
+/// \brief Classic LRU replacement — the paper's conventional baseline.
+
+#ifndef BCAST_CACHE_LRU_H_
+#define BCAST_CACHE_LRU_H_
+
+#include <vector>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// \brief Intrusive doubly-linked LRU list over a page-indexed node array.
+///
+/// All operations are O(1). This structure is reused by LIX (one list per
+/// broadcast disk) and 2Q, so it is exposed here.
+class LruList {
+ public:
+  /// Creates bookkeeping for pages [0, num_pages); nothing is linked yet.
+  explicit LruList(PageId num_pages);
+
+  /// Links \p page at the MRU end. Must not already be linked.
+  void PushFront(PageId page);
+
+  /// Unlinks \p page. Must be linked.
+  void Remove(PageId page);
+
+  /// Moves \p page to the MRU end. Must be linked.
+  void Touch(PageId page);
+
+  /// The LRU-end page, or kEmptySlot when empty.
+  PageId Back() const { return tail_; }
+
+  /// The MRU-end page, or kEmptySlot when empty.
+  PageId Front() const { return head_; }
+
+  /// True iff \p page is linked in this list.
+  bool Contains(PageId page) const { return nodes_[page].linked; }
+
+  /// Number of linked pages.
+  uint64_t size() const { return size_; }
+
+ private:
+  struct Node {
+    PageId prev = kEmptySlot;
+    PageId next = kEmptySlot;
+    bool linked = false;
+  };
+  std::vector<Node> nodes_;
+  PageId head_ = kEmptySlot;
+  PageId tail_ = kEmptySlot;
+  uint64_t size_ = 0;
+};
+
+/// \brief Least-recently-used replacement with always-admit semantics.
+class LruCache : public CachePolicy {
+ public:
+  LruCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog);
+
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override { return list_.Contains(page); }
+  uint64_t size() const override { return list_.size(); }
+  std::string name() const override { return "LRU"; }
+
+ private:
+  LruList list_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_LRU_H_

@@ -1,0 +1,66 @@
+#include "cache/p_policy.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+StaticValueCache::StaticValueCache(uint64_t capacity, PageId num_pages,
+                                   const PageCatalog* catalog,
+                                   std::vector<double> values)
+    : CachePolicy(capacity, num_pages, catalog),
+      values_(std::move(values)),
+      cached_(num_pages, false) {
+  BCAST_CHECK_EQ(values_.size(), static_cast<size_t>(num_pages));
+}
+
+bool StaticValueCache::Lookup(PageId page, double /*now*/) {
+  return cached_[page];
+}
+
+void StaticValueCache::Insert(PageId page, double /*now*/) {
+  BCAST_CHECK(!cached_[page]) << "inserting a cached page";
+  const std::pair<double, PageId> key{values_[page], page};
+  if (ordered_.size() == capacity()) {
+    const auto min_it = ordered_.begin();
+    // Admit only if strictly more valuable than the current minimum; on a
+    // tie the resident page stays (stable cache contents).
+    if (key.first <= min_it->first) return;
+    cached_[min_it->second] = false;
+    ordered_.erase(min_it);
+  }
+  cached_[page] = true;
+  ordered_.insert(key);
+}
+
+namespace {
+
+std::vector<double> ProbabilityValues(PageId num_pages,
+                                      const PageCatalog& catalog) {
+  std::vector<double> values(num_pages);
+  for (PageId p = 0; p < num_pages; ++p) values[p] = catalog.Probability(p);
+  return values;
+}
+
+std::vector<double> PixValues(PageId num_pages, const PageCatalog& catalog) {
+  std::vector<double> values(num_pages);
+  for (PageId p = 0; p < num_pages; ++p) {
+    const double freq = catalog.Frequency(p);
+    BCAST_CHECK_GT(freq, 0.0) << "page " << p << " is never broadcast";
+    values[p] = catalog.Probability(p) / freq;
+  }
+  return values;
+}
+
+}  // namespace
+
+PCache::PCache(uint64_t capacity, PageId num_pages,
+               const PageCatalog* catalog)
+    : StaticValueCache(capacity, num_pages, catalog,
+                       ProbabilityValues(num_pages, *catalog)) {}
+
+PixCache::PixCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog)
+    : StaticValueCache(capacity, num_pages, catalog,
+                       PixValues(num_pages, *catalog)) {}
+
+}  // namespace bcast

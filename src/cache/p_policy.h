@@ -1,0 +1,73 @@
+/// \file p_policy.h
+/// \brief The idealized P and PIX policies (paper Sections 5.3-5.4).
+///
+/// Both rank pages by a *static* per-page value and always keep the
+/// capacity() highest-valued pages seen so far:
+///
+///  - **P** values a page by its access probability — the perfect version
+///    of what LRU approximates. In steady state the cache holds the
+///    CacheSize hottest pages.
+///  - **PIX** (P Inverse X) values a page by probability / broadcast
+///    frequency — the cost-based optimum: a page the client wants often
+///    but that spins on a slow disk is worth more cache space than an
+///    equally hot page on the fastest disk.
+///
+/// Neither is implementable in practice (they require exact access
+/// probabilities); they serve as performance bounds for LRU/L/LIX.
+
+#ifndef BCAST_CACHE_P_POLICY_H_
+#define BCAST_CACHE_P_POLICY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// \brief Common machinery: keep the top-capacity pages by a static value.
+///
+/// Admission: a fetched page enters only if the cache has room or the page
+/// outranks the current minimum (ties broken toward keeping the resident
+/// page, so the cache is stable under equal values).
+class StaticValueCache : public CachePolicy {
+ public:
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override { return cached_[page]; }
+  uint64_t size() const override { return ordered_.size(); }
+
+  /// The ranking value of \p page (for tests).
+  double ValueOf(PageId page) const { return values_[page]; }
+
+ protected:
+  StaticValueCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog, std::vector<double> values);
+
+ private:
+  std::vector<double> values_;
+  std::vector<bool> cached_;
+  // Ascending by (value, page); begin() is the eviction candidate.
+  std::set<std::pair<double, PageId>> ordered_;
+};
+
+/// \brief P: evict the cached page with the lowest access probability.
+class PCache : public StaticValueCache {
+ public:
+  PCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog);
+  std::string name() const override { return "P"; }
+};
+
+/// \brief PIX: evict the cached page with the lowest
+/// probability / broadcast-frequency ratio.
+class PixCache : public StaticValueCache {
+ public:
+  PixCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog);
+  std::string name() const override { return "PIX"; }
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_P_POLICY_H_

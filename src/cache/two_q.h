@@ -1,0 +1,81 @@
+/// \file two_q.h
+/// \brief The 2Q replacement policy [John94] (extension).
+///
+/// Full 2Q as in Johnson & Shasha (VLDB '94), which the paper cites as a
+/// candidate base for better PIX approximations: a FIFO probation queue
+/// `A1in`, a ghost queue `A1out` remembering recently demoted page ids
+/// (metadata only), and a main LRU `Am`. A page re-referenced while its id
+/// sits in `A1out` is deemed hot and enters `Am`; one-shot pages wash out
+/// of `A1in` without ever polluting `Am`.
+///
+/// Optionally (`use_frequency`), the victim choice between the `A1in` and
+/// `Am` candidates is cost-weighted by broadcast frequency, turning 2Q into
+/// a LIX-flavoured hybrid ("2QX").
+
+#ifndef BCAST_CACHE_TWO_Q_H_
+#define BCAST_CACHE_TWO_Q_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cache/cache_policy.h"
+#include "cache/lru.h"
+
+namespace bcast {
+
+/// \brief Options for `TwoQCache`.
+struct TwoQOptions {
+  /// Max fraction of capacity used by the A1in probation FIFO.
+  double kin_fraction = 0.25;
+
+  /// Ghost-queue length as a fraction of capacity.
+  double kout_fraction = 0.5;
+
+  /// Cost-weight victims by broadcast frequency (the "2QX" variant).
+  bool use_frequency = false;
+};
+
+/// \brief Full 2Q with an optional broadcast-cost twist.
+class TwoQCache : public CachePolicy {
+ public:
+  TwoQCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
+            TwoQOptions options = {});
+
+  bool Lookup(PageId page, double now) override;
+  void Insert(PageId page, double now) override;
+  bool Contains(PageId page) const override;
+  uint64_t size() const override { return a1in_.size() + am_.size(); }
+  std::string name() const override {
+    return options_.use_frequency ? "2QX" : "2Q";
+  }
+
+  /// Pages currently in the probation FIFO (for tests).
+  uint64_t a1in_size() const { return a1in_.size(); }
+
+  /// Ghost entries currently remembered (for tests).
+  uint64_t a1out_size() const { return a1out_.size(); }
+
+  /// Pages in the main LRU (for tests).
+  uint64_t am_size() const { return am_.size(); }
+
+ private:
+  /// Frees one slot according to the 2Q reclamation rule.
+  void ReclaimSlot();
+
+  /// Pushes \p page onto the ghost queue, trimming it to kout.
+  void PushGhost(PageId page);
+
+  TwoQOptions options_;
+  uint64_t kin_;
+  uint64_t kout_;
+  LruList a1in_;                 // FIFO: push front, evict back
+  LruList am_;                   // LRU
+  std::deque<PageId> a1out_;     // ghost ids, newest at front
+  std::vector<bool> in_a1out_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_TWO_Q_H_

@@ -1,0 +1,28 @@
+#include "client/access_generator.h"
+
+namespace bcast {
+
+Result<AccessGenerator> AccessGenerator::Make(uint64_t access_range,
+                                              uint64_t region_size,
+                                              double theta, double think_time,
+                                              ThinkTimeKind kind, Rng rng) {
+  if (think_time < 0.0) {
+    return Status::InvalidArgument("think_time must be >= 0");
+  }
+  Result<RegionZipfGenerator> zipf =
+      RegionZipfGenerator::Make(access_range, region_size, theta);
+  if (!zipf.ok()) return zipf.status();
+  return AccessGenerator(std::move(*zipf), think_time, kind, rng);
+}
+
+double AccessGenerator::NextThinkTime() {
+  switch (kind_) {
+    case ThinkTimeKind::kFixed:
+      return think_time_;
+    case ThinkTimeKind::kExponential:
+      return think_time_ > 0.0 ? rng_.NextExponential(think_time_) : 0.0;
+  }
+  return think_time_;
+}
+
+}  // namespace bcast

@@ -1,0 +1,71 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bcast {
+
+Client::Client(des::Simulation* sim, BroadcastChannel* channel,
+               CachePolicy* cache, RequestSource* gen,
+               const Mapping* mapping, ClientRunConfig config)
+    : sim_(sim),
+      channel_(channel),
+      cache_(cache),
+      gen_(gen),
+      mapping_(mapping),
+      config_(config),
+      metrics_(channel->program().num_disks()) {
+  BCAST_CHECK(sim != nullptr);
+  BCAST_CHECK(channel != nullptr);
+  BCAST_CHECK(cache != nullptr);
+  BCAST_CHECK(gen != nullptr);
+  BCAST_CHECK(mapping != nullptr);
+  BCAST_CHECK_GE(mapping->num_pages(), gen->access_range())
+      << "client would request pages outside the broadcast";
+}
+
+des::Process Client::Run() {
+  // Warm-up: run unrecorded requests until the cache is full. The target
+  // is capped by the access range (the cache can never hold more distinct
+  // pages than the client requests) and by a request budget.
+  const uint64_t fill_target =
+      std::min<uint64_t>(cache_->capacity(), gen_->access_range());
+  while (cache_->size() < fill_target &&
+         warmup_requests_ < config_.max_warmup_requests) {
+    ++warmup_requests_;
+    const PageId logical = gen_->NextPage();
+    if (!cache_->Lookup(logical, sim_->Now())) {
+      const PageId physical = mapping_->ToPhysical(logical);
+      co_await channel_->WaitForPage(physical);
+      cache_->Insert(logical, sim_->Now());
+    }
+    co_await sim_->Delay(gen_->NextThinkTime());
+  }
+
+  // Measured phase. (Channel-level delivery stats are shared across
+  // clients and are NOT reset here; per-client accounting lives in
+  // metrics_.)
+  for (uint64_t i = 0; i < config_.measured_requests; ++i) {
+    const PageId logical = gen_->NextPage();
+    const double start = sim_->Now();
+    if (cache_->Lookup(logical, start)) {
+      metrics_.RecordHit(0.0);
+      metrics_.RecordTuning(0.0);
+    } else {
+      const PageId physical = mapping_->ToPhysical(logical);
+      co_await channel_->WaitForPage(physical);
+      const double wait = sim_->Now() - start;
+      cache_->Insert(logical, sim_->Now());
+      metrics_.RecordMiss(wait, channel_->program().DiskOf(physical));
+      // Radio accounting: with a known schedule the client sleeps until
+      // the page's slot and listens for exactly one slot; otherwise the
+      // radio is on for the whole wait.
+      metrics_.RecordTuning(config_.knows_schedule ? 1.0 : wait);
+    }
+    co_await sim_->Delay(gen_->NextThinkTime());
+  }
+  finished_ = true;
+}
+
+}  // namespace bcast

@@ -1,0 +1,79 @@
+/// \file client.h
+/// \brief The client process: the paper's Section 4.1 execution model.
+///
+/// The client loops forever: draw a logical page from its access
+/// distribution; probe the cache; on a miss, tune in to the broadcast and
+/// wait for the page's physical image, then offer it to the replacement
+/// policy; finally "think" for ThinkTime broadcast units and repeat.
+///
+/// Measurement protocol (Section 5): warm-up runs until the cache is full
+/// (bounded by a safety cap), statistics are then reset and exactly
+/// `measured_requests` further requests are recorded.
+
+#ifndef BCAST_CLIENT_CLIENT_H_
+#define BCAST_CLIENT_CLIENT_H_
+
+#include <cstdint>
+
+#include "broadcast/channel.h"
+#include "cache/cache_policy.h"
+#include "client/access_generator.h"
+#include "client/request_source.h"
+#include "client/mapping.h"
+#include "core/metrics.h"
+#include "des/simulation.h"
+
+namespace bcast {
+
+/// \brief Run-control knobs for one client.
+struct ClientRunConfig {
+  /// Requests recorded after warm-up.
+  uint64_t measured_requests = 100000;
+
+  /// Warm-up safety cap: stop warming even if the cache never fills
+  /// (e.g. capacity > AccessRange).
+  uint64_t max_warmup_requests = 2000000;
+
+  /// Whether the client knows the (static) broadcast schedule — e.g. via
+  /// a ScheduleLearner or out-of-band. Affects only the tuning-time
+  /// metric: a knowing client dozes until its page's slot (1 slot of
+  /// radio-on per miss); an ignorant one listens for the whole wait.
+  bool knows_schedule = false;
+};
+
+/// \brief A single client workload driving a cache against the broadcast.
+///
+/// Construct it, then `sim->Spawn(client.Run())`. All referenced objects
+/// must outlive the simulation run.
+class Client {
+ public:
+  Client(des::Simulation* sim, BroadcastChannel* channel, CachePolicy* cache,
+         RequestSource* gen, const Mapping* mapping, ClientRunConfig config);
+
+  /// The client coroutine; spawn exactly once.
+  des::Process Run();
+
+  /// Metrics for the measured phase (valid once the run completes).
+  const ClientMetrics& metrics() const { return metrics_; }
+
+  /// Requests spent warming up before measurement began.
+  uint64_t warmup_requests() const { return warmup_requests_; }
+
+  /// True once the measured phase has completed.
+  bool finished() const { return finished_; }
+
+ private:
+  des::Simulation* sim_;
+  BroadcastChannel* channel_;
+  CachePolicy* cache_;
+  RequestSource* gen_;
+  const Mapping* mapping_;
+  ClientRunConfig config_;
+  ClientMetrics metrics_;
+  uint64_t warmup_requests_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CLIENT_CLIENT_H_

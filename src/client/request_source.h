@@ -1,0 +1,42 @@
+/// \file request_source.h
+/// \brief The interface between the client loop and its workload.
+///
+/// The paper's study uses a synthetic region-Zipf stream
+/// (`AccessGenerator`); real deployments replay captured traces
+/// (`TraceSource` in trace.h). Both implement this interface, so every
+/// runner (simulator, multi-client, updates) works with either.
+
+#ifndef BCAST_CLIENT_REQUEST_SOURCE_H_
+#define BCAST_CLIENT_REQUEST_SOURCE_H_
+
+#include <cstdint>
+
+#include "broadcast/types.h"
+
+namespace bcast {
+
+/// \brief A stream of client page requests with think-time pacing and a
+/// probability model (used by the idealized P/PIX policies and the
+/// analytic machinery).
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// The next logical page to request.
+  virtual PageId NextPage() = 0;
+
+  /// The pause before the next request, in broadcast units.
+  virtual double NextThinkTime() = 0;
+
+  /// Probability that a given request is for \p page (exact for
+  /// synthetic sources, empirical for traces); 0 outside the source's
+  /// range.
+  virtual double Probability(PageId page) const = 0;
+
+  /// One past the largest page id this source can request.
+  virtual uint64_t access_range() const = 0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CLIENT_REQUEST_SOURCE_H_

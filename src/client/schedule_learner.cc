@@ -1,0 +1,84 @@
+#include "client/schedule_learner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace bcast {
+
+void ScheduleLearner::Observe(PageId page) {
+  stream_.push_back(page);
+  const size_t i = stream_.size() - 1;
+  if (i == 0) {
+    pi_.push_back(0);
+    return;
+  }
+  uint32_t k = pi_[i - 1];
+  while (k > 0 && stream_[i] != stream_[k]) k = pi_[k - 1];
+  if (stream_[i] == stream_[k]) ++k;
+  pi_.push_back(k);
+}
+
+uint64_t ScheduleLearner::CandidatePeriod() const {
+  if (stream_.empty()) return 0;
+  return stream_.size() - pi_.back();
+}
+
+bool ScheduleLearner::converged() const {
+  const uint64_t period = CandidatePeriod();
+  return period > 0 && 2 * period <= stream_.size();
+}
+
+Result<BroadcastProgram> ScheduleLearner::Build() const {
+  if (!converged()) {
+    return Status::FailedPrecondition(
+        "period not yet confirmed; keep listening (observed " +
+        std::to_string(observed()) + " slots, candidate period " +
+        std::to_string(CandidatePeriod()) + ")");
+  }
+  const uint64_t period = CandidatePeriod();
+  std::vector<PageId> slots(stream_.begin(),
+                            stream_.begin() + static_cast<long>(period));
+
+  PageId max_page = 0;
+  bool any_page = false;
+  for (PageId p : slots) {
+    if (p == kEmptySlot) continue;
+    any_page = true;
+    max_page = std::max(max_page, p);
+  }
+  if (!any_page) {
+    return Status::InvalidArgument("observed only empty slots");
+  }
+  const PageId num_pages = max_page + 1;
+
+  // Count per-page frequencies, then group equal frequencies into disks,
+  // fastest (highest frequency) first — exactly the structure a client
+  // needs for LIX's per-disk chains.
+  std::vector<uint32_t> freq(num_pages, 0);
+  for (PageId p : slots) {
+    if (p != kEmptySlot) ++freq[p];
+  }
+  std::map<uint32_t, DiskIndex, std::greater<>> disk_of_freq;
+  for (PageId p = 0; p < num_pages; ++p) {
+    if (freq[p] > 0) disk_of_freq.emplace(freq[p], 0);
+  }
+  DiskIndex next = 0;
+  for (auto& [f, disk] : disk_of_freq) disk = next++;
+
+  std::vector<DiskIndex> disk_of(num_pages, 0);
+  for (PageId p = 0; p < num_pages; ++p) {
+    if (freq[p] == 0) {
+      return Status::InvalidArgument(
+          "page " + std::to_string(p) +
+          " never observed: page ids are not dense, cannot learn");
+    }
+    disk_of[p] = disk_of_freq[freq[p]];
+  }
+
+  return BroadcastProgram::Make(std::move(slots), num_pages,
+                                std::move(disk_of));
+}
+
+}  // namespace bcast

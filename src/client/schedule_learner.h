@@ -1,0 +1,65 @@
+/// \file schedule_learner.h
+/// \brief Learning the broadcast program by listening (extension).
+///
+/// Selective tuning (sleep between the slots you need — the paper's
+/// Section-2.1 power argument) requires knowing the schedule. With a
+/// static program a client can *learn* it off the air: observe the slot
+/// stream, detect its period, and rebuild the program — including which
+/// disk each page lives on, because relative frequencies are visible in
+/// the learned period.
+///
+/// Period detection uses the KMP prefix function: after observing a
+/// stream S, its smallest weak period is |S| − π(|S|); the learner
+/// declares convergence once that candidate is confirmed over at least
+/// two full repetitions (candidate ≤ |S|/2). This is exact for genuinely
+/// periodic sources: a wrong smaller period cannot survive a window of
+/// twice the true period.
+
+#ifndef BCAST_CLIENT_SCHEDULE_LEARNER_H_
+#define BCAST_CLIENT_SCHEDULE_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.h"
+
+namespace bcast {
+
+/// \brief Incrementally learns a periodic broadcast program from its
+/// observed slot stream.
+class ScheduleLearner {
+ public:
+  ScheduleLearner() = default;
+
+  /// Feeds one observed slot (use `kEmptySlot` for an empty slot).
+  /// Amortized O(1).
+  void Observe(PageId page);
+
+  /// Slots observed so far.
+  uint64_t observed() const { return stream_.size(); }
+
+  /// The current smallest candidate period (0 before any observation).
+  uint64_t CandidatePeriod() const;
+
+  /// True once the candidate period has been confirmed over two full
+  /// repetitions. Observing more slots never un-converges a truly
+  /// periodic source.
+  bool converged() const;
+
+  /// Builds the learned program: the first period of the observed stream
+  /// (a rotation of the transmitter's program — all frequencies and gap
+  /// structure are preserved), with per-page disks inferred by grouping
+  /// equal broadcast frequencies (highest frequency = disk 0).
+  ///
+  /// Fails if not yet converged, or if the observed page ids are not
+  /// dense in [0, max_id] (a page that never appears cannot be learned).
+  Result<BroadcastProgram> Build() const;
+
+ private:
+  std::vector<PageId> stream_;
+  std::vector<uint32_t> pi_;  // KMP prefix function of stream_
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CLIENT_SCHEDULE_LEARNER_H_

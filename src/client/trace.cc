@@ -1,0 +1,132 @@
+#include "client/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bcast {
+namespace {
+constexpr char kMagic[] = "bcast-trace v1";
+}  // namespace
+
+Result<Trace> Trace::Make(std::vector<PageId> pages, double think_time) {
+  if (pages.empty()) {
+    return Status::InvalidArgument("trace must contain requests");
+  }
+  if (think_time < 0.0 || !std::isfinite(think_time)) {
+    return Status::InvalidArgument("think_time must be finite and >= 0");
+  }
+  PageId max_page = 0;
+  for (PageId p : pages) {
+    if (p == kEmptySlot) {
+      return Status::InvalidArgument("trace contains an invalid page id");
+    }
+    max_page = std::max(max_page, p);
+  }
+  return Trace(std::move(pages), think_time, uint64_t{max_page} + 1);
+}
+
+Result<Trace> Trace::Record(RequestSource* source, uint64_t count) {
+  BCAST_CHECK(source != nullptr);
+  if (count == 0) {
+    return Status::InvalidArgument("cannot record an empty trace");
+  }
+  std::vector<PageId> pages;
+  pages.reserve(count);
+  double think = 0.0;
+  for (uint64_t i = 0; i < count; ++i) {
+    pages.push_back(source->NextPage());
+    think += source->NextThinkTime();
+  }
+  return Make(std::move(pages), think / static_cast<double>(count));
+}
+
+Status Trace::Save(std::ostream* out) const {
+  BCAST_CHECK(out != nullptr);
+  *out << kMagic << "\n";
+  *out << "requests " << pages_.size() << " think " << think_time_ << "\n";
+  *out << "pages";
+  for (PageId p : pages_) *out << ' ' << p;
+  *out << "\nend\n";
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<Trace> Trace::Load(std::istream* in) {
+  BCAST_CHECK(in != nullptr);
+  std::string line;
+  if (!std::getline(*in, line) || line != kMagic) {
+    return Status::InvalidArgument("expected header '" +
+                                   std::string(kMagic) + "'");
+  }
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("missing size line");
+  }
+  uint64_t count = 0;
+  double think = 0.0;
+  {
+    std::istringstream sizes(line);
+    std::string k1, k2;
+    if (!(sizes >> k1 >> count >> k2 >> think) || k1 != "requests" ||
+        k2 != "think") {
+      return Status::InvalidArgument("expected 'requests N think T'");
+    }
+  }
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("missing pages line");
+  }
+  std::vector<PageId> pages;
+  pages.reserve(count);
+  {
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword != "pages") {
+      return Status::InvalidArgument("expected 'pages'");
+    }
+    uint64_t id = 0;
+    while (tokens >> id) {
+      if (id >= kEmptySlot) {
+        return Status::InvalidArgument("page id out of range");
+      }
+      pages.push_back(static_cast<PageId>(id));
+    }
+  }
+  if (pages.size() != count) {
+    return Status::InvalidArgument(
+        "declared " + std::to_string(count) + " requests, found " +
+        std::to_string(pages.size()));
+  }
+  if (!std::getline(*in, line) || line != "end") {
+    return Status::InvalidArgument("expected 'end'");
+  }
+  return Make(std::move(pages), think);
+}
+
+std::vector<double> Trace::EmpiricalProbabilities() const {
+  std::vector<double> probs(access_range_, 0.0);
+  const double weight = 1.0 / static_cast<double>(pages_.size());
+  for (PageId p : pages_) probs[p] += weight;
+  return probs;
+}
+
+TraceSource::TraceSource(const Trace* trace)
+    : trace_(trace), empirical_(trace->EmpiricalProbabilities()) {
+  BCAST_CHECK(trace != nullptr);
+}
+
+PageId TraceSource::NextPage() {
+  const PageId page = trace_->pages()[cursor_];
+  cursor_ = (cursor_ + 1) % trace_->size();
+  ++replayed_;
+  return page;
+}
+
+double TraceSource::Probability(PageId page) const {
+  if (page >= empirical_.size()) return 0.0;
+  return empirical_[page];
+}
+
+}  // namespace bcast

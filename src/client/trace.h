@@ -1,0 +1,103 @@
+/// \file trace.h
+/// \brief Request traces: record, persist, and replay client workloads.
+///
+/// A trace captures the exact page-request sequence of a client, so
+/// experiments can be repeated bit-for-bit, compared across systems, or
+/// driven from captured real-world workloads instead of the synthetic
+/// Zipf model. The text format is versioned:
+///
+///     bcast-trace v1
+///     requests <count> think <mean>
+///     pages <id ...>
+///     end
+///
+/// `TraceSource` replays a trace through the standard `RequestSource`
+/// interface; its `Probability` is the trace's empirical page frequency,
+/// which is exactly what the idealized P/PIX policies should use when no
+/// ground-truth distribution exists.
+
+#ifndef BCAST_CLIENT_TRACE_H_
+#define BCAST_CLIENT_TRACE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "client/request_source.h"
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief An immutable recorded request sequence.
+class Trace {
+ public:
+  /// Builds a trace from a request sequence; \p think_time is the fixed
+  /// pacing to use on replay. Fails on an empty sequence or negative
+  /// think time.
+  static Result<Trace> Make(std::vector<PageId> pages, double think_time);
+
+  /// Records \p count requests from \p source (consuming its stream).
+  static Result<Trace> Record(RequestSource* source, uint64_t count);
+
+  /// Parses the v1 text format.
+  static Result<Trace> Load(std::istream* in);
+
+  /// Writes the v1 text format.
+  Status Save(std::ostream* out) const;
+
+  /// The recorded requests, in order.
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Requests in the trace.
+  uint64_t size() const { return pages_.size(); }
+
+  /// Fixed think time used on replay.
+  double think_time() const { return think_time_; }
+
+  /// One past the largest requested page id.
+  uint64_t access_range() const { return access_range_; }
+
+  /// Empirical request probability of each page in [0, access_range).
+  std::vector<double> EmpiricalProbabilities() const;
+
+ private:
+  Trace(std::vector<PageId> pages, double think_time,
+        uint64_t access_range)
+      : pages_(std::move(pages)),
+        think_time_(think_time),
+        access_range_(access_range) {}
+
+  std::vector<PageId> pages_;
+  double think_time_;
+  uint64_t access_range_;
+};
+
+/// \brief Replays a `Trace` as a `RequestSource`, cycling when the trace
+/// is shorter than the run.
+class TraceSource : public RequestSource {
+ public:
+  /// \param trace Must outlive the source.
+  explicit TraceSource(const Trace* trace);
+
+  PageId NextPage() override;
+  double NextThinkTime() override { return trace_->think_time(); }
+  double Probability(PageId page) const override;
+  uint64_t access_range() const override { return trace_->access_range(); }
+
+  /// How many requests have been replayed (including repeats).
+  uint64_t replayed() const { return replayed_; }
+
+  /// True once the cursor has wrapped at least once.
+  bool wrapped() const { return replayed_ > trace_->size(); }
+
+ private:
+  const Trace* trace_;
+  std::vector<double> empirical_;
+  uint64_t cursor_ = 0;
+  uint64_t replayed_ = 0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CLIENT_TRACE_H_

@@ -1,0 +1,27 @@
+#include "common/csv.h"
+
+namespace bcast {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace bcast

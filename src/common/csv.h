@@ -1,0 +1,44 @@
+/// \file csv.h
+/// \brief RFC-4180-style CSV output for experiment results.
+///
+/// Every bench binary can emit its figure/table data as CSV (for plotting)
+/// in addition to the human-readable ASCII table, so results can be diffed
+/// and post-processed.
+
+#ifndef BCAST_COMMON_CSV_H_
+#define BCAST_COMMON_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bcast {
+
+/// \brief Writes rows of fields to an ostream, quoting where required.
+class CsvWriter {
+ public:
+  /// Writes to \p out, which must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes one row. Fields containing commas, quotes or newlines are
+  /// quoted, with embedded quotes doubled.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: header row.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  /// Number of rows written so far (including headers).
+  uint64_t rows_written() const { return rows_; }
+
+  /// Escapes a single field per RFC 4180 (exposed for testing).
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_CSV_H_

@@ -1,0 +1,157 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace bcast {
+namespace {
+
+Status ParseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(text);
+  const unsigned long long v = std::strtoull(owned.c_str(), &end, 10);
+  if (errno != 0 || end != owned.c_str() + owned.size() ||
+      owned[0] == '-') {
+    return Status::InvalidArgument("not a non-negative integer: " + owned);
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Status ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(text);
+  const double v = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end != owned.c_str() + owned.size()) {
+    return Status::InvalidArgument("not a number: " + owned);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseBool(std::string_view text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text.empty()) {
+    *out = true;
+    return Status::OK();
+  }
+  if (text == "false" || text == "0" || text == "no") {
+    *out = false;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("not a boolean: " + std::string(text));
+}
+
+}  // namespace
+
+void FlagSet::Register(Flag flag) {
+  BCAST_CHECK(!flag.name.empty()) << "flag needs a name";
+  BCAST_CHECK(Find(flag.name) == nullptr)
+      << "duplicate flag --" << flag.name;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::AddUint64(std::string name, uint64_t* target,
+                        std::string help) {
+  BCAST_CHECK(target != nullptr);
+  Register(Flag{std::move(name), std::move(help), std::to_string(*target),
+                /*is_bool=*/false, [target](std::string_view v) {
+                  return ParseUint64(v, target);
+                }});
+}
+
+void FlagSet::AddDouble(std::string name, double* target, std::string help) {
+  BCAST_CHECK(target != nullptr);
+  Register(Flag{std::move(name), std::move(help), FormatDouble(*target, 3),
+                /*is_bool=*/false, [target](std::string_view v) {
+                  return ParseDouble(v, target);
+                }});
+}
+
+void FlagSet::AddString(std::string name, std::string* target,
+                        std::string help) {
+  BCAST_CHECK(target != nullptr);
+  Register(Flag{std::move(name), std::move(help), *target,
+                /*is_bool=*/false, [target](std::string_view v) {
+                  *target = std::string(v);
+                  return Status::OK();
+                }});
+}
+
+void FlagSet::AddBool(std::string name, bool* target, std::string help) {
+  BCAST_CHECK(target != nullptr);
+  Register(Flag{std::move(name), std::move(help),
+                *target ? "true" : "false",
+                /*is_bool=*/true, [target](std::string_view v) {
+                  return ParseBool(v, target);
+                }});
+}
+
+const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+
+    std::string_view name = arg;
+    std::string_view value;
+    bool have_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + std::string(name));
+    }
+    if (!have_value && !flag->is_bool) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + std::string(name) +
+                                       " needs a value");
+      }
+      value = argv[++i];
+    }
+    Status st = flag->set(value);
+    if (!st.ok()) {
+      return Status::InvalidArgument("flag --" + std::string(name) + ": " +
+                                     st.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::HelpText() const {
+  std::string out = "Usage: " + program_name_ + " [flags]\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name;
+    if (!flag.is_bool) out += "=<value>";
+    out += "\n      " + flag.help + " (default: " + flag.default_value +
+           ")\n";
+  }
+  return out;
+}
+
+}  // namespace bcast

@@ -1,0 +1,69 @@
+/// \file flags.h
+/// \brief A small command-line flag parser for the tools and examples.
+///
+/// Supports `--name=value`, `--name value`, `--bool_flag` /
+/// `--bool_flag=false`, and `--help` generation. No global state: callers
+/// build a `FlagSet`, register typed flags bound to local variables, and
+/// parse.
+
+#ifndef BCAST_COMMON_FLAGS_H_
+#define BCAST_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief A set of typed command-line flags bound to caller variables.
+class FlagSet {
+ public:
+  /// \param program_name Shown in `--help` output.
+  explicit FlagSet(std::string program_name)
+      : program_name_(std::move(program_name)) {}
+
+  /// \name Flag registration. The bound pointer must outlive Parse().
+  /// The current value of the target is used as the default shown in
+  /// help. Names must be unique and non-empty.
+  /// @{
+  void AddUint64(std::string name, uint64_t* target, std::string help);
+  void AddDouble(std::string name, double* target, std::string help);
+  void AddString(std::string name, std::string* target, std::string help);
+  void AddBool(std::string name, bool* target, std::string help);
+  /// @}
+
+  /// Parses argv (excluding argv[0]). Unknown flags, malformed values,
+  /// and positional arguments produce errors. `--help` sets
+  /// `help_requested()` and returns OK without touching targets further.
+  Status Parse(int argc, const char* const* argv);
+
+  /// True when `--help` was seen.
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the help text.
+  std::string HelpText() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_value;
+    bool is_bool;
+    std::function<Status(std::string_view)> set;
+  };
+
+  void Register(Flag flag);
+  const Flag* Find(std::string_view name) const;
+
+  std::string program_name_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_FLAGS_H_

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bcast {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+// Strips leading directories so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogThreshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool emit = static_cast<int>(level_) >=
+                        g_threshold.load(std::memory_order_relaxed) ||
+                    level_ == LogLevel::kFatal;
+  if (emit) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_),
+                 Basename(file_), line_, stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace bcast

@@ -1,0 +1,53 @@
+#include "common/math_util.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    const uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Result<uint64_t> CheckedMul(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer overflow in multiplication");
+  }
+  return out;
+}
+
+Result<uint64_t> Lcm(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) {
+    return Status::InvalidArgument("Lcm of zero is undefined here");
+  }
+  const uint64_t g = Gcd(a, b);
+  return CheckedMul(a / g, b);
+}
+
+Result<uint64_t> LcmOfAll(const std::vector<uint64_t>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("LcmOfAll: empty input");
+  }
+  uint64_t acc = 1;
+  for (uint64_t v : values) {
+    if (v == 0) {
+      return Status::InvalidArgument("LcmOfAll: values must be positive");
+    }
+    Result<uint64_t> next = Lcm(acc, v);
+    if (!next.ok()) return next.status();
+    acc = *next;
+  }
+  return acc;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  BCAST_CHECK_GT(b, 0u);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+}  // namespace bcast

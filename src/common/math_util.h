@@ -1,0 +1,37 @@
+/// \file math_util.h
+/// \brief Checked integer math used by broadcast program generation.
+///
+/// The Section-2.2 algorithm needs the LCM of the disks' relative
+/// frequencies, which can overflow for adversarial inputs (the paper's
+/// "141 : 98" example is already a ~14,000-slot period). These helpers
+/// surface overflow as a Status instead of wrapping.
+
+#ifndef BCAST_COMMON_MATH_UTIL_H_
+#define BCAST_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcast {
+
+/// Greatest common divisor; Gcd(0, 0) == 0.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Least common multiple of two values, or kOutOfRange on uint64 overflow.
+Result<uint64_t> Lcm(uint64_t a, uint64_t b);
+
+/// Least common multiple of a non-empty list of positive values, or an
+/// error if the list is empty, contains zero, or the LCM overflows.
+Result<uint64_t> LcmOfAll(const std::vector<uint64_t>& values);
+
+/// Ceiling division for non-negative integers; \p b must be positive.
+uint64_t CeilDiv(uint64_t a, uint64_t b);
+
+/// a * b, or kOutOfRange on uint64 overflow.
+Result<uint64_t> CheckedMul(uint64_t a, uint64_t b);
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_MATH_UTIL_H_

@@ -1,0 +1,99 @@
+/// \file stats.h
+/// \brief Streaming statistics used by the simulator's metrics layer.
+
+#ifndef BCAST_COMMON_STATS_H_
+#define BCAST_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bcast {
+
+/// \brief Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStat {
+ public:
+  /// Folds one observation into the statistic.
+  void Add(double x);
+
+  /// Merges another statistic into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+  /// Resets to the empty state.
+  void Reset() { *this = RunningStat(); }
+
+  /// Number of observations.
+  uint64_t count() const { return n_; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Half-width of the ~95% normal-approximation confidence interval of
+  /// the mean; 0 for fewer than two observations.
+  double ci95_halfwidth() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width-bucket histogram over [0, bucket_width * num_buckets),
+/// with an overflow bucket. Used to study response-time distributions
+/// (e.g. the Bus Stop Paradox shows up as a fat tail, not just a higher
+/// mean).
+class Histogram {
+ public:
+  /// Creates a histogram of \p num_buckets buckets of width
+  /// \p bucket_width (> 0) each.
+  Histogram(double bucket_width, uint64_t num_buckets);
+
+  /// Records one observation. Negative values clamp to the first bucket;
+  /// values beyond the range fall into the overflow bucket.
+  void Add(double x);
+
+  /// Total number of recorded observations.
+  uint64_t count() const { return count_; }
+
+  /// Number of regular (non-overflow) buckets.
+  uint64_t num_buckets() const { return counts_.size() - 1; }
+
+  /// Count in regular bucket \p i.
+  uint64_t bucket_count(uint64_t i) const { return counts_[i]; }
+
+  /// Count of observations beyond the last regular bucket.
+  uint64_t overflow_count() const { return counts_.back(); }
+
+  /// Inclusive lower edge of bucket \p i.
+  double bucket_lower(uint64_t i) const;
+
+  /// Approximate quantile in [0, 1] by linear interpolation inside the
+  /// containing bucket; returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  double width_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> counts_;  // last element is the overflow bucket
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_STATS_H_

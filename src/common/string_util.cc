@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bcast {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<std::vector<uint64_t>> ParseUint64List(std::string_view s) {
+  std::vector<uint64_t> out;
+  for (const std::string& field : Split(s, ',')) {
+    if (field.empty()) {
+      return Status::InvalidArgument("empty field in integer list");
+    }
+    uint64_t value = 0;
+    for (char c : field) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("not an integer: " + field);
+      }
+      const uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return Status::OutOfRange("integer overflow: " + field);
+      }
+      value = value * 10 + digit;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace bcast

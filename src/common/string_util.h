@@ -1,0 +1,38 @@
+/// \file string_util.h
+/// \brief Small string formatting helpers shared by the output layers.
+
+#ifndef BCAST_COMMON_STRING_UTIL_H_
+#define BCAST_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcast {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats \p value with \p precision digits after the decimal point.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Joins \p parts with \p sep: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits \p s on \p sep, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True iff \p s begins with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a comma-separated list of non-negative integers
+/// ("500,2000,2500"). Rejects empty fields and non-digits.
+Result<std::vector<uint64_t>> ParseUint64List(std::string_view s);
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_STRING_UTIL_H_

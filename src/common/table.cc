@@ -1,0 +1,78 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace bcast {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BCAST_CHECK(!headers_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  BCAST_CHECK_LE(cells.size(), headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_cell = [&](const std::string& cell, size_t c, bool header) {
+    const size_t pad = width[c] - cell.size();
+    const bool right = !header && LooksNumeric(cell);
+    if (right) out << std::string(pad, ' ') << cell;
+    else out << cell << std::string(pad, ' ');
+  };
+
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out << "  ";
+    print_cell(headers_[c], c, /*header=*/true);
+  }
+  out << '\n';
+  size_t rule = 0;
+  for (size_t c = 0; c < headers_.size(); ++c) rule += width[c] + (c > 0 ? 2 : 0);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      print_cell(row[c], c, /*header=*/false);
+    }
+    out << '\n';
+  }
+}
+
+std::string AsciiTable::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace bcast

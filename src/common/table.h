@@ -1,0 +1,44 @@
+/// \file table.h
+/// \brief Fixed-width ASCII table rendering for bench/example output.
+///
+/// The bench binaries print each reproduced paper table/figure as an
+/// aligned text table (matching the "rows/series the paper reports"), so
+/// results are readable directly in a terminal and in the captured
+/// bench_output.txt.
+
+#ifndef BCAST_COMMON_TABLE_H_
+#define BCAST_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bcast {
+
+/// \brief Accumulates rows of string cells and renders them aligned.
+class AsciiTable {
+ public:
+  /// Creates a table with the given column \p headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends one row; it may have fewer cells than there are columns
+  /// (missing cells render empty) but not more.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, right-aligning numeric-looking cells.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_TABLE_H_

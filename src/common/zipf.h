@@ -1,0 +1,101 @@
+/// \file zipf.h
+/// \brief Zipf-distributed sampling, including the paper's region scheme.
+///
+/// The paper (Section 4.1) draws client requests from a Zipf distribution
+/// with parameter theta applied to *regions* of `RegionSize` pages: the
+/// probability of accessing region r (1-based) is proportional to
+/// (1/r)^theta, and pages within a region are equiprobable. Region 1 holds
+/// the hottest pages. This file implements both the plain Zipf distribution
+/// and the region variant.
+
+#ifndef BCAST_COMMON_ZIPF_H_
+#define BCAST_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bcast {
+
+/// \brief A Zipf(theta) distribution over ranks 1..n.
+///
+/// P(rank = i) = (1/i)^theta / H where H = sum_j (1/j)^theta.
+/// theta = 0 degenerates to uniform; larger theta is more skewed.
+/// Sampling is O(log n) by binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  /// Creates a distribution over ranks 1..\p n with skew \p theta.
+  /// Fails if n == 0 or theta < 0.
+  static Result<ZipfDistribution> Make(uint64_t n, double theta);
+
+  /// Number of ranks.
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+
+  /// Skew parameter.
+  double theta() const { return theta_; }
+
+  /// Probability of \p rank (1-based, in [1, n]).
+  double Probability(uint64_t rank) const;
+
+  /// Draws a rank in [1, n] from \p rng.
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  ZipfDistribution(std::vector<double> cdf, double theta)
+      : cdf_(std::move(cdf)), theta_(theta) {}
+
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1); back() == 1.
+  double theta_;
+};
+
+/// \brief The paper's page-access distribution: Zipf over fixed-size
+/// regions of the logical page range, uniform within a region.
+///
+/// Logical page 0 is the hottest. With `access_range` pages and regions of
+/// `region_size` pages, there are `access_range / region_size` regions
+/// (the paper uses 1000 / 50 = 20; a final partial region is allowed and
+/// weighted by its actual page count).
+class RegionZipfGenerator {
+ public:
+  /// Creates a generator over logical pages [0, \p access_range).
+  /// Fails if access_range == 0, region_size == 0, or theta < 0.
+  static Result<RegionZipfGenerator> Make(uint64_t access_range,
+                                          uint64_t region_size, double theta);
+
+  /// Number of logical pages that have non-zero probability.
+  uint64_t access_range() const { return access_range_; }
+
+  /// Pages per region (last region may be smaller).
+  uint64_t region_size() const { return region_size_; }
+
+  /// Number of regions.
+  uint64_t num_regions() const { return static_cast<uint64_t>(region_cdf_.size()); }
+
+  /// Exact access probability of logical \p page; 0 outside the range.
+  double Probability(uint64_t page) const;
+
+  /// Draws a logical page in [0, access_range) from \p rng.
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  RegionZipfGenerator(uint64_t access_range, uint64_t region_size,
+                      std::vector<double> region_cdf,
+                      std::vector<double> page_prob_by_region)
+      : access_range_(access_range),
+        region_size_(region_size),
+        region_cdf_(std::move(region_cdf)),
+        page_prob_by_region_(std::move(page_prob_by_region)) {}
+
+  uint64_t PagesInRegion(uint64_t region) const;
+
+  uint64_t access_range_;
+  uint64_t region_size_;
+  std::vector<double> region_cdf_;           // cumulative region probability
+  std::vector<double> page_prob_by_region_;  // per-page probability in region
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_COMMON_ZIPF_H_

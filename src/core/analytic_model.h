@@ -1,0 +1,60 @@
+/// \file analytic_model.h
+/// \brief Closed-form response-time prediction for idealized caching.
+///
+/// For the idealized policies the steady-state cache content is
+/// deterministic: P holds the CacheSize pages with the highest access
+/// probability, PIX those with the highest probability/frequency ratio
+/// (ties broken toward lower page ids, matching `StaticValueCache`).
+/// Expected response time then has a closed form:
+///
+///     E[RT] = sum over uncached pages i of  p_i * (E[delay_i] + 1)
+///
+/// with E[delay_i] from the program's gap structure (analysis.h). This
+/// module computes that prediction for any (program, mapping, workload)
+/// triple — including Offset and Noise — and is cross-validated against
+/// the discrete-event simulator in tests and bench/ablation_analytic:
+/// agreement within a few percent is evidence that both are right, since
+/// the two implementations share no code path for the actual modelling.
+///
+/// The residual error is itself informative: request times are *not*
+/// uniformly random (a client thinks for a fixed time after each fetch,
+/// correlating request phase with the schedule), which the closed form
+/// ignores. See EXPERIMENTS.md (ablation A5, config D1).
+
+#ifndef BCAST_CORE_ANALYTIC_MODEL_H_
+#define BCAST_CORE_ANALYTIC_MODEL_H_
+
+#include <vector>
+
+#include "core/params.h"
+
+namespace bcast {
+
+/// \brief The closed-form prediction and its ingredients.
+struct AnalyticPrediction {
+  /// Predicted mean response time (broadcast units, incl. transmission).
+  double response_time = 0.0;
+
+  /// Predicted steady-state cache hit rate.
+  double hit_rate = 0.0;
+
+  /// Predicted fraction of requests served from each disk
+  /// (index 0 = fastest); together with hit_rate these sum to 1.
+  std::vector<double> disk_fractions;
+
+  /// The logical pages predicted to be cached in steady state.
+  std::vector<PageId> cached_pages;
+};
+
+/// \brief Predicts the steady-state behaviour of `params` without
+/// simulating, for the idealized policies only.
+///
+/// Supported: `PolicyKind::kP`, `PolicyKind::kPix`, and any policy when
+/// `cache_size == 1` (the no-cache baseline, predicted as cache-less).
+/// Returns kUnimplemented for the history-dependent policies (LRU, LIX,
+/// ...), whose steady state has no closed form.
+Result<AnalyticPrediction> PredictResponse(const SimParams& params);
+
+}  // namespace bcast
+
+#endif  // BCAST_CORE_ANALYTIC_MODEL_H_

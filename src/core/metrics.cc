@@ -1,0 +1,38 @@
+#include "core/metrics.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+void ClientMetrics::RecordHit(double response_time) {
+  response_time_.Add(response_time);
+  ++cache_hits_;
+}
+
+void ClientMetrics::RecordMiss(double response_time, DiskIndex disk) {
+  BCAST_CHECK_LT(disk, served_per_disk_.size());
+  response_time_.Add(response_time);
+  ++served_per_disk_[disk];
+}
+
+double ClientMetrics::hit_rate() const {
+  const uint64_t total = requests();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(cache_hits_) / static_cast<double>(total);
+}
+
+std::vector<double> ClientMetrics::LocationFractions() const {
+  std::vector<double> fractions(1 + served_per_disk_.size(), 0.0);
+  const uint64_t total = requests();
+  if (total == 0) return fractions;
+  fractions[0] =
+      static_cast<double>(cache_hits_) / static_cast<double>(total);
+  for (size_t d = 0; d < served_per_disk_.size(); ++d) {
+    fractions[1 + d] =
+        static_cast<double>(served_per_disk_[d]) / static_cast<double>(total);
+  }
+  return fractions;
+}
+
+}  // namespace bcast

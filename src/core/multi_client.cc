@@ -1,0 +1,173 @@
+#include "core/multi_client.h"
+
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "broadcast/channel.h"
+#include "broadcast/generator.h"
+#include "client/client.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "des/simulation.h"
+
+namespace bcast {
+namespace {
+
+// Sub-stream tags. Client c uses streams (c, kClientRequest) and
+// (c, kClientNoise) so adding/removing a client never disturbs another's
+// randomness.
+constexpr uint64_t kClientRequest = 1001;
+constexpr uint64_t kClientNoise = 1002;
+constexpr uint64_t kProgramStream = 3;
+
+}  // namespace
+
+uint64_t MultiClientParams::ServerDbSize() const {
+  return std::accumulate(disk_sizes.begin(), disk_sizes.end(), uint64_t{0});
+}
+
+Status MultiClientParams::Validate() const {
+  if (clients.empty()) {
+    return Status::InvalidArgument("population needs at least one client");
+  }
+  const uint64_t db = ServerDbSize();
+  Result<DiskLayout> layout =
+      rel_freqs.empty() ? MakeDeltaLayout(disk_sizes, delta)
+                        : MakeLayout(disk_sizes, rel_freqs);
+  if (!layout.ok()) return layout.status();
+  for (size_t c = 0; c < clients.size(); ++c) {
+    const ClientSpec& spec = clients[c];
+    const std::string who = "client " + std::to_string(c) + ": ";
+    if (spec.access_range == 0 || spec.access_range > db) {
+      return Status::InvalidArgument(who +
+                                     "access_range must be in [1, DBSize]");
+    }
+    if (spec.region_size == 0) {
+      return Status::InvalidArgument(who + "region_size must be positive");
+    }
+    if (spec.cache_size == 0) {
+      return Status::InvalidArgument(who + "cache_size must be >= 1");
+    }
+    if (spec.interest_shift >= db) {
+      return Status::InvalidArgument(who + "interest_shift must be < DBSize");
+    }
+    if (spec.offset > db) {
+      return Status::InvalidArgument(who + "offset must be <= DBSize");
+    }
+    if (spec.noise_percent < 0.0 || spec.noise_percent > 100.0) {
+      return Status::InvalidArgument(who + "noise must be in [0, 100]");
+    }
+    if (spec.think_time < 0.0) {
+      return Status::InvalidArgument(who + "think_time must be >= 0");
+    }
+  }
+  if (measured_requests == 0) {
+    return Status::InvalidArgument("measured_requests must be positive");
+  }
+  return Status::OK();
+}
+
+Result<MultiClientResult> RunMultiClientSimulation(
+    const MultiClientParams& params) {
+  BCAST_RETURN_IF_ERROR(params.Validate());
+
+  Result<DiskLayout> layout =
+      params.rel_freqs.empty() ? MakeDeltaLayout(params.disk_sizes,
+                                                 params.delta)
+                               : MakeLayout(params.disk_sizes,
+                                            params.rel_freqs);
+  if (!layout.ok()) return layout.status();
+
+  const Rng master(params.seed);
+  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+    switch (params.program_kind) {
+      case ProgramKind::kMultiDisk:
+        return GenerateMultiDiskProgram(*layout);
+      case ProgramKind::kSkewed:
+        return GenerateSkewedProgram(*layout);
+      case ProgramKind::kRandom: {
+        Result<BroadcastProgram> reference =
+            GenerateMultiDiskProgram(*layout);
+        if (!reference.ok()) return reference.status();
+        Rng rng = master.Split(kProgramStream);
+        return GenerateRandomProgram(*layout, reference->period(), &rng);
+      }
+    }
+    return Status::Internal("unreachable program kind");
+  }();
+  if (!program.ok()) return program.status();
+
+  const uint64_t total = layout->TotalPages();
+  des::Simulation sim;
+  BroadcastChannel channel(&sim, &*program);
+
+  // Assemble every client's private machinery. Objects are kept in
+  // index-stable storage so the spawned coroutines can reference them.
+  struct ClientWorld {
+    std::unique_ptr<Mapping> mapping;
+    std::unique_ptr<AccessGenerator> gen;
+    std::unique_ptr<SimCatalog> catalog;
+    std::unique_ptr<CachePolicy> cache;
+    std::unique_ptr<Client> client;
+  };
+  std::vector<ClientWorld> worlds(params.clients.size());
+
+  for (size_t c = 0; c < params.clients.size(); ++c) {
+    const ClientSpec& spec = params.clients[c];
+    const Rng client_rng = master.Split(1000 + c);
+
+    // Interest shift s composes with the offset rotation: the client's
+    // logical page l maps to physical (l + s - offset) mod total, i.e. an
+    // effective offset of (offset - s) mod total.
+    const uint64_t effective_offset =
+        (spec.offset + total - spec.interest_shift % total) % total;
+    NoiseModel noise;
+    noise.percent = spec.noise_percent;
+    noise.coin_pages = spec.noise_scope == NoiseScope::kAccessRange
+                           ? spec.access_range
+                           : 0;
+    Result<Mapping> mapping = Mapping::Make(
+        *layout, effective_offset, noise, client_rng.Split(kClientNoise));
+    if (!mapping.ok()) return mapping.status();
+    worlds[c].mapping = std::make_unique<Mapping>(std::move(*mapping));
+
+    Result<AccessGenerator> gen = AccessGenerator::Make(
+        spec.access_range, spec.region_size, spec.theta, spec.think_time,
+        spec.think_kind, client_rng.Split(kClientRequest));
+    if (!gen.ok()) return gen.status();
+    worlds[c].gen = std::make_unique<AccessGenerator>(std::move(*gen));
+
+    worlds[c].catalog = std::make_unique<SimCatalog>(
+        worlds[c].gen.get(), &*program, worlds[c].mapping.get());
+    Result<std::unique_ptr<CachePolicy>> cache = MakeCachePolicy(
+        spec.policy, spec.cache_size, static_cast<PageId>(total),
+        worlds[c].catalog.get(), spec.policy_options);
+    if (!cache.ok()) return cache.status();
+    worlds[c].cache = std::move(*cache);
+
+    worlds[c].client = std::make_unique<Client>(
+        &sim, &channel, worlds[c].cache.get(), worlds[c].gen.get(),
+        worlds[c].mapping.get(),
+        ClientRunConfig{params.measured_requests,
+                        params.max_warmup_requests});
+  }
+
+  for (auto& world : worlds) sim.Spawn(world.client->Run());
+  sim.Run();
+
+  MultiClientResult result;
+  for (size_t c = 0; c < worlds.size(); ++c) {
+    BCAST_CHECK(worlds[c].client->finished())
+        << "client " << c << " did not finish";
+    result.per_client.push_back(worlds[c].client->metrics());
+    const double mean = worlds[c].client->metrics().mean_response_time();
+    result.mean_response_times.push_back(mean);
+    result.response_across_clients.Add(mean);
+  }
+  result.end_time = sim.Now();
+  return result;
+}
+
+}  // namespace bcast

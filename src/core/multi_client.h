@@ -1,0 +1,109 @@
+/// \file multi_client.h
+/// \brief Simulating a heterogeneous client population on one broadcast.
+///
+/// Section 3 of the paper: "tuning the performance of the broadcast is a
+/// zero-sum game; improving the broadcast for any one access probability
+/// distribution will hurt the performance of clients with different access
+/// distributions." The single-client simulator models this indirectly with
+/// Noise; this module models it directly: any number of clients, each with
+/// its own access distribution, cache and policy, all listening to the
+/// same channel (a broadcast never contends, so clients interact only
+/// through how well the program fits each of them).
+///
+/// Client heterogeneity is expressed with `interest_shift`: client c's
+/// hottest logical page corresponds to physical page `interest_shift`, so
+/// populations with spread-out shifts want different parts of the database
+/// hot. A server program (physical page 0 = hottest by the *server's*
+/// ranking) can then favor some clients over others.
+
+#ifndef BCAST_CORE_MULTI_CLIENT_H_
+#define BCAST_CORE_MULTI_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/params.h"
+
+namespace bcast {
+
+/// \brief One client of the population.
+struct ClientSpec {
+  /// Pages this client ever requests (its own logical numbering).
+  uint64_t access_range = 1000;
+
+  /// Zipf skew and region size of its access distribution.
+  double theta = 0.95;
+  uint64_t region_size = 50;
+
+  /// Where in the physical database this client's interest centers:
+  /// its hottest logical page maps to physical `interest_shift` (before
+  /// offset/noise). 0 = perfectly aligned with the server's ranking.
+  uint64_t interest_shift = 0;
+
+  /// Per-client Offset (hot pages pushed to the slow-disk tail) and Noise.
+  uint64_t offset = 0;
+  double noise_percent = 0.0;
+  NoiseScope noise_scope = NoiseScope::kAccessRange;
+
+  /// Cache and policy.
+  uint64_t cache_size = 500;
+  PolicyKind policy = PolicyKind::kLix;
+  PolicyOptions policy_options;
+
+  /// Think-time model.
+  double think_time = 2.0;
+  ThinkTimeKind think_kind = ThinkTimeKind::kFixed;
+};
+
+/// \brief Population-level experiment parameters.
+struct MultiClientParams {
+  /// Server side: disks, frequencies, program kind — as in SimParams.
+  std::vector<uint64_t> disk_sizes = {500, 2000, 2500};
+  uint64_t delta = 2;
+  std::vector<uint64_t> rel_freqs;  ///< overrides delta when non-empty
+  ProgramKind program_kind = ProgramKind::kMultiDisk;
+
+  /// The clients. Must be non-empty.
+  std::vector<ClientSpec> clients;
+
+  /// Requests measured per client after its warm-up.
+  uint64_t measured_requests = 50000;
+
+  /// Warm-up request cap per client.
+  uint64_t max_warmup_requests = 2000000;
+
+  /// Master seed; client c draws from independent sub-streams.
+  uint64_t seed = 42;
+
+  /// Total pages broadcast.
+  uint64_t ServerDbSize() const;
+
+  /// Structural validation.
+  Status Validate() const;
+};
+
+/// \brief Per-population results.
+struct MultiClientResult {
+  /// Per-client metrics, in `clients` order.
+  std::vector<ClientMetrics> per_client;
+
+  /// Mean response time of each client (convenience).
+  std::vector<double> mean_response_times;
+
+  /// Statistics over the per-client means: the population's fairness
+  /// picture (max/min spread, etc.).
+  RunningStat response_across_clients;
+
+  /// Simulated end time.
+  double end_time = 0.0;
+};
+
+/// \brief Runs the population against one shared broadcast.
+/// Deterministic in `params.seed`.
+Result<MultiClientResult> RunMultiClientSimulation(
+    const MultiClientParams& params);
+
+}  // namespace bcast
+
+#endif  // BCAST_CORE_MULTI_CLIENT_H_

@@ -1,0 +1,75 @@
+#include "core/params.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "broadcast/disk_config.h"
+#include "common/string_util.h"
+
+namespace bcast {
+
+uint64_t SimParams::ServerDbSize() const {
+  return std::accumulate(disk_sizes.begin(), disk_sizes.end(), uint64_t{0});
+}
+
+Status SimParams::Validate() const {
+  if (disk_sizes.empty()) {
+    return Status::InvalidArgument("disk_sizes must not be empty");
+  }
+  for (uint64_t s : disk_sizes) {
+    if (s == 0) return Status::InvalidArgument("disk sizes must be positive");
+  }
+  if (!rel_freqs.empty() && rel_freqs.size() != disk_sizes.size()) {
+    return Status::InvalidArgument(
+        "rel_freqs must match disk_sizes in length (or be empty)");
+  }
+  const uint64_t db = ServerDbSize();
+  if (access_range == 0 || access_range > db) {
+    return Status::InvalidArgument(
+        "access_range must be in [1, ServerDBSize]");
+  }
+  if (region_size == 0) {
+    return Status::InvalidArgument("region_size must be positive");
+  }
+  if (theta < 0.0 || !std::isfinite(theta)) {
+    return Status::InvalidArgument("theta must be finite and >= 0");
+  }
+  if (cache_size == 0) {
+    return Status::InvalidArgument(
+        "cache_size must be >= 1 (1 disables caching)");
+  }
+  if (think_time < 0.0 || !std::isfinite(think_time)) {
+    return Status::InvalidArgument("think_time must be finite and >= 0");
+  }
+  if (offset > db) {
+    return Status::InvalidArgument("offset must be <= ServerDBSize");
+  }
+  if (noise_percent < 0.0 || noise_percent > 100.0) {
+    return Status::InvalidArgument("noise_percent must be in [0, 100]");
+  }
+  if (measured_requests == 0) {
+    return Status::InvalidArgument("measured_requests must be positive");
+  }
+  // Delegate frequency validation to the layout builder.
+  Result<DiskLayout> layout =
+      rel_freqs.empty() ? MakeDeltaLayout(disk_sizes, delta)
+                        : MakeLayout(disk_sizes, rel_freqs);
+  if (!layout.ok()) return layout.status();
+  return Status::OK();
+}
+
+std::string SimParams::ToString() const {
+  std::vector<std::string> sizes;
+  sizes.reserve(disk_sizes.size());
+  for (uint64_t s : disk_sizes) sizes.push_back(std::to_string(s));
+  return StrFormat(
+      "disks<%s> delta=%llu policy=%s cache=%llu offset=%llu noise=%.0f%% "
+      "theta=%.2f seed=%llu",
+      Join(sizes, ",").c_str(), static_cast<unsigned long long>(delta),
+      PolicyKindName(policy).c_str(),
+      static_cast<unsigned long long>(cache_size),
+      static_cast<unsigned long long>(offset), noise_percent, theta,
+      static_cast<unsigned long long>(seed));
+}
+
+}  // namespace bcast

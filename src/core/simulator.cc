@@ -1,0 +1,103 @@
+#include "core/simulator.h"
+
+#include <utility>
+
+#include "broadcast/channel.h"
+#include "broadcast/generator.h"
+#include "client/client.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "des/simulation.h"
+
+namespace bcast {
+
+using internal::kNoiseStream;
+using internal::kProgramStream;
+using internal::kRequestStream;
+
+namespace {
+
+Result<DiskLayout> LayoutFromParams(const SimParams& params) {
+  return params.rel_freqs.empty()
+             ? MakeDeltaLayout(params.disk_sizes, params.delta)
+             : MakeLayout(params.disk_sizes, params.rel_freqs);
+}
+
+}  // namespace
+
+Result<BroadcastProgram> BuildProgram(const SimParams& params) {
+  BCAST_RETURN_IF_ERROR(params.Validate());
+  Result<DiskLayout> layout = LayoutFromParams(params);
+  if (!layout.ok()) return layout.status();
+
+  switch (params.program_kind) {
+    case ProgramKind::kMultiDisk:
+      return GenerateMultiDiskProgram(*layout);
+    case ProgramKind::kSkewed:
+      return GenerateSkewedProgram(*layout);
+    case ProgramKind::kRandom: {
+      // Match the multi-disk program's period so bandwidth and cycle
+      // length are comparable.
+      Result<BroadcastProgram> reference = GenerateMultiDiskProgram(*layout);
+      if (!reference.ok()) return reference.status();
+      Rng rng = Rng(params.seed).Split(kProgramStream);
+      return GenerateRandomProgram(*layout, reference->period(), &rng);
+    }
+  }
+  return Status::Internal("unreachable program kind");
+}
+
+Result<SimResult> RunSimulation(const SimParams& params) {
+  BCAST_RETURN_IF_ERROR(params.Validate());
+
+  Result<DiskLayout> layout = LayoutFromParams(params);
+  if (!layout.ok()) return layout.status();
+
+  Result<BroadcastProgram> program = BuildProgram(params);
+  if (!program.ok()) return program.status();
+
+  const Rng master(params.seed);
+  NoiseModel noise;
+  noise.percent = params.noise_percent;
+  noise.coin_pages = params.noise_scope == NoiseScope::kAccessRange
+                         ? params.access_range
+                         : 0;
+  noise.destination = params.noise_destination;
+  Result<Mapping> mapping = Mapping::Make(*layout, params.offset, noise,
+                                          master.Split(kNoiseStream));
+  if (!mapping.ok()) return mapping.status();
+
+  Result<AccessGenerator> gen = AccessGenerator::Make(
+      params.access_range, params.region_size, params.theta,
+      params.think_time, params.think_kind, master.Split(kRequestStream));
+  if (!gen.ok()) return gen.status();
+
+  SimCatalog catalog(&*gen, &*program, &*mapping);
+  Result<std::unique_ptr<CachePolicy>> cache = MakeCachePolicy(
+      params.policy, params.cache_size,
+      static_cast<PageId>(params.ServerDbSize()), &catalog,
+      params.policy_options);
+  if (!cache.ok()) return cache.status();
+
+  des::Simulation sim;
+  BroadcastChannel channel(&sim, &*program);
+  Client client(&sim, &channel, cache->get(), &*gen, &*mapping,
+                ClientRunConfig{params.measured_requests,
+                                params.max_warmup_requests,
+                                params.knows_schedule});
+  sim.Spawn(client.Run());
+  sim.Run();
+
+  BCAST_CHECK(client.finished()) << "client did not complete its requests";
+
+  SimResult result;
+  result.metrics = client.metrics();
+  result.warmup_requests = client.warmup_requests();
+  result.end_time = sim.Now();
+  result.period = program->period();
+  result.empty_slots = program->EmptySlots();
+  result.perturbed_pages = mapping->PerturbedPages();
+  return result;
+}
+
+}  // namespace bcast

@@ -1,0 +1,86 @@
+/// \file simulator.h
+/// \brief End-to-end wiring: params → program + mapping + cache + client →
+/// one simulated run → results.
+
+#ifndef BCAST_CORE_SIMULATOR_H_
+#define BCAST_CORE_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/program.h"
+#include "client/mapping.h"
+#include "core/metrics.h"
+#include "core/params.h"
+
+namespace bcast {
+
+namespace internal {
+/// Named RNG sub-streams shared by every runner (simulator, analytic
+/// model, updates): changing one experimental factor must never change
+/// the randomness feeding another, and the analytic model must see the
+/// exact same noise mapping the simulator does.
+inline constexpr uint64_t kRequestStream = 1;
+inline constexpr uint64_t kNoiseStream = 2;
+inline constexpr uint64_t kProgramStream = 3;
+inline constexpr uint64_t kUpdateStream = 7;
+}  // namespace internal
+
+/// \brief Everything a run produced.
+struct SimResult {
+  /// Measured-phase client metrics.
+  ClientMetrics metrics{1};
+
+  /// Requests spent warming the cache.
+  uint64_t warmup_requests = 0;
+
+  /// Simulated clock at the end of the run (broadcast units).
+  double end_time = 0.0;
+
+  /// Broadcast period of the generated program (slots).
+  uint64_t period = 0;
+
+  /// Empty (wasted) slots per period in the generated program.
+  uint64_t empty_slots = 0;
+
+  /// Logical pages whose mapping Noise actually moved.
+  uint64_t perturbed_pages = 0;
+};
+
+/// \brief The `PageCatalog` a simulation exposes to its cache policy:
+/// exact probabilities from the access generator, exact frequencies and
+/// disk indices from the program through the mapping.
+class SimCatalog : public PageCatalog {
+ public:
+  /// All referents must outlive the catalog.
+  SimCatalog(const RequestSource* gen, const BroadcastProgram* program,
+             const Mapping* mapping)
+      : gen_(gen), program_(program), mapping_(mapping) {}
+
+  double Probability(PageId page) const override {
+    return gen_->Probability(page);
+  }
+  double Frequency(PageId page) const override {
+    return program_->NormalizedFrequency(mapping_->ToPhysical(page));
+  }
+  DiskIndex DiskOf(PageId page) const override {
+    return program_->DiskOf(mapping_->ToPhysical(page));
+  }
+  uint64_t NumDisks() const override { return program_->num_disks(); }
+
+ private:
+  const RequestSource* gen_;
+  const BroadcastProgram* program_;
+  const Mapping* mapping_;
+};
+
+/// \brief Builds the broadcast program \p params describes (multi-disk,
+/// skewed, or random; the paper's Delta rule or explicit frequencies).
+Result<BroadcastProgram> BuildProgram(const SimParams& params);
+
+/// \brief Runs one complete simulation. Deterministic in `params.seed`.
+Result<SimResult> RunSimulation(const SimParams& params);
+
+}  // namespace bcast
+
+#endif  // BCAST_CORE_SIMULATOR_H_

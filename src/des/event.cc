@@ -1,0 +1,17 @@
+#include "des/event.h"
+
+#include <utility>
+
+namespace bcast::des {
+
+void Event::Signal() {
+  // Move the list out first: a woken process may immediately Wait() again,
+  // and that re-registration must target the *next* signal.
+  std::vector<std::coroutine_handle<>> woken = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : woken) {
+    sim_->Schedule(0.0, [h]() { h.resume(); });
+  }
+}
+
+}  // namespace bcast::des

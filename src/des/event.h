@@ -1,0 +1,59 @@
+/// \file event.h
+/// \brief A waitable condition for simulation processes (CSIM "event").
+///
+/// Processes `co_await ev.Wait()`; a later `ev.Signal()` wakes every process
+/// waiting at that moment (in FIFO order, via zero-delay scheduler events,
+/// so wake-ups interleave deterministically with other same-time events).
+
+#ifndef BCAST_DES_EVENT_H_
+#define BCAST_DES_EVENT_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "des/simulation.h"
+
+namespace bcast::des {
+
+/// \brief Broadcast-wakeup condition variable for coroutine processes.
+class Event {
+ public:
+  /// Creates an event owned by \p sim (must outlive the event's use).
+  explicit Event(Simulation* sim) : sim_(sim) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Awaitable that suspends the caller until the next `Signal()`.
+  class Awaiter {
+   public:
+    explicit Awaiter(Event* event) : event_(event) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event_->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Event* event_;
+  };
+
+  /// Returns an awaitable; each `co_await` waits for one future signal
+  /// (signals are not latched: a signal with no waiters is lost).
+  Awaiter Wait() { return Awaiter(this); }
+
+  /// Wakes all processes currently waiting, in the order they arrived.
+  void Signal();
+
+  /// Number of processes currently waiting.
+  uint64_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_EVENT_H_

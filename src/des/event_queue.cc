@@ -1,0 +1,62 @@
+#include "des/event_queue.h"
+
+#include "common/logging.h"
+
+namespace bcast::des {
+
+EventQueue::EventId EventQueue::Push(double time, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;  // unknown, fired, or cancelled
+  pending_.erase(it);
+  cancelled_.insert(id);
+  --live_;
+  SkipCancelled();
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+double EventQueue::PeekTime() {
+  SkipCancelled();
+  BCAST_CHECK(!heap_.empty()) << "PeekTime on empty EventQueue";
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(double* time) {
+  SkipCancelled();
+  BCAST_CHECK(!heap_.empty()) << "Pop on empty EventQueue";
+  // priority_queue::top() is const; moving the callback out requires a
+  // const_cast. This is safe: the entry is popped immediately after and the
+  // heap ordering does not depend on `fn`.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *time = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  pending_.erase(top.id);
+  heap_.pop();
+  --live_;
+  return fn;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  pending_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace bcast::des

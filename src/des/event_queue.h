@@ -1,0 +1,74 @@
+/// \file event_queue.h
+/// \brief The pending-event set of the discrete-event simulation kernel.
+
+#ifndef BCAST_DES_EVENT_QUEUE_H_
+#define BCAST_DES_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace bcast::des {
+
+/// \brief A time-ordered queue of callbacks with FIFO tie-breaking.
+///
+/// Events at equal timestamps fire in the order they were scheduled, which
+/// makes simulations deterministic — a property the paper's reproducibility
+/// (and our tests) depend on.
+class EventQueue {
+ public:
+  /// Opaque handle identifying a scheduled event, usable to cancel it.
+  using EventId = uint64_t;
+
+  /// Schedules \p fn at absolute \p time. Returns an id for cancellation.
+  EventId Push(double time, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was cancelled before, or never existed. O(1): the entry is tombstoned
+  /// and skipped when popped.
+  bool Cancel(EventId id);
+
+  /// True when no live events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (non-cancelled, unfired) events.
+  uint64_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event. Must not be called when empty.
+  double PeekTime();
+
+  /// Removes and returns the earliest live event's callback, setting
+  /// \p time to its timestamp. Must not be called when empty.
+  std::function<void()> Pop(double* time);
+
+  /// Drops all pending events.
+  void Clear();
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;  // also the FIFO sequence number
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  // Pops tombstoned entries off the top so the head is live.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // ids currently live in heap_
+  std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
+  uint64_t live_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_EVENT_QUEUE_H_

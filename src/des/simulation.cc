@@ -1,0 +1,99 @@
+#include "des/simulation.h"
+
+#include "common/logging.h"
+
+namespace bcast::des {
+
+void Process::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  Simulation* sim = h.promise().sim;
+  BCAST_CHECK(sim != nullptr) << "process finished without being spawned";
+  sim->OnProcessFinished(h);
+  // The frame is destroyed inside OnProcessFinished; control returns to the
+  // event loop because the coroutine stays "suspended" here.
+}
+
+void Process::promise_type::unhandled_exception() {
+  BCAST_LOG(kFatal) << "exception escaped a des::Process; the bcast library "
+                       "is exception-free";
+}
+
+Process::~Process() {
+  // A spawned process has its handle nulled by Simulation::Spawn; only a
+  // never-spawned (or moved-from) Process still owns a frame here.
+  if (handle_) handle_.destroy();
+}
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  BCAST_CHECK_GE(delay_, 0.0);
+  sim_->Schedule(delay_, [h]() { h.resume(); });
+}
+
+Simulation::~Simulation() {
+  // Drop pending events first so nothing can resume a process while the
+  // frames below are being destroyed.
+  queue_.Clear();
+  for (void* frame : processes_) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
+
+EventQueue::EventId Simulation::Schedule(double delay,
+                                         std::function<void()> fn) {
+  BCAST_CHECK_GE(delay, 0.0);
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventQueue::EventId Simulation::ScheduleAt(double time,
+                                           std::function<void()> fn) {
+  BCAST_CHECK_GE(time, now_);
+  return queue_.Push(time, std::move(fn));
+}
+
+void Simulation::Spawn(Process process) {
+  Process::Handle h = process.handle_;
+  BCAST_CHECK(h != nullptr) << "spawning a moved-from Process";
+  process.handle_ = nullptr;  // ownership moves to the simulation
+  h.promise().sim = this;
+  processes_.insert(h.address());
+  Schedule(0.0, [h]() { h.resume(); });
+}
+
+void Simulation::OnProcessFinished(Process::Handle h) {
+  auto it = processes_.find(h.address());
+  BCAST_CHECK(it != processes_.end()) << "finishing an unregistered process";
+  processes_.erase(it);
+  h.destroy();
+}
+
+void Simulation::Run() {
+  BCAST_CHECK(!running_) << "Run is not reentrant";
+  running_ = true;
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    double t;
+    std::function<void()> fn = queue_.Pop(&t);
+    BCAST_CHECK_GE(t, now_) << "event scheduled in the past";
+    now_ = t;
+    ++events_dispatched_;
+    fn();
+  }
+  running_ = false;
+}
+
+void Simulation::RunUntil(double time) {
+  BCAST_CHECK(!running_) << "RunUntil is not reentrant";
+  BCAST_CHECK_GE(time, now_);
+  running_ = true;
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.PeekTime() <= time) {
+    double t;
+    std::function<void()> fn = queue_.Pop(&t);
+    now_ = t;
+    ++events_dispatched_;
+    fn();
+  }
+  if (!stopped_ && now_ < time) now_ = time;
+  running_ = false;
+}
+
+}  // namespace bcast::des

@@ -1,0 +1,164 @@
+/// \file simulation.h
+/// \brief The discrete-event simulation kernel: clock, scheduler, processes.
+///
+/// This is the library's substitute for CSIM [Schw86], which the paper used.
+/// It provides a simulated clock measured in *broadcast units* (the time to
+/// broadcast one page, per paper Section 4.1), deterministic event ordering,
+/// and process-oriented modelling via C++20 coroutines:
+///
+/// \code
+///   des::Process Client(des::Simulation* sim) {
+///     while (...) {
+///       co_await sim->Delay(think_time);
+///       co_await channel->WaitForPage(page);
+///     }
+///   }
+///   ...
+///   des::Simulation sim;
+///   sim.Spawn(Client(&sim));
+///   sim.Run();
+/// \endcode
+
+#ifndef BCAST_DES_SIMULATION_H_
+#define BCAST_DES_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "des/event_queue.h"
+
+namespace bcast::des {
+
+class Simulation;
+
+/// \brief The coroutine type for simulation processes.
+///
+/// A `Process` is created suspended and owned by the `Simulation` it is
+/// spawned into; it must not be resumed or destroyed by user code. Processes
+/// may not throw (the library is exception-free); an escaping exception
+/// aborts. A process ends by returning; the kernel then reclaims its frame.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Process get_return_object() {
+      return Process(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // At final suspension the kernel unregisters and destroys the frame.
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception();
+
+    Simulation* sim = nullptr;
+  };
+
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+
+  /// Destroys the frame if the process was never spawned.
+  ~Process();
+
+ private:
+  friend class Simulation;
+  explicit Process(Handle handle) : handle_(handle) {}
+
+  Handle handle_;
+};
+
+/// \brief Awaitable returned by `Simulation::Delay`.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulation* sim, double delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Simulation* sim_;
+  double delay_;
+};
+
+/// \brief The simulation: a virtual clock plus a deterministic event loop.
+///
+/// Not thread-safe; a simulation runs on one thread (runs are deterministic,
+/// so parallelism belongs at the experiment level — run several independent
+/// simulations instead).
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in broadcast units. Starts at 0.
+  double Now() const { return now_; }
+
+  /// Schedules \p fn to run at `Now() + delay`; \p delay must be >= 0.
+  /// Returns an id usable with `CancelEvent`.
+  EventQueue::EventId Schedule(double delay, std::function<void()> fn);
+
+  /// Schedules \p fn at absolute \p time (>= Now()).
+  EventQueue::EventId ScheduleAt(double time, std::function<void()> fn);
+
+  /// Cancels a scheduled event; false if it already fired or was cancelled.
+  bool CancelEvent(EventQueue::EventId id) { return queue_.Cancel(id); }
+
+  /// Starts \p process; it runs when the event loop reaches its first
+  /// suspension-free stretch (spawning schedules an immediate start event,
+  /// so spawn order == start order at time 0).
+  void Spawn(Process process);
+
+  /// Runs until no events remain or `Stop()` is called.
+  void Run();
+
+  /// Runs until the clock would pass \p time; events at exactly \p time
+  /// still fire. The clock ends at min(time, last event time).
+  void RunUntil(double time);
+
+  /// Makes `Run`/`RunUntil` return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events dispatched so far (for tests/benchmarks).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+  /// Number of live (spawned, unfinished) processes.
+  uint64_t live_processes() const { return processes_.size(); }
+
+  /// Suspends the calling process for \p delay (>= 0) simulated units.
+  DelayAwaiter Delay(double delay) { return DelayAwaiter(this, delay); }
+
+ private:
+  friend struct Process::promise_type;
+
+  // Called from Process::promise_type::FinalAwaiter.
+  void OnProcessFinished(Process::Handle h);
+
+  EventQueue queue_;
+  double now_ = 0.0;
+  bool stopped_ = false;
+  bool running_ = false;
+  uint64_t events_dispatched_ = 0;
+  std::unordered_set<void*> processes_;  // live coroutine frames
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_SIMULATION_H_

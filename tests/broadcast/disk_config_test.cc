@@ -1,0 +1,97 @@
+#include "broadcast/disk_config.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(DiskLayoutTest, TotalPagesSumsSizes) {
+  DiskLayout layout{{500, 2000, 2500}, {7, 4, 1}};
+  EXPECT_EQ(layout.TotalPages(), 5000u);
+  EXPECT_EQ(layout.NumDisks(), 3u);
+}
+
+TEST(DiskLayoutTest, ToStringIsReadable) {
+  DiskLayout layout{{500, 2000, 2500}, {7, 4, 1}};
+  EXPECT_EQ(layout.ToString(), "<500,2000,2500>@freqs{7,4,1}");
+}
+
+TEST(ValidateLayoutTest, AcceptsPaperConfigs) {
+  for (const auto& sizes : std::vector<std::vector<uint64_t>>{
+           {500, 4500}, {900, 4100}, {2500, 2500}, {300, 1200, 3500},
+           {500, 2000, 2500}}) {
+    auto layout = MakeDeltaLayout(sizes, 3);
+    EXPECT_TRUE(layout.ok()) << layout.status().ToString();
+  }
+}
+
+TEST(ValidateLayoutTest, RejectsEmpty) {
+  EXPECT_FALSE(ValidateLayout(DiskLayout{{}, {}}).ok());
+}
+
+TEST(ValidateLayoutTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(ValidateLayout(DiskLayout{{10, 20}, {1}}).ok());
+}
+
+TEST(ValidateLayoutTest, RejectsZeroSize) {
+  EXPECT_FALSE(ValidateLayout(DiskLayout{{10, 0}, {2, 1}}).ok());
+}
+
+TEST(ValidateLayoutTest, RejectsZeroFrequency) {
+  EXPECT_FALSE(ValidateLayout(DiskLayout{{10, 20}, {2, 0}}).ok());
+}
+
+TEST(ValidateLayoutTest, RejectsIncreasingFrequencies) {
+  // Disk 0 must be the fastest.
+  EXPECT_FALSE(ValidateLayout(DiskLayout{{10, 20}, {1, 2}}).ok());
+}
+
+TEST(ValidateLayoutTest, AcceptsEqualFrequencies) {
+  EXPECT_TRUE(ValidateLayout(DiskLayout{{10, 20}, {3, 3}}).ok());
+}
+
+TEST(MakeDeltaLayoutTest, DeltaZeroIsFlat) {
+  auto layout = MakeDeltaLayout({100, 200, 300}, 0);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->rel_freqs, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(MakeDeltaLayoutTest, PaperDeltaExamples) {
+  // Section 4.2: 3 disks, delta = 1 -> speeds 3, 2, 1.
+  auto d1 = MakeDeltaLayout({1, 1, 1}, 1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->rel_freqs, (std::vector<uint64_t>{3, 2, 1}));
+  // delta = 3 -> 7, 4, 1.
+  auto d3 = MakeDeltaLayout({1, 1, 1}, 3);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3->rel_freqs, (std::vector<uint64_t>{7, 4, 1}));
+}
+
+TEST(MakeDeltaLayoutTest, TwoDiskDelta) {
+  auto layout = MakeDeltaLayout({2500, 2500}, 5);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->rel_freqs, (std::vector<uint64_t>{6, 1}));
+}
+
+TEST(MakeDeltaLayoutTest, SingleDiskAlwaysFrequencyOne) {
+  for (uint64_t delta : {0u, 3u, 9u}) {
+    auto layout = MakeDeltaLayout({5000}, delta);
+    ASSERT_TRUE(layout.ok());
+    EXPECT_EQ(layout->rel_freqs, (std::vector<uint64_t>{1}));
+  }
+}
+
+TEST(MakeLayoutTest, ExplicitFrequencies) {
+  // The paper's "141 rotations for every 98" fine-tuning example is legal.
+  auto layout = MakeLayout({100, 400}, {141, 98});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->rel_freqs[0], 141u);
+}
+
+TEST(MakeLayoutTest, PropagatesValidationErrors) {
+  EXPECT_FALSE(MakeLayout({100}, {1, 2}).ok());
+  EXPECT_FALSE(MakeLayout({0}, {1}).ok());
+}
+
+}  // namespace
+}  // namespace bcast

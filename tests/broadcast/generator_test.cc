@@ -1,0 +1,214 @@
+#include "broadcast/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace bcast {
+namespace {
+
+TEST(MultiDiskGeneratorTest, Figure2MultiDiskProgram) {
+  // Three pages, A twice as often as B and C -> "A B A C" (Figure 2c).
+  auto layout = MakeLayout({1, 2}, {2, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->slots(), (std::vector<PageId>{0, 1, 0, 2}));
+}
+
+TEST(MultiDiskGeneratorTest, Figure3Example) {
+  // Section 2.2 / Figure 3: rel freqs 4, 2, 1 => max_chunks 4,
+  // num_chunks = {1, 2, 4}. With sizes {1, 4, 4}: chunk sizes {1, 2, 1},
+  // minor cycle 4 slots, period 16, no waste.
+  auto layout = MakeLayout({1, 4, 4}, {4, 2, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->period(), 16u);
+  EXPECT_EQ(program->EmptySlots(), 0u);
+  EXPECT_EQ(program->slots(),
+            (std::vector<PageId>{0, 1, 2, 5,    // C11 C21 C31
+                                 0, 3, 4, 6,    // C11 C22 C32
+                                 0, 1, 2, 7,    // C11 C21 C33
+                                 0, 3, 4, 8})); // C11 C22 C34
+}
+
+TEST(MultiDiskGeneratorTest, FrequenciesMatchLayout) {
+  auto layout = MakeLayout({1, 4, 4}, {4, 2, 1});
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->Frequency(0), 4u);
+  for (PageId p = 1; p <= 4; ++p) EXPECT_EQ(program->Frequency(p), 2u);
+  for (PageId p = 5; p <= 8; ++p) EXPECT_EQ(program->Frequency(p), 1u);
+}
+
+TEST(MultiDiskGeneratorTest, DiskMetadataMatchesLayout) {
+  auto layout = MakeLayout({1, 4, 4}, {4, 2, 1});
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->DiskOf(0), 0u);
+  EXPECT_EQ(program->DiskOf(1), 1u);
+  EXPECT_EQ(program->DiskOf(4), 1u);
+  EXPECT_EQ(program->DiskOf(5), 2u);
+  EXPECT_EQ(program->DiskOf(8), 2u);
+}
+
+TEST(MultiDiskGeneratorTest, PaddingWhenChunksDoNotDivide) {
+  // Disk 2 (2 pages) splits into 3 chunks of 1 slot: one empty slot.
+  auto layout = MakeLayout({3, 2}, {3, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->EmptySlots(), 1u);
+  // Even with padding, inter-arrival times stay fixed.
+  for (PageId p = 0; p < 5; ++p) {
+    EXPECT_TRUE(program->HasFixedInterArrival(p)) << "page " << p;
+  }
+}
+
+TEST(MultiDiskGeneratorTest, PaperD5Delta7Geometry) {
+  // D5 <500,2000,2500> at delta 7: freqs 15, 8, 1; LCM 120;
+  // chunks 63+134+21 = 218 slots per minor cycle; period 26160;
+  // waste = 26160 - (500*15 + 2000*8 + 2500*1) = 160 slots (~0.6%).
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 7);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->rel_freqs, (std::vector<uint64_t>{15, 8, 1}));
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->period(), 26160u);
+  EXPECT_EQ(program->EmptySlots(), 160u);
+}
+
+TEST(FlatGeneratorTest, CyclesAllPagesOnce) {
+  auto program = GenerateFlatProgram(5);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->slots(), (std::vector<PageId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(program->num_disks(), 1u);
+  for (PageId p = 0; p < 5; ++p) EXPECT_EQ(program->Frequency(p), 1u);
+}
+
+TEST(FlatGeneratorTest, RejectsZeroPages) {
+  EXPECT_FALSE(GenerateFlatProgram(0).ok());
+}
+
+TEST(SkewedGeneratorTest, Figure2SkewedProgram) {
+  // "A A B C" (Figure 2b).
+  auto layout = MakeLayout({1, 2}, {2, 1});
+  auto program = GenerateSkewedProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->slots(), (std::vector<PageId>{0, 0, 1, 2}));
+}
+
+TEST(SkewedGeneratorTest, SameBandwidthAsMultiDisk) {
+  auto layout = MakeDeltaLayout({5, 10, 20}, 2);
+  ASSERT_TRUE(layout.ok());
+  auto skewed = GenerateSkewedProgram(*layout);
+  auto multi = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(skewed.ok());
+  ASSERT_TRUE(multi.ok());
+  for (PageId p = 0; p < 35; ++p) {
+    EXPECT_EQ(skewed->Frequency(p), multi->Frequency(p)) << "page " << p;
+  }
+}
+
+TEST(RandomGeneratorTest, ServesEveryPage) {
+  auto layout = MakeDeltaLayout({5, 10, 20}, 3);
+  ASSERT_TRUE(layout.ok());
+  Rng rng(101);
+  auto program = GenerateRandomProgram(*layout, 200, &rng);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->period(), 200u);
+  for (PageId p = 0; p < 35; ++p) {
+    EXPECT_GE(program->Frequency(p), 1u) << "page " << p;
+  }
+}
+
+TEST(RandomGeneratorTest, BandwidthSharesApproximatelyRespected) {
+  auto layout = MakeDeltaLayout({10, 90}, 4);  // freqs 5, 1
+  ASSERT_TRUE(layout.ok());
+  Rng rng(102);
+  auto program = GenerateRandomProgram(*layout, 50000, &rng);
+  ASSERT_TRUE(program.ok());
+  // Disk 0 pages should get ~5x the slots of disk 1 pages.
+  double disk0 = 0, disk1 = 0;
+  for (PageId p = 0; p < 10; ++p) disk0 += program->Frequency(p);
+  for (PageId p = 10; p < 100; ++p) disk1 += program->Frequency(p);
+  EXPECT_NEAR((disk0 / 10.0) / (disk1 / 90.0), 5.0, 0.5);
+}
+
+TEST(RandomGeneratorTest, RejectsTooShortPeriod) {
+  auto layout = MakeDeltaLayout({5, 10}, 1);
+  Rng rng(103);
+  EXPECT_FALSE(GenerateRandomProgram(*layout, 10, &rng).ok());
+}
+
+TEST(RandomGeneratorTest, DeterministicInSeed) {
+  auto layout = MakeDeltaLayout({5, 10}, 1);
+  Rng rng1(7), rng2(7);
+  auto p1 = GenerateRandomProgram(*layout, 100, &rng1);
+  auto p2 = GenerateRandomProgram(*layout, 100, &rng2);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->slots(), p2->slots());
+}
+
+TEST(DiskOfPagesTest, AssignsContiguousRanges) {
+  DiskLayout layout{{2, 3}, {2, 1}};
+  EXPECT_EQ(DiskOfPages(layout),
+            (std::vector<DiskIndex>{0, 0, 1, 1, 1}));
+}
+
+// Property sweep: the Section-2.2 guarantees hold across a grid of
+// layouts and deltas.
+class MultiDiskProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<uint64_t>, uint64_t>> {};
+
+TEST_P(MultiDiskProperty, StructuralInvariants) {
+  const auto& [sizes, delta] = GetParam();
+  auto layout = MakeDeltaLayout(sizes, delta);
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  const uint64_t total = layout->TotalPages();
+  ASSERT_EQ(program->num_pages(), total);
+
+  uint64_t base = 0;
+  for (uint64_t d = 0; d < layout->NumDisks(); ++d) {
+    for (uint64_t i = 0; i < layout->sizes[d]; ++i) {
+      const PageId p = static_cast<PageId>(base + i);
+      // (1) Every page appears exactly rel_freq(disk) times per period.
+      EXPECT_EQ(program->Frequency(p), layout->rel_freqs[d]);
+      // (2) Fixed inter-arrival times for every page.
+      EXPECT_TRUE(program->HasFixedInterArrival(p));
+      // (3) Disk metadata is consistent.
+      EXPECT_EQ(program->DiskOf(p), d);
+    }
+    base += layout->sizes[d];
+  }
+  // (4) Bandwidth accounting: page slots + empty slots = period.
+  uint64_t used = 0;
+  for (uint64_t d = 0; d < layout->NumDisks(); ++d) {
+    used += layout->sizes[d] * layout->rel_freqs[d];
+  }
+  EXPECT_EQ(used + program->EmptySlots(), program->period());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutGrid, MultiDiskProperty,
+    ::testing::Combine(
+        ::testing::Values(std::vector<uint64_t>{10},
+                          std::vector<uint64_t>{3, 7},
+                          std::vector<uint64_t>{5, 45},
+                          std::vector<uint64_t>{9, 41},
+                          std::vector<uint64_t>{25, 25},
+                          std::vector<uint64_t>{3, 12, 35},
+                          std::vector<uint64_t>{5, 20, 25},
+                          std::vector<uint64_t>{1, 1, 1, 1},
+                          std::vector<uint64_t>{7, 11, 13, 17}),
+        ::testing::Values(0, 1, 2, 3, 5, 7)));
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,220 @@
+#include "broadcast/indexing.h"
+
+#include <gtest/gtest.h>
+
+#include "broadcast/generator.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+BroadcastProgram SmallData() {
+  auto program = GenerateFlatProgram(100);
+  EXPECT_TRUE(program.ok());
+  return std::move(*program);
+}
+
+IndexedProgram MakeIndexed(uint64_t copies, uint64_t entries = 16,
+                           uint64_t fanout = 4) {
+  auto indexed =
+      IndexedProgram::Make(SmallData(), IndexConfig{copies, entries, fanout});
+  EXPECT_TRUE(indexed.ok()) << indexed.status().ToString();
+  return std::move(*indexed);
+}
+
+TEST(IndexedProgramTest, RejectsBadConfigs) {
+  EXPECT_FALSE(IndexedProgram::Make(SmallData(), {0, 16, 4}).ok());
+  EXPECT_FALSE(IndexedProgram::Make(SmallData(), {1, 0, 4}).ok());
+  EXPECT_FALSE(IndexedProgram::Make(SmallData(), {1, 16, 0}).ok());
+  EXPECT_FALSE(IndexedProgram::Make(SmallData(), {101, 16, 4}).ok());
+}
+
+TEST(IndexedProgramTest, GeometrySmall) {
+  // 100 pages, 16 entries/slot -> 7 leaves; fanout 4 -> 2 nodes -> 1 root.
+  // 10 slots per copy, 3 levels.
+  IndexedProgram indexed = MakeIndexed(1);
+  EXPECT_EQ(indexed.index_slots_per_copy(), 10u);
+  EXPECT_EQ(indexed.tree_levels(), 3u);
+  EXPECT_EQ(indexed.period(), 110u);
+  EXPECT_NEAR(indexed.IndexOverhead(), 10.0 / 110.0, 1e-12);
+}
+
+TEST(IndexedProgramTest, PeriodGrowsWithCopies) {
+  EXPECT_EQ(MakeIndexed(1).period(), 110u);
+  EXPECT_EQ(MakeIndexed(2).period(), 120u);
+  EXPECT_EQ(MakeIndexed(5).period(), 150u);
+}
+
+TEST(IndexedProgramTest, SingleLevelIndexWhenEverythingFits) {
+  auto indexed = IndexedProgram::Make(SmallData(), {1, 128, 64});
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(indexed->index_slots_per_copy(), 1u);
+  EXPECT_EQ(indexed->tree_levels(), 1u);
+}
+
+TEST(IndexedProgramTest, NextIndexCopyStartSingleCopy) {
+  IndexedProgram indexed = MakeIndexed(1);  // copy at [0, 10)
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(0.5), 110.0);
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(50.0), 110.0);
+}
+
+TEST(IndexedProgramTest, NextIndexCopyStartMultiCopy) {
+  IndexedProgram indexed = MakeIndexed(2);  // copies at 0 and 50+10=60
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(1.0), 60.0);
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(60.0), 60.0);
+  EXPECT_DOUBLE_EQ(indexed.NextIndexCopyStart(61.0), 120.0);
+}
+
+TEST(IndexedProgramTest, DataArrivalsShiftPastIndexCopies) {
+  // Flat data: page k sits at data slot k. With one 10-slot copy at the
+  // front, page k's expanded slot is k + 10.
+  IndexedProgram indexed = MakeIndexed(1);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(42, 0.0), 52.0);
+  // Once past its slot, the page comes around next period.
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(0, 10.5), 120.0);
+}
+
+TEST(IndexedProgramTest, DataArrivalsWithTwoCopies) {
+  // Copies at expanded [0,10) and [60,70); data slots 0-49 at 10-59,
+  // data slots 50-99 at 70-119.
+  IndexedProgram indexed = MakeIndexed(2);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(49, 0.0), 59.0);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(50, 0.0), 70.0);
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(99, 0.0), 119.0);
+  // A request during the second copy catches slot 50 right after it.
+  EXPECT_DOUBLE_EQ(indexed.NextDataArrivalStart(50, 65.0), 70.0);
+}
+
+TEST(IndexedProgramTest, ArrivalMonotoneAndWithinOnePeriod) {
+  IndexedProgram indexed = MakeIndexed(3);
+  for (PageId p : {0u, 33u, 99u}) {
+    for (double t = 0.0; t < 2.0 * indexed.period(); t += 7.3) {
+      const double arr = indexed.NextDataArrivalStart(p, t);
+      EXPECT_GE(arr, t);
+      EXPECT_LE(arr - t, static_cast<double>(indexed.period()) + 1.0);
+    }
+  }
+}
+
+TEST(IndexedProgramTest, WorksOnMultiDiskData) {
+  auto layout = MakeDeltaLayout({10, 40, 50}, 2);
+  auto data = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(data.ok());
+  auto indexed = IndexedProgram::Make(std::move(*data), {4, 16, 4});
+  ASSERT_TRUE(indexed.ok());
+  // Hot pages still arrive much sooner on average than cold ones.
+  double hot_sum = 0.0, cold_sum = 0.0;
+  for (double t = 0.0; t < indexed->period(); t += 13.7) {
+    hot_sum += indexed->NextDataArrivalStart(0, t) - t;
+    cold_sum += indexed->NextDataArrivalStart(99, t) - t;
+  }
+  EXPECT_LT(hot_sum, cold_sum / 2.0);
+}
+
+// --- Protocol analysis ---
+
+std::vector<double> UniformProbs(uint64_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+TEST(AnalyzeTuningTest, RejectsBadInputs) {
+  IndexedProgram indexed = MakeIndexed(1);
+  Rng rng(1);
+  EXPECT_FALSE(AnalyzeTuning(indexed, UniformProbs(5),
+                             TuningProtocol::kOneMIndex, 100, &rng)
+                   .ok());
+  EXPECT_FALSE(AnalyzeTuning(indexed, UniformProbs(100),
+                             TuningProtocol::kOneMIndex, 0, &rng)
+                   .ok());
+  EXPECT_FALSE(AnalyzeTuning(indexed, std::vector<double>(100, 0.0),
+                             TuningProtocol::kOneMIndex, 10, &rng)
+                   .ok());
+}
+
+TEST(AnalyzeTuningTest, ContinuousListenTuningEqualsLatency) {
+  IndexedProgram indexed = MakeIndexed(1);
+  Rng rng(2);
+  auto analysis = AnalyzeTuning(indexed, UniformProbs(100),
+                                TuningProtocol::kContinuousListen, 20000,
+                                &rng);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_DOUBLE_EQ(analysis->expected_latency, analysis->expected_tuning);
+  // Uniform access to a flat 110-slot period: ~56 slots.
+  EXPECT_NEAR(analysis->expected_latency, 56.0, 3.0);
+}
+
+TEST(AnalyzeTuningTest, KnownScheduleTunesOneSlot) {
+  IndexedProgram indexed = MakeIndexed(1);
+  Rng rng(3);
+  auto analysis =
+      AnalyzeTuning(indexed, UniformProbs(100),
+                    TuningProtocol::kKnownSchedule, 20000, &rng);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_DOUBLE_EQ(analysis->expected_tuning, 1.0);
+}
+
+TEST(AnalyzeTuningTest, IndexTuningIsConstantAndTiny) {
+  IndexedProgram indexed = MakeIndexed(4);
+  Rng rng(4);
+  auto analysis = AnalyzeTuning(indexed, UniformProbs(100),
+                                TuningProtocol::kOneMIndex, 20000, &rng);
+  ASSERT_TRUE(analysis.ok());
+  // 1 probe + 3 levels + 1 data slot = 5, independent of the period.
+  EXPECT_DOUBLE_EQ(analysis->expected_tuning, 5.0);
+  // Latency exceeds continuous listening (index detour + overhead)...
+  auto continuous =
+      AnalyzeTuning(indexed, UniformProbs(100),
+                    TuningProtocol::kContinuousListen, 20000, &rng);
+  EXPECT_GT(analysis->expected_latency, continuous->expected_latency);
+  // ...but tuning is an order of magnitude lower.
+  EXPECT_LT(analysis->expected_tuning,
+            continuous->expected_tuning / 10.0);
+}
+
+TEST(AnalyzeTuningTest, MoreCopiesCutIndexWait) {
+  Rng rng(5);
+  auto one = AnalyzeTuning(MakeIndexed(1), UniformProbs(100),
+                           TuningProtocol::kOneMIndex, 20000, &rng);
+  auto four = AnalyzeTuning(MakeIndexed(4), UniformProbs(100),
+                            TuningProtocol::kOneMIndex, 20000, &rng);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  EXPECT_LT(four->expected_latency, one->expected_latency);
+}
+
+TEST(OptimalIndexCopiesTest, SquareRootRule) {
+  EXPECT_EQ(OptimalIndexCopies(100, 1), 10u);
+  EXPECT_EQ(OptimalIndexCopies(100, 4), 5u);
+  EXPECT_EQ(OptimalIndexCopies(10000, 100), 10u);
+  EXPECT_EQ(OptimalIndexCopies(4, 100), 1u);  // clamped up to 1
+}
+
+TEST(OptimalIndexCopiesTest, NearOptimalInPractice) {
+  // The rule's m should be within a few percent of the best m found by a
+  // sweep, for uniform access over a flat program.
+  Rng rng(6);
+  const std::vector<double> probs = UniformProbs(100);
+  const uint64_t m_star = OptimalIndexCopies(100, 10);
+  double best = 1e18;
+  uint64_t best_m = 0;
+  for (uint64_t m = 1; m <= 10; ++m) {
+    auto analysis = AnalyzeTuning(MakeIndexed(m), probs,
+                                  TuningProtocol::kOneMIndex, 30000, &rng);
+    ASSERT_TRUE(analysis.ok());
+    if (analysis->expected_latency < best) {
+      best = analysis->expected_latency;
+      best_m = m;
+    }
+  }
+  auto rule = AnalyzeTuning(MakeIndexed(m_star), probs,
+                            TuningProtocol::kOneMIndex, 30000, &rng);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_LT(rule->expected_latency, best * 1.10)
+      << "rule m=" << m_star << " vs swept best m=" << best_m;
+}
+
+}  // namespace
+}  // namespace bcast

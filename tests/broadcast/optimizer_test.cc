@@ -1,0 +1,133 @@
+#include "broadcast/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "broadcast/analysis.h"
+#include "broadcast/generator.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+std::vector<double> ZipfProbs(uint64_t access_range, uint64_t db_size,
+                              double theta) {
+  auto gen = RegionZipfGenerator::Make(access_range, 50, theta);
+  EXPECT_TRUE(gen.ok());
+  std::vector<double> probs(db_size, 0.0);
+  for (uint64_t p = 0; p < access_range; ++p) {
+    probs[p] = gen->Probability(p);
+  }
+  return probs;
+}
+
+TEST(AnalyticExpectedDelayTest, MatchesProgramAnalysis) {
+  // The O(num_disks) closed form must agree with the per-page gap
+  // analysis of the actually generated program.
+  for (uint64_t delta : {0u, 1u, 3u, 5u}) {
+    auto layout = MakeDeltaLayout({500, 2000, 2500}, delta);
+    ASSERT_TRUE(layout.ok());
+    auto program = GenerateMultiDiskProgram(*layout);
+    ASSERT_TRUE(program.ok());
+    const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+    EXPECT_NEAR(AnalyticExpectedDelay(*layout, probs),
+                ExpectedDelayForDistribution(*program, probs), 1e-9)
+        << "delta " << delta;
+  }
+}
+
+TEST(AnalyticExpectedDelayTest, FlatEqualsHalfPeriod) {
+  auto layout = MakeDeltaLayout({5000}, 0);
+  const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+  EXPECT_DOUBLE_EQ(AnalyticExpectedDelay(*layout, probs), 2500.0);
+}
+
+TEST(SquareRootSharesTest, SharesSumToOne) {
+  const std::vector<double> shares =
+      SquareRootBandwidthShares({0.5, 0.3, 0.2});
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SquareRootSharesTest, ProportionalToSqrt) {
+  const std::vector<double> shares = SquareRootBandwidthShares({0.64, 0.04});
+  EXPECT_NEAR(shares[0] / shares[1], std::sqrt(0.64 / 0.04), 1e-12);
+}
+
+TEST(SquareRootSharesTest, ZeroProbabilityGetsZeroShare) {
+  const std::vector<double> shares = SquareRootBandwidthShares({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+}
+
+TEST(SquareRootSharesTest, AllZeroStaysZero) {
+  const std::vector<double> shares = SquareRootBandwidthShares({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(OptimizeLayoutTest, RejectsBadInputs) {
+  EXPECT_FALSE(OptimizeLayout({}, 2, 3).ok());
+  EXPECT_FALSE(OptimizeLayout({0.5, 0.5}, 0, 3).ok());
+  EXPECT_FALSE(OptimizeLayout({0.5, 0.5}, 3, 3).ok());
+  // Unsorted probabilities rejected.
+  EXPECT_FALSE(OptimizeLayout({0.1, 0.9}, 1, 1).ok());
+}
+
+TEST(OptimizeLayoutTest, SingleDiskIsFlat) {
+  const std::vector<double> probs = ZipfProbs(100, 500, 0.95);
+  auto result = OptimizeLayout(probs, 1, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->layout.NumDisks(), 1u);
+  EXPECT_DOUBLE_EQ(result->expected_delay, 250.0);
+}
+
+TEST(OptimizeLayoutTest, UniformAccessPrefersFlat) {
+  // With uniform probabilities, any skew hurts; the optimizer should
+  // land on delta 0 (or an equivalent-cost layout).
+  const std::vector<double> probs(500, 1.0 / 500);
+  auto result = OptimizeLayout(probs, 2, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->expected_delay, 250.0, 1.0);
+}
+
+TEST(OptimizeLayoutTest, BeatsFlatOnSkewedAccess) {
+  const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+  auto result = OptimizeLayout(probs, 3, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->expected_delay, 2500.0 * 0.5)
+      << "optimizer should at least halve the flat delay";
+}
+
+TEST(OptimizeLayoutTest, BeatsOrMatchesHandPickedD5) {
+  const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+  auto d5 = MakeDeltaLayout({500, 2000, 2500}, 3);
+  ASSERT_TRUE(d5.ok());
+  const double hand = AnalyticExpectedDelay(*d5, probs);
+  auto result = OptimizeLayout(probs, 3, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->expected_delay, hand + 1e-9);
+}
+
+TEST(OptimizeLayoutTest, ReturnedDelayMatchesReturnedLayout) {
+  const std::vector<double> probs = ZipfProbs(200, 1000, 0.95);
+  auto result = OptimizeLayout(probs, 2, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->expected_delay,
+              AnalyticExpectedDelay(result->layout, probs), 1e-9);
+}
+
+TEST(OptimizeLayoutTest, DeterministicAcrossCalls) {
+  const std::vector<double> probs = ZipfProbs(200, 1000, 0.95);
+  auto a = OptimizeLayout(probs, 3, 4);
+  auto b = OptimizeLayout(probs, 3, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->layout.sizes, b->layout.sizes);
+  EXPECT_EQ(a->delta, b->delta);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,165 @@
+#include "broadcast/program.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bcast {
+namespace {
+
+// Figure 2(c): A B A C with A on a 2x disk.
+BroadcastProgram MultiDiskAbac() {
+  auto program = BroadcastProgram::Make({0, 1, 0, 2}, 3, {0, 1, 1});
+  EXPECT_TRUE(program.ok());
+  return std::move(*program);
+}
+
+TEST(ProgramTest, BasicProperties) {
+  BroadcastProgram p = MultiDiskAbac();
+  EXPECT_EQ(p.period(), 4u);
+  EXPECT_EQ(p.num_pages(), 3u);
+  EXPECT_EQ(p.num_disks(), 2u);
+  EXPECT_EQ(p.EmptySlots(), 0u);
+  EXPECT_EQ(p.page_at(0), 0u);
+  EXPECT_EQ(p.page_at(3), 2u);
+}
+
+TEST(ProgramTest, FrequencyCountsArrivals) {
+  BroadcastProgram p = MultiDiskAbac();
+  EXPECT_EQ(p.Frequency(0), 2u);
+  EXPECT_EQ(p.Frequency(1), 1u);
+  EXPECT_EQ(p.Frequency(2), 1u);
+}
+
+TEST(ProgramTest, NormalizedFrequency) {
+  BroadcastProgram p = MultiDiskAbac();
+  EXPECT_DOUBLE_EQ(p.NormalizedFrequency(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.NormalizedFrequency(1), 0.25);
+}
+
+TEST(ProgramTest, DiskOfUsesMetadata) {
+  BroadcastProgram p = MultiDiskAbac();
+  EXPECT_EQ(p.DiskOf(0), 0u);
+  EXPECT_EQ(p.DiskOf(1), 1u);
+  EXPECT_EQ(p.DiskOf(2), 1u);
+}
+
+TEST(ProgramTest, DiskOfDefaultsToZeroWithoutMetadata) {
+  auto p = BroadcastProgram::Make({0, 1}, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->DiskOf(0), 0u);
+  EXPECT_EQ(p->DiskOf(1), 0u);
+  EXPECT_EQ(p->num_disks(), 1u);
+}
+
+TEST(ProgramTest, EmptySlotsCounted) {
+  auto p = BroadcastProgram::Make({0, kEmptySlot, 1, kEmptySlot}, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->EmptySlots(), 2u);
+  EXPECT_EQ(p->Frequency(0), 1u);
+}
+
+TEST(ProgramTest, RejectsEmptyProgram) {
+  EXPECT_FALSE(BroadcastProgram::Make({}, 1).ok());
+}
+
+TEST(ProgramTest, RejectsPageNeverBroadcast) {
+  // Page 1 exists but never appears: a client wanting it would wait
+  // forever.
+  auto p = BroadcastProgram::Make({0, 0}, 2);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ProgramTest, RejectsOutOfRangePage) {
+  EXPECT_FALSE(BroadcastProgram::Make({0, 5}, 2).ok());
+}
+
+TEST(ProgramTest, RejectsBadDiskMetadataLength) {
+  EXPECT_FALSE(BroadcastProgram::Make({0, 1}, 2, {0}).ok());
+}
+
+// --- NextArrival semantics ---
+
+TEST(NextArrivalTest, ExactSlotStartIsCatchable) {
+  BroadcastProgram p = MultiDiskAbac();  // A at slots 0, 2
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.NextArrivalEnd(0, 0.0), 1.0);
+}
+
+TEST(NextArrivalTest, MidTransmissionWaitsForNext) {
+  BroadcastProgram p = MultiDiskAbac();
+  // At t = 0.5, A's slot-0 transmission is underway and cannot be joined.
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(0, 0.5), 2.0);
+}
+
+TEST(NextArrivalTest, WrapsToNextCycle) {
+  BroadcastProgram p = MultiDiskAbac();  // B at slot 1
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(1, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(2, 3.5), 7.0);
+}
+
+TEST(NextArrivalTest, FarFutureCycles) {
+  BroadcastProgram p = MultiDiskAbac();
+  // t = 1000 = cycle 250 exactly; A's next start is slot 0 of cycle 250.
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(0, 1000.0), 1000.0);
+  EXPECT_DOUBLE_EQ(p.NextArrivalStart(1, 1000.5), 1001.0);
+}
+
+TEST(NextArrivalTest, MatchesBruteForceScan) {
+  // Property check against a brute-force definition on a padded program.
+  auto program = BroadcastProgram::Make(
+      {3, 0, kEmptySlot, 1, 3, 2, 0, kEmptySlot, 3}, 4);
+  ASSERT_TRUE(program.ok());
+  const uint64_t period = program->period();
+  for (PageId page = 0; page < 4; ++page) {
+    for (double t = 0.0; t < 2.0 * static_cast<double>(period); t += 0.25) {
+      // Brute force: scan forward slot by slot.
+      double expected = -1.0;
+      for (uint64_t k = 0;; ++k) {
+        const double slot_start = std::floor(t) + static_cast<double>(k);
+        if (slot_start < t) continue;
+        const uint64_t slot =
+            static_cast<uint64_t>(slot_start) % period;
+        if (program->page_at(slot) == page) {
+          expected = slot_start;
+          break;
+        }
+      }
+      EXPECT_DOUBLE_EQ(program->NextArrivalStart(page, t), expected)
+          << "page " << page << " t " << t;
+    }
+  }
+}
+
+// --- Gap analysis ---
+
+TEST(GapTest, MultiDiskGapsAreFixed) {
+  BroadcastProgram p = MultiDiskAbac();
+  EXPECT_EQ(p.InterArrivalGaps(0), (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(p.InterArrivalGaps(1), (std::vector<uint64_t>{4}));
+  EXPECT_TRUE(p.HasFixedInterArrival(0));
+  EXPECT_TRUE(p.HasFixedInterArrival(1));
+}
+
+TEST(GapTest, SkewedGapsAreNot) {
+  // Figure 2(b): A A B C.
+  auto p = BroadcastProgram::Make({0, 0, 1, 2}, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->InterArrivalGaps(0), (std::vector<uint64_t>{1, 3}));
+  EXPECT_FALSE(p->HasFixedInterArrival(0));
+  EXPECT_TRUE(p->HasFixedInterArrival(1));
+}
+
+TEST(GapTest, GapsSumToPeriod) {
+  auto p = BroadcastProgram::Make({0, 1, 0, 2, 0, 1, kEmptySlot}, 3);
+  ASSERT_TRUE(p.ok());
+  for (PageId page = 0; page < 3; ++page) {
+    uint64_t sum = 0;
+    for (uint64_t g : p->InterArrivalGaps(page)) sum += g;
+    EXPECT_EQ(sum, p->period()) << "page " << page;
+  }
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,135 @@
+#include "broadcast/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "broadcast/generator.h"
+#include "common/rng.h"
+
+namespace bcast {
+namespace {
+
+std::string Save(const BroadcastProgram& program) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveProgram(program, &out).ok());
+  return out.str();
+}
+
+Result<BroadcastProgram> Load(const std::string& text) {
+  std::istringstream in(text);
+  return LoadProgram(&in);
+}
+
+void ExpectSamePrograms(const BroadcastProgram& a,
+                        const BroadcastProgram& b) {
+  ASSERT_EQ(a.period(), b.period());
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  ASSERT_EQ(a.num_disks(), b.num_disks());
+  EXPECT_EQ(a.slots(), b.slots());
+  for (PageId p = 0; p < a.num_pages(); ++p) {
+    EXPECT_EQ(a.DiskOf(p), b.DiskOf(p)) << "page " << p;
+    EXPECT_EQ(a.Frequency(p), b.Frequency(p)) << "page " << p;
+  }
+}
+
+TEST(SerializeTest, RoundTripsFlatProgram) {
+  auto program = GenerateFlatProgram(20);
+  ASSERT_TRUE(program.ok());
+  auto loaded = Load(Save(*program));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSamePrograms(*program, *loaded);
+}
+
+TEST(SerializeTest, RoundTripsMultiDiskProgram) {
+  auto layout = MakeDeltaLayout({3, 12, 35}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  auto loaded = Load(Save(*program));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSamePrograms(*program, *loaded);
+}
+
+TEST(SerializeTest, RoundTripsProgramWithEmptySlots) {
+  auto layout = MakeLayout({3, 2}, {3, 1});  // pads one empty slot
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  ASSERT_GT(program->EmptySlots(), 0u);
+  auto loaded = Load(Save(*program));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->EmptySlots(), program->EmptySlots());
+  ExpectSamePrograms(*program, *loaded);
+}
+
+TEST(SerializeTest, RoundTripsRandomProgram) {
+  auto layout = MakeDeltaLayout({5, 20}, 2);
+  Rng rng(3);
+  auto program = GenerateRandomProgram(*layout, 100, &rng);
+  ASSERT_TRUE(program.ok());
+  auto loaded = Load(Save(*program));
+  ASSERT_TRUE(loaded.ok());
+  ExpectSamePrograms(*program, *loaded);
+}
+
+TEST(SerializeTest, FormatIsHumanReadable) {
+  auto layout = MakeLayout({1, 2}, {2, 1});
+  auto program = GenerateMultiDiskProgram(*layout);
+  const std::string text = Save(*program);
+  EXPECT_NE(text.find("bcast-program v1"), std::string::npos);
+  EXPECT_NE(text.find("period 4 pages 3 disks 2"), std::string::npos);
+  EXPECT_NE(text.find("slots 0 1 0 2"), std::string::npos);
+  EXPECT_NE(text.find("diskof 0 1 1"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsBadHeader) {
+  EXPECT_FALSE(Load("not-a-program\n").ok());
+  EXPECT_FALSE(Load("bcast-program v2\n").ok());
+  EXPECT_FALSE(Load("").ok());
+}
+
+TEST(SerializeTest, RejectsMalformedSizeLine) {
+  EXPECT_FALSE(Load("bcast-program v1\nperiod x pages 3 disks 1\n").ok());
+  EXPECT_FALSE(Load("bcast-program v1\nperiod 0 pages 3 disks 1\n").ok());
+}
+
+TEST(SerializeTest, RejectsWrongSlotCount) {
+  EXPECT_FALSE(
+      Load("bcast-program v1\nperiod 3 pages 2 disks 1\nslots 0 1\nend\n")
+          .ok());
+}
+
+TEST(SerializeTest, RejectsOutOfRangeSlot) {
+  EXPECT_FALSE(
+      Load("bcast-program v1\nperiod 2 pages 2 disks 1\nslots 0 5\nend\n")
+          .ok());
+}
+
+TEST(SerializeTest, RejectsMissingDiskofForMultiDisk) {
+  EXPECT_FALSE(
+      Load("bcast-program v1\nperiod 2 pages 2 disks 2\nslots 0 1\nend\n")
+          .ok());
+}
+
+TEST(SerializeTest, RejectsPageNeverBroadcast) {
+  // Page 1 declared but absent: the loader must refuse (a client would
+  // hang waiting for it).
+  EXPECT_FALSE(
+      Load("bcast-program v1\nperiod 2 pages 2 disks 1\nslots 0 0\nend\n")
+          .ok());
+}
+
+TEST(SerializeTest, RejectsMissingEnd) {
+  EXPECT_FALSE(
+      Load("bcast-program v1\nperiod 2 pages 2 disks 1\nslots 0 1\n").ok());
+}
+
+TEST(SerializeTest, ErrorsCarryLineNumbers) {
+  auto result =
+      Load("bcast-program v1\nperiod 2 pages 2 disks 1\nslots 0 x\nend\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast

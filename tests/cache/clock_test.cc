@@ -1,0 +1,85 @@
+#include "cache/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+TEST(ClockCacheTest, BasicInsertLookup) {
+  FakeCatalog catalog(10);
+  ClockCache cache(3, 10, &catalog);
+  EXPECT_FALSE(cache.Lookup(2, 0.0));
+  cache.Insert(2, 0.0);
+  EXPECT_TRUE(cache.Lookup(2, 1.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.name(), "CLOCK");
+}
+
+TEST(ClockCacheTest, FillsAllSlotsBeforeEvicting) {
+  FakeCatalog catalog(10);
+  ClockCache cache(3, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  cache.Insert(2, 0.0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(ClockCacheTest, SweepEvictsUnreferencedFirst) {
+  FakeCatalog catalog(10);
+  ClockCache cache(3, 10, &catalog);
+  for (PageId p : {0, 1, 2}) cache.Insert(p, 0.0);
+  // All ref bits set by insertion. First eviction sweeps: clears all
+  // bits, evicts slot 0 (page 0).
+  cache.Insert(3, 1.0);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ClockCacheTest, SecondChanceProtectsReferencedPage) {
+  FakeCatalog catalog(10);
+  ClockCache cache(3, 10, &catalog);
+  for (PageId p : {0, 1, 2}) cache.Insert(p, 0.0);
+  cache.Insert(3, 1.0);   // evicts 0; hand now past slot 0; bits cleared
+  cache.Lookup(1, 2.0);   // re-reference page 1
+  cache.Insert(4, 3.0);   // sweep: slot1(page1) referenced -> spared;
+                          // slot2(page2) unreferenced -> evicted
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(ClockCacheTest, CapacityOne) {
+  FakeCatalog catalog(10);
+  ClockCache cache(1, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 1.0);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ClockCacheTest, ChurnStaysWithinCapacity) {
+  FakeCatalog catalog(50);
+  ClockCache cache(5, 50, &catalog);
+  for (int round = 0; round < 10; ++round) {
+    for (PageId p = 0; p < 50; p += 2) {
+      if (!cache.Lookup(p, 0.0)) cache.Insert(p, 0.0);
+      ASSERT_LE(cache.size(), 5u);
+    }
+  }
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(ClockCacheDeathTest, DoubleInsertDies) {
+  FakeCatalog catalog(10);
+  ClockCache cache(3, 10, &catalog);
+  cache.Insert(0, 0.0);
+  EXPECT_DEATH(cache.Insert(0, 1.0), "cached page");
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,137 @@
+#include "cache/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+TEST(FactoryTest, BuildsEveryKind) {
+  FakeCatalog catalog(10, 2);
+  for (PolicyKind kind :
+       {PolicyKind::kP, PolicyKind::kPix, PolicyKind::kLru, PolicyKind::kL,
+        PolicyKind::kLix, PolicyKind::kLruK, PolicyKind::kTwoQ,
+        PolicyKind::kClock, PolicyKind::kGreedyDual}) {
+    auto policy = MakeCachePolicy(kind, 4, 10, &catalog);
+    ASSERT_TRUE(policy.ok()) << PolicyKindName(kind);
+    EXPECT_EQ((*policy)->capacity(), 4u);
+    EXPECT_EQ((*policy)->size(), 0u);
+  }
+}
+
+TEST(FactoryTest, NamesMatchPolicies) {
+  FakeCatalog catalog(10, 2);
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kP, 2, 10, &catalog))->name(), "P");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kPix, 2, 10, &catalog))->name(),
+            "PIX");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kLru, 2, 10, &catalog))->name(),
+            "LRU");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kL, 2, 10, &catalog))->name(), "L");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kLix, 2, 10, &catalog))->name(),
+            "LIX");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kTwoQ, 2, 10, &catalog))->name(),
+            "2Q");
+  EXPECT_EQ((*MakeCachePolicy(PolicyKind::kClock, 2, 10, &catalog))->name(),
+            "CLOCK");
+  EXPECT_EQ(
+      (*MakeCachePolicy(PolicyKind::kGreedyDual, 2, 10, &catalog))->name(),
+      "GD");
+}
+
+TEST(FactoryTest, LOptionsForceFrequencyOff) {
+  FakeCatalog catalog(10, 2);
+  PolicyOptions options;
+  options.lix.use_frequency = true;  // must be overridden for kL
+  auto policy = MakeCachePolicy(PolicyKind::kL, 2, 10, &catalog, options);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->name(), "L");
+}
+
+TEST(FactoryTest, RejectsBadArguments) {
+  FakeCatalog catalog(10, 2);
+  EXPECT_FALSE(MakeCachePolicy(PolicyKind::kLru, 0, 10, &catalog).ok());
+  EXPECT_FALSE(MakeCachePolicy(PolicyKind::kLru, 2, 0, &catalog).ok());
+  EXPECT_FALSE(MakeCachePolicy(PolicyKind::kLru, 2, 10, nullptr).ok());
+}
+
+TEST(ParsePolicyKindTest, CanonicalNames) {
+  EXPECT_EQ(*ParsePolicyKind("P"), PolicyKind::kP);
+  EXPECT_EQ(*ParsePolicyKind("PIX"), PolicyKind::kPix);
+  EXPECT_EQ(*ParsePolicyKind("pix"), PolicyKind::kPix);
+  EXPECT_EQ(*ParsePolicyKind("LRU"), PolicyKind::kLru);
+  EXPECT_EQ(*ParsePolicyKind("l"), PolicyKind::kL);
+  EXPECT_EQ(*ParsePolicyKind("LIX"), PolicyKind::kLix);
+  EXPECT_EQ(*ParsePolicyKind("lru-k"), PolicyKind::kLruK);
+  EXPECT_EQ(*ParsePolicyKind("2q"), PolicyKind::kTwoQ);
+  EXPECT_EQ(*ParsePolicyKind("clock"), PolicyKind::kClock);
+  EXPECT_EQ(*ParsePolicyKind("gd"), PolicyKind::kGreedyDual);
+  EXPECT_EQ(*ParsePolicyKind("GreedyDual"), PolicyKind::kGreedyDual);
+}
+
+TEST(ParsePolicyKindTest, UnknownNameFails) {
+  EXPECT_FALSE(ParsePolicyKind("mru").ok());
+  EXPECT_FALSE(ParsePolicyKind("").ok());
+}
+
+TEST(ParsePolicyKindTest, RoundTripsThroughName) {
+  for (PolicyKind kind :
+       {PolicyKind::kP, PolicyKind::kPix, PolicyKind::kLru, PolicyKind::kL,
+        PolicyKind::kLix, PolicyKind::kTwoQ, PolicyKind::kClock,
+        PolicyKind::kGreedyDual}) {
+    auto parsed = ParsePolicyKind(PolicyKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << PolicyKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+// Cross-policy behavioural property: every policy respects capacity and
+// membership coherence under a common random workload.
+class PolicyContractTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyContractTest, CapacityAndMembershipInvariants) {
+  FakeCatalog catalog(50, 3);
+  for (PageId p = 0; p < 50; ++p) {
+    catalog.set_disk(p, p % 3);
+    catalog.set_frequency(p, 0.5 / static_cast<double>(1 + p % 3));
+    catalog.set_probability(p, 1.0 / static_cast<double>(p + 1));
+  }
+  auto policy = MakeCachePolicy(GetParam(), 8, 50, &catalog);
+  ASSERT_TRUE(policy.ok());
+  CachePolicy& cache = **policy;
+
+  uint64_t state = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const PageId page = static_cast<PageId>((state >> 33) % 50);
+    const double now = static_cast<double>(i);
+    const bool hit = cache.Lookup(page, now);
+    EXPECT_EQ(hit, cache.Contains(page));
+    if (!hit) {
+      cache.Insert(page, now);
+      // P/PIX may decline admission; everyone else must admit.
+      if (GetParam() != PolicyKind::kP && GetParam() != PolicyKind::kPix) {
+        EXPECT_TRUE(cache.Contains(page));
+      }
+    }
+    ASSERT_LE(cache.size(), 8u);
+  }
+  EXPECT_EQ(cache.size(), 8u) << "cache should be full after 2000 accesses";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyContractTest,
+    ::testing::Values(PolicyKind::kP, PolicyKind::kPix, PolicyKind::kLru,
+                      PolicyKind::kL, PolicyKind::kLix, PolicyKind::kLruK,
+                      PolicyKind::kTwoQ, PolicyKind::kClock,
+                      PolicyKind::kGreedyDual),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      std::string name = PolicyKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name == "2Q" ? std::string("TwoQ") : name;
+    });
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,41 @@
+/// \file fake_catalog.h
+/// \brief A configurable PageCatalog for cache-policy unit tests.
+
+#ifndef BCAST_TESTS_CACHE_FAKE_CATALOG_H_
+#define BCAST_TESTS_CACHE_FAKE_CATALOG_H_
+
+#include <vector>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// All pages default to probability 1/n, frequency 1, disk 0; tests
+/// override individual pages as needed.
+class FakeCatalog : public PageCatalog {
+ public:
+  explicit FakeCatalog(PageId num_pages, uint64_t num_disks = 1)
+      : prob_(num_pages, 1.0 / static_cast<double>(num_pages)),
+        freq_(num_pages, 1.0),
+        disk_(num_pages, 0),
+        num_disks_(num_disks) {}
+
+  void set_probability(PageId p, double v) { prob_[p] = v; }
+  void set_frequency(PageId p, double v) { freq_[p] = v; }
+  void set_disk(PageId p, DiskIndex d) { disk_[p] = d; }
+
+  double Probability(PageId p) const override { return prob_[p]; }
+  double Frequency(PageId p) const override { return freq_[p]; }
+  DiskIndex DiskOf(PageId p) const override { return disk_[p]; }
+  uint64_t NumDisks() const override { return num_disks_; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<double> freq_;
+  std::vector<DiskIndex> disk_;
+  uint64_t num_disks_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_TESTS_CACHE_FAKE_CATALOG_H_

@@ -1,0 +1,178 @@
+#include "cache/lix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+// Two-disk catalog: pages 0-4 on fast disk 0 (freq 0.5), pages 5-9 on
+// slow disk 1 (freq 0.1).
+FakeCatalog TwoDiskCatalog() {
+  FakeCatalog catalog(10, 2);
+  for (PageId p = 0; p < 5; ++p) {
+    catalog.set_disk(p, 0);
+    catalog.set_frequency(p, 0.5);
+  }
+  for (PageId p = 5; p < 10; ++p) {
+    catalog.set_disk(p, 1);
+    catalog.set_frequency(p, 0.1);
+  }
+  return catalog;
+}
+
+TEST(LixCacheTest, NamesReflectVariant) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache lix(2, 10, &catalog);
+  LCache l(2, 10, &catalog);
+  EXPECT_EQ(lix.name(), "LIX");
+  EXPECT_EQ(l.name(), "L");
+}
+
+TEST(LixCacheTest, PagesEnterTheirDiskChain) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(4, 10, &catalog);
+  cache.Insert(0, 0.0);  // disk 0
+  cache.Insert(6, 0.0);  // disk 1
+  cache.Insert(1, 0.0);  // disk 0
+  EXPECT_EQ(cache.ChainSize(0), 2u);
+  EXPECT_EQ(cache.ChainSize(1), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LixCacheTest, ChainsResizeDynamically) {
+  // Figure 12's point: chains shrink/grow as victims and newcomers come
+  // from different disks.
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 1.0);
+  EXPECT_EQ(cache.ChainSize(0), 2u);
+  // Hit both fast-disk pages often so their estimates are high.
+  for (double t = 2.0; t < 10.0; t += 1.0) {
+    cache.Lookup(0, t);
+    cache.Lookup(1, t + 0.5);
+  }
+  // A slow-disk page arrives; the victim must come from disk 0's chain
+  // (the only non-empty one), and the newcomer joins disk 1's chain.
+  cache.Insert(7, 10.0);
+  EXPECT_EQ(cache.ChainSize(0), 1u);
+  EXPECT_EQ(cache.ChainSize(1), 1u);
+}
+
+TEST(LixCacheTest, EvictsSmallestLixAmongChainBottoms) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);  // fast disk
+  cache.Insert(6, 0.0);  // slow disk
+  // Hit both equally often: equal probability estimates, but page 0's
+  // frequency is 5x page 6's, so lix(0) = p/0.5 < lix(6) = p/0.1.
+  for (double t = 1.0; t <= 5.0; t += 1.0) {
+    cache.Lookup(0, t);
+    cache.Lookup(6, t);
+  }
+  cache.Insert(3, 6.0);
+  EXPECT_FALSE(cache.Contains(0)) << "fast-disk page should be evicted";
+  EXPECT_TRUE(cache.Contains(6));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LCacheTest, IgnoresFrequency) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(6, 0.0);
+  // Hit page 6 less recently than page 0: L evicts 6 (lower estimate),
+  // even though LIX would evict 0.
+  cache.Lookup(6, 1.0);
+  cache.Lookup(0, 4.0);
+  cache.Insert(3, 5.0);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(6));
+}
+
+TEST(LixCacheTest, EstimateGrowsWithHitRate) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  // Page 0 hit every unit, page 1 hit every 4 units.
+  for (double t = 1.0; t <= 8.0; t += 1.0) cache.Lookup(0, t);
+  cache.Lookup(1, 4.0);
+  cache.Lookup(1, 8.0);
+  EXPECT_GT(cache.EvaluateLix(0, 9.0), cache.EvaluateLix(1, 9.0));
+}
+
+TEST(LixCacheTest, RunningEstimateFormulaMatchesPaper) {
+  FakeCatalog catalog(2, 1);
+  catalog.set_frequency(0, 1.0);
+  LixOptions options;
+  options.alpha = 0.25;
+  LixCache cache(2, 2, &catalog, options);
+  cache.Insert(0, 10.0);  // p = 0, t = 10
+  cache.Lookup(0, 14.0);  // p = 0.25/4 + 0.75*0 = 0.0625, t = 14
+  // Evaluated at t = 16: 0.25/2 + 0.75*0.0625 = 0.171875.
+  EXPECT_NEAR(cache.EvaluateLix(0, 16.0), 0.171875, 1e-12);
+}
+
+TEST(LixCacheTest, SameTimeHitsDoNotDivideByZero) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(2, 10, &catalog);
+  cache.Insert(0, 5.0);
+  cache.Lookup(0, 5.0);  // zero inter-access gap
+  cache.Lookup(0, 5.0);
+  const double lix = cache.EvaluateLix(0, 5.0);
+  EXPECT_TRUE(std::isfinite(lix));
+}
+
+TEST(LixCacheTest, SingleFlatDiskReducesToLruOrder) {
+  // On a one-disk broadcast LIX has a single chain; with no hits the
+  // bottom of the chain (the LRU page) is evicted, like LRU.
+  FakeCatalog catalog(10, 1);
+  LixCache cache(3, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 1.0);
+  cache.Insert(2, 2.0);
+  cache.Insert(3, 3.0);  // evicts the single chain's bottom: page 0
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LixCacheTest, NewcomerAlwaysAdmitted) {
+  // Unlike P/PIX, LIX admits every fetched page (it cannot know the
+  // newcomer's future worth; p starts at 0).
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(1, 10, &catalog);
+  cache.Insert(0, 0.0);
+  for (double t = 1.0; t <= 3.0; t += 1.0) cache.Lookup(0, t);
+  cache.Insert(9, 4.0);
+  EXPECT_TRUE(cache.Contains(9));
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+TEST(LixCacheTest, CapacityRespectedUnderChurn) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LixCache cache(3, 10, &catalog);
+  for (int round = 0; round < 5; ++round) {
+    for (PageId p = 0; p < 10; ++p) {
+      const double t = round * 10.0 + p;
+      if (!cache.Lookup(p, t)) cache.Insert(p, t);
+      EXPECT_LE(cache.size(), 3u);
+    }
+  }
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LixCacheDeathTest, BadAlphaDies) {
+  FakeCatalog catalog(4, 1);
+  EXPECT_DEATH(LixCache(2, 4, &catalog, LixOptions{0.0, true}),
+               "Check failed");
+  EXPECT_DEATH(LixCache(2, 4, &catalog, LixOptions{1.5, true}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast

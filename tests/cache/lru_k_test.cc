@@ -1,0 +1,130 @@
+#include "cache/lru_k.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+FakeCatalog TwoDiskCatalog() {
+  FakeCatalog catalog(10, 2);
+  for (PageId p = 0; p < 5; ++p) {
+    catalog.set_disk(p, 0);
+    catalog.set_frequency(p, 0.5);
+  }
+  for (PageId p = 5; p < 10; ++p) {
+    catalog.set_disk(p, 1);
+    catalog.set_frequency(p, 0.1);
+  }
+  return catalog;
+}
+
+TEST(LruKCacheTest, NameIncludesKAndVariant) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LruKCache with_freq(2, 10, &catalog, LruKOptions{2, true});
+  LruKCache without(2, 10, &catalog, LruKOptions{3, false});
+  EXPECT_EQ(with_freq.name(), "LRU-2X");
+  EXPECT_EQ(without.name(), "LRU-3");
+}
+
+TEST(LruKCacheTest, BasicInsertLookup) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LruKCache cache(3, 10, &catalog);
+  EXPECT_FALSE(cache.Lookup(1, 0.0));
+  cache.Insert(1, 0.0);
+  EXPECT_TRUE(cache.Lookup(1, 1.0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruKCacheTest, CapacityRespected) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LruKCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 1.0);
+  cache.Insert(2, 2.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruKCacheTest, EvictsOldestKDistanceWithinDisk) {
+  FakeCatalog catalog(10, 1);
+  LruKCache cache(2, 10, &catalog, LruKOptions{2, false});
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 1.0);
+  // Page 0 gets a second access (k=2 history at {0, 5}); page 1 stays at
+  // one access from t=1. Backward-2 distance: page 0's oldest tracked is
+  // 0.0, page 1's is 1.0 -> page 0 looks older by k-distance... but its
+  // two accesses give a higher rate: rate(0) = 2/(6-0), rate(1) = 1/(6-1).
+  cache.Lookup(0, 5.0);
+  EXPECT_GT(cache.EvaluateValue(0, 6.0), cache.EvaluateValue(1, 6.0));
+}
+
+TEST(LruKCacheTest, FrequencyVariantPrefersEvictingFastDiskPages) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LruKCache cache(2, 10, &catalog, LruKOptions{2, true});
+  cache.Insert(0, 0.0);  // fast disk
+  cache.Insert(6, 0.0);  // slow disk
+  cache.Lookup(0, 2.0);
+  cache.Lookup(6, 2.0);  // identical histories
+  // Equal rates, but page 0 is cheap to re-fetch: evict it.
+  cache.Insert(8, 3.0);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(6));
+  EXPECT_TRUE(cache.Contains(8));
+}
+
+TEST(LruKCacheTest, HistoryRingKeepsOnlyKEntries) {
+  FakeCatalog catalog(4, 1);
+  LruKCache cache(2, 4, &catalog, LruKOptions{2, false});
+  cache.Insert(0, 0.0);
+  cache.Lookup(0, 10.0);
+  cache.Lookup(0, 20.0);
+  cache.Lookup(0, 30.0);
+  // Tracked times should be {20, 30}: rate = 2 / (35 - 20).
+  EXPECT_NEAR(cache.EvaluateValue(0, 35.0), 2.0 / 15.0, 1e-12);
+}
+
+TEST(LruKCacheTest, ReinsertResetsHistory) {
+  FakeCatalog catalog(4, 1);
+  LruKCache cache(1, 4, &catalog, LruKOptions{2, false});
+  cache.Insert(0, 0.0);
+  cache.Lookup(0, 1.0);
+  cache.Insert(1, 2.0);  // evicts 0
+  cache.Insert(0, 3.0);  // 0 returns with fresh history
+  EXPECT_NEAR(cache.EvaluateValue(0, 4.0), 1.0 / 1.0, 1e-12);
+}
+
+TEST(LruKCacheTest, KOneBehavesLikeRecencyRate) {
+  FakeCatalog catalog(6, 1);
+  LruKCache cache(2, 6, &catalog, LruKOptions{1, false});
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  cache.Lookup(0, 8.0);
+  cache.Lookup(1, 2.0);
+  // k=1: value is 1/(now - last access). Page 1 is staler.
+  EXPECT_LT(cache.EvaluateValue(1, 10.0), cache.EvaluateValue(0, 10.0));
+  cache.Insert(2, 10.0);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruKCacheTest, ChurnStaysWithinCapacity) {
+  FakeCatalog catalog = TwoDiskCatalog();
+  LruKCache cache(3, 10, &catalog);
+  for (int round = 0; round < 10; ++round) {
+    for (PageId p = 0; p < 10; ++p) {
+      const double t = round * 10.0 + p;
+      if (!cache.Lookup(p, t)) cache.Insert(p, t);
+      ASSERT_LE(cache.size(), 3u);
+    }
+  }
+}
+
+TEST(LruKCacheDeathTest, KZeroDies) {
+  FakeCatalog catalog(4, 1);
+  EXPECT_DEATH(LruKCache(2, 4, &catalog, LruKOptions{0, true}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,145 @@
+#include "cache/p_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+FakeCatalog DescendingProbCatalog(PageId n) {
+  FakeCatalog catalog(n, 2);
+  for (PageId p = 0; p < n; ++p) {
+    // Page 0 hottest.
+    catalog.set_probability(p, 1.0 / static_cast<double>(p + 1));
+  }
+  return catalog;
+}
+
+TEST(PCacheTest, KeepsHighestProbabilityPages) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(3, 10, &catalog);
+  // Insert cold-to-hot; the hot ones must win.
+  for (PageId p = 9; p != kEmptySlot && p < 10; --p) {
+    if (!cache.Contains(p)) cache.Insert(p, 0.0);
+  }
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.name(), "P");
+}
+
+TEST(PCacheTest, DeclinesColderNewcomer) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  cache.Insert(7, 0.0);  // colder than both residents: declined
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(PCacheTest, EvictsColdestWhenHotterArrives) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(2, 10, &catalog);
+  cache.Insert(5, 0.0);
+  cache.Insert(6, 0.0);
+  cache.Insert(1, 0.0);  // hotter: evicts page 6 (the coldest resident)
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_FALSE(cache.Contains(6));
+}
+
+TEST(PCacheTest, TieKeepsResident) {
+  FakeCatalog catalog(4);
+  for (PageId p = 0; p < 4; ++p) catalog.set_probability(p, 0.25);
+  PCache cache(1, 4, &catalog);
+  cache.Insert(2, 0.0);
+  cache.Insert(3, 0.0);  // equal value: resident 2 stays
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+}
+
+TEST(PCacheTest, LookupDoesNotDisturbContents) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(2, 10, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  EXPECT_TRUE(cache.Lookup(0, 1.0));
+  EXPECT_FALSE(cache.Lookup(5, 1.0));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PCacheTest, ValueOfExposesProbability) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(2, 10, &catalog);
+  EXPECT_DOUBLE_EQ(cache.ValueOf(0), 1.0);
+  EXPECT_DOUBLE_EQ(cache.ValueOf(3), 0.25);
+}
+
+// --- PIX: the paper's Section-3 worked example ---
+
+TEST(PixCacheTest, PaperSection3Example) {
+  // "One page is accessed 1% of the time and broadcast 1% of the time; a
+  // second is accessed only 0.5% of the time but broadcast 0.1% of the
+  // time." PIX prefers the second even though it is accessed half as
+  // often.
+  FakeCatalog catalog(3, 2);
+  catalog.set_probability(0, 0.01);
+  catalog.set_frequency(0, 0.01);   // pix = 1.0
+  catalog.set_probability(1, 0.005);
+  catalog.set_frequency(1, 0.001);  // pix = 5.0
+  PixCache cache(1, 3, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);  // displaces page 0 despite lower probability
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_EQ(cache.name(), "PIX");
+}
+
+TEST(PixCacheTest, EqualFrequencyReducesToP) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  for (PageId p = 0; p < 10; ++p) catalog.set_frequency(p, 0.2);
+  PixCache pix(3, 10, &catalog);
+  PCache p_cache(3, 10, &catalog);
+  for (PageId page = 9; page != kEmptySlot && page < 10; --page) {
+    if (!pix.Contains(page)) pix.Insert(page, 0.0);
+    if (!p_cache.Contains(page)) p_cache.Insert(page, 0.0);
+  }
+  for (PageId page = 0; page < 10; ++page) {
+    EXPECT_EQ(pix.Contains(page), p_cache.Contains(page)) << page;
+  }
+}
+
+TEST(PixCacheTest, HotFastPageLosesToWarmSlowPage) {
+  FakeCatalog catalog(2, 2);
+  catalog.set_probability(0, 0.4);
+  catalog.set_frequency(0, 0.5);    // hot but very fast: pix 0.8
+  catalog.set_probability(1, 0.1);
+  catalog.set_frequency(1, 0.01);   // warm but very slow: pix 10
+  PixCache cache(1, 2, &catalog);
+  cache.Insert(0, 0.0);
+  cache.Insert(1, 0.0);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(PixCacheDeathTest, ZeroFrequencyPageDies) {
+  FakeCatalog catalog(2);
+  catalog.set_frequency(1, 0.0);
+  EXPECT_DEATH(PixCache(1, 2, &catalog), "never broadcast");
+}
+
+TEST(StaticValueCacheTest, FillsToCapacityBeforeComparing) {
+  FakeCatalog catalog = DescendingProbCatalog(10);
+  PCache cache(5, 10, &catalog);
+  // Even cold pages are admitted while there is room.
+  cache.Insert(9, 0.0);
+  cache.Insert(8, 0.0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(9));
+}
+
+}  // namespace
+}  // namespace bcast

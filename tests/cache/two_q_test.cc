@@ -1,0 +1,181 @@
+#include "cache/two_q.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+// Reclamation in this 2Q is lazy: demotion from A1in happens only when
+// the cache is at capacity and a slot is needed, exactly like the
+// original's "reclaiming" procedure.
+
+TEST(TwoQCacheTest, NameReflectsVariant) {
+  FakeCatalog catalog(20, 1);
+  TwoQCache plain(8, 20, &catalog);
+  TwoQCache costly(8, 20, &catalog, TwoQOptions{0.25, 0.5, true});
+  EXPECT_EQ(plain.name(), "2Q");
+  EXPECT_EQ(costly.name(), "2QX");
+}
+
+TEST(TwoQCacheTest, FirstInsertGoesToA1in) {
+  FakeCatalog catalog(20, 1);
+  TwoQCache cache(8, 20, &catalog);
+  cache.Insert(3, 0.0);
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.a1in_size(), 1u);
+  EXPECT_EQ(cache.am_size(), 0u);
+}
+
+TEST(TwoQCacheTest, HitInA1inDoesNotPromote) {
+  // Correlated references must not promote; promotion goes via A1out.
+  FakeCatalog catalog(20, 1);
+  TwoQCache cache(8, 20, &catalog);
+  cache.Insert(3, 0.0);
+  EXPECT_TRUE(cache.Lookup(3, 1.0));
+  EXPECT_EQ(cache.am_size(), 0u);
+  EXPECT_EQ(cache.a1in_size(), 1u);
+}
+
+TEST(TwoQCacheTest, OverflowDemotesA1inTailToGhost) {
+  FakeCatalog catalog(40, 1);
+  TwoQCache cache(4, 40, &catalog);  // kin = 1, kout = 2
+  for (PageId p = 0; p < 4; ++p) cache.Insert(p, p);
+  cache.Insert(4, 4.0);  // at capacity: FIFO tail (page 0) becomes a ghost
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_EQ(cache.a1out_size(), 1u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(TwoQCacheTest, GhostReferencePromotesToAm) {
+  FakeCatalog catalog(40, 1);
+  TwoQCache cache(4, 40, &catalog);  // kin = 1, kout = 2
+  for (PageId p = 0; p < 4; ++p) cache.Insert(p, p);
+  cache.Insert(4, 4.0);            // page 0 -> ghost
+  EXPECT_FALSE(cache.Lookup(0, 5.0));
+  cache.Insert(0, 5.0);            // ghost hit -> Am
+  EXPECT_EQ(cache.am_size(), 1u);
+  EXPECT_TRUE(cache.Contains(0));
+}
+
+TEST(TwoQCacheTest, PromotionConsumesGhostEntry) {
+  FakeCatalog catalog(40, 1);
+  TwoQCache cache(4, 40, &catalog);
+  for (PageId p = 0; p < 4; ++p) cache.Insert(p, p);
+  cache.Insert(4, 4.0);  // 0 -> ghost
+  ASSERT_EQ(cache.a1out_size(), 1u);
+  // Promoting 0 demotes one more A1in page (+1 ghost) and consumes 0's
+  // ghost entry (-1): net size stays 1, and 0's entry is gone.
+  cache.Insert(0, 5.0);
+  EXPECT_EQ(cache.a1out_size(), 1u);
+}
+
+TEST(TwoQCacheTest, CapacityNeverExceeded) {
+  FakeCatalog catalog(100, 1);
+  TwoQCache cache(10, 100, &catalog);
+  for (int round = 0; round < 5; ++round) {
+    for (PageId p = 0; p < 100; p += 3) {
+      const double t = round * 100.0 + p;
+      if (!cache.Lookup(p, t)) cache.Insert(p, t);
+      ASSERT_LE(cache.size(), 10u);
+    }
+  }
+}
+
+TEST(TwoQCacheTest, GhostQueueBounded) {
+  FakeCatalog catalog(200, 1);
+  TwoQCache cache(10, 200, &catalog);  // kout = 5
+  for (PageId p = 0; p < 200; ++p) {
+    if (!cache.Lookup(p, p)) cache.Insert(p, p);
+  }
+  EXPECT_LE(cache.a1out_size(), 5u);
+}
+
+TEST(TwoQCacheTest, OneShotScanDoesNotEvictHotAmPages) {
+  FakeCatalog catalog(200, 1);
+  TwoQCache cache(10, 200, &catalog);  // kin = 2, kout = 5
+  // Establish page 0 in Am: fill to capacity, overflow it to the ghost
+  // queue, then re-reference it.
+  for (PageId p = 0; p < 10; ++p) cache.Insert(p, p);
+  cache.Insert(10, 10.0);  // page 0 -> ghost
+  cache.Insert(0, 11.0);   // ghost hit -> Am
+  ASSERT_EQ(cache.am_size(), 1u);
+  ASSERT_TRUE(cache.Contains(0));
+  // A long one-shot scan washes through A1in only.
+  for (PageId p = 100; p < 180; ++p) {
+    ASSERT_FALSE(cache.Lookup(p, p));
+    cache.Insert(p, p);
+  }
+  EXPECT_TRUE(cache.Contains(0)) << "hot page evicted by scan";
+}
+
+TEST(TwoQCacheTest, AmEvictsItsLruPageWhenA1inIsSmall) {
+  FakeCatalog catalog(100, 1);
+  TwoQCache cache(4, 100, &catalog, TwoQOptions{0.5, 0.5, false});
+  // kin = 2, kout = 2. Promote 0, 1, 2 into Am one by one; each ghost-hit
+  // insert shrinks A1in by one.
+  for (PageId p = 0; p < 4; ++p) cache.Insert(p, p);
+  cache.Insert(4, 4.0);  // demote 0 -> ghost
+  cache.Insert(0, 5.0);  // 0 -> Am (demotes 1)
+  cache.Insert(1, 6.0);  // 1 -> Am (demotes 2)
+  cache.Insert(2, 7.0);  // 2 -> Am (demotes 3)
+  ASSERT_EQ(cache.am_size(), 3u);
+  ASSERT_EQ(cache.a1in_size(), 1u);
+  cache.Lookup(0, 8.0);  // Am order MRU->LRU: 0, 2, 1
+  // A1in is now below kin, so the next reclaim hits Am's LRU: page 1.
+  cache.Insert(3, 9.0);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(TwoQXCacheTest, EvictsCheapToRefetchCandidate) {
+  // Fast pages (freq 0.5) are cheap to re-acquire; slow ones (0.01) are
+  // not. 2QX keeps the slow A1in page and sacrifices the fast Am page —
+  // plain 2Q would do the opposite.
+  FakeCatalog catalog(100, 2);
+  for (PageId p = 0; p < 50; ++p) catalog.set_frequency(p, 0.5);
+  for (PageId p = 50; p < 100; ++p) catalog.set_frequency(p, 0.01);
+
+  for (bool use_freq : {true, false}) {
+    TwoQCache cache(4, 100, &catalog, TwoQOptions{0.5, 0.5, use_freq});
+    cache.Insert(0, 0.0);    // fast
+    cache.Insert(61, 1.0);   // slow
+    cache.Insert(62, 2.0);
+    cache.Insert(63, 3.0);   // at capacity, A1in = [63,62,61,0]
+    cache.Insert(64, 4.0);   // demote 0 -> ghost
+    cache.Insert(0, 5.0);    // ghost hit: fast page 0 -> Am
+    ASSERT_TRUE(cache.Contains(0));
+    // Next insert: candidates are A1in tail 62 (slow) and Am LRU 0 (fast).
+    cache.Insert(65, 6.0);
+    if (use_freq) {
+      EXPECT_FALSE(cache.Contains(0)) << "2QX should evict the fast page";
+      EXPECT_TRUE(cache.Contains(62));
+    } else {
+      EXPECT_TRUE(cache.Contains(0)) << "plain 2Q demotes from A1in";
+      EXPECT_FALSE(cache.Contains(62));
+    }
+  }
+}
+
+TEST(TwoQCacheTest, CapacityOneWorks) {
+  FakeCatalog catalog(10, 1);
+  TwoQCache cache(1, 10, &catalog);
+  cache.Insert(0, 0.0);
+  EXPECT_TRUE(cache.Contains(0));
+  cache.Insert(1, 1.0);
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TwoQCacheDeathTest, InsertingCachedPageDies) {
+  FakeCatalog catalog(10, 1);
+  TwoQCache cache(4, 10, &catalog);
+  cache.Insert(0, 0.0);
+  EXPECT_DEATH(cache.Insert(0, 1.0), "cached page");
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,100 @@
+#include "client/access_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bcast {
+namespace {
+
+AccessGenerator PaperGenerator(uint64_t seed = 1,
+                               ThinkTimeKind kind = ThinkTimeKind::kFixed) {
+  auto gen =
+      AccessGenerator::Make(1000, 50, 0.95, 2.0, kind, Rng(seed));
+  EXPECT_TRUE(gen.ok());
+  return std::move(*gen);
+}
+
+TEST(AccessGeneratorTest, RejectsBadArguments) {
+  EXPECT_FALSE(AccessGenerator::Make(0, 50, 0.95, 2.0,
+                                     ThinkTimeKind::kFixed, Rng(1))
+                   .ok());
+  EXPECT_FALSE(AccessGenerator::Make(1000, 0, 0.95, 2.0,
+                                     ThinkTimeKind::kFixed, Rng(1))
+                   .ok());
+  EXPECT_FALSE(AccessGenerator::Make(1000, 50, -1.0, 2.0,
+                                     ThinkTimeKind::kFixed, Rng(1))
+                   .ok());
+  EXPECT_FALSE(AccessGenerator::Make(1000, 50, 0.95, -2.0,
+                                     ThinkTimeKind::kFixed, Rng(1))
+                   .ok());
+}
+
+TEST(AccessGeneratorTest, PagesStayInAccessRange) {
+  AccessGenerator gen = PaperGenerator();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.NextPage(), 1000u);
+  }
+}
+
+TEST(AccessGeneratorTest, FixedThinkTimeIsConstant) {
+  AccessGenerator gen = PaperGenerator();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(gen.NextThinkTime(), 2.0);
+  }
+}
+
+TEST(AccessGeneratorTest, ExponentialThinkTimeHasRightMean) {
+  AccessGenerator gen = PaperGenerator(5, ThinkTimeKind::kExponential);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.NextThinkTime();
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(AccessGeneratorTest, ZeroThinkTimeAllowed) {
+  auto gen = AccessGenerator::Make(10, 5, 0.95, 0.0,
+                                   ThinkTimeKind::kExponential, Rng(1));
+  ASSERT_TRUE(gen.ok());
+  EXPECT_DOUBLE_EQ(gen->NextThinkTime(), 0.0);
+}
+
+TEST(AccessGeneratorTest, DeterministicInSeed) {
+  AccessGenerator a = PaperGenerator(7);
+  AccessGenerator b = PaperGenerator(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextPage(), b.NextPage());
+  }
+}
+
+TEST(AccessGeneratorTest, HotPagesDominateSamples) {
+  AccessGenerator gen = PaperGenerator(11);
+  const int n = 100000;
+  int hot = 0;  // first region
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < n; ++i) {
+    const PageId p = gen.NextPage();
+    ++counts[p];
+    if (p < 50) ++hot;
+  }
+  // The hottest region's share should match its Zipf weight.
+  const double expected_hot = gen.Probability(0) * 50 * n;
+  EXPECT_NEAR(hot, expected_hot, 5 * std::sqrt(expected_hot));
+  // And it must far exceed the coldest region's.
+  int cold = 0;
+  for (PageId p = 950; p < 1000; ++p) cold += counts[p];
+  EXPECT_GT(hot, 3 * cold);
+}
+
+TEST(AccessGeneratorTest, ProbabilityMatchesUnderlyingZipf) {
+  AccessGenerator gen = PaperGenerator();
+  EXPECT_GT(gen.Probability(0), gen.Probability(999));
+  EXPECT_EQ(gen.Probability(1000), 0.0);
+  double total = 0.0;
+  for (PageId p = 0; p < 1000; ++p) total += gen.Probability(p);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,99 @@
+#include "client/prefetch.h"
+
+#include <gtest/gtest.h>
+
+#include "broadcast/generator.h"
+#include "client/client.h"
+#include "cache/lru.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+struct PrefetchWorld {
+  PrefetchWorld(uint64_t cache_size, uint64_t measured)
+      : program(*GenerateMultiDiskProgram(
+            *MakeDeltaLayout({10, 20, 30}, 2))),
+        mapping(Mapping::Identity(60)),
+        gen(*AccessGenerator::Make(30, 5, 0.95, 2.0, ThinkTimeKind::kFixed,
+                                   Rng(5))),
+        channel(&sim, &program),
+        client(&sim, &channel, &gen, &mapping, cache_size,
+               PrefetchClientConfig{measured, 50000}) {}
+
+  des::Simulation sim;
+  BroadcastProgram program;
+  Mapping mapping;
+  AccessGenerator gen;
+  BroadcastChannel channel;
+  PrefetchClient client;
+
+  void Run() {
+    sim.Spawn(client.RunRequests());
+    sim.Spawn(client.RunMonitor());
+    sim.Run();
+  }
+};
+
+TEST(PrefetchClientTest, CompletesAndRecords) {
+  PrefetchWorld world(5, 300);
+  world.Run();
+  EXPECT_EQ(world.client.metrics().requests(), 300u);
+}
+
+TEST(PrefetchClientTest, CacheBoundedByCapacity) {
+  PrefetchWorld world(5, 300);
+  world.Run();
+  EXPECT_LE(world.client.cache_size(), 5u);
+}
+
+TEST(PrefetchClientTest, MonitorOnlyCachesAccessedPages) {
+  PrefetchWorld world(8, 200);
+  world.Run();
+  // Pages outside the access range (>= 30) have zero probability and must
+  // never occupy a slot.
+  for (PageId p = 30; p < 60; ++p) {
+    EXPECT_FALSE(world.client.Contains(p)) << "page " << p;
+  }
+}
+
+TEST(PrefetchClientTest, PtValueUsesProbabilityAndWait) {
+  PrefetchWorld world(5, 10);
+  // Before running: at t=0, pt = P(page) * next-arrival-start.
+  const double pt0 = world.client.PtValue(0, 0.0);
+  const double expected =
+      world.gen.Probability(0) * world.program.NextArrivalStart(0, 0.0);
+  EXPECT_DOUBLE_EQ(pt0, expected);
+  world.Run();  // leave the simulation clean
+}
+
+TEST(PrefetchClientTest, BeatsDemandOnlyLruAtSameCapacity) {
+  // The whole point of prefetching: grabbing free pages off the air must
+  // not hurt, and with a skewed workload it should clearly help.
+  PrefetchWorld prefetch(8, 2000);
+  prefetch.Run();
+  const double prefetch_rt = prefetch.client.metrics().mean_response_time();
+
+  // Demand-only LRU client in an identical world.
+  des::Simulation sim;
+  auto program =
+      GenerateMultiDiskProgram(*MakeDeltaLayout({10, 20, 30}, 2));
+  ASSERT_TRUE(program.ok());
+  Mapping mapping = Mapping::Identity(60);
+  auto gen = AccessGenerator::Make(30, 5, 0.95, 2.0, ThinkTimeKind::kFixed,
+                                   Rng(5));
+  ASSERT_TRUE(gen.ok());
+  SimCatalog catalog(&*gen, &*program, &mapping);
+  LruCache cache(8, 60, &catalog);
+  BroadcastChannel channel(&sim, &*program);
+  Client client(&sim, &channel, &cache, &*gen, &mapping,
+                ClientRunConfig{2000, 50000});
+  sim.Spawn(client.Run());
+  sim.Run();
+  const double lru_rt = client.metrics().mean_response_time();
+
+  EXPECT_LT(prefetch_rt, lru_rt);
+}
+
+}  // namespace
+}  // namespace bcast

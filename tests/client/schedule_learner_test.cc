@@ -1,0 +1,147 @@
+#include "client/schedule_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "broadcast/generator.h"
+
+namespace bcast {
+namespace {
+
+// Feeds `count` slots of `program` starting at slot `start`.
+void Listen(ScheduleLearner* learner, const BroadcastProgram& program,
+            uint64_t count, uint64_t start = 0) {
+  for (uint64_t i = 0; i < count; ++i) {
+    learner->Observe(program.page_at((start + i) % program.period()));
+  }
+}
+
+TEST(ScheduleLearnerTest, EmptyLearnerNotConverged) {
+  ScheduleLearner learner;
+  EXPECT_EQ(learner.observed(), 0u);
+  EXPECT_EQ(learner.CandidatePeriod(), 0u);
+  EXPECT_FALSE(learner.converged());
+  EXPECT_FALSE(learner.Build().ok());
+}
+
+TEST(ScheduleLearnerTest, LearnsFlatProgramExactly) {
+  auto program = GenerateFlatProgram(10);
+  ASSERT_TRUE(program.ok());
+  ScheduleLearner learner;
+  Listen(&learner, *program, 20);
+  ASSERT_TRUE(learner.converged());
+  EXPECT_EQ(learner.CandidatePeriod(), 10u);
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_EQ(learned->slots(), program->slots());
+}
+
+TEST(ScheduleLearnerTest, ConvergesOnlyAfterTwoPeriods) {
+  auto program = GenerateFlatProgram(10);
+  ScheduleLearner learner;
+  Listen(&learner, *program, 19);
+  EXPECT_FALSE(learner.converged());
+  learner.Observe(program->page_at(19 % 10));
+  EXPECT_TRUE(learner.converged());
+}
+
+TEST(ScheduleLearnerTest, LearnsMultiDiskStructure) {
+  auto layout = MakeLayout({1, 4, 4}, {4, 2, 1});  // Figure 3
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  ScheduleLearner learner;
+  Listen(&learner, *program, 2 * program->period());
+  ASSERT_TRUE(learner.converged());
+  EXPECT_EQ(learner.CandidatePeriod(), program->period());
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok());
+  // Frequencies and inferred disk assignment match the transmitter's.
+  for (PageId p = 0; p < program->num_pages(); ++p) {
+    EXPECT_EQ(learned->Frequency(p), program->Frequency(p)) << "page " << p;
+    EXPECT_EQ(learned->DiskOf(p), program->DiskOf(p)) << "page " << p;
+  }
+}
+
+TEST(ScheduleLearnerTest, MidStreamStartLearnsARotation) {
+  auto layout = MakeLayout({1, 2}, {2, 1});  // A B A C
+  auto program = GenerateMultiDiskProgram(*layout);
+  ScheduleLearner learner;
+  Listen(&learner, *program, 8, /*start=*/2);  // A C A B A C A B
+  ASSERT_TRUE(learner.converged());
+  EXPECT_EQ(learner.CandidatePeriod(), 4u);
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok());
+  // A rotation preserves every page's gap structure.
+  for (PageId p = 0; p < 3; ++p) {
+    EXPECT_EQ(learned->InterArrivalGaps(p), program->InterArrivalGaps(p));
+  }
+}
+
+TEST(ScheduleLearnerTest, RefutesPrematurePeriodGuess) {
+  // Stream AAAB: after "AA" the candidate period is 1; the learner must
+  // abandon it when B arrives.
+  auto program = BroadcastProgram::Make({0, 0, 0, 1}, 2);
+  ASSERT_TRUE(program.ok());
+  ScheduleLearner learner;
+  learner.Observe(0);
+  learner.Observe(0);
+  EXPECT_EQ(learner.CandidatePeriod(), 1u);
+  EXPECT_TRUE(learner.converged());  // consistent so far — but wrong
+  Listen(&learner, *program, 6, /*start=*/2);  // ... 0 1 0 0 0 1
+  ASSERT_TRUE(learner.converged());
+  EXPECT_EQ(learner.CandidatePeriod(), 4u);
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned->slots(), program->slots());
+}
+
+TEST(ScheduleLearnerTest, HandlesEmptySlots) {
+  auto layout = MakeLayout({3, 2}, {3, 1});  // pads an empty slot
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  ScheduleLearner learner;
+  Listen(&learner, *program, 2 * program->period());
+  ASSERT_TRUE(learner.converged());
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned->EmptySlots(), program->EmptySlots());
+}
+
+TEST(ScheduleLearnerTest, AllEmptyStreamRejected) {
+  ScheduleLearner learner;
+  for (int i = 0; i < 10; ++i) learner.Observe(kEmptySlot);
+  ASSERT_TRUE(learner.converged());
+  EXPECT_FALSE(learner.Build().ok());
+}
+
+TEST(ScheduleLearnerTest, SparsePageIdsRejected) {
+  // Pages 0 and 2 observed, 1 never: ids are not dense.
+  ScheduleLearner learner;
+  for (int i = 0; i < 4; ++i) {
+    learner.Observe(0);
+    learner.Observe(2);
+  }
+  ASSERT_TRUE(learner.converged());
+  auto learned = learner.Build();
+  EXPECT_FALSE(learned.ok());
+  EXPECT_NE(learned.status().message().find("not dense"),
+            std::string::npos);
+}
+
+TEST(ScheduleLearnerTest, LearnsPaperScaleD5) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  ScheduleLearner learner;
+  Listen(&learner, *program, 2 * program->period(), /*start=*/1234);
+  ASSERT_TRUE(learner.converged());
+  EXPECT_EQ(learner.CandidatePeriod(), program->period());
+  auto learned = learner.Build();
+  ASSERT_TRUE(learned.ok());
+  for (PageId p : {0u, 499u, 500u, 2499u, 2500u, 4999u}) {
+    EXPECT_EQ(learned->Frequency(p), program->Frequency(p));
+    EXPECT_EQ(learned->DiskOf(p), program->DiskOf(p));
+  }
+}
+
+}  // namespace
+}  // namespace bcast

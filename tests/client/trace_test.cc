@@ -1,0 +1,147 @@
+#include "client/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "broadcast/channel.h"
+#include "broadcast/generator.h"
+#include "cache/p_policy.h"
+#include "client/access_generator.h"
+#include "client/client.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+TEST(TraceTest, MakeValidatesInput) {
+  EXPECT_FALSE(Trace::Make({}, 2.0).ok());
+  EXPECT_FALSE(Trace::Make({1, 2}, -1.0).ok());
+  EXPECT_FALSE(Trace::Make({kEmptySlot}, 2.0).ok());
+  EXPECT_TRUE(Trace::Make({0, 1, 2}, 0.0).ok());
+}
+
+TEST(TraceTest, AccessRangeIsMaxPagePlusOne) {
+  auto trace = Trace::Make({3, 7, 3}, 2.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->access_range(), 8u);
+  EXPECT_EQ(trace->size(), 3u);
+}
+
+TEST(TraceTest, EmpiricalProbabilitiesSumToOne) {
+  auto trace = Trace::Make({0, 0, 1, 2}, 2.0);
+  ASSERT_TRUE(trace.ok());
+  const auto probs = trace->EmpiricalProbabilities();
+  EXPECT_DOUBLE_EQ(probs[0], 0.5);
+  EXPECT_DOUBLE_EQ(probs[1], 0.25);
+  EXPECT_DOUBLE_EQ(probs[2], 0.25);
+}
+
+TEST(TraceTest, RecordCapturesGeneratorOutput) {
+  auto gen = AccessGenerator::Make(100, 10, 0.95, 2.0,
+                                   ThinkTimeKind::kFixed, Rng(5));
+  ASSERT_TRUE(gen.ok());
+  auto gen_copy = AccessGenerator::Make(100, 10, 0.95, 2.0,
+                                        ThinkTimeKind::kFixed, Rng(5));
+  auto trace = Trace::Record(&*gen, 500);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 500u);
+  EXPECT_DOUBLE_EQ(trace->think_time(), 2.0);
+  for (PageId p : trace->pages()) {
+    EXPECT_EQ(p, gen_copy->NextPage());
+  }
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  auto trace = Trace::Make({5, 1, 4, 1, 5, 9}, 2.5);
+  ASSERT_TRUE(trace.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(trace->Save(&out).ok());
+  std::istringstream in(out.str());
+  auto loaded = Trace::Load(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->pages(), trace->pages());
+  EXPECT_DOUBLE_EQ(loaded->think_time(), 2.5);
+}
+
+TEST(TraceTest, LoadRejectsMalformedInput) {
+  auto load = [](const std::string& text) {
+    std::istringstream in(text);
+    return Trace::Load(&in);
+  };
+  EXPECT_FALSE(load("").ok());
+  EXPECT_FALSE(load("wrong\n").ok());
+  EXPECT_FALSE(load("bcast-trace v1\nrequests x think 2\n").ok());
+  EXPECT_FALSE(
+      load("bcast-trace v1\nrequests 3 think 2\npages 1 2\nend\n").ok());
+  EXPECT_FALSE(
+      load("bcast-trace v1\nrequests 2 think 2\npages 1 2\n").ok());
+}
+
+TEST(TraceSourceTest, ReplaysInOrderAndWraps) {
+  auto trace = Trace::Make({7, 8, 9}, 1.0);
+  ASSERT_TRUE(trace.ok());
+  TraceSource source(&*trace);
+  EXPECT_EQ(source.NextPage(), 7u);
+  EXPECT_EQ(source.NextPage(), 8u);
+  EXPECT_EQ(source.NextPage(), 9u);
+  EXPECT_FALSE(source.wrapped());
+  EXPECT_EQ(source.NextPage(), 7u);
+  EXPECT_TRUE(source.wrapped());
+  EXPECT_EQ(source.replayed(), 4u);
+  EXPECT_DOUBLE_EQ(source.NextThinkTime(), 1.0);
+}
+
+TEST(TraceSourceTest, ProbabilityIsEmpirical) {
+  auto trace = Trace::Make({0, 0, 0, 2}, 1.0);
+  ASSERT_TRUE(trace.ok());
+  TraceSource source(&*trace);
+  EXPECT_DOUBLE_EQ(source.Probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(source.Probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(source.Probability(2), 0.25);
+  EXPECT_DOUBLE_EQ(source.Probability(99), 0.0);
+}
+
+TEST(TraceSourceTest, DrivesAFullClientSimulation) {
+  // End to end: record a synthetic workload, replay it through the
+  // standard Client against a broadcast, with a P cache keyed by the
+  // trace's empirical probabilities.
+  auto gen = AccessGenerator::Make(50, 5, 0.95, 2.0, ThinkTimeKind::kFixed,
+                                   Rng(9));
+  ASSERT_TRUE(gen.ok());
+  auto trace = Trace::Record(&*gen, 2000);
+  ASSERT_TRUE(trace.ok());
+
+  auto program = GenerateFlatProgram(100);
+  ASSERT_TRUE(program.ok());
+  Mapping mapping = Mapping::Identity(100);
+  TraceSource source(&*trace);
+  SimCatalog catalog(&source, &*program, &mapping);
+  PCache cache(10, 100, &catalog);
+  des::Simulation sim;
+  BroadcastChannel channel(&sim, &*program);
+  Client client(&sim, &channel, &cache, &source, &mapping,
+                ClientRunConfig{1000, 100000});
+  sim.Spawn(client.Run());
+  sim.Run();
+  EXPECT_TRUE(client.finished());
+  EXPECT_EQ(client.metrics().requests(), 1000u);
+  // The P cache holds the trace's empirically hottest pages, so the hit
+  // rate must be at least the mass of the top-10 empirical pages minus
+  // sampling slack.
+  EXPECT_GT(client.metrics().hit_rate(), 0.3);
+}
+
+TEST(TraceSourceTest, ReplayIsDeterministic) {
+  auto gen = AccessGenerator::Make(50, 5, 0.95, 2.0, ThinkTimeKind::kFixed,
+                                   Rng(10));
+  auto trace = Trace::Record(&*gen, 100);
+  ASSERT_TRUE(trace.ok());
+  TraceSource a(&*trace), b(&*trace);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.NextPage(), b.NextPage());
+  }
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bcast {
+namespace {
+
+TEST(CsvTest, PlainFieldsUnquoted) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"a", "b", "42"});
+  EXPECT_EQ(out.str(), "a,b,42\n");
+}
+
+TEST(CsvTest, FieldsWithCommasQuoted) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvTest, EmbeddedQuotesDoubled) {
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, NewlinesQuoted) {
+  EXPECT_EQ(CsvWriter::EscapeField("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::EscapeField("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvTest, EmptyFieldStaysEmpty) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({"", "x", ""});
+  EXPECT_EQ(out.str(), ",x,\n");
+}
+
+TEST(CsvTest, EmptyRowIsBlankLine) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteRow({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(CsvTest, RowCountTracksHeadersAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(&out);
+  csv.WriteHeader({"x", "y"});
+  csv.WriteRow({"1", "2"});
+  csv.WriteRow({"3", "4"});
+  EXPECT_EQ(csv.rows_written(), 3u);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,144 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace bcast {
+namespace {
+
+// Helper: parse a vector of C-string args.
+Status ParseArgs(FlagSet* flags, std::vector<const char*> args) {
+  return flags->Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagSetTest, ParsesAllTypesWithEquals) {
+  uint64_t n = 1;
+  double x = 0.5;
+  std::string s = "a";
+  bool b = false;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  flags.AddDouble("x", &x, "");
+  flags.AddString("s", &s, "");
+  flags.AddBool("b", &b, "");
+  ASSERT_TRUE(
+      ParseArgs(&flags, {"--n=42", "--x=2.5", "--s=hello", "--b=true"})
+          .ok());
+  EXPECT_EQ(n, 42u);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagSetTest, ParsesSpaceSeparatedValues) {
+  uint64_t n = 0;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  ASSERT_TRUE(ParseArgs(&flags, {"--n", "7"}).ok());
+  EXPECT_EQ(n, 7u);
+}
+
+TEST(FlagSetTest, BareBoolFlagIsTrue) {
+  bool b = false;
+  FlagSet flags("t");
+  flags.AddBool("verbose", &b, "");
+  ASSERT_TRUE(ParseArgs(&flags, {"--verbose"}).ok());
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagSetTest, BoolAcceptsSpellings) {
+  bool b = true;
+  FlagSet flags("t");
+  flags.AddBool("b", &b, "");
+  ASSERT_TRUE(ParseArgs(&flags, {"--b=false"}).ok());
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(ParseArgs(&flags, {"--b=yes"}).ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(ParseArgs(&flags, {"--b=0"}).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagSetTest, RejectsUnknownFlag) {
+  FlagSet flags("t");
+  EXPECT_FALSE(ParseArgs(&flags, {"--nope=1"}).ok());
+}
+
+TEST(FlagSetTest, RejectsPositionalArguments) {
+  FlagSet flags("t");
+  EXPECT_FALSE(ParseArgs(&flags, {"positional"}).ok());
+}
+
+TEST(FlagSetTest, RejectsMissingValue) {
+  uint64_t n = 0;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  EXPECT_FALSE(ParseArgs(&flags, {"--n"}).ok());
+}
+
+TEST(FlagSetTest, RejectsMalformedNumbers) {
+  uint64_t n = 0;
+  double x = 0;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  flags.AddDouble("x", &x, "");
+  EXPECT_FALSE(ParseArgs(&flags, {"--n=12abc"}).ok());
+  EXPECT_FALSE(ParseArgs(&flags, {"--n=-3"}).ok());
+  EXPECT_FALSE(ParseArgs(&flags, {"--x=abc"}).ok());
+}
+
+TEST(FlagSetTest, HelpRequested) {
+  FlagSet flags("t");
+  ASSERT_TRUE(ParseArgs(&flags, {"--help"}).ok());
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(FlagSetTest, HelpTextListsFlagsAndDefaults) {
+  uint64_t n = 42;
+  FlagSet flags("mytool");
+  flags.AddUint64("widgets", &n, "how many widgets");
+  const std::string help = flags.HelpText();
+  EXPECT_NE(help.find("mytool"), std::string::npos);
+  EXPECT_NE(help.find("--widgets"), std::string::npos);
+  EXPECT_NE(help.find("how many widgets"), std::string::npos);
+  EXPECT_NE(help.find("42"), std::string::npos);
+}
+
+TEST(FlagSetTest, EmptyStringValueAllowed) {
+  std::string s = "default";
+  FlagSet flags("t");
+  flags.AddString("s", &s, "");
+  ASSERT_TRUE(ParseArgs(&flags, {"--s="}).ok());
+  EXPECT_EQ(s, "");
+}
+
+TEST(FlagSetDeathTest, DuplicateFlagDies) {
+  uint64_t n = 0;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  EXPECT_DEATH(flags.AddUint64("n", &n, ""), "duplicate");
+}
+
+// --- ParseUint64List (string_util) ---
+
+TEST(ParseUint64ListTest, ParsesPaperConfigs) {
+  auto list = ParseUint64List("500,2000,2500");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(*list, (std::vector<uint64_t>{500, 2000, 2500}));
+}
+
+TEST(ParseUint64ListTest, SingleValue) {
+  EXPECT_EQ(*ParseUint64List("5000"), (std::vector<uint64_t>{5000}));
+}
+
+TEST(ParseUint64ListTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseUint64List("").ok());
+  EXPECT_FALSE(ParseUint64List("1,,2").ok());
+  EXPECT_FALSE(ParseUint64List("1,a").ok());
+  EXPECT_FALSE(ParseUint64List("-1").ok());
+  EXPECT_FALSE(ParseUint64List("1 2").ok());
+  EXPECT_FALSE(ParseUint64List("99999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace bcast

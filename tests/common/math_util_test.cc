@@ -1,0 +1,69 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(GcdTest, Basics) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(18, 12), 6u);
+  EXPECT_EQ(Gcd(7, 13), 1u);
+  EXPECT_EQ(Gcd(0, 5), 5u);
+  EXPECT_EQ(Gcd(5, 0), 5u);
+  EXPECT_EQ(Gcd(0, 0), 0u);
+  EXPECT_EQ(Gcd(42, 42), 42u);
+}
+
+TEST(LcmTest, Basics) {
+  EXPECT_EQ(*Lcm(4, 6), 12u);
+  EXPECT_EQ(*Lcm(7, 4), 28u);
+  EXPECT_EQ(*Lcm(1, 1), 1u);
+  // The paper's Section 2.2 example: rel freqs 3 and 2 -> max_chunks 6.
+  EXPECT_EQ(*Lcm(3, 2), 6u);
+}
+
+TEST(LcmTest, ZeroRejected) {
+  EXPECT_FALSE(Lcm(0, 3).ok());
+  EXPECT_FALSE(Lcm(3, 0).ok());
+}
+
+TEST(LcmTest, OverflowDetected) {
+  const uint64_t big = (1ULL << 63) + 1;  // odd, huge
+  Result<uint64_t> r = Lcm(big, big - 2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LcmOfAllTest, PaperExample) {
+  // Figure 3: rel freqs 4, 2, 1 -> max_chunks 4.
+  EXPECT_EQ(*LcmOfAll({4, 2, 1}), 4u);
+  // Delta = 3 three-disk freqs 7, 4, 1 -> LCM 28.
+  EXPECT_EQ(*LcmOfAll({7, 4, 1}), 28u);
+  // The "141 for every 98" example: a very long period.
+  EXPECT_EQ(*LcmOfAll({141, 98}), 13818u);
+}
+
+TEST(LcmOfAllTest, SingleAndEmptyAndZero) {
+  EXPECT_EQ(*LcmOfAll({5}), 5u);
+  EXPECT_FALSE(LcmOfAll({}).ok());
+  EXPECT_FALSE(LcmOfAll({2, 0}).ok());
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 3), 1u);
+  EXPECT_EQ(CeilDiv(3, 3), 1u);
+  EXPECT_EQ(CeilDiv(4, 3), 2u);
+  // Section 2.2's padding: 2500 pages into 120 chunks -> 21-slot chunks.
+  EXPECT_EQ(CeilDiv(2500, 120), 21u);
+}
+
+TEST(CheckedMulTest, DetectsOverflow) {
+  EXPECT_EQ(*CheckedMul(3, 4), 12u);
+  EXPECT_EQ(*CheckedMul(0, ~0ULL), 0u);
+  EXPECT_FALSE(CheckedMul(1ULL << 33, 1ULL << 33).ok());
+}
+
+}  // namespace
+}  // namespace bcast

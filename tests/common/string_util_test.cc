@@ -1,0 +1,51 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string big(500, 'z');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()), big + "!");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(2.0), "2.00");
+  EXPECT_EQ(FormatDouble(2.5, 0), "2" /* rounds to even */);
+  EXPECT_EQ(FormatDouble(1234.5678, 1), "1234.6");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(SplitTest, Basics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  const std::vector<std::string> parts{"one", "two", "three"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("broadcast", "broad"));
+  EXPECT_TRUE(StartsWith("broadcast", ""));
+  EXPECT_FALSE(StartsWith("broad", "broadcast"));
+  EXPECT_FALSE(StartsWith("broadcast", "cast"));
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(AsciiTableTest, HeaderAndRule) {
+  AsciiTable t({"Name", "Value"});
+  t.AddRow({"flat", "2500.0"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("Value"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("flat"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumericCellsRightAligned) {
+  AsciiTable t({"Policy", "RT"});
+  t.AddRow({"LIX", "9.5"});
+  t.AddRow({"P", "12345.5"});
+  const std::string s = t.ToString();
+  // The short number is padded on the left to line up with the long one.
+  EXPECT_NE(s.find("    9.5"), std::string::npos);
+}
+
+TEST(AsciiTableTest, TextCellsLeftAligned) {
+  AsciiTable t({"Policy", "Note"});
+  t.AddRow({"P", "short"});
+  t.AddRow({"LIX-long-name", "x"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("P    "), std::string::npos);
+}
+
+TEST(AsciiTableTest, ShortRowsPadded) {
+  AsciiTable t({"A", "B", "C"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  // Should not crash and should render three columns.
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("A"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsWidenToContent) {
+  AsciiTable t({"X"});
+  t.AddRow({"a-very-wide-cell"});
+  const std::string s = t.ToString();
+  // Rule must cover the widest cell.
+  EXPECT_NE(s.find(std::string(16, '-')), std::string::npos);
+}
+
+TEST(AsciiTableTest, PercentagesCountAsNumeric) {
+  AsciiTable t({"P", "Share"});
+  t.AddRow({"LRU", "45.5%"});
+  t.AddRow({"LIX", "5.1%"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find(" 5.1%"), std::string::npos);
+}
+
+TEST(AsciiTableDeathTest, TooManyCellsRejected) {
+  AsciiTable t({"only"});
+  EXPECT_DEATH(t.AddRow({"a", "b"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast

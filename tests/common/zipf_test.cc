@@ -1,0 +1,170 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace bcast {
+namespace {
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(ZipfDistribution::Make(0, 1.0).ok());
+  EXPECT_FALSE(ZipfDistribution::Make(10, -0.1).ok());
+  EXPECT_FALSE(ZipfDistribution::Make(10, std::nan("")).ok());
+  EXPECT_TRUE(ZipfDistribution::Make(1, 0.0).ok());
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  auto zipf = ZipfDistribution::Make(100, 0.95);
+  ASSERT_TRUE(zipf.ok());
+  double total = 0.0;
+  for (uint64_t r = 1; r <= 100; ++r) total += zipf->Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  auto zipf = ZipfDistribution::Make(50, 0.0);
+  ASSERT_TRUE(zipf.ok());
+  for (uint64_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(zipf->Probability(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilityRatioMatchesPowerLaw) {
+  const double theta = 0.95;
+  auto zipf = ZipfDistribution::Make(10, theta);
+  ASSERT_TRUE(zipf.ok());
+  // P(i)/P(j) = (j/i)^theta.
+  EXPECT_NEAR(zipf->Probability(1) / zipf->Probability(2),
+              std::pow(2.0, theta), 1e-9);
+  EXPECT_NEAR(zipf->Probability(2) / zipf->Probability(6),
+              std::pow(3.0, theta), 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  auto zipf = ZipfDistribution::Make(100, 1.2);
+  ASSERT_TRUE(zipf.ok());
+  for (uint64_t r = 2; r <= 100; ++r) {
+    EXPECT_LT(zipf->Probability(r), zipf->Probability(r - 1));
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  auto zipf = ZipfDistribution::Make(20, 0.95);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(31);
+  const int n = 200000;
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = zipf->Sample(&rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 20u);
+    ++counts[r];
+  }
+  for (uint64_t r = 1; r <= 20; ++r) {
+    const double expected = zipf->Probability(r) * n;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 5)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  auto zipf = ZipfDistribution::Make(1, 0.95);
+  ASSERT_TRUE(zipf.ok());
+  Rng rng(32);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf->Sample(&rng), 1u);
+}
+
+// --- Region variant (the paper's client access distribution) ---
+
+TEST(RegionZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(RegionZipfGenerator::Make(0, 50, 0.95).ok());
+  EXPECT_FALSE(RegionZipfGenerator::Make(1000, 0, 0.95).ok());
+  EXPECT_FALSE(RegionZipfGenerator::Make(1000, 50, -1.0).ok());
+}
+
+TEST(RegionZipfTest, PaperConfigurationHasTwentyRegions) {
+  auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->num_regions(), 20u);
+  EXPECT_EQ(gen->access_range(), 1000u);
+}
+
+TEST(RegionZipfTest, ProbabilitiesSumToOne) {
+  auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  double total = 0.0;
+  for (uint64_t p = 0; p < 1000; ++p) total += gen->Probability(p);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RegionZipfTest, UniformWithinRegion) {
+  auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  for (uint64_t p = 0; p + 1 < 50; ++p) {
+    EXPECT_DOUBLE_EQ(gen->Probability(p), gen->Probability(p + 1));
+  }
+  for (uint64_t p = 950; p + 1 < 1000; ++p) {
+    EXPECT_DOUBLE_EQ(gen->Probability(p), gen->Probability(p + 1));
+  }
+}
+
+TEST(RegionZipfTest, RegionsFollowZipfRatios) {
+  const double theta = 0.95;
+  auto gen = RegionZipfGenerator::Make(1000, 50, theta);
+  ASSERT_TRUE(gen.ok());
+  // Page 0 is in region 1, page 50 in region 2 (equal-size regions):
+  // per-page probability ratio equals the region-weight ratio 2^theta.
+  EXPECT_NEAR(gen->Probability(0) / gen->Probability(50),
+              std::pow(2.0, theta), 1e-9);
+}
+
+TEST(RegionZipfTest, ZeroOutsideAccessRange) {
+  auto gen = RegionZipfGenerator::Make(1000, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->Probability(1000), 0.0);
+  EXPECT_EQ(gen->Probability(4999), 0.0);
+}
+
+TEST(RegionZipfTest, PartialFinalRegionIsHandled) {
+  // 130 pages, regions of 50: regions of 50, 50, and 30 pages.
+  auto gen = RegionZipfGenerator::Make(130, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->num_regions(), 3u);
+  double total = 0.0;
+  for (uint64_t p = 0; p < 130; ++p) total += gen->Probability(p);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Pages in the final 30-page region share that region's weight.
+  EXPECT_DOUBLE_EQ(gen->Probability(100), gen->Probability(129));
+}
+
+TEST(RegionZipfTest, SamplesStayInRangeAndMatchDistribution) {
+  auto gen = RegionZipfGenerator::Make(200, 50, 0.95);
+  ASSERT_TRUE(gen.ok());
+  Rng rng(33);
+  const int n = 200000;
+  std::vector<int> region_counts(4, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t p = gen->Sample(&rng);
+    ASSERT_LT(p, 200u);
+    ++region_counts[p / 50];
+  }
+  for (uint64_t r = 0; r < 4; ++r) {
+    const double expected = gen->Probability(r * 50) * 50 * n;
+    EXPECT_NEAR(region_counts[r], expected, 5 * std::sqrt(expected) + 5);
+  }
+}
+
+TEST(RegionZipfTest, HigherThetaIsMoreSkewed) {
+  auto mild = RegionZipfGenerator::Make(1000, 50, 0.5);
+  auto steep = RegionZipfGenerator::Make(1000, 50, 1.5);
+  ASSERT_TRUE(mild.ok());
+  ASSERT_TRUE(steep.ok());
+  EXPECT_GT(steep->Probability(0), mild->Probability(0));
+  EXPECT_LT(steep->Probability(999), mild->Probability(999));
+}
+
+}  // namespace
+}  // namespace bcast

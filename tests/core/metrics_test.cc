@@ -1,0 +1,74 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(ClientMetricsTest, EmptyState) {
+  ClientMetrics m(3);
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_EQ(m.cache_hits(), 0u);
+  EXPECT_EQ(m.misses(), 0u);
+  EXPECT_EQ(m.hit_rate(), 0.0);
+  EXPECT_EQ(m.mean_response_time(), 0.0);
+}
+
+TEST(ClientMetricsTest, HitsAndMissesAccumulate) {
+  ClientMetrics m(2);
+  m.RecordHit(0.0);
+  m.RecordMiss(10.0, 0);
+  m.RecordMiss(20.0, 1);
+  m.RecordHit(0.0);
+  EXPECT_EQ(m.requests(), 4u);
+  EXPECT_EQ(m.cache_hits(), 2u);
+  EXPECT_EQ(m.misses(), 2u);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_response_time(), 7.5);
+}
+
+TEST(ClientMetricsTest, PerDiskCounts) {
+  ClientMetrics m(3);
+  m.RecordMiss(1.0, 0);
+  m.RecordMiss(2.0, 2);
+  m.RecordMiss(3.0, 2);
+  EXPECT_EQ(m.served_per_disk(), (std::vector<uint64_t>{1, 0, 2}));
+}
+
+TEST(ClientMetricsTest, LocationFractionsSumToOne) {
+  ClientMetrics m(3);
+  m.RecordHit(0.0);
+  m.RecordMiss(5.0, 0);
+  m.RecordMiss(5.0, 1);
+  m.RecordMiss(5.0, 2);
+  const std::vector<double> f = m.LocationFractions();
+  ASSERT_EQ(f.size(), 4u);
+  double total = 0.0;
+  for (double x : f) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);  // cache
+  EXPECT_DOUBLE_EQ(f[1], 0.25);  // disk 1
+}
+
+TEST(ClientMetricsTest, LocationFractionsEmptyIsAllZero) {
+  ClientMetrics m(2);
+  const std::vector<double> f = m.LocationFractions();
+  for (double x : f) EXPECT_EQ(x, 0.0);
+}
+
+TEST(ClientMetricsTest, ResponseStatTracksSpread) {
+  ClientMetrics m(1);
+  m.RecordMiss(10.0, 0);
+  m.RecordMiss(30.0, 0);
+  EXPECT_DOUBLE_EQ(m.response_time().min(), 10.0);
+  EXPECT_DOUBLE_EQ(m.response_time().max(), 30.0);
+  EXPECT_DOUBLE_EQ(m.response_time().mean(), 20.0);
+}
+
+TEST(ClientMetricsDeathTest, DiskOutOfRangeDies) {
+  ClientMetrics m(2);
+  EXPECT_DEATH(m.RecordMiss(1.0, 5), "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,165 @@
+#include "core/multi_client.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+// A small world that runs in milliseconds.
+MultiClientParams SmallPopulation(size_t num_clients) {
+  MultiClientParams params;
+  params.disk_sizes = {50, 200, 250};
+  params.delta = 2;
+  params.measured_requests = 2000;
+  for (size_t c = 0; c < num_clients; ++c) {
+    ClientSpec spec;
+    spec.access_range = 100;
+    spec.region_size = 5;
+    spec.cache_size = 20;
+    spec.policy = PolicyKind::kLix;
+    params.clients.push_back(spec);
+  }
+  return params;
+}
+
+TEST(MultiClientValidationTest, RejectsEmptyPopulation) {
+  MultiClientParams params = SmallPopulation(1);
+  params.clients.clear();
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(MultiClientValidationTest, RejectsBadClient) {
+  MultiClientParams params = SmallPopulation(2);
+  params.clients[1].cache_size = 0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = SmallPopulation(2);
+  params.clients[0].interest_shift = 500;  // == DB size
+  EXPECT_FALSE(params.Validate().ok());
+  params = SmallPopulation(2);
+  params.clients[0].access_range = 501;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(MultiClientTest, EveryClientCompletes) {
+  auto result = RunMultiClientSimulation(SmallPopulation(4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->per_client.size(), 4u);
+  for (const ClientMetrics& m : result->per_client) {
+    EXPECT_EQ(m.requests(), 2000u);
+    EXPECT_EQ(m.cache_hits() + m.misses(), m.requests());
+  }
+  EXPECT_EQ(result->response_across_clients.count(), 4u);
+}
+
+TEST(MultiClientTest, IdenticalClientsGetSimilarService) {
+  // A broadcast never contends: identical specs (different RNG streams)
+  // must see statistically similar response times.
+  auto result = RunMultiClientSimulation(SmallPopulation(4));
+  ASSERT_TRUE(result.ok());
+  const double spread = result->response_across_clients.max() -
+                        result->response_across_clients.min();
+  EXPECT_LT(spread, 0.25 * result->response_across_clients.mean());
+}
+
+TEST(MultiClientTest, DeterministicInSeed) {
+  auto a = RunMultiClientSimulation(SmallPopulation(3));
+  auto b = RunMultiClientSimulation(SmallPopulation(3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->mean_response_times, b->mean_response_times);
+}
+
+TEST(MultiClientTest, AddingAClientDoesNotPerturbOthers) {
+  // Client sub-streams are independent: client 0's request sequence (and
+  // with a contention-free channel, its results) are identical whether or
+  // not client 1 exists.
+  auto solo = RunMultiClientSimulation(SmallPopulation(1));
+  auto duo = RunMultiClientSimulation(SmallPopulation(2));
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(duo.ok());
+  EXPECT_DOUBLE_EQ(solo->mean_response_times[0],
+                   duo->mean_response_times[0]);
+}
+
+TEST(MultiClientTest, AlignedClientBeatsShiftedClient) {
+  // The zero-sum game (Section 3): the broadcast is hottest-first for
+  // physical page 0; a client whose interest sits mid-database fares
+  // worse, without caches, than the aligned one.
+  MultiClientParams params = SmallPopulation(2);
+  params.clients[0].interest_shift = 0;
+  params.clients[1].interest_shift = 250;  // interests on the slow disk
+  for (ClientSpec& spec : params.clients) {
+    spec.cache_size = 1;  // isolate the broadcast fit
+    spec.policy = PolicyKind::kLru;
+  }
+  auto result = RunMultiClientSimulation(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->mean_response_times[0],
+            0.8 * result->mean_response_times[1]);
+}
+
+TEST(MultiClientTest, CachesShrinkTheFairnessGap) {
+  // With cost-based caches, the disadvantaged client recovers much of the
+  // gap (the paper's remedy for the zero-sum dilemma).
+  MultiClientParams no_cache = SmallPopulation(2);
+  no_cache.clients[1].interest_shift = 250;
+  for (ClientSpec& spec : no_cache.clients) {
+    spec.cache_size = 1;
+    spec.policy = PolicyKind::kLru;
+  }
+  MultiClientParams cached = SmallPopulation(2);
+  cached.clients[1].interest_shift = 250;
+  for (ClientSpec& spec : cached.clients) {
+    spec.cache_size = 50;
+    spec.policy = PolicyKind::kPix;
+  }
+  auto without = RunMultiClientSimulation(no_cache);
+  auto with = RunMultiClientSimulation(cached);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  const double gap_without = without->mean_response_times[1] /
+                             without->mean_response_times[0];
+  const double gap_with =
+      with->mean_response_times[1] / with->mean_response_times[0];
+  EXPECT_LT(gap_with, gap_without);
+}
+
+TEST(MultiClientTest, MixedPoliciesCoexist) {
+  MultiClientParams params = SmallPopulation(3);
+  params.clients[0].policy = PolicyKind::kLru;
+  params.clients[1].policy = PolicyKind::kPix;
+  params.clients[2].policy = PolicyKind::kTwoQ;
+  auto result = RunMultiClientSimulation(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_client.size(), 3u);
+}
+
+TEST(MultiClientTest, MatchesSingleClientSimulator) {
+  // A one-client population must agree with RunSimulation given the same
+  // seed wiring. (The single-client path uses different stream tags, so
+  // compare behaviourally: same config, similar response.)
+  MultiClientParams multi = SmallPopulation(1);
+  multi.measured_requests = 10000;
+  auto population = RunMultiClientSimulation(multi);
+  ASSERT_TRUE(population.ok());
+
+  SimParams single;
+  single.disk_sizes = multi.disk_sizes;
+  single.delta = multi.delta;
+  single.access_range = 100;
+  single.region_size = 5;
+  single.cache_size = 20;
+  single.policy = PolicyKind::kLix;
+  single.measured_requests = 10000;
+  auto solo = RunSimulation(single);
+  ASSERT_TRUE(solo.ok());
+
+  EXPECT_NEAR(population->mean_response_times[0],
+              solo->metrics.mean_response_time(),
+              0.1 * solo->metrics.mean_response_time());
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,98 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+TEST(SimParamsTest, DefaultsAreValidAndMatchThePaper) {
+  SimParams params;
+  EXPECT_TRUE(params.Validate().ok());
+  EXPECT_EQ(params.ServerDbSize(), 5000u);
+  EXPECT_EQ(params.access_range, 1000u);
+  EXPECT_EQ(params.region_size, 50u);
+  EXPECT_DOUBLE_EQ(params.theta, 0.95);
+  EXPECT_DOUBLE_EQ(params.think_time, 2.0);
+}
+
+TEST(SimParamsTest, RejectsEmptyDisks) {
+  SimParams params;
+  params.disk_sizes = {};
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsZeroDiskSize) {
+  SimParams params;
+  params.disk_sizes = {100, 0};
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsAccessRangeBeyondDb) {
+  SimParams params;
+  params.disk_sizes = {100};
+  params.access_range = 101;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsZeroCache) {
+  SimParams params;
+  params.cache_size = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsBadNoise) {
+  SimParams params;
+  params.noise_percent = 150.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.noise_percent = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsBadOffset) {
+  SimParams params;
+  params.offset = 5001;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsMismatchedExplicitFreqs) {
+  SimParams params;
+  params.rel_freqs = {3, 2};  // three disks configured
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsIncreasingExplicitFreqs) {
+  SimParams params;
+  params.rel_freqs = {1, 2, 3};
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, AcceptsExplicitFreqs) {
+  SimParams params;
+  params.rel_freqs = {7, 4, 1};
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsZeroMeasuredRequests) {
+  SimParams params;
+  params.measured_requests = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, RejectsNegativeThinkTime) {
+  SimParams params;
+  params.think_time = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(SimParamsTest, ToStringMentionsKeyKnobs) {
+  SimParams params;
+  params.policy = PolicyKind::kLix;
+  params.noise_percent = 30.0;
+  const std::string s = params.ToString();
+  EXPECT_NE(s.find("LIX"), std::string::npos);
+  EXPECT_NE(s.find("noise=30%"), std::string::npos);
+  EXPECT_NE(s.find("500,2000,2500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast

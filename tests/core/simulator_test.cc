@@ -1,0 +1,166 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast {
+namespace {
+
+// A scaled-down paper configuration that runs in milliseconds.
+SimParams SmallParams() {
+  SimParams params;
+  params.disk_sizes = {50, 200, 250};
+  params.delta = 2;
+  params.access_range = 100;
+  params.region_size = 5;
+  params.cache_size = 50;
+  params.offset = 0;
+  params.measured_requests = 3000;
+  return params;
+}
+
+TEST(BuildProgramTest, MultiDiskByDefault) {
+  auto program = BuildProgram(SmallParams());
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->num_disks(), 3u);
+  EXPECT_TRUE(program->HasFixedInterArrival(0));
+}
+
+TEST(BuildProgramTest, SkewedKind) {
+  SimParams params = SmallParams();
+  params.program_kind = ProgramKind::kSkewed;
+  auto program = BuildProgram(params);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(program->HasFixedInterArrival(0));
+}
+
+TEST(BuildProgramTest, RandomKindMatchesMultiDiskPeriod) {
+  SimParams params = SmallParams();
+  params.program_kind = ProgramKind::kRandom;
+  auto random = BuildProgram(params);
+  auto multi = BuildProgram(SmallParams());
+  ASSERT_TRUE(random.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(random->period(), multi->period());
+}
+
+TEST(BuildProgramTest, ExplicitFrequenciesOverrideDelta) {
+  SimParams params = SmallParams();
+  params.rel_freqs = {5, 3, 1};
+  auto program = BuildProgram(params);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->Frequency(0), 5u);
+  EXPECT_EQ(program->Frequency(60), 3u);
+  EXPECT_EQ(program->Frequency(400), 1u);
+}
+
+TEST(BuildProgramTest, InvalidParamsPropagate) {
+  SimParams params = SmallParams();
+  params.cache_size = 0;
+  EXPECT_FALSE(BuildProgram(params).ok());
+}
+
+TEST(RunSimulationTest, ProducesConsistentMetrics) {
+  auto result = RunSimulation(SmallParams());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ClientMetrics& m = result->metrics;
+  EXPECT_EQ(m.requests(), 3000u);
+  EXPECT_EQ(m.cache_hits() + m.misses(), m.requests());
+  uint64_t served = 0;
+  for (uint64_t c : m.served_per_disk()) served += c;
+  EXPECT_EQ(served, m.misses());
+  EXPECT_GT(result->end_time, 0.0);
+  EXPECT_GT(result->period, 0u);
+}
+
+TEST(RunSimulationTest, DeterministicInSeed) {
+  auto a = RunSimulation(SmallParams());
+  auto b = RunSimulation(SmallParams());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->metrics.mean_response_time(),
+                   b->metrics.mean_response_time());
+  EXPECT_EQ(a->metrics.cache_hits(), b->metrics.cache_hits());
+  EXPECT_EQ(a->warmup_requests, b->warmup_requests);
+}
+
+TEST(RunSimulationTest, DifferentSeedsDiffer) {
+  SimParams other = SmallParams();
+  other.seed = 777;
+  auto a = RunSimulation(SmallParams());
+  auto b = RunSimulation(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->metrics.mean_response_time(),
+            b->metrics.mean_response_time());
+}
+
+TEST(RunSimulationTest, NoiseSeedIndependentOfRequestStream) {
+  // Changing only noise keeps the same request sequence: with noise 0 vs
+  // noise 0 via different unrelated knob (seed fixed), hits must be equal.
+  SimParams a = SmallParams();
+  SimParams b = SmallParams();
+  b.noise_percent = 0.0;  // same as a; sanity guard
+  auto ra = RunSimulation(a);
+  auto rb = RunSimulation(b);
+  EXPECT_DOUBLE_EQ(ra->metrics.mean_response_time(),
+                   rb->metrics.mean_response_time());
+}
+
+TEST(RunSimulationTest, FlatDiskNearHalfDb) {
+  SimParams params;
+  params.disk_sizes = {500};
+  params.delta = 0;
+  params.access_range = 100;
+  params.region_size = 5;
+  params.cache_size = 1;
+  params.measured_requests = 5000;
+  auto result = RunSimulation(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->metrics.mean_response_time(), 250.0, 15.0);
+}
+
+TEST(RunSimulationTest, EveryPolicyRunsEndToEnd) {
+  for (PolicyKind kind :
+       {PolicyKind::kP, PolicyKind::kPix, PolicyKind::kLru, PolicyKind::kL,
+        PolicyKind::kLix, PolicyKind::kLruK, PolicyKind::kTwoQ,
+        PolicyKind::kClock, PolicyKind::kGreedyDual}) {
+    SimParams params = SmallParams();
+    params.policy = kind;
+    params.measured_requests = 1000;
+    auto result = RunSimulation(params);
+    ASSERT_TRUE(result.ok()) << PolicyKindName(kind) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->metrics.requests(), 1000u) << PolicyKindName(kind);
+    EXPECT_GT(result->metrics.hit_rate(), 0.0) << PolicyKindName(kind);
+  }
+}
+
+TEST(RunSimulationTest, PerturbedPagesReported) {
+  SimParams params = SmallParams();
+  params.noise_percent = 50.0;
+  auto result = RunSimulation(params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->perturbed_pages, 0u);
+}
+
+TEST(SimCatalogTest, DelegatesThroughMapping) {
+  auto program = BuildProgram(SmallParams());
+  ASSERT_TRUE(program.ok());
+  auto gen = AccessGenerator::Make(100, 5, 0.95, 2.0, ThinkTimeKind::kFixed,
+                                   Rng(1));
+  ASSERT_TRUE(gen.ok());
+  auto layout = MakeDeltaLayout({50, 200, 250}, 2);
+  ASSERT_TRUE(layout.ok());
+  // Offset 10: logical 0 -> physical 490 (slowest disk).
+  auto mapping = Mapping::Make(*layout, 10, 0.0, Rng(2));
+  ASSERT_TRUE(mapping.ok());
+  SimCatalog catalog(&*gen, &*program, &*mapping);
+  EXPECT_EQ(catalog.NumDisks(), 3u);
+  EXPECT_EQ(catalog.DiskOf(0), 2u);   // pushed to slow disk by offset
+  EXPECT_EQ(catalog.DiskOf(10), 0u);  // pulled onto fast disk
+  EXPECT_GT(catalog.Frequency(10), catalog.Frequency(0));
+  EXPECT_DOUBLE_EQ(catalog.Probability(0), gen->Probability(0));
+}
+
+}  // namespace
+}  // namespace bcast

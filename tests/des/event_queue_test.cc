@@ -1,0 +1,148 @@
+#include "des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bcast::des {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    double t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    double t;
+    q.Pop(&t)();
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PopReportsTime) {
+  EventQueue q;
+  q.Push(7.25, [] {});
+  double t = 0.0;
+  q.Pop(&t);
+  EXPECT_DOUBLE_EQ(t, 7.25);
+}
+
+TEST(EventQueueTest, PeekTimeDoesNotPop) {
+  EventQueue q;
+  q.Push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.Push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.Push(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventFails) {
+  EventQueue q;
+  const auto id = q.Push(1.0, [] {});
+  double t;
+  q.Pop(&t);
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(1.0, [&] { order.push_back(1); });
+  const auto id2 = q.Push(2.0, [&] { order.push_back(2); });
+  q.Push(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.Cancel(id2));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) {
+    double t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelHeadAdvancesPeek) {
+  EventQueue q;
+  const auto id1 = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_TRUE(q.Cancel(id1));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  // Deterministic pseudo-random times with duplicates.
+  uint64_t state = 42;
+  std::vector<double> times;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    times.push_back(static_cast<double>(state % 97));
+  }
+  std::vector<double> popped;
+  for (double t : times) q.Push(t, [] {});
+  while (!q.empty()) {
+    double t;
+    q.Pop(&t);
+    popped.push_back(t);
+  }
+  for (size_t i = 1; i < popped.size(); ++i) {
+    EXPECT_LE(popped[i - 1], popped[i]);
+  }
+  EXPECT_EQ(popped.size(), times.size());
+}
+
+TEST(EventQueueDeathTest, PopEmptyDies) {
+  EventQueue q;
+  double t;
+  EXPECT_DEATH(q.Pop(&t), "empty EventQueue");
+}
+
+}  // namespace
+}  // namespace bcast::des

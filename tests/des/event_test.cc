@@ -1,0 +1,113 @@
+#include "des/event.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.h"
+
+namespace bcast::des {
+namespace {
+
+Process Waiter(Simulation* sim, Event* ev, std::vector<double>* log) {
+  co_await ev->Wait();
+  log->push_back(sim->Now());
+}
+
+Process SignalAt(Simulation* sim, Event* ev, double t) {
+  co_await sim->Delay(t);
+  ev->Signal();
+}
+
+TEST(EventTest, SignalWakesWaiter) {
+  Simulation sim;
+  Event ev(&sim);
+  std::vector<double> log;
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  sim.Spawn(SignalAt(&sim, &ev, 3.0));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<double>{3.0}));
+}
+
+TEST(EventTest, SignalWakesAllWaitersFifo) {
+  Simulation sim;
+  Event ev(&sim);
+  std::vector<int> order;
+  auto waiter = [](Simulation* s, Event* e, std::vector<int>* ord,
+                   int id) -> Process {
+    (void)s;
+    co_await e->Wait();
+    ord->push_back(id);
+  };
+  sim.Spawn(waiter(&sim, &ev, &order, 1));
+  sim.Spawn(waiter(&sim, &ev, &order, 2));
+  sim.Spawn(waiter(&sim, &ev, &order, 3));
+  sim.Spawn(SignalAt(&sim, &ev, 1.0));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventTest, SignalWithNoWaitersIsLost) {
+  Simulation sim;
+  Event ev(&sim);
+  std::vector<double> log;
+  sim.Spawn(SignalAt(&sim, &ev, 1.0));   // fires before anyone waits
+  auto late_waiter = [](Simulation* s, Event* e,
+                        std::vector<double>* lg) -> Process {
+    co_await s->Delay(5.0);
+    co_await e->Wait();  // needs a *new* signal
+    lg->push_back(s->Now());
+  };
+  sim.Spawn(late_waiter(&sim, &ev, &log));
+  sim.Spawn(SignalAt(&sim, &ev, 10.0));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<double>{10.0}));
+}
+
+TEST(EventTest, RewaitTargetsNextSignal) {
+  Simulation sim;
+  Event ev(&sim);
+  std::vector<double> log;
+  auto repeat_waiter = [](Simulation* s, Event* e,
+                          std::vector<double>* lg) -> Process {
+    co_await e->Wait();
+    lg->push_back(s->Now());
+    co_await e->Wait();
+    lg->push_back(s->Now());
+  };
+  sim.Spawn(repeat_waiter(&sim, &ev, &log));
+  sim.Spawn(SignalAt(&sim, &ev, 1.0));
+  sim.Spawn(SignalAt(&sim, &ev, 2.0));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventTest, NumWaitersTracksState) {
+  Simulation sim;
+  Event ev(&sim);
+  std::vector<double> log;
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  sim.Spawn(Waiter(&sim, &ev, &log));
+  EXPECT_EQ(ev.num_waiters(), 0u);  // not started yet
+  sim.RunUntil(0.0);
+  EXPECT_EQ(ev.num_waiters(), 2u);
+  ev.Signal();
+  EXPECT_EQ(ev.num_waiters(), 0u);
+  sim.Run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventTest, TeardownWithSuspendedWaitersIsSafe) {
+  std::vector<double> log;
+  {
+    Simulation sim;
+    Event ev(&sim);
+    sim.Spawn(Waiter(&sim, &ev, &log));
+    sim.RunUntil(1.0);
+    // Destroy sim with the waiter still suspended on the event.
+  }
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace bcast::des

@@ -1,0 +1,189 @@
+#include "des/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bcast::des {
+namespace {
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimulationTest, ScheduledCallbackAdvancesClock) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.Schedule(5.0, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulationTest, CallbacksFireInOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, NestedSchedulingUsesCurrentTime) {
+  Simulation sim;
+  double inner_time = -1.0;
+  sim.Schedule(2.0, [&] {
+    sim.Schedule(3.0, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(inner_time, 5.0);
+}
+
+TEST(SimulationTest, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.ScheduleAt(4.5, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(SimulationTest, CancelPreventsCallback) {
+  Simulation sim;
+  bool fired = false;
+  const auto id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.CancelEvent(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  // The remaining event still exists; a new Run picks it up.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.Schedule(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(2.0);  // inclusive
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulationTest, EventsDispatchedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_dispatched(), 5u);
+}
+
+// --- Coroutine processes ---
+
+Process CountTo(Simulation* sim, int n, double dt, std::vector<double>* log) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim->Delay(dt);
+    log->push_back(sim->Now());
+  }
+}
+
+TEST(ProcessTest, DelayLoopAdvancesClock) {
+  Simulation sim;
+  std::vector<double> log;
+  sim.Spawn(CountTo(&sim, 3, 2.5, &log));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<double>{2.5, 5.0, 7.5}));
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(ProcessTest, MultipleProcessesInterleave) {
+  Simulation sim;
+  std::vector<double> fast, slow;
+  sim.Spawn(CountTo(&sim, 4, 1.0, &fast));
+  sim.Spawn(CountTo(&sim, 2, 2.0, &slow));
+  sim.Run();
+  EXPECT_EQ(fast, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(slow, (std::vector<double>{2.0, 4.0}));
+}
+
+Process ZeroDelay(Simulation* sim, std::vector<int>* log, int id) {
+  co_await sim->Delay(0.0);
+  log->push_back(id);
+}
+
+TEST(ProcessTest, SpawnOrderIsStartOrderAtTimeZero) {
+  Simulation sim;
+  std::vector<int> log;
+  sim.Spawn(ZeroDelay(&sim, &log, 1));
+  sim.Spawn(ZeroDelay(&sim, &log, 2));
+  sim.Spawn(ZeroDelay(&sim, &log, 3));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+Process Forever(Simulation* sim) {
+  for (;;) co_await sim->Delay(1.0);
+}
+
+TEST(ProcessTest, UnfinishedProcessReclaimedByDestructor) {
+  // Must not leak or crash: the simulation destroys the suspended frame.
+  Simulation sim;
+  sim.Spawn(Forever(&sim));
+  sim.RunUntil(10.0);
+  EXPECT_EQ(sim.live_processes(), 1u);
+}
+
+TEST(ProcessTest, NeverSpawnedProcessIsReclaimed) {
+  // A Process that is created and dropped without Spawn must free itself.
+  Simulation sim;
+  { Process p = Forever(&sim); }
+  SUCCEED();
+}
+
+TEST(ProcessTest, LiveProcessCountTracksCompletion) {
+  Simulation sim;
+  std::vector<double> log;
+  sim.Spawn(CountTo(&sim, 1, 1.0, &log));
+  sim.Spawn(CountTo(&sim, 5, 1.0, &log));
+  EXPECT_EQ(sim.live_processes(), 2u);
+  sim.RunUntil(2.0);
+  EXPECT_EQ(sim.live_processes(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(SimulationDeathTest, NegativeDelayDies) {
+  Simulation sim;
+  EXPECT_DEATH(sim.Schedule(-1.0, [] {}), "Check failed");
+}
+
+TEST(SimulationDeathTest, ScheduleAtPastDies) {
+  Simulation sim;
+  sim.Schedule(5.0, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(1.0, [] {}), "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast::des

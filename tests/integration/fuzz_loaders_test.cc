@@ -1,0 +1,154 @@
+// Deterministic pseudo-fuzzing of the text-format loaders: whatever the
+// bytes, LoadProgram/Trace::Load must either return a *valid* object or a
+// clean error — never crash, hang, or hand back a program that would
+// stall a client.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "broadcast/generator.h"
+#include "broadcast/serialize.h"
+#include "client/trace.h"
+#include "common/rng.h"
+
+namespace bcast {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = rng->NextBounded(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Bias toward printable/structure-ish characters so some inputs get
+    // past the header checks.
+    const uint64_t pick = rng->NextBounded(10);
+    if (pick < 5) {
+      s += static_cast<char>('0' + rng->NextBounded(10));
+    } else if (pick < 7) {
+      s += ' ';
+    } else if (pick < 8) {
+      s += '\n';
+    } else {
+      s += static_cast<char>(rng->NextBounded(256));
+    }
+  }
+  return s;
+}
+
+// Mutates a valid serialization: flip/insert/delete bytes.
+std::string Mutate(std::string s, Rng* rng) {
+  const int edits = 1 + static_cast<int>(rng->NextBounded(4));
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const size_t pos = rng->NextBounded(s.size());
+    switch (rng->NextBounded(3)) {
+      case 0:
+        s[pos] = static_cast<char>(rng->NextBounded(256));
+        break;
+      case 1:
+        s.insert(pos, 1, static_cast<char>('0' + rng->NextBounded(10)));
+        break;
+      default:
+        s.erase(pos, 1);
+        break;
+    }
+  }
+  return s;
+}
+
+void CheckProgramLoad(const std::string& text) {
+  std::istringstream in(text);
+  Result<BroadcastProgram> program = LoadProgram(&in);
+  if (!program.ok()) return;  // clean rejection is fine
+  // If accepted, the invariants must hold.
+  ASSERT_GT(program->period(), 0u);
+  ASSERT_GT(program->num_pages(), 0u);
+  for (PageId p = 0; p < program->num_pages(); ++p) {
+    ASSERT_GE(program->Frequency(p), 1u) << "accepted a stalling program";
+  }
+}
+
+void CheckTraceLoad(const std::string& text) {
+  std::istringstream in(text);
+  Result<Trace> trace = Trace::Load(&in);
+  if (!trace.ok()) return;
+  ASSERT_GT(trace->size(), 0u);
+  for (PageId p : trace->pages()) {
+    ASSERT_LT(p, trace->access_range());
+  }
+}
+
+TEST(FuzzLoadersTest, ProgramLoaderSurvivesGarbage) {
+  Rng rng(0xF00D);
+  for (int i = 0; i < 3000; ++i) {
+    CheckProgramLoad(RandomBytes(&rng, 300));
+  }
+}
+
+TEST(FuzzLoadersTest, ProgramLoaderSurvivesMutatedValidFiles) {
+  auto layout = MakeLayout({2, 3}, {2, 1});
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveProgram(*program, &out).ok());
+  const std::string valid = out.str();
+
+  Rng rng(0xBEEF);
+  int still_valid = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string mutated = Mutate(valid, &rng);
+    std::istringstream in(mutated);
+    if (LoadProgram(&in).ok()) ++still_valid;
+    CheckProgramLoad(mutated);
+  }
+  // Some mutations (e.g. inside slot ids) still parse — that's fine, but
+  // the vast majority must be rejected.
+  EXPECT_LT(still_valid, 1500);
+}
+
+TEST(FuzzLoadersTest, TraceLoaderSurvivesGarbage) {
+  Rng rng(0xCAFE);
+  for (int i = 0; i < 3000; ++i) {
+    CheckTraceLoad(RandomBytes(&rng, 300));
+  }
+}
+
+TEST(FuzzLoadersTest, TraceLoaderSurvivesMutatedValidFiles) {
+  auto trace = Trace::Make({0, 1, 2, 1, 0, 3}, 2.0);
+  ASSERT_TRUE(trace.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(trace->Save(&out).ok());
+  const std::string valid = out.str();
+
+  Rng rng(0xD1CE);
+  for (int i = 0; i < 3000; ++i) {
+    CheckTraceLoad(Mutate(valid, &rng));
+  }
+}
+
+TEST(FuzzLoadersTest, RoundTripSurvivesEveryGeneratorOutput) {
+  // Property: Save(Load(Save(p))) is stable for arbitrary generated
+  // programs (seeded grid).
+  Rng rng(0xABCD);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t d1 = 1 + rng.NextBounded(20);
+    const uint64_t d2 = 1 + rng.NextBounded(40);
+    const uint64_t delta = rng.NextBounded(6);
+    auto layout = MakeDeltaLayout({d1, d2}, delta);
+    ASSERT_TRUE(layout.ok());
+    auto program = GenerateMultiDiskProgram(*layout);
+    ASSERT_TRUE(program.ok());
+    std::ostringstream out1;
+    ASSERT_TRUE(SaveProgram(*program, &out1).ok());
+    std::istringstream in(out1.str());
+    auto loaded = LoadProgram(&in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    std::ostringstream out2;
+    ASSERT_TRUE(SaveProgram(*loaded, &out2).ok());
+    EXPECT_EQ(out1.str(), out2.str());
+  }
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,283 @@
+// bcastsim — command-line driver for the broadcast-disk simulator.
+//
+// Runs client/server experiments with every knob of the paper's Tables
+// 2-4 exposed as a flag. Three modes:
+//
+//   --mode=single      one client (default)
+//   --mode=population  several clients with spread-out interests
+//   --mode=updates     one client against volatile data
+//
+// Examples:
+//
+//   bcastsim                                  # paper defaults (D5, LRU)
+//   bcastsim --policy=pix --cache_size=500 --offset=500 --noise=30
+//   bcastsim --disks=300,1200,3500 --delta=4 --cache_size=1
+//   bcastsim --program=skewed --seeds=5       # Bus Stop Paradox, averaged
+//   bcastsim --mode=population --clients=5 --policy=pix
+//   bcastsim --mode=updates --update_rate=0.2 --consistency=auto-refresh
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/multi_client.h"
+#include "core/simulator.h"
+#include "core/updates.h"
+
+namespace bcast {
+namespace {
+
+// Runs the population mode: `clients` specs whose interests are spread
+// evenly across the database.
+int RunPopulation(const SimParams& base, uint64_t clients) {
+  MultiClientParams params;
+  params.disk_sizes = base.disk_sizes;
+  params.delta = base.delta;
+  params.rel_freqs = base.rel_freqs;
+  params.program_kind = base.program_kind;
+  params.measured_requests = base.measured_requests;
+  params.seed = base.seed;
+  const uint64_t db = params.ServerDbSize();
+  for (uint64_t c = 0; c < clients; ++c) {
+    ClientSpec spec;
+    spec.access_range = base.access_range;
+    spec.theta = base.theta;
+    spec.region_size = base.region_size;
+    spec.cache_size = base.cache_size;
+    spec.policy = base.policy;
+    spec.offset = base.offset;
+    spec.noise_percent = base.noise_percent;
+    spec.think_time = base.think_time;
+    spec.interest_shift = clients > 1 ? db * c / clients : 0;
+    params.clients.push_back(spec);
+  }
+  auto result = RunMultiClientSimulation(params);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  AsciiTable table({"Client", "InterestShift", "MeanRT", "CacheHit%"});
+  for (size_t c = 0; c < params.clients.size(); ++c) {
+    table.AddRow({std::to_string(c),
+                  std::to_string(params.clients[c].interest_shift),
+                  FormatDouble(result->mean_response_times[c], 1),
+                  FormatDouble(100.0 * result->per_client[c].hit_rate(),
+                               1)});
+  }
+  table.Print(std::cout);
+  std::cout << "Population mean "
+            << FormatDouble(result->response_across_clients.mean(), 1)
+            << ", max/min "
+            << FormatDouble(result->response_across_clients.max() /
+                                result->response_across_clients.min(),
+                            2)
+            << "\n";
+  return 0;
+}
+
+// Runs the updates mode with the given consistency action name.
+int RunUpdates(const SimParams& base, double update_rate,
+               double update_theta, const std::string& consistency) {
+  UpdateParams updates;
+  updates.update_rate = update_rate;
+  updates.update_theta = update_theta;
+  if (consistency == "none") {
+    updates.action = ConsistencyAction::kNone;
+  } else if (consistency == "invalidate") {
+    updates.action = ConsistencyAction::kInvalidate;
+  } else if (consistency == "auto-refresh") {
+    updates.action = ConsistencyAction::kAutoRefresh;
+  } else {
+    std::cerr << "unknown --consistency: " << consistency
+              << " (none|invalidate|auto-refresh)\n";
+    return 2;
+  }
+  auto result = RunUpdateSimulation(base, updates);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const double n = static_cast<double>(result->requests);
+  AsciiTable table({"Metric", "Value"});
+  table.AddRow({"mean response", FormatDouble(result->mean_response_time,
+                                              2)});
+  table.AddRow({"stale-served %",
+                FormatDouble(100.0 * result->StaleFraction(), 2)});
+  table.AddRow({"fresh hits %",
+                FormatDouble(100.0 * result->fresh_hits / n, 2)});
+  table.AddRow({"invalidation refetches %",
+                FormatDouble(100.0 * result->invalidation_refetches / n,
+                             2)});
+  table.AddRow({"cold misses %",
+                FormatDouble(100.0 * result->cold_misses / n, 2)});
+  table.Print(std::cout);
+  return 0;
+}
+
+int Run(int argc, const char* const* argv) {
+  SimParams params;
+  std::string mode = "single";
+  std::string disks = "500,2000,2500";
+  std::string policy = "lru";
+  std::string program = "multidisk";
+  std::string noise_scope = "access_range";
+  std::string consistency = "invalidate";
+  uint64_t seeds = 1;
+  uint64_t clients = 5;
+  double update_rate = 0.05;
+  double update_theta = 0.95;
+  bool csv = false;
+
+  FlagSet flags("bcastsim");
+  flags.AddString("mode", &mode, "single | population | updates");
+  flags.AddUint64("clients", &clients, "population mode: client count");
+  flags.AddDouble("update_rate", &update_rate,
+                  "updates mode: updates per broadcast unit");
+  flags.AddDouble("update_theta", &update_theta,
+                  "updates mode: Zipf skew of update targets");
+  flags.AddString("consistency", &consistency,
+                  "updates mode: none | invalidate | auto-refresh");
+  flags.AddString("disks", &disks, "comma-separated pages per disk");
+  flags.AddUint64("delta", &params.delta,
+                  "broadcast shape: rel_freq(i) = (N-i)*delta + 1");
+  flags.AddString("program", &program,
+                  "program kind: multidisk | skewed | random");
+  flags.AddString("policy", &policy,
+                  "cache policy: p|pix|lru|l|lix|lru-k|2q|clock");
+  flags.AddUint64("cache_size", &params.cache_size, "client cache pages");
+  flags.AddUint64("offset", &params.offset,
+                  "hot pages shifted to the slow-disk tail");
+  flags.AddDouble("noise", &params.noise_percent,
+                  "percent of pages with perturbed mapping");
+  flags.AddString("noise_scope", &noise_scope,
+                  "noise coin population: access_range | all");
+  flags.AddUint64("access_range", &params.access_range,
+                  "pages the client requests");
+  flags.AddDouble("theta", &params.theta, "Zipf skew");
+  flags.AddUint64("region_size", &params.region_size, "pages per region");
+  flags.AddDouble("think_time", &params.think_time,
+                  "pause between requests (broadcast units)");
+  flags.AddUint64("requests", &params.measured_requests,
+                  "measured requests");
+  flags.AddBool("knows_schedule", &params.knows_schedule,
+                "client dozes to its page's slot (tuning metric only)");
+  flags.AddUint64("seed", &params.seed, "master RNG seed");
+  flags.AddUint64("seeds", &seeds, "seeds to average over");
+  flags.AddBool("csv", &csv, "emit a CSV row instead of a table");
+
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n\n" << flags.HelpText();
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+
+  Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);
+  if (!sizes.ok()) {
+    std::cerr << "--disks: " << sizes.status().ToString() << "\n";
+    return 2;
+  }
+  params.disk_sizes = *sizes;
+
+  Result<PolicyKind> kind = ParsePolicyKind(policy);
+  if (!kind.ok()) {
+    std::cerr << kind.status().ToString() << "\n";
+    return 2;
+  }
+  params.policy = *kind;
+
+  if (program == "multidisk") {
+    params.program_kind = ProgramKind::kMultiDisk;
+  } else if (program == "skewed") {
+    params.program_kind = ProgramKind::kSkewed;
+  } else if (program == "random") {
+    params.program_kind = ProgramKind::kRandom;
+  } else {
+    std::cerr << "unknown --program: " << program << "\n";
+    return 2;
+  }
+  if (noise_scope == "access_range") {
+    params.noise_scope = NoiseScope::kAccessRange;
+  } else if (noise_scope == "all") {
+    params.noise_scope = NoiseScope::kAllPages;
+  } else {
+    std::cerr << "unknown --noise_scope: " << noise_scope << "\n";
+    return 2;
+  }
+
+  if (mode == "population") return RunPopulation(params, clients);
+  if (mode == "updates") {
+    return RunUpdates(params, update_rate, update_theta, consistency);
+  }
+  if (mode != "single") {
+    std::cerr << "unknown --mode: " << mode << "\n";
+    return 2;
+  }
+
+  // Run (averaging over seeds if requested); keep the last run's
+  // breakdown for display.
+  RunningStat response;
+  Result<SimResult> last = Status::Internal("no runs");
+  for (uint64_t i = 0; i < std::max<uint64_t>(seeds, 1); ++i) {
+    SimParams run = params;
+    run.seed = params.seed + i;
+    last = RunSimulation(run);
+    if (!last.ok()) {
+      std::cerr << last.status().ToString() << "\n";
+      return 1;
+    }
+    response.Add(last->metrics.mean_response_time());
+  }
+  const ClientMetrics& m = last->metrics;
+  const std::vector<double> fractions = m.LocationFractions();
+
+  if (csv) {
+    std::cout << params.ToString() << "\n";
+    std::cout << "mean_rt,ci95,hit_rate";
+    for (size_t d = 1; d < fractions.size(); ++d) {
+      std::cout << ",disk" << d << "_frac";
+    }
+    std::cout << "\n"
+              << FormatDouble(response.mean(), 3) << ","
+              << FormatDouble(response.ci95_halfwidth(), 3) << ","
+              << FormatDouble(m.hit_rate(), 4);
+    for (size_t d = 1; d < fractions.size(); ++d) {
+      std::cout << "," << FormatDouble(fractions[d], 4);
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::cout << "Config: " << params.ToString() << "\n";
+  std::cout << "Program period " << last->period << " slots, "
+            << last->empty_slots << " empty; warm-up "
+            << last->warmup_requests << " requests; noise moved "
+            << last->perturbed_pages << " pages\n\n";
+  AsciiTable table({"Metric", "Value"});
+  table.AddRow({"mean response (broadcast units)",
+                FormatDouble(response.mean(), 2)});
+  if (seeds > 1) {
+    table.AddRow({"95% CI halfwidth",
+                  FormatDouble(response.ci95_halfwidth(), 2)});
+  }
+  table.AddRow({"cache hit rate %", FormatDouble(100.0 * m.hit_rate(), 2)});
+  for (size_t d = 1; d < fractions.size(); ++d) {
+    table.AddRow({"served from disk " + std::to_string(d) + " %",
+                  FormatDouble(100.0 * fractions[d], 2)});
+  }
+  table.AddRow({"max response", FormatDouble(m.response_time().max(), 1)});
+  table.AddRow({"mean tuning (radio-on slots)",
+                FormatDouble(m.tuning_time().mean(), 2)});
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main(int argc, char** argv) { return bcast::Run(argc, argv); }
