@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "core/experiment.h"
 #include "core/params.h"
 #include "core/simulator.h"
+#include "obs/json_util.h"
+#include "obs/stopwatch.h"
 
 namespace bcast::bench {
 
@@ -99,6 +102,56 @@ inline std::vector<Series> NoiseSeriesOverDelta(const SimParams& base) {
   }
   return series;
 }
+
+/// Machine-readable companion to the printed tables: when the
+/// BCAST_BENCH_REPORT_DIR environment variable names a directory,
+/// `Write` serializes the swept series plus total wall time to
+/// `<dir>/BENCH_<name>.json`; otherwise it is a no-op, so figure
+/// binaries stay dependency- and flag-free.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Write(const std::string& x_name, const std::vector<double>& xs,
+             const std::vector<Series>& series) const {
+    const char* dir = std::getenv("BCAST_BENCH_REPORT_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      BCAST_LOG(kWarning) << "cannot write bench report " << path;
+      return;
+    }
+    out << "{\"bench\": ";
+    obs::AppendJsonString(out, name_);
+    out << ", \"x_name\": ";
+    obs::AppendJsonString(out, x_name);
+    out << ", \"x\": [";
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (i) out << ", ";
+      obs::AppendJsonNumber(out, xs[i]);
+    }
+    out << "], \"series\": {";
+    for (size_t s = 0; s < series.size(); ++s) {
+      if (s) out << ", ";
+      obs::AppendJsonString(out, series[s].label);
+      out << ": [";
+      for (size_t i = 0; i < series[s].y.size(); ++i) {
+        if (i) out << ", ";
+        obs::AppendJsonNumber(out, series[s].y[i]);
+      }
+      out << "]";
+    }
+    out << "}, \"wall_seconds\": ";
+    obs::AppendJsonNumber(out, watch_.ElapsedSeconds());
+    out << "}\n";
+  }
+
+ private:
+  std::string name_;
+  obs::Stopwatch watch_;  // started at construction: whole-binary wall time
+};
 
 }  // namespace bcast::bench
 

@@ -10,6 +10,7 @@ namespace bcast {
 namespace {
 
 void Run() {
+  bench::BenchReport report("fig05");
   bench::Banner("Figure 5",
                 "client performance, CacheSize = 1, Noise = 0%");
 
@@ -33,6 +34,7 @@ void Run() {
                "Delta", xs, series);
   std::cout << "\nCSV:\n";
   PrintXYCsv(std::cout, "delta", xs, series);
+  report.Write("delta", xs, series);
   std::cout << "\nExpected shape: flat (delta 0) = 2500 for all configs; "
                "all improve with delta;\nD4 <300,1200,3500> best overall "
                "(about one third of flat by delta 7); D1 bottoms\nout near "

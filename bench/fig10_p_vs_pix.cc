@@ -11,6 +11,7 @@ namespace bcast {
 namespace {
 
 void Run() {
+  bench::BenchReport report("fig10");
   bench::Banner("Figure 10", "P vs PIX with varying noise — D5, CacheSize "
                              "= 500");
 
@@ -45,6 +46,7 @@ void Run() {
                bench::kNoiseLevels, series);
   std::cout << "\nCSV:\n";
   PrintXYCsv(std::cout, "noise_pct", bench::kNoiseLevels, series);
+  report.Write("noise_pct", bench::kNoiseLevels, series);
   std::cout << "\nExpected shape: P degrades steeply (worse at Delta 5 "
                "than 3) and crosses the\nflat baseline around 45% noise; "
                "PIX rises gently and stays below flat.\n";

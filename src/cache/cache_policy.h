@@ -17,7 +17,9 @@
 #define BCAST_CACHE_CACHE_POLICY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "broadcast/types.h"
 
@@ -88,13 +90,31 @@ class CachePolicy {
   /// Logical page-id space.
   PageId num_pages() const { return num_pages_; }
 
+  /// \brief Observer of evictions: called with the victim page and the
+  /// policy's eviction score for it (the lix value for LIX, the static
+  /// value for P/PIX, 0 for score-free policies like LRU).
+  ///
+  /// Installed only when tracing is on; with no callback set the eviction
+  /// path pays a single predictable branch.
+  using EvictionCallback = std::function<void(PageId victim, double score)>;
+  void SetEvictionCallback(EvictionCallback callback) {
+    on_evict_ = std::move(callback);
+  }
+
  protected:
   const PageCatalog& catalog() const { return *catalog_; }
+
+  /// Policies call this when they remove a resident page to admit another
+  /// (not for declined admissions or explicit invalidations).
+  void NotifyEviction(PageId victim, double score) {
+    if (on_evict_) on_evict_(victim, score);
+  }
 
  private:
   uint64_t capacity_;
   PageId num_pages_;
   const PageCatalog* catalog_;
+  EvictionCallback on_evict_;
 };
 
 }  // namespace bcast

@@ -71,6 +71,7 @@ void LixCache::Insert(PageId page, double now) {
     chains_[catalog().DiskOf(victim)].Remove(victim);
     cached_[victim] = false;
     --size_;
+    NotifyEviction(victim, victim_lix);
   }
   // The newcomer enters the chain of the disk it is broadcast on, with a
   // fresh estimate (p = 0, t = now).

@@ -49,7 +49,9 @@ bool LruCache::Lookup(PageId page, double /*now*/) {
 void LruCache::Insert(PageId page, double /*now*/) {
   BCAST_CHECK(!list_.Contains(page)) << "inserting a cached page";
   if (list_.size() == capacity()) {
-    list_.Remove(list_.Back());
+    const PageId victim = list_.Back();
+    list_.Remove(victim);
+    NotifyEviction(victim, 0.0);  // LRU has no eviction score
   }
   list_.PushFront(page);
 }

@@ -26,6 +26,7 @@ void StaticValueCache::Insert(PageId page, double /*now*/) {
     // tie the resident page stays (stable cache contents).
     if (key.first <= min_it->first) return;
     cached_[min_it->second] = false;
+    NotifyEviction(min_it->second, min_it->first);
     ordered_.erase(min_it);
   }
   cached_[page] = true;

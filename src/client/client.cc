@@ -23,9 +23,34 @@ Client::Client(des::Simulation* sim, BroadcastChannel* channel,
   BCAST_CHECK(mapping != nullptr);
   BCAST_CHECK_GE(mapping->num_pages(), gen->access_range())
       << "client would request pages outside the broadcast";
+  if (config_.trace != nullptr) {
+    // Capture eviction victims for the trace; the callback stays unset —
+    // and the eviction path branch-free — when tracing is off.
+    cache_->SetEvictionCallback([this](PageId victim, double score) {
+      pending_victim_ = static_cast<int64_t>(victim);
+      pending_victim_score_ = score;
+    });
+  }
+}
+
+void Client::TraceRequest(double start, PageId logical, bool hit,
+                          bool warmup, double wait, int32_t disk) {
+  obs::RequestEvent event;
+  event.time = start;
+  event.page = logical;
+  event.hit = hit;
+  event.warmup = warmup;
+  event.wait_slots = wait;
+  event.disk = disk;
+  event.victim = pending_victim_;
+  event.victim_score = pending_victim_score_;
+  pending_victim_ = -1;
+  pending_victim_score_ = 0.0;
+  config_.trace->Record(event);
 }
 
 des::Process Client::Run() {
+  obs::Stopwatch phase_watch;
   // Warm-up: run unrecorded requests until the cache is full. The target
   // is capped by the access range (the cache can never hold more distinct
   // pages than the client requests) and by a request budget.
@@ -35,36 +60,59 @@ des::Process Client::Run() {
          warmup_requests_ < config_.max_warmup_requests) {
     ++warmup_requests_;
     const PageId logical = gen_->NextPage();
-    if (!cache_->Lookup(logical, sim_->Now())) {
+    const bool sampled = config_.trace && config_.trace->ShouldSample();
+    const double start = sim_->Now();
+    if (!cache_->Lookup(logical, start)) {
       const PageId physical = mapping_->ToPhysical(logical);
       co_await channel_->WaitForPage(physical);
       cache_->Insert(logical, sim_->Now());
+      if (sampled) {
+        TraceRequest(start, logical, /*hit=*/false, /*warmup=*/true,
+                     sim_->Now() - start,
+                     static_cast<int32_t>(
+                         channel_->program().DiskOf(physical)));
+      }
+    } else if (sampled) {
+      TraceRequest(start, logical, /*hit=*/true, /*warmup=*/true, 0.0, -1);
     }
     co_await sim_->Delay(gen_->NextThinkTime());
   }
+  warmup_wall_seconds_ = phase_watch.ElapsedSeconds();
+  phase_watch.Restart();
 
   // Measured phase. (Channel-level delivery stats are shared across
   // clients and are NOT reset here; per-client accounting lives in
   // metrics_.)
   for (uint64_t i = 0; i < config_.measured_requests; ++i) {
     const PageId logical = gen_->NextPage();
+    const bool sampled = config_.trace && config_.trace->ShouldSample();
     const double start = sim_->Now();
     if (cache_->Lookup(logical, start)) {
       metrics_.RecordHit(0.0);
       metrics_.RecordTuning(0.0);
+      if (sampled) {
+        TraceRequest(start, logical, /*hit=*/true, /*warmup=*/false, 0.0,
+                     -1);
+      }
     } else {
       const PageId physical = mapping_->ToPhysical(logical);
       co_await channel_->WaitForPage(physical);
       const double wait = sim_->Now() - start;
       cache_->Insert(logical, sim_->Now());
-      metrics_.RecordMiss(wait, channel_->program().DiskOf(physical));
+      const DiskIndex disk = channel_->program().DiskOf(physical);
+      metrics_.RecordMiss(wait, disk);
       // Radio accounting: with a known schedule the client sleeps until
       // the page's slot and listens for exactly one slot; otherwise the
       // radio is on for the whole wait.
       metrics_.RecordTuning(config_.knows_schedule ? 1.0 : wait);
+      if (sampled) {
+        TraceRequest(start, logical, /*hit=*/false, /*warmup=*/false, wait,
+                     static_cast<int32_t>(disk));
+      }
     }
     co_await sim_->Delay(gen_->NextThinkTime());
   }
+  measured_wall_seconds_ = phase_watch.ElapsedSeconds();
   finished_ = true;
 }
 

@@ -22,6 +22,8 @@
 #include "client/mapping.h"
 #include "core/metrics.h"
 #include "des/simulation.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace bcast {
 
@@ -39,6 +41,11 @@ struct ClientRunConfig {
   /// metric: a knowing client dozes until its page's slot (1 slot of
   /// radio-on per miss); an ignorant one listens for the whole wait.
   bool knows_schedule = false;
+
+  /// Optional sampled per-request trace sink (unowned; must outlive the
+  /// run). nullptr — the default — keeps the request loop free of any
+  /// observability work beyond one pointer test.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// \brief A single client workload driving a cache against the broadcast.
@@ -62,7 +69,18 @@ class Client {
   /// True once the measured phase has completed.
   bool finished() const { return finished_; }
 
+  /// Wall-clock seconds the event loop spent inside this client's warm-up
+  /// and measured phases (attributed from the client's own coroutine;
+  /// with several concurrent clients the phases overlap and the numbers
+  /// include interleaved work of the others).
+  double warmup_wall_seconds() const { return warmup_wall_seconds_; }
+  double measured_wall_seconds() const { return measured_wall_seconds_; }
+
  private:
+  /// Records one request into the trace sink if this request was sampled.
+  void TraceRequest(double start, PageId logical, bool hit, bool warmup,
+                    double wait, int32_t disk);
+
   des::Simulation* sim_;
   BroadcastChannel* channel_;
   CachePolicy* cache_;
@@ -72,6 +90,13 @@ class Client {
   ClientMetrics metrics_;
   uint64_t warmup_requests_ = 0;
   bool finished_ = false;
+  double warmup_wall_seconds_ = 0.0;
+  double measured_wall_seconds_ = 0.0;
+
+  // Most recent eviction (victim + policy score), captured via the cache's
+  // eviction callback while tracing; consumed by the next trace record.
+  int64_t pending_victim_ = -1;
+  double pending_victim_score_ = 0.0;
 };
 
 }  // namespace bcast

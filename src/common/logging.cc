@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +34,15 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+// Monotonic seconds since the first log statement of the process: wall
+// clocks can jump (NTP), and relative timestamps are what one reads when
+// correlating log lines with the run-report phase timings.
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
 void SetLogThreshold(LogLevel level) {
@@ -40,6 +51,27 @@ void SetLogThreshold(LogLevel level) {
 
 LogLevel GetLogThreshold() {
   return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
@@ -52,8 +84,9 @@ LogMessage::~LogMessage() {
                         g_threshold.load(std::memory_order_relaxed) ||
                     level_ == LogLevel::kFatal;
   if (emit) {
-    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_),
-                 Basename(file_), line_, stream_.str().c_str());
+    std::fprintf(stderr, "[%10.4f %s %s:%d] %s\n", SecondsSinceStart(),
+                 LevelName(level_), Basename(file_), line_,
+                 stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

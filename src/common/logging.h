@@ -11,6 +11,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bcast {
 
@@ -29,6 +30,11 @@ void SetLogThreshold(LogLevel level);
 
 /// \brief Returns the current emission threshold.
 LogLevel GetLogThreshold();
+
+/// \brief Parses a case-insensitive level name ("debug", "info", "warn",
+/// "warning", "error", "fatal") into \p out. Returns false — leaving
+/// \p out untouched — on anything else. Backs the tools' `--log_level`.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
 
 namespace internal {
 

@@ -6,13 +6,20 @@ namespace bcast {
 
 void ClientMetrics::RecordHit(double response_time) {
   response_time_.Add(response_time);
+  response_hist_.Add(response_time);
   ++cache_hits_;
 }
 
 void ClientMetrics::RecordMiss(double response_time, DiskIndex disk) {
   BCAST_CHECK_LT(disk, served_per_disk_.size());
   response_time_.Add(response_time);
+  response_hist_.Add(response_time);
   ++served_per_disk_[disk];
+}
+
+void ClientMetrics::RecordTuning(double slots) {
+  tuning_time_.Add(slots);
+  tuning_hist_.Add(slots);
 }
 
 double ClientMetrics::hit_rate() const {
@@ -33,6 +40,19 @@ std::vector<double> ClientMetrics::LocationFractions() const {
         static_cast<double>(served_per_disk_[d]) / static_cast<double>(total);
   }
   return fractions;
+}
+
+void ClientMetrics::Merge(const ClientMetrics& other) {
+  BCAST_CHECK_EQ(served_per_disk_.size(), other.served_per_disk_.size())
+      << "merging metrics from different broadcast programs";
+  response_time_.Merge(other.response_time_);
+  tuning_time_.Merge(other.tuning_time_);
+  response_hist_.Merge(other.response_hist_);
+  tuning_hist_.Merge(other.tuning_hist_);
+  cache_hits_ += other.cache_hits_;
+  for (size_t d = 0; d < served_per_disk_.size(); ++d) {
+    served_per_disk_[d] += other.served_per_disk_[d];
+  }
 }
 
 }  // namespace bcast

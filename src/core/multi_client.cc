@@ -71,6 +71,9 @@ Status MultiClientParams::Validate() const {
 
 Result<MultiClientResult> RunMultiClientSimulation(
     const MultiClientParams& params) {
+  obs::Stopwatch total_watch;
+  obs::PhaseTimings timings;
+
   BCAST_RETURN_IF_ERROR(params.Validate());
 
   Result<DiskLayout> layout =
@@ -82,6 +85,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
 
   const Rng master(params.seed);
   Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+    obs::ScopedTimer timer(&timings.build_program_seconds);
     switch (params.program_kind) {
       case ProgramKind::kMultiDisk:
         return GenerateMultiDiskProgram(*layout);
@@ -100,6 +104,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
   if (!program.ok()) return program.status();
 
   const uint64_t total = layout->TotalPages();
+  obs::Stopwatch setup_watch;
   des::Simulation sim;
   BroadcastChannel channel(&sim, &*program);
 
@@ -154,19 +159,27 @@ Result<MultiClientResult> RunMultiClientSimulation(
                         params.max_warmup_requests});
   }
 
+  timings.setup_seconds = setup_watch.ElapsedSeconds();
+  obs::Stopwatch run_watch;
   for (auto& world : worlds) sim.Spawn(world.client->Run());
   sim.Run();
+  timings.measured_seconds = run_watch.ElapsedSeconds();
 
   MultiClientResult result;
+  result.aggregate = ClientMetrics(program->num_disks());
   for (size_t c = 0; c < worlds.size(); ++c) {
     BCAST_CHECK(worlds[c].client->finished())
         << "client " << c << " did not finish";
     result.per_client.push_back(worlds[c].client->metrics());
+    result.aggregate.Merge(worlds[c].client->metrics());
     const double mean = worlds[c].client->metrics().mean_response_time();
     result.mean_response_times.push_back(mean);
     result.response_across_clients.Add(mean);
   }
   result.end_time = sim.Now();
+  result.events_dispatched = sim.events_dispatched();
+  timings.total_seconds = total_watch.ElapsedSeconds();
+  result.timings = timings;
   return result;
 }
 

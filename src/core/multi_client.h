@@ -24,6 +24,7 @@
 
 #include "core/metrics.h"
 #include "core/params.h"
+#include "obs/stopwatch.h"
 
 namespace bcast {
 
@@ -95,8 +96,20 @@ struct MultiClientResult {
   /// picture (max/min spread, etc.).
   RunningStat response_across_clients;
 
+  /// All clients' metrics merged (histograms, hits, per-disk counts) —
+  /// the population-wide distributional view.
+  ClientMetrics aggregate{1};
+
   /// Simulated end time.
   double end_time = 0.0;
+
+  /// Wall-clock breakdown (warmup/measured are not separable per client
+  /// in a concurrent population; the event loop lands in
+  /// measured_seconds).
+  obs::PhaseTimings timings;
+
+  /// Events the DES kernel dispatched.
+  uint64_t events_dispatched = 0;
 };
 
 /// \brief Runs the population against one shared broadcast.

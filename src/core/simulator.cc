@@ -48,14 +48,26 @@ Result<BroadcastProgram> BuildProgram(const SimParams& params) {
 }
 
 Result<SimResult> RunSimulation(const SimParams& params) {
+  return RunSimulation(params, SimObservers{});
+}
+
+Result<SimResult> RunSimulation(const SimParams& params,
+                                const SimObservers& observers) {
+  SimResult result;
+  obs::Stopwatch total_watch;
+
   BCAST_RETURN_IF_ERROR(params.Validate());
 
   Result<DiskLayout> layout = LayoutFromParams(params);
   if (!layout.ok()) return layout.status();
 
-  Result<BroadcastProgram> program = BuildProgram(params);
+  Result<BroadcastProgram> program = [&] {
+    obs::ScopedTimer timer(&result.timings.build_program_seconds);
+    return BuildProgram(params);
+  }();
   if (!program.ok()) return program.status();
 
+  obs::Stopwatch setup_watch;
   const Rng master(params.seed);
   NoiseModel noise;
   noise.percent = params.noise_percent;
@@ -84,20 +96,70 @@ Result<SimResult> RunSimulation(const SimParams& params) {
   Client client(&sim, &channel, cache->get(), &*gen, &*mapping,
                 ClientRunConfig{params.measured_requests,
                                 params.max_warmup_requests,
-                                params.knows_schedule});
+                                params.knows_schedule, observers.trace});
+  result.timings.setup_seconds = setup_watch.ElapsedSeconds();
+
   sim.Spawn(client.Run());
   sim.Run();
 
   BCAST_CHECK(client.finished()) << "client did not complete its requests";
 
-  SimResult result;
   result.metrics = client.metrics();
   result.warmup_requests = client.warmup_requests();
   result.end_time = sim.Now();
   result.period = program->period();
   result.empty_slots = program->EmptySlots();
   result.perturbed_pages = mapping->PerturbedPages();
+  result.timings.warmup_seconds = client.warmup_wall_seconds();
+  result.timings.measured_seconds = client.measured_wall_seconds();
+  result.events_dispatched = sim.events_dispatched();
+  result.timings.total_seconds = total_watch.ElapsedSeconds();
+
+  if (observers.registry != nullptr) {
+    obs::MetricsRegistry& reg = *observers.registry;
+    reg.GetCounter("sim/requests")->Increment(result.metrics.requests());
+    reg.GetCounter("sim/cache_hits")
+        ->Increment(result.metrics.cache_hits());
+    reg.GetCounter("sim/warmup_requests")
+        ->Increment(result.warmup_requests);
+    reg.GetCounter("sim/events")->Increment(result.events_dispatched);
+    reg.GetGauge("sim/period")->Set(static_cast<double>(result.period));
+    reg.GetGauge("sim/end_time")->Set(result.end_time);
+    reg.GetHistogram("sim/response_slots")
+        ->Merge(result.metrics.response_histogram());
+    reg.GetHistogram("sim/tuning_slots")
+        ->Merge(result.metrics.tuning_histogram());
+  }
   return result;
+}
+
+obs::RunReport MakeRunReport(const SimParams& params,
+                             const SimResult& result,
+                             const std::string& tool) {
+  obs::RunReport report;
+  report.tool = tool;
+  report.mode = "single";
+  report.config = params.ToString();
+  report.seed = params.seed;
+  report.period = result.period;
+  report.empty_slots = result.empty_slots;
+  report.perturbed_pages = result.perturbed_pages;
+  report.requests = result.metrics.requests();
+  report.warmup_requests = result.warmup_requests;
+  report.cache_hits = result.metrics.cache_hits();
+  report.response = result.metrics.response_histogram().Summary();
+  report.tuning = result.metrics.tuning_histogram().Summary();
+  report.served_per_disk = result.metrics.served_per_disk();
+  report.end_time = result.end_time;
+  report.timings = result.timings;
+  report.events_dispatched = result.events_dispatched;
+  // Simulated slots produced per wall second of event-loop work. The
+  // end_time of one run approximates the slots covered; callers that sum
+  // several seeds should rerun FinalizeThroughput with their own totals.
+  report.FinalizeThroughput(
+      result.end_time,
+      result.timings.warmup_seconds + result.timings.measured_seconds);
+  return report;
 }
 
 }  // namespace bcast

@@ -6,12 +6,17 @@
 #define BCAST_CORE_SIMULATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "broadcast/program.h"
 #include "client/mapping.h"
 #include "core/metrics.h"
 #include "core/params.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace bcast {
 
@@ -45,6 +50,25 @@ struct SimResult {
 
   /// Logical pages whose mapping Noise actually moved.
   uint64_t perturbed_pages = 0;
+
+  /// Wall-clock breakdown of the run.
+  obs::PhaseTimings timings;
+
+  /// Events the DES kernel dispatched during the run.
+  uint64_t events_dispatched = 0;
+};
+
+/// \brief Optional observability hooks for a run. Both default to off;
+/// a null member costs the hot loop at most one pointer test.
+struct SimObservers {
+  /// Sampled per-request trace records (unowned).
+  obs::TraceSink* trace = nullptr;
+
+  /// Run-level counters, gauges, and histograms (unowned). The simulator
+  /// records under the "sim/" prefix: requests, cache_hits,
+  /// warmup_requests, events, the period/end_time gauges, and the
+  /// response_slots / tuning_slots histograms.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// \brief The `PageCatalog` a simulation exposes to its cache policy:
@@ -78,8 +102,22 @@ class SimCatalog : public PageCatalog {
 /// skewed, or random; the paper's Delta rule or explicit frequencies).
 Result<BroadcastProgram> BuildProgram(const SimParams& params);
 
-/// \brief Runs one complete simulation. Deterministic in `params.seed`.
+/// \brief Runs one complete simulation. Deterministic in `params.seed`
+/// (observability hooks never touch simulation randomness).
 Result<SimResult> RunSimulation(const SimParams& params);
+
+/// \brief Same, with observability hooks attached.
+Result<SimResult> RunSimulation(const SimParams& params,
+                                const SimObservers& observers);
+
+/// \brief Renders one run as a machine-readable report: params, program
+/// geometry, response/tuning percentiles, per-disk service counts, and
+/// wall-clock throughput. Callers aggregating several seeds can merge
+/// `SimResult`s first (see `ClientMetrics::Merge`) and adjust
+/// `report.seeds`.
+obs::RunReport MakeRunReport(const SimParams& params,
+                             const SimResult& result,
+                             const std::string& tool);
 
 }  // namespace bcast
 

@@ -12,6 +12,7 @@
 #include "common/zipf.h"
 #include "core/simulator.h"
 #include "des/simulation.h"
+#include "obs/stopwatch.h"
 
 namespace bcast {
 
@@ -91,6 +92,14 @@ struct VolatileClient {
   double next_sleep = 0.0;
   double last_reconnect = 0.0;
   double distrust_before = -std::numeric_limits<double>::infinity();
+
+  // Response-time distribution of the measured phase.
+  obs::LogHistogram response_hist;
+
+  void RecordResponse(double slots) {
+    response.Add(slots);
+    response_hist.Add(slots);
+  }
 
   double Period() const {
     return static_cast<double>(channel->program().period());
@@ -181,7 +190,7 @@ struct VolatileClient {
         if (!distrusted && updated <= have) {
           if (record) {
             ++result.fresh_hits;
-            response.Add(0.0);
+            RecordResponse(0.0);
           }
         } else if (action == ConsistencyAction::kInvalidate &&
                    (distrusted || updated < PeriodStart(start))) {
@@ -195,7 +204,7 @@ struct VolatileClient {
           // be known: served stale.
           if (record) {
             ++result.stale_hits;
-            response.Add(0.0);
+            RecordResponse(0.0);
           }
         }
       } else {
@@ -213,7 +222,7 @@ struct VolatileClient {
           } else {
             ++result.cold_misses;
           }
-          response.Add(now - start);
+          RecordResponse(now - start);
         }
       }
       if (record) {
@@ -230,6 +239,12 @@ struct VolatileClient {
 
 Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
                                             const UpdateParams& updates) {
+  return RunUpdateSimulation(base, updates, nullptr);
+}
+
+Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
+                                            const UpdateParams& updates,
+                                            obs::MetricsRegistry* registry) {
   BCAST_RETURN_IF_ERROR(base.Validate());
   if (updates.update_rate < 0.0 || !std::isfinite(updates.update_rate)) {
     return Status::InvalidArgument("update_rate must be finite and >= 0");
@@ -301,12 +316,35 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
       false,
       0.0,
       0.0,
-      -std::numeric_limits<double>::infinity()};
+      -std::numeric_limits<double>::infinity(),
+      obs::LogHistogram()};
+  obs::Stopwatch run_watch;
   sim.Spawn(client.Run());
   sim.Run();
   BCAST_CHECK(client.finished) << "volatile client did not finish";
 
   client.result.mean_response_time = client.response.mean();
+  client.result.response = client.response_hist.Summary();
+  client.result.wall_seconds = run_watch.ElapsedSeconds();
+  client.result.events_dispatched = sim.events_dispatched();
+
+  if (registry != nullptr) {
+    const UpdateSimResult& r = client.result;
+    registry->GetCounter("updates/requests")->Increment(r.requests);
+    registry->GetCounter("updates/fresh_hits")->Increment(r.fresh_hits);
+    registry->GetCounter("updates/stale_hits")->Increment(r.stale_hits);
+    registry->GetCounter("updates/invalidation_refetches")
+        ->Increment(r.invalidation_refetches);
+    registry->GetCounter("updates/cold_misses")->Increment(r.cold_misses);
+    registry->GetCounter("updates/naps")->Increment(r.naps);
+    registry->GetCounter("updates/distrust_purges")
+        ->Increment(r.distrust_purges);
+    registry->GetCounter("updates/generated")
+        ->Increment(tracker->updates_generated());
+    registry->GetCounter("updates/events")->Increment(r.events_dispatched);
+    registry->GetHistogram("updates/response_slots")
+        ->Merge(client.response_hist);
+  }
   return client.result;
 }
 

@@ -34,6 +34,8 @@
 #include "broadcast/program.h"
 #include "common/rng.h"
 #include "core/params.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
 
 namespace bcast {
 
@@ -136,6 +138,15 @@ struct UpdateSimResult {
   /// Mean response time over all requests (broadcast units).
   double mean_response_time = 0.0;
 
+  /// Response-time distribution over all measured requests (slots).
+  obs::HistogramSummary response;
+
+  /// Wall-clock seconds spent in the event loop.
+  double wall_seconds = 0.0;
+
+  /// Events the DES kernel dispatched.
+  uint64_t events_dispatched = 0;
+
   /// Fraction of requests served stale.
   double StaleFraction() const {
     return requests == 0
@@ -150,6 +161,13 @@ struct UpdateSimResult {
 /// the volatility model. Deterministic in `base.seed`.
 Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
                                             const UpdateParams& updates);
+
+/// \brief Same, additionally accumulating counters and the response
+/// histogram into \p registry (under the "updates/" prefix) when it is
+/// non-null. Observability never touches simulation randomness.
+Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
+                                            const UpdateParams& updates,
+                                            obs::MetricsRegistry* registry);
 
 }  // namespace bcast
 

@@ -1,0 +1,168 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bcast::obs {
+
+LogHistogram::LogHistogram(Options options) : options_(options) {
+  BCAST_CHECK_GT(options_.min_value, 0.0);
+  BCAST_CHECK_GE(options_.sub_buckets, 1u);
+  BCAST_CHECK_GE(options_.octaves, 1u);
+  counts_.assign(2 + options_.octaves * options_.sub_buckets, 0);
+}
+
+size_t LogHistogram::BucketIndex(double value) const {
+  if (!(value >= options_.min_value)) return 0;  // underflow (also NaN)
+  // value / min_value = frac * 2^exp with frac in [0.5, 1), exp >= 1, so
+  // octave e covers [min_value * 2^(e-1), min_value * 2^e).
+  int exp = 0;
+  const double frac = std::frexp(value / options_.min_value, &exp);
+  const uint64_t sub = static_cast<uint64_t>(
+      (frac - 0.5) * 2.0 * static_cast<double>(options_.sub_buckets));
+  const size_t idx =
+      1 + static_cast<size_t>(exp - 1) * options_.sub_buckets +
+      std::min<size_t>(sub, options_.sub_buckets - 1);
+  return std::min(idx, counts_.size() - 1);
+}
+
+double LogHistogram::BucketLower(size_t i) const {
+  BCAST_CHECK_LT(i, counts_.size());
+  if (i == 0) return 0.0;
+  const size_t octave = (i - 1) / options_.sub_buckets;
+  const size_t sub = (i - 1) % options_.sub_buckets;
+  const double base = options_.min_value * std::ldexp(1.0, static_cast<int>(octave));
+  return base * (1.0 + static_cast<double>(sub) /
+                           static_cast<double>(options_.sub_buckets));
+}
+
+double LogHistogram::BucketUpper(size_t i) const {
+  BCAST_CHECK_LT(i, counts_.size());
+  if (i + 1 < counts_.size()) return BucketLower(i + 1);
+  // Overflow bucket: the best honest upper edge is the largest value seen.
+  return std::max(BucketLower(i), count_ ? max_ : BucketLower(i));
+}
+
+void LogHistogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  BCAST_CHECK_EQ(counts_.size(), other.counts_.size())
+      << "merging histograms with different geometries";
+  BCAST_CHECK_EQ(options_.min_value, other.options_.min_value);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count-1]; walk buckets to the one containing it and
+  // interpolate linearly inside.
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t before = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double last_in_bucket =
+        static_cast<double>(before + counts_[i] - 1);
+    if (rank <= last_in_bucket) {
+      const double within =
+          counts_[i] == 1
+              ? 0.0
+              : (rank - static_cast<double>(before)) /
+                    static_cast<double>(counts_[i] - 1);
+      const double lower = BucketLower(i);
+      const double upper = BucketUpper(i);
+      return std::clamp(lower + (upper - lower) * within, min_, max_);
+    }
+    before += counts_[i];
+  }
+  return max_;
+}
+
+HistogramSummary LogHistogram::Summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+LinearHistogram::LinearHistogram(double bucket_width, size_t num_buckets)
+    : width_(bucket_width) {
+  BCAST_CHECK_GT(bucket_width, 0.0);
+  BCAST_CHECK_GE(num_buckets, 1u);
+  counts_.assign(num_buckets + 1, 0);
+}
+
+void LinearHistogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  size_t idx = static_cast<size_t>(value / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LinearHistogram::Merge(const LinearHistogram& other) {
+  BCAST_CHECK_EQ(counts_.size(), other.counts_.size())
+      << "merging histograms with different geometries";
+  BCAST_CHECK_EQ(width_, other.width_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LinearHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_ - 1);
+  uint64_t before = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double last_in_bucket =
+        static_cast<double>(before + counts_[i] - 1);
+    if (rank <= last_in_bucket) {
+      const double within =
+          counts_[i] == 1
+              ? 0.0
+              : (rank - static_cast<double>(before)) /
+                    static_cast<double>(counts_[i] - 1);
+      const double lower = static_cast<double>(i) * width_;
+      const double upper =
+          i + 1 < counts_.size() ? lower + width_ : std::max(lower, max_);
+      return std::clamp(lower + (upper - lower) * within, min_, max_);
+    }
+    before += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,160 @@
+/// \file histogram.h
+/// \brief Observability histograms: HDR-style log-bucket and fixed-width
+/// linear, both cheap enough for the simulator's hot loop.
+///
+/// `LogHistogram` covers many orders of magnitude (response times range
+/// from 0 slots on a cache hit to a whole broadcast period on an unlucky
+/// miss) with bounded relative error: each power-of-two octave is split
+/// into `sub_buckets` linear sub-buckets, so recording is a couple of
+/// float ops plus one `uint64_t` bump — no locks, no allocation after
+/// construction. `Merge()` combines per-client instances after a
+/// multi-client run. `LinearHistogram` is the classic fixed-width
+/// variant for quantities with a known small range.
+
+#ifndef BCAST_OBS_HISTOGRAM_H_
+#define BCAST_OBS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bcast::obs {
+
+/// \brief Summary statistics extracted from a histogram — the headline
+/// numbers a run report carries (all 0 when the histogram is empty, so
+/// serializing an idle run never emits inf/nan).
+struct HistogramSummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Log-bucket (HDR-style) histogram over non-negative values.
+class LogHistogram {
+ public:
+  /// \brief Bucket geometry. Two histograms can only `Merge` when their
+  /// geometries match.
+  struct Options {
+    /// Values below this land in the single underflow bucket [0, min_value).
+    double min_value = 1.0;
+
+    /// Linear sub-buckets per power-of-two octave; bounds the relative
+    /// error of `Quantile` at roughly 1/sub_buckets.
+    uint64_t sub_buckets = 16;
+
+    /// Octaves covered: the top regular bucket ends at
+    /// min_value * 2^octaves; anything beyond goes to the overflow bucket.
+    uint64_t octaves = 32;
+  };
+
+  LogHistogram() : LogHistogram(Options{}) {}
+  explicit LogHistogram(Options options);
+
+  /// Records one observation. Negative values clamp to 0.
+  void Add(double value);
+
+  /// Folds \p other into this histogram; geometries must match.
+  void Merge(const LogHistogram& other);
+
+  /// Returns to the empty state, keeping the geometry.
+  void Reset();
+
+  /// Observations recorded.
+  uint64_t count() const { return count_; }
+
+  /// Smallest observation; 0 when empty.
+  double min() const { return count_ ? min_ : 0.0; }
+
+  /// Largest observation; 0 when empty.
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Mean observation; 0 when empty.
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Approximate quantile for \p q in [0, 1]: linear interpolation inside
+  /// the containing bucket, clamped to the observed [min, max]. Returns 0
+  /// when empty.
+  double Quantile(double q) const;
+
+  /// Convenience: count/mean/min/max/p50/p90/p99 in one struct.
+  HistogramSummary Summary() const;
+
+  /// \name Bucket introspection (tests, serialization).
+  /// @{
+  /// Total buckets including the underflow ([0, min_value)) bucket at
+  /// index 0 and the overflow bucket at the last index.
+  size_t num_buckets() const { return counts_.size(); }
+
+  /// The bucket \p value would be recorded into.
+  size_t BucketIndex(double value) const;
+
+  /// Inclusive lower edge of bucket \p i.
+  double BucketLower(size_t i) const;
+
+  /// Exclusive upper edge of bucket \p i (the overflow bucket reports the
+  /// largest observed value, or its lower edge when empty).
+  double BucketUpper(size_t i) const;
+
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// @}
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::vector<uint64_t> counts_;  // [underflow, regular..., overflow]
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width-bucket histogram with `Merge`, for bounded-range
+/// quantities (e.g. per-period empty-slot counts).
+class LinearHistogram {
+ public:
+  /// \p bucket_width > 0; bucket i covers [i*width, (i+1)*width), with an
+  /// overflow bucket past the last.
+  LinearHistogram(double bucket_width, size_t num_buckets);
+
+  /// Records one observation; negatives clamp into the first bucket.
+  void Add(double value);
+
+  /// Folds \p other in; geometries must match.
+  void Merge(const LinearHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Interpolated quantile, clamped to the observed range; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Regular (non-overflow) buckets.
+  size_t num_buckets() const { return counts_.size() - 1; }
+  double bucket_width() const { return width_; }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t overflow_count() const { return counts_.back(); }
+
+ private:
+  double width_;
+  std::vector<uint64_t> counts_;  // last element is the overflow bucket
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_HISTOGRAM_H_

@@ -1,0 +1,83 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bcast::obs {
+
+void AppendJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonNumber(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << 0;
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    out << static_cast<int64_t>(value);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out << buf;
+}
+
+void AppendJsonNumber(std::ostream& out, uint64_t value) { out << value; }
+
+Result<double> FindJsonNumber(const std::string& json,
+                              const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return Status::NotFound("key not present: " + key);
+  }
+  pos += needle.size();
+  while (pos < json.size() &&
+         (json[pos] == ' ' || json[pos] == ':' || json[pos] == '\n' ||
+          json[pos] == '\t')) {
+    ++pos;
+  }
+  if (pos >= json.size()) {
+    return Status::InvalidArgument("no value after key: " + key);
+  }
+  const char* start = json.c_str() + pos;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) {
+    return Status::InvalidArgument("value after key is not a number: " + key);
+  }
+  return value;
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,42 @@
+/// \file json_util.h
+/// \brief Tiny JSON emission/extraction helpers for the observability
+/// layer.
+///
+/// The repo deliberately carries no third-party JSON dependency; run
+/// reports and traces are flat enough that hand-rolled emission with
+/// correct string escaping and finite-number guarantees suffices.
+/// `FindJsonNumber` is the matching reparse utility used by tests and the
+/// CI smoke check to pull headline numbers back out of a report without a
+/// parser.
+
+#ifndef BCAST_OBS_JSON_UTIL_H_
+#define BCAST_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace bcast::obs {
+
+/// Writes \p s as a JSON string literal (quotes included), escaping
+/// quotes, backslashes, and control characters.
+void AppendJsonString(std::ostream& out, std::string_view s);
+
+/// Writes \p value as a JSON number. Non-finite values (which JSON cannot
+/// represent) are emitted as 0; integral values print without an exponent.
+void AppendJsonNumber(std::ostream& out, double value);
+
+/// Writes \p value as a JSON unsigned integer.
+void AppendJsonNumber(std::ostream& out, uint64_t value);
+
+/// Finds the first occurrence of `"key"` in \p json and parses the number
+/// following its colon. Matches any nesting level — use distinctive keys.
+Result<double> FindJsonNumber(const std::string& json,
+                              const std::string& key);
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_JSON_UTIL_H_

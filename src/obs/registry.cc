@@ -1,0 +1,119 @@
+#include "obs/registry.h"
+
+#include "common/logging.h"
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+namespace {
+
+template <typename Map, typename... Args>
+typename Map::mapped_type::element_type* GetOrCreate(Map* map,
+                                                     const std::string& name,
+                                                     Args&&... args) {
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(name,
+                      std::make_unique<typename Map::mapped_type::element_type>(
+                          std::forward<Args>(args)...))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  BCAST_CHECK(!name.empty()) << "metric names must be non-empty";
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  BCAST_CHECK(!name.empty()) << "metric names must be non-empty";
+  return GetOrCreate(&gauges_, name);
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, LogHistogram::Options{});
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const LogHistogram::Options& options) {
+  BCAST_CHECK(!name.empty()) << "metric names must be non-empty";
+  return GetOrCreate(&histograms_, name, options);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist->Summary());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name)->Merge(*counter);
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name)->Merge(*gauge);
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    GetHistogram(name, hist->options())->Merge(*hist);
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out << ": ";
+    AppendJsonNumber(out, counter->value());
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out << ": ";
+    AppendJsonNumber(out, gauge->value());
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(out, name);
+    const HistogramSummary s = hist->Summary();
+    out << ": {\"count\": ";
+    AppendJsonNumber(out, s.count);
+    out << ", \"mean\": ";
+    AppendJsonNumber(out, s.mean);
+    out << ", \"min\": ";
+    AppendJsonNumber(out, s.min);
+    out << ", \"max\": ";
+    AppendJsonNumber(out, s.max);
+    out << ", \"p50\": ";
+    AppendJsonNumber(out, s.p50);
+    out << ", \"p90\": ";
+    AppendJsonNumber(out, s.p90);
+    out << ", \"p99\": ";
+    AppendJsonNumber(out, s.p99);
+    out << "}";
+  }
+  out << "}}";
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,112 @@
+/// \file registry.h
+/// \brief A named-metric registry: counters, gauges, and histograms.
+///
+/// Instrumented code asks the registry once for a handle
+/// (`registry->GetCounter("sim/cache_hits")`) and then bumps it directly —
+/// a handle operation is a plain `uint64_t`/`double` store with no lock
+/// and no lookup, cheap enough for the simulator's per-request path.
+/// Handles stay valid for the registry's lifetime; asking again for the
+/// same name returns the same handle (re-registration is idempotent).
+///
+/// Registries are single-threaded like the simulation itself; a
+/// multi-client experiment keeps one registry per worker and folds them
+/// together with `Merge()`. `TakeSnapshot()` renders a deterministic
+/// (name-sorted) view for reports, and `WriteJson` serializes it.
+
+#ifndef BCAST_OBS_REGISTRY_H_
+#define BCAST_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace bcast::obs {
+
+/// \brief A monotonically increasing named count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Merge(const Counter& other) { value_ += other.value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief A last-write-wins named value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+  /// Merge keeps the larger magnitude-of-information value: a gauge that
+  /// was never set (0) yields to one that was.
+  void Merge(const Gauge& other) {
+    if (other.value_ != 0.0) value_ = other.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// \brief Owner of named counters/gauges/histograms.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \name Handle accessors: create on first use, return the existing
+  /// handle afterwards. Pointers remain valid until the registry dies.
+  /// @{
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LogHistogram* GetHistogram(const std::string& name);
+
+  /// Histogram accessor with explicit geometry; the geometry only applies
+  /// on first creation (an existing histogram keeps its own).
+  LogHistogram* GetHistogram(const std::string& name,
+                             const LogHistogram::Options& options);
+  /// @}
+
+  /// \brief A deterministic, name-sorted view of every metric.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+    bool empty() const {
+      return counters.empty() && gauges.empty() && histograms.empty();
+    }
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Folds \p other into this registry, creating missing metrics. Same-name
+  /// histograms must share geometry.
+  void Merge(const MetricsRegistry& other);
+
+  /// Serializes the snapshot as a JSON object
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+  void WriteJson(std::ostream& out) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  // std::map: stable handle addresses (values are unique_ptr) and sorted
+  // iteration, which makes snapshots deterministic by construction.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_REGISTRY_H_

@@ -1,0 +1,128 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+namespace {
+
+void WriteSummary(std::ostream& out, const HistogramSummary& s) {
+  out << "{\"count\": ";
+  AppendJsonNumber(out, s.count);
+  out << ", \"mean\": ";
+  AppendJsonNumber(out, s.mean);
+  out << ", \"min\": ";
+  AppendJsonNumber(out, s.min);
+  out << ", \"max\": ";
+  AppendJsonNumber(out, s.max);
+  out << ", \"p50\": ";
+  AppendJsonNumber(out, s.p50);
+  out << ", \"p90\": ";
+  AppendJsonNumber(out, s.p90);
+  out << ", \"p99\": ";
+  AppendJsonNumber(out, s.p99);
+  out << "}";
+}
+
+}  // namespace
+
+void RunReport::FinalizeThroughput(double simulated_slots,
+                                   double sim_seconds) {
+  if (sim_seconds > 0.0) {
+    slots_per_second = simulated_slots / sim_seconds;
+    events_per_second =
+        static_cast<double>(events_dispatched) / sim_seconds;
+  }
+}
+
+void RunReport::WriteJson(std::ostream& out) const {
+  out << "{\n  \"tool\": ";
+  AppendJsonString(out, tool);
+  out << ",\n  \"mode\": ";
+  AppendJsonString(out, mode);
+  out << ",\n  \"config\": ";
+  AppendJsonString(out, config);
+  out << ",\n  \"seed\": " << seed << ",\n  \"seeds\": " << seeds;
+  out << ",\n  \"program\": {\"period\": " << period
+      << ", \"empty_slots\": " << empty_slots
+      << ", \"perturbed_pages\": " << perturbed_pages << "}";
+  out << ",\n  \"requests\": {\"measured\": " << requests
+      << ", \"warmup\": " << warmup_requests
+      << ", \"cache_hits\": " << cache_hits << ", \"hit_rate\": ";
+  AppendJsonNumber(out, hit_rate());
+  out << "}";
+  out << ",\n  \"response\": ";
+  WriteSummary(out, response);
+  out << ",\n  \"tuning\": ";
+  WriteSummary(out, tuning);
+  out << ",\n  \"served_per_disk\": [";
+  for (size_t d = 0; d < served_per_disk.size(); ++d) {
+    if (d) out << ", ";
+    out << served_per_disk[d];
+  }
+  out << "]";
+  out << ",\n  \"end_time\": ";
+  AppendJsonNumber(out, end_time);
+  out << ",\n  \"timings\": {\"build_program_seconds\": ";
+  AppendJsonNumber(out, timings.build_program_seconds);
+  out << ", \"setup_seconds\": ";
+  AppendJsonNumber(out, timings.setup_seconds);
+  out << ", \"warmup_seconds\": ";
+  AppendJsonNumber(out, timings.warmup_seconds);
+  out << ", \"measured_seconds\": ";
+  AppendJsonNumber(out, timings.measured_seconds);
+  out << ", \"total_seconds\": ";
+  AppendJsonNumber(out, timings.total_seconds);
+  out << "}";
+  out << ",\n  \"throughput\": {\"slots_per_second\": ";
+  AppendJsonNumber(out, slots_per_second);
+  out << ", \"events_per_second\": ";
+  AppendJsonNumber(out, events_per_second);
+  out << ", \"events_dispatched\": " << events_dispatched << "}";
+  out << ",\n  \"extra\": {";
+  for (size_t i = 0; i < extra.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonString(out, extra[i].first);
+    out << ": ";
+    AppendJsonNumber(out, extra[i].second);
+  }
+  out << "}";
+  out << ",\n  \"metrics\": {\"counters\": {";
+  for (size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonString(out, metrics.counters[i].first);
+    out << ": ";
+    AppendJsonNumber(out, metrics.counters[i].second);
+  }
+  out << "}, \"gauges\": {";
+  for (size_t i = 0; i < metrics.gauges.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonString(out, metrics.gauges[i].first);
+    out << ": ";
+    AppendJsonNumber(out, metrics.gauges[i].second);
+  }
+  out << "}, \"histograms\": {";
+  for (size_t i = 0; i < metrics.histograms.size(); ++i) {
+    if (i) out << ", ";
+    AppendJsonString(out, metrics.histograms[i].first);
+    out << ": ";
+    WriteSummary(out, metrics.histograms[i].second);
+  }
+  out << "}}\n}\n";
+}
+
+Status RunReport::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open report file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing report file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace bcast::obs

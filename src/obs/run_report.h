@@ -1,0 +1,112 @@
+/// \file run_report.h
+/// \brief The machine-readable record of what one run did.
+///
+/// A run report is a single JSON document per run: the configuration and
+/// seed, the generated program's geometry, request counts and cache
+/// behavior, the response-time and tuning-time distributions as histogram
+/// percentiles (p50/p90/p99/max — the paper reports only means, which
+/// hides the Bus Stop Paradox tail), per-disk service counts, wall-clock
+/// phase timings, and throughput in slots/sec and events/sec. Two reports
+/// diff cleanly, which is what turns perf work from anecdotes into a
+/// regression gate.
+
+#ifndef BCAST_OBS_RUN_REPORT_H_
+#define BCAST_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "obs/stopwatch.h"
+
+namespace bcast::obs {
+
+/// \brief Everything a run wants remembered, serializable to JSON.
+struct RunReport {
+  /// Producing binary ("bcastsim", "bench/fig05", ...).
+  std::string tool;
+
+  /// One-line rendering of the run configuration.
+  std::string config;
+
+  /// Run mode ("single", "population", "updates", ...).
+  std::string mode;
+
+  /// Master seed of the (first) run and how many consecutive seeds were
+  /// aggregated into this report.
+  uint64_t seed = 0;
+  uint64_t seeds = 1;
+
+  /// \name Broadcast program geometry.
+  /// @{
+  uint64_t period = 0;
+  uint64_t empty_slots = 0;
+  uint64_t perturbed_pages = 0;
+  /// @}
+
+  /// \name Request accounting (summed across seeds).
+  /// @{
+  uint64_t requests = 0;
+  uint64_t warmup_requests = 0;
+  uint64_t cache_hits = 0;
+  /// @}
+
+  /// Response-time distribution in broadcast units.
+  HistogramSummary response;
+
+  /// Radio-on (tuning) time distribution in slots.
+  HistogramSummary tuning;
+
+  /// Requests served from each disk (index 0 = fastest).
+  std::vector<uint64_t> served_per_disk;
+
+  /// Simulated clock at the end of the (last) run.
+  double end_time = 0.0;
+
+  /// Wall-clock phase breakdown (summed across seeds).
+  PhaseTimings timings;
+
+  /// Events the DES kernel dispatched (summed across seeds).
+  uint64_t events_dispatched = 0;
+
+  /// \name Throughput: simulated slots and kernel events per wall second.
+  /// Derived by `FinalizeThroughput` from end_time/events and timings.
+  /// @{
+  double slots_per_second = 0.0;
+  double events_per_second = 0.0;
+  /// @}
+
+  /// Mode-specific extras, serialized under "extra" in declaration order
+  /// (e.g. stale-hit counts for updates mode, fairness spread for
+  /// population mode).
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// Registry snapshot (may be empty; serialized under "metrics").
+  MetricsRegistry::Snapshot metrics;
+
+  /// Fraction of requests served from the cache; 0 when no requests.
+  double hit_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) /
+                               static_cast<double>(requests);
+  }
+
+  /// Computes slots_per_second / events_per_second from the recorded
+  /// simulated totals and `sim_seconds` of event-loop wall time.
+  void FinalizeThroughput(double simulated_slots, double sim_seconds);
+
+  /// Serializes the whole report as one JSON object.
+  void WriteJson(std::ostream& out) const;
+
+  /// Same, to a file. Returns an error when the file cannot be written.
+  Status WriteToFile(const std::string& path) const;
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_RUN_REPORT_H_

@@ -1,0 +1,79 @@
+/// \file stopwatch.h
+/// \brief Wall-clock timers for run phases.
+///
+/// The simulated clock measures broadcast units; these measure how much
+/// real time the simulator spends producing them, which is what perf PRs
+/// diff. `Stopwatch` is a thin steady_clock wrapper, `ScopedTimer`
+/// accumulates a scope's duration into a caller-owned slot, and
+/// `PhaseTimings` is the standard set of phases a run report carries.
+
+#ifndef BCAST_OBS_STOPWATCH_H_
+#define BCAST_OBS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bcast::obs {
+
+/// \brief Monotonic wall-clock timer; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts from zero.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds since construction or the last `Restart`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Adds the lifetime of the scope to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += watch_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Stopwatch watch_;
+};
+
+/// \brief Wall-clock breakdown of one simulation run (seconds).
+struct PhaseTimings {
+  /// Generating the broadcast program (layout + interleaving).
+  double build_program_seconds = 0.0;
+
+  /// Building mapping, access generator, cache, and channel.
+  double setup_seconds = 0.0;
+
+  /// Event-loop time until the client's cache was warm.
+  double warmup_seconds = 0.0;
+
+  /// Event-loop time of the measured phase.
+  double measured_seconds = 0.0;
+
+  /// Whole run, construction to teardown.
+  double total_seconds = 0.0;
+
+  /// Element-wise accumulation (averaging across seeds).
+  void Accumulate(const PhaseTimings& other) {
+    build_program_seconds += other.build_program_seconds;
+    setup_seconds += other.setup_seconds;
+    warmup_seconds += other.warmup_seconds;
+    measured_seconds += other.measured_seconds;
+    total_seconds += other.total_seconds;
+  }
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_STOPWATCH_H_

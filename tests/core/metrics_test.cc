@@ -70,5 +70,68 @@ TEST(ClientMetricsDeathTest, DiskOutOfRangeDies) {
   EXPECT_DEATH(m.RecordMiss(1.0, 5), "Check failed");
 }
 
+// Regression: derived quantities must stay finite (0, not NaN/inf) with
+// zero recorded requests, including through the histogram summaries —
+// a zero-request run still has to serialize to valid JSON.
+TEST(ClientMetricsTest, EmptyStateHistogramSummariesAreZero) {
+  ClientMetrics m(2);
+  const obs::HistogramSummary response = m.response_histogram().Summary();
+  EXPECT_EQ(response.count, 0u);
+  EXPECT_EQ(response.mean, 0.0);
+  EXPECT_EQ(response.p50, 0.0);
+  EXPECT_EQ(response.p99, 0.0);
+  const obs::HistogramSummary tuning = m.tuning_histogram().Summary();
+  EXPECT_EQ(tuning.count, 0u);
+  EXPECT_EQ(tuning.max, 0.0);
+}
+
+TEST(ClientMetricsTest, HistogramsTrackRecordedTimes) {
+  ClientMetrics m(1);
+  m.RecordHit(0.0);
+  m.RecordMiss(100.0, 0);
+  m.RecordTuning(0.0);
+  m.RecordTuning(100.0);
+  EXPECT_EQ(m.response_histogram().count(), 2u);
+  EXPECT_DOUBLE_EQ(m.response_histogram().max(), 100.0);
+  EXPECT_DOUBLE_EQ(m.response_histogram().mean(), 50.0);
+  EXPECT_EQ(m.tuning_histogram().count(), 2u);
+}
+
+TEST(ClientMetricsTest, MergeCombinesEverything) {
+  ClientMetrics a(2);
+  a.RecordHit(0.0);
+  a.RecordMiss(10.0, 0);
+  a.RecordTuning(10.0);
+  ClientMetrics b(2);
+  b.RecordMiss(30.0, 1);
+  b.RecordMiss(50.0, 1);
+  b.RecordTuning(30.0);
+
+  a.Merge(b);
+  EXPECT_EQ(a.requests(), 4u);
+  EXPECT_EQ(a.cache_hits(), 1u);
+  EXPECT_EQ(a.served_per_disk(), (std::vector<uint64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(a.response_time().max(), 50.0);
+  EXPECT_DOUBLE_EQ(a.mean_response_time(), 22.5);
+  EXPECT_EQ(a.response_histogram().count(), 4u);
+  EXPECT_DOUBLE_EQ(a.response_histogram().max(), 50.0);
+  EXPECT_EQ(a.tuning_histogram().count(), 2u);
+}
+
+TEST(ClientMetricsTest, MergeWithEmptyIsIdentity) {
+  ClientMetrics a(1);
+  a.RecordMiss(5.0, 0);
+  a.Merge(ClientMetrics(1));
+  EXPECT_EQ(a.requests(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean_response_time(), 5.0);
+  EXPECT_EQ(a.hit_rate(), 0.0);
+}
+
+TEST(ClientMetricsDeathTest, MergeShapeMismatchDies) {
+  ClientMetrics a(2);
+  ClientMetrics b(3);
+  EXPECT_DEATH(a.Merge(b), "Check failed");
+}
+
 }  // namespace
 }  // namespace bcast

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace bcast {
 namespace {
 
@@ -141,6 +143,62 @@ TEST(RunSimulationTest, PerturbedPagesReported) {
   auto result = RunSimulation(params);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->perturbed_pages, 0u);
+}
+
+TEST(RunSimulationTest, ObserversDoNotPerturbResults) {
+  const SimParams params = SmallParams();
+  auto plain = RunSimulation(params);
+  ASSERT_TRUE(plain.ok());
+
+  obs::MetricsRegistry registry;
+  std::ostringstream trace_out;
+  obs::TraceSink trace(&trace_out, 0.5, obs::TraceFormat::kJsonl,
+                       params.seed);
+  SimObservers observers;
+  observers.trace = &trace;
+  observers.registry = &registry;
+  auto observed = RunSimulation(params, observers);
+  ASSERT_TRUE(observed.ok());
+
+  // Observability must never change what the simulation computes.
+  EXPECT_EQ(observed->metrics.requests(), plain->metrics.requests());
+  EXPECT_EQ(observed->metrics.cache_hits(), plain->metrics.cache_hits());
+  EXPECT_DOUBLE_EQ(observed->metrics.mean_response_time(),
+                   plain->metrics.mean_response_time());
+  EXPECT_DOUBLE_EQ(observed->end_time, plain->end_time);
+  EXPECT_EQ(observed->metrics.served_per_disk(),
+            plain->metrics.served_per_disk());
+
+  // And the registry must agree with the returned metrics.
+  EXPECT_EQ(registry.GetCounter("sim/requests")->value(),
+            observed->metrics.requests());
+  EXPECT_EQ(registry.GetCounter("sim/cache_hits")->value(),
+            observed->metrics.cache_hits());
+  EXPECT_DOUBLE_EQ(registry.GetGauge("sim/period")->value(),
+                   static_cast<double>(observed->period));
+  EXPECT_EQ(registry.GetHistogram("sim/response_slots")->count(),
+            observed->metrics.requests());
+
+  // The trace sampled every request exactly once.
+  EXPECT_EQ(trace.offered(),
+            observed->metrics.requests() + observed->warmup_requests);
+  EXPECT_GT(trace.recorded(), 0u);
+}
+
+TEST(RunSimulationTest, MakeRunReportFillsHeadlineFields) {
+  const SimParams params = SmallParams();
+  auto result = RunSimulation(params);
+  ASSERT_TRUE(result.ok());
+  const obs::RunReport report = MakeRunReport(params, *result, "test");
+  EXPECT_EQ(report.tool, "test");
+  EXPECT_EQ(report.mode, "single");
+  EXPECT_EQ(report.seed, params.seed);
+  EXPECT_EQ(report.requests, result->metrics.requests());
+  EXPECT_EQ(report.period, result->period);
+  EXPECT_EQ(report.response.count, result->metrics.requests());
+  EXPECT_GE(report.response.p99, report.response.p50);
+  EXPECT_EQ(report.served_per_disk, result->metrics.served_per_disk());
+  EXPECT_GT(report.slots_per_second, 0.0);
 }
 
 TEST(SimCatalogTest, DelegatesThroughMapping) {

@@ -1,0 +1,160 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bcast::obs {
+namespace {
+
+TEST(LogHistogramTest, EmptyStateIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  const HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  LogHistogram h;  // min_value 1, 16 sub-buckets per octave
+  // Below min_value: the underflow bucket.
+  EXPECT_EQ(h.BucketIndex(0.0), 0u);
+  EXPECT_EQ(h.BucketIndex(0.99), 0u);
+  // First octave [1, 2) spans buckets 1..16 in steps of 1/16.
+  EXPECT_EQ(h.BucketIndex(1.0), 1u);
+  EXPECT_EQ(h.BucketIndex(1.0 + 1.0 / 16.0), 2u);
+  EXPECT_EQ(h.BucketIndex(2.0 - 1e-9), 16u);
+  // Second octave [2, 4) starts at bucket 17.
+  EXPECT_EQ(h.BucketIndex(2.0), 17u);
+  EXPECT_EQ(h.BucketIndex(4.0), 33u);
+  // Bucket edges round-trip: lower edge maps back to the same bucket.
+  for (size_t i = 1; i < 40; ++i) {
+    EXPECT_EQ(h.BucketIndex(h.BucketLower(i)), i) << "bucket " << i;
+    EXPECT_LT(h.BucketLower(i), h.BucketUpper(i));
+  }
+}
+
+TEST(LogHistogramTest, OverflowClampsToLastBucket) {
+  LogHistogram::Options options;
+  options.octaves = 4;  // top regular value: 16
+  LogHistogram h(options);
+  const size_t overflow = h.num_buckets() - 1;
+  EXPECT_EQ(h.BucketIndex(1e12), overflow);
+  h.Add(1e12);
+  EXPECT_EQ(h.bucket_count(overflow), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+}
+
+TEST(LogHistogramTest, NegativeValuesClampToZero) {
+  LogHistogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(LogHistogramTest, QuantileInterpolationWithinRelativeError) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  // 16 sub-buckets bound the relative error near 1/16.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 500.0 / 8.0);
+  EXPECT_NEAR(h.Quantile(0.9), 900.0, 900.0 / 8.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 990.0 / 8.0);
+  // Quantiles are clamped to the observed range and monotone.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+}
+
+TEST(LogHistogramTest, SingleValueQuantilesCollapse) {
+  LogHistogram h;
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.0);
+}
+
+TEST(LogHistogramTest, MergeMatchesRecordingEverythingInOne) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = 1.0 + 3.7 * i;
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (size_t i = 0; i < a.num_buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.Quantile(0.9), all.Quantile(0.9));
+}
+
+TEST(LogHistogramTest, ResetKeepsGeometryClearsCounts) {
+  LogHistogram h;
+  h.Add(5.0);
+  h.Add(500.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LogHistogramDeathTest, MergeGeometryMismatchDies) {
+  LogHistogram a;
+  LogHistogram::Options options;
+  options.sub_buckets = 8;
+  LogHistogram b(options);
+  EXPECT_DEATH(a.Merge(b), "Check failed");
+}
+
+TEST(LinearHistogramTest, BucketsAndOverflow) {
+  LinearHistogram h(10.0, 5);  // [0,10) ... [40,50), then overflow
+  h.Add(0.0);
+  h.Add(9.9);
+  h.Add(10.0);
+  h.Add(49.0);
+  h.Add(1000.0);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(LinearHistogramTest, QuantileInterpolation) {
+  LinearHistogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 99.0);
+}
+
+TEST(LinearHistogramTest, MergeAddsCounts) {
+  LinearHistogram a(1.0, 10);
+  LinearHistogram b(1.0, 10);
+  a.Add(1.5);
+  b.Add(2.5);
+  b.Add(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(2), 1u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bcast::obs

@@ -1,0 +1,134 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+namespace {
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("sim/requests");
+  Counter* b = registry.GetCounter("sim/requests");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3u);
+
+  Gauge* g1 = registry.GetGauge("sim/period");
+  Gauge* g2 = registry.GetGauge("sim/period");
+  EXPECT_EQ(g1, g2);
+
+  LogHistogram* h1 = registry.GetHistogram("sim/response");
+  LogHistogram* h2 = registry.GetHistogram("sim/response");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("counter_" + std::to_string(i));
+  }
+  first->Increment();
+  EXPECT_EQ(registry.GetCounter("a")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment(1);
+  registry.GetCounter("alpha")->Increment(2);
+  registry.GetCounter("mid")->Increment(3);
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zeta");
+  EXPECT_EQ(snap.counters[0].second, 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry a;
+  a.GetCounter("x")->Increment(1);
+  a.GetCounter("y")->Increment(2);
+  MetricsRegistry b;
+  b.GetCounter("y")->Increment(2);
+  b.GetCounter("x")->Increment(1);
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.WriteJson(ja);
+  b.WriteJson(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricsRegistryTest, EmptyAndSnapshotEmpty) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_TRUE(registry.TakeSnapshot().empty());
+  registry.GetGauge("g");
+  EXPECT_FALSE(registry.empty());
+  EXPECT_FALSE(registry.TakeSnapshot().empty());
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a;
+  a.GetCounter("hits")->Increment(5);
+  a.GetHistogram("rt")->Add(10.0);
+  MetricsRegistry b;
+  b.GetCounter("hits")->Increment(7);
+  b.GetCounter("only_in_b")->Increment(1);
+  b.GetHistogram("rt")->Add(30.0);
+  b.GetGauge("period")->Set(100.0);
+
+  a.Merge(b);
+  EXPECT_EQ(a.GetCounter("hits")->value(), 12u);
+  EXPECT_EQ(a.GetCounter("only_in_b")->value(), 1u);
+  EXPECT_EQ(a.GetHistogram("rt")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.GetHistogram("rt")->max(), 30.0);
+  EXPECT_DOUBLE_EQ(a.GetGauge("period")->value(), 100.0);
+}
+
+TEST(MetricsRegistryTest, GaugeMergeKeepsSetValue) {
+  Gauge set;
+  set.Set(42.0);
+  Gauge unset;
+  set.Merge(unset);  // merging an unset gauge must not clobber
+  EXPECT_DOUBLE_EQ(set.value(), 42.0);
+  unset.Merge(set);
+  EXPECT_DOUBLE_EQ(unset.value(), 42.0);
+}
+
+TEST(MetricsRegistryTest, WriteJsonRoundTripsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim/requests")->Increment(4000);
+  registry.GetGauge("sim/period")->Set(11010.0);
+  LogHistogram* h = registry.GetHistogram("sim/response_slots");
+  for (int i = 1; i <= 100; ++i) h->Add(static_cast<double>(i));
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+
+  Result<double> requests = FindJsonNumber(json, "sim/requests");
+  ASSERT_TRUE(requests.ok());
+  EXPECT_DOUBLE_EQ(*requests, 4000.0);
+  Result<double> period = FindJsonNumber(json, "sim/period");
+  ASSERT_TRUE(period.ok());
+  EXPECT_DOUBLE_EQ(*period, 11010.0);
+  Result<double> count = FindJsonNumber(json, "count");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(*count, 100.0);
+  Result<double> p90 = FindJsonNumber(json, "p90");
+  ASSERT_TRUE(p90.ok());
+  EXPECT_NEAR(*p90, 90.0, 12.0);
+}
+
+TEST(MetricsRegistryDeathTest, EmptyNameDies) {
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.GetCounter(""), "Check failed");
+}
+
+}  // namespace
+}  // namespace bcast::obs

@@ -1,0 +1,161 @@
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+namespace {
+
+RunReport FilledReport() {
+  RunReport report;
+  report.tool = "bcastsim";
+  report.mode = "single";
+  report.config = "disks<500,2000,2500> policy=LRU";
+  report.seed = 42;
+  report.seeds = 3;
+  report.period = 11010;
+  report.empty_slots = 10;
+  report.perturbed_pages = 0;
+  report.requests = 4000;
+  report.warmup_requests = 1996;
+  report.cache_hits = 2867;
+  LogHistogram response;
+  for (int i = 1; i <= 1000; ++i) response.Add(static_cast<double>(i));
+  report.response = response.Summary();
+  report.tuning = response.Summary();
+  report.served_per_disk = {604, 529, 0};
+  report.end_time = 3035869.0;
+  report.timings.measured_seconds = 2.0;
+  report.events_dispatched = 8131;
+  report.extra = {{"clients", 5.0}};
+  report.FinalizeThroughput(report.end_time, 2.0);
+  return report;
+}
+
+TEST(RunReportTest, HitRateGuardsZeroRequests) {
+  RunReport report;
+  EXPECT_EQ(report.hit_rate(), 0.0);
+  report.requests = 4;
+  report.cache_hits = 1;
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.25);
+}
+
+TEST(RunReportTest, FinalizeThroughputGuardsZeroSeconds) {
+  RunReport report;
+  report.events_dispatched = 100;
+  report.FinalizeThroughput(1000.0, 0.0);
+  EXPECT_EQ(report.slots_per_second, 0.0);
+  EXPECT_EQ(report.events_per_second, 0.0);
+  report.FinalizeThroughput(1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(report.slots_per_second, 500.0);
+  EXPECT_DOUBLE_EQ(report.events_per_second, 50.0);
+}
+
+TEST(RunReportTest, JsonRoundTripsHeadlineNumbers) {
+  const RunReport report = FilledReport();
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+
+  // The serialized document reparses to the values we put in.
+  Result<double> seed = FindJsonNumber(json, "seed");
+  ASSERT_TRUE(seed.ok());
+  EXPECT_DOUBLE_EQ(*seed, 42.0);
+  Result<double> period = FindJsonNumber(json, "period");
+  ASSERT_TRUE(period.ok());
+  EXPECT_DOUBLE_EQ(*period, 11010.0);
+  Result<double> measured = FindJsonNumber(json, "measured");
+  ASSERT_TRUE(measured.ok());
+  EXPECT_DOUBLE_EQ(*measured, 4000.0);
+  Result<double> hit_rate = FindJsonNumber(json, "hit_rate");
+  ASSERT_TRUE(hit_rate.ok());
+  EXPECT_NEAR(*hit_rate, 2867.0 / 4000.0, 1e-9);
+  // Numbers serialize with %.12g, so reparse to ~12 significant digits.
+  Result<double> p50 = FindJsonNumber(json, "p50");
+  ASSERT_TRUE(p50.ok());
+  EXPECT_NEAR(*p50, report.response.p50, 1e-9 * report.response.p50);
+  Result<double> p99 = FindJsonNumber(json, "p99");
+  ASSERT_TRUE(p99.ok());
+  EXPECT_NEAR(*p99, report.response.p99, 1e-9 * report.response.p99);
+  Result<double> slots = FindJsonNumber(json, "slots_per_second");
+  ASSERT_TRUE(slots.ok());
+  EXPECT_NEAR(*slots, report.slots_per_second, 1e-3);
+  Result<double> clients = FindJsonNumber(json, "clients");
+  ASSERT_TRUE(clients.ok());
+  EXPECT_DOUBLE_EQ(*clients, 5.0);
+
+  // Structural spot checks.
+  EXPECT_NE(json.find("\"tool\": \"bcastsim\""), std::string::npos);
+  EXPECT_NE(json.find("\"served_per_disk\": [604, 529, 0]"),
+            std::string::npos);
+}
+
+TEST(RunReportTest, ConfigStringIsEscaped) {
+  RunReport report;
+  report.config = "quote\" backslash\\ newline\n";
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n"),
+            std::string::npos)
+      << json;
+}
+
+TEST(RunReportTest, MetricsSnapshotSerializes) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim/requests")->Increment(123);
+  registry.GetGauge("sim/period")->Set(11010.0);
+  registry.GetHistogram("sim/response_slots")->Add(50.0);
+
+  RunReport report = FilledReport();
+  report.metrics = registry.TakeSnapshot();
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+  Result<double> requests = FindJsonNumber(json, "sim/requests");
+  ASSERT_TRUE(requests.ok());
+  EXPECT_DOUBLE_EQ(*requests, 123.0);
+  Result<double> period = FindJsonNumber(json, "sim/period");
+  ASSERT_TRUE(period.ok());
+  EXPECT_DOUBLE_EQ(*period, 11010.0);
+  EXPECT_NE(json.find("\"sim/response_slots\""), std::string::npos);
+}
+
+TEST(RunReportTest, WriteToFileRoundTrips) {
+  const RunReport report = FilledReport();
+  const std::string path = ::testing::TempDir() + "/run_report_test.json";
+  ASSERT_TRUE(report.WriteToFile(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  Result<double> seeds = FindJsonNumber(json, "seeds");
+  ASSERT_TRUE(seeds.ok());
+  EXPECT_DOUBLE_EQ(*seeds, 3.0);
+}
+
+TEST(RunReportTest, WriteToFileBadPathFails) {
+  const RunReport report;
+  EXPECT_FALSE(report.WriteToFile("/nonexistent_dir_zzz/report.json").ok());
+}
+
+TEST(RunReportTest, EmptyReportSerializesFiniteNumbers) {
+  const RunReport report;
+  std::ostringstream out;
+  report.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  Result<double> hit_rate = FindJsonNumber(json, "hit_rate");
+  ASSERT_TRUE(hit_rate.ok());
+  EXPECT_EQ(*hit_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace bcast::obs

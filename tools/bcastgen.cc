@@ -14,6 +14,7 @@
 #include "broadcast/generator.h"
 #include "broadcast/optimizer.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "common/zipf.h"
@@ -29,6 +30,7 @@ int Run(int argc, const char* const* argv) {
   bool optimize = false;
   uint64_t access_range = 1000;
   double theta = 0.95;
+  std::string log_level;
 
   FlagSet flags("bcastgen");
   flags.AddString("disks", &disks, "comma-separated pages per disk");
@@ -41,6 +43,8 @@ int Run(int argc, const char* const* argv) {
   flags.AddUint64("access_range", &access_range,
                   "hot pages for the analytic workload");
   flags.AddDouble("theta", &theta, "Zipf skew of the analytic workload");
+  flags.AddString("log_level", &log_level,
+                  "log threshold: debug|info|warn|error|fatal");
 
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) {
@@ -50,6 +54,16 @@ int Run(int argc, const char* const* argv) {
   if (flags.help_requested()) {
     std::cout << flags.HelpText();
     return 0;
+  }
+
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::cerr << "unknown --log_level: " << log_level
+                << " (debug|info|warn|error|fatal)\n";
+      return 2;
+    }
+    SetLogThreshold(level);
   }
 
   Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);

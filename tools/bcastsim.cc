@@ -17,21 +17,41 @@
 //   bcastsim --mode=updates --update_rate=0.2 --consistency=auto-refresh
 
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/multi_client.h"
 #include "core/simulator.h"
 #include "core/updates.h"
+#include "obs/registry.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace bcast {
 namespace {
 
+// Writes \p report to \p path (no-op when the path is empty). Returns
+// false — after printing the error — when the file cannot be written.
+bool MaybeWriteReport(const obs::RunReport& report,
+                      const std::string& path) {
+  if (path.empty()) return true;
+  Status st = report.WriteToFile(path);
+  if (!st.ok()) {
+    std::cerr << "--report_out: " << st.ToString() << "\n";
+    return false;
+  }
+  return true;
+}
+
 // Runs the population mode: `clients` specs whose interests are spread
 // evenly across the database.
-int RunPopulation(const SimParams& base, uint64_t clients) {
+int RunPopulation(const SimParams& base, uint64_t clients,
+                  const std::string& report_out) {
   MultiClientParams params;
   params.disk_sizes = base.disk_sizes;
   params.delta = base.delta;
@@ -74,12 +94,42 @@ int RunPopulation(const SimParams& base, uint64_t clients) {
                                 result->response_across_clients.min(),
                             2)
             << "\n";
+
+  if (!report_out.empty()) {
+    obs::RunReport report;
+    report.tool = "bcastsim";
+    report.mode = "population";
+    report.config = base.ToString();
+    report.seed = params.seed;
+    report.requests = result->aggregate.requests();
+    report.cache_hits = result->aggregate.cache_hits();
+    report.response = result->aggregate.response_histogram().Summary();
+    report.tuning = result->aggregate.tuning_histogram().Summary();
+    report.served_per_disk = result->aggregate.served_per_disk();
+    report.end_time = result->end_time;
+    report.timings = result->timings;
+    report.events_dispatched = result->events_dispatched;
+    report.FinalizeThroughput(result->end_time,
+                              result->timings.measured_seconds);
+    const double min_rt = result->response_across_clients.min();
+    report.extra = {
+        {"clients", static_cast<double>(clients)},
+        {"population_mean_rt", result->response_across_clients.mean()},
+        {"population_min_rt", min_rt},
+        {"population_max_rt", result->response_across_clients.max()},
+        {"fairness_max_over_min",
+         min_rt > 0.0 ? result->response_across_clients.max() / min_rt
+                      : 0.0},
+    };
+    if (!MaybeWriteReport(report, report_out)) return 1;
+  }
   return 0;
 }
 
 // Runs the updates mode with the given consistency action name.
 int RunUpdates(const SimParams& base, double update_rate,
-               double update_theta, const std::string& consistency) {
+               double update_theta, const std::string& consistency,
+               const std::string& report_out) {
   UpdateParams updates;
   updates.update_rate = update_rate;
   updates.update_theta = update_theta;
@@ -94,7 +144,9 @@ int RunUpdates(const SimParams& base, double update_rate,
               << " (none|invalidate|auto-refresh)\n";
     return 2;
   }
-  auto result = RunUpdateSimulation(base, updates);
+  obs::MetricsRegistry registry;
+  auto result = RunUpdateSimulation(
+      base, updates, report_out.empty() ? nullptr : &registry);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -113,6 +165,36 @@ int RunUpdates(const SimParams& base, double update_rate,
   table.AddRow({"cold misses %",
                 FormatDouble(100.0 * result->cold_misses / n, 2)});
   table.Print(std::cout);
+
+  if (!report_out.empty()) {
+    obs::RunReport report;
+    report.tool = "bcastsim";
+    report.mode = "updates";
+    report.config = base.ToString();
+    report.seed = base.seed;
+    report.requests = result->requests;
+    report.cache_hits = result->fresh_hits + result->stale_hits;
+    report.response = result->response;
+    report.timings.measured_seconds = result->wall_seconds;
+    report.timings.total_seconds = result->wall_seconds;
+    report.events_dispatched = result->events_dispatched;
+    report.FinalizeThroughput(0.0, result->wall_seconds);
+    report.extra = {
+        {"update_rate", update_rate},
+        {"update_theta", update_theta},
+        {"fresh_hits", static_cast<double>(result->fresh_hits)},
+        {"stale_hits", static_cast<double>(result->stale_hits)},
+        {"invalidation_refetches",
+         static_cast<double>(result->invalidation_refetches)},
+        {"cold_misses", static_cast<double>(result->cold_misses)},
+        {"naps", static_cast<double>(result->naps)},
+        {"distrust_purges", static_cast<double>(result->distrust_purges)},
+        {"stale_fraction", result->StaleFraction()},
+        {"mean_response_time", result->mean_response_time},
+    };
+    report.metrics = registry.TakeSnapshot();
+    if (!MaybeWriteReport(report, report_out)) return 1;
+  }
   return 0;
 }
 
@@ -129,6 +211,11 @@ int Run(int argc, const char* const* argv) {
   double update_rate = 0.05;
   double update_theta = 0.95;
   bool csv = false;
+  std::string report_out;
+  std::string trace_out;
+  double trace_sample = 1.0;
+  std::string trace_format = "jsonl";
+  std::string log_level;
 
   FlagSet flags("bcastsim");
   flags.AddString("mode", &mode, "single | population | updates");
@@ -166,6 +253,15 @@ int Run(int argc, const char* const* argv) {
   flags.AddUint64("seed", &params.seed, "master RNG seed");
   flags.AddUint64("seeds", &seeds, "seeds to average over");
   flags.AddBool("csv", &csv, "emit a CSV row instead of a table");
+  flags.AddString("report_out", &report_out,
+                  "write a JSON run report to this path");
+  flags.AddString("trace_out", &trace_out,
+                  "single mode: write sampled per-request trace here");
+  flags.AddDouble("trace_sample", &trace_sample,
+                  "trace sampling probability in [0, 1]");
+  flags.AddString("trace_format", &trace_format, "trace encoding: jsonl | csv");
+  flags.AddString("log_level", &log_level,
+                  "log threshold: debug|info|warn|error|fatal");
 
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) {
@@ -175,6 +271,16 @@ int Run(int argc, const char* const* argv) {
   if (flags.help_requested()) {
     std::cout << flags.HelpText();
     return 0;
+  }
+
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::cerr << "unknown --log_level: " << log_level
+                << " (debug|info|warn|error|fatal)\n";
+      return 2;
+    }
+    SetLogThreshold(level);
   }
 
   Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);
@@ -210,28 +316,81 @@ int Run(int argc, const char* const* argv) {
     return 2;
   }
 
-  if (mode == "population") return RunPopulation(params, clients);
+  if (mode != "single" && !trace_out.empty()) {
+    BCAST_LOG(kWarning) << "--trace_out only applies to --mode=single; "
+                           "no trace will be written";
+  }
+  if (mode == "population") {
+    return RunPopulation(params, clients, report_out);
+  }
   if (mode == "updates") {
-    return RunUpdates(params, update_rate, update_theta, consistency);
+    return RunUpdates(params, update_rate, update_theta, consistency,
+                      report_out);
   }
   if (mode != "single") {
     std::cerr << "unknown --mode: " << mode << "\n";
     return 2;
   }
 
+  // Observability: one registry and (optionally) one trace sink shared
+  // across all seeds.
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!trace_out.empty()) {
+    Result<obs::TraceFormat> format = obs::ParseTraceFormat(trace_format);
+    if (!format.ok()) {
+      std::cerr << "--trace_format: " << format.status().ToString() << "\n";
+      return 2;
+    }
+    if (trace_sample < 0.0 || trace_sample > 1.0) {
+      std::cerr << "--trace_sample must be in [0, 1]\n";
+      return 2;
+    }
+    Result<std::unique_ptr<obs::TraceSink>> sink =
+        obs::TraceSink::Open(trace_out, trace_sample, *format, params.seed);
+    if (!sink.ok()) {
+      std::cerr << "--trace_out: " << sink.status().ToString() << "\n";
+      return 1;
+    }
+    trace = std::move(*sink);
+  }
+  SimObservers observers;
+  observers.trace = trace.get();
+  observers.registry = &registry;
+
   // Run (averaging over seeds if requested); keep the last run's
-  // breakdown for display.
+  // breakdown for display and an across-seeds aggregate for the report.
   RunningStat response;
   Result<SimResult> last = Status::Internal("no runs");
-  for (uint64_t i = 0; i < std::max<uint64_t>(seeds, 1); ++i) {
+  SimResult aggregate;
+  bool have_aggregate = false;
+  const uint64_t num_seeds = std::max<uint64_t>(seeds, 1);
+  for (uint64_t i = 0; i < num_seeds; ++i) {
     SimParams run = params;
     run.seed = params.seed + i;
-    last = RunSimulation(run);
+    last = RunSimulation(run, observers);
     if (!last.ok()) {
       std::cerr << last.status().ToString() << "\n";
       return 1;
     }
     response.Add(last->metrics.mean_response_time());
+    if (!have_aggregate) {
+      aggregate = *last;
+      have_aggregate = true;
+    } else {
+      aggregate.metrics.Merge(last->metrics);
+      aggregate.warmup_requests += last->warmup_requests;
+      aggregate.end_time += last->end_time;
+      aggregate.timings.Accumulate(last->timings);
+      aggregate.events_dispatched += last->events_dispatched;
+    }
+  }
+  if (trace != nullptr) trace->Flush();
+  if (!report_out.empty()) {
+    obs::RunReport report = MakeRunReport(params, aggregate, "bcastsim");
+    report.seeds = num_seeds;
+    report.metrics = registry.TakeSnapshot();
+    if (!MaybeWriteReport(report, report_out)) return 1;
   }
   const ClientMetrics& m = last->metrics;
   const std::vector<double> fractions = m.LocationFractions();
