@@ -1,0 +1,118 @@
+// baseline_refresh — regenerates the golden run reports under
+// tests/baselines/ that `bcastcheck --baseline` gates against.
+//
+// Each baseline is one fixed-seed, fixed-request-count simulation of a
+// named configuration; the numbers are deliberately *not* scaled by
+// BCAST_BENCH_REQUESTS/SEEDS — a golden report must mean the same thing
+// on every run. Writes happen only when BCAST_BASELINE_OUT names a
+// directory (so the CI bench smoke-run, which executes every bench
+// binary, cannot silently clobber the checked-in goldens):
+//
+//   BCAST_BASELINE_OUT=tests/baselines ./build/bench/baseline_refresh
+//
+// After a refresh, review the diff — a changed golden baseline is a
+// deliberate statement that the new numbers are the right ones (see
+// docs/TESTING.md).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/simulator.h"
+#include "obs/run_report.h"
+
+namespace bcast {
+namespace {
+
+// One golden configuration: a stable file name plus the exact parameters.
+struct BaselineConfig {
+  const char* name;
+  SimParams params;
+};
+
+// The gated configurations. Names are part of the baseline contract;
+// adding a config here and refreshing adds a new gate.
+std::vector<BaselineConfig> Configs() {
+  // Fixed for reproducibility: baselines are compared exactly on counts,
+  // so they must not inherit ambient bench-fidelity environment knobs.
+  constexpr uint64_t kRequests = 20000;
+  constexpr uint64_t kSeed = 42;
+
+  std::vector<BaselineConfig> configs;
+
+  {
+    // The paper's base setting: D5 disks, LRU, CacheSize 500.
+    BaselineConfig config;
+    config.name = "single_lru_d5";
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
+  {
+    // The headline cost-model configuration (Figure 10's best case):
+    // PIX with a cache-aware broadcast and a moderately noisy mapping.
+    BaselineConfig config;
+    config.name = "single_pix_offset500_noise30";
+    config.params.policy = PolicyKind::kPix;
+    config.params.offset = 500;
+    config.params.noise_percent = 30.0;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
+  {
+    // The no-cache baseline every caching result is measured against.
+    BaselineConfig config;
+    config.name = "single_nocache_d5";
+    config.params.cache_size = 1;
+    config.params.policy = PolicyKind::kP;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+int Run() {
+  const char* out_dir = std::getenv("BCAST_BASELINE_OUT");
+  if (out_dir == nullptr || *out_dir == '\0') {
+    std::cout << "baseline_refresh: BCAST_BASELINE_OUT is not set; "
+                 "nothing written.\n"
+                 "To regenerate the golden baselines:\n"
+                 "  BCAST_BASELINE_OUT=tests/baselines "
+                 "./build/bench/baseline_refresh\n";
+    return 0;
+  }
+
+  int failures = 0;
+  for (const BaselineConfig& config : Configs()) {
+    Result<SimResult> result = RunSimulation(config.params);
+    if (!result.ok()) {
+      std::cerr << config.name << ": " << result.status().ToString()
+                << "\n";
+      ++failures;
+      continue;
+    }
+    obs::RunReport report =
+        MakeRunReport(config.params, *result, "baseline_refresh");
+    const std::string path =
+        std::string(out_dir) + "/" + config.name + ".json";
+    Status st = report.WriteToFile(path);
+    if (!st.ok()) {
+      std::cerr << config.name << ": " << st.ToString() << "\n";
+      ++failures;
+      continue;
+    }
+    std::cout << "wrote " << path << " (mean response "
+              << result->metrics.mean_response_time() << ", "
+              << result->metrics.requests() << " requests)\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() { return bcast::Run(); }

@@ -1,0 +1,289 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace bcast::check {
+namespace {
+
+std::string JoinGaps(const std::vector<uint64_t>& gaps, size_t limit = 8) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < gaps.size() && i < limit; ++i) {
+    if (i) out << ",";
+    out << gaps[i];
+  }
+  if (gaps.size() > limit) out << ",...";
+  out << "}";
+  return out.str();
+}
+
+// Arrival slots of every page, from the raw slot vector only.
+std::vector<std::vector<uint64_t>> CollectArrivals(
+    const BroadcastProgram& program) {
+  std::vector<std::vector<uint64_t>> arrivals(program.num_pages());
+  const std::vector<PageId>& slots = program.slots();
+  for (uint64_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] != kEmptySlot && slots[s] < program.num_pages()) {
+      arrivals[slots[s]].push_back(s);
+    }
+  }
+  return arrivals;
+}
+
+// Wrap-around gaps between consecutive arrivals; recomputed here rather
+// than via BroadcastProgram::InterArrivalGaps so the check does not trust
+// the class under test.
+std::vector<uint64_t> GapsOf(const std::vector<uint64_t>& arrivals,
+                             uint64_t period) {
+  std::vector<uint64_t> gaps;
+  gaps.reserve(arrivals.size());
+  for (size_t i = 0; i + 1 < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i + 1] - arrivals[i]);
+  }
+  if (!arrivals.empty()) {
+    gaps.push_back(period - arrivals.back() + arrivals.front());
+  }
+  return gaps;
+}
+
+void CheckSummary(CheckList* list, const std::string& prefix,
+                  const obs::HistogramSummary& s) {
+  std::ostringstream values;
+  values << "min=" << s.min << " p50=" << s.p50 << " p90=" << s.p90
+         << " p99=" << s.p99 << " max=" << s.max << " mean=" << s.mean;
+  list->Add(prefix + ".percentiles_monotone",
+            s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 &&
+                s.p99 <= s.max,
+            values.str());
+  list->Add(prefix + ".mean_within_range",
+            s.count == 0 || (s.mean >= s.min && s.mean <= s.max),
+            values.str());
+  list->Add(prefix + ".nonnegative",
+            s.min >= 0.0 && s.mean >= 0.0 && s.max >= 0.0, values.str());
+}
+
+}  // namespace
+
+void CheckList::Add(std::string name, bool ok, std::string detail) {
+  checks_.push_back({std::move(name), ok, std::move(detail)});
+}
+
+void CheckList::Extend(const CheckList& other) {
+  checks_.insert(checks_.end(), other.checks_.begin(), other.checks_.end());
+}
+
+bool CheckList::all_ok() const {
+  return std::all_of(checks_.begin(), checks_.end(),
+                     [](const Check& c) { return c.ok; });
+}
+
+size_t CheckList::failures() const {
+  return static_cast<size_t>(
+      std::count_if(checks_.begin(), checks_.end(),
+                    [](const Check& c) { return !c.ok; }));
+}
+
+void CheckList::Print(std::ostream& out) const {
+  for (const Check& c : checks_) {
+    if (c.ok) {
+      out << "ok   " << c.name << "\n";
+    } else {
+      out << "FAIL " << c.name;
+      if (!c.detail.empty()) out << ": " << c.detail;
+      out << "\n";
+    }
+  }
+}
+
+CheckList CheckProgramInvariants(const BroadcastProgram& program,
+                                 bool expect_regular) {
+  CheckList list;
+  const std::vector<PageId>& slots = program.slots();
+  const uint64_t period = slots.size();
+  list.Add("program.nonempty_period", period > 0,
+           "period is " + std::to_string(period));
+
+  uint64_t empty = 0;
+  bool ids_in_range = true;
+  for (const PageId p : slots) {
+    if (p == kEmptySlot) {
+      ++empty;
+    } else if (p >= program.num_pages()) {
+      ids_in_range = false;
+    }
+  }
+  list.Add("program.slot_ids_in_range", ids_in_range);
+  list.Add("program.empty_slot_accounting", empty == program.EmptySlots(),
+           "counted " + std::to_string(empty) + ", program claims " +
+               std::to_string(program.EmptySlots()));
+
+  const std::vector<std::vector<uint64_t>> arrivals =
+      CollectArrivals(program);
+  bool all_present = true;
+  bool all_regular = true;
+  bool gaps_sum_to_period = true;
+  std::string irregular_detail;
+  for (PageId p = 0; p < program.num_pages(); ++p) {
+    if (arrivals[p].empty()) {
+      all_present = false;
+      continue;
+    }
+    const std::vector<uint64_t> gaps = GapsOf(arrivals[p], period);
+    uint64_t sum = 0;
+    for (const uint64_t g : gaps) sum += g;
+    if (sum != period) gaps_sum_to_period = false;
+    if (std::adjacent_find(gaps.begin(), gaps.end(),
+                           std::not_equal_to<>()) != gaps.end()) {
+      if (all_regular) {
+        irregular_detail = "page " + std::to_string(p) + " gaps " +
+                           JoinGaps(gaps) + " (first of possibly many)";
+      }
+      all_regular = false;
+    }
+  }
+  list.Add("program.every_page_broadcast", all_present,
+           "a page with zero arrivals would stall any client needing it");
+  list.Add("program.gaps_sum_to_period", gaps_sum_to_period);
+  if (expect_regular) {
+    list.Add("program.fixed_inter_arrival", all_regular, irregular_detail);
+  }
+
+  // Service mix: pages on one disk must share a frequency, and disks must
+  // be ordered fastest-first.
+  std::vector<uint64_t> disk_freq(program.num_disks(), 0);
+  bool same_disk_same_freq = true;
+  std::string mix_detail;
+  for (PageId p = 0; p < program.num_pages(); ++p) {
+    const DiskIndex d = program.DiskOf(p);
+    if (d == kNoDisk || d >= program.num_disks()) {
+      same_disk_same_freq = false;
+      mix_detail = "page " + std::to_string(p) + " has no valid disk";
+      break;
+    }
+    const uint64_t freq = arrivals[p].size();
+    if (disk_freq[d] == 0) {
+      disk_freq[d] = freq;
+    } else if (disk_freq[d] != freq) {
+      same_disk_same_freq = false;
+      mix_detail = "disk " + std::to_string(d) + " carries pages at " +
+                   std::to_string(disk_freq[d]) + " and " +
+                   std::to_string(freq) + " arrivals/period";
+      break;
+    }
+  }
+  list.Add("program.same_disk_same_frequency", same_disk_same_freq,
+           mix_detail);
+  const bool non_increasing =
+      std::is_sorted(disk_freq.rbegin(), disk_freq.rend());
+  list.Add("program.disk_frequencies_non_increasing",
+           !same_disk_same_freq || non_increasing,
+           "per-disk frequencies " + JoinGaps(disk_freq));
+  return list;
+}
+
+CheckList CheckLayoutProgramAgreement(const DiskLayout& layout,
+                                      const BroadcastProgram& program) {
+  CheckList list;
+  list.Add("layout.page_count",
+           program.num_pages() == layout.TotalPages(),
+           "program has " + std::to_string(program.num_pages()) +
+               " pages, layout " + std::to_string(layout.TotalPages()));
+  list.Add("layout.disk_count", program.num_disks() == layout.NumDisks(),
+           "program has " + std::to_string(program.num_disks()) +
+               " disks, layout " + std::to_string(layout.NumDisks()));
+  if (!list.all_ok()) return list;
+
+  // The Section-2.2 period identity, with every ingredient recomputed
+  // from the layout: max_chunks = LCM(rel_freqs), disk i contributes
+  // ceil(size_i / (max_chunks / freq_i)) slots per minor cycle, and the
+  // period is max_chunks minor cycles.
+  Result<uint64_t> lcm = LcmOfAll(layout.rel_freqs);
+  if (!lcm.ok()) {
+    list.Add("layout.period_identity", false, lcm.status().ToString());
+    return list;
+  }
+  uint64_t minor_cycle_len = 0;
+  for (size_t i = 0; i < layout.NumDisks(); ++i) {
+    minor_cycle_len +=
+        CeilDiv(layout.sizes[i], *lcm / layout.rel_freqs[i]);
+  }
+  const uint64_t expected_period = *lcm * minor_cycle_len;
+  list.Add("layout.period_identity", program.period() == expected_period,
+           "period " + std::to_string(program.period()) +
+               ", LCM(rel_freqs) * minor_cycle_len = " +
+               std::to_string(*lcm) + " * " +
+               std::to_string(minor_cycle_len) + " = " +
+               std::to_string(expected_period));
+
+  // Every page of disk i must appear exactly rel_freq(i) times and be
+  // attributed to disk i.
+  const std::vector<std::vector<uint64_t>> arrivals =
+      CollectArrivals(program);
+  bool frequencies_match = true;
+  bool disks_match = true;
+  std::string freq_detail;
+  PageId page = 0;
+  for (size_t d = 0; d < layout.NumDisks(); ++d) {
+    for (uint64_t k = 0; k < layout.sizes[d]; ++k, ++page) {
+      if (arrivals[page].size() != layout.rel_freqs[d] &&
+          frequencies_match) {
+        frequencies_match = false;
+        freq_detail = "page " + std::to_string(page) + " appears " +
+                      std::to_string(arrivals[page].size()) +
+                      " times, rel_freq is " +
+                      std::to_string(layout.rel_freqs[d]);
+      }
+      if (program.DiskOf(page) != d) disks_match = false;
+    }
+  }
+  list.Add("layout.per_page_frequency_is_rel_freq", frequencies_match,
+           freq_detail);
+  list.Add("layout.disk_assignment", disks_match);
+  return list;
+}
+
+CheckList CheckReportInvariants(const obs::RunReport& report) {
+  CheckList list;
+  CheckSummary(&list, "report.response", report.response);
+  CheckSummary(&list, "report.tuning", report.tuning);
+
+  list.Add("report.hits_within_requests",
+           report.cache_hits <= report.requests,
+           std::to_string(report.cache_hits) + " hits of " +
+               std::to_string(report.requests) + " requests");
+  const double rate = report.hit_rate();
+  list.Add("report.hit_rate_in_unit_interval", rate >= 0.0 && rate <= 1.0);
+
+  if (!report.served_per_disk.empty()) {
+    uint64_t served = 0;
+    for (const uint64_t n : report.served_per_disk) served += n;
+    list.Add("report.request_accounting",
+             report.cache_hits + served == report.requests,
+             std::to_string(report.cache_hits) + " hits + " +
+                 std::to_string(served) + " disk serves != " +
+                 std::to_string(report.requests) + " requests");
+  }
+  if (report.response.count > 0 && report.requests > 0) {
+    list.Add("report.response_count_is_requests",
+             report.response.count == report.requests,
+             "response histogram holds " +
+                 std::to_string(report.response.count) + " samples for " +
+                 std::to_string(report.requests) + " requests");
+  }
+  list.Add("report.throughput_nonnegative",
+           report.slots_per_second >= 0.0 &&
+               report.events_per_second >= 0.0);
+  list.Add("report.timings_nonnegative",
+           report.timings.total_seconds >= 0.0 &&
+               report.timings.measured_seconds >= 0.0 &&
+               report.timings.warmup_seconds >= 0.0 &&
+               report.timings.setup_seconds >= 0.0 &&
+               report.timings.build_program_seconds >= 0.0);
+  list.Add("report.end_time_nonnegative", report.end_time >= 0.0);
+  return list;
+}
+
+}  // namespace bcast::check

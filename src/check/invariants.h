@@ -1,0 +1,87 @@
+/// \file invariants.h
+/// \brief Independent re-verification of the paper's structural claims.
+///
+/// The generator, simulator, and report writer each promise invariants —
+/// fixed per-page inter-arrival spacing (Section 2.2), per-disk bandwidth
+/// proportional to relative frequencies, percentile monotonicity, request
+/// accounting that adds up. This module re-derives every one of them from
+/// raw data (the slot vector, the report numbers) without calling the
+/// code paths that produced them, so a bug upstream cannot vouch for
+/// itself. `bcastcheck` aggregates these into its exit code; the test
+/// suites call them directly.
+
+#ifndef BCAST_CHECK_INVARIANTS_H_
+#define BCAST_CHECK_INVARIANTS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/program.h"
+#include "obs/run_report.h"
+
+namespace bcast::check {
+
+/// \brief One named pass/fail verdict with a human-readable detail line.
+struct Check {
+  std::string name;
+  bool ok = false;
+  std::string detail;
+};
+
+/// \brief An ordered batch of checks; the unit bcastcheck reports on.
+class CheckList {
+ public:
+  /// Records one verdict. \p detail should state the observed values on
+  /// failure ("page 3 gaps {4,2,6}, expected all equal").
+  void Add(std::string name, bool ok, std::string detail = "");
+
+  /// Folds \p other's checks onto the end of this list.
+  void Extend(const CheckList& other);
+
+  const std::vector<Check>& checks() const { return checks_; }
+
+  /// True iff every recorded check passed.
+  bool all_ok() const;
+
+  /// Number of failed checks.
+  size_t failures() const;
+
+  /// Renders one line per check ("ok  <name>" / "FAIL <name>: <detail>").
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<Check> checks_;
+};
+
+/// \brief Structural invariants of any broadcast program, recomputed from
+/// the raw slot vector: every page broadcast at least once, all slot ids
+/// in range, equal inter-arrival gaps per page (the Section-2.2 regularity
+/// guarantee), gaps summing to the period, same-disk pages sharing one
+/// frequency, and disk frequencies non-increasing from disk 0.
+///
+/// \param expect_regular When false, the fixed-inter-arrival checks are
+///        skipped (skewed/random reference programs legitimately violate
+///        them; everything else still must hold).
+CheckList CheckProgramInvariants(const BroadcastProgram& program,
+                                 bool expect_regular = true);
+
+/// \brief Agreement between a program and the layout that should have
+/// produced it: page count, disk assignment, per-page broadcast frequency
+/// equal to the disk's relative frequency, and the period identity
+/// `period == LCM(rel_freqs) * minor_cycle_len` with the minor cycle
+/// length recomputed from the layout alone.
+CheckList CheckLayoutProgramAgreement(const DiskLayout& layout,
+                                      const BroadcastProgram& program);
+
+/// \brief Internal consistency of a run report: percentile monotonicity
+/// (min <= p50 <= p90 <= p99 <= max, mean within range) for the response
+/// and tuning summaries, request accounting (cache_hits <= requests;
+/// hits + per-disk serves == requests when the disk breakdown is
+/// present), and non-negative throughput/timing numbers.
+CheckList CheckReportInvariants(const obs::RunReport& report);
+
+}  // namespace bcast::check
+
+#endif  // BCAST_CHECK_INVARIANTS_H_

@@ -1,0 +1,66 @@
+/// \file paper_checks.h
+/// \brief Executable checks of the paper's headline quantitative claims.
+///
+/// Unlike the structural invariants (invariants.h), these run actual
+/// simulations and compare independent implementations against each
+/// other:
+///
+///  - Table 1 / Section 3.3: the DES simulator's mean response time for
+///    the no-cache client must agree with `core/analytic_model`'s closed
+///    form within tolerance — the two share no modelling code, so
+///    agreement is strong evidence both are right.
+///  - Section 2.1 orderings: for equal bandwidth allocation, the
+///    multi-disk program's expected delay must not exceed the skewed
+///    program's (Bus Stop Paradox), recomputed analytically per page.
+///  - Figure 10: on the paper's cache configuration, PIX's mean response
+///    time must not exceed P's (tail-aware cost beats probability-only)
+///    and both must beat the no-cache baseline.
+///
+/// These are the checks every future perf/refactor PR is gated on via
+/// `bcastcheck --paper`; they use reduced request counts so the gate
+/// stays fast, with tolerances sized for that sample size.
+
+#ifndef BCAST_CHECK_PAPER_CHECKS_H_
+#define BCAST_CHECK_PAPER_CHECKS_H_
+
+#include <cstdint>
+
+#include "check/invariants.h"
+#include "common/status.h"
+
+namespace bcast::check {
+
+/// \brief Knobs for the simulation-backed checks.
+struct PaperCheckOptions {
+  /// Measured requests per simulation (each check runs 2-3 sims).
+  uint64_t requests = 20000;
+
+  /// Master seed for every simulation in the batch.
+  uint64_t seed = 42;
+
+  /// Allowed relative disagreement between the DES simulator and the
+  /// analytic model (residual comes from think-time phase correlation;
+  /// see analytic_model.h).
+  double analytic_tolerance = 0.05;
+
+  /// Slack on the P >= PIX ordering: PIX may exceed P by at most this
+  /// relative margin before the check fails (absorbs sampling noise at
+  /// reduced request counts).
+  double ordering_slack = 0.02;
+};
+
+/// \brief DES vs closed-form agreement on the no-cache Table-1/D5 setup,
+/// plus the analytic multi-disk <= skewed expected-delay ordering.
+Result<CheckList> CheckAnalyticAgreement(const PaperCheckOptions& options);
+
+/// \brief The Figure-10 cost-model ordering: mean RT(PIX) <= mean RT(P)
+/// (within slack) <= mean RT(no cache), on the paper's base configuration
+/// with CacheSize 500, Offset 500, Noise 30%.
+Result<CheckList> CheckPolicyOrdering(const PaperCheckOptions& options);
+
+/// \brief Runs every paper check and concatenates the verdicts.
+Result<CheckList> RunPaperChecks(const PaperCheckOptions& options);
+
+}  // namespace bcast::check
+
+#endif  // BCAST_CHECK_PAPER_CHECKS_H_

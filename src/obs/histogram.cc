@@ -46,7 +46,9 @@ double LogHistogram::BucketUpper(size_t i) const {
 }
 
 void LogHistogram::Add(double value) {
-  if (value < 0.0) value = 0.0;
+  // The negated comparison also catches NaN, which would otherwise poison
+  // sum_/min_/max_ and every quantile derived from them.
+  if (!(value >= 0.0)) value = 0.0;
   ++counts_[BucketIndex(value)];
   ++count_;
   sum_ += value;
@@ -119,7 +121,9 @@ LinearHistogram::LinearHistogram(double bucket_width, size_t num_buckets)
 }
 
 void LinearHistogram::Add(double value) {
-  if (value < 0.0) value = 0.0;
+  // !(>= 0) catches NaN too: NaN / width_ cast to size_t is undefined
+  // behaviour, and NaN would poison sum_/min_/max_.
+  if (!(value >= 0.0)) value = 0.0;
   size_t idx = static_cast<size_t>(value / width_);
   idx = std::min(idx, counts_.size() - 1);
   ++counts_[idx];

@@ -55,7 +55,7 @@ class LogHistogram {
   LogHistogram() : LogHistogram(Options{}) {}
   explicit LogHistogram(Options options);
 
-  /// Records one observation. Negative values clamp to 0.
+  /// Records one observation. Negative values and NaN clamp to 0.
   void Add(double value);
 
   /// Folds \p other into this histogram; geometries must match.
@@ -125,7 +125,8 @@ class LinearHistogram {
   /// overflow bucket past the last.
   LinearHistogram(double bucket_width, size_t num_buckets);
 
-  /// Records one observation; negatives clamp into the first bucket.
+  /// Records one observation; negatives and NaN clamp into the first
+  /// bucket.
   void Add(double value);
 
   /// Folds \p other in; geometries must match.

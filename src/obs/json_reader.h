@@ -1,0 +1,92 @@
+/// \file json_reader.h
+/// \brief A minimal, defensive JSON parser for reading run reports back.
+///
+/// The write side (json_util.h) emits flat, hand-rolled JSON; this is the
+/// matching read side, grown now that `bcastcheck` must load whole reports
+/// rather than grep single numbers. It is a strict recursive-descent
+/// parser over the full JSON grammar (objects, arrays, strings with
+/// escapes, numbers, booleans, null) that never throws, never reads past
+/// the input, and bounds recursion depth — fuzzed inputs produce a clean
+/// `Status`, not a crash. Object member order is preserved and duplicate
+/// keys are rejected, so a report round-trips byte-for-byte meaningfully.
+
+#ifndef BCAST_OBS_JSON_READER_H_
+#define BCAST_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcast::obs {
+
+/// \brief One parsed JSON value; a tree of these represents a document.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Parses \p text as exactly one JSON document (trailing whitespace
+  /// allowed, trailing garbage rejected). Nesting deeper than 64 levels is
+  /// rejected to keep fuzzed inputs from exhausting the stack.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// \name Typed accessors. Each returns an error when the value has a
+  /// different kind, so readers can propagate "key X is not a number"
+  /// without checking kind() first.
+  /// @{
+  Result<bool> AsBool() const;
+  Result<double> AsNumber() const;
+  /// Non-negative integral number as uint64; errors on fractions,
+  /// negatives, and values too large for uint64.
+  Result<uint64_t> AsUint64() const;
+  Result<std::string> AsString() const;
+  /// @}
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object members in document order (empty unless is_object()).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Looks up \p key in an object; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Required-member lookup: errors with the key name when absent.
+  Result<const JsonValue*> Get(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_JSON_READER_H_

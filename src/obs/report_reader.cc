@@ -1,0 +1,223 @@
+#include "obs/report_reader.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json_reader.h"
+
+namespace bcast::obs {
+namespace {
+
+// Pulls a required member of \p object into a typed destination, tagging
+// errors with the member name so "response.p99 is not a number" is
+// actionable.
+Status ReadString(const JsonValue& object, std::string_view key,
+                  std::string* out) {
+  Result<const JsonValue*> member = object.Get(key);
+  if (!member.ok()) return member.status();
+  Result<std::string> value = (*member)->AsString();
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string(key) + ": " +
+                                   value.status().message());
+  }
+  *out = *std::move(value);
+  return Status::OK();
+}
+
+Status ReadUint64(const JsonValue& object, std::string_view key,
+                  uint64_t* out) {
+  Result<const JsonValue*> member = object.Get(key);
+  if (!member.ok()) return member.status();
+  Result<uint64_t> value = (*member)->AsUint64();
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string(key) + ": " +
+                                   value.status().message());
+  }
+  *out = *value;
+  return Status::OK();
+}
+
+Status ReadDouble(const JsonValue& object, std::string_view key,
+                  double* out) {
+  Result<const JsonValue*> member = object.Get(key);
+  if (!member.ok()) return member.status();
+  Result<double> value = (*member)->AsNumber();
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string(key) + ": " +
+                                   value.status().message());
+  }
+  *out = *value;
+  return Status::OK();
+}
+
+Status ReadObject(const JsonValue& object, std::string_view key,
+                  const JsonValue** out) {
+  Result<const JsonValue*> member = object.Get(key);
+  if (!member.ok()) return member.status();
+  if (!(*member)->is_object()) {
+    return Status::InvalidArgument(std::string(key) + " is not an object");
+  }
+  *out = *member;
+  return Status::OK();
+}
+
+Status ReadSummaryObject(const JsonValue& object, HistogramSummary* out) {
+  if (!object.is_object()) {
+    return Status::InvalidArgument("histogram summary is not an object");
+  }
+  BCAST_RETURN_IF_ERROR(ReadUint64(object, "count", &out->count));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "mean", &out->mean));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "min", &out->min));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "max", &out->max));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "p50", &out->p50));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "p90", &out->p90));
+  BCAST_RETURN_IF_ERROR(ReadDouble(object, "p99", &out->p99));
+  return Status::OK();
+}
+
+Status ReadSummary(const JsonValue& parent, std::string_view key,
+                   HistogramSummary* out) {
+  const JsonValue* object = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(parent, key, &object));
+  return ReadSummaryObject(*object, out);
+}
+
+}  // namespace
+
+Result<RunReport> ReadRunReport(std::string_view text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("report is not a json object");
+  }
+
+  RunReport report;
+  BCAST_RETURN_IF_ERROR(ReadString(root, "tool", &report.tool));
+  BCAST_RETURN_IF_ERROR(ReadString(root, "mode", &report.mode));
+  BCAST_RETURN_IF_ERROR(ReadString(root, "config", &report.config));
+  BCAST_RETURN_IF_ERROR(ReadUint64(root, "seed", &report.seed));
+  BCAST_RETURN_IF_ERROR(ReadUint64(root, "seeds", &report.seeds));
+
+  const JsonValue* program = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "program", &program));
+  BCAST_RETURN_IF_ERROR(ReadUint64(*program, "period", &report.period));
+  BCAST_RETURN_IF_ERROR(
+      ReadUint64(*program, "empty_slots", &report.empty_slots));
+  BCAST_RETURN_IF_ERROR(
+      ReadUint64(*program, "perturbed_pages", &report.perturbed_pages));
+
+  const JsonValue* requests = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "requests", &requests));
+  BCAST_RETURN_IF_ERROR(ReadUint64(*requests, "measured", &report.requests));
+  BCAST_RETURN_IF_ERROR(
+      ReadUint64(*requests, "warmup", &report.warmup_requests));
+  BCAST_RETURN_IF_ERROR(
+      ReadUint64(*requests, "cache_hits", &report.cache_hits));
+
+  BCAST_RETURN_IF_ERROR(ReadSummary(root, "response", &report.response));
+  BCAST_RETURN_IF_ERROR(ReadSummary(root, "tuning", &report.tuning));
+
+  Result<const JsonValue*> served = root.Get("served_per_disk");
+  if (!served.ok()) return served.status();
+  if (!(*served)->is_array()) {
+    return Status::InvalidArgument("served_per_disk is not an array");
+  }
+  for (const JsonValue& item : (*served)->items()) {
+    Result<uint64_t> count = item.AsUint64();
+    if (!count.ok()) {
+      return Status::InvalidArgument("served_per_disk: " +
+                                     count.status().message());
+    }
+    report.served_per_disk.push_back(*count);
+  }
+
+  BCAST_RETURN_IF_ERROR(ReadDouble(root, "end_time", &report.end_time));
+
+  const JsonValue* timings = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "timings", &timings));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*timings, "build_program_seconds",
+                                   &report.timings.build_program_seconds));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*timings, "setup_seconds",
+                                   &report.timings.setup_seconds));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*timings, "warmup_seconds",
+                                   &report.timings.warmup_seconds));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*timings, "measured_seconds",
+                                   &report.timings.measured_seconds));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*timings, "total_seconds",
+                                   &report.timings.total_seconds));
+
+  const JsonValue* throughput = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "throughput", &throughput));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*throughput, "slots_per_second",
+                                   &report.slots_per_second));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*throughput, "events_per_second",
+                                   &report.events_per_second));
+  BCAST_RETURN_IF_ERROR(ReadUint64(*throughput, "events_dispatched",
+                                   &report.events_dispatched));
+
+  const JsonValue* extra = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "extra", &extra));
+  for (const auto& [name, value] : extra->members()) {
+    Result<double> number = value.AsNumber();
+    if (!number.ok()) {
+      return Status::InvalidArgument("extra." + name + ": " +
+                                     number.status().message());
+    }
+    report.extra.emplace_back(name, *number);
+  }
+
+  const JsonValue* metrics = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(root, "metrics", &metrics));
+  const JsonValue* counters = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(*metrics, "counters", &counters));
+  for (const auto& [name, value] : counters->members()) {
+    Result<uint64_t> count = value.AsUint64();
+    if (!count.ok()) {
+      return Status::InvalidArgument("metrics.counters." + name + ": " +
+                                     count.status().message());
+    }
+    report.metrics.counters.emplace_back(name, *count);
+  }
+  const JsonValue* gauges = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(*metrics, "gauges", &gauges));
+  for (const auto& [name, value] : gauges->members()) {
+    Result<double> number = value.AsNumber();
+    if (!number.ok()) {
+      return Status::InvalidArgument("metrics.gauges." + name + ": " +
+                                     number.status().message());
+    }
+    report.metrics.gauges.emplace_back(name, *number);
+  }
+  const JsonValue* histograms = nullptr;
+  BCAST_RETURN_IF_ERROR(ReadObject(*metrics, "histograms", &histograms));
+  for (const auto& [name, value] : histograms->members()) {
+    HistogramSummary summary;
+    Status st = ReadSummaryObject(value, &summary);
+    if (!st.ok()) {
+      return Status::InvalidArgument("metrics.histograms." + name + ": " +
+                                     st.message());
+    }
+    report.metrics.histograms.emplace_back(name, summary);
+  }
+
+  return report;
+}
+
+Result<RunReport> ReadRunReport(std::istream* in) {
+  std::ostringstream buffer;
+  buffer << in->rdbuf();
+  if (in->bad()) return Status::Internal("failed reading report stream");
+  return ReadRunReport(buffer.str());
+}
+
+Result<RunReport> ReadRunReportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open report file: " + path);
+  }
+  return ReadRunReport(&in);
+}
+
+}  // namespace bcast::obs

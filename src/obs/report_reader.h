@@ -1,0 +1,35 @@
+/// \file report_reader.h
+/// \brief Loads a JSON run report back into a `RunReport`.
+///
+/// The exact inverse of `RunReport::WriteJson`: every field the writer
+/// emits is read back, with required keys and types enforced, so
+/// `Read(Write(r)) == r` up to floating-point formatting. This is what
+/// lets `bcastcheck` diff a fresh run against a checked-in golden baseline
+/// without the two sides sharing any in-process state. Malformed input of
+/// any kind — truncation, wrong types, duplicate keys, garbage — yields a
+/// `Status`, never a crash (fuzzed in tests/integration/fuzz_loaders).
+
+#ifndef BCAST_OBS_REPORT_READER_H_
+#define BCAST_OBS_REPORT_READER_H_
+
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/run_report.h"
+
+namespace bcast::obs {
+
+/// \brief Parses one JSON run report from \p text.
+Result<RunReport> ReadRunReport(std::string_view text);
+
+/// \brief Same, from a stream (reads to EOF).
+Result<RunReport> ReadRunReport(std::istream* in);
+
+/// \brief Same, from a file.
+Result<RunReport> ReadRunReportFile(const std::string& path);
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_REPORT_READER_H_

@@ -1,0 +1,131 @@
+// Property-based test of the Section-2.2 generator: for ~200 randomized
+// layouts, re-derive the paper's two structural guarantees from the raw
+// slot vector alone — every page's transmissions are *exactly* equally
+// spaced, and the period equals LCM(rel_freqs) times the minor cycle
+// length — without trusting any BroadcastProgram accessor to do it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/generator.h"
+#include "broadcast/program.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace bcast {
+namespace {
+
+// Draws a random layout: 1..4 disks, sizes 1..12, non-increasing
+// frequencies from a divisor-friendly set so LCM stays small and the 200
+// programs build fast.
+DiskLayout RandomLayout(Rng* rng) {
+  static const uint64_t kFreqPool[] = {1, 2, 3, 4, 6, 8, 12};
+  const size_t disks = 1 + rng->NextBounded(4);
+  DiskLayout layout;
+  for (size_t d = 0; d < disks; ++d) {
+    layout.sizes.push_back(1 + rng->NextBounded(12));
+    layout.rel_freqs.push_back(kFreqPool[rng->NextBounded(7)]);
+  }
+  // Disk 0 must spin fastest: sort frequencies non-increasing.
+  std::sort(layout.rel_freqs.begin(), layout.rel_freqs.end(),
+            std::greater<uint64_t>());
+  return layout;
+}
+
+// Arrival slots of each page, collected by a linear scan of the raw period.
+std::vector<std::vector<uint64_t>> ArrivalsBySlotScan(
+    const BroadcastProgram& program) {
+  std::vector<std::vector<uint64_t>> arrivals(program.num_pages());
+  const std::vector<PageId>& slots = program.slots();
+  for (uint64_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] != kEmptySlot) arrivals[slots[s]].push_back(s);
+  }
+  return arrivals;
+}
+
+std::string Describe(const DiskLayout& layout, uint64_t seed) {
+  std::ostringstream out;
+  out << "layout " << layout.ToString() << " (iteration seed " << seed << ")";
+  return out.str();
+}
+
+TEST(GeneratorPropertyTest, RandomLayoutsHaveExactEqualSpacing) {
+  Rng rng(0x5EC22);  // pinned: same 200 layouts every run
+  for (int iter = 0; iter < 200; ++iter) {
+    const DiskLayout layout = RandomLayout(&rng);
+    ASSERT_TRUE(ValidateLayout(layout).ok()) << Describe(layout, iter);
+    auto program = GenerateMultiDiskProgram(layout);
+    ASSERT_TRUE(program.ok())
+        << Describe(layout, iter) << ": " << program.status().ToString();
+
+    const auto arrivals = ArrivalsBySlotScan(*program);
+    const uint64_t period = program->period();
+    for (PageId p = 0; p < program->num_pages(); ++p) {
+      const std::vector<uint64_t>& a = arrivals[p];
+      ASSERT_FALSE(a.empty())
+          << Describe(layout, iter) << ": page " << p << " never broadcast";
+      // Period-wrapped gaps between consecutive transmissions: with k
+      // arrivals in a period of P slots, exact equal spacing means every
+      // gap is P/k — which also forces k to divide P.
+      ASSERT_EQ(period % a.size(), 0u)
+          << Describe(layout, iter) << ": page " << p << " has " << a.size()
+          << " arrivals, not a divisor of period " << period;
+      const uint64_t expected_gap = period / a.size();
+      for (size_t i = 0; i < a.size(); ++i) {
+        const uint64_t next = a[(i + 1) % a.size()];
+        const uint64_t gap = (next + period - a[i]) % period == 0
+                                 ? period
+                                 : (next + period - a[i]) % period;
+        ASSERT_EQ(gap, expected_gap)
+            << Describe(layout, iter) << ": page " << p << " gap " << i
+            << " is " << gap << ", want " << expected_gap;
+      }
+    }
+  }
+}
+
+TEST(GeneratorPropertyTest, RandomLayoutsSatisfyPeriodIdentity) {
+  Rng rng(0xA11CE);  // independent pinned stream from the spacing test
+  for (int iter = 0; iter < 200; ++iter) {
+    const DiskLayout layout = RandomLayout(&rng);
+    auto program = GenerateMultiDiskProgram(layout);
+    ASSERT_TRUE(program.ok())
+        << Describe(layout, iter) << ": " << program.status().ToString();
+
+    // Recompute the Section-2.2 geometry from the layout alone:
+    //   max_chunks      = LCM(rel_freqs)
+    //   num_chunks[i]   = max_chunks / rel_freq[i]
+    //   chunk_size[i]   = ceil(size[i] / num_chunks[i])
+    //   minor_cycle_len = sum_i chunk_size[i]
+    //   period          = max_chunks * minor_cycle_len
+    auto max_chunks = LcmOfAll(layout.rel_freqs);
+    ASSERT_TRUE(max_chunks.ok()) << Describe(layout, iter);
+    uint64_t minor_cycle_len = 0;
+    for (size_t d = 0; d < layout.sizes.size(); ++d) {
+      const uint64_t num_chunks = *max_chunks / layout.rel_freqs[d];
+      minor_cycle_len += CeilDiv(layout.sizes[d], num_chunks);
+    }
+    EXPECT_EQ(program->period(), *max_chunks * minor_cycle_len)
+        << Describe(layout, iter) << ": period " << program->period()
+        << " != LCM " << *max_chunks << " * minor cycle " << minor_cycle_len;
+
+    // Frequency accounting against the same independent scan: every page
+    // of disk d appears exactly rel_freq(d) times per period.
+    const auto arrivals = ArrivalsBySlotScan(*program);
+    PageId page = 0;
+    for (size_t d = 0; d < layout.sizes.size(); ++d) {
+      for (uint64_t i = 0; i < layout.sizes[d]; ++i, ++page) {
+        EXPECT_EQ(arrivals[page].size(), layout.rel_freqs[d])
+            << Describe(layout, iter) << ": page " << page << " on disk "
+            << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcast

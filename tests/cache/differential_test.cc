@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cache/factory.h"
 #include "common/rng.h"
 #include "common/zipf.h"
@@ -88,6 +90,92 @@ TEST(DifferentialTest, LruKWithFrequencyOffOnOneDiskIsOrderedByOldest) {
   ASSERT_TRUE(lru.ok());
   ASSERT_TRUE(lru1.ok());
   ExpectIdenticalBehaviour(lru->get(), lru1->get(), 64, 5000, 19);
+}
+
+// --- Cost-differential tests -------------------------------------------
+// The paper's argument for cost-based caching (Section 5): with
+// non-uniform broadcast frequencies a miss is not a unit event — a page
+// broadcast with normalized frequency x costs ~1/(2x) slots to refetch.
+// Replaying one shared trace through two policies and pricing each miss
+// that way turns the claim "PIX beats P" into an executable assertion.
+
+// A two-disk catalog where probability and frequency disagree: the hot
+// half sits on the fast disk (cheap misses), the cold half on the slow
+// disk (expensive misses). P ranks by probability only, so it evicts
+// exactly the expensive-to-refetch pages PIX protects.
+FakeCatalog MakeTwoTierCatalog(PageId pages) {
+  FakeCatalog catalog(pages, 2);
+  const PageId half = pages / 2;
+  double norm = 0.0;
+  for (PageId p = 0; p < pages; ++p) norm += 1.0 / static_cast<double>(p + 1);
+  for (PageId p = 0; p < pages; ++p) {
+    catalog.set_probability(p, 1.0 / (static_cast<double>(p + 1) * norm));
+    catalog.set_frequency(p, p < half ? 0.02 : 0.005);  // 4:1 disk speeds
+    catalog.set_disk(p, p < half ? 0 : 1);
+  }
+  return catalog;
+}
+
+// Replays `ops` Zipf accesses and returns the summed steady-state miss
+// cost (1/(2x) per miss, counted after `warmup` ops).
+double ReplayMissCost(CachePolicy* cache, const FakeCatalog& catalog,
+                      PageId pages, int ops, int warmup, uint64_t seed) {
+  auto zipf = ZipfDistribution::Make(pages, 0.95);
+  EXPECT_TRUE(zipf.ok());
+  Rng rng(seed);
+  double cost = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    const PageId page = static_cast<PageId>(zipf->Sample(&rng) - 1);
+    const double now = static_cast<double>(i);
+    if (!cache->Lookup(page, now)) {
+      if (i >= warmup) cost += 1.0 / (2.0 * catalog.Frequency(page));
+      cache->Insert(page, now);
+    }
+  }
+  return cost;
+}
+
+TEST(DifferentialTest, PixMissCostAtMostPOnSharedTrace) {
+  const PageId kPages = 64;
+  const FakeCatalog catalog = MakeTwoTierCatalog(kPages);
+  auto p_cache = MakeCachePolicy(PolicyKind::kP, 12, kPages, &catalog);
+  auto pix = MakeCachePolicy(PolicyKind::kPix, 12, kPages, &catalog);
+  ASSERT_TRUE(p_cache.ok());
+  ASSERT_TRUE(pix.ok());
+  const double p_cost =
+      ReplayMissCost(p_cache->get(), catalog, kPages, 20000, 2000, 23);
+  const double pix_cost =
+      ReplayMissCost(pix->get(), catalog, kPages, 20000, 2000, 23);
+  // Frequency-aware eviction must not cost more at steady state; the 1%
+  // slack absorbs boundary effects of the finite trace.
+  EXPECT_LE(pix_cost, p_cost * 1.01)
+      << "PIX cost " << pix_cost << " vs P cost " << p_cost;
+  EXPECT_GT(p_cost, 0.0) << "trace never missed — test is vacuous";
+}
+
+TEST(DifferentialTest, LixMissCostWithinToleranceOfPixOnSharedTrace) {
+  // LIX approximates PIX's probability estimate with a per-chain running
+  // average (the paper's implementable variant), so it tracks PIX's cost
+  // rather than matching it. The band below is deliberately loose; what
+  // it must catch is LIX degenerating to frequency-blind LRU behaviour.
+  const PageId kPages = 64;
+  const FakeCatalog catalog = MakeTwoTierCatalog(kPages);
+  auto lru = MakeCachePolicy(PolicyKind::kLru, 12, kPages, &catalog);
+  auto lix = MakeCachePolicy(PolicyKind::kLix, 12, kPages, &catalog);
+  auto pix = MakeCachePolicy(PolicyKind::kPix, 12, kPages, &catalog);
+  ASSERT_TRUE(lru.ok());
+  ASSERT_TRUE(lix.ok());
+  ASSERT_TRUE(pix.ok());
+  const double lru_cost =
+      ReplayMissCost(lru->get(), catalog, kPages, 20000, 2000, 29);
+  const double lix_cost =
+      ReplayMissCost(lix->get(), catalog, kPages, 20000, 2000, 29);
+  const double pix_cost =
+      ReplayMissCost(pix->get(), catalog, kPages, 20000, 2000, 29);
+  EXPECT_LE(lix_cost, lru_cost * 1.01)
+      << "LIX cost " << lix_cost << " vs LRU cost " << lru_cost;
+  EXPECT_LE(std::abs(lix_cost - pix_cost) / pix_cost, 0.25)
+      << "LIX cost " << lix_cost << " strayed from PIX cost " << pix_cost;
 }
 
 TEST(DifferentialTest, SeedsChangeWorkloadNotInvariants) {

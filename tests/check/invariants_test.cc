@@ -1,0 +1,184 @@
+#include "check/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/generator.h"
+#include "broadcast/program.h"
+#include "obs/run_report.h"
+
+namespace bcast::check {
+namespace {
+
+bool ContainsFailure(const CheckList& list, const std::string& name) {
+  return std::any_of(list.checks().begin(), list.checks().end(),
+                     [&](const Check& c) { return c.name == name && !c.ok; });
+}
+
+obs::RunReport ConsistentReport() {
+  obs::RunReport report;
+  report.tool = "test";
+  report.requests = 100;
+  report.warmup_requests = 10;
+  report.cache_hits = 40;
+  report.response = {100, 10.0, 1.0, 30.0, 8.0, 20.0, 28.0};
+  report.tuning = {100, 5.0, 1.0, 15.0, 4.0, 10.0, 14.0};
+  report.served_per_disk = {50, 10};
+  report.end_time = 1000.0;
+  return report;
+}
+
+TEST(ProgramInvariantsTest, MultiDiskProgramPassesAll) {
+  auto layout = MakeLayout({3, 5, 8}, {4, 2, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  const CheckList checks = CheckProgramInvariants(*program);
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+  EXPECT_GE(checks.checks().size(), 6u);
+}
+
+TEST(ProgramInvariantsTest, SkewedProgramFailsOnlyRegularity) {
+  // The skewed reference program (Figure 2b) broadcasts each fast page in
+  // consecutive bursts: valid bandwidth allocation, irregular spacing.
+  auto layout = MakeLayout({2, 4}, {3, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateSkewedProgram(*layout);
+  ASSERT_TRUE(program.ok());
+
+  const CheckList strict = CheckProgramInvariants(*program);
+  EXPECT_FALSE(strict.all_ok());
+  EXPECT_TRUE(ContainsFailure(strict, "program.fixed_inter_arrival"));
+
+  const CheckList relaxed =
+      CheckProgramInvariants(*program, /*expect_regular=*/false);
+  std::ostringstream out;
+  relaxed.Print(out);
+  EXPECT_TRUE(relaxed.all_ok()) << out.str();
+}
+
+TEST(ProgramInvariantsTest, FailureDetailNamesThePage) {
+  auto layout = MakeLayout({1, 2}, {2, 1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateSkewedProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  const CheckList checks = CheckProgramInvariants(*program);
+  for (const Check& c : checks.checks()) {
+    if (c.name == "program.fixed_inter_arrival" && !c.ok) {
+      EXPECT_FALSE(c.detail.empty());
+      return;
+    }
+  }
+  FAIL() << "expected a fixed_inter_arrival failure with detail";
+}
+
+TEST(LayoutAgreementTest, GeneratorOutputMatchesItsLayout) {
+  auto layout = MakeDeltaLayout({5, 10, 15}, 2);
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  const CheckList checks = CheckLayoutProgramAgreement(*layout, *program);
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(LayoutAgreementTest, WrongLayoutIsCaught) {
+  auto layout = MakeLayout({3, 5}, {2, 1});
+  auto other = MakeLayout({3, 5}, {4, 1});
+  ASSERT_TRUE(layout.ok());
+  ASSERT_TRUE(other.ok());
+  auto program = GenerateMultiDiskProgram(*layout);
+  ASSERT_TRUE(program.ok());
+  // Claiming the program came from a different-frequency layout must trip
+  // the per-page frequency and period-identity checks.
+  const CheckList checks = CheckLayoutProgramAgreement(*other, *program);
+  EXPECT_FALSE(checks.all_ok());
+}
+
+TEST(LayoutAgreementTest, FlatProgramMatchesOneDiskLayout) {
+  auto layout = MakeLayout({12}, {1});
+  ASSERT_TRUE(layout.ok());
+  auto program = GenerateFlatProgram(12);
+  ASSERT_TRUE(program.ok());
+  const CheckList checks = CheckLayoutProgramAgreement(*layout, *program);
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(ReportInvariantsTest, ConsistentReportPasses) {
+  const CheckList checks = CheckReportInvariants(ConsistentReport());
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(ReportInvariantsTest, NonMonotonePercentilesFail) {
+  obs::RunReport report = ConsistentReport();
+  report.response.p90 = report.response.p99 + 5.0;
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.response.percentiles_monotone"));
+}
+
+TEST(ReportInvariantsTest, MeanOutsideRangeFails) {
+  obs::RunReport report = ConsistentReport();
+  report.response.mean = report.response.max * 2.0;
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.response.mean_within_range"));
+}
+
+TEST(ReportInvariantsTest, HitsExceedingRequestsFail) {
+  obs::RunReport report = ConsistentReport();
+  report.cache_hits = report.requests + 1;
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.hits_within_requests"));
+}
+
+TEST(ReportInvariantsTest, BrokenRequestAccountingFails) {
+  obs::RunReport report = ConsistentReport();
+  report.served_per_disk = {50, 5};  // hits + serves != requests
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.request_accounting"));
+}
+
+TEST(ReportInvariantsTest, MissingDiskBreakdownSkipsAccounting) {
+  obs::RunReport report = ConsistentReport();
+  report.served_per_disk.clear();
+  const CheckList checks = CheckReportInvariants(report);
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(ReportInvariantsTest, NegativeTimingFails) {
+  obs::RunReport report = ConsistentReport();
+  report.timings.measured_seconds = -0.5;
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.timings_nonnegative"));
+}
+
+TEST(CheckListTest, ExtendAndCounting) {
+  CheckList a;
+  a.Add("one", true);
+  CheckList b;
+  b.Add("two", false, "broke");
+  b.Add("three", true);
+  a.Extend(b);
+  EXPECT_EQ(a.checks().size(), 3u);
+  EXPECT_FALSE(a.all_ok());
+  EXPECT_EQ(a.failures(), 1u);
+  std::ostringstream out;
+  a.Print(out);
+  EXPECT_NE(out.str().find("FAIL two: broke"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast::check

@@ -120,6 +120,82 @@ TEST(LogHistogramDeathTest, MergeGeometryMismatchDies) {
   EXPECT_DEATH(a.Merge(b), "Check failed");
 }
 
+TEST(LogHistogramTest, NanClampsToZeroLikeNegatives) {
+  // A NaN response time is always an upstream bug, but the histogram must
+  // not let it poison sum/mean/min/max or the bucket index (NaN-to-integer
+  // casts are UB). It lands in the underflow bucket like any negative.
+  LogHistogram h;
+  h.Add(std::nan(""));
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_FALSE(std::isnan(h.Quantile(0.5)));
+  const HistogramSummary s = h.Summary();
+  EXPECT_FALSE(std::isnan(s.p99));
+}
+
+TEST(LogHistogramTest, MergeOfDisjointRangesKeepsBothTails) {
+  // One histogram saw only small values, the other only large ones; the
+  // merge must report the union's extremes and place the median between
+  // the two clusters, not inside either.
+  LogHistogram small;
+  LogHistogram large;
+  for (int i = 0; i < 100; ++i) small.Add(1.0 + 0.01 * i);
+  for (int i = 0; i < 100; ++i) large.Add(1000.0 + 10.0 * i);
+  small.Merge(large);
+  EXPECT_EQ(small.count(), 200u);
+  EXPECT_DOUBLE_EQ(small.min(), 1.0);
+  EXPECT_DOUBLE_EQ(small.max(), 1990.0);
+  EXPECT_LE(small.Quantile(0.25), 2.0);
+  EXPECT_GE(small.Quantile(0.75), 1000.0 / 2.0);
+  EXPECT_LE(small.Quantile(0.49), small.Quantile(0.51));
+}
+
+TEST(LinearHistogramTest, EmptyQuantilesAreZero) {
+  LinearHistogram h(10.0, 5);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LinearHistogramTest, SingleSampleQuantilesCollapse) {
+  LinearHistogram h(10.0, 5);
+  h.Add(37.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 37.0);
+}
+
+TEST(LinearHistogramTest, NanClampsToZero) {
+  LinearHistogram h(10.0, 5);
+  h.Add(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_FALSE(std::isnan(h.Quantile(0.5)));
+}
+
+TEST(LinearHistogramTest, OverflowBucketQuantilesStayInObservedRange) {
+  // All mass beyond the tracked range: quantiles must interpolate between
+  // the overflow bucket's lower edge and the observed max, never NaN or a
+  // value outside [min, max].
+  LinearHistogram h(10.0, 5);  // overflow starts at 50
+  h.Add(60.0);
+  h.Add(80.0);
+  h.Add(120.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 60.0) << "q=" << q;
+    EXPECT_LE(v, 120.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 120.0);
+}
+
 TEST(LinearHistogramTest, BucketsAndOverflow) {
   LinearHistogram h(10.0, 5);  // [0,10) ... [40,50), then overflow
   h.Add(0.0);

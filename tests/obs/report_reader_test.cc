@@ -1,0 +1,177 @@
+#include "obs/report_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/run_report.h"
+
+namespace bcast::obs {
+namespace {
+
+RunReport FullReport() {
+  RunReport report;
+  report.tool = "bcastsim";
+  report.mode = "single";
+  report.config = "disks=<500,2000,2500>@freqs{7,4,1}";
+  report.seed = 42;
+  report.seeds = 3;
+  report.period = 11010;
+  report.empty_slots = 10;
+  report.perturbed_pages = 2;
+  report.requests = 20000;
+  report.warmup_requests = 993;
+  report.cache_hits = 14394;
+  report.response = {20000, 424.17, 0.69, 3670.0, 0.69, 1844.1, 3584.6};
+  report.tuning = {20000, 424.17, 0.69, 3670.0, 0.69, 1844.1, 3584.6};
+  report.served_per_disk = {2938, 2668, 0};
+  report.end_time = 9211919.0;
+  report.timings.build_program_seconds = 0.001;
+  report.timings.setup_seconds = 0.002;
+  report.timings.warmup_seconds = 0.4;
+  report.timings.measured_seconds = 2.5;
+  report.events_dispatched = 27100;
+  report.slots_per_second = 3.2e9;
+  report.events_per_second = 9.4e6;
+  report.extra.emplace_back("fairness_spread", 1.5);
+  report.extra.emplace_back("stale_hits", 7.0);
+  report.metrics.counters.emplace_back("cache.evictions", 123);
+  report.metrics.gauges.emplace_back("cache.fill", 0.97);
+  report.metrics.histograms.emplace_back(
+      "tuning.slots", HistogramSummary{10, 2.0, 1.0, 4.0, 2.0, 3.0, 4.0});
+  return report;
+}
+
+std::string ToJson(const RunReport& report) {
+  std::ostringstream out;
+  report.WriteJson(out);
+  return out.str();
+}
+
+TEST(ReportReaderTest, RoundTripsEveryField) {
+  const RunReport original = FullReport();
+  Result<RunReport> r = ReadRunReport(ToJson(original));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(r->tool, original.tool);
+  EXPECT_EQ(r->mode, original.mode);
+  EXPECT_EQ(r->config, original.config);
+  EXPECT_EQ(r->seed, original.seed);
+  EXPECT_EQ(r->seeds, original.seeds);
+  EXPECT_EQ(r->period, original.period);
+  EXPECT_EQ(r->empty_slots, original.empty_slots);
+  EXPECT_EQ(r->perturbed_pages, original.perturbed_pages);
+  EXPECT_EQ(r->requests, original.requests);
+  EXPECT_EQ(r->warmup_requests, original.warmup_requests);
+  EXPECT_EQ(r->cache_hits, original.cache_hits);
+  EXPECT_EQ(r->response.count, original.response.count);
+  EXPECT_DOUBLE_EQ(r->response.p99, original.response.p99);
+  EXPECT_EQ(r->served_per_disk, original.served_per_disk);
+  EXPECT_DOUBLE_EQ(r->end_time, original.end_time);
+  EXPECT_DOUBLE_EQ(r->timings.measured_seconds,
+                   original.timings.measured_seconds);
+  EXPECT_EQ(r->events_dispatched, original.events_dispatched);
+  EXPECT_DOUBLE_EQ(r->slots_per_second, original.slots_per_second);
+  ASSERT_EQ(r->extra.size(), 2u);
+  EXPECT_EQ(r->extra[0].first, "fairness_spread");
+  EXPECT_DOUBLE_EQ(r->extra[1].second, 7.0);
+  ASSERT_EQ(r->metrics.counters.size(), 1u);
+  EXPECT_EQ(r->metrics.counters[0].second, 123u);
+  ASSERT_EQ(r->metrics.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->metrics.histograms[0].second.p90, 3.0);
+}
+
+TEST(ReportReaderTest, RoundTripIsByteStable) {
+  // Write -> Read -> Write is byte-identical, so a checked-in golden and
+  // a re-serialized load never spuriously diff.
+  const std::string json = ToJson(FullReport());
+  Result<RunReport> r = ReadRunReport(json);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ToJson(*r), json);
+}
+
+TEST(ReportReaderTest, StreamAndStringAgree) {
+  const std::string json = ToJson(FullReport());
+  std::istringstream in(json);
+  Result<RunReport> from_stream = ReadRunReport(&in);
+  ASSERT_TRUE(from_stream.ok());
+  EXPECT_EQ(ToJson(*from_stream), json);
+}
+
+TEST(ReportReaderTest, MissingFileIsCleanError) {
+  Result<RunReport> r = ReadRunReportFile("/nonexistent/report.json");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ReportReaderTest, RejectsTruncatedDocument) {
+  std::string json = ToJson(FullReport());
+  // Strip trailing whitespace first: losing only the final newline still
+  // leaves a complete document, which rightly parses.
+  json.erase(json.find_last_not_of(" \t\r\n") + 1);
+  EXPECT_FALSE(ReadRunReport(json.substr(0, json.size() / 2)).ok());
+  EXPECT_FALSE(ReadRunReport(json.substr(0, json.size() - 1)).ok());
+  EXPECT_FALSE(ReadRunReport("").ok());
+}
+
+TEST(ReportReaderTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ReadRunReport(ToJson(FullReport()) + "x").ok());
+}
+
+TEST(ReportReaderTest, RejectsNonObjectAndGarbage) {
+  EXPECT_FALSE(ReadRunReport("[1,2,3]").ok());
+  EXPECT_FALSE(ReadRunReport("\"just a string\"").ok());
+  EXPECT_FALSE(ReadRunReport("not json at all").ok());
+  EXPECT_FALSE(ReadRunReport("{").ok());
+}
+
+TEST(ReportReaderTest, RejectsMissingRequiredKey) {
+  std::string json = ToJson(FullReport());
+  // Drop the "period" key; the program block becomes incomplete.
+  const size_t pos = json.find("\"period\"");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t comma = json.find(',', pos);
+  json.erase(pos, comma - pos + 1);
+  Result<RunReport> r = ReadRunReport(json);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("period"), std::string::npos)
+      << "error should name the missing key: " << r.status().message();
+}
+
+TEST(ReportReaderTest, RejectsWrongType) {
+  std::string json = ToJson(FullReport());
+  const size_t pos = json.find("\"seed\": 42");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 10, "\"seed\": \"x\"");
+  EXPECT_FALSE(ReadRunReport(json).ok());
+}
+
+TEST(ReportReaderTest, RejectsNegativeCount) {
+  std::string json = ToJson(FullReport());
+  const size_t pos = json.find("\"seed\": 42");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 10, "\"seed\": -1");
+  EXPECT_FALSE(ReadRunReport(json).ok());
+}
+
+TEST(ReportReaderTest, RejectsDuplicateKeys) {
+  EXPECT_FALSE(
+      ReadRunReport("{\"tool\": \"a\", \"tool\": \"b\"}").ok());
+}
+
+TEST(ReportReaderTest, EmptyOptionalBlocksRoundTrip) {
+  // A minimal report: no disks, no extras, no metrics. The writer still
+  // emits the blocks; the reader must accept the empty collections.
+  RunReport minimal;
+  minimal.tool = "t";
+  const std::string json = ToJson(minimal);
+  Result<RunReport> r = ReadRunReport(json);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->served_per_disk.empty());
+  EXPECT_TRUE(r->extra.empty());
+  EXPECT_TRUE(r->metrics.empty());
+  EXPECT_EQ(ToJson(*r), json);
+}
+
+}  // namespace
+}  // namespace bcast::obs

@@ -1,0 +1,223 @@
+// bcastcheck — the regression gate: independently re-verifies paper
+// invariants and diffs run reports against golden baselines.
+//
+// Three check surfaces, combinable in one invocation; the exit code is 0
+// only when every requested check passes (1 = checks failed, 2 = usage or
+// I/O error):
+//
+//   bcastcheck --report build/report.json
+//       internal consistency of a JSON run report (percentile ordering,
+//       request accounting, non-negative throughput).
+//
+//   bcastcheck --report build/report.json --baseline tests/baselines/
+//       additionally diff the report against the matching golden baseline
+//       (matched by tool/mode/config/seed) with per-metric tolerances:
+//       exact for counts, --perf_tolerance for percentiles,
+//       --throughput_tolerance for slots/sec. Baselines recorded on a
+//       different machine: add --skip_throughput. --diff_out writes the
+//       full diff as JSON (the CI artifact).
+//
+//   bcastcheck --program prog.txt [--disks 500,2000,2500 --delta 2]
+//       structural invariants of a serialized broadcast program (fixed
+//       inter-arrival spacing, service mix); with a layout given, also
+//       the Section-2.2 period identity and per-disk frequencies.
+//
+//   bcastcheck --paper
+//       simulation-backed checks of the paper's quantitative claims
+//       (DES vs analytic model agreement, Bus Stop Paradox ordering,
+//       Figure-10 P >= PIX ordering).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "broadcast/serialize.h"
+#include "check/baseline.h"
+#include "check/invariants.h"
+#include "check/paper_checks.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "obs/report_reader.h"
+
+namespace bcast {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  std::string report_path;
+  std::string baseline_path;
+  std::string program_path;
+  std::string disks;
+  std::string freqs;
+  uint64_t delta = 2;
+  bool allow_irregular = false;
+  bool paper = false;
+  uint64_t paper_requests = 20000;
+  uint64_t paper_seed = 42;
+  double perf_tolerance = 0.03;
+  double throughput_tolerance = 0.03;
+  bool skip_throughput = false;
+  std::string diff_out;
+
+  FlagSet flags("bcastcheck");
+  flags.AddString("report", &report_path, "JSON run report to verify");
+  flags.AddString("baseline", &baseline_path,
+                  "golden report file, or directory to search");
+  flags.AddString("program", &program_path,
+                  "serialized broadcast program to verify");
+  flags.AddString("disks", &disks,
+                  "expected layout: comma-separated pages per disk");
+  flags.AddString("freqs", &freqs,
+                  "expected relative frequencies (overrides --delta)");
+  flags.AddUint64("delta", &delta, "expected layout: Delta rule parameter");
+  flags.AddBool("allow_irregular", &allow_irregular,
+                "skip fixed-inter-arrival checks (skewed/random programs)");
+  flags.AddBool("paper", &paper,
+                "run the simulation-backed paper-claim checks");
+  flags.AddUint64("paper_requests", &paper_requests,
+                  "measured requests per paper-check simulation");
+  flags.AddUint64("paper_seed", &paper_seed,
+                  "master seed for the paper-check simulations");
+  flags.AddDouble("perf_tolerance", &perf_tolerance,
+                  "relative tolerance for response/tuning metrics");
+  flags.AddDouble("throughput_tolerance", &throughput_tolerance,
+                  "relative tolerance for slots/events per second");
+  flags.AddBool("skip_throughput", &skip_throughput,
+                "record but never fail wall-clock throughput metrics");
+  flags.AddString("diff_out", &diff_out,
+                  "write the baseline diff as JSON to this path");
+
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n\n" << flags.HelpText();
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+  if (report_path.empty() && program_path.empty() && !paper) {
+    std::cerr << "nothing to check: give --report, --program, and/or "
+                 "--paper\n\n"
+              << flags.HelpText();
+    return 2;
+  }
+  if (baseline_path.empty() && !diff_out.empty()) {
+    std::cerr << "--diff_out requires --baseline\n";
+    return 2;
+  }
+
+  check::CheckList all;
+
+  if (!report_path.empty()) {
+    Result<obs::RunReport> report = obs::ReadRunReportFile(report_path);
+    if (!report.ok()) {
+      std::cerr << "--report: " << report.status().ToString() << "\n";
+      return 2;
+    }
+    all.Extend(check::CheckReportInvariants(*report));
+
+    if (!baseline_path.empty()) {
+      std::string baseline_file = baseline_path;
+      std::error_code ec;
+      if (std::filesystem::is_directory(baseline_path, ec)) {
+        Result<std::string> found =
+            check::FindBaselineFile(*report, baseline_path);
+        if (!found.ok()) {
+          std::cerr << "--baseline: " << found.status().ToString() << "\n";
+          return 1;  // a missing baseline IS a gate failure
+        }
+        baseline_file = *found;
+      }
+      Result<obs::RunReport> baseline =
+          obs::ReadRunReportFile(baseline_file);
+      if (!baseline.ok()) {
+        std::cerr << "--baseline: " << baseline.status().ToString() << "\n";
+        return 2;
+      }
+      check::ToleranceOptions tolerances;
+      tolerances.perf = perf_tolerance;
+      tolerances.throughput = throughput_tolerance;
+      tolerances.check_throughput = !skip_throughput;
+      const check::BaselineDiff diff =
+          check::CompareReports(*baseline, *report, tolerances);
+      std::cout << "Baseline: " << baseline_file << "\n";
+      check::PrintDiff(diff, std::cout);
+      if (!diff_out.empty()) {
+        std::ofstream out(diff_out);
+        if (!out) {
+          std::cerr << "--diff_out: cannot open " << diff_out << "\n";
+          return 2;
+        }
+        check::WriteDiffJson(diff, out);
+      }
+      all.Add("baseline." + std::filesystem::path(baseline_file)
+                                .filename()
+                                .string(),
+              diff.ok(),
+              std::to_string(diff.failures()) + " metric(s) out of "
+                                                "tolerance");
+    }
+  } else if (!baseline_path.empty()) {
+    std::cerr << "--baseline requires --report\n";
+    return 2;
+  }
+
+  if (!program_path.empty()) {
+    std::ifstream in(program_path);
+    if (!in) {
+      std::cerr << "--program: cannot open " << program_path << "\n";
+      return 2;
+    }
+    Result<BroadcastProgram> program = LoadProgram(&in);
+    if (!program.ok()) {
+      std::cerr << "--program: " << program.status().ToString() << "\n";
+      return 2;
+    }
+    all.Extend(check::CheckProgramInvariants(*program, !allow_irregular));
+
+    if (!disks.empty()) {
+      Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);
+      if (!sizes.ok()) {
+        std::cerr << "--disks: " << sizes.status().ToString() << "\n";
+        return 2;
+      }
+      Result<DiskLayout> layout = [&]() -> Result<DiskLayout> {
+        if (freqs.empty()) return MakeDeltaLayout(*sizes, delta);
+        Result<std::vector<uint64_t>> f = ParseUint64List(freqs);
+        if (!f.ok()) return f.status();
+        return MakeLayout(*sizes, *f);
+      }();
+      if (!layout.ok()) {
+        std::cerr << layout.status().ToString() << "\n";
+        return 2;
+      }
+      all.Extend(check::CheckLayoutProgramAgreement(*layout, *program));
+    }
+  }
+
+  if (paper) {
+    check::PaperCheckOptions options;
+    options.requests = paper_requests;
+    options.seed = paper_seed;
+    Result<check::CheckList> checks = check::RunPaperChecks(options);
+    if (!checks.ok()) {
+      std::cerr << "--paper: " << checks.status().ToString() << "\n";
+      return 2;
+    }
+    all.Extend(*checks);
+  }
+
+  all.Print(std::cout);
+  if (!all.all_ok()) {
+    std::cout << all.failures() << " of " << all.checks().size()
+              << " checks failed\n";
+    return 1;
+  }
+  std::cout << "all " << all.checks().size() << " checks passed\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main(int argc, char** argv) { return bcast::Run(argc, argv); }

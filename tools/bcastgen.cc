@@ -8,11 +8,13 @@
 //   bcastgen --disks=500,2000,2500 --delta=7
 //   bcastgen --disks=500,2000,2500 --delta=3 --optimize
 
+#include <fstream>
 #include <iostream>
 
 #include "broadcast/analysis.h"
 #include "broadcast/generator.h"
 #include "broadcast/optimizer.h"
+#include "broadcast/serialize.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -30,6 +32,7 @@ int Run(int argc, const char* const* argv) {
   bool optimize = false;
   uint64_t access_range = 1000;
   double theta = 0.95;
+  std::string save_path;
   std::string log_level;
 
   FlagSet flags("bcastgen");
@@ -43,6 +46,8 @@ int Run(int argc, const char* const* argv) {
   flags.AddUint64("access_range", &access_range,
                   "hot pages for the analytic workload");
   flags.AddDouble("theta", &theta, "Zipf skew of the analytic workload");
+  flags.AddString("save", &save_path,
+                  "serialize the program to this file (bcastcheck input)");
   flags.AddString("log_level", &log_level,
                   "log threshold: debug|info|warn|error|fatal");
 
@@ -86,6 +91,20 @@ int Run(int argc, const char* const* argv) {
   if (!program.ok()) {
     std::cerr << program.status().ToString() << "\n";
     return 1;
+  }
+
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) {
+      std::cerr << "--save: cannot open " << save_path << "\n";
+      return 1;
+    }
+    Status saved = SaveProgram(*program, &out);
+    if (!saved.ok()) {
+      std::cerr << "--save: " << saved.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Saved program to " << save_path << "\n";
   }
 
   std::cout << "Layout " << layout->ToString() << "\n";
