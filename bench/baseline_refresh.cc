@@ -20,11 +20,17 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/multi_client.h"
 #include "core/simulator.h"
+#include "core/updates.h"
 #include "obs/run_report.h"
 
 namespace bcast {
 namespace {
+
+constexpr uint64_t kRequests = 20000;
+constexpr uint64_t kSeed = 42;
+constexpr const char* kTool = "baseline_refresh";
 
 // One golden configuration: a stable file name plus the exact parameters.
 struct BaselineConfig {
@@ -32,14 +38,11 @@ struct BaselineConfig {
   SimParams params;
 };
 
-// The gated configurations. Names are part of the baseline contract;
-// adding a config here and refreshing adds a new gate.
+// The gated single-client configurations. Names are part of the baseline
+// contract; adding a config here and refreshing adds a new gate.
 std::vector<BaselineConfig> Configs() {
   // Fixed for reproducibility: baselines are compared exactly on counts,
   // so they must not inherit ambient bench-fidelity environment knobs.
-  constexpr uint64_t kRequests = 20000;
-  constexpr uint64_t kSeed = 42;
-
   std::vector<BaselineConfig> configs;
 
   {
@@ -72,12 +75,47 @@ std::vector<BaselineConfig> Configs() {
     config.params.seed = kSeed;
     configs.push_back(config);
   }
+  {
+    // One steeper point of the delta sweep (Figure 13 territory): the
+    // broadcast gets more skewed, the cache relatively more valuable.
+    BaselineConfig config;
+    config.name = "single_delta4_d5";
+    config.params.delta = 4;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
+  {
+    // The base setting again, but through the forced loss=0 fault path.
+    // Its numbers must equal single_lru_d5's exactly — this golden is
+    // the checked-in proof that the fault machinery at zero rates
+    // reproduces the lossless results bit-identically.
+    BaselineConfig config;
+    config.name = "single_lru_d5_fault0";
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    config.params.fault.force = true;
+    configs.push_back(config);
+  }
   return configs;
 }
 
+bool WriteReport(const obs::RunReport& report, const std::string& out_dir,
+                 const std::string& name, double mean, uint64_t requests) {
+  const std::string path = out_dir + "/" + name + ".json";
+  Status st = report.WriteToFile(path);
+  if (!st.ok()) {
+    std::cerr << name << ": " << st.ToString() << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << " (mean response " << mean << ", "
+            << requests << " requests)\n";
+  return true;
+}
+
 int Run() {
-  const char* out_dir = std::getenv("BCAST_BASELINE_OUT");
-  if (out_dir == nullptr || *out_dir == '\0') {
+  const char* out_dir_env = std::getenv("BCAST_BASELINE_OUT");
+  if (out_dir_env == nullptr || *out_dir_env == '\0') {
     std::cout << "baseline_refresh: BCAST_BASELINE_OUT is not set; "
                  "nothing written.\n"
                  "To regenerate the golden baselines:\n"
@@ -85,8 +123,11 @@ int Run() {
                  "./build/bench/baseline_refresh\n";
     return 0;
   }
+  const std::string out_dir = out_dir_env;
 
   int failures = 0;
+  double lossless_response_sum = 0.0;
+  double fault0_response_sum = 0.0;
   for (const BaselineConfig& config : Configs()) {
     Result<SimResult> result = RunSimulation(config.params);
     if (!result.ok()) {
@@ -95,20 +136,96 @@ int Run() {
       ++failures;
       continue;
     }
-    obs::RunReport report =
-        MakeRunReport(config.params, *result, "baseline_refresh");
-    const std::string path =
-        std::string(out_dir) + "/" + config.name + ".json";
-    Status st = report.WriteToFile(path);
-    if (!st.ok()) {
-      std::cerr << config.name << ": " << st.ToString() << "\n";
-      ++failures;
-      continue;
+    if (std::string(config.name) == "single_lru_d5") {
+      lossless_response_sum = result->metrics.response_time().sum();
     }
-    std::cout << "wrote " << path << " (mean response "
-              << result->metrics.mean_response_time() << ", "
-              << result->metrics.requests() << " requests)\n";
+    if (std::string(config.name) == "single_lru_d5_fault0") {
+      fault0_response_sum = result->metrics.response_time().sum();
+    }
+    obs::RunReport report = MakeRunReport(config.params, *result, kTool);
+    if (!WriteReport(report, out_dir, config.name,
+                     result->metrics.mean_response_time(),
+                     result->metrics.requests())) {
+      ++failures;
+    }
   }
+
+  // The fault0 golden is only meaningful if it really is the lossless
+  // run: refuse to write a refresh where the two drifted apart.
+  if (lossless_response_sum != fault0_response_sum) {
+    std::cerr << "single_lru_d5_fault0 diverged from single_lru_d5 "
+                 "(response sums "
+              << lossless_response_sum << " vs " << fault0_response_sum
+              << ")\n";
+    ++failures;
+  }
+
+  {
+    // A three-client population sharing the D5 broadcast with shifted
+    // interest regions (bcastsim --mode=population --clients=3).
+    SimParams base;
+    base.measured_requests = kRequests;
+    base.seed = kSeed;
+    MultiClientParams params;
+    params.disk_sizes = base.disk_sizes;
+    params.delta = base.delta;
+    params.measured_requests = base.measured_requests;
+    params.seed = base.seed;
+    const uint64_t db = params.ServerDbSize();
+    for (uint64_t c = 0; c < 3; ++c) {
+      ClientSpec spec;
+      spec.access_range = base.access_range;
+      spec.theta = base.theta;
+      spec.region_size = base.region_size;
+      spec.cache_size = base.cache_size;
+      spec.policy = base.policy;
+      spec.offset = base.offset;
+      spec.noise_percent = base.noise_percent;
+      spec.think_time = base.think_time;
+      spec.interest_shift = db * c / 3;
+      params.clients.push_back(spec);
+    }
+    auto result = RunMultiClientSimulation(params);
+    if (!result.ok()) {
+      std::cerr << "population_d5_3c: " << result.status().ToString()
+                << "\n";
+      ++failures;
+    } else {
+      obs::RunReport report = MakePopulationRunReport(
+          params, *result, base.ToString(), kTool);
+      if (!WriteReport(report, out_dir, "population_d5_3c",
+                       result->response_across_clients.mean(),
+                       kRequests)) {
+        ++failures;
+      }
+    }
+  }
+
+  {
+    // Updates with invalidation broadcasts (bcastsim --mode=updates
+    // --consistency=invalidate), the paper's Section-6 setting.
+    SimParams base;
+    base.measured_requests = kRequests;
+    base.seed = kSeed;
+    UpdateParams updates;
+    updates.update_rate = 0.05;
+    updates.update_theta = 0.95;
+    updates.action = ConsistencyAction::kInvalidate;
+    auto result = RunUpdateSimulation(base, updates);
+    if (!result.ok()) {
+      std::cerr << "updates_invalidate_d5: "
+                << result.status().ToString() << "\n";
+      ++failures;
+    } else {
+      obs::RunReport report =
+          MakeUpdateRunReport(base, updates, *result, kTool);
+      if (!WriteReport(report, out_dir, "updates_invalidate_d5",
+                       result->mean_response_time, result->requests)) {
+        ++failures;
+      }
+    }
+  }
+
   return failures == 0 ? 0 : 1;
 }
 

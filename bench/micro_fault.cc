@@ -1,0 +1,126 @@
+// Microbenchmarks: the fault subsystem's hot paths — per-transmission
+// model draws, checksum verification, the receiver attempt loop, and the
+// end-to-end overhead the fault machinery adds to a simulated request
+// (faults off vs forced-zero vs a real loss rate).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "broadcast/serialize.h"
+#include "core/simulator.h"
+#include "fault/fault_model.h"
+#include "fault/fault_params.h"
+#include "fault/recovery.h"
+
+namespace bcast {
+namespace {
+
+void BM_PageChecksum(benchmark::State& state) {
+  PageId page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageChecksum(page++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageChecksum);
+
+void BM_IidLossReceive(benchmark::State& state) {
+  fault::IidLossModel model(0.05, Rng(1));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Receive(7, t));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IidLossReceive);
+
+void BM_GilbertElliottReceive(benchmark::State& state) {
+  // loss 0.05, mean burst 4.
+  fault::GilbertElliottModel model(0.05 * 0.25 / 0.95, 0.25, Rng(1));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Receive(7, t));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GilbertElliottReceive);
+
+void BM_CorruptingReceive(benchmark::State& state) {
+  fault::CorruptingModel model(0.05, std::make_unique<fault::IdealModel>(),
+                               Rng(1));
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Receive(7, t));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorruptingReceive);
+
+void BM_ReceiverAttempt(benchmark::State& state) {
+  // One listened transmission through the full receiver accounting.
+  fault::FaultParams params;
+  params.loss = 0.05;
+  auto receiver = fault::MakeReceiver(params, 0, 11010.0);
+  double t = 0.0;
+  receiver->BeginWait(7, t, t + 1.0, 2.0);
+  for (auto _ : state) {
+    if (receiver->Attempt(7, t + 1.0)) {
+      receiver->EndWait(t + 1.0);
+      receiver->BeginWait(7, t, t + 1.0, 2.0);
+    }
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReceiverAttempt);
+
+// End-to-end: the same simulated workload with (a) the fault machinery
+// compiled out of the wait path (receiver == nullptr), (b) the machinery
+// active but lossless, (c) a real 5% loss rate. (a) vs (b) is the
+// abstraction overhead; (b) vs (c) the retry traffic.
+SimParams MicroSimParams() {
+  SimParams params;
+  params.disk_sizes = {50, 200, 250};
+  params.access_range = 100;
+  params.region_size = 5;
+  params.cache_size = 50;
+  params.measured_requests = 5000;
+  return params;
+}
+
+void BM_SimFaultsOff(benchmark::State& state) {
+  const SimParams params = MicroSimParams();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimFaultsOff)->Unit(benchmark::kMillisecond);
+
+void BM_SimFaultsForcedZero(benchmark::State& state) {
+  SimParams params = MicroSimParams();
+  params.fault.force = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimFaultsForcedZero)->Unit(benchmark::kMillisecond);
+
+void BM_SimFaultsLoss5(benchmark::State& state) {
+  SimParams params = MicroSimParams();
+  params.fault.loss = 0.05;
+  params.fault.burst_len = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimFaultsLoss5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bcast

@@ -14,14 +14,50 @@ BroadcastChannel::BroadcastChannel(des::Simulation* sim,
 
 void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
   const double now = channel_->sim_->Now();
-  const double done = channel_->program_->NextArrivalEnd(page_, now);
-  wait_ = done - now;
-  BroadcastChannel* channel = channel_;
-  const PageId page = page_;
-  channel_->sim_->ScheduleAt(done, [channel, page, h]() {
-    ++channel->served_per_disk_[channel->program_->DiskOf(page)];
-    ++channel->total_served_;
-    h.resume();
+  if (receiver_ == nullptr) {
+    // Ideal channel: the next complete transmission is the page.
+    const double done = channel_->program_->NextArrivalEnd(page_, now);
+    wait_ = done - now;
+    BroadcastChannel* channel = channel_;
+    const PageId page = page_;
+    channel_->sim_->ScheduleAt(done, [channel, page, h]() {
+      ++channel->served_per_disk_[channel->program_->DiskOf(page)];
+      ++channel->total_served_;
+      h.resume();
+    });
+    return;
+  }
+  start_ = now;
+  const double ideal_end = channel_->program_->NextArrivalEnd(page_, now);
+  const double gap =
+      static_cast<double>(channel_->program_->period()) /
+      static_cast<double>(channel_->program_->Frequency(page_));
+  receiver_->BeginWait(page_, now, ideal_end, gap);
+  ScheduleAttempt(h, now);
+}
+
+void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
+                                                    double listen_from) {
+  // Skip past arrivals the doze schedule would sleep through: a
+  // reception counts only when the radio is up for the whole slot.
+  double at = listen_from;
+  double end = channel_->program_->NextArrivalEnd(page_, at);
+  while (!receiver_->AwakeDuring(end - 1.0, end)) {
+    at = receiver_->NoteDozeMiss(end - 1.0);
+    end = channel_->program_->NextArrivalEnd(page_, at);
+  }
+  // The awaiter object lives in the suspended coroutine frame until h
+  // is resumed, so capturing `this` across re-arms is safe.
+  channel_->sim_->ScheduleAt(end, [this, h, end]() {
+    if (receiver_->Attempt(page_, end)) {
+      receiver_->EndWait(end);
+      wait_ = end - start_;
+      ++channel_->served_per_disk_[channel_->program_->DiskOf(page_)];
+      ++channel_->total_served_;
+      h.resume();
+      return;
+    }
+    ScheduleAttempt(h, receiver_->NextRetryTime(end));
   });
 }
 

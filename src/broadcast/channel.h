@@ -7,6 +7,15 @@
 /// `co_await channel->WaitForPage(p)` — it resumes when the next complete
 /// transmission of p has been received (a transmission already in progress
 /// cannot be joined mid-slot).
+///
+/// The medium itself is perfect; receivers are not. A wait made through
+/// `WaitForPage(p, receiver)` consults the client's `fault::Receiver` on
+/// every scheduled arrival: a transmission the radio lost, decoded
+/// corrupt (checksum mismatch), or dozed through does NOT satisfy the
+/// waiter — the channel re-arms for the next transmission after the
+/// receiver's backoff/wake time, and only an intact reception resumes
+/// the client. A null receiver is the ideal lossless path, bit-identical
+/// to the pre-fault behavior.
 
 #ifndef BCAST_BROADCAST_CHANNEL_H_
 #define BCAST_BROADCAST_CHANNEL_H_
@@ -17,6 +26,7 @@
 
 #include "broadcast/program.h"
 #include "des/simulation.h"
+#include "fault/recovery.h"
 
 namespace bcast {
 
@@ -38,12 +48,15 @@ class BroadcastChannel {
     return program_->NextArrivalStart(p, sim_->Now());
   }
 
-  /// Awaitable that resumes once \p p has been fully received; records
-  /// per-disk service statistics on resumption.
+  /// Awaitable that resumes once \p p has been fully received intact;
+  /// records per-disk service statistics on resumption. With a receiver
+  /// attached, lost/corrupted/dozed-through transmissions re-arm the
+  /// wait instead of resuming it.
   class PageAwaiter {
    public:
-    PageAwaiter(BroadcastChannel* channel, PageId page)
-        : channel_(channel), page_(page) {}
+    PageAwaiter(BroadcastChannel* channel, PageId page,
+                fault::Receiver* receiver = nullptr)
+        : channel_(channel), page_(page), receiver_(receiver) {}
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
@@ -51,13 +64,24 @@ class BroadcastChannel {
     double await_resume() const noexcept { return wait_; }
 
    private:
+    // Arms the next audible arrival of page_ at or after listen_from;
+    // the fired event draws the fault outcome and either resumes h or
+    // re-arms. Only used on the faulty path.
+    void ScheduleAttempt(std::coroutine_handle<> h, double listen_from);
+
     BroadcastChannel* channel_;
     PageId page_;
+    fault::Receiver* receiver_;
+    double start_ = 0.0;
     double wait_ = 0.0;
   };
 
-  /// Waits for the next complete broadcast of \p p.
-  PageAwaiter WaitForPage(PageId p) { return PageAwaiter(this, p); }
+  /// Waits for the next complete broadcast of \p p over the ideal
+  /// channel (\p receiver == nullptr), or through \p receiver's fault
+  /// model and recovery policy.
+  PageAwaiter WaitForPage(PageId p, fault::Receiver* receiver = nullptr) {
+    return PageAwaiter(this, p, receiver);
+  }
 
   /// Pages delivered so far, per disk index.
   const std::vector<uint64_t>& served_per_disk() const {

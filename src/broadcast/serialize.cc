@@ -16,7 +16,38 @@ Status MalformedAt(uint64_t line, const std::string& what) {
                                  what);
 }
 
+constexpr uint32_t kFnvOffset = 2166136261u;
+constexpr uint32_t kFnvPrime = 16777619u;
+
+uint32_t FnvStep(uint32_t hash, uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= static_cast<uint32_t>((value >> (byte * 8)) & 0xFF);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
 }  // namespace
+
+uint32_t PageChecksum(PageId page) {
+  // The synthetic payload is the page id itself plus a fixed tag; FNV-1a
+  // over its bytes. The tag keeps the checksum nonzero for every id.
+  uint32_t hash = FnvStep(kFnvOffset, page);
+  hash = FnvStep(hash, 0x62636173746B73ULL);  // "bcastks"
+  return hash == 0 ? 1u : hash;
+}
+
+uint32_t ProgramChecksum(const BroadcastProgram& program) {
+  uint32_t hash = FnvStep(kFnvOffset, program.period());
+  hash = FnvStep(hash, program.num_pages());
+  for (SlotId s = 0; s < program.period(); ++s) {
+    hash = FnvStep(hash, program.page_at(s));
+  }
+  for (PageId p = 0; p < program.num_pages(); ++p) {
+    hash = FnvStep(hash, program.DiskOf(p));
+  }
+  return hash;
+}
 
 Status SaveProgram(const BroadcastProgram& program, std::ostream* out) {
   BCAST_CHECK(out != nullptr);
@@ -40,6 +71,7 @@ Status SaveProgram(const BroadcastProgram& program, std::ostream* out) {
     }
     *out << "\n";
   }
+  *out << "checksum " << ProgramChecksum(program) << "\n";
   *out << "end\n";
   if (!out->good()) return Status::Internal("write failed");
   return Status::OK();
@@ -124,6 +156,20 @@ Result<BroadcastProgram> LoadProgram(std::istream* in) {
   } else if (disks > 1) {
     return MalformedAt(line_no, "multi-disk program needs a diskof line");
   }
+
+  // Optional integrity line (absent in files written before checksums).
+  bool have_checksum = false;
+  uint64_t declared_checksum = 0;
+  if (StartsWith(line, "checksum")) {
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword >> declared_checksum) ||
+        declared_checksum > ~uint32_t{0}) {
+      return MalformedAt(line_no, "expected 'checksum N'");
+    }
+    have_checksum = true;
+    if (!next_line()) return MalformedAt(line_no, "missing end line");
+  }
   if (line != "end") return MalformedAt(line_no, "expected 'end'");
 
   Result<BroadcastProgram> program = BroadcastProgram::Make(
@@ -135,6 +181,13 @@ Result<BroadcastProgram> LoadProgram(std::istream* in) {
   if (program->num_disks() != disks) {
     return Status::InvalidArgument(
         "declared disk count does not match diskof data");
+  }
+  if (have_checksum &&
+      declared_checksum != static_cast<uint64_t>(ProgramChecksum(*program))) {
+    return Status::InvalidArgument(
+        "program checksum mismatch: file declares " +
+        std::to_string(declared_checksum) + ", content hashes to " +
+        std::to_string(ProgramChecksum(*program)));
   }
   return program;
 }

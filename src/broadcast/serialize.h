@@ -10,14 +10,24 @@
 ///     period <slots> pages <count> disks <count>
 ///     slots <id|- ...>            # '-' marks an empty slot
 ///     diskof <disk ...>           # one entry per page; omitted if 1 disk
+///     checksum <value>            # optional whole-program FNV checksum
 ///     end
 ///
 /// Loading validates everything `BroadcastProgram::Make` validates, so a
-/// corrupted file can never produce a program that hangs a client.
+/// corrupted file can never produce a program that hangs a client. The
+/// `checksum` line (emitted on save, optional on load for older files)
+/// additionally detects bit rot that still parses.
+///
+/// This module also owns the per-page transmission checksum the
+/// unreliable-channel model uses (`src/fault/`): every broadcast page
+/// carries `PageChecksum(p)` over its (synthetic) payload; a receiver
+/// recomputes it and discards mismatches, which is how corruption is
+/// *detected* rather than declared.
 
 #ifndef BCAST_BROADCAST_SERIALIZE_H_
 #define BCAST_BROADCAST_SERIALIZE_H_
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 
@@ -25,11 +35,21 @@
 
 namespace bcast {
 
+/// \brief Checksum of page \p p's transmission payload (FNV-1a over the
+/// page's synthetic content). Deterministic, never zero, and distinct for
+/// nearby page ids — a single damaged bit in a transmission is visible.
+uint32_t PageChecksum(PageId page);
+
+/// \brief Whole-program checksum: order-sensitive FNV-1a over the slot
+/// sequence and disk assignment. Written by `SaveProgram`, validated by
+/// `LoadProgram` when present.
+uint32_t ProgramChecksum(const BroadcastProgram& program);
+
 /// \brief Writes \p program to \p out in the v1 text format.
 Status SaveProgram(const BroadcastProgram& program, std::ostream* out);
 
 /// \brief Parses a program from \p in; fails with a line-numbered message
-/// on malformed input.
+/// on malformed input or a checksum mismatch.
 Result<BroadcastProgram> LoadProgram(std::istream* in);
 
 }  // namespace bcast

@@ -1,12 +1,28 @@
 #include "check/invariants.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <sstream>
 
 #include "common/math_util.h"
 
 namespace bcast::check {
 namespace {
+
+std::optional<double> FindExtra(const obs::RunReport& report,
+                                const std::string& key) {
+  for (const auto& [k, v] : report.extra) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+double ExtraOr(const obs::RunReport& report, const std::string& key,
+               double fallback) {
+  return FindExtra(report, key).value_or(fallback);
+}
 
 std::string JoinGaps(const std::vector<uint64_t>& gaps, size_t limit = 8) {
   std::ostringstream out;
@@ -283,6 +299,116 @@ CheckList CheckReportInvariants(const obs::RunReport& report) {
                report.timings.setup_seconds >= 0.0 &&
                report.timings.build_program_seconds >= 0.0);
   list.Add("report.end_time_nonnegative", report.end_time >= 0.0);
+
+  // Reception accounting, for reports produced under channel faults.
+  if (FindExtra(report, "fault_attempts").has_value()) {
+    const double attempts = ExtraOr(report, "fault_attempts", 0.0);
+    const double delivered = ExtraOr(report, "fault_delivered", 0.0);
+    const double lost = ExtraOr(report, "fault_lost", 0.0);
+    const double corrupted = ExtraOr(report, "fault_corrupted_rx", 0.0);
+    const double retries = ExtraOr(report, "fault_retries", 0.0);
+    const double ratio = ExtraOr(report, "fault_delivery_ratio", 1.0);
+    std::ostringstream detail;
+    detail << "attempts=" << attempts << " delivered=" << delivered
+           << " lost=" << lost << " corrupted=" << corrupted
+           << " retries=" << retries << " ratio=" << ratio;
+    list.Add("report.fault_reception_accounting",
+             delivered + lost + corrupted == attempts, detail.str());
+    list.Add("report.fault_retries_are_failures",
+             retries == lost + corrupted, detail.str());
+    list.Add("report.fault_delivery_ratio_consistent",
+             ratio >= 0.0 && ratio <= 1.0 &&
+                 (attempts == 0.0 ||
+                  std::abs(ratio - delivered / attempts) < 1e-9),
+             detail.str());
+  }
+  return list;
+}
+
+FaultSweepPoint FaultSweepPointFromReport(const obs::RunReport& report) {
+  FaultSweepPoint point;
+  point.loss = ExtraOr(report, "fault_loss", 0.0);
+  point.corrupt = ExtraOr(report, "fault_corrupt", 0.0);
+  point.delivery_ratio = ExtraOr(report, "fault_delivery_ratio", 1.0);
+  point.backoff_cap = ExtraOr(report, "fault_backoff_cap", 0.0);
+  point.mean_response = report.response.mean;
+  point.period = static_cast<double>(report.period);
+  return point;
+}
+
+CheckList CheckFaultDegradation(std::vector<FaultSweepPoint> points,
+                                double slack, double delivery_tolerance) {
+  CheckList list;
+  list.Add("fault_sweep.nonempty", !points.empty(),
+           "a sweep needs at least one point");
+  if (points.empty()) return list;
+  std::stable_sort(points.begin(), points.end(),
+                   [](const FaultSweepPoint& a, const FaultSweepPoint& b) {
+                     return a.FailureRate() < b.FailureRate();
+                   });
+
+  const FaultSweepPoint& anchor = points.front();
+  bool latency_monotone = true;
+  bool latency_bounded = true;
+  bool delivery_tracks = true;
+  bool delivery_monotone = true;
+  std::string monotone_detail;
+  std::string bound_detail;
+  std::string tracks_detail;
+  std::string delivery_detail;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const FaultSweepPoint& p = points[i];
+    const double f = p.FailureRate();
+    if (i > 0) {
+      const FaultSweepPoint& prev = points[i - 1];
+      // Worse channel, no faster: allow `slack` relative statistical
+      // wiggle between adjacent points.
+      if (p.mean_response < prev.mean_response * (1.0 - slack)) {
+        latency_monotone = false;
+        std::ostringstream out;
+        out << "mean rt fell from " << prev.mean_response << " (f="
+            << prev.FailureRate() << ") to " << p.mean_response
+            << " (f=" << f << ")";
+        monotone_detail = out.str();
+      }
+      if (p.delivery_ratio > prev.delivery_ratio + delivery_tolerance) {
+        delivery_monotone = false;
+        std::ostringstream out;
+        out << "delivery ratio rose from " << prev.delivery_ratio
+            << " to " << p.delivery_ratio << " at f=" << f;
+        delivery_detail = out.str();
+      }
+    }
+    // Renewal bound: each failed reception costs at most one more
+    // inter-arrival gap (<= period) plus one capped backoff, and a
+    // fetch sees f/(1-f) failures in expectation.
+    const double budget =
+        anchor.mean_response +
+        (f >= 1.0 ? std::numeric_limits<double>::infinity()
+                  : f / (1.0 - f) * (p.period + p.backoff_cap)) *
+            (1.0 + slack);
+    if (p.mean_response > budget + anchor.mean_response * slack) {
+      latency_bounded = false;
+      std::ostringstream out;
+      out << "mean rt " << p.mean_response << " at f=" << f
+          << " exceeds bound " << budget;
+      bound_detail = out.str();
+    }
+    if (std::abs(p.delivery_ratio - (1.0 - f)) > delivery_tolerance) {
+      delivery_tracks = false;
+      std::ostringstream out;
+      out << "delivery ratio " << p.delivery_ratio << " at f=" << f
+          << ", expected ~" << (1.0 - f);
+      tracks_detail = out.str();
+    }
+  }
+  list.Add("fault_sweep.latency_monotone", latency_monotone,
+           monotone_detail);
+  list.Add("fault_sweep.latency_bounded", latency_bounded, bound_detail);
+  list.Add("fault_sweep.delivery_tracks_rate", delivery_tracks,
+           tracks_detail);
+  list.Add("fault_sweep.delivery_monotone", delivery_monotone,
+           delivery_detail);
   return list;
 }
 

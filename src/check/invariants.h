@@ -79,8 +79,53 @@ CheckList CheckLayoutProgramAgreement(const DiskLayout& layout,
 /// (min <= p50 <= p90 <= p99 <= max, mean within range) for the response
 /// and tuning summaries, request accounting (cache_hits <= requests;
 /// hits + per-disk serves == requests when the disk breakdown is
-/// present), and non-negative throughput/timing numbers.
+/// present), and non-negative throughput/timing numbers. Reports carrying
+/// channel-fault extras additionally get reception accounting checked
+/// (delivered + lost + corrupted == attempts, retries == failures,
+/// delivery ratio consistent).
 CheckList CheckReportInvariants(const obs::RunReport& report);
+
+/// \brief One point of a loss sweep: the fault rates a run was configured
+/// with and the degradation it measured.
+struct FaultSweepPoint {
+  /// Configured per-transmission loss and corruption probabilities.
+  double loss = 0.0;
+  double corrupt = 0.0;
+
+  /// Measured mean response time (broadcast units).
+  double mean_response = 0.0;
+
+  /// Measured fraction of listened transmissions received intact.
+  double delivery_ratio = 1.0;
+
+  /// Broadcast period (slots) and backoff cap of the run (bound scale).
+  double period = 0.0;
+  double backoff_cap = 0.0;
+
+  /// Combined per-attempt failure probability 1 - (1-loss)(1-corrupt).
+  double FailureRate() const {
+    return 1.0 - (1.0 - loss) * (1.0 - corrupt);
+  }
+};
+
+/// \brief Extracts a sweep point from a run report: rates, delivery ratio
+/// and backoff cap from the fault extras (lossless defaults when the
+/// report carries none), mean response and period from the body.
+FaultSweepPoint FaultSweepPointFromReport(const obs::RunReport& report);
+
+/// \brief The degradation story across a loss sweep, re-derived from the
+/// measured points alone: mean response must degrade *monotonically*
+/// (non-decreasing in the combined failure rate, within `slack`
+/// relative tolerance) and *boundedly* — each point's mean response must
+/// stay within the renewal bound
+///   rt(f) <= rt(f0) + f/(1-f) * (period + backoff_cap) * (1 + slack)
+/// where f0 is the sweep's smallest failure rate — and the delivery
+/// ratio must track 1 - f (within `delivery_tolerance`) and fall
+/// monotonically. Points may be given in any order; at least one is
+/// required and the smallest-rate point anchors the bound.
+CheckList CheckFaultDegradation(std::vector<FaultSweepPoint> points,
+                                double slack = 0.05,
+                                double delivery_tolerance = 0.05);
 
 }  // namespace bcast::check
 

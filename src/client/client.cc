@@ -64,7 +64,7 @@ des::Process Client::Run() {
     const double start = sim_->Now();
     if (!cache_->Lookup(logical, start)) {
       const PageId physical = mapping_->ToPhysical(logical);
-      co_await channel_->WaitForPage(physical);
+      co_await channel_->WaitForPage(physical, config_.receiver);
       cache_->Insert(logical, sim_->Now());
       if (sampled) {
         TraceRequest(start, logical, /*hit=*/false, /*warmup=*/true,
@@ -96,15 +96,24 @@ des::Process Client::Run() {
       }
     } else {
       const PageId physical = mapping_->ToPhysical(logical);
-      co_await channel_->WaitForPage(physical);
+      co_await channel_->WaitForPage(physical, config_.receiver);
       const double wait = sim_->Now() - start;
       cache_->Insert(logical, sim_->Now());
       const DiskIndex disk = channel_->program().DiskOf(physical);
       metrics_.RecordMiss(wait, disk);
       // Radio accounting: with a known schedule the client sleeps until
-      // the page's slot and listens for exactly one slot; otherwise the
-      // radio is on for the whole wait.
-      metrics_.RecordTuning(config_.knows_schedule ? 1.0 : wait);
+      // the page's slot and listens one slot per reception attempt;
+      // otherwise the radio is on for the whole wait, minus any backoff
+      // or doze time the receiver spent with the radio off.
+      if (config_.receiver != nullptr) {
+        metrics_.RecordTuning(
+            config_.knows_schedule
+                ? static_cast<double>(config_.receiver->last_wait_attempts())
+                : std::max(0.0,
+                           wait - config_.receiver->last_wait_radio_off()));
+      } else {
+        metrics_.RecordTuning(config_.knows_schedule ? 1.0 : wait);
+      }
       if (sampled) {
         TraceRequest(start, logical, /*hit=*/false, /*warmup=*/false, wait,
                      static_cast<int32_t>(disk));

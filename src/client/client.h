@@ -46,6 +46,11 @@ struct ClientRunConfig {
   /// run). nullptr — the default — keeps the request loop free of any
   /// observability work beyond one pointer test.
   obs::TraceSink* trace = nullptr;
+
+  /// Optional unreliable-channel receiver (unowned; must outlive the
+  /// run). nullptr — the default — waits on the ideal channel,
+  /// bit-identical to the pre-fault client.
+  fault::Receiver* receiver = nullptr;
 };
 
 /// \brief A single client workload driving a cache against the broadcast.

@@ -66,6 +66,8 @@ Status MultiClientParams::Validate() const {
   if (measured_requests == 0) {
     return Status::InvalidArgument("measured_requests must be positive");
   }
+  Status fault_status = fault.Validate();
+  if (!fault_status.ok()) return fault_status;
   return Status::OK();
 }
 
@@ -115,6 +117,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
     std::unique_ptr<AccessGenerator> gen;
     std::unique_ptr<SimCatalog> catalog;
     std::unique_ptr<CachePolicy> cache;
+    std::unique_ptr<fault::Receiver> receiver;  // null when faults are off
     std::unique_ptr<Client> client;
   };
   std::vector<ClientWorld> worlds(params.clients.size());
@@ -152,11 +155,20 @@ Result<MultiClientResult> RunMultiClientSimulation(
     if (!cache.ok()) return cache.status();
     worlds[c].cache = std::move(*cache);
 
+    if (params.fault.Active()) {
+      // Each client gets its own radio: independent (client id)-keyed
+      // fault streams, independent doze phase.
+      worlds[c].receiver =
+          fault::MakeReceiver(params.fault, /*client_id=*/c,
+                              static_cast<double>(program->period()));
+    }
+    ClientRunConfig config;
+    config.measured_requests = params.measured_requests;
+    config.max_warmup_requests = params.max_warmup_requests;
+    config.receiver = worlds[c].receiver.get();
     worlds[c].client = std::make_unique<Client>(
         &sim, &channel, worlds[c].cache.get(), worlds[c].gen.get(),
-        worlds[c].mapping.get(),
-        ClientRunConfig{params.measured_requests,
-                        params.max_warmup_requests});
+        worlds[c].mapping.get(), config);
   }
 
   timings.setup_seconds = setup_watch.ElapsedSeconds();
@@ -175,12 +187,50 @@ Result<MultiClientResult> RunMultiClientSimulation(
     const double mean = worlds[c].client->metrics().mean_response_time();
     result.mean_response_times.push_back(mean);
     result.response_across_clients.Add(mean);
+    if (worlds[c].receiver != nullptr) {
+      result.faults.Merge(worlds[c].receiver->stats());
+      result.faults_active = true;
+    }
   }
   result.end_time = sim.Now();
   result.events_dispatched = sim.events_dispatched();
   timings.total_seconds = total_watch.ElapsedSeconds();
   result.timings = timings;
   return result;
+}
+
+obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
+                                       const MultiClientResult& result,
+                                       const std::string& config,
+                                       const std::string& tool) {
+  obs::RunReport report;
+  report.tool = tool;
+  report.mode = "population";
+  report.config = config;
+  report.seed = params.seed;
+  report.requests = result.aggregate.requests();
+  report.cache_hits = result.aggregate.cache_hits();
+  report.response = result.aggregate.response_histogram().Summary();
+  report.tuning = result.aggregate.tuning_histogram().Summary();
+  report.served_per_disk = result.aggregate.served_per_disk();
+  report.end_time = result.end_time;
+  report.timings = result.timings;
+  report.events_dispatched = result.events_dispatched;
+  report.FinalizeThroughput(result.end_time,
+                            result.timings.measured_seconds);
+  const double min_rt = result.response_across_clients.min();
+  report.extra = {
+      {"clients", static_cast<double>(params.clients.size())},
+      {"population_mean_rt", result.response_across_clients.mean()},
+      {"population_min_rt", min_rt},
+      {"population_max_rt", result.response_across_clients.max()},
+      {"fairness_max_over_min",
+       min_rt > 0.0 ? result.response_across_clients.max() / min_rt : 0.0},
+  };
+  if (result.faults_active) {
+    AppendFaultExtras(params.fault, result.faults, &report);
+  }
+  return report;
 }
 
 }  // namespace bcast

@@ -20,10 +20,14 @@
 #define BCAST_CORE_MULTI_CLIENT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/metrics.h"
 #include "core/params.h"
+#include "fault/fault_params.h"
+#include "fault/recovery.h"
+#include "obs/run_report.h"
 #include "obs/stopwatch.h"
 
 namespace bcast {
@@ -77,6 +81,11 @@ struct MultiClientParams {
   /// Master seed; client c draws from independent sub-streams.
   uint64_t seed = 42;
 
+  /// Unreliable-channel knobs, shared by the population; each client
+  /// gets its own receiver with (client id, purpose)-keyed fault
+  /// streams. Inactive by default.
+  fault::FaultParams fault;
+
   /// Total pages broadcast.
   uint64_t ServerDbSize() const;
 
@@ -110,12 +119,27 @@ struct MultiClientResult {
 
   /// Events the DES kernel dispatched.
   uint64_t events_dispatched = 0;
+
+  /// Channel-fault accounting merged over all clients; populated (and
+  /// `faults_active` set) only when `params.fault.Active()`.
+  fault::FaultStats faults;
+  bool faults_active = false;
 };
 
 /// \brief Runs the population against one shared broadcast.
 /// Deterministic in `params.seed`.
 Result<MultiClientResult> RunMultiClientSimulation(
     const MultiClientParams& params);
+
+/// \brief Renders a population run as a run report (mode "population"):
+/// aggregate counts and distributions plus per-population fairness
+/// extras, and the channel-fault extras when faults were active.
+/// \p config is the one-line configuration identity (callers driving the
+/// population from a SimParams template pass `base.ToString()`).
+obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
+                                       const MultiClientResult& result,
+                                       const std::string& config,
+                                       const std::string& tool);
 
 }  // namespace bcast
 

@@ -50,6 +50,8 @@ Status SimParams::Validate() const {
   if (measured_requests == 0) {
     return Status::InvalidArgument("measured_requests must be positive");
   }
+  Status fault_status = fault.Validate();
+  if (!fault_status.ok()) return fault_status;
   // Delegate frequency validation to the layout builder.
   Result<DiskLayout> layout =
       rel_freqs.empty() ? MakeDeltaLayout(disk_sizes, delta)
@@ -62,7 +64,7 @@ std::string SimParams::ToString() const {
   std::vector<std::string> sizes;
   sizes.reserve(disk_sizes.size());
   for (uint64_t s : disk_sizes) sizes.push_back(std::to_string(s));
-  return StrFormat(
+  std::string summary = StrFormat(
       "disks<%s> delta=%llu policy=%s cache=%llu offset=%llu noise=%.0f%% "
       "theta=%.2f seed=%llu",
       Join(sizes, ",").c_str(), static_cast<unsigned long long>(delta),
@@ -70,6 +72,12 @@ std::string SimParams::ToString() const {
       static_cast<unsigned long long>(cache_size),
       static_cast<unsigned long long>(offset), noise_percent, theta,
       static_cast<unsigned long long>(seed));
+  // Faults extend the identity string only when active, so every
+  // pre-fault config string (and golden baseline) is untouched.
+  if (fault.Active()) {
+    summary += " " + fault.ToString();
+  }
+  return summary;
 }
 
 }  // namespace bcast

@@ -12,6 +12,7 @@
 #include "client/access_generator.h"
 #include "client/mapping.h"
 #include "common/status.h"
+#include "fault/fault_params.h"
 
 namespace bcast {
 
@@ -112,6 +113,12 @@ struct SimParams {
   /// random program, so e.g. changing `noise_percent` does not change the
   /// request sequence.
   uint64_t seed = 42;
+
+  // --- Channel faults (src/fault) ---
+  /// Unreliable-channel knobs; inactive by default, in which case no
+  /// fault machinery is built, no random draw is added, and the config
+  /// identity string is unchanged.
+  fault::FaultParams fault;
 
   /// Total pages the server broadcasts (sum of disk_sizes).
   uint64_t ServerDbSize() const;

@@ -93,10 +93,18 @@ Result<SimResult> RunSimulation(const SimParams& params,
 
   des::Simulation sim;
   BroadcastChannel channel(&sim, &*program);
+  // The receiver exists only for active fault params: an inactive run
+  // builds no fault machinery and draws no extra randomness.
+  std::unique_ptr<fault::Receiver> receiver;
+  if (params.fault.Active()) {
+    receiver = fault::MakeReceiver(params.fault, /*client_id=*/0,
+                                   static_cast<double>(program->period()));
+  }
   Client client(&sim, &channel, cache->get(), &*gen, &*mapping,
                 ClientRunConfig{params.measured_requests,
                                 params.max_warmup_requests,
-                                params.knows_schedule, observers.trace});
+                                params.knows_schedule, observers.trace,
+                                receiver.get()});
   result.timings.setup_seconds = setup_watch.ElapsedSeconds();
 
   sim.Spawn(client.Run());
@@ -114,6 +122,10 @@ Result<SimResult> RunSimulation(const SimParams& params,
   result.timings.measured_seconds = client.measured_wall_seconds();
   result.events_dispatched = sim.events_dispatched();
   result.timings.total_seconds = total_watch.ElapsedSeconds();
+  if (receiver != nullptr) {
+    result.faults = receiver->stats();
+    result.faults_active = true;
+  }
 
   if (observers.registry != nullptr) {
     obs::MetricsRegistry& reg = *observers.registry;
@@ -129,6 +141,23 @@ Result<SimResult> RunSimulation(const SimParams& params,
         ->Merge(result.metrics.response_histogram());
     reg.GetHistogram("sim/tuning_slots")
         ->Merge(result.metrics.tuning_histogram());
+    if (result.faults_active) {
+      const fault::FaultStats& fs = result.faults;
+      reg.GetCounter("fault/attempts")->Increment(fs.attempts);
+      reg.GetCounter("fault/delivered")->Increment(fs.delivered);
+      reg.GetCounter("fault/lost")->Increment(fs.lost);
+      reg.GetCounter("fault/corrupted")->Increment(fs.corrupted);
+      reg.GetCounter("fault/retries")->Increment(fs.retries);
+      reg.GetCounter("fault/doze_missed_arrivals")
+          ->Increment(fs.doze_missed_arrivals);
+      reg.GetCounter("fault/deadline_expiries")
+          ->Increment(fs.deadline_expiries);
+      reg.GetCounter("fault/loss_delayed_fetches")
+          ->Increment(fs.loss_delayed_fetches);
+      reg.GetGauge("fault/delivery_ratio")->Set(fs.delivery_ratio());
+      reg.GetHistogram("fault/extra_cycles")->Merge(fs.extra_cycles);
+      reg.GetHistogram("fault/resync_slots")->Merge(fs.resync_slots);
+    }
   }
   return result;
 }
@@ -159,7 +188,53 @@ obs::RunReport MakeRunReport(const SimParams& params,
   report.FinalizeThroughput(
       result.end_time,
       result.timings.warmup_seconds + result.timings.measured_seconds);
+  if (result.faults_active) {
+    AppendFaultExtras(params.fault, result.faults, &report);
+  }
   return report;
+}
+
+void AppendFaultExtras(const fault::FaultParams& params,
+                       const fault::FaultStats& stats,
+                       obs::RunReport* report) {
+  auto add = [report](const char* key, double value) {
+    report->extra.emplace_back(key, value);
+  };
+  // Configured rates first (the degradation checker reads them back),
+  // then the observed counters and summary statistics.
+  add("fault_loss", params.loss);
+  add("fault_burst_len", params.burst_len);
+  add("fault_corrupt", params.corrupt);
+  add("fault_doze_for", params.doze_for);
+  add("fault_awake_for", params.doze_for > 0.0 ? params.awake_for : 0.0);
+  add("fault_backoff_cap", params.backoff_cap);
+  add("fault_deadline_arrivals",
+      static_cast<double>(params.deadline_arrivals));
+  add("fault_attempts", static_cast<double>(stats.attempts));
+  add("fault_delivered", static_cast<double>(stats.delivered));
+  add("fault_lost", static_cast<double>(stats.lost));
+  add("fault_corrupted_rx", static_cast<double>(stats.corrupted));
+  add("fault_retries", static_cast<double>(stats.retries));
+  add("fault_delivery_ratio", stats.delivery_ratio());
+  add("fault_doze_missed_arrivals",
+      static_cast<double>(stats.doze_missed_arrivals));
+  add("fault_deadline_expiries",
+      static_cast<double>(stats.deadline_expiries));
+  add("fault_loss_delayed_fetches",
+      static_cast<double>(stats.loss_delayed_fetches));
+  add("fault_extra_cycles_mean",
+      stats.extra_cycles.count() == 0
+          ? 0.0
+          : stats.extra_cycles.sum() /
+                static_cast<double>(stats.extra_cycles.count()));
+  add("fault_extra_cycles_max", stats.extra_cycles.max());
+  add("fault_resync_count", static_cast<double>(stats.resync_slots.count()));
+  add("fault_resync_slots_mean",
+      stats.resync_slots.count() == 0
+          ? 0.0
+          : stats.resync_slots.sum() /
+                static_cast<double>(stats.resync_slots.count()));
+  add("fault_resync_slots_max", stats.resync_slots.max());
 }
 
 }  // namespace bcast

@@ -13,6 +13,7 @@
 #include "client/mapping.h"
 #include "core/metrics.h"
 #include "core/params.h"
+#include "fault/recovery.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/stopwatch.h"
@@ -56,6 +57,11 @@ struct SimResult {
 
   /// Events the DES kernel dispatched during the run.
   uint64_t events_dispatched = 0;
+
+  /// Channel-fault degradation accounting; populated (and
+  /// `faults_active` set) only when `params.fault.Active()`.
+  fault::FaultStats faults;
+  bool faults_active = false;
 };
 
 /// \brief Optional observability hooks for a run. Both default to off;
@@ -118,6 +124,14 @@ Result<SimResult> RunSimulation(const SimParams& params,
 obs::RunReport MakeRunReport(const SimParams& params,
                              const SimResult& result,
                              const std::string& tool);
+
+/// \brief Appends the channel-fault extras (rates, delivery ratio, retry
+/// and resync accounting) to \p report. Call only for active fault
+/// params: an inactive run's report must stay byte-identical to the
+/// pre-fault format.
+void AppendFaultExtras(const fault::FaultParams& params,
+                       const fault::FaultStats& stats,
+                       obs::RunReport* report);
 
 }  // namespace bcast
 

@@ -73,6 +73,7 @@ struct VolatileClient {
   RequestSource* gen;
   const Mapping* mapping;
   UpdateTracker* updates;
+  fault::Receiver* receiver;  // null when faults are off
   ConsistencyAction action;
   uint64_t measured_requests;
   uint64_t max_warmup_requests;
@@ -212,7 +213,7 @@ struct VolatileClient {
       }
 
       if (needs_fetch) {
-        co_await channel->WaitForPage(physical);
+        co_await channel->WaitForPage(physical, receiver);
         const double now = sim->Now();
         if (!cache->Contains(logical)) cache->Insert(logical, now);
         if (cache->Contains(logical)) content_time[logical] = now;
@@ -296,6 +297,11 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
 
   des::Simulation sim;
   BroadcastChannel channel(&sim, &*program);
+  std::unique_ptr<fault::Receiver> receiver;
+  if (base.fault.Active()) {
+    receiver = fault::MakeReceiver(base.fault, /*client_id=*/0,
+                                   static_cast<double>(program->period()));
+  }
   VolatileClient client{
       &sim,
       &channel,
@@ -303,6 +309,7 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
       &*gen,
       &*mapping,
       &*tracker,
+      receiver.get(),
       updates.action,
       base.measured_requests,
       base.max_warmup_requests,
@@ -327,6 +334,10 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
   client.result.response = client.response_hist.Summary();
   client.result.wall_seconds = run_watch.ElapsedSeconds();
   client.result.events_dispatched = sim.events_dispatched();
+  if (receiver != nullptr) {
+    client.result.faults = receiver->stats();
+    client.result.faults_active = true;
+  }
 
   if (registry != nullptr) {
     const UpdateSimResult& r = client.result;
@@ -346,6 +357,41 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
         ->Merge(client.response_hist);
   }
   return client.result;
+}
+
+obs::RunReport MakeUpdateRunReport(const SimParams& base,
+                                   const UpdateParams& updates,
+                                   const UpdateSimResult& result,
+                                   const std::string& tool) {
+  obs::RunReport report;
+  report.tool = tool;
+  report.mode = "updates";
+  report.config = base.ToString();
+  report.seed = base.seed;
+  report.requests = result.requests;
+  report.cache_hits = result.fresh_hits + result.stale_hits;
+  report.response = result.response;
+  report.timings.measured_seconds = result.wall_seconds;
+  report.timings.total_seconds = result.wall_seconds;
+  report.events_dispatched = result.events_dispatched;
+  report.FinalizeThroughput(0.0, result.wall_seconds);
+  report.extra = {
+      {"update_rate", updates.update_rate},
+      {"update_theta", updates.update_theta},
+      {"fresh_hits", static_cast<double>(result.fresh_hits)},
+      {"stale_hits", static_cast<double>(result.stale_hits)},
+      {"invalidation_refetches",
+       static_cast<double>(result.invalidation_refetches)},
+      {"cold_misses", static_cast<double>(result.cold_misses)},
+      {"naps", static_cast<double>(result.naps)},
+      {"distrust_purges", static_cast<double>(result.distrust_purges)},
+      {"stale_fraction", result.StaleFraction()},
+      {"mean_response_time", result.mean_response_time},
+  };
+  if (result.faults_active) {
+    AppendFaultExtras(base.fault, result.faults, &report);
+  }
+  return report;
 }
 
 }  // namespace bcast

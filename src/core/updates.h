@@ -29,13 +29,16 @@
 #define BCAST_CORE_UPDATES_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "broadcast/program.h"
 #include "common/rng.h"
 #include "core/params.h"
+#include "fault/recovery.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
+#include "obs/run_report.h"
 
 namespace bcast {
 
@@ -147,6 +150,11 @@ struct UpdateSimResult {
   /// Events the DES kernel dispatched.
   uint64_t events_dispatched = 0;
 
+  /// Channel-fault accounting; populated (and `faults_active` set) only
+  /// when `base.fault.Active()`.
+  fault::FaultStats faults;
+  bool faults_active = false;
+
   /// Fraction of requests served stale.
   double StaleFraction() const {
     return requests == 0
@@ -168,6 +176,15 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
 Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
                                             const UpdateParams& updates,
                                             obs::MetricsRegistry* registry);
+
+/// \brief Renders one volatile-data run as a run report (mode "updates"):
+/// staleness accounting as extras, plus the channel-fault extras when
+/// faults were active. The registry snapshot (if any) is the caller's to
+/// attach.
+obs::RunReport MakeUpdateRunReport(const SimParams& base,
+                                   const UpdateParams& updates,
+                                   const UpdateSimResult& result,
+                                   const std::string& tool);
 
 }  // namespace bcast
 

@@ -1,0 +1,86 @@
+#include "fault/fault_model.h"
+
+#include "broadcast/serialize.h"
+#include "common/logging.h"
+
+namespace bcast::fault {
+
+bool VerifyTransmission(const Transmission& tx) {
+  return tx.checksum == PageChecksum(tx.page);
+}
+
+std::optional<Transmission> IdealModel::Receive(PageId page,
+                                                double /*slot_start*/) {
+  return Transmission{page, PageChecksum(page)};
+}
+
+std::optional<Transmission> IidLossModel::Receive(PageId page,
+                                                  double /*slot_start*/) {
+  if (rng_.NextBernoulli(loss_)) return std::nullopt;
+  return Transmission{page, PageChecksum(page)};
+}
+
+std::optional<Transmission> GilbertElliottModel::Receive(
+    PageId page, double /*slot_start*/) {
+  // Advance the chain, then sample the (new) state: a burst begins with
+  // the transmission that enters the bad state.
+  if (bad_) {
+    if (rng_.NextBernoulli(p_exit_bad_)) bad_ = false;
+  } else {
+    if (rng_.NextBernoulli(p_enter_bad_)) bad_ = true;
+  }
+  if (bad_) return std::nullopt;
+  return Transmission{page, PageChecksum(page)};
+}
+
+std::optional<Transmission> CorruptingModel::Receive(PageId page,
+                                                     double slot_start) {
+  std::optional<Transmission> tx = inner_->Receive(page, slot_start);
+  if (!tx.has_value()) return tx;
+  if (rng_.NextBernoulli(corrupt_)) {
+    // Damage the payload: the received checksum no longer matches the
+    // recomputed one. The mask is drawn (never zero) so repeated
+    // corruption of one page does not always look identical.
+    const uint32_t mask = static_cast<uint32_t>(rng_.Next()) | 1u;
+    tx->checksum ^= mask;
+  }
+  return tx;
+}
+
+Rng FaultStream(const Rng& fault_master, uint64_t client_id,
+                Purpose purpose) {
+  // One split level per key part: Split is a one-way derivation, so the
+  // (client, purpose) lattice stays collision-free without arithmetic
+  // packing assumptions.
+  return fault_master.Split(client_id).Split(
+      static_cast<uint64_t>(purpose));
+}
+
+std::unique_ptr<FaultModel> MakeFaultModel(const FaultParams& params,
+                                           uint64_t client_id) {
+  BCAST_CHECK(params.Active());
+  const Rng fault_master(params.fault_seed);
+  std::unique_ptr<FaultModel> model;
+  if (params.loss <= 0.0) {
+    model = std::make_unique<IdealModel>();
+  } else if (params.burst_len <= 1.0) {
+    model = std::make_unique<IidLossModel>(
+        params.loss, FaultStream(fault_master, client_id, Purpose::kLoss));
+  } else {
+    // Stationary loss rate p with mean burst length B:
+    //   p_exit = 1/B,  p_enter = p * p_exit / (1 - p).
+    const double p_exit = 1.0 / params.burst_len;
+    const double p_enter = params.loss * p_exit / (1.0 - params.loss);
+    model = std::make_unique<GilbertElliottModel>(
+        p_enter, p_exit,
+        FaultStream(fault_master, client_id, Purpose::kLoss));
+  }
+  if (params.corrupt > 0.0) {
+    model = std::make_unique<CorruptingModel>(
+        params.corrupt, std::move(model),
+        FaultStream(fault_master, client_id, Purpose::kCorrupt));
+  }
+  return model;
+}
+
+}  // namespace bcast::fault

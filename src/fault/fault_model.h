@@ -1,0 +1,143 @@
+/// \file fault_model.h
+/// \brief Receiver-side channel impairment models.
+///
+/// The broadcast medium itself never fails — it is the *receiver* that
+/// fades out of coverage or decodes garbage, which is why every client
+/// carries its own `FaultModel` instance with its own random stream: one
+/// client's bad radio never correlates with another's, and adding a
+/// client never perturbs existing streams.
+///
+/// A model answers one question per listened slot: what did this radio
+/// hear? `std::nullopt` means nothing (loss); otherwise a `Transmission`
+/// whose checksum may disagree with the page's true checksum
+/// (`PageChecksum` in broadcast/serialize.h) — corruption is detected by
+/// re-verification, never flagged out-of-band.
+///
+/// Three models (paper-adjacent: RBO's sleeping receivers and Lai et
+/// al.'s slot conflicts both presume an imperfect listener):
+///  - i.i.d. loss: every transmission independently lost w.p. `loss`.
+///  - Gilbert–Elliott: a two-state (good/bad) Markov chain advanced once
+///    per listened transmission; the bad state loses everything, giving
+///    bursty outages with a configurable mean burst length at the same
+///    stationary loss rate.
+///  - corruption: a decorator that damages the payload of heard
+///    transmissions w.p. `corrupt`.
+
+#ifndef BCAST_FAULT_FAULT_MODEL_H_
+#define BCAST_FAULT_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "broadcast/types.h"
+#include "common/rng.h"
+#include "fault/fault_params.h"
+
+namespace bcast::fault {
+
+/// \brief What a receiver decoded from one slot: the page id plus the
+/// payload checksum as received. An intact transmission carries
+/// `PageChecksum(page)`; a corrupted one does not.
+struct Transmission {
+  PageId page = 0;
+  uint32_t checksum = 0;
+};
+
+/// \brief True iff the transmission's payload verifies against the page's
+/// true checksum (see broadcast/serialize.h).
+bool VerifyTransmission(const Transmission& tx);
+
+/// \brief Interface: one fault decision per listened transmission.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// The receiver tuned to the slot starting at \p slot_start carrying
+  /// \p page. Returns what the radio heard (possibly damaged), or
+  /// `std::nullopt` when the transmission was lost entirely.
+  virtual std::optional<Transmission> Receive(PageId page,
+                                              double slot_start) = 0;
+};
+
+/// \brief The lossless radio: hears everything, intact. Used when the
+/// fault path is forced on with all rates zero.
+class IdealModel : public FaultModel {
+ public:
+  std::optional<Transmission> Receive(PageId page, double slot_start) override;
+};
+
+/// \brief Independent per-transmission loss with probability \p loss.
+class IidLossModel : public FaultModel {
+ public:
+  IidLossModel(double loss, Rng rng) : loss_(loss), rng_(rng) {}
+
+  std::optional<Transmission> Receive(PageId page, double slot_start) override;
+
+ private:
+  double loss_;
+  Rng rng_;
+};
+
+/// \brief Two-state Gilbert–Elliott loss: good hears everything, bad
+/// loses everything; the chain advances once per listened transmission.
+class GilbertElliottModel : public FaultModel {
+ public:
+  /// \param p_enter_bad P(good -> bad) per transmission.
+  /// \param p_exit_bad  P(bad -> good) per transmission; 1/p_exit_bad is
+  ///                    the mean burst length.
+  GilbertElliottModel(double p_enter_bad, double p_exit_bad, Rng rng)
+      : p_enter_bad_(p_enter_bad), p_exit_bad_(p_exit_bad), rng_(rng) {}
+
+  std::optional<Transmission> Receive(PageId page, double slot_start) override;
+
+  /// True while the chain sits in the bad (lossy) state.
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_enter_bad_;
+  double p_exit_bad_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+/// \brief Decorator: transmissions the inner model hears are decoded with
+/// a damaged payload with probability \p corrupt. The damage flips
+/// checksum bits, so `VerifyTransmission` exposes it.
+class CorruptingModel : public FaultModel {
+ public:
+  CorruptingModel(double corrupt, std::unique_ptr<FaultModel> inner, Rng rng)
+      : corrupt_(corrupt), inner_(std::move(inner)), rng_(rng) {}
+
+  std::optional<Transmission> Receive(PageId page, double slot_start) override;
+
+ private:
+  double corrupt_;
+  std::unique_ptr<FaultModel> inner_;
+  Rng rng_;
+};
+
+/// \brief Named purposes of the per-client fault sub-streams. Streams are
+/// keyed by (client id, purpose): adding a purpose or a client never
+/// re-routes the draws of an existing one.
+enum class Purpose : uint64_t {
+  kLoss = 1,
+  kCorrupt = 2,
+  kDoze = 3,
+};
+
+/// \brief The (client id, purpose)-keyed fault stream off \p fault_master
+/// (which must itself be seeded from `FaultParams::fault_seed`, never the
+/// simulation master seed).
+Rng FaultStream(const Rng& fault_master, uint64_t client_id, Purpose purpose);
+
+/// \brief Builds the composed fault model \p params describes for client
+/// \p client_id: loss process (i.i.d. or Gilbert–Elliott by `burst_len`)
+/// wrapped in corruption when `corrupt` > 0; `IdealModel` when both rates
+/// are zero. Call only for `params.Active()`.
+std::unique_ptr<FaultModel> MakeFaultModel(const FaultParams& params,
+                                           uint64_t client_id);
+
+}  // namespace bcast::fault
+
+#endif  // BCAST_FAULT_FAULT_MODEL_H_

@@ -1,0 +1,103 @@
+/// \file fault_params.h
+/// \brief Configuration of the unreliable-channel model and client
+/// recovery policy.
+///
+/// The paper assumes a lossless broadcast medium; real mobile receivers
+/// drop pages (fading, interference), decode garbage (detected by a
+/// per-page checksum), and doze to save power. `FaultParams` bundles the
+/// knobs for all three fault sources plus the client's recovery policy
+/// (reception deadline, capped exponential backoff). A default-constructed
+/// `FaultParams` is *inactive*: no fault machinery is built, no fault
+/// randomness is drawn, and every result is bit-identical to the ideal
+/// channel — the regression gate depends on that.
+
+#ifndef BCAST_FAULT_FAULT_PARAMS_H_
+#define BCAST_FAULT_FAULT_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace bcast::fault {
+
+/// \brief Fault-injection and recovery knobs for one run.
+///
+/// Fault randomness is seeded by `fault_seed`, never by the master
+/// simulation seed, and is drawn from sub-streams keyed by
+/// (client id, purpose) — adding a fault source can never perturb the
+/// access-generator or noise-mapping draws, and adding a client never
+/// disturbs another client's channel.
+struct FaultParams {
+  /// Per-transmission loss probability in [0, 1). With `burst_len` <= 1
+  /// losses are i.i.d.; otherwise this is the stationary loss rate of a
+  /// Gilbert–Elliott chain.
+  double loss = 0.0;
+
+  /// Mean length (in listened transmissions) of a loss burst. Values
+  /// <= 1 select the i.i.d. model; > 1 selects Gilbert–Elliott with this
+  /// expected bad-state dwell time.
+  double burst_len = 0.0;
+
+  /// Probability in [0, 1) that a heard transmission is decoded with a
+  /// damaged payload. Corruption is *detected* — the receiver recomputes
+  /// the page checksum (see `broadcast/serialize.h`) and discards the
+  /// mismatch — so it costs latency, never correctness.
+  double corrupt = 0.0;
+
+  /// \name Doze/disconnection windows.
+  /// When `doze_for` > 0 the client alternates: radio on for `awake_for`
+  /// broadcast units, then off for `doze_for` (it hears nothing and must
+  /// resynchronize on wake). The phase is drawn once per client from the
+  /// (client id, doze) fault stream so populations do not doze in
+  /// lockstep.
+  /// @{
+  double doze_for = 0.0;
+  double awake_for = 10000.0;
+  /// @}
+
+  /// Seed of all fault/doze randomness; independent of `SimParams::seed`.
+  uint64_t fault_seed = 1;
+
+  /// Reception deadline, in multiples of the page's guaranteed
+  /// inter-arrival gap (Section 2.2 regularity): after this many expected
+  /// arrivals pass without an intact reception the client declares the
+  /// attempt expired, resets its backoff, and falls back to the next
+  /// broadcast cycle.
+  uint64_t deadline_arrivals = 4;
+
+  /// \name Capped exponential backoff (slots of radio-off after a failed
+  /// reception, before re-tuning). The cap keeps both the energy story
+  /// and the latency bound finite; the multiplicative clamp makes the
+  /// arithmetic overflow-proof at any failure count.
+  /// @{
+  double backoff_base = 1.0;
+  double backoff_mult = 2.0;
+  double backoff_cap = 64.0;
+  /// @}
+
+  /// Forces the fault machinery on even when every rate is zero. Used by
+  /// the loss=0 golden baseline to prove the fault path reproduces the
+  /// ideal channel bit-identically.
+  bool force = false;
+
+  /// True when any fault source is configured (or `force` is set): the
+  /// simulator builds receivers, reports carry fault metrics, and
+  /// `ToString` gains a fault section. Inactive params leave every code
+  /// path and output byte-for-byte unchanged.
+  bool Active() const {
+    return force || loss > 0.0 || corrupt > 0.0 || doze_for > 0.0;
+  }
+
+  /// Structural validation; OK for inactive params.
+  Status Validate() const;
+
+  /// Stable one-line rendering, e.g.
+  /// "fault<loss=0.05,burst=4,corrupt=0,doze=0/10000,k=4,seed=1>".
+  /// Empty when inactive (run configs must not change for ideal runs).
+  std::string ToString() const;
+};
+
+}  // namespace bcast::fault
+
+#endif  // BCAST_FAULT_FAULT_PARAMS_H_

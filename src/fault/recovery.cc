@@ -1,0 +1,170 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bcast::fault {
+
+double BackoffPolicy::Next() {
+  const double delay = next_;
+  // Clamp before and after the multiply: the value can never leave
+  // [base, cap], so no failure count overflows it.
+  next_ = std::min(cap_, next_ * mult_);
+  if (next_ < base_) next_ = base_;
+  return delay;
+}
+
+bool DozeSchedule::Awake(double t) const {
+  if (!enabled()) return true;
+  const double cycle = awake_for + doze_for;
+  double pos = std::fmod(t - phase, cycle);
+  if (pos < 0.0) pos += cycle;
+  return pos < awake_for;
+}
+
+bool DozeSchedule::AwakeDuring(double from, double to) const {
+  if (!enabled()) return true;
+  // Awake intervals are [k*cycle + phase, k*cycle + phase + awake_for):
+  // the whole of [from, to] fits iff both ends fall in the same awake
+  // stretch. A reception must not straddle a doze boundary; the slot's
+  // final instant may touch the boundary exactly (to == awake end).
+  const double cycle = awake_for + doze_for;
+  double pos = std::fmod(from - phase, cycle);
+  if (pos < 0.0) pos += cycle;
+  return pos < awake_for && pos + (to - from) <= awake_for;
+}
+
+double DozeSchedule::NextWake(double t) const {
+  if (Awake(t)) return t;
+  const double cycle = awake_for + doze_for;
+  // t sits in a doze stretch; jump to the start of the next awake one.
+  const double k = std::floor((t - phase) / cycle);
+  double wake = phase + (k + 1.0) * cycle;
+  // Guard the boundary case where t is exactly a cycle edge.
+  if (wake <= t) wake += cycle;
+  return wake;
+}
+
+void FaultStats::Merge(const FaultStats& other) {
+  attempts += other.attempts;
+  delivered += other.delivered;
+  lost += other.lost;
+  corrupted += other.corrupted;
+  retries += other.retries;
+  doze_missed_arrivals += other.doze_missed_arrivals;
+  deadline_expiries += other.deadline_expiries;
+  loss_delayed_fetches += other.loss_delayed_fetches;
+  extra_cycles.Merge(other.extra_cycles);
+  resync_slots.Merge(other.resync_slots);
+}
+
+Receiver::Receiver(std::unique_ptr<FaultModel> model,
+                   const FaultParams& params, DozeSchedule doze,
+                   double period)
+    : model_(std::move(model)),
+      doze_(doze),
+      backoff_(params.backoff_base, params.backoff_mult,
+               params.backoff_cap),
+      deadline_arrivals_(params.deadline_arrivals),
+      period_(period) {
+  BCAST_CHECK(model_ != nullptr);
+  BCAST_CHECK_GT(period, 0.0);
+}
+
+void Receiver::BeginWait(PageId page, double now, double ideal_end,
+                         double gap) {
+  page_ = page;
+  wait_ideal_end_ = ideal_end;
+  wait_gap_ = std::max(gap, 1.0);
+  deadline_at_ = now + static_cast<double>(deadline_arrivals_) * wait_gap_;
+  wait_attempts_ = 0;
+  wait_radio_off_ = 0.0;
+  backoff_.Reset();
+}
+
+double Receiver::NoteDozeMiss(double arrival_start) {
+  ++stats_.doze_missed_arrivals;
+  const double wake = doze_.NextWake(arrival_start + 1.0);
+  wait_radio_off_ += wake - arrival_start;
+  if (resync_since_ < 0.0) resync_since_ = wake;
+  // A slept-through deadline expires on wake, not retroactively per
+  // missed arrival: dozing is a choice, not a channel fault.
+  if (wake >= deadline_at_) {
+    ++stats_.deadline_expiries;
+    backoff_.Reset();
+    deadline_at_ =
+        wake + static_cast<double>(deadline_arrivals_) * wait_gap_;
+  }
+  return wake;
+}
+
+bool Receiver::Attempt(PageId page, double end) {
+  ++stats_.attempts;
+  ++wait_attempts_;
+  const std::optional<Transmission> tx = model_->Receive(page, end - 1.0);
+  if (tx.has_value() && VerifyTransmission(*tx)) {
+    ++stats_.delivered;
+    if (resync_since_ >= 0.0) {
+      stats_.resync_slots.Add(end - resync_since_);
+      resync_since_ = -1.0;
+    }
+    return true;
+  }
+  if (!tx.has_value()) {
+    ++stats_.lost;
+  } else {
+    ++stats_.corrupted;
+  }
+  ++stats_.retries;
+  return false;
+}
+
+double Receiver::NextRetryTime(double now) {
+  if (now >= deadline_at_) {
+    // The reception deadline (k guaranteed gaps) expired: fall back to
+    // the next broadcast cycle with a fresh, aggressive backoff. The
+    // deadline may nominally expire mid-slot; it is acted on here, at
+    // the end of the attempt that crossed it.
+    ++stats_.deadline_expiries;
+    backoff_.Reset();
+    deadline_at_ = now + static_cast<double>(deadline_arrivals_) * wait_gap_;
+    return now;
+  }
+  const double off = backoff_.Next();
+  wait_radio_off_ += off;
+  return now + off;
+}
+
+void Receiver::EndWait(double end) {
+  last_attempts_ = std::max<uint64_t>(wait_attempts_, 1);
+  last_radio_off_ = wait_radio_off_;
+  if (wait_attempts_ > 1) ++stats_.loss_delayed_fetches;
+  const double extra = end - wait_ideal_end_;
+  if (extra > 0.0) {
+    stats_.extra_cycles.Add(extra / period_);
+  } else {
+    stats_.extra_cycles.Add(0.0);
+  }
+}
+
+std::unique_ptr<Receiver> MakeReceiver(const FaultParams& params,
+                                       uint64_t client_id, double period) {
+  BCAST_CHECK(params.Active());
+  DozeSchedule doze;
+  if (params.doze_for > 0.0) {
+    doze.awake_for = params.awake_for;
+    doze.doze_for = params.doze_for;
+    // Per-client phase from the (client id, doze) stream: populations
+    // must not doze in lockstep unless seeded to.
+    Rng doze_rng = FaultStream(Rng(params.fault_seed), client_id,
+                               Purpose::kDoze);
+    doze.phase =
+        doze_rng.NextDouble() * (params.awake_for + params.doze_for);
+  }
+  return std::make_unique<Receiver>(MakeFaultModel(params, client_id),
+                                    params, doze, period);
+}
+
+}  // namespace bcast::fault

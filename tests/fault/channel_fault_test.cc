@@ -1,0 +1,191 @@
+// End-to-end faulty waits through BroadcastChannel: forced-zero faults
+// must be bit-identical to the ideal path, sustained corruption must
+// starve only boundedly, doze windows spanning a whole major cycle must
+// resynchronize, and a deadline that nominally expires mid-slot must be
+// acted on at the end of the attempt that crossed it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "broadcast/channel.h"
+#include "broadcast/generator.h"
+#include "broadcast/serialize.h"
+#include "fault/fault_model.h"
+#include "fault/fault_params.h"
+#include "fault/recovery.h"
+
+namespace bcast {
+namespace {
+
+// A B A C multi-disk program (A fast disk, B/C slow disk), period 4.
+// A occupies slots 0 and 2 of each cycle (gap 2); B slot 1; C slot 3.
+BroadcastProgram Abac() {
+  auto layout = MakeLayout({1, 2}, {2, 1});
+  auto program = GenerateMultiDiskProgram(*layout);
+  EXPECT_TRUE(program.ok());
+  return std::move(*program);
+}
+
+des::Process FetchSequence(des::Simulation* sim, BroadcastChannel* channel,
+                           fault::Receiver* receiver,
+                           std::vector<PageId> pages,
+                           std::vector<double>* completion_times,
+                           std::vector<double>* waits) {
+  for (PageId p : pages) {
+    const double wait = co_await channel->WaitForPage(p, receiver);
+    completion_times->push_back(sim->Now());
+    waits->push_back(wait);
+  }
+}
+
+// Damages every transmission that starts before `until`, intact after.
+class CorruptUntil : public fault::FaultModel {
+ public:
+  explicit CorruptUntil(double until) : until_(until) {}
+  std::optional<fault::Transmission> Receive(PageId page,
+                                             double slot_start) override {
+    uint32_t checksum = PageChecksum(page);
+    if (slot_start < until_) checksum ^= 0xDEADu;
+    return fault::Transmission{page, checksum};
+  }
+
+ private:
+  double until_;
+};
+
+// Loses every transmission that starts before `until`, intact after.
+class DeafUntil : public fault::FaultModel {
+ public:
+  explicit DeafUntil(double until) : until_(until) {}
+  std::optional<fault::Transmission> Receive(PageId page,
+                                             double slot_start) override {
+    if (slot_start < until_) return std::nullopt;
+    return fault::Transmission{page, PageChecksum(page)};
+  }
+
+ private:
+  double until_;
+};
+
+fault::FaultParams RecoveryParams() {
+  fault::FaultParams params;
+  params.force = true;
+  params.deadline_arrivals = 4;
+  params.backoff_base = 1.0;
+  params.backoff_mult = 2.0;
+  params.backoff_cap = 8.0;
+  return params;
+}
+
+TEST(ChannelFaultTest, ForcedZeroFaultsMatchIdealPathExactly) {
+  const std::vector<PageId> pages = {2, 1, 0, 0, 2};
+
+  des::Simulation ideal_sim;
+  BroadcastProgram ideal_program = Abac();
+  BroadcastChannel ideal_channel(&ideal_sim, &ideal_program);
+  std::vector<double> ideal_times, ideal_waits;
+  ideal_sim.Spawn(FetchSequence(&ideal_sim, &ideal_channel, nullptr, pages,
+                                &ideal_times, &ideal_waits));
+  ideal_sim.Run();
+
+  des::Simulation faulty_sim;
+  BroadcastProgram faulty_program = Abac();
+  BroadcastChannel faulty_channel(&faulty_sim, &faulty_program);
+  fault::FaultParams params;
+  params.force = true;  // active machinery, zero rates, no doze
+  auto receiver = fault::MakeReceiver(
+      params, 0, static_cast<double>(faulty_program.period()));
+  std::vector<double> faulty_times, faulty_waits;
+  faulty_sim.Spawn(FetchSequence(&faulty_sim, &faulty_channel,
+                                 receiver.get(), pages, &faulty_times,
+                                 &faulty_waits));
+  faulty_sim.Run();
+
+  EXPECT_EQ(ideal_times, faulty_times);
+  EXPECT_EQ(ideal_waits, faulty_waits);
+  EXPECT_EQ(receiver->stats().attempts, pages.size());
+  EXPECT_EQ(receiver->stats().delivered, pages.size());
+  EXPECT_EQ(receiver->stats().retries, 0u);
+}
+
+TEST(ChannelFaultTest, SustainedCorruptionStarvesOnlyBoundedly) {
+  // Every transmission for the first two major cycles is damaged; the
+  // client must keep retrying (checksum rejects each copy) and complete
+  // within deadline-fallback + backoff-cap slots of the channel healing.
+  const double kHealAt = 8.0;
+  des::Simulation sim;
+  BroadcastProgram program = Abac();
+  BroadcastChannel channel(&sim, &program);
+  fault::FaultParams params = RecoveryParams();
+  fault::Receiver receiver(std::make_unique<CorruptUntil>(kHealAt), params,
+                           fault::DozeSchedule{},
+                           static_cast<double>(program.period()));
+  std::vector<double> times, waits;
+  sim.Spawn(
+      FetchSequence(&sim, &channel, &receiver, {0}, &times, &waits));
+  sim.Run();
+
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_GE(times[0], kHealAt);  // nothing intact before the channel heals
+  // Starvation bound: once healed, at most one backoff-cap sleep plus one
+  // period to the next arrival.
+  EXPECT_LE(times[0],
+            kHealAt + params.backoff_cap + program.period() + 1.0);
+  EXPECT_EQ(receiver.stats().delivered, 1u);
+  EXPECT_GE(receiver.stats().corrupted, 1u);
+  EXPECT_EQ(receiver.stats().retries, receiver.stats().corrupted);
+  EXPECT_EQ(receiver.stats().loss_delayed_fetches, 1u);
+}
+
+TEST(ChannelFaultTest, DozeSpanningMajorCycleResynchronizes) {
+  // Awake [0,2), dozing [2,10): the doze window covers two full major
+  // cycles (period 4). A fetch of C (arrival [3,4]) must sleep through,
+  // wake at 10, and catch the next C at [11,12].
+  des::Simulation sim;
+  BroadcastProgram program = Abac();
+  BroadcastChannel channel(&sim, &program);
+  fault::FaultParams params = RecoveryParams();
+  fault::Receiver receiver(std::make_unique<fault::IdealModel>(), params,
+                           fault::DozeSchedule{2.0, 8.0, 0.0},
+                           static_cast<double>(program.period()));
+  std::vector<double> times, waits;
+  sim.Spawn(
+      FetchSequence(&sim, &channel, &receiver, {2}, &times, &waits));
+  sim.Run();
+
+  EXPECT_EQ(times, (std::vector<double>{12.0}));
+  EXPECT_GE(receiver.stats().doze_missed_arrivals, 1u);
+  EXPECT_EQ(receiver.stats().attempts, 1u);  // radio off slots not listened
+  EXPECT_EQ(receiver.stats().resync_slots.count(), 1u);
+  EXPECT_DOUBLE_EQ(receiver.stats().resync_slots.max(), 2.0);
+}
+
+TEST(ChannelFaultTest, MidSlotDeadlineActsAtSlotEnd) {
+  // Page A (gap 2), k = 2: the deadline sits at t = 4, mid-way through
+  // the backoff-deferred third attempt. Failed attempts end at 1, 3 and
+  // 7; the expiry (nominally at 4) is acted on at 7 — immediate fallback
+  // to the next arrival (end 9) instead of the 4-slot backoff that would
+  // land at 13.
+  des::Simulation sim;
+  BroadcastProgram program = Abac();
+  BroadcastChannel channel(&sim, &program);
+  fault::FaultParams params = RecoveryParams();
+  params.deadline_arrivals = 2;
+  fault::Receiver receiver(std::make_unique<DeafUntil>(7.5), params,
+                           fault::DozeSchedule{},
+                           static_cast<double>(program.period()));
+  std::vector<double> times, waits;
+  sim.Spawn(
+      FetchSequence(&sim, &channel, &receiver, {0}, &times, &waits));
+  sim.Run();
+
+  EXPECT_EQ(times, (std::vector<double>{9.0}));
+  EXPECT_EQ(receiver.stats().deadline_expiries, 1u);
+  EXPECT_EQ(receiver.stats().lost, 3u);
+  EXPECT_EQ(receiver.stats().delivered, 1u);
+}
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,181 @@
+// Channel impairment models: statistical loss rates, burstiness of the
+// Gilbert-Elliott chain, corruption detectability via checksums, and
+// stream-keying of the fault RNG.
+
+#include "fault/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "broadcast/serialize.h"
+#include "fault/fault_params.h"
+
+namespace bcast::fault {
+namespace {
+
+TEST(TransmissionTest, IntactTransmissionVerifies) {
+  const Transmission tx{7, PageChecksum(7)};
+  EXPECT_TRUE(VerifyTransmission(tx));
+}
+
+TEST(TransmissionTest, DamagedChecksumDoesNotVerify) {
+  Transmission tx{7, PageChecksum(7)};
+  tx.checksum ^= 0x1u;
+  EXPECT_FALSE(VerifyTransmission(tx));
+}
+
+TEST(IdealModelTest, HearsEverythingIntact) {
+  IdealModel model;
+  for (PageId p = 0; p < 100; ++p) {
+    const auto tx = model.Receive(p, static_cast<double>(p));
+    ASSERT_TRUE(tx.has_value());
+    EXPECT_TRUE(VerifyTransmission(*tx));
+  }
+}
+
+TEST(IidLossModelTest, LossRateConvergesToParameter) {
+  IidLossModel model(0.2, Rng(123));
+  int lost = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!model.Receive(0, i).has_value()) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.2, 0.02);
+}
+
+TEST(IidLossModelTest, ZeroLossHearsEverything) {
+  IidLossModel model(0.0, Rng(123));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(model.Receive(0, i).has_value());
+  }
+}
+
+TEST(GilbertElliottModelTest, StationaryLossMatchesConfiguredRate) {
+  // p = 0.1, mean burst 4: p_exit = 0.25, p_enter = 0.1*0.25/0.9.
+  const double p_exit = 0.25;
+  const double p_enter = 0.1 * p_exit / 0.9;
+  GilbertElliottModel model(p_enter, p_exit, Rng(7));
+  int lost = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!model.Receive(0, i).has_value()) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.1, 0.02);
+}
+
+TEST(GilbertElliottModelTest, LossesComeInBursts) {
+  // Mean burst length across the run should approach 1/p_exit.
+  const double p_exit = 0.25;
+  const double p_enter = 0.1 * p_exit / 0.9;
+  GilbertElliottModel model(p_enter, p_exit, Rng(7));
+  int bursts = 0;
+  int lost = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 200000; ++i) {
+    const bool loss = !model.Receive(0, i).has_value();
+    if (loss) {
+      ++lost;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = loss;
+  }
+  ASSERT_GT(bursts, 0);
+  const double mean_burst = static_cast<double>(lost) / bursts;
+  EXPECT_NEAR(mean_burst, 4.0, 0.5);
+}
+
+TEST(CorruptingModelTest, CorruptionIsDetectedByVerification) {
+  CorruptingModel model(0.3, std::make_unique<IdealModel>(), Rng(99));
+  int corrupted = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto tx = model.Receive(5, i);
+    ASSERT_TRUE(tx.has_value());  // ideal inner model never loses
+    if (!VerifyTransmission(*tx)) ++corrupted;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / kTrials, 0.3, 0.02);
+}
+
+TEST(FaultStreamTest, StreamsAreKeyedByClientAndPurpose) {
+  const Rng master(42);
+  Rng a = FaultStream(master, 0, Purpose::kLoss);
+  Rng b = FaultStream(master, 1, Purpose::kLoss);
+  Rng c = FaultStream(master, 0, Purpose::kCorrupt);
+  Rng a2 = FaultStream(master, 0, Purpose::kLoss);
+  EXPECT_EQ(a.Next(), a2.Next());  // same key, same stream
+  // Different keys should diverge immediately (overwhelmingly likely).
+  Rng a3 = FaultStream(master, 0, Purpose::kLoss);
+  EXPECT_NE(a3.Next(), b.Next());
+  Rng a4 = FaultStream(master, 0, Purpose::kLoss);
+  EXPECT_NE(a4.Next(), c.Next());
+}
+
+TEST(MakeFaultModelTest, PicksModelByParams) {
+  FaultParams params;
+  params.force = true;  // active with all-zero rates -> ideal
+  auto ideal = MakeFaultModel(params, 0);
+  EXPECT_NE(dynamic_cast<IdealModel*>(ideal.get()), nullptr);
+
+  params.loss = 0.1;
+  auto iid = MakeFaultModel(params, 0);
+  EXPECT_NE(dynamic_cast<IidLossModel*>(iid.get()), nullptr);
+
+  params.burst_len = 4.0;
+  auto ge = MakeFaultModel(params, 0);
+  EXPECT_NE(dynamic_cast<GilbertElliottModel*>(ge.get()), nullptr);
+
+  params.corrupt = 0.05;
+  auto wrapped = MakeFaultModel(params, 0);
+  EXPECT_NE(dynamic_cast<CorruptingModel*>(wrapped.get()), nullptr);
+}
+
+TEST(MakeFaultModelTest, DifferentClientsDrawIndependently) {
+  FaultParams params;
+  params.loss = 0.5;
+  auto m0 = MakeFaultModel(params, 0);
+  auto m1 = MakeFaultModel(params, 1);
+  // With loss 0.5 over 64 transmissions, identical outcome sequences for
+  // the two clients would mean the streams collide.
+  bool differ = false;
+  for (int i = 0; i < 64 && !differ; ++i) {
+    differ = m0->Receive(0, i).has_value() != m1->Receive(0, i).has_value();
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultParamsTest, ValidateRejectsBadRates) {
+  FaultParams params;
+  params.loss = 1.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.loss = -0.1;
+  EXPECT_FALSE(params.Validate().ok());
+  params.loss = 0.5;
+  EXPECT_TRUE(params.Validate().ok());
+  params.corrupt = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params.corrupt = 0.0;
+  params.doze_for = 100.0;
+  params.awake_for = 0.5;  // no slot fits: rejected
+  EXPECT_FALSE(params.Validate().ok());
+  params.awake_for = 10.0;
+  EXPECT_TRUE(params.Validate().ok());
+  params.backoff_cap = params.backoff_base - 1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(FaultParamsTest, InactiveParamsHaveEmptyIdentity) {
+  const FaultParams params;
+  EXPECT_FALSE(params.Active());
+  EXPECT_EQ(params.ToString(), "");
+}
+
+TEST(FaultParamsTest, ForceMakesZeroRatesActiveWithIdentity) {
+  FaultParams params;
+  params.force = true;
+  EXPECT_TRUE(params.Active());
+  EXPECT_NE(params.ToString(), "");
+}
+
+}  // namespace
+}  // namespace bcast::fault

@@ -1,0 +1,253 @@
+// Recovery-policy units: capped exponential backoff (including overflow
+// safety), the doze duty cycle, deadline expiry and re-arm, and
+// degradation accounting in FaultStats.
+
+#include "fault/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fault/fault_model.h"
+#include "fault/fault_params.h"
+
+namespace bcast::fault {
+namespace {
+
+// A radio that never hears anything — drives every retry path.
+class DeafModel : public FaultModel {
+ public:
+  std::optional<Transmission> Receive(PageId, double) override {
+    return std::nullopt;
+  }
+};
+
+TEST(BackoffPolicyTest, GrowsGeometricallyToCap) {
+  BackoffPolicy policy(1.0, 2.0, 8.0);
+  EXPECT_DOUBLE_EQ(policy.Next(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.Next(), 2.0);
+  EXPECT_DOUBLE_EQ(policy.Next(), 4.0);
+  EXPECT_DOUBLE_EQ(policy.Next(), 8.0);
+  EXPECT_DOUBLE_EQ(policy.Next(), 8.0);  // clamped
+}
+
+TEST(BackoffPolicyTest, ResetReturnsToBase) {
+  BackoffPolicy policy(1.0, 2.0, 64.0);
+  policy.Next();
+  policy.Next();
+  policy.Reset();
+  EXPECT_DOUBLE_EQ(policy.Next(), 1.0);
+}
+
+TEST(BackoffPolicyTest, MillionsOfFailuresNeverOverflow) {
+  BackoffPolicy policy(1.0, 2.0, 64.0);
+  double last = 0.0;
+  for (int i = 0; i < 1'000'000; ++i) last = policy.Next();
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_DOUBLE_EQ(last, 64.0);
+  EXPECT_DOUBLE_EQ(policy.peek(), 64.0);
+}
+
+TEST(DozeScheduleTest, DisabledScheduleIsAlwaysAwake) {
+  const DozeSchedule doze;
+  EXPECT_FALSE(doze.enabled());
+  EXPECT_TRUE(doze.Awake(123.4));
+  EXPECT_TRUE(doze.AwakeDuring(0.0, 1e9));
+  EXPECT_DOUBLE_EQ(doze.NextWake(55.0), 55.0);
+}
+
+TEST(DozeScheduleTest, AwakeFollowsTheDutyCycle) {
+  const DozeSchedule doze{10.0, 5.0, 0.0};  // awake [0,10), doze [10,15)
+  EXPECT_TRUE(doze.Awake(0.0));
+  EXPECT_TRUE(doze.Awake(9.9));
+  EXPECT_FALSE(doze.Awake(10.0));
+  EXPECT_FALSE(doze.Awake(14.9));
+  EXPECT_TRUE(doze.Awake(15.0));
+  EXPECT_TRUE(doze.Awake(24.0));
+  EXPECT_FALSE(doze.Awake(25.0));
+}
+
+TEST(DozeScheduleTest, PhaseShiftsTheCycle) {
+  const DozeSchedule doze{10.0, 5.0, 3.0};  // awake [3,13), doze [13,18)
+  EXPECT_FALSE(doze.Awake(1.0));  // pre-phase wraps into the doze tail
+  EXPECT_TRUE(doze.Awake(3.0));
+  EXPECT_TRUE(doze.Awake(12.9));
+  EXPECT_FALSE(doze.Awake(13.0));
+  EXPECT_TRUE(doze.Awake(18.0));
+}
+
+TEST(DozeScheduleTest, AwakeDuringRequiresTheWholeInterval) {
+  const DozeSchedule doze{10.0, 5.0, 0.0};
+  EXPECT_TRUE(doze.AwakeDuring(2.0, 9.0));
+  EXPECT_TRUE(doze.AwakeDuring(9.0, 10.0));   // final instant may touch
+  EXPECT_FALSE(doze.AwakeDuring(9.5, 10.5));  // straddles the boundary
+  EXPECT_FALSE(doze.AwakeDuring(11.0, 12.0));
+  EXPECT_TRUE(doze.AwakeDuring(15.0, 16.0));
+}
+
+TEST(DozeScheduleTest, NextWakeJumpsToTheComingAwakeStretch) {
+  const DozeSchedule doze{10.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(doze.NextWake(4.0), 4.0);  // already awake
+  EXPECT_DOUBLE_EQ(doze.NextWake(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(doze.NextWake(14.999), 15.0);
+  EXPECT_DOUBLE_EQ(doze.NextWake(25.0), 30.0);
+}
+
+TEST(FaultStatsTest, MergeAddsCountersAndHistograms) {
+  FaultStats a;
+  a.attempts = 3;
+  a.delivered = 2;
+  a.lost = 1;
+  a.retries = 1;
+  a.extra_cycles.Add(1.0);
+  FaultStats b;
+  b.attempts = 5;
+  b.delivered = 4;
+  b.corrupted = 1;
+  b.retries = 1;
+  b.deadline_expiries = 2;
+  b.extra_cycles.Add(3.0);
+  b.resync_slots.Add(7.0);
+  a.Merge(b);
+  EXPECT_EQ(a.attempts, 8u);
+  EXPECT_EQ(a.delivered, 6u);
+  EXPECT_EQ(a.lost, 1u);
+  EXPECT_EQ(a.corrupted, 1u);
+  EXPECT_EQ(a.retries, 2u);
+  EXPECT_EQ(a.deadline_expiries, 2u);
+  EXPECT_EQ(a.extra_cycles.count(), 2u);
+  EXPECT_EQ(a.resync_slots.count(), 1u);
+  EXPECT_NEAR(a.delivery_ratio(), 6.0 / 8.0, 1e-12);
+}
+
+TEST(FaultStatsTest, DeliveryRatioIsOneWithNoAttempts) {
+  const FaultStats empty;
+  EXPECT_DOUBLE_EQ(empty.delivery_ratio(), 1.0);
+}
+
+FaultParams RecoveryParams() {
+  FaultParams params;
+  params.force = true;
+  params.deadline_arrivals = 4;
+  params.backoff_base = 1.0;
+  params.backoff_mult = 2.0;
+  params.backoff_cap = 8.0;
+  return params;
+}
+
+TEST(ReceiverTest, DeadlineExpiryResetsBackoffAndRearms) {
+  Receiver receiver(std::make_unique<DeafModel>(), RecoveryParams(),
+                    DozeSchedule{}, 100.0);
+  // gap 10, k = 4: the deadline sits at t = 40.
+  receiver.BeginWait(1, 0.0, 5.0, 10.0);
+  double now = 5.0;
+  uint64_t expiries_seen = 0;
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FALSE(receiver.Attempt(1, now));
+    const double next = receiver.NextRetryTime(now);
+    if (receiver.stats().deadline_expiries > expiries_seen) {
+      // Expiry: act immediately (fall back to the next arrival) and
+      // re-arm the deadline k gaps out.
+      EXPECT_DOUBLE_EQ(next, now);
+      EXPECT_GE(now, 40.0);
+      expiries_seen = receiver.stats().deadline_expiries;
+      now = next + 10.0;  // next cycle's arrival
+    } else {
+      EXPECT_GT(next, now);  // backoff keeps the radio off
+      now = next;
+    }
+  }
+  EXPECT_GE(receiver.stats().deadline_expiries, 1u);
+  EXPECT_EQ(receiver.stats().attempts, 12u);
+  EXPECT_EQ(receiver.stats().lost, 12u);
+  EXPECT_EQ(receiver.stats().retries, 12u);
+}
+
+TEST(ReceiverTest, SuccessfulWaitAccountsAttemptsAndDelay) {
+  FaultParams params = RecoveryParams();
+  Receiver receiver(std::make_unique<IdealModel>(), params, DozeSchedule{},
+                    100.0);
+  receiver.BeginWait(3, 0.0, 50.0, 10.0);
+  EXPECT_TRUE(receiver.Attempt(3, 50.0));
+  receiver.EndWait(50.0);
+  EXPECT_EQ(receiver.last_wait_attempts(), 1u);
+  EXPECT_DOUBLE_EQ(receiver.last_wait_radio_off(), 0.0);
+  EXPECT_EQ(receiver.stats().loss_delayed_fetches, 0u);
+  EXPECT_EQ(receiver.stats().extra_cycles.count(), 1u);
+  EXPECT_DOUBLE_EQ(receiver.stats().extra_cycles.max(), 0.0);
+}
+
+TEST(ReceiverTest, RetriedWaitCountsAsLossDelayed) {
+  // Lose the first transmission, hear the second.
+  class LoseOnceModel : public FaultModel {
+   public:
+    std::optional<Transmission> Receive(PageId page, double) override {
+      if (!lost_one_) {
+        lost_one_ = true;
+        return std::nullopt;
+      }
+      return IdealModel().Receive(page, 0.0);
+    }
+
+   private:
+    bool lost_one_ = false;
+  };
+  Receiver receiver(std::make_unique<LoseOnceModel>(), RecoveryParams(),
+                    DozeSchedule{}, 100.0);
+  receiver.BeginWait(3, 0.0, 5.0, 10.0);  // deadline well out at t = 40
+  EXPECT_FALSE(receiver.Attempt(3, 5.0));
+  const double retry_at = receiver.NextRetryTime(5.0);
+  EXPECT_GT(retry_at, 5.0);  // backoff keeps the radio off
+  EXPECT_TRUE(receiver.Attempt(3, 105.0));
+  receiver.EndWait(105.0);
+  EXPECT_EQ(receiver.last_wait_attempts(), 2u);
+  EXPECT_EQ(receiver.stats().loss_delayed_fetches, 1u);
+  // One full extra period waited: extra_cycles records 1 cycle.
+  EXPECT_DOUBLE_EQ(receiver.stats().extra_cycles.max(), 1.0);
+}
+
+TEST(ReceiverTest, DozeMissAdvancesToWakeAndCountsResync) {
+  FaultParams params = RecoveryParams();
+  DozeSchedule doze{10.0, 5.0, 0.0};
+  Receiver receiver(std::make_unique<IdealModel>(), params, doze, 100.0);
+  receiver.BeginWait(2, 0.0, 12.0, 10.0);
+  // The wanted arrival [11, 12] is inside the doze window [10, 15).
+  ASSERT_FALSE(receiver.AwakeDuring(11.0, 12.0));
+  const double wake = receiver.NoteDozeMiss(11.0);
+  EXPECT_DOUBLE_EQ(wake, 15.0);
+  EXPECT_EQ(receiver.stats().doze_missed_arrivals, 1u);
+  // First intact reception after wake closes the resync episode.
+  EXPECT_TRUE(receiver.Attempt(2, 18.0));
+  receiver.EndWait(18.0);
+  EXPECT_EQ(receiver.stats().resync_slots.count(), 1u);
+  EXPECT_DOUBLE_EQ(receiver.stats().resync_slots.max(), 3.0);
+}
+
+TEST(ReceiverTest, SleptThroughDeadlineExpiresOnWake) {
+  FaultParams params = RecoveryParams();  // k = 4
+  // Doze long enough that waking up is already past the deadline.
+  DozeSchedule doze{10.0, 100.0, 0.0};
+  Receiver receiver(std::make_unique<IdealModel>(), params, doze, 100.0);
+  receiver.BeginWait(2, 0.0, 12.0, 10.0);  // deadline at t = 40
+  const double wake = receiver.NoteDozeMiss(11.0);
+  EXPECT_DOUBLE_EQ(wake, 110.0);
+  EXPECT_EQ(receiver.stats().deadline_expiries, 1u);
+}
+
+TEST(MakeReceiverTest, DozePhaseIsDeterministicPerClient) {
+  FaultParams params;
+  params.doze_for = 50.0;
+  params.awake_for = 50.0;
+  params.fault_seed = 9;
+  auto a = MakeReceiver(params, 3, 100.0);
+  auto b = MakeReceiver(params, 3, 100.0);
+  auto c = MakeReceiver(params, 4, 100.0);
+  EXPECT_DOUBLE_EQ(a->doze().phase, b->doze().phase);
+  EXPECT_NE(a->doze().phase, c->doze().phase);
+  EXPECT_GE(a->doze().phase, 0.0);
+  EXPECT_LT(a->doze().phase, 100.0);
+}
+
+}  // namespace
+}  // namespace bcast::fault

@@ -26,6 +26,17 @@
 //       simulation-backed checks of the paper's quantitative claims
 //       (DES vs analytic model agreement, Bus Stop Paradox ordering,
 //       Figure-10 P >= PIX ordering).
+//
+//   bcastcheck --fault_sweep r0.json,r1.json,...
+//       degradation invariants across a loss sweep of run reports: mean
+//       response monotone and bounded in the combined failure rate,
+//       delivery ratio tracking 1 - rate. Reports without fault extras
+//       anchor the sweep as lossless points.
+//
+//   bcastcheck --bench new.json --bench_baseline old.json
+//       diff two google-benchmark JSON files (--benchmark_out format);
+//       time regressions beyond --bench_tolerance fail unless
+//       --bench_informational records them without gating.
 
 #include <filesystem>
 #include <fstream>
@@ -33,6 +44,7 @@
 
 #include "broadcast/serialize.h"
 #include "check/baseline.h"
+#include "check/bench_diff.h"
 #include "check/invariants.h"
 #include "check/paper_checks.h"
 #include "common/flags.h"
@@ -57,6 +69,12 @@ int Run(int argc, const char* const* argv) {
   double throughput_tolerance = 0.03;
   bool skip_throughput = false;
   std::string diff_out;
+  std::string fault_sweep;
+  double fault_slack = 0.05;
+  std::string bench_path;
+  std::string bench_baseline_path;
+  double bench_tolerance = 0.10;
+  bool bench_informational = false;
 
   FlagSet flags("bcastcheck");
   flags.AddString("report", &report_path, "JSON run report to verify");
@@ -85,6 +103,18 @@ int Run(int argc, const char* const* argv) {
                 "record but never fail wall-clock throughput metrics");
   flags.AddString("diff_out", &diff_out,
                   "write the baseline diff as JSON to this path");
+  flags.AddString("fault_sweep", &fault_sweep,
+                  "comma-separated run reports forming a loss sweep");
+  flags.AddDouble("fault_slack", &fault_slack,
+                  "relative slack for the fault-sweep invariants");
+  flags.AddString("bench", &bench_path,
+                  "google-benchmark JSON file to diff");
+  flags.AddString("bench_baseline", &bench_baseline_path,
+                  "google-benchmark JSON file to diff --bench against");
+  flags.AddDouble("bench_tolerance", &bench_tolerance,
+                  "relative tolerance for per-iteration CPU time");
+  flags.AddBool("bench_informational", &bench_informational,
+                "record bench time deltas without failing on them");
 
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) {
@@ -95,14 +125,19 @@ int Run(int argc, const char* const* argv) {
     std::cout << flags.HelpText();
     return 0;
   }
-  if (report_path.empty() && program_path.empty() && !paper) {
-    std::cerr << "nothing to check: give --report, --program, and/or "
-                 "--paper\n\n"
+  if (report_path.empty() && program_path.empty() && !paper &&
+      fault_sweep.empty() && bench_path.empty()) {
+    std::cerr << "nothing to check: give --report, --program, "
+                 "--fault_sweep, --bench, and/or --paper\n\n"
               << flags.HelpText();
     return 2;
   }
-  if (baseline_path.empty() && !diff_out.empty()) {
-    std::cerr << "--diff_out requires --baseline\n";
+  if (baseline_path.empty() && bench_path.empty() && !diff_out.empty()) {
+    std::cerr << "--diff_out requires --baseline or --bench\n";
+    return 2;
+  }
+  if (bench_path.empty() != bench_baseline_path.empty()) {
+    std::cerr << "--bench and --bench_baseline must be given together\n";
     return 2;
   }
 
@@ -193,6 +228,58 @@ int Run(int argc, const char* const* argv) {
       }
       all.Extend(check::CheckLayoutProgramAgreement(*layout, *program));
     }
+  }
+
+  if (!fault_sweep.empty()) {
+    std::vector<check::FaultSweepPoint> points;
+    for (const std::string& path : Split(fault_sweep, ',')) {
+      Result<obs::RunReport> report = obs::ReadRunReportFile(path);
+      if (!report.ok()) {
+        std::cerr << "--fault_sweep: " << report.status().ToString()
+                  << "\n";
+        return 2;
+      }
+      // Every sweep member must itself be a sane report before its
+      // numbers feed the degradation invariants.
+      all.Extend(check::CheckReportInvariants(*report));
+      points.push_back(check::FaultSweepPointFromReport(*report));
+    }
+    all.Extend(check::CheckFaultDegradation(std::move(points), fault_slack));
+  }
+
+  if (!bench_path.empty()) {
+    Result<check::BenchRun> bench = check::LoadBenchJson(bench_path);
+    if (!bench.ok()) {
+      std::cerr << "--bench: " << bench.status().ToString() << "\n";
+      return 2;
+    }
+    Result<check::BenchRun> bench_baseline =
+        check::LoadBenchJson(bench_baseline_path);
+    if (!bench_baseline.ok()) {
+      std::cerr << "--bench_baseline: "
+                << bench_baseline.status().ToString() << "\n";
+      return 2;
+    }
+    check::BenchToleranceOptions bench_options;
+    bench_options.time = bench_tolerance;
+    bench_options.check_time = !bench_informational;
+    const check::BaselineDiff diff =
+        check::CompareBenchRuns(*bench_baseline, *bench, bench_options);
+    std::cout << "Bench baseline: " << bench_baseline_path << "\n";
+    check::PrintDiff(diff, std::cout);
+    if (!diff_out.empty() && baseline_path.empty()) {
+      std::ofstream out(diff_out);
+      if (!out) {
+        std::cerr << "--diff_out: cannot open " << diff_out << "\n";
+        return 2;
+      }
+      check::WriteDiffJson(diff, out);
+    }
+    all.Add("bench." +
+                std::filesystem::path(bench_path).filename().string(),
+            diff.ok(),
+            std::to_string(diff.failures()) +
+                " benchmark(s) out of tolerance");
   }
 
   if (paper) {

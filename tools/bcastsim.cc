@@ -73,6 +73,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
     spec.interest_shift = clients > 1 ? db * c / clients : 0;
     params.clients.push_back(spec);
   }
+  params.fault = base.fault;
   auto result = RunMultiClientSimulation(params);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -96,31 +97,8 @@ int RunPopulation(const SimParams& base, uint64_t clients,
             << "\n";
 
   if (!report_out.empty()) {
-    obs::RunReport report;
-    report.tool = "bcastsim";
-    report.mode = "population";
-    report.config = base.ToString();
-    report.seed = params.seed;
-    report.requests = result->aggregate.requests();
-    report.cache_hits = result->aggregate.cache_hits();
-    report.response = result->aggregate.response_histogram().Summary();
-    report.tuning = result->aggregate.tuning_histogram().Summary();
-    report.served_per_disk = result->aggregate.served_per_disk();
-    report.end_time = result->end_time;
-    report.timings = result->timings;
-    report.events_dispatched = result->events_dispatched;
-    report.FinalizeThroughput(result->end_time,
-                              result->timings.measured_seconds);
-    const double min_rt = result->response_across_clients.min();
-    report.extra = {
-        {"clients", static_cast<double>(clients)},
-        {"population_mean_rt", result->response_across_clients.mean()},
-        {"population_min_rt", min_rt},
-        {"population_max_rt", result->response_across_clients.max()},
-        {"fairness_max_over_min",
-         min_rt > 0.0 ? result->response_across_clients.max() / min_rt
-                      : 0.0},
-    };
+    obs::RunReport report = MakePopulationRunReport(
+        params, *result, base.ToString(), "bcastsim");
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   return 0;
@@ -167,31 +145,8 @@ int RunUpdates(const SimParams& base, double update_rate,
   table.Print(std::cout);
 
   if (!report_out.empty()) {
-    obs::RunReport report;
-    report.tool = "bcastsim";
-    report.mode = "updates";
-    report.config = base.ToString();
-    report.seed = base.seed;
-    report.requests = result->requests;
-    report.cache_hits = result->fresh_hits + result->stale_hits;
-    report.response = result->response;
-    report.timings.measured_seconds = result->wall_seconds;
-    report.timings.total_seconds = result->wall_seconds;
-    report.events_dispatched = result->events_dispatched;
-    report.FinalizeThroughput(0.0, result->wall_seconds);
-    report.extra = {
-        {"update_rate", update_rate},
-        {"update_theta", update_theta},
-        {"fresh_hits", static_cast<double>(result->fresh_hits)},
-        {"stale_hits", static_cast<double>(result->stale_hits)},
-        {"invalidation_refetches",
-         static_cast<double>(result->invalidation_refetches)},
-        {"cold_misses", static_cast<double>(result->cold_misses)},
-        {"naps", static_cast<double>(result->naps)},
-        {"distrust_purges", static_cast<double>(result->distrust_purges)},
-        {"stale_fraction", result->StaleFraction()},
-        {"mean_response_time", result->mean_response_time},
-    };
+    obs::RunReport report =
+        MakeUpdateRunReport(base, updates, *result, "bcastsim");
     report.metrics = registry.TakeSnapshot();
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
@@ -250,6 +205,25 @@ int Run(int argc, const char* const* argv) {
                   "measured requests");
   flags.AddBool("knows_schedule", &params.knows_schedule,
                 "client dozes to its page's slot (tuning metric only)");
+  flags.AddDouble("loss", &params.fault.loss,
+                  "per-transmission loss probability in [0, 1)");
+  flags.AddDouble("burst_len", &params.fault.burst_len,
+                  "mean loss-burst length (<=1: i.i.d., >1: Gilbert-"
+                  "Elliott)");
+  flags.AddDouble("corrupt", &params.fault.corrupt,
+                  "per-reception corruption probability in [0, 1)");
+  flags.AddDouble("doze", &params.fault.doze_for,
+                  "slots the radio dozes per duty cycle (0 = always on)");
+  flags.AddDouble("doze_awake", &params.fault.awake_for,
+                  "slots the radio is awake per duty cycle");
+  flags.AddUint64("fault_seed", &params.fault.fault_seed,
+                  "fault RNG seed (independent of --seed)");
+  flags.AddUint64("deadline_k", &params.fault.deadline_arrivals,
+                  "reception deadline in guaranteed inter-arrival gaps");
+  flags.AddDouble("backoff_base", &params.fault.backoff_base,
+                  "retry backoff base delay (slots)");
+  flags.AddDouble("backoff_cap", &params.fault.backoff_cap,
+                  "retry backoff cap (slots)");
   flags.AddUint64("seed", &params.seed, "master RNG seed");
   flags.AddUint64("seeds", &seeds, "seeds to average over");
   flags.AddBool("csv", &csv, "emit a CSV row instead of a table");
@@ -383,6 +357,10 @@ int Run(int argc, const char* const* argv) {
       aggregate.end_time += last->end_time;
       aggregate.timings.Accumulate(last->timings);
       aggregate.events_dispatched += last->events_dispatched;
+      if (last->faults_active) {
+        aggregate.faults.Merge(last->faults);
+        aggregate.faults_active = true;
+      }
     }
   }
   if (trace != nullptr) trace->Flush();
@@ -432,6 +410,17 @@ int Run(int argc, const char* const* argv) {
   table.AddRow({"max response", FormatDouble(m.response_time().max(), 1)});
   table.AddRow({"mean tuning (radio-on slots)",
                 FormatDouble(m.tuning_time().mean(), 2)});
+  if (last->faults_active) {
+    const fault::FaultStats& fs = last->faults;
+    table.AddRow({"delivery ratio %",
+                  FormatDouble(100.0 * fs.delivery_ratio(), 2)});
+    table.AddRow({"loss-delayed fetches",
+                  std::to_string(fs.loss_delayed_fetches)});
+    table.AddRow({"reception deadline expiries",
+                  std::to_string(fs.deadline_expiries)});
+    table.AddRow({"doze-missed arrivals",
+                  std::to_string(fs.doze_missed_arrivals)});
+  }
   table.Print(std::cout);
   return 0;
 }
