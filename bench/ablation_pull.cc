@@ -1,0 +1,135 @@
+// Ablation A14: hybrid push–pull. Sweeps the slot split (pull slots per
+// minor cycle) at fixed total bandwidth for two cache policies and
+// reports the cold-page rescue next to the overall mean. The access
+// range spans the full D5 database: pull exists to serve the slowest
+// disk, and the default hot-range workload never touches it. Two
+// built-in gates make this binary self-checking:
+//   * at pull_slots = 0 the forced pull path must reproduce the pure
+//     push numbers bit-identically (inert machinery may not move a
+//     single event), and
+//   * across each sweep the pull-improvement invariants of
+//     check/invariants.h must hold (cold-page latency monotonically
+//     non-increasing in capacity, uplink books balanced).
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "check/invariants.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+const std::vector<double> kSlotSweep{0.0, 1.0, 2.0, 4.0};
+
+SimParams BaseParams() {
+  SimParams params = bench::PaperParams();
+  params.access_range = 5000;  // reach the slowest disk (cold pages)
+  params.cache_size = 500;
+  params.measured_requests = bench::MeasuredRequests(20000);
+  return params;
+}
+
+SimParams PointParams(const SimParams& base, uint64_t slots,
+                      PolicyKind policy) {
+  SimParams params = base;
+  params.policy = policy;
+  params.pull.pull_slots = slots;
+  params.pull.force = slots == 0;  // keep the machinery in the loop
+  params.pull.threshold = 100.0;
+  return params;
+}
+
+void Run() {
+  bench::Banner("Ablation A14",
+                "hybrid push–pull — D5, AccessRange = 5000, slot-split "
+                "sweep at fixed total bandwidth, LRU vs LIX");
+
+  const SimParams base = BaseParams();
+
+  // Gate 1: bit-identity of the forced zero-capacity pull path.
+  {
+    SimParams off = base;
+    off.policy = PolicyKind::kLru;
+    auto ideal = RunSimulation(off);
+    BCAST_CHECK(ideal.ok()) << ideal.status().ToString();
+    auto forced = RunSimulation(PointParams(base, 0, PolicyKind::kLru));
+    BCAST_CHECK(forced.ok()) << forced.status().ToString();
+    BCAST_CHECK(ideal->metrics.response_time().sum() ==
+                forced->metrics.response_time().sum())
+        << "zero-capacity pull path diverged from the pure push run";
+    BCAST_CHECK(ideal->end_time == forced->end_time);
+    BCAST_CHECK(ideal->events_dispatched == forced->events_dispatched);
+    std::cout << "pull_slots=0 path: bit-identical to the pure push run "
+                 "(mean RT "
+              << FormatDouble(ideal->metrics.mean_response_time(), 2)
+              << ")\n\n";
+  }
+
+  AsciiTable table({"Slots", "Policy", "MeanRT", "ColdRT", "ColdN",
+                    "Pull%", "Dropped", "Svc/Offered"});
+  std::vector<Series> mean_series;
+  std::vector<Series> cold_series;
+  check::CheckList gates;
+  for (auto [policy, label] : {std::pair{PolicyKind::kLru, "lru"},
+                               std::pair{PolicyKind::kLix, "lix"}}) {
+    std::vector<double> means;
+    std::vector<double> colds;
+    std::vector<check::PullSweepPoint> points;
+    for (double slots : kSlotSweep) {
+      const SimParams params =
+          PointParams(base, static_cast<uint64_t>(slots), policy);
+      auto result = RunSimulation(params);
+      BCAST_CHECK(result.ok()) << result.status().ToString();
+      const auto cold = result->pull_stats.cold_wait.Summary();
+      const auto& stats = result->pull_stats;
+      table.AddRow(
+          {FormatDouble(slots, 0), label,
+           FormatDouble(result->metrics.mean_response_time(), 1),
+           FormatDouble(cold.mean, 1), std::to_string(cold.count),
+           FormatDouble(100.0 * stats.pull_service_share(), 1),
+           std::to_string(stats.uplink_dropped),
+           std::to_string(stats.serviced_pages) + "/" +
+               std::to_string(stats.pull_opportunities)});
+      means.push_back(result->metrics.mean_response_time());
+      colds.push_back(cold.mean);
+      points.push_back(check::PullSweepPointFromReport(
+          MakeRunReport(params, *result, "ablation_pull")));
+    }
+    mean_series.push_back({std::string(label) + "_mean", means});
+    cold_series.push_back({std::string(label) + "_cold", colds});
+    // Gate 2: pull-improvement invariants per cache policy.
+    gates.Extend(check::CheckPullImprovement(std::move(points)));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  gates.Print(std::cout);
+  BCAST_CHECK(gates.all_ok())
+      << gates.failures() << " pull-improvement invariant(s) failed";
+
+  std::cout << "\nExpected: cold-page (slowest disk) response collapses "
+               "as pull capacity\ngrows — those pages wait thousands of "
+               "slots under pure push and a few\nhundred with a handful "
+               "of pull slots per minor cycle — while the overall\nmean "
+               "improves despite the dilated push schedule. Both cache "
+               "policies\ntell the same story; LIX shifts the mix because "
+               "it already protects\nslow-disk pages in cache.\n";
+
+  bench::BenchReport report("ablation_pull");
+  std::vector<Series> series = mean_series;
+  series.insert(series.end(), cold_series.begin(), cold_series.end());
+  report.Write("pull_slots", kSlotSweep, series);
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -97,6 +97,21 @@ std::vector<BaselineConfig> Configs() {
     config.params.fault.force = true;
     configs.push_back(config);
   }
+  {
+    // One hybrid push–pull configuration: two pull slots per minor
+    // cycle, the access range spanning the full database so the slowest
+    // disk (the class pull rescues) is actually requested. Gates the
+    // pull extras — uplink accounting, service mix, cold-page latency —
+    // against drift.
+    BaselineConfig config;
+    config.name = "single_pull2_d5";
+    config.params.access_range = 5000;
+    config.params.pull.pull_slots = 2;
+    config.params.pull.threshold = 100.0;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
   return configs;
 }
 

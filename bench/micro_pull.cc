@@ -1,0 +1,120 @@
+// Microbenchmarks: the hybrid subsystem's hot paths — backchannel
+// admission, request-queue scheduling picks, hybrid slot-layout queries
+// on the wait path, and the end-to-end overhead pull machinery adds to a
+// simulated request (pull off vs forced-zero vs an active slot split).
+
+#include <benchmark/benchmark.h>
+
+#include "broadcast/disk_config.h"
+#include "core/simulator.h"
+#include "pull/backchannel.h"
+#include "pull/hybrid.h"
+#include "pull/request_queue.h"
+
+namespace bcast {
+namespace {
+
+void BM_BackchannelTrySend(benchmark::State& state) {
+  pull::Backchannel channel(2);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.TrySend(t));
+    t += 0.25;  // four attempts per slot window: admissions and drops
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackchannelTrySend);
+
+void BM_RequestQueueAddPop(benchmark::State& state) {
+  const auto scheduler = static_cast<pull::PullScheduler>(state.range(0));
+  pull::RequestQueue queue(scheduler);
+  double t = 0.0;
+  PageId page = 0;
+  for (auto _ : state) {
+    // Steady state: two arrivals (one duplicate) per service pick.
+    queue.Add(page, t);
+    queue.Add(page / 2, t);
+    benchmark::DoNotOptimize(queue.PopNext(t));
+    page = (page + 1) % 64;
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequestQueueAddPop)
+    ->Arg(static_cast<int>(pull::PullScheduler::kFcfs))
+    ->Arg(static_cast<int>(pull::PullScheduler::kMrf))
+    ->Arg(static_cast<int>(pull::PullScheduler::kLxw));
+
+pull::HybridLayout D5Layout(uint64_t slots) {
+  auto layout = MakeDeltaLayout({500, 2000, 2500}, 2);
+  auto hybrid = pull::GenerateHybridProgram(*layout, slots);
+  return hybrid->layout;
+}
+
+void BM_HybridNextPullSlotStart(benchmark::State& state) {
+  const pull::HybridLayout layout = D5Layout(4);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.NextPullSlotStart(t));
+    t += 7.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridNextPullSlotStart);
+
+void BM_HybridPullSlotsBefore(benchmark::State& state) {
+  const pull::HybridLayout layout = D5Layout(4);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.PullSlotsBefore(t));
+    t += 1013.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridPullSlotsBefore);
+
+// End-to-end: the same simulated workload with (a) no pull machinery,
+// (b) the machinery active at zero capacity, (c) a real 2-slot split.
+// (a) vs (b) is the abstraction overhead; (b) vs (c) the pull traffic.
+SimParams MicroSimParams() {
+  SimParams params;
+  params.disk_sizes = {50, 200, 250};
+  params.access_range = 500;
+  params.region_size = 5;
+  params.cache_size = 50;
+  params.measured_requests = 5000;
+  return params;
+}
+
+void BM_SimPullOff(benchmark::State& state) {
+  const SimParams params = MicroSimParams();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimPullOff)->Unit(benchmark::kMillisecond);
+
+void BM_SimPullForcedZero(benchmark::State& state) {
+  SimParams params = MicroSimParams();
+  params.pull.force = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimPullForcedZero)->Unit(benchmark::kMillisecond);
+
+void BM_SimPullSlots2(benchmark::State& state) {
+  SimParams params = MicroSimParams();
+  params.pull.pull_slots = 2;
+  params.pull.threshold = 50.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSimulation(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimPullSlots2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bcast

@@ -1,6 +1,7 @@
 #include "broadcast/channel.h"
 
 #include "common/logging.h"
+#include "pull/pull_server.h"
 
 namespace bcast {
 
@@ -14,8 +15,11 @@ BroadcastChannel::BroadcastChannel(des::Simulation* sim,
 
 void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
   const double now = channel_->sim_->Now();
-  if (receiver_ == nullptr) {
-    // Ideal channel: the next complete transmission is the page.
+  if (receiver_ == nullptr && channel_->pull_ == nullptr) {
+    // Ideal pure-push channel: the next complete transmission is the
+    // page. This path is kept exactly as it was before faults and pull
+    // existed — same single event, no awaiter state — so ideal runs stay
+    // bit-identical.
     const double done = channel_->program_->NextArrivalEnd(page_, now);
     wait_ = done - now;
     BroadcastChannel* channel = channel_;
@@ -28,6 +32,19 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
     return;
   }
   start_ = now;
+  handle_ = h;
+  if (channel_->pull_ != nullptr) {
+    // Enter the push-pull race: a pull slot carrying page_ may resume us
+    // before the scheduled arrival does.
+    registered_ = true;
+    channel_->pull_->AddWaiter(page_, this);
+  }
+  if (receiver_ == nullptr) {
+    const double done = channel_->program_->NextArrivalEnd(page_, now);
+    pending_ = channel_->sim_->ScheduleAt(
+        done, [this, h, done]() { Finish(h, done, /*via_pull=*/false); });
+    return;
+  }
   const double ideal_end = channel_->program_->NextArrivalEnd(page_, now);
   const double gap =
       static_cast<double>(channel_->program_->period()) /
@@ -48,17 +65,47 @@ void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
   }
   // The awaiter object lives in the suspended coroutine frame until h
   // is resumed, so capturing `this` across re-arms is safe.
-  channel_->sim_->ScheduleAt(end, [this, h, end]() {
+  pending_ = channel_->sim_->ScheduleAt(end, [this, h, end]() {
     if (receiver_->Attempt(page_, end)) {
       receiver_->EndWait(end);
-      wait_ = end - start_;
-      ++channel_->served_per_disk_[channel_->program_->DiskOf(page_)];
-      ++channel_->total_served_;
-      h.resume();
+      Finish(h, end, /*via_pull=*/false);
       return;
     }
     ScheduleAttempt(h, receiver_->NextRetryTime(end));
   });
+}
+
+void BroadcastChannel::PageAwaiter::Finish(std::coroutine_handle<> h,
+                                           double end, bool via_pull) {
+  if (registered_) {
+    channel_->pull_->RemoveWaiter(page_, this);
+    registered_ = false;
+  }
+  channel_->last_wait_via_pull_ = via_pull;
+  wait_ = end - start_;
+  ++channel_->served_per_disk_[channel_->program_->DiskOf(page_)];
+  ++channel_->total_served_;
+  h.resume();
+}
+
+bool BroadcastChannel::PageAwaiter::OnPullDelivery(double deliver_end) {
+  // The pull transmission crosses the same air as push: a dozing,
+  // fading, or corrupting radio can miss it, in which case the waiter
+  // stays armed on its push schedule.
+  if (receiver_ != nullptr) {
+    if (!receiver_->AwakeDuring(deliver_end - 1.0, deliver_end)) {
+      return false;
+    }
+    if (!receiver_->Attempt(page_, deliver_end)) return false;
+    receiver_->EndWait(deliver_end);
+  }
+  // Pull won the race: the pending push-side event must not fire. The
+  // server already detached us from its waiter table before delivering,
+  // so Finish must not detach again.
+  channel_->sim_->CancelEvent(pending_);
+  registered_ = false;
+  Finish(handle_, deliver_end, /*via_pull=*/true);
+  return true;
 }
 
 void BroadcastChannel::ResetStats() {

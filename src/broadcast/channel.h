@@ -16,6 +16,13 @@
 /// receiver's backoff/wake time, and only an intact reception resumes
 /// the client. A null receiver is the ideal lossless path, bit-identical
 /// to the pre-fault behavior.
+///
+/// With a pull server attached (hybrid push–pull, src/pull), every wait
+/// also registers with the server's waiter table: a pull slot that
+/// transmits the awaited page resumes the waiter early, cancelling its
+/// pending push arrival — push and pull race, first intact reception
+/// wins. A null pull server (the default) keeps every wait on the pure
+/// push path, bit-identical to the pre-pull behavior.
 
 #ifndef BCAST_BROADCAST_CHANNEL_H_
 #define BCAST_BROADCAST_CHANNEL_H_
@@ -27,8 +34,13 @@
 #include "broadcast/program.h"
 #include "des/simulation.h"
 #include "fault/recovery.h"
+#include "pull/pull_sink.h"
 
 namespace bcast {
+
+namespace pull {
+class PullServer;
+}  // namespace pull
 
 /// \brief A shared broadcast medium carrying one `BroadcastProgram`.
 ///
@@ -43,6 +55,10 @@ class BroadcastChannel {
   /// The program on the air.
   const BroadcastProgram& program() const { return *program_; }
 
+  /// Attaches the hybrid pull server (unowned; must outlive the
+  /// channel). Waits started afterwards race push against pull.
+  void AttachPullServer(pull::PullServer* server) { pull_ = server; }
+
   /// Start time of the next transmission of \p p at or after now.
   double NextArrivalStart(PageId p) const {
     return program_->NextArrivalStart(p, sim_->Now());
@@ -51,8 +67,10 @@ class BroadcastChannel {
   /// Awaitable that resumes once \p p has been fully received intact;
   /// records per-disk service statistics on resumption. With a receiver
   /// attached, lost/corrupted/dozed-through transmissions re-arm the
-  /// wait instead of resuming it.
-  class PageAwaiter {
+  /// wait instead of resuming it. With a pull server attached, a pull
+  /// slot carrying \p p can satisfy the wait before the push schedule
+  /// does.
+  class PageAwaiter : public pull::PullSink {
    public:
     PageAwaiter(BroadcastChannel* channel, PageId page,
                 fault::Receiver* receiver = nullptr)
@@ -63,17 +81,31 @@ class BroadcastChannel {
     /// Returns the wait duration in broadcast units.
     double await_resume() const noexcept { return wait_; }
 
+    /// A pull slot transmitted page_ (see pull::PullSink). Consumes it —
+    /// cancelling the pending push arrival and resuming the waiter —
+    /// unless this client's radio missed the transmission.
+    bool OnPullDelivery(double deliver_end) override;
+
    private:
     // Arms the next audible arrival of page_ at or after listen_from;
     // the fired event draws the fault outcome and either resumes h or
     // re-arms. Only used on the faulty path.
     void ScheduleAttempt(std::coroutine_handle<> h, double listen_from);
 
+    // Completes the wait at `end`: deregisters from the pull server,
+    // bumps service stats, stamps via-pull, and resumes the coroutine.
+    void Finish(std::coroutine_handle<> h, double end, bool via_pull);
+
     BroadcastChannel* channel_;
     PageId page_;
     fault::Receiver* receiver_;
+    std::coroutine_handle<> handle_;
     double start_ = 0.0;
     double wait_ = 0.0;
+    // Pending push-side event (arrival or re-arm), cancelled when pull
+    // wins the race. Only maintained while registered with a pull server.
+    des::EventQueue::EventId pending_ = 0;
+    bool registered_ = false;
   };
 
   /// Waits for the next complete broadcast of \p p over the ideal
@@ -82,6 +114,12 @@ class BroadcastChannel {
   PageAwaiter WaitForPage(PageId p, fault::Receiver* receiver = nullptr) {
     return PageAwaiter(this, p, receiver);
   }
+
+  /// Whether the most recently completed wait was satisfied by a pull
+  /// slot. Valid immediately after the wait resumes (the resumed
+  /// coroutine runs synchronously inside the delivering event); always
+  /// false without a pull server.
+  bool last_wait_via_pull() const { return last_wait_via_pull_; }
 
   /// Pages delivered so far, per disk index.
   const std::vector<uint64_t>& served_per_disk() const {
@@ -99,8 +137,10 @@ class BroadcastChannel {
 
   des::Simulation* sim_;
   const BroadcastProgram* program_;
+  pull::PullServer* pull_ = nullptr;
   std::vector<uint64_t> served_per_disk_;
   uint64_t total_served_ = 0;
+  bool last_wait_via_pull_ = false;
 };
 
 }  // namespace bcast

@@ -18,40 +18,53 @@ std::vector<DiskIndex> DiskOfPages(const DiskLayout& layout) {
   return disk_of;
 }
 
-Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout) {
+Result<MultiDiskGeometry> ComputeMultiDiskGeometry(const DiskLayout& layout) {
   BCAST_RETURN_IF_ERROR(ValidateLayout(layout));
 
   const uint64_t num_disks = layout.NumDisks();
-  const uint64_t total_pages = layout.TotalPages();
-  if (total_pages > static_cast<uint64_t>(kEmptySlot)) {
-    return Status::OutOfRange("too many pages for PageId");
-  }
 
   // Step 4: max_chunks = LCM of the relative frequencies; disk i splits
   // into num_chunks(i) = max_chunks / rel_freq(i) chunks.
   Result<uint64_t> lcm = LcmOfAll(layout.rel_freqs);
   if (!lcm.ok()) return lcm.status();
-  const uint64_t max_chunks = *lcm;
 
-  std::vector<uint64_t> num_chunks(num_disks);
-  std::vector<uint64_t> chunk_size(num_disks);
-  uint64_t minor_cycle_len = 0;
+  MultiDiskGeometry geometry;
+  geometry.max_chunks = *lcm;
+  geometry.num_chunks.resize(num_disks);
+  geometry.chunk_size.resize(num_disks);
   for (uint64_t i = 0; i < num_disks; ++i) {
-    num_chunks[i] = max_chunks / layout.rel_freqs[i];
+    geometry.num_chunks[i] = geometry.max_chunks / layout.rel_freqs[i];
     // Equal-size chunks keep every minor cycle the same length, which is
     // what makes per-page inter-arrival times fixed; a short final chunk
     // is padded with empty slots instead.
-    chunk_size[i] = CeilDiv(layout.sizes[i], num_chunks[i]);
-    minor_cycle_len += chunk_size[i];
+    geometry.chunk_size[i] = CeilDiv(layout.sizes[i], geometry.num_chunks[i]);
+    geometry.minor_cycle_len += geometry.chunk_size[i];
   }
 
-  Result<uint64_t> period = CheckedMul(max_chunks, minor_cycle_len);
+  Result<uint64_t> period =
+      CheckedMul(geometry.max_chunks, geometry.minor_cycle_len);
   if (!period.ok()) return period.status();
   if (*period > static_cast<uint64_t>(UINT32_MAX)) {
     return Status::OutOfRange(
         "broadcast period " + std::to_string(*period) +
         " slots is too long; choose smaller relative frequencies");
   }
+  geometry.period = *period;
+  return geometry;
+}
+
+Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout) {
+  Result<MultiDiskGeometry> geo = ComputeMultiDiskGeometry(layout);
+  if (!geo.ok()) return geo.status();
+
+  const uint64_t num_disks = layout.NumDisks();
+  const uint64_t total_pages = layout.TotalPages();
+  if (total_pages > static_cast<uint64_t>(kEmptySlot)) {
+    return Status::OutOfRange("too many pages for PageId");
+  }
+  const uint64_t max_chunks = geo->max_chunks;
+  const std::vector<uint64_t>& num_chunks = geo->num_chunks;
+  const std::vector<uint64_t>& chunk_size = geo->chunk_size;
 
   // First physical page of each disk.
   std::vector<uint64_t> disk_base(num_disks, 0);
@@ -62,7 +75,7 @@ Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout) {
   // Step 5: broadcast chunk C(i, m mod num_chunks(i)) for every disk i in
   // minor cycle m.
   std::vector<PageId> slots;
-  slots.reserve(*period);
+  slots.reserve(geo->period);
   for (uint64_t m = 0; m < max_chunks; ++m) {
     for (uint64_t i = 0; i < num_disks; ++i) {
       const uint64_t chunk = m % num_chunks[i];
@@ -77,7 +90,7 @@ Result<BroadcastProgram> GenerateMultiDiskProgram(const DiskLayout& layout) {
       }
     }
   }
-  BCAST_CHECK_EQ(slots.size(), *period);
+  BCAST_CHECK_EQ(slots.size(), geo->period);
 
   return BroadcastProgram::Make(std::move(slots),
                                 static_cast<PageId>(total_pages),

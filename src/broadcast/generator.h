@@ -18,6 +18,31 @@
 
 namespace bcast {
 
+/// \brief The chunking geometry of the Section-2.2 algorithm: how many
+/// minor cycles one period spans and how long each is. Exposed so hybrid
+/// push–pull programs (src/pull) can interleave extra slots per minor
+/// cycle without re-deriving the paper's arithmetic.
+struct MultiDiskGeometry {
+  /// Minor cycles per period (= LCM of the relative frequencies).
+  uint64_t max_chunks = 0;
+
+  /// Chunks disk i is split into (`max_chunks / rel_freq(i)`).
+  std::vector<uint64_t> num_chunks;
+
+  /// Slots of each disk's chunk (`ceil(size_i / num_chunks_i)`).
+  std::vector<uint64_t> chunk_size;
+
+  /// Slots per minor cycle (sum of chunk sizes).
+  uint64_t minor_cycle_len = 0;
+
+  /// Slots per period (`max_chunks * minor_cycle_len`).
+  uint64_t period = 0;
+};
+
+/// \brief Computes the multi-disk chunking (steps 4 of Section 2.2) for
+/// \p layout without materializing the program.
+Result<MultiDiskGeometry> ComputeMultiDiskGeometry(const DiskLayout& layout);
+
 /// \brief The Section-2.2 algorithm: interleaves one chunk of every disk
 /// per minor cycle, producing a periodic program with fixed per-page
 /// inter-arrival times.

@@ -300,6 +300,29 @@ CheckList CheckReportInvariants(const obs::RunReport& report) {
                report.timings.build_program_seconds >= 0.0);
   list.Add("report.end_time_nonnegative", report.end_time >= 0.0);
 
+  // Uplink accounting, for reports produced under hybrid push-pull.
+  if (FindExtra(report, "pull_requests").has_value()) {
+    const double requests = ExtraOr(report, "pull_requests", 0.0);
+    const double re_requests = ExtraOr(report, "pull_re_requests", 0.0);
+    const double accepted = ExtraOr(report, "pull_uplink_accepted", 0.0);
+    const double dropped = ExtraOr(report, "pull_uplink_dropped", 0.0);
+    const double lost = ExtraOr(report, "pull_uplink_lost", 0.0);
+    const double serviced = ExtraOr(report, "pull_serviced", 0.0);
+    const double opportunities = ExtraOr(report, "pull_opportunities", 0.0);
+    std::ostringstream detail;
+    detail << "requests=" << requests << " re_requests=" << re_requests
+           << " accepted=" << accepted << " dropped=" << dropped
+           << " lost=" << lost << " serviced=" << serviced
+           << " opportunities=" << opportunities;
+    list.Add("report.pull_uplink_accounting",
+             accepted + dropped == requests + re_requests, detail.str());
+    list.Add("report.pull_losses_within_accepted", lost <= accepted,
+             detail.str());
+    list.Add("report.pull_service_within_capacity",
+             serviced <= opportunities && serviced <= accepted - lost,
+             detail.str());
+  }
+
   // Reception accounting, for reports produced under channel faults.
   if (FindExtra(report, "fault_attempts").has_value()) {
     const double attempts = ExtraOr(report, "fault_attempts", 0.0);
@@ -409,6 +432,98 @@ CheckList CheckFaultDegradation(std::vector<FaultSweepPoint> points,
            tracks_detail);
   list.Add("fault_sweep.delivery_monotone", delivery_monotone,
            delivery_detail);
+  return list;
+}
+
+PullSweepPoint PullSweepPointFromReport(const obs::RunReport& report) {
+  PullSweepPoint point;
+  point.pull_slots = ExtraOr(report, "pull_slots", 0.0);
+  point.cold_mean_rt = ExtraOr(report, "pull_cold_mean_rt", 0.0);
+  point.cold_count = ExtraOr(report, "pull_cold_count", 0.0);
+  point.mean_response = report.response.mean;
+  point.requests = ExtraOr(report, "pull_requests", 0.0);
+  point.re_requests = ExtraOr(report, "pull_re_requests", 0.0);
+  point.uplink_accepted = ExtraOr(report, "pull_uplink_accepted", 0.0);
+  point.uplink_dropped = ExtraOr(report, "pull_uplink_dropped", 0.0);
+  point.uplink_lost = ExtraOr(report, "pull_uplink_lost", 0.0);
+  point.serviced = ExtraOr(report, "pull_serviced", 0.0);
+  point.opportunities = ExtraOr(report, "pull_opportunities", 0.0);
+  return point;
+}
+
+CheckList CheckPullImprovement(std::vector<PullSweepPoint> points,
+                               double slack) {
+  CheckList list;
+  list.Add("pull_sweep.nonempty", !points.empty(),
+           "a sweep needs at least one point");
+  if (points.empty()) return list;
+  std::stable_sort(points.begin(), points.end(),
+                   [](const PullSweepPoint& a, const PullSweepPoint& b) {
+                     return a.pull_slots < b.pull_slots;
+                   });
+
+  bool distinct = true;
+  std::string distinct_detail;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].pull_slots == points[i - 1].pull_slots) {
+      distinct = false;
+      std::ostringstream out;
+      out << "two sweep points share pull_slots=" << points[i].pull_slots;
+      distinct_detail = out.str();
+    }
+  }
+  list.Add("pull_sweep.capacities_distinct", distinct, distinct_detail);
+  list.Add("pull_sweep.spans_capacities", points.size() >= 2,
+           "monotonicity needs at least two capacities");
+
+  bool anchors_inert = true;
+  std::string anchor_detail;
+  bool accounting = true;
+  std::string accounting_detail;
+  bool cold_improves = true;
+  std::string cold_detail;
+  const PullSweepPoint* prev_cold = nullptr;
+  for (const PullSweepPoint& p : points) {
+    if (p.pull_slots == 0.0 && p.serviced != 0.0) {
+      anchors_inert = false;
+      std::ostringstream out;
+      out << "zero-capacity point serviced " << p.serviced << " pages";
+      anchor_detail = out.str();
+    }
+    const bool adds_up =
+        p.uplink_accepted + p.uplink_dropped == p.requests + p.re_requests &&
+        p.uplink_lost <= p.uplink_accepted &&
+        p.serviced <= p.opportunities &&
+        p.serviced <= p.uplink_accepted - p.uplink_lost;
+    if (!adds_up) {
+      accounting = false;
+      std::ostringstream out;
+      out << "at pull_slots=" << p.pull_slots << ": requests=" << p.requests
+          << " re_requests=" << p.re_requests
+          << " accepted=" << p.uplink_accepted
+          << " dropped=" << p.uplink_dropped << " lost=" << p.uplink_lost
+          << " serviced=" << p.serviced
+          << " opportunities=" << p.opportunities;
+      accounting_detail = out.str();
+    }
+    // Cold-page latency must not rise as pull capacity grows. Points
+    // with no cold fetches prove nothing and are skipped.
+    if (p.cold_count > 0.0) {
+      if (prev_cold != nullptr &&
+          p.cold_mean_rt > prev_cold->cold_mean_rt * (1.0 + slack)) {
+        cold_improves = false;
+        std::ostringstream out;
+        out << "cold mean rt rose from " << prev_cold->cold_mean_rt
+            << " (pull_slots=" << prev_cold->pull_slots << ") to "
+            << p.cold_mean_rt << " (pull_slots=" << p.pull_slots << ")";
+        cold_detail = out.str();
+      }
+      prev_cold = &p;
+    }
+  }
+  list.Add("pull_sweep.zero_capacity_inert", anchors_inert, anchor_detail);
+  list.Add("pull_sweep.uplink_accounting", accounting, accounting_detail);
+  list.Add("pull_sweep.cold_latency_improves", cold_improves, cold_detail);
   return list;
 }
 

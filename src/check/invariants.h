@@ -127,6 +127,55 @@ CheckList CheckFaultDegradation(std::vector<FaultSweepPoint> points,
                                 double slack = 0.05,
                                 double delivery_tolerance = 0.05);
 
+/// \brief One point of a pull-capacity sweep: the hybrid configuration a
+/// run used and the latency it measured, all at fixed total bandwidth
+/// (pull slots are paid for in push frequency).
+struct PullSweepPoint {
+  /// Configured pull slots per minor cycle (0 = pure push anchor).
+  double pull_slots = 0.0;
+
+  /// Measured mean response over cold-page (slowest-disk) fetches — the
+  /// class pull service exists to rescue.
+  double cold_mean_rt = 0.0;
+
+  /// Cold fetches the mean is over (0 disables the monotonicity check
+  /// for this point; an empty class proves nothing).
+  double cold_count = 0.0;
+
+  /// Overall mean response (broadcast units).
+  double mean_response = 0.0;
+
+  /// Uplink accounting: first sends, re-sends, admissions, drops,
+  /// in-flight losses.
+  double requests = 0.0;
+  double re_requests = 0.0;
+  double uplink_accepted = 0.0;
+  double uplink_dropped = 0.0;
+  double uplink_lost = 0.0;
+
+  /// Pull slots that transmitted a page vs. pull-slot starts offered.
+  double serviced = 0.0;
+  double opportunities = 0.0;
+};
+
+/// \brief Extracts a sweep point from a run report's pull extras
+/// (zero-capacity defaults when the report carries none — a pure push
+/// report anchors the sweep).
+PullSweepPoint PullSweepPointFromReport(const obs::RunReport& report);
+
+/// \brief The hybrid system's value story across a pull-capacity sweep,
+/// re-derived from the measured points alone: at fixed total bandwidth,
+/// cold-page mean response must improve *monotonically* as pull capacity
+/// grows (non-increasing in pull_slots, within `slack` relative
+/// tolerance); a zero-capacity point must have serviced nothing; every
+/// point's uplink accounting must add up
+/// (accepted + dropped == requests + re_requests, lost <= accepted,
+/// serviced <= min(accepted - lost, opportunities)). Points may be given
+/// in any order; at least two distinct capacities are required for the
+/// monotonicity check to mean anything.
+CheckList CheckPullImprovement(std::vector<PullSweepPoint> points,
+                               double slack = 0.05);
+
 }  // namespace bcast::check
 
 #endif  // BCAST_CHECK_INVARIANTS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "pull/pull_client.h"
 
 namespace bcast {
 
@@ -31,6 +32,14 @@ Client::Client(des::Simulation* sim, BroadcastChannel* channel,
       pending_victim_score_ = score;
     });
   }
+}
+
+bool Client::IsColdDisk(DiskIndex disk) const {
+  // "Cold" pages live on the slowest disk — the worst-served class under
+  // pure push and the one pull service is meant to rescue. A one-disk
+  // (flat) program has no cold class.
+  const uint64_t num_disks = channel_->program().num_disks();
+  return num_disks > 1 && static_cast<uint64_t>(disk) == num_disks - 1;
 }
 
 void Client::TraceRequest(double start, PageId logical, bool hit,
@@ -64,8 +73,20 @@ des::Process Client::Run() {
     const double start = sim_->Now();
     if (!cache_->Lookup(logical, start)) {
       const PageId physical = mapping_->ToPhysical(logical);
+      if (config_.pull != nullptr) {
+        config_.pull->MaybeRequest(
+            physical, start,
+            channel_->NextArrivalStart(physical) + 1.0 - start);
+      }
       co_await channel_->WaitForPage(physical, config_.receiver);
       cache_->Insert(logical, sim_->Now());
+      if (config_.pull != nullptr) {
+        const DiskIndex disk = channel_->program().DiskOf(physical);
+        config_.pull->OnFetchDone(
+            physical, sim_->Now(), sim_->Now() - start,
+            channel_->last_wait_via_pull(), /*measured=*/false,
+            IsColdDisk(disk));
+      }
       if (sampled) {
         TraceRequest(start, logical, /*hit=*/false, /*warmup=*/true,
                      sim_->Now() - start,
@@ -96,10 +117,20 @@ des::Process Client::Run() {
       }
     } else {
       const PageId physical = mapping_->ToPhysical(logical);
+      if (config_.pull != nullptr) {
+        config_.pull->MaybeRequest(
+            physical, start,
+            channel_->NextArrivalStart(physical) + 1.0 - start);
+      }
       co_await channel_->WaitForPage(physical, config_.receiver);
       const double wait = sim_->Now() - start;
       cache_->Insert(logical, sim_->Now());
       const DiskIndex disk = channel_->program().DiskOf(physical);
+      if (config_.pull != nullptr) {
+        config_.pull->OnFetchDone(physical, sim_->Now(), wait,
+                                  channel_->last_wait_via_pull(),
+                                  /*measured=*/true, IsColdDisk(disk));
+      }
       metrics_.RecordMiss(wait, disk);
       // Radio accounting: with a known schedule the client sleeps until
       // the page's slot and listens one slot per reception attempt;

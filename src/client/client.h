@@ -27,6 +27,10 @@
 
 namespace bcast {
 
+namespace pull {
+class PullClient;
+}  // namespace pull
+
 /// \brief Run-control knobs for one client.
 struct ClientRunConfig {
   /// Requests recorded after warm-up.
@@ -51,6 +55,11 @@ struct ClientRunConfig {
   /// run). nullptr — the default — waits on the ideal channel,
   /// bit-identical to the pre-fault client.
   fault::Receiver* receiver = nullptr;
+
+  /// Optional hybrid pull requester (unowned; must outlive the run).
+  /// nullptr — the default — never touches the backchannel,
+  /// bit-identical to the pure-push client.
+  pull::PullClient* pull = nullptr;
 };
 
 /// \brief A single client workload driving a cache against the broadcast.
@@ -82,6 +91,10 @@ class Client {
   double measured_wall_seconds() const { return measured_wall_seconds_; }
 
  private:
+  /// True when \p disk is the slowest (cold) disk of a multi-disk
+  /// program — the class whose latency the pull sweep gate tracks.
+  bool IsColdDisk(DiskIndex disk) const;
+
   /// Records one request into the trace sink if this request was sampled.
   void TraceRequest(double start, PageId logical, bool hit, bool warmup,
                     double wait, int32_t disk);

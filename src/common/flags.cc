@@ -100,6 +100,18 @@ const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
   return nullptr;
 }
 
+FlagSet::Flag* FlagSet::FindMutable(std::string_view name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagSet::WasSet(std::string_view name) const {
+  const Flag* flag = Find(name);
+  return flag != nullptr && flag->was_set;
+}
+
 Status FlagSet::Parse(int argc, const char* const* argv) {
   for (int i = 0; i < argc; ++i) {
     std::string_view arg(argv[i]);
@@ -123,7 +135,7 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
       have_value = true;
     }
 
-    const Flag* flag = Find(name);
+    Flag* flag = FindMutable(name);
     if (flag == nullptr) {
       return Status::InvalidArgument("unknown flag --" + std::string(name));
     }
@@ -139,6 +151,7 @@ Status FlagSet::Parse(int argc, const char* const* argv) {
       return Status::InvalidArgument("flag --" + std::string(name) + ": " +
                                      st.message());
     }
+    flag->was_set = true;
   }
   return Status::OK();
 }

@@ -44,6 +44,13 @@ class FlagSet {
   /// True when `--help` was seen.
   bool help_requested() const { return help_requested_; }
 
+  /// True when the named flag appeared on the parsed command line
+  /// (regardless of the value given — `--loss=0` counts as set). Lets
+  /// tools reject incoherent flag *combinations*, which default values
+  /// alone cannot distinguish from absence. False before Parse() and for
+  /// unknown names.
+  bool WasSet(std::string_view name) const;
+
   /// Renders the help text.
   std::string HelpText() const;
 
@@ -54,10 +61,12 @@ class FlagSet {
     std::string default_value;
     bool is_bool;
     std::function<Status(std::string_view)> set;
+    bool was_set = false;
   };
 
   void Register(Flag flag);
   const Flag* Find(std::string_view name) const;
+  Flag* FindMutable(std::string_view name);
 
   std::string program_name_;
   std::vector<Flag> flags_;

@@ -11,6 +11,10 @@
 #include "common/rng.h"
 #include "core/simulator.h"
 #include "des/simulation.h"
+#include "fault/fault_model.h"
+#include "pull/hybrid.h"
+#include "pull/pull_client.h"
+#include "pull/pull_server.h"
 
 namespace bcast {
 namespace {
@@ -68,6 +72,13 @@ Status MultiClientParams::Validate() const {
   }
   Status fault_status = fault.Validate();
   if (!fault_status.ok()) return fault_status;
+  Status pull_status = pull.Validate();
+  if (!pull_status.ok()) return pull_status;
+  if (pull.Active() && program_kind != ProgramKind::kMultiDisk) {
+    return Status::InvalidArgument(
+        "pull slots interleave into the multi-disk program's minor "
+        "cycles; use the multi-disk program with pull");
+  }
   return Status::OK();
 }
 
@@ -86,11 +97,23 @@ Result<MultiClientResult> RunMultiClientSimulation(
   if (!layout.ok()) return layout.status();
 
   const Rng master(params.seed);
+  // With active pull params the air carries the hybrid program: the
+  // multi-disk program with pull slots interleaved into every minor
+  // cycle (slot-identical to the plain program when pull_slots == 0).
+  pull::HybridLayout hybrid_layout;
   Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
     obs::ScopedTimer timer(&timings.build_program_seconds);
     switch (params.program_kind) {
-      case ProgramKind::kMultiDisk:
+      case ProgramKind::kMultiDisk: {
+        if (params.pull.Active()) {
+          Result<pull::HybridProgram> hybrid =
+              pull::GenerateHybridProgram(*layout, params.pull.pull_slots);
+          if (!hybrid.ok()) return hybrid.status();
+          hybrid_layout = std::move(hybrid->layout);
+          return std::move(hybrid->program);
+        }
         return GenerateMultiDiskProgram(*layout);
+      }
       case ProgramKind::kSkewed:
         return GenerateSkewedProgram(*layout);
       case ProgramKind::kRandom: {
@@ -110,6 +133,17 @@ Result<MultiClientResult> RunMultiClientSimulation(
   des::Simulation sim;
   BroadcastChannel channel(&sim, &*program);
 
+  // One pull server is shared by the whole population: the backchannel
+  // and request queue are server-side resources, so clients contend for
+  // uplink slots and benefit from each other's pulls (a page one client
+  // requested resumes every waiter).
+  std::unique_ptr<pull::PullServer> pull_server;
+  if (params.pull.Active()) {
+    pull_server = std::make_unique<pull::PullServer>(&sim, hybrid_layout,
+                                                     params.pull);
+    if (pull_server->enabled()) channel.AttachPullServer(pull_server.get());
+  }
+
   // Assemble every client's private machinery. Objects are kept in
   // index-stable storage so the spawned coroutines can reference them.
   struct ClientWorld {
@@ -118,6 +152,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
     std::unique_ptr<SimCatalog> catalog;
     std::unique_ptr<CachePolicy> cache;
     std::unique_ptr<fault::Receiver> receiver;  // null when faults are off
+    std::unique_ptr<pull::PullClient> pull;     // null when pull is off
     std::unique_ptr<Client> client;
   };
   std::vector<ClientWorld> worlds(params.clients.size());
@@ -162,10 +197,26 @@ Result<MultiClientResult> RunMultiClientSimulation(
           fault::MakeReceiver(params.fault, /*client_id=*/c,
                               static_cast<double>(program->period()));
     }
+    if (pull_server != nullptr) {
+      // Each client gets its own requester; the in-flight uplink loss
+      // draw comes from the (client id, kUplink) fault sub-stream so
+      // pull never perturbs the downlink draws.
+      std::optional<Rng> uplink_rng;
+      double uplink_loss = 0.0;
+      if (params.fault.Active() && params.fault.loss > 0.0) {
+        uplink_rng = fault::FaultStream(Rng(params.fault.fault_seed),
+                                        /*client_id=*/c,
+                                        fault::Purpose::kUplink);
+        uplink_loss = params.fault.loss;
+      }
+      worlds[c].pull = std::make_unique<pull::PullClient>(
+          &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
+    }
     ClientRunConfig config;
     config.measured_requests = params.measured_requests;
     config.max_warmup_requests = params.max_warmup_requests;
     config.receiver = worlds[c].receiver.get();
+    config.pull = worlds[c].pull.get();
     worlds[c].client = std::make_unique<Client>(
         &sim, &channel, worlds[c].cache.get(), worlds[c].gen.get(),
         worlds[c].mapping.get(), config);
@@ -191,6 +242,11 @@ Result<MultiClientResult> RunMultiClientSimulation(
       result.faults.Merge(worlds[c].receiver->stats());
       result.faults_active = true;
     }
+  }
+  if (pull_server != nullptr) {
+    pull_server->FinishRun(sim.Now());
+    result.pull_stats = pull_server->stats();
+    result.pull_active = true;
   }
   result.end_time = sim.Now();
   result.events_dispatched = sim.events_dispatched();
@@ -227,8 +283,31 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
       {"fairness_max_over_min",
        min_rt > 0.0 ? result.response_across_clients.max() / min_rt : 0.0},
   };
+  // Per-client response-time distributions: the fairness extras above
+  // only summarize means, but a client can share the population mean
+  // while suffering a far heavier tail (e.g. when its interest lives on
+  // the slow disk). One block per client, in `clients` order.
+  for (size_t c = 0; c < result.per_client.size(); ++c) {
+    const ClientMetrics& m = result.per_client[c];
+    const obs::HistogramSummary rt = m.response_histogram().Summary();
+    const std::string prefix = "client" + std::to_string(c) + "_";
+    report.extra.emplace_back(prefix + "mean_rt", m.mean_response_time());
+    report.extra.emplace_back(prefix + "rt_p50", rt.p50);
+    report.extra.emplace_back(prefix + "rt_p90", rt.p90);
+    report.extra.emplace_back(prefix + "rt_p99", rt.p99);
+    report.extra.emplace_back(prefix + "rt_max", rt.max);
+    report.extra.emplace_back(
+        prefix + "hit_rate",
+        m.requests() > 0
+            ? static_cast<double>(m.cache_hits()) /
+                  static_cast<double>(m.requests())
+            : 0.0);
+  }
   if (result.faults_active) {
     AppendFaultExtras(params.fault, result.faults, &report);
+  }
+  if (result.pull_active) {
+    AppendPullExtras(params.pull, result.pull_stats, &report);
   }
   return report;
 }

@@ -29,6 +29,8 @@
 #include "fault/recovery.h"
 #include "obs/run_report.h"
 #include "obs/stopwatch.h"
+#include "pull/pull_params.h"
+#include "pull/pull_stats.h"
 
 namespace bcast {
 
@@ -86,6 +88,13 @@ struct MultiClientParams {
   /// streams. Inactive by default.
   fault::FaultParams fault;
 
+  /// Hybrid push–pull knobs, shared by the population: one pull server
+  /// (backchannel + request queue) serves every client, and each client
+  /// gets its own requester with a (client id, kUplink)-keyed loss
+  /// stream. Inactive by default; active pull requires the multi-disk
+  /// program.
+  pull::PullParams pull;
+
   /// Total pages broadcast.
   uint64_t ServerDbSize() const;
 
@@ -124,6 +133,12 @@ struct MultiClientResult {
   /// `faults_active` set) only when `params.fault.Active()`.
   fault::FaultStats faults;
   bool faults_active = false;
+
+  /// Hybrid push–pull accounting, accumulated on the shared server by
+  /// the whole population; populated (and `pull_active` set) only when
+  /// `params.pull.Active()`.
+  pull::PullStats pull_stats;
+  bool pull_active = false;
 };
 
 /// \brief Runs the population against one shared broadcast.

@@ -52,6 +52,13 @@ Status SimParams::Validate() const {
   }
   Status fault_status = fault.Validate();
   if (!fault_status.ok()) return fault_status;
+  Status pull_status = pull.Validate();
+  if (!pull_status.ok()) return pull_status;
+  if (pull.Active() && program_kind != ProgramKind::kMultiDisk) {
+    return Status::InvalidArgument(
+        "pull slots interleave into the multi-disk program's minor "
+        "cycles; use --program=multidisk with pull");
+  }
   // Delegate frequency validation to the layout builder.
   Result<DiskLayout> layout =
       rel_freqs.empty() ? MakeDeltaLayout(disk_sizes, delta)
@@ -76,6 +83,11 @@ std::string SimParams::ToString() const {
   // pre-fault config string (and golden baseline) is untouched.
   if (fault.Active()) {
     summary += " " + fault.ToString();
+  }
+  // Same contract for pull: the identity string only grows when the
+  // hybrid machinery is on, so pure-push goldens never shift.
+  if (pull.Active()) {
+    summary += " " + pull.ToString();
   }
   return summary;
 }

@@ -13,6 +13,7 @@
 #include "client/mapping.h"
 #include "common/status.h"
 #include "fault/fault_params.h"
+#include "pull/pull_params.h"
 
 namespace bcast {
 
@@ -119,6 +120,13 @@ struct SimParams {
   /// fault machinery is built, no random draw is added, and the config
   /// identity string is unchanged.
   fault::FaultParams fault;
+
+  // --- Hybrid push–pull (src/pull) ---
+  /// Backchannel/pull knobs; inactive by default, in which case no pull
+  /// machinery is built, no event or random draw is added, and the
+  /// config identity string is unchanged. Active pull requires the
+  /// multi-disk program (pull slots interleave into its minor cycles).
+  pull::PullParams pull;
 
   /// Total pages the server broadcasts (sum of disk_sizes).
   uint64_t ServerDbSize() const;

@@ -8,6 +8,10 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "des/simulation.h"
+#include "fault/fault_model.h"
+#include "pull/hybrid.h"
+#include "pull/pull_client.h"
+#include "pull/pull_server.h"
 
 namespace bcast {
 
@@ -61,8 +65,19 @@ Result<SimResult> RunSimulation(const SimParams& params,
   Result<DiskLayout> layout = LayoutFromParams(params);
   if (!layout.ok()) return layout.status();
 
-  Result<BroadcastProgram> program = [&] {
+  // With active pull params the program on the air is the hybrid one:
+  // the multi-disk program with pull slots interleaved into every minor
+  // cycle (identical to the plain program when pull_slots == 0).
+  pull::HybridLayout hybrid_layout;
+  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
     obs::ScopedTimer timer(&result.timings.build_program_seconds);
+    if (params.pull.Active()) {
+      Result<pull::HybridProgram> hybrid =
+          pull::GenerateHybridProgram(*layout, params.pull.pull_slots);
+      if (!hybrid.ok()) return hybrid.status();
+      hybrid_layout = std::move(hybrid->layout);
+      return std::move(hybrid->program);
+    }
     return BuildProgram(params);
   }();
   if (!program.ok()) return program.status();
@@ -100,11 +115,35 @@ Result<SimResult> RunSimulation(const SimParams& params,
     receiver = fault::MakeReceiver(params.fault, /*client_id=*/0,
                                    static_cast<double>(program->period()));
   }
+  // Pull machinery exists only for active pull params; with zero pull
+  // slots the server is inert (never attached, never scheduling), so
+  // the forced zero-capacity path stays bit-identical to pure push.
+  std::unique_ptr<pull::PullServer> pull_server;
+  std::unique_ptr<pull::PullClient> pull_client;
+  if (params.pull.Active()) {
+    pull_server = std::make_unique<pull::PullServer>(&sim, hybrid_layout,
+                                                     params.pull);
+    if (pull_server->enabled()) channel.AttachPullServer(pull_server.get());
+    // The uplink shares the air with the downlink: requests are lost in
+    // flight at the channel's loss rate, drawn from the dedicated
+    // (client, kUplink) fault sub-stream so pull never perturbs the
+    // downlink draws.
+    std::optional<Rng> uplink_rng;
+    double uplink_loss = 0.0;
+    if (params.fault.Active() && params.fault.loss > 0.0) {
+      uplink_rng = fault::FaultStream(Rng(params.fault.fault_seed),
+                                      /*client_id=*/0,
+                                      fault::Purpose::kUplink);
+      uplink_loss = params.fault.loss;
+    }
+    pull_client = std::make_unique<pull::PullClient>(
+        &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
+  }
   Client client(&sim, &channel, cache->get(), &*gen, &*mapping,
                 ClientRunConfig{params.measured_requests,
                                 params.max_warmup_requests,
                                 params.knows_schedule, observers.trace,
-                                receiver.get()});
+                                receiver.get(), pull_client.get()});
   result.timings.setup_seconds = setup_watch.ElapsedSeconds();
 
   sim.Spawn(client.Run());
@@ -125,6 +164,11 @@ Result<SimResult> RunSimulation(const SimParams& params,
   if (receiver != nullptr) {
     result.faults = receiver->stats();
     result.faults_active = true;
+  }
+  if (pull_server != nullptr) {
+    pull_server->FinishRun(sim.Now());
+    result.pull_stats = pull_server->stats();
+    result.pull_active = true;
   }
 
   if (observers.registry != nullptr) {
@@ -158,6 +202,25 @@ Result<SimResult> RunSimulation(const SimParams& params,
       reg.GetHistogram("fault/extra_cycles")->Merge(fs.extra_cycles);
       reg.GetHistogram("fault/resync_slots")->Merge(fs.resync_slots);
     }
+    if (result.pull_active) {
+      const pull::PullStats& ps = result.pull_stats;
+      reg.GetCounter("pull/requests")->Increment(ps.requests_attempted);
+      reg.GetCounter("pull/re_requests")->Increment(ps.re_requests);
+      reg.GetCounter("pull/uplink_accepted")
+          ->Increment(ps.uplink_accepted);
+      reg.GetCounter("pull/uplink_dropped")->Increment(ps.uplink_dropped);
+      reg.GetCounter("pull/uplink_lost")->Increment(ps.uplink_lost);
+      reg.GetCounter("pull/serviced_pages")->Increment(ps.serviced_pages);
+      reg.GetCounter("pull/idle_slots")->Increment(ps.idle_pull_slots());
+      reg.GetCounter("pull/deliveries")->Increment(ps.pull_deliveries);
+      reg.GetCounter("pull/push_deliveries")
+          ->Increment(ps.push_deliveries);
+      reg.GetGauge("pull/service_share")->Set(ps.pull_service_share());
+      reg.GetHistogram("pull/queue_depth")->Merge(ps.queue_depth);
+      reg.GetHistogram("pull/latency_slots")->Merge(ps.pull_latency);
+      reg.GetHistogram("pull/push_latency_slots")->Merge(ps.push_latency);
+      reg.GetHistogram("pull/cold_wait_slots")->Merge(ps.cold_wait);
+    }
   }
   return result;
 }
@@ -190,6 +253,9 @@ obs::RunReport MakeRunReport(const SimParams& params,
       result.timings.warmup_seconds + result.timings.measured_seconds);
   if (result.faults_active) {
     AppendFaultExtras(params.fault, result.faults, &report);
+  }
+  if (result.pull_active) {
+    AppendPullExtras(params.pull, result.pull_stats, &report);
   }
   return report;
 }
@@ -235,6 +301,40 @@ void AppendFaultExtras(const fault::FaultParams& params,
           : stats.resync_slots.sum() /
                 static_cast<double>(stats.resync_slots.count()));
   add("fault_resync_slots_max", stats.resync_slots.max());
+}
+
+void AppendPullExtras(const pull::PullParams& params,
+                      const pull::PullStats& stats,
+                      obs::RunReport* report) {
+  auto add = [report](const char* key, double value) {
+    report->extra.emplace_back(key, value);
+  };
+  // Configured capacity first (the sweep checker reads it back), then
+  // uplink accounting, service mix, and the latency split.
+  add("pull_slots", static_cast<double>(params.pull_slots));
+  add("pull_uplink_cap", static_cast<double>(params.uplink_cap));
+  add("pull_sched", static_cast<double>(static_cast<int>(params.scheduler)));
+  add("pull_threshold", params.threshold);
+  add("pull_timeout_services",
+      static_cast<double>(params.timeout_services));
+  add("pull_requests", static_cast<double>(stats.requests_attempted));
+  add("pull_re_requests", static_cast<double>(stats.re_requests));
+  add("pull_uplink_accepted", static_cast<double>(stats.uplink_accepted));
+  add("pull_uplink_dropped", static_cast<double>(stats.uplink_dropped));
+  add("pull_uplink_lost", static_cast<double>(stats.uplink_lost));
+  add("pull_serviced", static_cast<double>(stats.serviced_pages));
+  add("pull_opportunities", static_cast<double>(stats.pull_opportunities));
+  add("pull_idle_slots", static_cast<double>(stats.idle_pull_slots()));
+  add("pull_deliveries", static_cast<double>(stats.pull_deliveries));
+  add("pull_push_deliveries", static_cast<double>(stats.push_deliveries));
+  add("pull_service_share", stats.pull_service_share());
+  add("pull_queue_depth_mean", stats.queue_depth.mean());
+  add("pull_queue_depth_max", stats.queue_depth.max());
+  add("pull_latency_mean", stats.pull_latency.mean());
+  add("pull_latency_count", static_cast<double>(stats.pull_latency.count()));
+  add("pull_push_latency_mean", stats.push_latency.mean());
+  add("pull_cold_mean_rt", stats.cold_wait.mean());
+  add("pull_cold_count", static_cast<double>(stats.cold_wait.count()));
 }
 
 }  // namespace bcast

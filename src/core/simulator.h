@@ -18,6 +18,8 @@
 #include "obs/run_report.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
+#include "pull/pull_params.h"
+#include "pull/pull_stats.h"
 
 namespace bcast {
 
@@ -62,6 +64,11 @@ struct SimResult {
   /// `faults_active` set) only when `params.fault.Active()`.
   fault::FaultStats faults;
   bool faults_active = false;
+
+  /// Hybrid push–pull accounting; populated (and `pull_active` set)
+  /// only when `params.pull.Active()`.
+  pull::PullStats pull_stats;
+  bool pull_active = false;
 };
 
 /// \brief Optional observability hooks for a run. Both default to off;
@@ -132,6 +139,14 @@ obs::RunReport MakeRunReport(const SimParams& params,
 void AppendFaultExtras(const fault::FaultParams& params,
                        const fault::FaultStats& stats,
                        obs::RunReport* report);
+
+/// \brief Appends the hybrid push–pull extras (configured capacity,
+/// uplink accounting, service mix, pull-vs-push latency, cold-page
+/// latency) to \p report. Call only for active pull params: a push-only
+/// run's report must stay byte-identical to the pre-pull format.
+void AppendPullExtras(const pull::PullParams& params,
+                      const pull::PullStats& stats,
+                      obs::RunReport* report);
 
 }  // namespace bcast
 

@@ -247,6 +247,11 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
                                             const UpdateParams& updates,
                                             obs::MetricsRegistry* registry) {
   BCAST_RETURN_IF_ERROR(base.Validate());
+  if (base.pull.Active()) {
+    return Status::InvalidArgument(
+        "updates mode does not model the backchannel; drop the pull "
+        "params");
+  }
   if (updates.update_rate < 0.0 || !std::isfinite(updates.update_rate)) {
     return Status::InvalidArgument("update_rate must be finite and >= 0");
   }

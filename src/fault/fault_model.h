@@ -124,6 +124,8 @@ enum class Purpose : uint64_t {
   kLoss = 1,
   kCorrupt = 2,
   kDoze = 3,
+  /// In-flight loss of backchannel request sends (src/pull).
+  kUplink = 4,
 };
 
 /// \brief The (client id, purpose)-keyed fault stream off \p fault_master

@@ -1,0 +1,54 @@
+/// \file backchannel.h
+/// \brief The capacity-limited uplink: a shared backchannel that accepts
+/// at most `cap` client requests per broadcast slot.
+///
+/// The asymmetry the paper is built on cuts both ways: the downlink is a
+/// fat broadcast, the uplink a trickle. The backchannel models that
+/// trickle as a per-broadcast-slot admission window — requests beyond the
+/// window's capacity are dropped at the sender (backpressure), to be
+/// retried by the client's timeout machinery. The window is shared by the
+/// whole population, so heavy pull demand from one client starves
+/// another's uplink, which is exactly the contention a hybrid system must
+/// manage.
+
+#ifndef BCAST_PULL_BACKCHANNEL_H_
+#define BCAST_PULL_BACKCHANNEL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace bcast::pull {
+
+/// \brief Per-broadcast-slot uplink admission. Deterministic: admission
+/// depends only on the send times, never on randomness.
+class Backchannel {
+ public:
+  explicit Backchannel(uint64_t cap_per_slot) : cap_(cap_per_slot) {}
+
+  /// Tries to send one request at time \p now. True when it fits in the
+  /// current slot's window; false when the window is exhausted (drop).
+  bool TrySend(double now) {
+    const double window = std::floor(now);
+    if (window != window_start_) {
+      window_start_ = window;
+      used_ = 0;
+    }
+    if (used_ >= cap_) return false;
+    ++used_;
+    return true;
+  }
+
+  /// Requests the current window still admits (for tests).
+  uint64_t remaining(double now) const {
+    return std::floor(now) == window_start_ ? cap_ - used_ : cap_;
+  }
+
+ private:
+  uint64_t cap_;
+  double window_start_ = -1.0;
+  uint64_t used_ = 0;
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_BACKCHANNEL_H_

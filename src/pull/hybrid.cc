@@ -1,0 +1,110 @@
+#include "pull/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "broadcast/generator.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace bcast::pull {
+
+bool HybridLayout::IsPullSlot(uint64_t slot) const {
+  if (!enabled()) return false;
+  const uint64_t offset = slot % minor_len();
+  return std::binary_search(pull_offsets.begin(), pull_offsets.end(), offset);
+}
+
+double HybridLayout::NextPullSlotStart(double t) const {
+  BCAST_CHECK(enabled());
+  if (t < 0.0) t = 0.0;
+  const double ml = static_cast<double>(minor_len());
+  const double base = std::floor(t / ml) * ml;
+  const double rem = t - base;
+  for (uint64_t offset : pull_offsets) {
+    if (static_cast<double>(offset) >= rem) {
+      return base + static_cast<double>(offset);
+    }
+  }
+  return base + ml + static_cast<double>(pull_offsets.front());
+}
+
+uint64_t HybridLayout::PullSlotsBefore(double t) const {
+  if (!enabled() || t <= 0.0) return 0;
+  const double ml = static_cast<double>(minor_len());
+  const double full = std::floor(t / ml);
+  const double rem = t - full * ml;
+  uint64_t in_partial = 0;
+  for (uint64_t offset : pull_offsets) {
+    if (static_cast<double>(offset) < rem) ++in_partial;
+  }
+  return static_cast<uint64_t>(full) * pull_per_minor + in_partial;
+}
+
+Result<HybridProgram> GenerateHybridProgram(const DiskLayout& layout,
+                                            uint64_t pull_per_minor) {
+  Result<MultiDiskGeometry> geo = ComputeMultiDiskGeometry(layout);
+  if (!geo.ok()) return geo.status();
+
+  Result<BroadcastProgram> push = GenerateMultiDiskProgram(layout);
+  if (!push.ok()) return push.status();
+
+  HybridLayout hlayout;
+  hlayout.push_minor_len = geo->minor_cycle_len;
+  hlayout.pull_per_minor = pull_per_minor;
+  hlayout.num_minor = geo->max_chunks;
+  if (pull_per_minor == 0) {
+    // Zero capacity: the hybrid program *is* the push program, slot for
+    // slot — the bit-identity anchor the sweep gate relies on.
+    return HybridProgram{std::move(*push), std::move(hlayout)};
+  }
+
+  const uint64_t push_len = geo->minor_cycle_len;
+  const uint64_t minor_len = push_len + pull_per_minor;
+  Result<uint64_t> period = CheckedMul(geo->max_chunks, minor_len);
+  if (!period.ok()) return period.status();
+  if (*period > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::OutOfRange(
+        "hybrid period " + std::to_string(*period) +
+        " slots is too long; choose fewer pull slots or smaller frequencies");
+  }
+
+  // Spread the s pull slots evenly across the hybrid minor cycle:
+  // offset i = floor(i * (L + s) / s). Successive values differ by at
+  // least (L + s) / s >= 1, so the offsets are strictly ascending.
+  hlayout.pull_offsets.reserve(pull_per_minor);
+  for (uint64_t i = 0; i < pull_per_minor; ++i) {
+    hlayout.pull_offsets.push_back(i * minor_len / pull_per_minor);
+  }
+
+  // Insert the same pull pattern into every minor cycle; push slots keep
+  // their relative order, so each page keeps one fixed within-minor
+  // offset and its inter-arrival gaps scale uniformly by (L + s) / L.
+  const std::vector<PageId>& push_slots = push->slots();
+  std::vector<PageId> slots;
+  slots.reserve(*period);
+  for (uint64_t m = 0; m < geo->max_chunks; ++m) {
+    uint64_t next_push = m * push_len;
+    size_t next_pull = 0;
+    for (uint64_t pos = 0; pos < minor_len; ++pos) {
+      if (next_pull < hlayout.pull_offsets.size() &&
+          hlayout.pull_offsets[next_pull] == pos) {
+        slots.push_back(kEmptySlot);
+        ++next_pull;
+      } else {
+        slots.push_back(push_slots[next_push++]);
+      }
+    }
+    BCAST_CHECK_EQ(next_push, (m + 1) * push_len);
+  }
+  BCAST_CHECK_EQ(slots.size(), *period);
+
+  Result<BroadcastProgram> program = BroadcastProgram::Make(
+      std::move(slots), push->num_pages(), DiskOfPages(layout));
+  if (!program.ok()) return program.status();
+  return HybridProgram{std::move(*program), std::move(hlayout)};
+}
+
+}  // namespace bcast::pull

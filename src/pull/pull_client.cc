@@ -1,0 +1,79 @@
+#include "pull/pull_client.h"
+
+#include "common/logging.h"
+
+namespace bcast::pull {
+
+PullClient::PullClient(des::Simulation* sim, PullServer* server,
+                       const PullParams& params,
+                       std::optional<Rng> uplink_rng, double uplink_loss)
+    : sim_(sim),
+      server_(server),
+      params_(params),
+      uplink_rng_(uplink_rng),
+      uplink_loss_(uplink_loss) {
+  BCAST_CHECK(sim != nullptr);
+  BCAST_CHECK(server != nullptr);
+  BCAST_CHECK(uplink_loss == 0.0 || uplink_rng.has_value())
+      << "uplink loss needs an rng";
+}
+
+void PullClient::MaybeRequest(PageId page, double now,
+                              double scheduled_wait) {
+  if (!server_->enabled()) return;
+  if (outstanding_) return;
+  if (scheduled_wait <= params_.threshold) return;
+  outstanding_ = true;
+  outstanding_page_ = page;
+  SubmitOnce(page, now, /*re_request=*/false);
+  ArmTimeout(now);
+}
+
+void PullClient::SubmitOnce(PageId page, double now, bool re_request) {
+  if (!server_->TryUplink(now, re_request)) return;  // dropped: backpressure
+  if (uplink_loss_ > 0.0 && uplink_rng_->NextDouble() < uplink_loss_) {
+    server_->NoteUplinkLost();
+    return;
+  }
+  server_->Enqueue(page, now);
+}
+
+void PullClient::ArmTimeout(double now) {
+  const double delay =
+      static_cast<double>(params_.timeout_services) *
+      server_->ServiceInterval();
+  timeout_armed_ = true;
+  timeout_event_ = sim_->ScheduleAt(now + delay, [this]() {
+    timeout_armed_ = false;
+    if (!outstanding_) return;
+    // The request was dropped, lost, or is starving in the queue: send
+    // it again (a queued duplicate just bumps the entry's count).
+    const double at = sim_->Now();
+    SubmitOnce(outstanding_page_, at, /*re_request=*/true);
+    ArmTimeout(at);
+  });
+}
+
+void PullClient::OnFetchDone(PageId page, double now, double wait,
+                             bool via_pull, bool measured, bool cold) {
+  (void)now;
+  PullStats& stats = server_->stats();
+  if (!via_pull) ++stats.push_deliveries;
+  if (measured) {
+    if (via_pull) {
+      stats.pull_latency.Add(wait);
+    } else {
+      stats.push_latency.Add(wait);
+    }
+    if (cold) stats.cold_wait.Add(wait);
+  }
+  if (outstanding_ && page == outstanding_page_) {
+    outstanding_ = false;
+    if (timeout_armed_) {
+      sim_->CancelEvent(timeout_event_);
+      timeout_armed_ = false;
+    }
+  }
+}
+
+}  // namespace bcast::pull

@@ -1,0 +1,52 @@
+#include "pull/pull_params.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace bcast::pull {
+
+Result<PullScheduler> ParsePullScheduler(const std::string& name) {
+  if (name == "fcfs") return PullScheduler::kFcfs;
+  if (name == "mrf") return PullScheduler::kMrf;
+  if (name == "lxw") return PullScheduler::kLxw;
+  return Status::InvalidArgument("unknown pull scheduler '" + name +
+                                 "' (expected fcfs, mrf, or lxw)");
+}
+
+std::string PullSchedulerName(PullScheduler scheduler) {
+  switch (scheduler) {
+    case PullScheduler::kFcfs:
+      return "fcfs";
+    case PullScheduler::kMrf:
+      return "mrf";
+    case PullScheduler::kLxw:
+      return "lxw";
+  }
+  return "unknown";
+}
+
+Status PullParams::Validate() const {
+  if (uplink_cap == 0) {
+    return Status::InvalidArgument("pull uplink_cap must be >= 1");
+  }
+  if (threshold < 0.0 || !std::isfinite(threshold)) {
+    return Status::InvalidArgument("pull threshold must be finite and >= 0");
+  }
+  if (timeout_services == 0) {
+    return Status::InvalidArgument("pull timeout_services must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string PullParams::ToString() const {
+  if (!Active()) return "";
+  return StrFormat(
+      "pull<slots=%llu,cap=%llu,sched=%s,thresh=%g,timeout=%llu>",
+      static_cast<unsigned long long>(pull_slots),
+      static_cast<unsigned long long>(uplink_cap),
+      PullSchedulerName(scheduler).c_str(), threshold,
+      static_cast<unsigned long long>(timeout_services));
+}
+
+}  // namespace bcast::pull

@@ -1,0 +1,97 @@
+/// \file pull_params.h
+/// \brief Configuration of the hybrid push–pull subsystem.
+///
+/// The paper models a pure push environment but anticipates clients with
+/// a limited backchannel (Section 8, "Future Work"). `PullParams` bundles
+/// the knobs of that backchannel: how many broadcast slots per minor
+/// cycle are diverted to on-demand "pull" service, how many uplink
+/// requests fit per broadcast slot, which scheduler drains the server's
+/// request queue, and when a client decides a scheduled wait is long
+/// enough to be worth a request. A default-constructed `PullParams` is
+/// *inactive*: no pull machinery is built, no extra event is scheduled,
+/// no randomness is drawn, and every result is bit-identical to the pure
+/// push system — the regression gate depends on that.
+
+#ifndef BCAST_PULL_PULL_PARAMS_H_
+#define BCAST_PULL_PULL_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace bcast::pull {
+
+/// \brief Which request the server services in each pull slot.
+enum class PullScheduler {
+  /// First-come-first-served: oldest outstanding request wins.
+  kFcfs,
+  /// Most-requests-first: the page with the largest merged request count
+  /// wins (ties broken by age). Maximizes per-slot beneficiaries.
+  kMrf,
+  /// Request-count × wait (R×W): balances popularity against starvation;
+  /// the classic pull-scheduling compromise.
+  kLxw,
+};
+
+/// \brief Parses "fcfs" / "mrf" / "lxw".
+Result<PullScheduler> ParsePullScheduler(const std::string& name);
+
+/// \brief Stable lowercase name of \p scheduler.
+std::string PullSchedulerName(PullScheduler scheduler);
+
+/// \brief Hybrid push–pull knobs for one run.
+///
+/// Pull randomness (only the uplink loss draw, and only under an active
+/// fault model) comes from the (client id, kUplink) fault sub-stream, so
+/// enabling pull never perturbs the request, noise, or downlink fault
+/// draws.
+struct PullParams {
+  /// Pull slots interleaved into every minor cycle of the multi-disk
+  /// program. 0 disables pull service entirely. The push program is kept
+  /// intact — pushed pages keep their fixed inter-arrival spacing, merely
+  /// dilated by the longer minor cycle (total bandwidth is fixed, so pull
+  /// capacity is paid for in push frequency).
+  uint64_t pull_slots = 0;
+
+  /// Uplink capacity: requests the backchannel accepts per broadcast
+  /// slot. Requests beyond the cap are dropped (backpressure); the
+  /// client's timeout machinery re-requests later.
+  uint64_t uplink_cap = 1;
+
+  /// Queue-drain policy for pull slots.
+  PullScheduler scheduler = PullScheduler::kFcfs;
+
+  /// Client decision rule: request a page over the backchannel only when
+  /// its scheduled broadcast wait exceeds this many slots. 0 requests on
+  /// every miss.
+  double threshold = 0.0;
+
+  /// Re-request timeout, in expected pull service intervals (the mean
+  /// spacing of pull slots): an outstanding request unanswered for this
+  /// many intervals is assumed dropped or lost and is sent again.
+  uint64_t timeout_services = 4;
+
+  /// Forces the pull machinery on even when `pull_slots` is 0. Used by
+  /// the ablation's bit-identity gate to prove the pull path with zero
+  /// capacity reproduces pure push exactly.
+  bool force = false;
+
+  /// True when pull service is configured (or `force` is set): the
+  /// simulator builds the hybrid program and server queue, reports carry
+  /// pull metrics, and `ToString` gains a pull section. Inactive params
+  /// leave every code path and output byte-for-byte unchanged.
+  bool Active() const { return force || pull_slots > 0; }
+
+  /// Structural validation; OK for inactive params.
+  Status Validate() const;
+
+  /// Stable one-line rendering, e.g.
+  /// "pull<slots=2,cap=1,sched=fcfs,thresh=0,timeout=4>".
+  /// Empty when inactive (run configs must not change for push-only runs).
+  std::string ToString() const;
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_PULL_PARAMS_H_

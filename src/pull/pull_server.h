@@ -1,0 +1,114 @@
+/// \file pull_server.h
+/// \brief The server side of the hybrid system: backchannel admission,
+/// the request queue, and pull-slot service.
+///
+/// The server is event-lazy: it schedules a service decision only while
+/// the queue is non-empty, so an idle hybrid run adds *zero* events to
+/// the simulation (the DES terminates when no events remain, and the
+/// regression gate counts dispatched events exactly). Each serviced pull
+/// slot costs two events: the decision at the slot start (scheduler pick,
+/// depth sample) and the delivery at the slot end (waiter resumption —
+/// a transmission can only be joined from its first bit, like any other
+/// broadcast slot).
+
+#ifndef BCAST_PULL_PULL_SERVER_H_
+#define BCAST_PULL_PULL_SERVER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "des/simulation.h"
+#include "pull/backchannel.h"
+#include "pull/hybrid.h"
+#include "pull/pull_params.h"
+#include "pull/pull_sink.h"
+#include "pull/pull_stats.h"
+#include "pull/request_queue.h"
+
+namespace bcast::pull {
+
+/// \brief One shared pull server per broadcast: admits uplink requests,
+/// queues them, and transmits the scheduler's pick in each pull slot.
+class PullServer {
+ public:
+  /// \p sim must outlive the server; \p layout describes the hybrid
+  /// program on the air (a disabled layout yields an inert server that
+  /// never schedules an event).
+  PullServer(des::Simulation* sim, HybridLayout layout,
+             const PullParams& params);
+
+  /// The hybrid slot layout on the air.
+  const HybridLayout& layout() const { return layout_; }
+
+  /// True when the program carries pull capacity.
+  bool enabled() const { return layout_.enabled(); }
+
+  /// Mean slots between pull-slot starts (the pull service interval);
+  /// 0 when disabled.
+  double ServiceInterval() const;
+
+  /// \name Uplink, driven by PullClient.
+  /// @{
+
+  /// One request send at \p now: accounts it (first send or re-request)
+  /// and runs backchannel admission. True when the send was admitted.
+  bool TryUplink(double now, bool re_request);
+
+  /// An admitted send was lost in flight (uplink fault draw); it never
+  /// reaches the queue.
+  void NoteUplinkLost();
+
+  /// An admitted, surviving send for \p page enters the queue; schedules
+  /// the next pull-slot service if none is pending.
+  void Enqueue(PageId page, double now);
+  /// @}
+
+  /// \name Waiter registry, driven by BroadcastChannel's awaiter.
+  /// @{
+  void AddWaiter(PageId page, PullSink* sink);
+  void RemoveWaiter(PageId page, PullSink* sink);
+  /// @}
+
+  /// Finalizes run-length accounting (pull opportunities offered).
+  void FinishRun(double end_time);
+
+  PullStats& stats() { return stats_; }
+  const PullStats& stats() const { return stats_; }
+
+  /// Entries currently queued (for tests).
+  uint64_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  // Schedules the next service decision when the queue is non-empty and
+  // none is pending.
+  void EnsureServiceScheduled(double now);
+
+  // Fires at a pull-slot start: samples depth, pops the scheduler's
+  // pick, schedules its delivery at the slot end, and re-arms while the
+  // queue stays non-empty.
+  void ServiceDecision(double slot_start);
+
+  // Fires at the slot end: offers the page to every registered waiter.
+  void DeliverPage(PageId page, double end);
+
+  des::Simulation* sim_;
+  HybridLayout layout_;
+  PullParams params_;
+  RequestQueue queue_;
+  Backchannel backchannel_;
+  PullStats stats_;
+  bool service_scheduled_ = false;
+  // Earliest time the next service decision may fire: one past the last
+  // consumed slot's start. Guards against a same-timestamp enqueue (e.g.
+  // a timeout re-request landing exactly on a slot start) re-arming a
+  // second decision in a slot that already transmitted.
+  double next_decision_floor_ = 0.0;
+  std::unordered_map<PageId, std::vector<PullSink*>> waiters_;
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_PULL_SERVER_H_

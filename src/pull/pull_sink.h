@@ -1,0 +1,30 @@
+/// \file pull_sink.h
+/// \brief The delivery interface between the pull server and a waiting
+/// page fetch.
+///
+/// Kept in its own header so `broadcast/channel.h` (whose `PageAwaiter`
+/// implements the interface) can depend on it without pulling in the
+/// whole pull server.
+
+#ifndef BCAST_PULL_PULL_SINK_H_
+#define BCAST_PULL_PULL_SINK_H_
+
+namespace bcast::pull {
+
+/// \brief A party waiting for a page that a pull slot may deliver early.
+class PullSink {
+ public:
+  /// A pull-slot transmission of the awaited page completed at
+  /// \p deliver_end. Returns true when the sink consumed it (the wait is
+  /// over); false when this receiver could not hear it (dozing, loss,
+  /// corruption) and keeps waiting — the server then re-registers the
+  /// sink for any later pull of the same page.
+  virtual bool OnPullDelivery(double deliver_end) = 0;
+
+ protected:
+  ~PullSink() = default;
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_PULL_SINK_H_

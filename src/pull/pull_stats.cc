@@ -1,0 +1,21 @@
+#include "pull/pull_stats.h"
+
+namespace bcast::pull {
+
+void PullStats::Merge(const PullStats& other) {
+  requests_attempted += other.requests_attempted;
+  re_requests += other.re_requests;
+  uplink_accepted += other.uplink_accepted;
+  uplink_dropped += other.uplink_dropped;
+  uplink_lost += other.uplink_lost;
+  serviced_pages += other.serviced_pages;
+  pull_opportunities += other.pull_opportunities;
+  pull_deliveries += other.pull_deliveries;
+  push_deliveries += other.push_deliveries;
+  queue_depth.Merge(other.queue_depth);
+  pull_latency.Merge(other.pull_latency);
+  push_latency.Merge(other.push_latency);
+  cold_wait.Merge(other.cold_wait);
+}
+
+}  // namespace bcast::pull

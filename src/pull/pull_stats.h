@@ -1,0 +1,85 @@
+/// \file pull_stats.h
+/// \brief Accounting for the hybrid push–pull subsystem: uplink traffic,
+/// queue behaviour, and the pull-vs-push delivery split.
+
+#ifndef BCAST_PULL_PULL_STATS_H_
+#define BCAST_PULL_PULL_STATS_H_
+
+#include <cstdint>
+
+#include "obs/histogram.h"
+
+namespace bcast::pull {
+
+/// \brief Counters and histograms for one run (or a merged population).
+///
+/// The uplink books always balance:
+///   `uplink_accepted + uplink_dropped == requests_attempted + re_requests`
+/// — every send either fit in the backchannel window or was dropped —
+/// and `uplink_lost <= uplink_accepted` (loss strikes accepted sends).
+struct PullStats {
+  /// First-time requests clients decided to send (threshold exceeded,
+  /// no request already outstanding).
+  uint64_t requests_attempted = 0;
+
+  /// Timeout-driven re-sends of an outstanding request.
+  uint64_t re_requests = 0;
+
+  /// Sends the backchannel accepted within its per-slot capacity.
+  uint64_t uplink_accepted = 0;
+
+  /// Sends rejected by the capacity limit (backpressure).
+  uint64_t uplink_dropped = 0;
+
+  /// Accepted sends lost in flight (uplink fault model); they never
+  /// reach the server queue.
+  uint64_t uplink_lost = 0;
+
+  /// Pull slots that transmitted a queued page.
+  uint64_t serviced_pages = 0;
+
+  /// Pull-slot starts the run offered (serviced + idle).
+  uint64_t pull_opportunities = 0;
+
+  /// Client page fetches satisfied by a pull-slot transmission.
+  uint64_t pull_deliveries = 0;
+
+  /// Client page fetches satisfied by the scheduled push broadcast.
+  uint64_t push_deliveries = 0;
+
+  /// Queue depth observed at each pull-slot service decision.
+  obs::LogHistogram queue_depth;
+
+  /// Measured-phase wait of pull-delivered fetches (slots).
+  obs::LogHistogram pull_latency;
+
+  /// Measured-phase wait of push-delivered fetches (slots).
+  obs::LogHistogram push_latency;
+
+  /// Measured-phase wait of *cold* fetches — pages living on the slowest
+  /// disk, the paper's worst-served class and the metric the pull sweep
+  /// gate requires to improve monotonically with pull capacity.
+  obs::LogHistogram cold_wait;
+
+  /// Pull slots that found the queue empty.
+  uint64_t idle_pull_slots() const {
+    return pull_opportunities >= serviced_pages
+               ? pull_opportunities - serviced_pages
+               : 0;
+  }
+
+  /// Fraction of miss fetches served from pull slots; 0 when no fetches.
+  double pull_service_share() const {
+    const uint64_t fetches = pull_deliveries + push_deliveries;
+    return fetches == 0 ? 0.0
+                        : static_cast<double>(pull_deliveries) /
+                              static_cast<double>(fetches);
+  }
+
+  /// Folds \p other in (multi-client / multi-seed aggregation).
+  void Merge(const PullStats& other);
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_PULL_STATS_H_

@@ -1,0 +1,66 @@
+#include "pull/request_queue.h"
+
+#include "common/logging.h"
+
+namespace bcast::pull {
+
+void RequestQueue::Add(PageId page, double now) {
+  for (PendingRequest& entry : entries_) {
+    if (entry.page == page) {
+      ++entry.count;
+      return;
+    }
+  }
+  entries_.push_back(PendingRequest{page, 1, now, next_seq_++});
+}
+
+bool RequestQueue::Contains(PageId page) const {
+  for (const PendingRequest& entry : entries_) {
+    if (entry.page == page) return true;
+  }
+  return false;
+}
+
+size_t RequestQueue::PickIndex(double now) const {
+  BCAST_CHECK(!entries_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    const PendingRequest& a = entries_[i];
+    const PendingRequest& b = entries_[best];
+    bool wins = false;
+    switch (scheduler_) {
+      case PullScheduler::kFcfs:
+        // Oldest request first; seq breaks exact-time ties.
+        wins = a.first_time < b.first_time ||
+               (a.first_time == b.first_time && a.seq < b.seq);
+        break;
+      case PullScheduler::kMrf:
+        // Largest merged count; age then seq break ties.
+        wins = a.count > b.count ||
+               (a.count == b.count &&
+                (a.first_time < b.first_time ||
+                 (a.first_time == b.first_time && a.seq < b.seq)));
+        break;
+      case PullScheduler::kLxw: {
+        const double score_a =
+            static_cast<double>(a.count) * (now - a.first_time);
+        const double score_b =
+            static_cast<double>(b.count) * (now - b.first_time);
+        wins = score_a > score_b || (score_a == score_b && a.seq < b.seq);
+        break;
+      }
+    }
+    if (wins) best = i;
+  }
+  return best;
+}
+
+std::optional<PendingRequest> RequestQueue::PopNext(double now) {
+  if (entries_.empty()) return std::nullopt;
+  const size_t index = PickIndex(now);
+  PendingRequest winner = entries_[index];
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(index));
+  return winner;
+}
+
+}  // namespace bcast::pull

@@ -1,0 +1,73 @@
+/// \file request_queue.h
+/// \brief The server-side pull request queue with pluggable schedulers.
+///
+/// Requests for the same page merge into one entry carrying a request
+/// count and the time of the earliest request — exactly the state the
+/// three classic pull schedulers need: FCFS (oldest first), MRF (most
+/// requests first), and R×W (count × wait, the
+/// popularity-versus-starvation compromise; see Robert & Schabanel's
+/// pull-based broadcast scheduling line of work).
+///
+/// Selection is a deterministic O(n) scan with total tie-breaking (by
+/// arrival sequence), so two runs with the same request stream service
+/// pages in the same order — the regression gate depends on that.
+
+#ifndef BCAST_PULL_REQUEST_QUEUE_H_
+#define BCAST_PULL_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "pull/pull_params.h"
+
+namespace bcast::pull {
+
+/// \brief One merged queue entry: a page and everyone waiting for it.
+struct PendingRequest {
+  PageId page = 0;
+
+  /// Requests merged into this entry (including re-requests).
+  uint64_t count = 0;
+
+  /// Time the earliest merged request arrived.
+  double first_time = 0.0;
+
+  /// Arrival sequence of the earliest request (total tie-break order).
+  uint64_t seq = 0;
+};
+
+/// \brief A merged per-page request queue drained by one scheduler.
+class RequestQueue {
+ public:
+  explicit RequestQueue(PullScheduler scheduler) : scheduler_(scheduler) {}
+
+  /// Registers one request for \p page arriving at \p now; merges into
+  /// an existing entry when the page is already queued.
+  void Add(PageId page, double now);
+
+  /// Pops the entry the scheduler picks at time \p now, or nullopt when
+  /// empty.
+  std::optional<PendingRequest> PopNext(double now);
+
+  /// True when \p page has a queued entry.
+  bool Contains(PageId page) const;
+
+  /// Distinct pages queued.
+  uint64_t depth() const { return entries_.size(); }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  // Index of the winning entry under the configured scheduler.
+  size_t PickIndex(double now) const;
+
+  PullScheduler scheduler_;
+  std::vector<PendingRequest> entries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace bcast::pull
+
+#endif  // BCAST_PULL_REQUEST_QUEUE_H_

@@ -165,6 +165,131 @@ TEST(ReportInvariantsTest, NegativeTimingFails) {
   EXPECT_TRUE(ContainsFailure(checks, "report.timings_nonnegative"));
 }
 
+// --- Pull sweep gate ---
+
+// A balanced sweep point at the given capacity/latency; accounting that
+// always adds up (everything admitted, everything serviced).
+PullSweepPoint PullPoint(double slots, double cold_rt) {
+  PullSweepPoint p;
+  p.pull_slots = slots;
+  p.cold_mean_rt = cold_rt;
+  p.cold_count = 100.0;
+  p.mean_response = cold_rt / 2.0;
+  if (slots > 0.0) {
+    p.requests = 50.0;
+    p.uplink_accepted = 50.0;
+    p.serviced = 40.0;
+    p.opportunities = 80.0;
+  }
+  return p;
+}
+
+TEST(PullSweepTest, MonotoneImprovementPasses) {
+  // Out of order on purpose: the checker sorts by capacity itself.
+  const CheckList checks = CheckPullImprovement(
+      {PullPoint(2, 300.0), PullPoint(0, 5000.0), PullPoint(4, 150.0)});
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(PullSweepTest, RisingColdLatencyFails) {
+  const CheckList checks = CheckPullImprovement(
+      {PullPoint(0, 5000.0), PullPoint(2, 300.0), PullPoint(4, 400.0)});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.cold_latency_improves"));
+}
+
+TEST(PullSweepTest, SlackToleratesSmallRises) {
+  const CheckList checks = CheckPullImprovement(
+      {PullPoint(0, 5000.0), PullPoint(2, 300.0), PullPoint(4, 309.0)},
+      /*slack=*/0.05);
+  EXPECT_TRUE(checks.all_ok());
+}
+
+TEST(PullSweepTest, ZeroCapacityPointMustBeInert) {
+  PullSweepPoint zero = PullPoint(0, 5000.0);
+  zero.requests = 3.0;
+  zero.uplink_accepted = 3.0;
+  zero.serviced = 3.0;
+  zero.opportunities = 3.0;
+  const CheckList checks =
+      CheckPullImprovement({zero, PullPoint(2, 300.0)});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.zero_capacity_inert"));
+}
+
+TEST(PullSweepTest, UnbalancedUplinkBooksFail) {
+  PullSweepPoint bad = PullPoint(2, 300.0);
+  bad.uplink_dropped = 1.0;  // accepted + dropped != requests
+  const CheckList checks =
+      CheckPullImprovement({PullPoint(0, 5000.0), bad});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.uplink_accounting"));
+}
+
+TEST(PullSweepTest, ServicingBeyondAdmissionFails) {
+  PullSweepPoint bad = PullPoint(2, 300.0);
+  bad.serviced = 60.0;  // > accepted - lost
+  const CheckList checks =
+      CheckPullImprovement({PullPoint(0, 5000.0), bad});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.uplink_accounting"));
+}
+
+TEST(PullSweepTest, DuplicateCapacitiesFail) {
+  const CheckList checks = CheckPullImprovement(
+      {PullPoint(2, 300.0), PullPoint(2, 310.0)});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.capacities_distinct"));
+}
+
+TEST(PullSweepTest, SinglePointCannotSpanTheSweep) {
+  const CheckList checks = CheckPullImprovement({PullPoint(2, 300.0)});
+  EXPECT_TRUE(ContainsFailure(checks, "pull_sweep.spans_capacities"));
+}
+
+TEST(PullSweepTest, PointsWithoutColdFetchesAreSkipped) {
+  // A no-cold-data point must neither fail nor anchor the comparison.
+  PullSweepPoint empty = PullPoint(2, 9999.0);
+  empty.cold_count = 0.0;
+  const CheckList checks = CheckPullImprovement(
+      {PullPoint(0, 5000.0), empty, PullPoint(4, 150.0)});
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(ReportInvariantsTest, PullExtrasAccountingIsChecked) {
+  obs::RunReport report = ConsistentReport();
+  report.extra.emplace_back("pull_requests", 10.0);
+  report.extra.emplace_back("pull_re_requests", 2.0);
+  report.extra.emplace_back("pull_uplink_accepted", 11.0);
+  report.extra.emplace_back("pull_uplink_dropped", 1.0);
+  report.extra.emplace_back("pull_uplink_lost", 0.0);
+  report.extra.emplace_back("pull_serviced", 8.0);
+  report.extra.emplace_back("pull_opportunities", 20.0);
+  EXPECT_TRUE(CheckReportInvariants(report).all_ok());
+
+  report.extra[2].second = 12.0;  // books no longer balance
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.pull_uplink_accounting"));
+}
+
+TEST(ReportInvariantsTest, PullPointExtractionRoundTrips) {
+  obs::RunReport report = ConsistentReport();
+  report.extra.emplace_back("pull_slots", 4.0);
+  report.extra.emplace_back("pull_cold_mean_rt", 178.8);
+  report.extra.emplace_back("pull_cold_count", 2879.0);
+  report.extra.emplace_back("pull_requests", 100.0);
+  report.extra.emplace_back("pull_uplink_accepted", 100.0);
+  const PullSweepPoint point = PullSweepPointFromReport(report);
+  EXPECT_DOUBLE_EQ(point.pull_slots, 4.0);
+  EXPECT_DOUBLE_EQ(point.cold_mean_rt, 178.8);
+  EXPECT_DOUBLE_EQ(point.cold_count, 2879.0);
+  EXPECT_DOUBLE_EQ(point.uplink_accepted, 100.0);
+  // A pure push report anchors the sweep at zero capacity.
+  const PullSweepPoint anchor =
+      PullSweepPointFromReport(ConsistentReport());
+  EXPECT_DOUBLE_EQ(anchor.pull_slots, 0.0);
+  EXPECT_DOUBLE_EQ(anchor.serviced, 0.0);
+}
+
 TEST(CheckListTest, ExtendAndCounting) {
   CheckList a;
   a.Add("one", true);

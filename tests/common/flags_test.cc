@@ -112,6 +112,29 @@ TEST(FlagSetTest, EmptyStringValueAllowed) {
   EXPECT_EQ(s, "");
 }
 
+TEST(FlagSetTest, WasSetTracksPresenceNotValue) {
+  // Coherence checks (e.g. "--burst_len needs --loss") must fire on
+  // set-ness: `--loss=0` is an explicit choice, absence is not.
+  double loss = 0.0;
+  uint64_t burst = 1;
+  FlagSet flags("t");
+  flags.AddDouble("loss", &loss, "");
+  flags.AddUint64("burst_len", &burst, "");
+  EXPECT_FALSE(flags.WasSet("loss"));  // before any parse
+  ASSERT_TRUE(ParseArgs(&flags, {"--loss=0", "--burst_len", "4"}).ok());
+  EXPECT_TRUE(flags.WasSet("loss"));  // set to its default value
+  EXPECT_TRUE(flags.WasSet("burst_len"));
+}
+
+TEST(FlagSetTest, WasSetIsFalseForAbsentAndUnknownNames) {
+  uint64_t n = 0;
+  FlagSet flags("t");
+  flags.AddUint64("n", &n, "");
+  ASSERT_TRUE(ParseArgs(&flags, {}).ok());
+  EXPECT_FALSE(flags.WasSet("n"));
+  EXPECT_FALSE(flags.WasSet("never_registered"));
+}
+
 TEST(FlagSetDeathTest, DuplicateFlagDies) {
   uint64_t n = 0;
   FlagSet flags("t");

@@ -161,5 +161,34 @@ TEST(MultiClientTest, MatchesSingleClientSimulator) {
               0.1 * solo->metrics.mean_response_time());
 }
 
+TEST(MultiClientReportTest, CarriesPerClientResponseHistograms) {
+  MultiClientParams params = SmallPopulation(3);
+  auto result = RunMultiClientSimulation(params);
+  ASSERT_TRUE(result.ok());
+  const obs::RunReport report =
+      MakePopulationRunReport(params, *result, "cfg", "test");
+  // Every client contributes its own mean/percentile block, keyed by
+  // index, so population reports expose the full response distribution
+  // per client rather than only the cross-client aggregate.
+  for (size_t c = 0; c < 3; ++c) {
+    const std::string prefix = "client" + std::to_string(c) + "_";
+    for (const char* suffix :
+         {"mean_rt", "rt_p50", "rt_p90", "rt_p99", "rt_max", "hit_rate"}) {
+      const std::string key = prefix + suffix;
+      bool found = false;
+      for (const auto& [k, v] : report.extra) {
+        if (k == key) found = true;
+      }
+      EXPECT_TRUE(found) << "missing extra " << key;
+    }
+  }
+  // The per-client means echo the result vector exactly.
+  for (const auto& [k, v] : report.extra) {
+    if (k == "client1_mean_rt") {
+      EXPECT_DOUBLE_EQ(v, result->per_client[1].mean_response_time());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bcast

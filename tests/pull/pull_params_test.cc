@@ -1,0 +1,70 @@
+#include "pull/pull_params.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast::pull {
+namespace {
+
+TEST(PullParamsTest, DefaultIsInactiveAndValid) {
+  PullParams params;
+  EXPECT_FALSE(params.Active());
+  EXPECT_TRUE(params.Validate().ok());
+  EXPECT_EQ(params.ToString(), "");
+}
+
+TEST(PullParamsTest, SlotsActivate) {
+  PullParams params;
+  params.pull_slots = 2;
+  EXPECT_TRUE(params.Active());
+}
+
+TEST(PullParamsTest, ForceActivatesWithZeroSlots) {
+  PullParams params;
+  params.force = true;
+  EXPECT_TRUE(params.Active());
+  EXPECT_EQ(params.pull_slots, 0u);
+}
+
+TEST(PullParamsTest, RejectsZeroUplinkCap) {
+  PullParams params;
+  params.uplink_cap = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(PullParamsTest, RejectsBadThreshold) {
+  PullParams params;
+  params.threshold = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.threshold = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(PullParamsTest, RejectsZeroTimeout) {
+  PullParams params;
+  params.timeout_services = 0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(PullParamsTest, ToStringIsStable) {
+  PullParams params;
+  params.pull_slots = 2;
+  params.uplink_cap = 3;
+  params.scheduler = PullScheduler::kMrf;
+  params.threshold = 50.0;
+  params.timeout_services = 6;
+  EXPECT_EQ(params.ToString(),
+            "pull<slots=2,cap=3,sched=mrf,thresh=50,timeout=6>");
+}
+
+TEST(PullParamsTest, SchedulerNamesRoundTrip) {
+  for (PullScheduler s : {PullScheduler::kFcfs, PullScheduler::kMrf,
+                          PullScheduler::kLxw}) {
+    Result<PullScheduler> parsed = ParsePullScheduler(PullSchedulerName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParsePullScheduler("rr").ok());
+}
+
+}  // namespace
+}  // namespace bcast::pull

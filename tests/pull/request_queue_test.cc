@@ -1,0 +1,111 @@
+#include "pull/request_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast::pull {
+namespace {
+
+TEST(RequestQueueTest, PopOnEmptyIsNullopt) {
+  RequestQueue queue(PullScheduler::kFcfs);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.PopNext(0.0).has_value());
+}
+
+TEST(RequestQueueTest, SamePageRequestsMerge) {
+  RequestQueue queue(PullScheduler::kFcfs);
+  queue.Add(7, 1.0);
+  queue.Add(7, 3.0);
+  queue.Add(7, 5.0);
+  EXPECT_EQ(queue.depth(), 1u);
+  std::optional<PendingRequest> pick = queue.PopNext(6.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->page, 7u);
+  EXPECT_EQ(pick->count, 3u);
+  EXPECT_DOUBLE_EQ(pick->first_time, 1.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueueTest, ContainsTracksEntries) {
+  RequestQueue queue(PullScheduler::kFcfs);
+  EXPECT_FALSE(queue.Contains(2));
+  queue.Add(2, 0.0);
+  EXPECT_TRUE(queue.Contains(2));
+  queue.PopNext(1.0);
+  EXPECT_FALSE(queue.Contains(2));
+}
+
+TEST(RequestQueueTest, FcfsServesOldestFirst) {
+  RequestQueue queue(PullScheduler::kFcfs);
+  queue.Add(3, 2.0);
+  queue.Add(1, 1.0);
+  queue.Add(2, 3.0);
+  queue.Add(2, 0.5);  // merge keeps the entry's original first_time (3.0)
+  EXPECT_EQ(queue.PopNext(4.0)->page, 1u);
+  EXPECT_EQ(queue.PopNext(4.0)->page, 3u);
+  EXPECT_EQ(queue.PopNext(4.0)->page, 2u);
+}
+
+TEST(RequestQueueTest, FcfsBreaksEqualTimesByArrival) {
+  RequestQueue queue(PullScheduler::kFcfs);
+  queue.Add(9, 1.0);
+  queue.Add(4, 1.0);
+  EXPECT_EQ(queue.PopNext(2.0)->page, 9u);
+  EXPECT_EQ(queue.PopNext(2.0)->page, 4u);
+}
+
+TEST(RequestQueueTest, MrfServesMostRequestedFirst) {
+  RequestQueue queue(PullScheduler::kMrf);
+  queue.Add(1, 0.0);
+  queue.Add(2, 1.0);
+  queue.Add(2, 2.0);
+  queue.Add(3, 3.0);
+  EXPECT_EQ(queue.PopNext(4.0)->page, 2u);  // count 2 beats age
+  EXPECT_EQ(queue.PopNext(4.0)->page, 1u);  // counts tie, oldest wins
+  EXPECT_EQ(queue.PopNext(4.0)->page, 3u);
+}
+
+TEST(RequestQueueTest, LxwBalancesCountAndWait) {
+  RequestQueue queue(PullScheduler::kLxw);
+  // Page 1: count 1, waiting since t=0 -> score 1 * 10 = 10 at t=10.
+  // Page 2: count 3, waiting since t=7 -> score 3 * 3 = 9 at t=10.
+  queue.Add(1, 0.0);
+  queue.Add(2, 7.0);
+  queue.Add(2, 8.0);
+  queue.Add(2, 9.0);
+  EXPECT_EQ(queue.PopNext(10.0)->page, 1u);
+  // With page 1 gone, page 2 wins regardless of clock.
+  EXPECT_EQ(queue.PopNext(10.0)->page, 2u);
+}
+
+TEST(RequestQueueTest, LxwPrefersPopularAtEqualWait) {
+  RequestQueue queue(PullScheduler::kLxw);
+  queue.Add(1, 5.0);
+  queue.Add(2, 5.0);
+  queue.Add(2, 5.0);
+  EXPECT_EQ(queue.PopNext(9.0)->page, 2u);  // 2*4 beats 1*4
+}
+
+TEST(RequestQueueTest, DeterministicAcrossIdenticalStreams) {
+  for (PullScheduler s : {PullScheduler::kFcfs, PullScheduler::kMrf,
+                          PullScheduler::kLxw}) {
+    RequestQueue a(s);
+    RequestQueue b(s);
+    for (int i = 0; i < 50; ++i) {
+      const PageId page = static_cast<PageId>((i * 13) % 7);
+      a.Add(page, static_cast<double>(i));
+      b.Add(page, static_cast<double>(i));
+    }
+    while (!a.empty()) {
+      std::optional<PendingRequest> pa = a.PopNext(100.0);
+      std::optional<PendingRequest> pb = b.PopNext(100.0);
+      ASSERT_TRUE(pa.has_value());
+      ASSERT_TRUE(pb.has_value());
+      EXPECT_EQ(pa->page, pb->page);
+      EXPECT_EQ(pa->count, pb->count);
+    }
+    EXPECT_TRUE(b.empty());
+  }
+}
+
+}  // namespace
+}  // namespace bcast::pull

@@ -33,6 +33,13 @@
 //       delivery ratio tracking 1 - rate. Reports without fault extras
 //       anchor the sweep as lossless points.
 //
+//   bcastcheck --pull_sweep r0.json,r1.json,...
+//       hybrid push-pull invariants across a pull-capacity sweep at fixed
+//       total bandwidth: cold-page mean response non-increasing in pull
+//       slots, zero-capacity points serviced nothing, uplink accounting
+//       adds up. Reports without pull extras anchor the sweep as pure
+//       push points.
+//
 //   bcastcheck --bench new.json --bench_baseline old.json
 //       diff two google-benchmark JSON files (--benchmark_out format);
 //       time regressions beyond --bench_tolerance fail unless
@@ -71,6 +78,8 @@ int Run(int argc, const char* const* argv) {
   std::string diff_out;
   std::string fault_sweep;
   double fault_slack = 0.05;
+  std::string pull_sweep;
+  double pull_slack = 0.05;
   std::string bench_path;
   std::string bench_baseline_path;
   double bench_tolerance = 0.10;
@@ -107,6 +116,11 @@ int Run(int argc, const char* const* argv) {
                   "comma-separated run reports forming a loss sweep");
   flags.AddDouble("fault_slack", &fault_slack,
                   "relative slack for the fault-sweep invariants");
+  flags.AddString("pull_sweep", &pull_sweep,
+                  "comma-separated run reports forming a pull-capacity "
+                  "sweep");
+  flags.AddDouble("pull_slack", &pull_slack,
+                  "relative slack for the pull-sweep invariants");
   flags.AddString("bench", &bench_path,
                   "google-benchmark JSON file to diff");
   flags.AddString("bench_baseline", &bench_baseline_path,
@@ -126,9 +140,9 @@ int Run(int argc, const char* const* argv) {
     return 0;
   }
   if (report_path.empty() && program_path.empty() && !paper &&
-      fault_sweep.empty() && bench_path.empty()) {
+      fault_sweep.empty() && pull_sweep.empty() && bench_path.empty()) {
     std::cerr << "nothing to check: give --report, --program, "
-                 "--fault_sweep, --bench, and/or --paper\n\n"
+                 "--fault_sweep, --pull_sweep, --bench, and/or --paper\n\n"
               << flags.HelpText();
     return 2;
   }
@@ -245,6 +259,22 @@ int Run(int argc, const char* const* argv) {
       points.push_back(check::FaultSweepPointFromReport(*report));
     }
     all.Extend(check::CheckFaultDegradation(std::move(points), fault_slack));
+  }
+
+  if (!pull_sweep.empty()) {
+    std::vector<check::PullSweepPoint> points;
+    for (const std::string& path : Split(pull_sweep, ',')) {
+      Result<obs::RunReport> report = obs::ReadRunReportFile(path);
+      if (!report.ok()) {
+        std::cerr << "--pull_sweep: " << report.status().ToString() << "\n";
+        return 2;
+      }
+      // Every sweep member must itself be a sane report before its
+      // numbers feed the improvement invariants.
+      all.Extend(check::CheckReportInvariants(*report));
+      points.push_back(check::PullSweepPointFromReport(*report));
+    }
+    all.Extend(check::CheckPullImprovement(std::move(points), pull_slack));
   }
 
   if (!bench_path.empty()) {

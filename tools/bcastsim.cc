@@ -31,6 +31,7 @@
 #include "obs/registry.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "pull/pull_params.h"
 
 namespace bcast {
 namespace {
@@ -74,6 +75,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
     params.clients.push_back(spec);
   }
   params.fault = base.fault;
+  params.pull = base.pull;
   auto result = RunMultiClientSimulation(params);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -161,6 +163,7 @@ int Run(int argc, const char* const* argv) {
   std::string program = "multidisk";
   std::string noise_scope = "access_range";
   std::string consistency = "invalidate";
+  std::string pull_sched = "fcfs";
   uint64_t seeds = 1;
   uint64_t clients = 5;
   double update_rate = 0.05;
@@ -224,6 +227,19 @@ int Run(int argc, const char* const* argv) {
                   "retry backoff base delay (slots)");
   flags.AddDouble("backoff_cap", &params.fault.backoff_cap,
                   "retry backoff cap (slots)");
+  flags.AddUint64("pull_slots", &params.pull.pull_slots,
+                  "pull slots interleaved per minor cycle (0 = pure push)");
+  flags.AddUint64("uplink_cap", &params.pull.uplink_cap,
+                  "backchannel requests accepted per broadcast slot");
+  flags.AddString("pull_sched", &pull_sched,
+                  "pull-slot scheduler: fcfs | mrf | lxw");
+  flags.AddDouble("pull_threshold", &params.pull.threshold,
+                  "request only when the scheduled wait exceeds this many "
+                  "slots");
+  flags.AddUint64("pull_timeout", &params.pull.timeout_services,
+                  "re-request timeout in pull service intervals");
+  flags.AddBool("pull_force", &params.pull.force,
+                "build the pull machinery even with zero pull slots");
   flags.AddUint64("seed", &params.seed, "master RNG seed");
   flags.AddUint64("seeds", &seeds, "seeds to average over");
   flags.AddBool("csv", &csv, "emit a CSV row instead of a table");
@@ -246,6 +262,33 @@ int Run(int argc, const char* const* argv) {
     std::cout << flags.HelpText();
     return 0;
   }
+
+  // Reject incoherent flag combinations by *set-ness*, not value:
+  // `--loss=0 --burst_len=4` is a legal (inert) pairing, but a burst
+  // length with no loss model at all is a configuration mistake the
+  // defaults would otherwise silently swallow.
+  if (flags.WasSet("burst_len") && !flags.WasSet("loss")) {
+    std::cerr << "--burst_len shapes the loss process; it needs --loss\n";
+    return 2;
+  }
+  if (flags.WasSet("doze_awake") && !flags.WasSet("doze")) {
+    std::cerr << "--doze_awake sets the duty cycle's on-phase; it needs "
+                 "--doze\n";
+    return 2;
+  }
+  if (flags.WasSet("uplink_cap") && !flags.WasSet("pull_slots") &&
+      !flags.WasSet("pull_force")) {
+    std::cerr << "--uplink_cap sizes the pull backchannel; it needs "
+                 "--pull_slots (or --pull_force)\n";
+    return 2;
+  }
+
+  Result<pull::PullScheduler> sched = pull::ParsePullScheduler(pull_sched);
+  if (!sched.ok()) {
+    std::cerr << "--pull_sched: " << sched.status().ToString() << "\n";
+    return 2;
+  }
+  params.pull.scheduler = *sched;
 
   if (!log_level.empty()) {
     LogLevel level;
@@ -361,6 +404,10 @@ int Run(int argc, const char* const* argv) {
         aggregate.faults.Merge(last->faults);
         aggregate.faults_active = true;
       }
+      if (last->pull_active) {
+        aggregate.pull_stats.Merge(last->pull_stats);
+        aggregate.pull_active = true;
+      }
     }
   }
   if (trace != nullptr) trace->Flush();
@@ -420,6 +467,24 @@ int Run(int argc, const char* const* argv) {
                   std::to_string(fs.deadline_expiries)});
     table.AddRow({"doze-missed arrivals",
                   std::to_string(fs.doze_missed_arrivals)});
+  }
+  if (last->pull_active) {
+    const pull::PullStats& ps = last->pull_stats;
+    table.AddRow({"pull requests (re-sends)",
+                  std::to_string(ps.requests_attempted) + " (" +
+                      std::to_string(ps.re_requests) + ")"});
+    table.AddRow({"uplink dropped / lost",
+                  std::to_string(ps.uplink_dropped) + " / " +
+                      std::to_string(ps.uplink_lost)});
+    table.AddRow({"pull slots serviced / offered",
+                  std::to_string(ps.serviced_pages) + " / " +
+                      std::to_string(ps.pull_opportunities)});
+    table.AddRow({"pull service share %",
+                  FormatDouble(100.0 * ps.pull_service_share(), 2)});
+    table.AddRow({"mean pull latency",
+                  FormatDouble(ps.pull_latency.mean(), 2)});
+    table.AddRow({"mean push latency",
+                  FormatDouble(ps.push_latency.mean(), 2)});
   }
   table.Print(std::cout);
   return 0;
