@@ -1,0 +1,172 @@
+// Ablation A15: the adaptive control plane. Two experiments on the D5
+// hybrid configuration with a lossy channel, access range spanning the
+// full database:
+//
+//   1. Static vs adaptive. The anchor is a *misprovisioned* hybrid: two
+//      pull slots budgeted per minor cycle, but a request threshold so
+//      high the client stays on push — the slots burn bandwidth and
+//      rescue nothing, while loss stretches the slowest disk's waits.
+//      The controller repairs both mistakes: the idle-slot signal
+//      shrinks the split to the floor (reclaiming push bandwidth) and
+//      frequency repair promotes the lossy pages clients actually miss.
+//      The pinned cold-page class — the slowest disk of the *initial*
+//      program, the same page set in every run — is the comparison
+//      currency: its mean response must strictly improve on the anchor
+//      while the slot controller stays within bounds and settles
+//      (late-epoch range <= 1). These are exactly the
+//      `bcastcheck --adapt_sweep` invariants, gated in-binary.
+//
+//   2. PLIX vs LIX. With a working backchannel the pull-aware estimator
+//      caps every refetch cost at the pull service interval, which
+//      flattens LIX's frequency *protection* of slow-disk pages — cold
+//      misses are cheap to repair by pull, so their cache seats go to
+//      pages the backchannel cannot help. Both sides of that trade are
+//      measured and reported honestly: cold-class hit rate (LIX's home
+//      turf) and overall mean response (what PLIX plays for).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "check/invariants.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+const std::vector<double> kEpochSweep{0.0, 2.0, 4.0};
+
+SimParams BaseParams() {
+  SimParams params = bench::PaperParams();
+  params.access_range = 5000;  // reach the slowest disk (cold pages)
+  params.cache_size = 500;
+  params.measured_requests = bench::MeasuredRequests(20000);
+  return params;
+}
+
+// The misprovisioned static anchor of experiment 1: pull slots budgeted
+// but unreachable behind the threshold, plus a lossy channel.
+SimParams MisprovisionedParams() {
+  SimParams params = BaseParams();
+  params.fault.loss = 0.1;
+  params.pull.pull_slots = 2;
+  params.pull.threshold = 1e6;  // beyond any D5 wait: push-only traffic
+  return params;
+}
+
+SimParams AdaptivePoint(const SimParams& base, uint64_t epoch_cycles) {
+  SimParams params = base;
+  params.adapt.epoch_cycles = epoch_cycles;
+  return params;
+}
+
+void RunStaticVsAdaptive() {
+  const SimParams base = MisprovisionedParams();
+  AsciiTable table({"Epoch", "MeanRT", "ColdRT", "ColdN", "Promoted",
+                    "Slots", "Rebuilds"});
+  std::vector<double> cold_means;
+  std::vector<check::AdaptSweepPoint> points;
+  for (double epoch : kEpochSweep) {
+    const SimParams params =
+        AdaptivePoint(base, static_cast<uint64_t>(epoch));
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    const obs::RunReport report =
+        MakeRunReport(params, *result, "ablation_adapt");
+    const check::AdaptSweepPoint point =
+        check::AdaptSweepPointFromReport(report);
+    const adapt::AdaptStats& stats = result->adapt_stats;
+    table.AddRow(
+        {FormatDouble(epoch, 0),
+         FormatDouble(result->metrics.mean_response_time(), 1),
+         FormatDouble(point.cold_mean_rt, 1),
+         FormatDouble(point.cold_count, 0),
+         std::to_string(stats.promotions),
+         std::to_string(stats.initial_slots) + "->" +
+             std::to_string(stats.final_slots),
+         std::to_string(stats.rebuilds)});
+    cold_means.push_back(point.cold_mean_rt);
+    points.push_back(point);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  check::CheckList gates =
+      check::CheckAdaptImprovement(std::move(points));
+  gates.Print(std::cout);
+  BCAST_CHECK(gates.all_ok())
+      << gates.failures() << " adapt-improvement invariant(s) failed";
+
+  bench::BenchReport report("ablation_adapt");
+  report.Write("epoch_cycles", kEpochSweep,
+               {{"cold_mean_rt", cold_means}});
+}
+
+void RunPlixVsLix() {
+  AsciiTable table({"Policy", "MeanRT", "ColdHit%", "ColdReq", "Hit%"});
+  std::vector<double> cold_rates;
+  for (auto [policy, label] :
+       {std::pair{PolicyKind::kLix, "LIX"},
+        std::pair{PolicyKind::kPullLix, "PLIX"}}) {
+    SimParams params = BaseParams();
+    params.pull.pull_slots = 2;
+    params.pull.threshold = 100.0;  // a backchannel that actually works
+    params.policy = policy;
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    const double cold_rate =
+        result->cold_requests > 0
+            ? static_cast<double>(result->cold_hits) /
+                  static_cast<double>(result->cold_requests)
+            : 0.0;
+    const double hit_rate =
+        static_cast<double>(result->metrics.cache_hits()) /
+        static_cast<double>(result->metrics.requests());
+    table.AddRow({label,
+                  FormatDouble(result->metrics.mean_response_time(), 1),
+                  FormatDouble(100.0 * cold_rate, 2),
+                  std::to_string(result->cold_requests),
+                  FormatDouble(100.0 * hit_rate, 2)});
+    cold_rates.push_back(cold_rate);
+  }
+  table.Print(std::cout);
+  std::cout << "\nPLIX vs LIX cold-class hit rate: "
+            << FormatDouble(100.0 * cold_rates[1], 2) << "% vs "
+            << FormatDouble(100.0 * cold_rates[0], 2)
+            << "% — PLIX deliberately concedes cold cache seats to the "
+               "backchannel;\nits play is the overall mean above.\n";
+}
+
+void Run() {
+  bench::Banner("Ablation A15",
+                "adaptive control plane — D5, AccessRange = 5000, "
+                "loss 0.1, 2 pull slots; static anchor vs epoch "
+                "controller, then PLIX vs LIX eviction");
+
+  RunStaticVsAdaptive();
+  std::cout << "\n";
+  RunPlixVsLix();
+
+  std::cout << "\nExpected: the controller reclaims the idle pull slots "
+               "(shrinking to the\nfloor restores push bandwidth) and "
+               "promotes the lossy cold pages clients\nactually miss, "
+               "so the pinned cold class responds strictly faster than\n"
+               "under the static program while hysteresis keeps the "
+               "split from\noscillating. PLIX trades the other way: "
+               "with a working backchannel it\nstops protecting cold "
+               "pages in cache (pull repairs those misses in a\nfew "
+               "hundred slots) and spends the seats on pages only the "
+               "broadcast can\nserve, buying overall mean response at "
+               "the cost of cold-class hits.\n";
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main() {
+  bcast::Run();
+  return 0;
+}

@@ -112,6 +112,23 @@ std::vector<BaselineConfig> Configs() {
     config.params.seed = kSeed;
     configs.push_back(config);
   }
+  {
+    // The adaptive control plane on the lossy hybrid configuration:
+    // loss-aware frequency repair plus the slot controller, epoch every
+    // 4 major cycles. Gates every controller decision the report
+    // records — epochs, promotions, slot trajectory, pinned cold-class
+    // latency — against drift.
+    BaselineConfig config;
+    config.name = "single_adapt_d5";
+    config.params.access_range = 5000;
+    config.params.fault.loss = 0.1;
+    config.params.pull.pull_slots = 2;
+    config.params.pull.threshold = 100.0;
+    config.params.adapt.epoch_cycles = 4;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
   return configs;
 }
 

@@ -21,6 +21,7 @@
 #include "common/logging.h"
 #include "core/experiment.h"
 #include "core/params.h"
+#include "core/sim_config.h"
 #include "core/simulator.h"
 #include "obs/json_util.h"
 #include "obs/stopwatch.h"
@@ -67,11 +68,15 @@ inline uint64_t Replications(uint64_t fallback = 3) {
   return fallback;
 }
 
-/// The paper's base configuration (Table 4) with D5 disks.
+/// The paper's base configuration (Table 4) with D5 disks, built through
+/// the same SimConfig defaults-and-validation path the tools use, so the
+/// benches cannot drift from the canonical configuration.
 inline SimParams PaperParams() {
-  SimParams params;
-  params.measured_requests = MeasuredRequests();
-  return params;
+  SimConfig config;
+  config.params.measured_requests = MeasuredRequests();
+  const Status st = config.Finalize(nullptr);
+  BCAST_CHECK(st.ok()) << st.ToString();
+  return config.params;
 }
 
 /// Prints the standard banner for a reproduced artifact.

@@ -1,0 +1,97 @@
+// Microbenchmarks: the adaptive control plane's hot paths — the seat
+// permutation (promotion pick + full program relabel) and the hysteresis
+// decision, plus the end-to-end overhead the controller adds to a
+// simulated run (adapt off vs an active epoch loop).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "adapt/controller.h"
+#include "adapt/repair.h"
+#include "broadcast/disk_config.h"
+#include "broadcast/generator.h"
+#include "core/simulator.h"
+
+namespace bcast {
+namespace {
+
+DiskLayout D5() { return *MakeDeltaLayout({500, 2000, 2500}, 2); }
+
+void BM_PromotionMapPromote(benchmark::State& state) {
+  const DiskLayout layout = D5();
+  adapt::PromotionMap perm(layout);
+  std::vector<uint64_t> failures(layout.TotalPages(), 0);
+  for (uint64_t p = 0; p < failures.size(); ++p) failures[p] = p % 17;
+  PageId page = 500;  // disk 1: every promote scans disk 0's seats
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Promote(page, failures));
+    page = 500 + (page + 1) % 2000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromotionMapPromote);
+
+void BM_PromotionMapApply(benchmark::State& state) {
+  const DiskLayout layout = D5();
+  adapt::PromotionMap perm(layout);
+  std::vector<uint64_t> failures(layout.TotalPages(), 1);
+  for (PageId p = 2500; p < 2600; ++p) perm.Promote(p, failures);
+  const auto base = GenerateMultiDiskProgram(layout);
+  for (auto _ : state) {
+    auto mapped = perm.Apply(*base);
+    benchmark::DoNotOptimize(mapped);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromotionMapApply);
+
+void BM_SlotControllerDecide(benchmark::State& state) {
+  adapt::AdaptParams params;
+  params.epoch_cycles = 4;
+  adapt::SlotController control(params, 2);
+  double depth = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(control.Decide(depth, 0.5));
+    depth = depth < 5.0 ? depth + 0.25 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotControllerDecide);
+
+// End-to-end: the same lossy workload with the controller off vs on.
+// The delta is the full control-plane overhead (loss accounting, epoch
+// ticks, rebuilds, channel switches).
+SimParams MicroSimParams() {
+  SimParams params;
+  params.disk_sizes = {50, 200, 250};
+  params.delta = 2;
+  params.access_range = 500;
+  params.region_size = 5;
+  params.cache_size = 50;
+  params.measured_requests = 400;
+  params.fault.loss = 0.1;
+  return params;
+}
+
+void BM_SimulatedRunAdaptOff(benchmark::State& state) {
+  const SimParams params = MicroSimParams();
+  for (auto _ : state) {
+    auto result = RunSimulation(params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimulatedRunAdaptOff);
+
+void BM_SimulatedRunAdaptOn(benchmark::State& state) {
+  SimParams params = MicroSimParams();
+  params.adapt.epoch_cycles = 2;
+  for (auto _ : state) {
+    auto result = RunSimulation(params);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimulatedRunAdaptOn);
+
+}  // namespace
+}  // namespace bcast

@@ -1,0 +1,41 @@
+#include "adapt/adapt_params.h"
+
+#include "common/string_util.h"
+
+namespace bcast::adapt {
+
+Status AdaptParams::Validate() const {
+  if (!Active()) return Status::OK();
+  if (queue_high <= 0.0) {
+    return Status::InvalidArgument("adapt queue_high must be positive");
+  }
+  if (idle_low < 0.0 || idle_high > 1.0 || idle_low >= idle_high) {
+    return Status::InvalidArgument(
+        "adapt idle thresholds need 0 <= idle_low < idle_high <= 1");
+  }
+  if (hysteresis_epochs == 0) {
+    return Status::InvalidArgument("adapt hysteresis must be >= 1 epoch");
+  }
+  if (min_slots == 0) {
+    return Status::InvalidArgument(
+        "adapt min_slots must be >= 1 (the controller never strands "
+        "queued pull requests)");
+  }
+  if (min_slots > max_slots) {
+    return Status::InvalidArgument("adapt needs min_slots <= max_slots");
+  }
+  return Status::OK();
+}
+
+std::string AdaptParams::ToString() const {
+  return StrFormat(
+      "adapt<epoch=%llu promote=%llu qhi=%.2f idle=[%.2f,%.2f] hyst=%llu "
+      "slots=[%llu,%llu]>",
+      static_cast<unsigned long long>(epoch_cycles),
+      static_cast<unsigned long long>(max_promote), queue_high, idle_low,
+      idle_high, static_cast<unsigned long long>(hysteresis_epochs),
+      static_cast<unsigned long long>(min_slots),
+      static_cast<unsigned long long>(max_slots));
+}
+
+}  // namespace bcast::adapt

@@ -1,0 +1,64 @@
+/// \file adapt_params.h
+/// \brief Knobs of the adaptive control plane (src/adapt).
+///
+/// The paper fixes the broadcast program offline and names "dynamic
+/// adjustment" of both the schedule and the push/pull split as future
+/// work. `AdaptParams` configures the epoch controller that closes the
+/// loop: how often it wakes (in major cycles of the current program), how
+/// aggressively it repairs loss by promoting pages, and the hysteresis
+/// band of the pull-slot split. `epoch_cycles == 0` disables the whole
+/// control plane — no controller is built, no events are scheduled, and
+/// every run is bit-identical to the static tree (golden-proven).
+
+#ifndef BCAST_ADAPT_ADAPT_PARAMS_H_
+#define BCAST_ADAPT_ADAPT_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace bcast::adapt {
+
+/// \brief Configuration of the epoch-based adaptive controller.
+struct AdaptParams {
+  /// Major cycles (periods of the current program) per control epoch;
+  /// 0 disables adaptation entirely.
+  uint64_t epoch_cycles = 0;
+
+  /// Maximum pages promoted one disk hotter per epoch from measured
+  /// loss; 0 disables frequency repair (slot control may still run).
+  uint64_t max_promote = 8;
+
+  /// Grow the pull-slot count when the mean queue depth at service
+  /// decisions exceeds this...
+  double queue_high = 2.0;
+
+  /// ...and the idle-pull-slot rate is below this.
+  double idle_low = 0.25;
+
+  /// Shrink the pull-slot count when the idle rate exceeds this.
+  double idle_high = 0.75;
+
+  /// Consecutive epochs the grow/shrink signal must persist before the
+  /// controller acts (the convergence hysteresis).
+  uint64_t hysteresis_epochs = 2;
+
+  /// Bounds of the pull-slot count the controller may choose. The floor
+  /// stays >= 1: adaptation never strands queued pull requests.
+  uint64_t min_slots = 1;
+  uint64_t max_slots = 8;
+
+  /// True when the control plane is on.
+  bool Active() const { return epoch_cycles > 0; }
+
+  /// Structural validity; inactive params are always valid.
+  Status Validate() const;
+
+  /// Renders like "adapt<epoch=4 promote=8 ...>" for run configs.
+  std::string ToString() const;
+};
+
+}  // namespace bcast::adapt
+
+#endif  // BCAST_ADAPT_ADAPT_PARAMS_H_

@@ -1,0 +1,68 @@
+/// \file adapt_stats.h
+/// \brief Decision accounting of the adaptive controller.
+///
+/// Every controller decision is observable: epoch count, program
+/// rebuilds, page promotions, slot grows/shrinks, the full slot history
+/// (for the bounded-oscillation gate), and the measured cold-page
+/// response times that the `bcastcheck --adapt_sweep` gate compares
+/// against the static program.
+
+#ifndef BCAST_ADAPT_ADAPT_STATS_H_
+#define BCAST_ADAPT_ADAPT_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace bcast::adapt {
+
+/// \brief Counters and histories of one adaptive run.
+struct AdaptStats {
+  uint64_t epochs = 0;        ///< controller ticks fired
+  uint64_t rebuilds = 0;      ///< program regenerations broadcast
+  uint64_t promotions = 0;    ///< pages promoted a disk hotter
+  uint64_t slot_grows = 0;    ///< pull-slot count increments
+  uint64_t slot_shrinks = 0;  ///< pull-slot count decrements
+
+  uint64_t initial_slots = 0;  ///< pull slots at run start
+  uint64_t final_slots = 0;    ///< pull slots at run end
+
+  /// Pull-slot count after each epoch, in epoch order.
+  std::vector<uint64_t> slot_history;
+
+  /// Response times of measured cold-page (slowest-disk) misses, as the
+  /// requesting clients saw them.
+  obs::LogHistogram cold_wait;
+
+  /// Folds \p other in (multi-seed aggregation): counters add, the slot
+  /// trajectory concatenates, `initial_slots` keeps the first run's
+  /// value and `final_slots` takes the last's.
+  void Merge(const AdaptStats& other) {
+    epochs += other.epochs;
+    rebuilds += other.rebuilds;
+    promotions += other.promotions;
+    slot_grows += other.slot_grows;
+    slot_shrinks += other.slot_shrinks;
+    final_slots = other.final_slots;
+    slot_history.insert(slot_history.end(), other.slot_history.begin(),
+                        other.slot_history.end());
+    cold_wait.Merge(other.cold_wait);
+  }
+
+  /// Max minus min of the slot count over the last half of the history —
+  /// the convergence gate's bounded-oscillation measure (0 when the
+  /// history is shorter than two epochs).
+  uint64_t SlotRangeLate() const {
+    if (slot_history.size() < 2) return 0;
+    const auto from = slot_history.begin() +
+                      static_cast<ptrdiff_t>(slot_history.size() / 2);
+    const auto [lo, hi] = std::minmax_element(from, slot_history.end());
+    return *hi - *lo;
+  }
+};
+
+}  // namespace bcast::adapt
+
+#endif  // BCAST_ADAPT_ADAPT_STATS_H_

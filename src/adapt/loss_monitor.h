@@ -1,0 +1,51 @@
+/// \file loss_monitor.h
+/// \brief Per-page loss measurement feeding the adaptive controller.
+///
+/// The fault layer reports every failed reception attempt through the
+/// `fault::PageLossSink` interface; `LossMonitor` implements it with one
+/// window counter per physical page. A single monitor is shared by every
+/// receiver of a population (the server observes the aggregate), and the
+/// controller drains the window at each epoch boundary to decide which
+/// pages deserve a hotter disk.
+
+#ifndef BCAST_ADAPT_LOSS_MONITOR_H_
+#define BCAST_ADAPT_LOSS_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "fault/recovery.h"
+
+namespace bcast::adapt {
+
+/// \brief Window counters of failed reception attempts per physical page.
+class LossMonitor : public fault::PageLossSink {
+ public:
+  explicit LossMonitor(PageId num_pages) : counts_(num_pages, 0) {}
+
+  void OnFailedAttempt(PageId page) override {
+    ++counts_[page];
+    ++window_total_;
+  }
+
+  /// Failed attempts per page since the last `TakeWindow`; resets the
+  /// window.
+  std::vector<uint64_t> TakeWindow() {
+    std::vector<uint64_t> window(counts_.size(), 0);
+    window.swap(counts_);
+    window_total_ = 0;
+    return window;
+  }
+
+  /// Failed attempts in the current window (for tests).
+  uint64_t window_total() const { return window_total_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t window_total_ = 0;
+};
+
+}  // namespace bcast::adapt
+
+#endif  // BCAST_ADAPT_LOSS_MONITOR_H_

@@ -1,0 +1,75 @@
+#include "adapt/repair.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bcast::adapt {
+
+PromotionMap::PromotionMap(const DiskLayout& layout) {
+  disk_begin_.reserve(layout.NumDisks() + 1);
+  uint64_t begin = 0;
+  disk_begin_.push_back(begin);
+  for (uint64_t size : layout.sizes) {
+    begin += size;
+    disk_begin_.push_back(begin);
+  }
+  page_at_.resize(begin);
+  seat_of_.resize(begin);
+  for (uint64_t s = 0; s < begin; ++s) {
+    page_at_[s] = static_cast<PageId>(s);
+    seat_of_[s] = s;
+  }
+}
+
+DiskIndex PromotionMap::DiskOf(PageId page) const {
+  const uint64_t seat = seat_of_[page];
+  DiskIndex d = 0;
+  while (disk_begin_[d + 1] <= seat) ++d;
+  return d;
+}
+
+bool PromotionMap::Promote(PageId page,
+                           const std::vector<uint64_t>& failures) {
+  BCAST_CHECK_EQ(failures.size(), page_at_.size());
+  const DiskIndex disk = DiskOf(page);
+  if (disk == 0) return false;  // already on the fastest disk
+  // The demotion victim: the least-lossy page of the next-hotter disk,
+  // ties broken toward the highest (coldest) seat.
+  const uint64_t begin = disk_begin_[disk - 1];
+  const uint64_t end = disk_begin_[disk];
+  uint64_t victim_seat = end - 1;
+  uint64_t victim_failures = failures[page_at_[victim_seat]];
+  for (uint64_t s = end - 1; s-- > begin;) {
+    if (failures[page_at_[s]] < victim_failures) {
+      victim_seat = s;
+      victim_failures = failures[page_at_[s]];
+    }
+  }
+  const PageId victim = page_at_[victim_seat];
+  const uint64_t seat = seat_of_[page];
+  page_at_[victim_seat] = page;
+  page_at_[seat] = victim;
+  seat_of_[page] = victim_seat;
+  seat_of_[victim] = seat;
+  dirty_ = true;
+  return true;
+}
+
+Result<BroadcastProgram> PromotionMap::Apply(
+    const BroadcastProgram& base) const {
+  BCAST_CHECK_EQ(base.num_pages(), page_at_.size());
+  std::vector<PageId> slots(base.slots());
+  for (PageId& slot : slots) {
+    if (slot != kEmptySlot) slot = page_at_[slot];
+  }
+  std::vector<DiskIndex> disk_of(page_at_.size());
+  for (PageId p = 0; p < static_cast<PageId>(page_at_.size()); ++p) {
+    disk_of[p] = DiskOf(p);
+  }
+  return BroadcastProgram::Make(std::move(slots),
+                                static_cast<PageId>(page_at_.size()),
+                                std::move(disk_of));
+}
+
+}  // namespace bcast::adapt

@@ -1,0 +1,73 @@
+/// \file repair.h
+/// \brief Loss-aware frequency repair: remapping pages across disks while
+/// preserving the paper's fixed inter-arrival guarantee exactly.
+///
+/// The Section-2.2 program assigns a *seat* (a position in the layout's
+/// hottest-first ordering) a fixed broadcast pattern: every seat of disk d
+/// recurs `rel_freq(d)` times per period at equal spacing. Which page sits
+/// in which seat is a pure relabeling — so the controller repairs measured
+/// loss by *swapping seats*: a high-loss page on a slow disk trades places
+/// with the least-lossy page of the next-hotter disk. The regenerated
+/// program keeps exactly fixed per-page inter-arrival times (the seat
+/// patterns are untouched; only the labels move), which the property test
+/// in tests/adapt/repair_test.cc re-verifies for arbitrary layouts,
+/// pull-slot counts, and promotion sequences.
+///
+/// `PromotionMap` holds the seat permutation and applies it to any program
+/// generated over seat ids (the plain multi-disk program or any hybrid
+/// variant of the same layout).
+
+#ifndef BCAST_ADAPT_REPAIR_H_
+#define BCAST_ADAPT_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/program.h"
+
+namespace bcast::adapt {
+
+/// \brief The page-to-seat permutation maintained across epochs.
+class PromotionMap {
+ public:
+  /// Starts as the identity over \p layout's seats (seat i holds page i).
+  explicit PromotionMap(const DiskLayout& layout);
+
+  /// Promotes \p page one disk hotter by swapping seats with the page of
+  /// the next-hotter disk that has the fewest \p failures (ties: the
+  /// highest seat, i.e. the coldest-seated candidate). No-op (returns
+  /// false) when \p page already sits on disk 0.
+  bool Promote(PageId page, const std::vector<uint64_t>& failures);
+
+  /// Relabels \p base (a program generated over seat ids; `kEmptySlot`
+  /// passes through) into a program over page ids, with per-page disks
+  /// implied by the current seating.
+  Result<BroadcastProgram> Apply(const BroadcastProgram& base) const;
+
+  /// Disk currently seating \p page.
+  DiskIndex DiskOf(PageId page) const;
+
+  /// Seat of \p page (for tests).
+  uint64_t SeatOf(PageId page) const { return seat_of_[page]; }
+
+  /// Page in \p seat (for tests).
+  PageId PageAt(uint64_t seat) const { return page_at_[seat]; }
+
+  /// True when any swap has been applied.
+  bool dirty() const { return dirty_; }
+
+  uint64_t num_pages() const { return page_at_.size(); }
+
+ private:
+  // Seat ranges per disk: disk d owns seats [disk_begin_[d],
+  // disk_begin_[d + 1]).
+  std::vector<uint64_t> disk_begin_;
+  std::vector<PageId> page_at_;   // seat -> page
+  std::vector<uint64_t> seat_of_;  // page -> seat
+  bool dirty_ = false;
+};
+
+}  // namespace bcast::adapt
+
+#endif  // BCAST_ADAPT_REPAIR_H_

@@ -1,5 +1,7 @@
 #include "broadcast/channel.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "pull/pull_server.h"
 
@@ -33,6 +35,7 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
   }
   start_ = now;
   handle_ = h;
+  if (channel_->resync_enabled_) channel_->active_.push_back(this);
   if (channel_->pull_ != nullptr) {
     // Enter the push-pull race: a pull slot carrying page_ may resume us
     // before the scheduled arrival does.
@@ -40,12 +43,12 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
     channel_->pull_->AddWaiter(page_, this);
   }
   if (receiver_ == nullptr) {
-    const double done = channel_->program_->NextArrivalEnd(page_, now);
+    const double done = channel_->ArrivalEnd(page_, now);
     pending_ = channel_->sim_->ScheduleAt(
         done, [this, h, done]() { Finish(h, done, /*via_pull=*/false); });
     return;
   }
-  const double ideal_end = channel_->program_->NextArrivalEnd(page_, now);
+  const double ideal_end = channel_->ArrivalEnd(page_, now);
   const double gap =
       static_cast<double>(channel_->program_->period()) /
       static_cast<double>(channel_->program_->Frequency(page_));
@@ -58,10 +61,10 @@ void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
   // Skip past arrivals the doze schedule would sleep through: a
   // reception counts only when the radio is up for the whole slot.
   double at = listen_from;
-  double end = channel_->program_->NextArrivalEnd(page_, at);
+  double end = channel_->ArrivalEnd(page_, at);
   while (!receiver_->AwakeDuring(end - 1.0, end)) {
     at = receiver_->NoteDozeMiss(end - 1.0);
-    end = channel_->program_->NextArrivalEnd(page_, at);
+    end = channel_->ArrivalEnd(page_, at);
   }
   // The awaiter object lives in the suspended coroutine frame until h
   // is resumed, so capturing `this` across re-arms is safe.
@@ -77,6 +80,11 @@ void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
 
 void BroadcastChannel::PageAwaiter::Finish(std::coroutine_handle<> h,
                                            double end, bool via_pull) {
+  if (channel_->resync_enabled_) {
+    // Deregister before resuming: the resume may destroy this frame.
+    auto& active = channel_->active_;
+    active.erase(std::find(active.begin(), active.end(), this));
+  }
   if (registered_) {
     channel_->pull_->RemoveWaiter(page_, this);
     registered_ = false;
@@ -106,6 +114,37 @@ bool BroadcastChannel::PageAwaiter::OnPullDelivery(double deliver_end) {
   registered_ = false;
   Finish(handle_, deliver_end, /*via_pull=*/true);
   return true;
+}
+
+void BroadcastChannel::PageAwaiter::Resync(double now) {
+  // The pending push-side event points into the retired schedule; replace
+  // it with an arrival under the new one. Pull registration is unaffected
+  // (the waiter table is keyed by page, and page ids survive epochs).
+  channel_->sim_->CancelEvent(pending_);
+  if (receiver_ == nullptr) {
+    const double done = channel_->ArrivalEnd(page_, now);
+    pending_ = channel_->sim_->ScheduleAt(
+        done, [this, done]() { Finish(handle_, done, /*via_pull=*/false); });
+    return;
+  }
+  // The receiver keeps its wait state (deadline, backoff, attempts):
+  // resync is just another retry through the existing recovery machinery.
+  ScheduleAttempt(handle_, now);
+}
+
+void BroadcastChannel::SetProgram(const BroadcastProgram* program,
+                                  double now) {
+  BCAST_CHECK(program != nullptr);
+  BCAST_CHECK(resync_enabled_)
+      << "SetProgram requires EnableResync() before the first wait";
+  BCAST_CHECK_EQ(program->num_disks(), program_->num_disks());
+  program_ = program;
+  origin_ = now;
+  // Re-arm on a snapshot: Resync never resumes a coroutine synchronously
+  // (all re-armed events are strictly in the future), but a copy keeps
+  // the loop robust to any future early-resume path.
+  const std::vector<PageAwaiter*> active = active_;
+  for (PageAwaiter* waiter : active) waiter->Resync(now);
 }
 
 void BroadcastChannel::ResetStats() {

@@ -61,8 +61,21 @@ class BroadcastChannel {
 
   /// Start time of the next transmission of \p p at or after now.
   double NextArrivalStart(PageId p) const {
-    return program_->NextArrivalStart(p, sim_->Now());
+    return ArrivalStart(p, sim_->Now());
   }
+
+  /// Tracks every in-flight stateful wait so `SetProgram` can re-arm it.
+  /// Must be called before any waits start; only waits that carry a
+  /// receiver or race a pull server are tracked (the adaptive control
+  /// plane guarantees one of the two by validation).
+  void EnableResync() { resync_enabled_ = true; }
+
+  /// Switches the on-air schedule to \p program at simulated time \p now
+  /// (an epoch boundary: every slot of the old program has ended). The
+  /// new program's cycle starts at \p now; all in-flight waits are
+  /// re-armed onto it via their existing deadline/backoff machinery.
+  /// Requires `EnableResync()` before the first wait.
+  void SetProgram(const BroadcastProgram* program, double now);
 
   /// Awaitable that resumes once \p p has been fully received intact;
   /// records per-disk service statistics on resumption. With a receiver
@@ -85,6 +98,12 @@ class BroadcastChannel {
     /// cancelling the pending push arrival and resuming the waiter —
     /// unless this client's radio missed the transmission.
     bool OnPullDelivery(double deliver_end) override;
+
+    /// The on-air program changed at \p now: cancel the pending push
+    /// arrival and re-arm against the new schedule. The receiver's wait
+    /// state (deadline, backoff, attempt counts) carries over — resync
+    /// rides the existing recovery machinery.
+    void Resync(double now);
 
    private:
     // Arms the next audible arrival of page_ at or after listen_from;
@@ -135,9 +154,24 @@ class BroadcastChannel {
  private:
   friend class PageAwaiter;
 
+  // Next arrival start/end of \p p at or after \p t under the current
+  // program, whose cycle began at origin_. With origin_ == 0 (every
+  // non-adaptive run) the translation is exact: `t - 0.0 == t` and
+  // `0.0 + x == x` bitwise, so these reproduce the historical direct
+  // calls bit-for-bit.
+  double ArrivalStart(PageId p, double t) const {
+    return origin_ + program_->NextArrivalStart(p, t - origin_);
+  }
+  double ArrivalEnd(PageId p, double t) const {
+    return origin_ + program_->NextArrivalEnd(p, t - origin_);
+  }
+
   des::Simulation* sim_;
   const BroadcastProgram* program_;
+  double origin_ = 0.0;  // simulated time the current program's cycle began
   pull::PullServer* pull_ = nullptr;
+  bool resync_enabled_ = false;
+  std::vector<PageAwaiter*> active_;  // in-flight waits, resync mode only
   std::vector<uint64_t> served_per_disk_;
   uint64_t total_served_ = 0;
   bool last_wait_via_pull_ = false;

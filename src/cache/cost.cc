@@ -1,0 +1,29 @@
+#include "cache/cost.h"
+
+#include "common/logging.h"
+
+namespace bcast {
+
+double UnitCost::Value(PageId /*page*/, double p) const { return p; }
+
+double InverseFrequencyCost::Value(PageId page, double p) const {
+  const double freq = catalog().Frequency(page);
+  BCAST_CHECK_GT(freq, 0.0) << "page " << page << " is never broadcast";
+  return p / freq;
+}
+
+double BroadcastDelayCost::Value(PageId page, double p) const {
+  const double freq = catalog().Frequency(page);
+  BCAST_CHECK_GT(freq, 0.0) << "page " << page << " is never broadcast";
+  return p * (1.0 / (2.0 * freq));  // expected re-acquisition delay, gap/2
+}
+
+double PullAwareCost::Value(PageId page, double p) const {
+  const double freq = catalog().Frequency(page);
+  BCAST_CHECK_GT(freq, 0.0) << "page " << page << " is never broadcast";
+  double cost = 1.0 / (2.0 * freq);
+  if (interval_ > 0.0 && interval_ < cost) cost = interval_;
+  return p * cost;
+}
+
+}  // namespace bcast

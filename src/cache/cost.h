@@ -1,0 +1,108 @@
+/// \file cost.h
+/// \brief Pluggable cost-to-refetch estimators for cache eviction.
+///
+/// Every cost-based policy in this tree ranks pages by the same shape of
+/// quantity: an access-probability estimate `p` (exact for P/PIX, the aged
+/// running estimate for L/LIX, the constant 1 for GreedyDual's credit
+/// increments) weighted by what a miss on the page would cost to repair.
+/// A `CostEstimator` owns the weighting; the policies own the probability
+/// estimate and the eviction bookkeeping. `Value(page, p)` returns the
+/// ranking value — higher keeps the page cached longer.
+///
+/// The two classical weightings are `p / frequency` (the paper's "IX"
+/// term: P -> PIX, L -> LIX) and `p * expected broadcast wait` (the
+/// GreedyDual credit, gap/2 = 1/(2*frequency)); they order pages
+/// identically since `1/f` and `1/(2f)` are proportional. The pull-aware
+/// estimator is the first weighting the inline expressions could not
+/// state: with a backchannel, the cost to refetch is
+/// `min(push wait, pull service interval)` — a cold page the pull server
+/// can fetch in a few slots no longer deserves the cache space its
+/// broadcast gap alone would justify.
+///
+/// The arithmetic in each estimator reproduces the historical inline
+/// expressions exactly (same operations, same order), so re-basing the
+/// policies onto estimators is bit-identical for P, PIX, L, LIX and
+/// GreedyDual.
+
+#ifndef BCAST_CACHE_COST_H_
+#define BCAST_CACHE_COST_H_
+
+#include <string>
+
+#include "cache/cache_policy.h"
+
+namespace bcast {
+
+/// \brief Translates an access-probability estimate into an eviction value
+/// by weighting it with the cost of refetching the page.
+class CostEstimator {
+ public:
+  /// \param catalog Page knowledge; must outlive the estimator.
+  explicit CostEstimator(const PageCatalog* catalog) : catalog_(catalog) {}
+  virtual ~CostEstimator() = default;
+
+  CostEstimator(const CostEstimator&) = delete;
+  CostEstimator& operator=(const CostEstimator&) = delete;
+
+  /// Ranking value of \p page given probability estimate \p p. Pages with
+  /// higher values stay cached longer.
+  virtual double Value(PageId page, double p) const = 0;
+
+  /// Short estimator name for reports and tests ("unit", "ix", ...).
+  virtual std::string name() const = 0;
+
+ protected:
+  const PageCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const PageCatalog* catalog_;
+};
+
+/// \brief Refetch cost ignored: Value = p. P over exact probabilities, and
+/// the paper's "L" policy over the LIX running estimate.
+class UnitCost : public CostEstimator {
+ public:
+  using CostEstimator::CostEstimator;
+  double Value(PageId page, double p) const override;
+  std::string name() const override { return "unit"; }
+};
+
+/// \brief Value = p / broadcast frequency — the paper's "IX" weighting
+/// (PIX over exact probabilities, LIX over the running estimate).
+class InverseFrequencyCost : public CostEstimator {
+ public:
+  using CostEstimator::CostEstimator;
+  double Value(PageId page, double p) const override;
+  std::string name() const override { return "ix"; }
+};
+
+/// \brief Value = p * expected broadcast wait (gap/2 = 1/(2*frequency)) —
+/// the GreedyDual credit increment, where p is the constant 1.
+class BroadcastDelayCost : public CostEstimator {
+ public:
+  using CostEstimator::CostEstimator;
+  double Value(PageId page, double p) const override;
+  std::string name() const override { return "delay"; }
+};
+
+/// \brief Pull-aware weighting: with a backchannel the cost to refetch is
+/// `min(push wait, pull service interval)`, so pages the pull server can
+/// fetch cheaply are discounted. A non-positive interval means no usable
+/// backchannel and degenerates to `BroadcastDelayCost` exactly.
+class PullAwareCost : public CostEstimator {
+ public:
+  PullAwareCost(const PageCatalog* catalog, double pull_service_interval)
+      : CostEstimator(catalog), interval_(pull_service_interval) {}
+  double Value(PageId page, double p) const override;
+  std::string name() const override { return "pull"; }
+
+  /// The pull service interval used as the refetch-cost cap (for tests).
+  double interval() const { return interval_; }
+
+ private:
+  double interval_;
+};
+
+}  // namespace bcast
+
+#endif  // BCAST_CACHE_COST_H_

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "cache/clock.h"
+#include "cache/cost.h"
 #include "cache/greedy_dual.h"
 #include "cache/lru.h"
 #include "cache/p_policy.h"
@@ -30,6 +31,8 @@ std::string PolicyKindName(PolicyKind kind) {
       return "CLOCK";
     case PolicyKind::kGreedyDual:
       return "GD";
+    case PolicyKind::kPullLix:
+      return "PLIX";
   }
   return "?";
 }
@@ -52,6 +55,10 @@ Result<PolicyKind> ParsePolicyKind(std::string_view name) {
   if (lower == "clock") return PolicyKind::kClock;
   if (lower == "gd" || lower == "greedydual" || lower == "greedy-dual") {
     return PolicyKind::kGreedyDual;
+  }
+  if (lower == "plix" || lower == "pull-lix" || lower == "pullaware" ||
+      lower == "pull-aware") {
+    return PolicyKind::kPullLix;
   }
   return Status::InvalidArgument("unknown cache policy: " +
                                  std::string(name));
@@ -107,6 +114,13 @@ Result<std::unique_ptr<CachePolicy>> MakeCachePolicy(
     case PolicyKind::kGreedyDual:
       policy =
           std::make_unique<GreedyDualCache>(capacity, num_pages, catalog);
+      break;
+    case PolicyKind::kPullLix:
+      policy = std::make_unique<LixCache>(
+          capacity, num_pages, catalog,
+          std::make_unique<PullAwareCost>(catalog,
+                                          options.pull_service_interval),
+          "PLIX", options.lix.alpha);
       break;
   }
   return policy;

@@ -27,6 +27,7 @@ enum class PolicyKind {
   kTwoQ,   ///< 2Q (extension).
   kClock,  ///< CLOCK second-chance (extension).
   kGreedyDual,  ///< GreedyDual with broadcast cost (extension).
+  kPullLix,     ///< LIX over the pull-aware refetch cost (extension).
 };
 
 /// \brief Tuning knobs forwarded to the concrete policies.
@@ -34,6 +35,10 @@ struct PolicyOptions {
   LixOptions lix;
   LruKOptions lru_k;
   TwoQOptions two_q;
+
+  /// Mean slots between pull services, used by the pull-aware estimator
+  /// as the refetch-cost cap; <= 0 means no usable backchannel.
+  double pull_service_interval = 0.0;
 };
 
 /// Canonical display name of \p kind ("P", "PIX", "LRU", ...).

@@ -6,14 +6,22 @@ namespace bcast {
 
 GreedyDualCache::GreedyDualCache(uint64_t capacity, PageId num_pages,
                                  const PageCatalog* catalog)
+    : GreedyDualCache(capacity, num_pages, catalog,
+                      std::make_unique<BroadcastDelayCost>(catalog)) {}
+
+GreedyDualCache::GreedyDualCache(uint64_t capacity, PageId num_pages,
+                                 const PageCatalog* catalog,
+                                 std::unique_ptr<CostEstimator> estimator)
     : CachePolicy(capacity, num_pages, catalog),
+      estimator_(std::move(estimator)),
       credit_(num_pages, 0.0),
-      cached_(num_pages, false) {}
+      cached_(num_pages, false) {
+  BCAST_CHECK(estimator_ != nullptr);
+}
 
 double GreedyDualCache::Cost(PageId page) const {
-  const double freq = catalog().Frequency(page);
-  BCAST_CHECK_GT(freq, 0.0) << "page " << page << " is never broadcast";
-  return 1.0 / (2.0 * freq);  // expected re-acquisition delay, gap/2
+  // p = 1: GreedyDual's credit is the bare refetch cost.
+  return estimator_->Value(page, 1.0);
 }
 
 double GreedyDualCache::CreditOf(PageId page) const {

@@ -22,20 +22,31 @@
 #ifndef BCAST_CACHE_GREEDY_DUAL_H_
 #define BCAST_CACHE_GREEDY_DUAL_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cache/cache_policy.h"
+#include "cache/cost.h"
 
 namespace bcast {
 
 /// \brief GreedyDual with broadcast re-acquisition cost.
+///
+/// The per-fetch cost is a pluggable `CostEstimator` evaluated at p = 1
+/// (GreedyDual carries no probability estimate); the default
+/// `BroadcastDelayCost` reproduces the classical gap/2 credit exactly.
 class GreedyDualCache : public CachePolicy {
  public:
   GreedyDualCache(uint64_t capacity, PageId num_pages,
                   const PageCatalog* catalog);
+
+  /// GreedyDual over an explicit refetch-cost estimator.
+  GreedyDualCache(uint64_t capacity, PageId num_pages,
+                  const PageCatalog* catalog,
+                  std::unique_ptr<CostEstimator> estimator);
 
   bool Lookup(PageId page, double now) override;
   void Insert(PageId page, double now) override;
@@ -53,6 +64,7 @@ class GreedyDualCache : public CachePolicy {
   double Cost(PageId page) const;
   void Refresh(PageId page);
 
+  std::unique_ptr<CostEstimator> estimator_;
   std::vector<double> credit_;
   std::vector<bool> cached_;
   // Ascending by (credit, page); begin() is the next victim.

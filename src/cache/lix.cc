@@ -15,12 +15,27 @@ constexpr double kMinGap = 1e-9;
 
 LixCache::LixCache(uint64_t capacity, PageId num_pages,
                    const PageCatalog* catalog, LixOptions options)
+    : LixCache(capacity, num_pages, catalog,
+               options.use_frequency
+                   ? std::unique_ptr<CostEstimator>(
+                         std::make_unique<InverseFrequencyCost>(catalog))
+                   : std::unique_ptr<CostEstimator>(
+                         std::make_unique<UnitCost>(catalog)),
+               options.use_frequency ? "LIX" : "L", options.alpha) {}
+
+LixCache::LixCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog,
+                   std::unique_ptr<CostEstimator> estimator, std::string name,
+                   double alpha)
     : CachePolicy(capacity, num_pages, catalog),
-      options_(options),
+      alpha_(alpha),
+      estimator_(std::move(estimator)),
+      name_(std::move(name)),
       state_(num_pages),
       cached_(num_pages, false) {
-  BCAST_CHECK_GT(options.alpha, 0.0);
-  BCAST_CHECK_LE(options.alpha, 1.0);
+  BCAST_CHECK_GT(alpha, 0.0);
+  BCAST_CHECK_LE(alpha, 1.0);
+  BCAST_CHECK(estimator_ != nullptr);
   const uint64_t num_disks = std::max<uint64_t>(catalog->NumDisks(), 1);
   chains_.reserve(num_disks);
   for (uint64_t d = 0; d < num_disks; ++d) chains_.emplace_back(num_pages);
@@ -29,16 +44,12 @@ LixCache::LixCache(uint64_t capacity, PageId num_pages,
 double LixCache::AgedEstimate(PageId page, double now) const {
   const PageState& ps = state_[page];
   const double gap = std::max(now - ps.last_access, kMinGap);
-  return options_.alpha / gap + (1.0 - options_.alpha) * ps.estimate;
+  return alpha_ / gap + (1.0 - alpha_) * ps.estimate;
 }
 
 double LixCache::EvaluateLix(PageId page, double now) const {
   BCAST_CHECK(cached_[page]);
-  const double estimate = AgedEstimate(page, now);
-  if (!options_.use_frequency) return estimate;
-  const double freq = catalog().Frequency(page);
-  BCAST_CHECK_GT(freq, 0.0);
-  return estimate / freq;
+  return estimator_->Value(page, AgedEstimate(page, now));
 }
 
 bool LixCache::Lookup(PageId page, double now) {

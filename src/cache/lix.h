@@ -22,10 +22,12 @@
 #ifndef BCAST_CACHE_LIX_H_
 #define BCAST_CACHE_LIX_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache_policy.h"
+#include "cache/cost.h"
 #include "cache/lru.h"
 
 namespace bcast {
@@ -40,18 +42,28 @@ struct LixOptions {
 };
 
 /// \brief The LIX replacement policy (and L, via options).
+///
+/// The probability estimator and per-disk chain machinery are policy
+/// mechanics; what the lix *value* is comes from a pluggable
+/// `CostEstimator`: `InverseFrequencyCost` gives the paper's LIX,
+/// `UnitCost` gives L, and `PullAwareCost` gives the pull-aware PLIX
+/// variant that discounts pages a backchannel can refetch cheaply.
 class LixCache : public CachePolicy {
  public:
   LixCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
            LixOptions options = {});
 
+  /// Builds the policy over an explicit estimator; \p name is the
+  /// reported policy name (e.g. "PLIX").
+  LixCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
+           std::unique_ptr<CostEstimator> estimator, std::string name,
+           double alpha = 0.25);
+
   bool Lookup(PageId page, double now) override;
   void Insert(PageId page, double now) override;
   bool Contains(PageId page) const override { return cached_[page]; }
   uint64_t size() const override { return size_; }
-  std::string name() const override {
-    return options_.use_frequency ? "LIX" : "L";
-  }
+  std::string name() const override { return name_; }
 
   /// The lix value \p page would have if evaluated at \p now (for tests).
   /// The page must be cached.
@@ -60,6 +72,9 @@ class LixCache : public CachePolicy {
   /// Current length of the chain for disk \p d (chains resize dynamically
   /// with the access pattern; exposed for tests and metrics).
   uint64_t ChainSize(DiskIndex d) const { return chains_[d].size(); }
+
+  /// The cost estimator ranking candidates (for tests).
+  const CostEstimator& estimator() const { return *estimator_; }
 
  private:
   /// Ages the running estimate of \p page to \p now without committing.
@@ -70,7 +85,9 @@ class LixCache : public CachePolicy {
     double last_access = 0.0;
   };
 
-  LixOptions options_;
+  double alpha_;
+  std::unique_ptr<CostEstimator> estimator_;
+  std::string name_;
   std::vector<LruList> chains_;  // one per broadcast disk
   std::vector<PageState> state_;
   std::vector<bool> cached_;

@@ -35,33 +35,31 @@ void StaticValueCache::Insert(PageId page, double /*now*/) {
 
 namespace {
 
-std::vector<double> ProbabilityValues(PageId num_pages,
-                                      const PageCatalog& catalog) {
-  std::vector<double> values(num_pages);
-  for (PageId p = 0; p < num_pages; ++p) values[p] = catalog.Probability(p);
-  return values;
-}
-
-std::vector<double> PixValues(PageId num_pages, const PageCatalog& catalog) {
+std::vector<double> EstimatedValues(PageId num_pages,
+                                    const PageCatalog& catalog,
+                                    const CostEstimator& estimator) {
   std::vector<double> values(num_pages);
   for (PageId p = 0; p < num_pages; ++p) {
-    const double freq = catalog.Frequency(p);
-    BCAST_CHECK_GT(freq, 0.0) << "page " << p << " is never broadcast";
-    values[p] = catalog.Probability(p) / freq;
+    values[p] = estimator.Value(p, catalog.Probability(p));
   }
   return values;
 }
 
 }  // namespace
 
+StaticValueCache::StaticValueCache(uint64_t capacity, PageId num_pages,
+                                   const PageCatalog* catalog,
+                                   const CostEstimator& estimator)
+    : StaticValueCache(capacity, num_pages, catalog,
+                       EstimatedValues(num_pages, *catalog, estimator)) {}
+
 PCache::PCache(uint64_t capacity, PageId num_pages,
                const PageCatalog* catalog)
-    : StaticValueCache(capacity, num_pages, catalog,
-                       ProbabilityValues(num_pages, *catalog)) {}
+    : StaticValueCache(capacity, num_pages, catalog, UnitCost(catalog)) {}
 
 PixCache::PixCache(uint64_t capacity, PageId num_pages,
                    const PageCatalog* catalog)
     : StaticValueCache(capacity, num_pages, catalog,
-                       PixValues(num_pages, *catalog)) {}
+                       InverseFrequencyCost(catalog)) {}
 
 }  // namespace bcast

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cache/cache_policy.h"
+#include "cache/cost.h"
 
 namespace bcast {
 
@@ -45,6 +46,12 @@ class StaticValueCache : public CachePolicy {
  protected:
   StaticValueCache(uint64_t capacity, PageId num_pages,
                    const PageCatalog* catalog, std::vector<double> values);
+
+  /// Builds the value table by running \p estimator over the exact access
+  /// probabilities; the estimator is only consulted during construction.
+  StaticValueCache(uint64_t capacity, PageId num_pages,
+                   const PageCatalog* catalog,
+                   const CostEstimator& estimator);
 
  private:
   std::vector<double> values_;

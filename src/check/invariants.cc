@@ -527,4 +527,136 @@ CheckList CheckPullImprovement(std::vector<PullSweepPoint> points,
   return list;
 }
 
+AdaptSweepPoint AdaptSweepPointFromReport(const obs::RunReport& report) {
+  AdaptSweepPoint point;
+  point.epoch_cycles = ExtraOr(report, "adapt_epoch_cycles", 0.0);
+  // The pinned cold class when the controller reported one; the hybrid
+  // cold class otherwise (a static hybrid run never re-seats pages, so
+  // the two sets coincide there).
+  point.cold_count = ExtraOr(report, "adapt_cold_count", 0.0);
+  if (point.cold_count > 0.0) {
+    point.cold_mean_rt = ExtraOr(report, "adapt_cold_mean_rt", 0.0);
+  } else {
+    point.cold_mean_rt = ExtraOr(report, "pull_cold_mean_rt", 0.0);
+    point.cold_count = ExtraOr(report, "pull_cold_count", 0.0);
+  }
+  point.mean_response = report.response.mean;
+  point.epochs = ExtraOr(report, "adapt_epochs", 0.0);
+  point.rebuilds = ExtraOr(report, "adapt_rebuilds", 0.0);
+  point.promotions = ExtraOr(report, "adapt_promotions", 0.0);
+  point.slot_grows = ExtraOr(report, "adapt_slot_grows", 0.0);
+  point.slot_shrinks = ExtraOr(report, "adapt_slot_shrinks", 0.0);
+  point.min_slots = ExtraOr(report, "adapt_min_slots", 0.0);
+  point.max_slots = ExtraOr(report, "adapt_max_slots", 0.0);
+  point.final_slots = ExtraOr(report, "adapt_final_slots", 0.0);
+  point.slot_range_late = ExtraOr(report, "adapt_slot_range_late", 0.0);
+  return point;
+}
+
+CheckList CheckAdaptImprovement(std::vector<AdaptSweepPoint> points,
+                                double slack) {
+  CheckList list;
+  list.Add("adapt_sweep.nonempty", !points.empty(),
+           "the comparison needs at least one point");
+  if (points.empty()) return list;
+
+  // Partition into static anchors and adaptive points.
+  const AdaptSweepPoint* best_anchor = nullptr;
+  bool have_adaptive = false;
+  bool anchors_inert = true;
+  std::string anchor_detail;
+  bool cold_measured = true;
+  std::string measured_detail;
+  for (const AdaptSweepPoint& p : points) {
+    if (p.cold_count <= 0.0) {
+      cold_measured = false;
+      std::ostringstream out;
+      out << "point with epoch_cycles=" << p.epoch_cycles
+          << " measured no cold-class fetches";
+      measured_detail = out.str();
+    }
+    if (p.epoch_cycles == 0.0) {
+      if (p.epochs != 0.0 || p.rebuilds != 0.0 || p.promotions != 0.0) {
+        anchors_inert = false;
+        std::ostringstream out;
+        out << "static anchor reports controller activity: epochs="
+            << p.epochs << " rebuilds=" << p.rebuilds
+            << " promotions=" << p.promotions;
+        anchor_detail = out.str();
+      }
+      if (p.cold_count > 0.0 &&
+          (best_anchor == nullptr ||
+           p.cold_mean_rt < best_anchor->cold_mean_rt)) {
+        best_anchor = &p;
+      }
+    } else {
+      have_adaptive = true;
+    }
+  }
+  list.Add("adapt_sweep.has_static_anchor", best_anchor != nullptr,
+           "need a static (epoch_cycles=0) point with a measured cold "
+           "class to compare against");
+  list.Add("adapt_sweep.has_adaptive_point", have_adaptive,
+           "need at least one adaptive (epoch_cycles>0) point");
+  list.Add("adapt_sweep.cold_class_measured", cold_measured,
+           measured_detail);
+  list.Add("adapt_sweep.static_anchor_inert", anchors_inert,
+           anchor_detail);
+
+  bool controller_ran = true;
+  std::string ran_detail;
+  bool cold_improves = true;
+  std::string cold_detail;
+  bool slots_bounded = true;
+  std::string bounds_detail;
+  bool converges = true;
+  std::string converge_detail;
+  for (const AdaptSweepPoint& p : points) {
+    if (p.epoch_cycles == 0.0) continue;
+    if (p.epochs <= 0.0) {
+      controller_ran = false;
+      std::ostringstream out;
+      out << "adaptive point (epoch_cycles=" << p.epoch_cycles
+          << ") reports zero controller epochs";
+      ran_detail = out.str();
+    }
+    // The tentpole claim: the repaired program serves the pinned cold
+    // class strictly faster than the static program did.
+    if (best_anchor != nullptr && p.cold_count > 0.0 &&
+        !(p.cold_mean_rt < best_anchor->cold_mean_rt * (1.0 - slack))) {
+      cold_improves = false;
+      std::ostringstream out;
+      out << "adaptive cold mean rt " << p.cold_mean_rt
+          << " (epoch_cycles=" << p.epoch_cycles
+          << ") does not improve on static " << best_anchor->cold_mean_rt;
+      cold_detail = out.str();
+    }
+    if (p.max_slots > 0.0 &&
+        (p.final_slots < p.min_slots || p.final_slots > p.max_slots)) {
+      slots_bounded = false;
+      std::ostringstream out;
+      out << "final slot count " << p.final_slots << " outside ["
+          << p.min_slots << ", " << p.max_slots << "]";
+      bounds_detail = out.str();
+    }
+    // Bounded oscillation: over the last half of the epochs the slot
+    // count moved by at most one step.
+    if (p.slot_range_late > 1.0) {
+      converges = false;
+      std::ostringstream out;
+      out << "late-epoch slot range " << p.slot_range_late
+          << " (controller still hunting)";
+      converge_detail = out.str();
+    }
+  }
+  list.Add("adapt_sweep.controller_ran", controller_ran, ran_detail);
+  list.Add("adapt_sweep.cold_latency_improves", cold_improves,
+           cold_detail);
+  list.Add("adapt_sweep.slots_within_bounds", slots_bounded,
+           bounds_detail);
+  list.Add("adapt_sweep.slot_controller_converges", converges,
+           converge_detail);
+  return list;
+}
+
 }  // namespace bcast::check

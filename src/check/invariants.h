@@ -176,6 +176,57 @@ PullSweepPoint PullSweepPointFromReport(const obs::RunReport& report);
 CheckList CheckPullImprovement(std::vector<PullSweepPoint> points,
                                double slack = 0.05);
 
+/// \brief One point of an adaptive-vs-static comparison: the controller
+/// configuration a run used, what it did, and the cold-class latency it
+/// measured over the *pinned* cold-page set (the slowest disk of the
+/// initial program — the same set in every run, so adaptive promotions
+/// cannot redefine the class they are judged on).
+struct AdaptSweepPoint {
+  /// Configured control epoch in major cycles (0 = static anchor).
+  double epoch_cycles = 0.0;
+
+  /// Mean response over pinned cold-class fetches, and their count.
+  /// Adaptive runs report the pinned `adapt_cold_*` extras; static
+  /// anchors fall back to the hybrid `pull_cold_*` extras (identical
+  /// sets when no controller ever re-seats a page).
+  double cold_mean_rt = 0.0;
+  double cold_count = 0.0;
+
+  /// Overall mean response (broadcast units).
+  double mean_response = 0.0;
+
+  /// Controller decision counts (all 0 on static anchors).
+  double epochs = 0.0;
+  double rebuilds = 0.0;
+  double promotions = 0.0;
+  double slot_grows = 0.0;
+  double slot_shrinks = 0.0;
+
+  /// Slot trajectory summary: configured bounds, end state, and the
+  /// max-minus-min range over the last half of the epoch history.
+  double min_slots = 0.0;
+  double max_slots = 0.0;
+  double final_slots = 0.0;
+  double slot_range_late = 0.0;
+};
+
+/// \brief Extracts an adapt sweep point from a run report (static
+/// defaults when the report carries no adapt extras — such a report
+/// anchors the comparison).
+AdaptSweepPoint AdaptSweepPointFromReport(const obs::RunReport& report);
+
+/// \brief The control plane's value story, re-derived from the measured
+/// points alone: the comparison needs a static anchor and an adaptive
+/// point, both with a measured cold class; static anchors must show an
+/// inert controller (no epochs, rebuilds, or promotions); every adaptive
+/// point's controller must actually have run; adaptive cold-class mean
+/// response must *strictly* improve on the best static anchor (beyond
+/// `slack` relative margin); and the slot controller must converge —
+/// final slot counts within configured bounds and a late-epoch slot
+/// range of at most one (bounded oscillation).
+CheckList CheckAdaptImprovement(std::vector<AdaptSweepPoint> points,
+                                double slack = 0.0);
+
 }  // namespace bcast::check
 
 #endif  // BCAST_CHECK_INVARIANTS_H_

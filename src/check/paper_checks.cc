@@ -6,6 +6,7 @@
 #include "broadcast/analysis.h"
 #include "broadcast/generator.h"
 #include "core/analytic_model.h"
+#include "core/sim_config.h"
 #include "core/simulator.h"
 
 namespace bcast::check {
@@ -17,9 +18,15 @@ std::string Relation(double lhs, double rhs, const char* op) {
   return out.str();
 }
 
-// Mean response time of one run of \p params.
+// Mean response time of one run of \p params. The configuration flows
+// through the consolidated SimConfig path, so paper checks run under the
+// same validation as the tools.
 Result<double> SimulatedMean(const SimParams& params) {
-  Result<SimResult> result = RunSimulation(params);
+  SimConfig config;
+  config.params = params;
+  const Status finalized = config.Finalize(nullptr);
+  if (!finalized.ok()) return finalized;
+  Result<SimResult> result = RunSimulation(config.params);
   if (!result.ok()) return result.status();
   return result->metrics.mean_response_time();
 }

@@ -111,6 +111,11 @@ des::Process Client::Run() {
     if (cache_->Lookup(logical, start)) {
       metrics_.RecordHit(0.0);
       metrics_.RecordTuning(0.0);
+      if (config_.cold_pages != nullptr &&
+          (*config_.cold_pages)[mapping_->ToPhysical(logical)]) {
+        ++cold_requests_;
+        ++cold_hits_;
+      }
       if (sampled) {
         TraceRequest(start, logical, /*hit=*/true, /*warmup=*/false, 0.0,
                      -1);
@@ -132,6 +137,10 @@ des::Process Client::Run() {
                                   /*measured=*/true, IsColdDisk(disk));
       }
       metrics_.RecordMiss(wait, disk);
+      if (config_.cold_pages != nullptr && (*config_.cold_pages)[physical]) {
+        ++cold_requests_;
+        if (config_.cold_wait != nullptr) config_.cold_wait->Add(wait);
+      }
       // Radio accounting: with a known schedule the client sleeps until
       // the page's slot and listens one slot per reception attempt;
       // otherwise the radio is on for the whole wait, minus any backoff

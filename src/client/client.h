@@ -14,6 +14,7 @@
 #define BCAST_CLIENT_CLIENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "broadcast/channel.h"
 #include "cache/cache_policy.h"
@@ -22,6 +23,7 @@
 #include "client/mapping.h"
 #include "core/metrics.h"
 #include "des/simulation.h"
+#include "obs/histogram.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
 
@@ -60,6 +62,18 @@ struct ClientRunConfig {
   /// nullptr — the default — never touches the backchannel,
   /// bit-identical to the pure-push client.
   pull::PullClient* pull = nullptr;
+
+  /// Optional cold-page set, indexed by *physical* page and pinned to
+  /// the initial program (unowned; must outlive the run). When set, the
+  /// client counts measured-phase requests and hits against this fixed
+  /// set — the class the adaptive gates compare across runs, immune to
+  /// the controller re-seating pages mid-run. nullptr — the default —
+  /// adds no per-request work.
+  const std::vector<bool>* cold_pages = nullptr;
+
+  /// Optional histogram of measured-phase response times of misses on
+  /// `cold_pages` (unowned). Feeds the adapt cold-latency gate.
+  obs::LogHistogram* cold_wait = nullptr;
 };
 
 /// \brief A single client workload driving a cache against the broadcast.
@@ -82,6 +96,11 @@ class Client {
 
   /// True once the measured phase has completed.
   bool finished() const { return finished_; }
+
+  /// Measured-phase requests (and cache hits) for pages of the pinned
+  /// cold set; both 0 unless `config.cold_pages` was provided.
+  uint64_t cold_requests() const { return cold_requests_; }
+  uint64_t cold_hits() const { return cold_hits_; }
 
   /// Wall-clock seconds the event loop spent inside this client's warm-up
   /// and measured phases (attributed from the client's own coroutine;
@@ -107,6 +126,8 @@ class Client {
   ClientRunConfig config_;
   ClientMetrics metrics_;
   uint64_t warmup_requests_ = 0;
+  uint64_t cold_requests_ = 0;
+  uint64_t cold_hits_ = 0;
   bool finished_ = false;
   double warmup_wall_seconds_ = 0.0;
   double measured_wall_seconds_ = 0.0;

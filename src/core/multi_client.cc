@@ -4,6 +4,8 @@
 #include <numeric>
 #include <string>
 
+#include "adapt/controller.h"
+#include "adapt/loss_monitor.h"
 #include "broadcast/channel.h"
 #include "broadcast/generator.h"
 #include "client/client.h"
@@ -79,6 +81,20 @@ Status MultiClientParams::Validate() const {
         "pull slots interleave into the multi-disk program's minor "
         "cycles; use the multi-disk program with pull");
   }
+  Status adapt_status = adapt.Validate();
+  if (!adapt_status.ok()) return adapt_status;
+  if (adapt.Active()) {
+    if (program_kind != ProgramKind::kMultiDisk) {
+      return Status::InvalidArgument(
+          "the adaptive controller regenerates the multi-disk program; "
+          "use the multi-disk program with adaptation");
+    }
+    if (!fault.Active() && !pull.Active()) {
+      return Status::InvalidArgument(
+          "adaptation needs a signal to adapt to: enable the fault model "
+          "for frequency repair or pull for slot control");
+    }
+  }
   return Status::OK();
 }
 
@@ -144,6 +160,37 @@ Result<MultiClientResult> RunMultiClientSimulation(
     if (pull_server->enabled()) channel.AttachPullServer(pull_server.get());
   }
 
+  // Cold-page set pinned to the initial program (see RunSimulation).
+  std::vector<bool> cold_pages;
+  if ((params.pull.Active() || params.adapt.Active()) &&
+      program->num_disks() > 1) {
+    const DiskIndex coldest =
+        static_cast<DiskIndex>(program->num_disks() - 1);
+    cold_pages.resize(total);
+    for (PageId p = 0; p < static_cast<PageId>(total); ++p) {
+      cold_pages[p] = program->DiskOf(p) == coldest;
+    }
+  }
+  // The adaptive control plane is population-wide: one loss monitor
+  // aggregates every receiver's failures (the server sees the union),
+  // and one controller steers the shared program and pull split.
+  std::unique_ptr<adapt::LossMonitor> loss_monitor;
+  std::unique_ptr<adapt::Controller> controller;
+  if (params.adapt.Active()) {
+    if (params.fault.Active()) {
+      loss_monitor =
+          std::make_unique<adapt::LossMonitor>(static_cast<PageId>(total));
+    }
+    adapt::Controller::Hooks hooks;
+    hooks.channel = &channel;
+    hooks.pull = (pull_server != nullptr && pull_server->enabled())
+                     ? pull_server.get()
+                     : nullptr;
+    hooks.loss = loss_monitor.get();
+    controller = std::make_unique<adapt::Controller>(&sim, *layout,
+                                                     params.adapt, hooks);
+  }
+
   // Assemble every client's private machinery. Objects are kept in
   // index-stable storage so the spawned coroutines can reference them.
   struct ClientWorld {
@@ -184,9 +231,17 @@ Result<MultiClientResult> RunMultiClientSimulation(
 
     worlds[c].catalog = std::make_unique<SimCatalog>(
         worlds[c].gen.get(), &*program, worlds[c].mapping.get());
+    PolicyOptions policy_options = spec.policy_options;
+    if (params.pull.Active() && hybrid_layout.enabled()) {
+      // Pull-aware estimator's refetch bound: mean pull-slot spacing.
+      policy_options.pull_service_interval =
+          static_cast<double>(hybrid_layout.period()) /
+          static_cast<double>(hybrid_layout.pull_per_minor *
+                              hybrid_layout.num_minor);
+    }
     Result<std::unique_ptr<CachePolicy>> cache = MakeCachePolicy(
         spec.policy, spec.cache_size, static_cast<PageId>(total),
-        worlds[c].catalog.get(), spec.policy_options);
+        worlds[c].catalog.get(), policy_options);
     if (!cache.ok()) return cache.status();
     worlds[c].cache = std::move(*cache);
 
@@ -196,6 +251,9 @@ Result<MultiClientResult> RunMultiClientSimulation(
       worlds[c].receiver =
           fault::MakeReceiver(params.fault, /*client_id=*/c,
                               static_cast<double>(program->period()));
+      if (loss_monitor != nullptr) {
+        worlds[c].receiver->AttachLossSink(loss_monitor.get());
+      }
     }
     if (pull_server != nullptr) {
       // Each client gets its own requester; the in-flight uplink loss
@@ -217,6 +275,12 @@ Result<MultiClientResult> RunMultiClientSimulation(
     config.max_warmup_requests = params.max_warmup_requests;
     config.receiver = worlds[c].receiver.get();
     config.pull = worlds[c].pull.get();
+    if (!cold_pages.empty()) {
+      config.cold_pages = &cold_pages;
+      if (controller != nullptr) {
+        config.cold_wait = &controller->stats().cold_wait;
+      }
+    }
     worlds[c].client = std::make_unique<Client>(
         &sim, &channel, worlds[c].cache.get(), worlds[c].gen.get(),
         worlds[c].mapping.get(), config);
@@ -225,6 +289,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
   timings.setup_seconds = setup_watch.ElapsedSeconds();
   obs::Stopwatch run_watch;
   for (auto& world : worlds) sim.Spawn(world.client->Run());
+  if (controller != nullptr) controller->Start();
   sim.Run();
   timings.measured_seconds = run_watch.ElapsedSeconds();
 
@@ -242,11 +307,17 @@ Result<MultiClientResult> RunMultiClientSimulation(
       result.faults.Merge(worlds[c].receiver->stats());
       result.faults_active = true;
     }
+    result.cold_requests += worlds[c].client->cold_requests();
+    result.cold_hits += worlds[c].client->cold_hits();
   }
   if (pull_server != nullptr) {
     pull_server->FinishRun(sim.Now());
     result.pull_stats = pull_server->stats();
     result.pull_active = true;
+  }
+  if (controller != nullptr) {
+    result.adapt_stats = controller->stats();
+    result.adapt_active = true;
   }
   result.end_time = sim.Now();
   result.events_dispatched = sim.events_dispatched();
@@ -308,6 +379,9 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
   }
   if (result.pull_active) {
     AppendPullExtras(params.pull, result.pull_stats, &report);
+  }
+  if (result.adapt_active) {
+    AppendAdaptExtras(params.adapt, result.adapt_stats, &report);
   }
   return report;
 }

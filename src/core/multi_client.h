@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt_params.h"
+#include "adapt/adapt_stats.h"
 #include "core/metrics.h"
 #include "core/params.h"
 #include "fault/fault_params.h"
@@ -95,6 +97,12 @@ struct MultiClientParams {
   /// program.
   pull::PullParams pull;
 
+  /// Adaptive control-plane knobs, shared by the population: one epoch
+  /// controller steers the program (and the shared pull server) from the
+  /// aggregate loss and queue measurements of every client. Inactive by
+  /// default; same activation requirements as SimParams.
+  adapt::AdaptParams adapt;
+
   /// Total pages broadcast.
   uint64_t ServerDbSize() const;
 
@@ -139,6 +147,16 @@ struct MultiClientResult {
   /// `params.pull.Active()`.
   pull::PullStats pull_stats;
   bool pull_active = false;
+
+  /// Adaptive-controller accounting; populated (and `adapt_active` set)
+  /// only when `params.adapt.Active()`.
+  adapt::AdaptStats adapt_stats;
+  bool adapt_active = false;
+
+  /// Population-wide measured requests (and hits) against the pinned
+  /// cold-page set; populated when pull or adaptation is active.
+  uint64_t cold_requests = 0;
+  uint64_t cold_hits = 0;
 };
 
 /// \brief Runs the population against one shared broadcast.

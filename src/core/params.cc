@@ -59,6 +59,21 @@ Status SimParams::Validate() const {
         "pull slots interleave into the multi-disk program's minor "
         "cycles; use --program=multidisk with pull");
   }
+  Status adapt_status = adapt.Validate();
+  if (!adapt_status.ok()) return adapt_status;
+  if (adapt.Active()) {
+    if (program_kind != ProgramKind::kMultiDisk) {
+      return Status::InvalidArgument(
+          "the adaptive controller regenerates the multi-disk program; "
+          "use --program=multidisk with --adapt_epoch");
+    }
+    if (!fault.Active() && !pull.Active()) {
+      return Status::InvalidArgument(
+          "adaptation needs a signal to adapt to: enable the fault model "
+          "(--loss/--corrupt/--doze) for frequency repair or pull "
+          "(--pull_slots/--pull_force) for slot control");
+    }
+  }
   // Delegate frequency validation to the layout builder.
   Result<DiskLayout> layout =
       rel_freqs.empty() ? MakeDeltaLayout(disk_sizes, delta)
@@ -88,6 +103,10 @@ std::string SimParams::ToString() const {
   // hybrid machinery is on, so pure-push goldens never shift.
   if (pull.Active()) {
     summary += " " + pull.ToString();
+  }
+  // And for adaptation: a static run's identity never mentions it.
+  if (adapt.Active()) {
+    summary += " " + adapt.ToString();
   }
   return summary;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt_params.h"
 #include "cache/factory.h"
 #include "client/access_generator.h"
 #include "client/mapping.h"
@@ -127,6 +128,14 @@ struct SimParams {
   /// config identity string is unchanged. Active pull requires the
   /// multi-disk program (pull slots interleave into its minor cycles).
   pull::PullParams pull;
+
+  // --- Adaptive control plane (src/adapt) ---
+  /// Epoch-controller knobs; inactive by default, in which case no
+  /// controller is built, no event is scheduled, and the config identity
+  /// string is unchanged. Active adaptation requires the multi-disk
+  /// program and something to adapt: an active fault model (frequency
+  /// repair) or active pull (slot control), or both.
+  adapt::AdaptParams adapt;
 
   /// Total pages the server broadcasts (sum of disk_sizes).
   uint64_t ServerDbSize() const;

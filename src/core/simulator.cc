@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "adapt/controller.h"
+#include "adapt/loss_monitor.h"
 #include "broadcast/channel.h"
 #include "broadcast/generator.h"
 #include "client/client.h"
@@ -99,11 +101,24 @@ Result<SimResult> RunSimulation(const SimParams& params,
       params.think_time, params.think_kind, master.Split(kRequestStream));
   if (!gen.ok()) return gen.status();
 
+  // The policy catalog is pinned to the *initial* program: the client's
+  // replacement knowledge (probabilities, frequencies, disks) is what it
+  // learned from the published schedule, and deliberately lags any
+  // mid-run repair the adaptive controller broadcasts.
   SimCatalog catalog(&*gen, &*program, &*mapping);
+  PolicyOptions policy_options = params.policy_options;
+  if (params.pull.Active() && hybrid_layout.enabled()) {
+    // The pull-aware estimator's refetch bound: the mean spacing of pull
+    // slots (one service interval, the optimistic single-request case).
+    policy_options.pull_service_interval =
+        static_cast<double>(hybrid_layout.period()) /
+        static_cast<double>(hybrid_layout.pull_per_minor *
+                            hybrid_layout.num_minor);
+  }
   Result<std::unique_ptr<CachePolicy>> cache = MakeCachePolicy(
       params.policy, params.cache_size,
       static_cast<PageId>(params.ServerDbSize()), &catalog,
-      params.policy_options);
+      policy_options);
   if (!cache.ok()) return cache.status();
 
   des::Simulation sim;
@@ -139,14 +154,54 @@ Result<SimResult> RunSimulation(const SimParams& params,
     pull_client = std::make_unique<pull::PullClient>(
         &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
   }
+  // The cold-page set pinned to the initial program: the slowest-disk
+  // class whose fate the adaptive gates (and the pull ablations) track
+  // across runs. Built only when something can use it.
+  std::vector<bool> cold_pages;
+  if ((params.pull.Active() || params.adapt.Active()) &&
+      program->num_disks() > 1) {
+    const DiskIndex coldest =
+        static_cast<DiskIndex>(program->num_disks() - 1);
+    cold_pages.resize(params.ServerDbSize());
+    for (PageId p = 0; p < static_cast<PageId>(cold_pages.size()); ++p) {
+      cold_pages[p] = program->DiskOf(p) == coldest;
+    }
+  }
+  // The adaptive control plane: a shared loss monitor feeding the epoch
+  // controller. Nothing is built (and no event scheduled) when off.
+  std::unique_ptr<adapt::LossMonitor> loss_monitor;
+  std::unique_ptr<adapt::Controller> controller;
+  if (params.adapt.Active()) {
+    if (receiver != nullptr) {
+      loss_monitor = std::make_unique<adapt::LossMonitor>(
+          static_cast<PageId>(params.ServerDbSize()));
+      receiver->AttachLossSink(loss_monitor.get());
+    }
+    adapt::Controller::Hooks hooks;
+    hooks.channel = &channel;
+    hooks.pull = (pull_server != nullptr && pull_server->enabled())
+                     ? pull_server.get()
+                     : nullptr;
+    hooks.loss = loss_monitor.get();
+    controller = std::make_unique<adapt::Controller>(&sim, *layout,
+                                                     params.adapt, hooks);
+  }
+  ClientRunConfig run_config{params.measured_requests,
+                             params.max_warmup_requests,
+                             params.knows_schedule, observers.trace,
+                             receiver.get(), pull_client.get()};
+  if (!cold_pages.empty()) {
+    run_config.cold_pages = &cold_pages;
+    if (controller != nullptr) {
+      run_config.cold_wait = &controller->stats().cold_wait;
+    }
+  }
   Client client(&sim, &channel, cache->get(), &*gen, &*mapping,
-                ClientRunConfig{params.measured_requests,
-                                params.max_warmup_requests,
-                                params.knows_schedule, observers.trace,
-                                receiver.get(), pull_client.get()});
+                run_config);
   result.timings.setup_seconds = setup_watch.ElapsedSeconds();
 
   sim.Spawn(client.Run());
+  if (controller != nullptr) controller->Start();
   sim.Run();
 
   BCAST_CHECK(client.finished()) << "client did not complete its requests";
@@ -170,6 +225,12 @@ Result<SimResult> RunSimulation(const SimParams& params,
     result.pull_stats = pull_server->stats();
     result.pull_active = true;
   }
+  if (controller != nullptr) {
+    result.adapt_stats = controller->stats();
+    result.adapt_active = true;
+  }
+  result.cold_requests = client.cold_requests();
+  result.cold_hits = client.cold_hits();
 
   if (observers.registry != nullptr) {
     obs::MetricsRegistry& reg = *observers.registry;
@@ -221,6 +282,21 @@ Result<SimResult> RunSimulation(const SimParams& params,
       reg.GetHistogram("pull/push_latency_slots")->Merge(ps.push_latency);
       reg.GetHistogram("pull/cold_wait_slots")->Merge(ps.cold_wait);
     }
+    if (result.adapt_active) {
+      const adapt::AdaptStats& as = result.adapt_stats;
+      reg.GetCounter("adapt/epochs")->Increment(as.epochs);
+      reg.GetCounter("adapt/rebuilds")->Increment(as.rebuilds);
+      reg.GetCounter("adapt/promotions")->Increment(as.promotions);
+      reg.GetCounter("adapt/slot_grows")->Increment(as.slot_grows);
+      reg.GetCounter("adapt/slot_shrinks")->Increment(as.slot_shrinks);
+      reg.GetGauge("adapt/initial_slots")
+          ->Set(static_cast<double>(as.initial_slots));
+      reg.GetGauge("adapt/final_slots")
+          ->Set(static_cast<double>(as.final_slots));
+      reg.GetGauge("adapt/slot_range_late")
+          ->Set(static_cast<double>(as.SlotRangeLate()));
+      reg.GetHistogram("adapt/cold_wait_slots")->Merge(as.cold_wait);
+    }
   }
   return result;
 }
@@ -256,6 +332,9 @@ obs::RunReport MakeRunReport(const SimParams& params,
   }
   if (result.pull_active) {
     AppendPullExtras(params.pull, result.pull_stats, &report);
+  }
+  if (result.adapt_active) {
+    AppendAdaptExtras(params.adapt, result.adapt_stats, &report);
   }
   return report;
 }
@@ -335,6 +414,35 @@ void AppendPullExtras(const pull::PullParams& params,
   add("pull_push_latency_mean", stats.push_latency.mean());
   add("pull_cold_mean_rt", stats.cold_wait.mean());
   add("pull_cold_count", static_cast<double>(stats.cold_wait.count()));
+}
+
+void AppendAdaptExtras(const adapt::AdaptParams& params,
+                       const adapt::AdaptStats& stats,
+                       obs::RunReport* report) {
+  auto add = [report](const char* key, double value) {
+    report->extra.emplace_back(key, value);
+  };
+  // Configured knobs first (the adapt-sweep checker reads them back),
+  // then the controller's decision counts, the slot trajectory summary,
+  // and the pinned cold-class latency the improvement gate compares.
+  add("adapt_epoch_cycles", static_cast<double>(params.epoch_cycles));
+  add("adapt_max_promote", static_cast<double>(params.max_promote));
+  add("adapt_queue_high", params.queue_high);
+  add("adapt_idle_low", params.idle_low);
+  add("adapt_idle_high", params.idle_high);
+  add("adapt_hysteresis", static_cast<double>(params.hysteresis_epochs));
+  add("adapt_min_slots", static_cast<double>(params.min_slots));
+  add("adapt_max_slots", static_cast<double>(params.max_slots));
+  add("adapt_epochs", static_cast<double>(stats.epochs));
+  add("adapt_rebuilds", static_cast<double>(stats.rebuilds));
+  add("adapt_promotions", static_cast<double>(stats.promotions));
+  add("adapt_slot_grows", static_cast<double>(stats.slot_grows));
+  add("adapt_slot_shrinks", static_cast<double>(stats.slot_shrinks));
+  add("adapt_initial_slots", static_cast<double>(stats.initial_slots));
+  add("adapt_final_slots", static_cast<double>(stats.final_slots));
+  add("adapt_slot_range_late", static_cast<double>(stats.SlotRangeLate()));
+  add("adapt_cold_mean_rt", stats.cold_wait.mean());
+  add("adapt_cold_count", static_cast<double>(stats.cold_wait.count()));
 }
 
 }  // namespace bcast

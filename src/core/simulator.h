@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt_params.h"
+#include "adapt/adapt_stats.h"
 #include "broadcast/program.h"
 #include "client/mapping.h"
 #include "core/metrics.h"
@@ -69,6 +71,17 @@ struct SimResult {
   /// only when `params.pull.Active()`.
   pull::PullStats pull_stats;
   bool pull_active = false;
+
+  /// Adaptive-controller decision accounting; populated (and
+  /// `adapt_active` set) only when `params.adapt.Active()`.
+  adapt::AdaptStats adapt_stats;
+  bool adapt_active = false;
+
+  /// Measured-phase requests (and hits) against the pinned cold-page
+  /// set (the slowest disk of the *initial* program). Populated when
+  /// pull or adaptation is active; never emitted into run reports.
+  uint64_t cold_requests = 0;
+  uint64_t cold_hits = 0;
 };
 
 /// \brief Optional observability hooks for a run. Both default to off;
@@ -147,6 +160,14 @@ void AppendFaultExtras(const fault::FaultParams& params,
 void AppendPullExtras(const pull::PullParams& params,
                       const pull::PullStats& stats,
                       obs::RunReport* report);
+
+/// \brief Appends the adaptive-controller extras (configured knobs,
+/// epoch/rebuild/promotion counts, slot trajectory, pinned cold-page
+/// latency) to \p report. Call only for active adapt params: a static
+/// run's report must stay byte-identical to the pre-adapt format.
+void AppendAdaptExtras(const adapt::AdaptParams& params,
+                       const adapt::AdaptStats& stats,
+                       obs::RunReport* report);
 
 }  // namespace bcast
 

@@ -118,6 +118,7 @@ bool Receiver::Attempt(PageId page, double end) {
     ++stats_.corrupted;
   }
   ++stats_.retries;
+  if (loss_sink_ != nullptr) loss_sink_->OnFailedAttempt(page);
   return false;
 }
 

@@ -124,6 +124,19 @@ struct FaultStats {
   void Merge(const FaultStats& other);
 };
 
+/// \brief Observer of failed reception attempts, keyed by physical page.
+///
+/// The adaptive control plane (src/adapt) implements this to measure
+/// per-page loss without the fault layer depending on it. A receiver
+/// with no sink attached pays one predictable branch per failure.
+class PageLossSink {
+ public:
+  virtual ~PageLossSink() = default;
+
+  /// A listened transmission of \p page was lost or discarded corrupt.
+  virtual void OnFailedAttempt(PageId page) = 0;
+};
+
 /// \brief One client's radio: fault model + doze schedule + recovery
 /// policy + degradation accounting. Consulted by `BroadcastChannel`
 /// during a faulty wait; owns no simulation state of its own.
@@ -177,8 +190,13 @@ class Receiver {
   const FaultStats& stats() const { return stats_; }
   const DozeSchedule& doze() const { return doze_; }
 
+  /// Attaches a per-page loss observer (unowned; may be null). Shared by
+  /// every receiver of a population in adaptive runs.
+  void AttachLossSink(PageLossSink* sink) { loss_sink_ = sink; }
+
  private:
   std::unique_ptr<FaultModel> model_;
+  PageLossSink* loss_sink_ = nullptr;
   DozeSchedule doze_;
   BackoffPolicy backoff_;
   uint64_t deadline_arrivals_;

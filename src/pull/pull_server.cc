@@ -47,9 +47,9 @@ void PullServer::Enqueue(PageId page, double now) {
 void PullServer::EnsureServiceScheduled(double now) {
   if (service_scheduled_ || queue_.empty()) return;
   service_scheduled_ = true;
-  const double at =
-      layout_.NextPullSlotStart(std::max(now, next_decision_floor_));
-  sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+  const double at = NextSlotStart(std::max(now, next_decision_floor_));
+  pending_decision_ =
+      sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
 }
 
 void PullServer::ServiceDecision(double slot_start) {
@@ -57,9 +57,12 @@ void PullServer::ServiceDecision(double slot_start) {
   // Scheduled only while the queue is non-empty, and entries leave the
   // queue only here, so the pick always exists.
   stats_.queue_depth.Add(static_cast<double>(queue_.depth()));
+  window_depth_sum_ += static_cast<double>(queue_.depth());
+  ++window_depth_count_;
   std::optional<PendingRequest> pick = queue_.PopNext(slot_start);
   BCAST_CHECK(pick.has_value());
   ++stats_.serviced_pages;
+  ++window_serviced_;
 
   const PageId page = pick->page;
   const double end = slot_start + 1.0;
@@ -71,8 +74,9 @@ void PullServer::ServiceDecision(double slot_start) {
   }
   // Pull-slot starts are integers at least one slot apart, so the next
   // opportunity is the first start at or after the current slot's end.
-  const double at = layout_.NextPullSlotStart(slot_start + 1.0);
-  sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+  const double at = NextSlotStart(slot_start + 1.0);
+  pending_decision_ =
+      sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
 }
 
 void PullServer::DeliverPage(PageId page, double end) {
@@ -105,8 +109,47 @@ void PullServer::RemoveWaiter(PageId page, PullSink* sink) {
   if (sinks.empty()) waiters_.erase(it);
 }
 
+void PullServer::SetLayout(HybridLayout layout, double now) {
+  BCAST_CHECK(enabled());
+  BCAST_CHECK(layout.enabled());
+  // Retire the old layout's opportunity count, then restart the slot
+  // grid at the boundary.
+  opportunities_base_ += layout_.PullSlotsBefore(now - origin_);
+  layout_ = std::move(layout);
+  origin_ = now;
+  if (service_scheduled_) {
+    // The pending decision sits on the retired grid; re-arm it on the
+    // new one. The floor still guards a slot that already transmitted.
+    sim_->CancelEvent(pending_decision_);
+    const double at = NextSlotStart(std::max(now, next_decision_floor_));
+    pending_decision_ =
+        sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+  }
+}
+
+PullServer::EpochWindow PullServer::TakeEpochWindow(double now) {
+  EpochWindow window;
+  window.serviced = window_serviced_;
+  const uint64_t total = SlotsBefore(now);
+  window.opportunities = total - window_opportunity_mark_;
+  if (window_depth_count_ > 0) {
+    window.depth_mean =
+        window_depth_sum_ / static_cast<double>(window_depth_count_);
+  }
+  if (window.opportunities > 0) {
+    window.idle_rate =
+        static_cast<double>(window.opportunities - window.serviced) /
+        static_cast<double>(window.opportunities);
+  }
+  window_depth_sum_ = 0.0;
+  window_depth_count_ = 0;
+  window_serviced_ = 0;
+  window_opportunity_mark_ = total;
+  return window;
+}
+
 void PullServer::FinishRun(double end_time) {
-  stats_.pull_opportunities = layout_.PullSlotsBefore(end_time);
+  stats_.pull_opportunities = SlotsBefore(end_time);
 }
 
 }  // namespace bcast::pull

@@ -46,6 +46,24 @@ class PullServer {
   /// True when the program carries pull capacity.
   bool enabled() const { return layout_.enabled(); }
 
+  /// Switches to \p layout at simulated time \p now (an epoch boundary).
+  /// The new layout's cycle starts at \p now; opportunity accounting
+  /// carries over, and a pending service decision is re-armed onto the
+  /// new slot grid. Both the old and new layouts must be enabled.
+  void SetLayout(HybridLayout layout, double now);
+
+  /// \brief Controller-facing activity snapshot since the last call.
+  struct EpochWindow {
+    double depth_mean = 0.0;     ///< mean queue depth at service decisions
+    uint64_t serviced = 0;       ///< pull slots that transmitted a page
+    uint64_t opportunities = 0;  ///< pull slots offered in the window
+    double idle_rate = 0.0;      ///< fraction of offered slots left idle
+  };
+
+  /// Returns activity since the previous call (or construction) and
+  /// resets the window. \p now must not precede earlier calls.
+  EpochWindow TakeEpochWindow(double now);
+
   /// Mean slots between pull-slot starts (the pull service interval);
   /// 0 when disabled.
   double ServiceInterval() const;
@@ -94,13 +112,34 @@ class PullServer {
   // Fires at the slot end: offers the page to every registered waiter.
   void DeliverPage(PageId page, double end);
 
+  // Slot-grid queries under the current layout, whose cycle began at
+  // origin_. With origin_ == 0 (every non-adaptive run) the translation
+  // is bit-exact against the historical direct calls.
+  double NextSlotStart(double t) const {
+    return origin_ + layout_.NextPullSlotStart(t - origin_);
+  }
+  uint64_t SlotsBefore(double t) const {
+    return opportunities_base_ + layout_.PullSlotsBefore(t - origin_);
+  }
+
   des::Simulation* sim_;
   HybridLayout layout_;
+  double origin_ = 0.0;  // simulated time the current layout's cycle began
+  // Pull opportunities offered by layouts already retired by SetLayout.
+  uint64_t opportunities_base_ = 0;
   PullParams params_;
   RequestQueue queue_;
   Backchannel backchannel_;
   PullStats stats_;
   bool service_scheduled_ = false;
+  // The scheduled service decision while service_scheduled_; SetLayout
+  // cancels and re-arms it onto the new slot grid.
+  des::EventQueue::EventId pending_decision_ = 0;
+  // Controller window counters (see TakeEpochWindow).
+  double window_depth_sum_ = 0.0;
+  uint64_t window_depth_count_ = 0;
+  uint64_t window_serviced_ = 0;
+  uint64_t window_opportunity_mark_ = 0;
   // Earliest time the next service decision may fire: one past the last
   // consumed slot's start. Guards against a same-timestamp enqueue (e.g.
   // a timeout re-request landing exactly on a slot start) re-arming a

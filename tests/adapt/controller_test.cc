@@ -1,0 +1,107 @@
+// The pull-slot hysteresis rule in isolation: sustained signals act after
+// exactly `hysteresis_epochs`, mixed signals never act, every move resets
+// the streak, and the configured bounds are never crossed.
+
+#include "adapt/controller.h"
+
+#include <gtest/gtest.h>
+
+namespace bcast::adapt {
+namespace {
+
+AdaptParams Defaults() {
+  AdaptParams params;
+  params.epoch_cycles = 4;
+  params.queue_high = 2.0;
+  params.idle_low = 0.25;
+  params.idle_high = 0.75;
+  params.hysteresis_epochs = 2;
+  params.min_slots = 1;
+  params.max_slots = 8;
+  return params;
+}
+
+TEST(SlotControllerTest, SustainedBacklogGrowsAfterHysteresis) {
+  SlotController control(Defaults(), 2);
+  // One epoch of backlog is not enough...
+  EXPECT_EQ(control.Decide(5.0, 0.0), 2u);
+  // ...the second consecutive one acts.
+  EXPECT_EQ(control.Decide(5.0, 0.0), 3u);
+  EXPECT_EQ(control.grows(), 1u);
+  EXPECT_EQ(control.shrinks(), 0u);
+}
+
+TEST(SlotControllerTest, SustainedIdlenessShrinksAfterHysteresis) {
+  SlotController control(Defaults(), 4);
+  EXPECT_EQ(control.Decide(0.0, 0.9), 4u);
+  EXPECT_EQ(control.Decide(0.0, 0.9), 3u);
+  EXPECT_EQ(control.shrinks(), 1u);
+}
+
+TEST(SlotControllerTest, ActingResetsTheStreak) {
+  SlotController control(Defaults(), 2);
+  control.Decide(5.0, 0.0);
+  EXPECT_EQ(control.Decide(5.0, 0.0), 3u);  // acted
+  // The streak restarts: two more epochs needed for the next move.
+  EXPECT_EQ(control.Decide(5.0, 0.0), 3u);
+  EXPECT_EQ(control.Decide(5.0, 0.0), 4u);
+  EXPECT_EQ(control.grows(), 2u);
+}
+
+TEST(SlotControllerTest, NeutralEpochsResetTheStreak) {
+  SlotController control(Defaults(), 2);
+  control.Decide(5.0, 0.0);   // grow signal, streak 1
+  control.Decide(1.0, 0.5);   // neutral: streak dies
+  control.Decide(5.0, 0.0);   // streak 1 again
+  EXPECT_EQ(control.slots(), 2u);
+  EXPECT_EQ(control.Decide(5.0, 0.0), 3u);
+}
+
+TEST(SlotControllerTest, AlternatingSignalsNeverAct) {
+  SlotController control(Defaults(), 4);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const uint64_t slots = (epoch % 2 == 0) ? control.Decide(5.0, 0.0)
+                                            : control.Decide(0.0, 0.9);
+    EXPECT_EQ(slots, 4u) << "epoch " << epoch;
+  }
+  EXPECT_EQ(control.grows(), 0u);
+  EXPECT_EQ(control.shrinks(), 0u);
+}
+
+TEST(SlotControllerTest, BacklogWithIdleSlotsIsNotAGrowSignal) {
+  // Queue depth alone must not grow the split: if slots already idle,
+  // more of them cannot help.
+  SlotController control(Defaults(), 2);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    EXPECT_EQ(control.Decide(5.0, 0.5), 2u);
+  }
+}
+
+TEST(SlotControllerTest, BoundsAreNeverCrossed) {
+  AdaptParams params = Defaults();
+  params.hysteresis_epochs = 1;
+  SlotController grow(params, 7);
+  for (int epoch = 0; epoch < 10; ++epoch) grow.Decide(9.0, 0.0);
+  EXPECT_EQ(grow.slots(), params.max_slots);
+
+  SlotController shrink(params, 2);
+  for (int epoch = 0; epoch < 10; ++epoch) shrink.Decide(0.0, 1.0);
+  EXPECT_EQ(shrink.slots(), params.min_slots);
+}
+
+TEST(SlotControllerTest, ConvergesUnderStationaryLoad) {
+  // A stationary grow signal moves at most one slot per hysteresis
+  // window; once the signal clears, the count stays put forever.
+  AdaptParams params = Defaults();
+  params.hysteresis_epochs = 3;
+  SlotController control(params, 1);
+  for (int epoch = 0; epoch < 6; ++epoch) control.Decide(5.0, 0.0);
+  EXPECT_EQ(control.slots(), 3u);
+  for (int epoch = 0; epoch < 50; ++epoch) control.Decide(1.0, 0.5);
+  EXPECT_EQ(control.slots(), 3u);
+  EXPECT_EQ(control.grows(), 2u);
+  EXPECT_EQ(control.shrinks(), 0u);
+}
+
+}  // namespace
+}  // namespace bcast::adapt

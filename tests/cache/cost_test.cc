@@ -1,0 +1,81 @@
+// The pluggable cost estimators: each weighting reproduces its historical
+// inline expression exactly (the bit-identity contract of the redesign),
+// the pull-aware estimator caps the refetch cost at the pull service
+// interval, and the factory wires PLIX up by name.
+
+#include "cache/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/factory.h"
+#include "tests/cache/fake_catalog.h"
+
+namespace bcast {
+namespace {
+
+TEST(CostEstimatorTest, UnitCostIgnoresThePage) {
+  FakeCatalog catalog(4);
+  UnitCost cost(&catalog);
+  EXPECT_EQ(cost.name(), "unit");
+  EXPECT_DOUBLE_EQ(cost.Value(0, 0.25), 0.25);
+  catalog.set_frequency(0, 8.0);
+  EXPECT_DOUBLE_EQ(cost.Value(0, 0.25), 0.25);
+}
+
+TEST(CostEstimatorTest, InverseFrequencyIsExactlyPOverF) {
+  FakeCatalog catalog(4);
+  catalog.set_frequency(1, 0.125);
+  InverseFrequencyCost cost(&catalog);
+  // Bitwise the same expression the inline PIX/LIX code used: p / freq.
+  EXPECT_EQ(cost.Value(1, 0.75), 0.75 / 0.125);
+  EXPECT_EQ(cost.Value(0, 0.5), 0.5 / 1.0);
+}
+
+TEST(CostEstimatorTest, BroadcastDelayIsExactlyHalfGap) {
+  FakeCatalog catalog(4);
+  catalog.set_frequency(2, 0.25);
+  BroadcastDelayCost cost(&catalog);
+  // Bitwise the GreedyDual credit: p * (1 / (2 * freq)).
+  EXPECT_EQ(cost.Value(2, 1.0), 1.0 * (1.0 / (2.0 * 0.25)));
+  EXPECT_EQ(cost.Value(2, 0.5), 0.5 * (1.0 / (2.0 * 0.25)));
+}
+
+TEST(CostEstimatorTest, PullAwareCapsAtTheServiceInterval) {
+  FakeCatalog catalog(4);
+  catalog.set_frequency(0, 0.5);    // push wait 1 slot
+  catalog.set_frequency(3, 0.001);  // push wait 500 slots
+  PullAwareCost cost(&catalog, /*pull_service_interval=*/20.0);
+  // Hot page: the push wait is below the cap; identical to delay cost.
+  EXPECT_EQ(cost.Value(0, 1.0), 1.0 * (1.0 / (2.0 * 0.5)));
+  // Cold page: the backchannel is the cheaper repair; cost is capped.
+  EXPECT_EQ(cost.Value(3, 1.0), 1.0 * 20.0);
+  EXPECT_LT(cost.Value(3, 1.0), BroadcastDelayCost(&catalog).Value(3, 1.0));
+}
+
+TEST(CostEstimatorTest, PullAwareWithoutBackchannelIsDelayCost) {
+  FakeCatalog catalog(4);
+  catalog.set_frequency(1, 0.01);
+  BroadcastDelayCost delay(&catalog);
+  for (double interval : {0.0, -5.0}) {
+    PullAwareCost cost(&catalog, interval);
+    EXPECT_EQ(cost.Value(1, 0.3), delay.Value(1, 0.3)) << interval;
+  }
+}
+
+TEST(CostEstimatorTest, FactoryBuildsPlixByName) {
+  for (const char* name : {"plix", "PLIX", "pull-lix"}) {
+    auto kind = ParsePolicyKind(name);
+    ASSERT_TRUE(kind.ok()) << name;
+    EXPECT_EQ(*kind, PolicyKind::kPullLix);
+  }
+  FakeCatalog catalog(10, 3);
+  PolicyOptions options;
+  options.pull_service_interval = 25.0;
+  auto policy =
+      MakeCachePolicy(PolicyKind::kPullLix, 4, 10, &catalog, options);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->name(), "PLIX");
+}
+
+}  // namespace
+}  // namespace bcast

@@ -290,6 +290,148 @@ TEST(ReportInvariantsTest, PullPointExtractionRoundTrips) {
   EXPECT_DOUBLE_EQ(anchor.serviced, 0.0);
 }
 
+// --- Adapt sweep gate ---
+
+// A static anchor with a measured cold class and no controller activity.
+AdaptSweepPoint StaticAnchor(double cold_rt) {
+  AdaptSweepPoint p;
+  p.cold_mean_rt = cold_rt;
+  p.cold_count = 100.0;
+  p.mean_response = cold_rt / 2.0;
+  return p;
+}
+
+// A converged adaptive point that ran the controller.
+AdaptSweepPoint AdaptPoint(double epoch, double cold_rt) {
+  AdaptSweepPoint p = StaticAnchor(cold_rt);
+  p.epoch_cycles = epoch;
+  p.epochs = 10.0;
+  p.rebuilds = 4.0;
+  p.promotions = 12.0;
+  p.min_slots = 1.0;
+  p.max_slots = 8.0;
+  p.final_slots = 1.0;
+  p.slot_range_late = 0.0;
+  return p;
+}
+
+TEST(AdaptSweepTest, StrictImprovementPasses) {
+  const CheckList checks = CheckAdaptImprovement(
+      {StaticAnchor(6700.0), AdaptPoint(2, 6500.0), AdaptPoint(4, 6600.0)});
+  std::ostringstream out;
+  checks.Print(out);
+  EXPECT_TRUE(checks.all_ok()) << out.str();
+}
+
+TEST(AdaptSweepTest, EqualColdLatencyIsNotAnImprovement) {
+  const CheckList checks = CheckAdaptImprovement(
+      {StaticAnchor(6700.0), AdaptPoint(4, 6700.0)});
+  EXPECT_TRUE(
+      ContainsFailure(checks, "adapt_sweep.cold_latency_improves"));
+}
+
+TEST(AdaptSweepTest, SlackRelaxesTheStrictBar) {
+  // 6700 * (1 - 0.05) = 6365: 6300 clears it, 6400 does not.
+  EXPECT_TRUE(CheckAdaptImprovement({StaticAnchor(6700.0),
+                                     AdaptPoint(4, 6300.0)},
+                                    /*slack=*/0.05)
+                  .all_ok());
+  EXPECT_TRUE(ContainsFailure(
+      CheckAdaptImprovement({StaticAnchor(6700.0), AdaptPoint(4, 6400.0)},
+                            /*slack=*/0.05),
+      "adapt_sweep.cold_latency_improves"));
+}
+
+TEST(AdaptSweepTest, ComparesAgainstTheBestAnchor) {
+  // Beating the worse of two anchors is not enough.
+  const CheckList checks = CheckAdaptImprovement(
+      {StaticAnchor(7000.0), StaticAnchor(6400.0), AdaptPoint(4, 6500.0)});
+  EXPECT_TRUE(
+      ContainsFailure(checks, "adapt_sweep.cold_latency_improves"));
+}
+
+TEST(AdaptSweepTest, BothSidesOfTheComparisonAreRequired) {
+  EXPECT_TRUE(ContainsFailure(
+      CheckAdaptImprovement({AdaptPoint(4, 6500.0)}),
+      "adapt_sweep.has_static_anchor"));
+  EXPECT_TRUE(ContainsFailure(
+      CheckAdaptImprovement({StaticAnchor(6700.0)}),
+      "adapt_sweep.has_adaptive_point"));
+  EXPECT_TRUE(ContainsFailure(CheckAdaptImprovement({}),
+                              "adapt_sweep.nonempty"));
+}
+
+TEST(AdaptSweepTest, ActiveStaticAnchorFails) {
+  AdaptSweepPoint anchor = StaticAnchor(6700.0);
+  anchor.promotions = 1.0;  // a "static" run that re-seated a page
+  const CheckList checks =
+      CheckAdaptImprovement({anchor, AdaptPoint(4, 6500.0)});
+  EXPECT_TRUE(ContainsFailure(checks, "adapt_sweep.static_anchor_inert"));
+}
+
+TEST(AdaptSweepTest, AdaptivePointMustRunTheController) {
+  AdaptSweepPoint idle = AdaptPoint(4, 6500.0);
+  idle.epochs = 0.0;
+  const CheckList checks =
+      CheckAdaptImprovement({StaticAnchor(6700.0), idle});
+  EXPECT_TRUE(ContainsFailure(checks, "adapt_sweep.controller_ran"));
+}
+
+TEST(AdaptSweepTest, UnmeasuredColdClassFails) {
+  AdaptSweepPoint blind = AdaptPoint(4, 0.0);
+  blind.cold_count = 0.0;
+  const CheckList checks =
+      CheckAdaptImprovement({StaticAnchor(6700.0), blind});
+  EXPECT_TRUE(ContainsFailure(checks, "adapt_sweep.cold_class_measured"));
+}
+
+TEST(AdaptSweepTest, FinalSlotsOutsideBoundsFail) {
+  AdaptSweepPoint wild = AdaptPoint(4, 6500.0);
+  wild.final_slots = 9.0;  // above max_slots = 8
+  const CheckList checks =
+      CheckAdaptImprovement({StaticAnchor(6700.0), wild});
+  EXPECT_TRUE(ContainsFailure(checks, "adapt_sweep.slots_within_bounds"));
+}
+
+TEST(AdaptSweepTest, HuntingControllerFailsConvergence) {
+  AdaptSweepPoint hunting = AdaptPoint(4, 6500.0);
+  hunting.slot_range_late = 2.0;
+  const CheckList checks =
+      CheckAdaptImprovement({StaticAnchor(6700.0), hunting});
+  EXPECT_TRUE(
+      ContainsFailure(checks, "adapt_sweep.slot_controller_converges"));
+}
+
+TEST(ReportInvariantsTest, AdaptPointExtractionPrefersAdaptExtras) {
+  obs::RunReport report = ConsistentReport();
+  report.extra.emplace_back("adapt_epoch_cycles", 4.0);
+  report.extra.emplace_back("adapt_epochs", 30.0);
+  report.extra.emplace_back("adapt_promotions", 12.0);
+  report.extra.emplace_back("adapt_rebuilds", 9.0);
+  report.extra.emplace_back("adapt_cold_mean_rt", 6500.0);
+  report.extra.emplace_back("adapt_cold_count", 700.0);
+  report.extra.emplace_back("pull_cold_mean_rt", 9999.0);
+  report.extra.emplace_back("pull_cold_count", 1.0);
+  report.extra.emplace_back("adapt_min_slots", 1.0);
+  report.extra.emplace_back("adapt_max_slots", 8.0);
+  report.extra.emplace_back("adapt_final_slots", 1.0);
+  report.extra.emplace_back("adapt_slot_range_late", 0.0);
+  const AdaptSweepPoint point = AdaptSweepPointFromReport(report);
+  EXPECT_DOUBLE_EQ(point.epoch_cycles, 4.0);
+  EXPECT_DOUBLE_EQ(point.cold_mean_rt, 6500.0);  // adapt_* wins
+  EXPECT_DOUBLE_EQ(point.cold_count, 700.0);
+  EXPECT_DOUBLE_EQ(point.final_slots, 1.0);
+
+  // A static hybrid report falls back to the pull_cold_* extras.
+  obs::RunReport anchor = ConsistentReport();
+  anchor.extra.emplace_back("pull_cold_mean_rt", 6700.0);
+  anchor.extra.emplace_back("pull_cold_count", 650.0);
+  const AdaptSweepPoint fallback = AdaptSweepPointFromReport(anchor);
+  EXPECT_DOUBLE_EQ(fallback.epoch_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(fallback.cold_mean_rt, 6700.0);
+  EXPECT_DOUBLE_EQ(fallback.cold_count, 650.0);
+}
+
 TEST(CheckListTest, ExtendAndCounting) {
   CheckList a;
   a.Add("one", true);

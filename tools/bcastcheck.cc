@@ -40,6 +40,14 @@
 //       adds up. Reports without pull extras anchor the sweep as pure
 //       push points.
 //
+//   bcastcheck --adapt_sweep static.json,adaptive.json,...
+//       adaptive-control invariants across static-vs-adaptive runs of
+//       the same workload: pinned cold-class mean response strictly
+//       improves on the best static anchor, static anchors show an inert
+//       controller, the slot controller converges (bounded late-epoch
+//       oscillation within configured bounds). Reports without adapt
+//       extras anchor the comparison as static points.
+//
 //   bcastcheck --bench new.json --bench_baseline old.json
 //       diff two google-benchmark JSON files (--benchmark_out format);
 //       time regressions beyond --bench_tolerance fail unless
@@ -80,6 +88,8 @@ int Run(int argc, const char* const* argv) {
   double fault_slack = 0.05;
   std::string pull_sweep;
   double pull_slack = 0.05;
+  std::string adapt_sweep;
+  double adapt_slack = 0.0;
   std::string bench_path;
   std::string bench_baseline_path;
   double bench_tolerance = 0.10;
@@ -121,6 +131,12 @@ int Run(int argc, const char* const* argv) {
                   "sweep");
   flags.AddDouble("pull_slack", &pull_slack,
                   "relative slack for the pull-sweep invariants");
+  flags.AddString("adapt_sweep", &adapt_sweep,
+                  "comma-separated run reports forming a static-vs-"
+                  "adaptive comparison");
+  flags.AddDouble("adapt_slack", &adapt_slack,
+                  "relative margin the adaptive cold-class latency must "
+                  "beat the static anchor by");
   flags.AddString("bench", &bench_path,
                   "google-benchmark JSON file to diff");
   flags.AddString("bench_baseline", &bench_baseline_path,
@@ -140,9 +156,11 @@ int Run(int argc, const char* const* argv) {
     return 0;
   }
   if (report_path.empty() && program_path.empty() && !paper &&
-      fault_sweep.empty() && pull_sweep.empty() && bench_path.empty()) {
+      fault_sweep.empty() && pull_sweep.empty() && adapt_sweep.empty() &&
+      bench_path.empty()) {
     std::cerr << "nothing to check: give --report, --program, "
-                 "--fault_sweep, --pull_sweep, --bench, and/or --paper\n\n"
+                 "--fault_sweep, --pull_sweep, --adapt_sweep, --bench, "
+                 "and/or --paper\n\n"
               << flags.HelpText();
     return 2;
   }
@@ -275,6 +293,24 @@ int Run(int argc, const char* const* argv) {
       points.push_back(check::PullSweepPointFromReport(*report));
     }
     all.Extend(check::CheckPullImprovement(std::move(points), pull_slack));
+  }
+
+  if (!adapt_sweep.empty()) {
+    std::vector<check::AdaptSweepPoint> points;
+    for (const std::string& path : Split(adapt_sweep, ',')) {
+      Result<obs::RunReport> report = obs::ReadRunReportFile(path);
+      if (!report.ok()) {
+        std::cerr << "--adapt_sweep: " << report.status().ToString()
+                  << "\n";
+        return 2;
+      }
+      // Every comparison member must itself be a sane report before its
+      // numbers feed the improvement invariants.
+      all.Extend(check::CheckReportInvariants(*report));
+      points.push_back(check::AdaptSweepPointFromReport(*report));
+    }
+    all.Extend(
+        check::CheckAdaptImprovement(std::move(points), adapt_slack));
   }
 
   if (!bench_path.empty()) {

@@ -26,6 +26,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/multi_client.h"
+#include "core/sim_config.h"
 #include "core/simulator.h"
 #include "core/updates.h"
 #include "obs/registry.h"
@@ -76,6 +77,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   }
   params.fault = base.fault;
   params.pull = base.pull;
+  params.adapt = base.adapt;
   auto result = RunMultiClientSimulation(params);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -156,14 +158,9 @@ int RunUpdates(const SimParams& base, double update_rate,
 }
 
 int Run(int argc, const char* const* argv) {
-  SimParams params;
+  SimConfig config;
   std::string mode = "single";
-  std::string disks = "500,2000,2500";
-  std::string policy = "lru";
-  std::string program = "multidisk";
-  std::string noise_scope = "access_range";
   std::string consistency = "invalidate";
-  std::string pull_sched = "fcfs";
   uint64_t seeds = 1;
   uint64_t clients = 5;
   double update_rate = 0.05;
@@ -175,6 +172,8 @@ int Run(int argc, const char* const* argv) {
   std::string trace_format = "jsonl";
   std::string log_level;
 
+  // The whole simulation surface comes from SimConfig; only the
+  // tool-level knobs (mode, output sinks, seed averaging) live here.
   FlagSet flags("bcastsim");
   flags.AddString("mode", &mode, "single | population | updates");
   flags.AddUint64("clients", &clients, "population mode: client count");
@@ -184,63 +183,7 @@ int Run(int argc, const char* const* argv) {
                   "updates mode: Zipf skew of update targets");
   flags.AddString("consistency", &consistency,
                   "updates mode: none | invalidate | auto-refresh");
-  flags.AddString("disks", &disks, "comma-separated pages per disk");
-  flags.AddUint64("delta", &params.delta,
-                  "broadcast shape: rel_freq(i) = (N-i)*delta + 1");
-  flags.AddString("program", &program,
-                  "program kind: multidisk | skewed | random");
-  flags.AddString("policy", &policy,
-                  "cache policy: p|pix|lru|l|lix|lru-k|2q|clock");
-  flags.AddUint64("cache_size", &params.cache_size, "client cache pages");
-  flags.AddUint64("offset", &params.offset,
-                  "hot pages shifted to the slow-disk tail");
-  flags.AddDouble("noise", &params.noise_percent,
-                  "percent of pages with perturbed mapping");
-  flags.AddString("noise_scope", &noise_scope,
-                  "noise coin population: access_range | all");
-  flags.AddUint64("access_range", &params.access_range,
-                  "pages the client requests");
-  flags.AddDouble("theta", &params.theta, "Zipf skew");
-  flags.AddUint64("region_size", &params.region_size, "pages per region");
-  flags.AddDouble("think_time", &params.think_time,
-                  "pause between requests (broadcast units)");
-  flags.AddUint64("requests", &params.measured_requests,
-                  "measured requests");
-  flags.AddBool("knows_schedule", &params.knows_schedule,
-                "client dozes to its page's slot (tuning metric only)");
-  flags.AddDouble("loss", &params.fault.loss,
-                  "per-transmission loss probability in [0, 1)");
-  flags.AddDouble("burst_len", &params.fault.burst_len,
-                  "mean loss-burst length (<=1: i.i.d., >1: Gilbert-"
-                  "Elliott)");
-  flags.AddDouble("corrupt", &params.fault.corrupt,
-                  "per-reception corruption probability in [0, 1)");
-  flags.AddDouble("doze", &params.fault.doze_for,
-                  "slots the radio dozes per duty cycle (0 = always on)");
-  flags.AddDouble("doze_awake", &params.fault.awake_for,
-                  "slots the radio is awake per duty cycle");
-  flags.AddUint64("fault_seed", &params.fault.fault_seed,
-                  "fault RNG seed (independent of --seed)");
-  flags.AddUint64("deadline_k", &params.fault.deadline_arrivals,
-                  "reception deadline in guaranteed inter-arrival gaps");
-  flags.AddDouble("backoff_base", &params.fault.backoff_base,
-                  "retry backoff base delay (slots)");
-  flags.AddDouble("backoff_cap", &params.fault.backoff_cap,
-                  "retry backoff cap (slots)");
-  flags.AddUint64("pull_slots", &params.pull.pull_slots,
-                  "pull slots interleaved per minor cycle (0 = pure push)");
-  flags.AddUint64("uplink_cap", &params.pull.uplink_cap,
-                  "backchannel requests accepted per broadcast slot");
-  flags.AddString("pull_sched", &pull_sched,
-                  "pull-slot scheduler: fcfs | mrf | lxw");
-  flags.AddDouble("pull_threshold", &params.pull.threshold,
-                  "request only when the scheduled wait exceeds this many "
-                  "slots");
-  flags.AddUint64("pull_timeout", &params.pull.timeout_services,
-                  "re-request timeout in pull service intervals");
-  flags.AddBool("pull_force", &params.pull.force,
-                "build the pull machinery even with zero pull slots");
-  flags.AddUint64("seed", &params.seed, "master RNG seed");
+  config.RegisterFlags(&flags);
   flags.AddUint64("seeds", &seeds, "seeds to average over");
   flags.AddBool("csv", &csv, "emit a CSV row instead of a table");
   flags.AddString("report_out", &report_out,
@@ -263,33 +206,6 @@ int Run(int argc, const char* const* argv) {
     return 0;
   }
 
-  // Reject incoherent flag combinations by *set-ness*, not value:
-  // `--loss=0 --burst_len=4` is a legal (inert) pairing, but a burst
-  // length with no loss model at all is a configuration mistake the
-  // defaults would otherwise silently swallow.
-  if (flags.WasSet("burst_len") && !flags.WasSet("loss")) {
-    std::cerr << "--burst_len shapes the loss process; it needs --loss\n";
-    return 2;
-  }
-  if (flags.WasSet("doze_awake") && !flags.WasSet("doze")) {
-    std::cerr << "--doze_awake sets the duty cycle's on-phase; it needs "
-                 "--doze\n";
-    return 2;
-  }
-  if (flags.WasSet("uplink_cap") && !flags.WasSet("pull_slots") &&
-      !flags.WasSet("pull_force")) {
-    std::cerr << "--uplink_cap sizes the pull backchannel; it needs "
-                 "--pull_slots (or --pull_force)\n";
-    return 2;
-  }
-
-  Result<pull::PullScheduler> sched = pull::ParsePullScheduler(pull_sched);
-  if (!sched.ok()) {
-    std::cerr << "--pull_sched: " << sched.status().ToString() << "\n";
-    return 2;
-  }
-  params.pull.scheduler = *sched;
-
   if (!log_level.empty()) {
     LogLevel level;
     if (!ParseLogLevel(log_level, &level)) {
@@ -300,38 +216,13 @@ int Run(int argc, const char* const* argv) {
     SetLogThreshold(level);
   }
 
-  Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);
-  if (!sizes.ok()) {
-    std::cerr << "--disks: " << sizes.status().ToString() << "\n";
+  // One call owns string parsing, set-ness coherence, and validation.
+  Status finalized = config.Finalize(&flags);
+  if (!finalized.ok()) {
+    std::cerr << finalized.message() << "\n";
     return 2;
   }
-  params.disk_sizes = *sizes;
-
-  Result<PolicyKind> kind = ParsePolicyKind(policy);
-  if (!kind.ok()) {
-    std::cerr << kind.status().ToString() << "\n";
-    return 2;
-  }
-  params.policy = *kind;
-
-  if (program == "multidisk") {
-    params.program_kind = ProgramKind::kMultiDisk;
-  } else if (program == "skewed") {
-    params.program_kind = ProgramKind::kSkewed;
-  } else if (program == "random") {
-    params.program_kind = ProgramKind::kRandom;
-  } else {
-    std::cerr << "unknown --program: " << program << "\n";
-    return 2;
-  }
-  if (noise_scope == "access_range") {
-    params.noise_scope = NoiseScope::kAccessRange;
-  } else if (noise_scope == "all") {
-    params.noise_scope = NoiseScope::kAllPages;
-  } else {
-    std::cerr << "unknown --noise_scope: " << noise_scope << "\n";
-    return 2;
-  }
+  SimParams& params = config.params;
 
   if (mode != "single" && !trace_out.empty()) {
     BCAST_LOG(kWarning) << "--trace_out only applies to --mode=single; "
@@ -408,6 +299,12 @@ int Run(int argc, const char* const* argv) {
         aggregate.pull_stats.Merge(last->pull_stats);
         aggregate.pull_active = true;
       }
+      if (last->adapt_active) {
+        aggregate.adapt_stats.Merge(last->adapt_stats);
+        aggregate.adapt_active = true;
+      }
+      aggregate.cold_requests += last->cold_requests;
+      aggregate.cold_hits += last->cold_hits;
     }
   }
   if (trace != nullptr) trace->Flush();
@@ -485,6 +382,20 @@ int Run(int argc, const char* const* argv) {
                   FormatDouble(ps.pull_latency.mean(), 2)});
     table.AddRow({"mean push latency",
                   FormatDouble(ps.push_latency.mean(), 2)});
+  }
+  if (last->adapt_active) {
+    const adapt::AdaptStats& as = last->adapt_stats;
+    table.AddRow({"adapt epochs (rebuilds)",
+                  std::to_string(as.epochs) + " (" +
+                      std::to_string(as.rebuilds) + ")"});
+    table.AddRow({"pages promoted", std::to_string(as.promotions)});
+    table.AddRow({"pull slots start -> end",
+                  std::to_string(as.initial_slots) + " -> " +
+                      std::to_string(as.final_slots)});
+    if (as.cold_wait.count() > 0) {
+      table.AddRow({"cold-class mean response (pinned)",
+                    FormatDouble(as.cold_wait.mean(), 2)});
+    }
   }
   table.Print(std::cout);
   return 0;
