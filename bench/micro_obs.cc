@@ -11,6 +11,8 @@
 #include "core/simulator.h"
 #include "obs/histogram.h"
 #include "obs/registry.h"
+#include "obs/stats_stream.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace bcast {
@@ -63,6 +65,55 @@ void BM_TraceShouldSample(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceShouldSample);
 
+void BM_TimelineCompleteSpan(benchmark::State& state) {
+  std::ostringstream out;
+  obs::TimelineWriter timeline(&out);
+  double t = 0.0;
+  for (auto _ : state) {
+    if (out.tellp() > (1 << 20)) out.str("");
+    timeline.Span(obs::track::kSim, "span", "bench", t, 1.0);
+    t += 2.0;
+  }
+  benchmark::DoNotOptimize(timeline.events_written());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimelineCompleteSpan);
+
+void BM_TimelineInstantWithArg(benchmark::State& state) {
+  std::ostringstream out;
+  obs::TimelineWriter timeline(&out);
+  double t = 0.0;
+  for (auto _ : state) {
+    if (out.tellp() > (1 << 20)) out.str("");
+    timeline.Instant(obs::track::kSim, "evict", "bench", t,
+                     {{"page", 123.0}, {"score", 0.75}});
+    t += 1.0;
+  }
+  benchmark::DoNotOptimize(timeline.events_written());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimelineInstantWithArg);
+
+void BM_StatsSampleWrite(benchmark::State& state) {
+  std::ostringstream out;
+  obs::StatsWriter writer(&out);
+  obs::StatsSample sample;
+  sample.t = 1000.0;
+  sample.events = 3000;
+  sample.requests = 1000;
+  sample.hits = 500;
+  sample.mean_rt = 42.5;
+  sample.served_per_disk = {10, 20, 30};
+  for (auto _ : state) {
+    if (out.tellp() > (1 << 20)) out.str("");
+    writer.Write(sample);
+    sample.t += 100.0;
+  }
+  benchmark::DoNotOptimize(writer.samples_written());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsSampleWrite);
+
 SimParams SmallRun() {
   SimParams params;
   params.disk_sizes = {100, 400, 500};
@@ -99,6 +150,21 @@ void BM_SimulationTracingOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * params.measured_requests);
 }
 BENCHMARK(BM_SimulationTracingOn);
+
+void BM_SimulationTimelineOn(benchmark::State& state) {
+  const SimParams params = SmallRun();
+  std::ostringstream timeline_out;
+  SimObservers observers;
+  for (auto _ : state) {
+    timeline_out.str("");
+    obs::TimelineWriter timeline(&timeline_out);
+    observers.timeline = &timeline;
+    auto result = RunSimulation(params, observers);
+    benchmark::DoNotOptimize(result->metrics.requests());
+  }
+  state.SetItemsProcessed(state.iterations() * params.measured_requests);
+}
+BENCHMARK(BM_SimulationTimelineOn);
 
 }  // namespace
 }  // namespace bcast

@@ -5,6 +5,7 @@
 
 #include "broadcast/generator.h"
 #include "common/logging.h"
+#include "obs/timeline.h"
 #include "pull/hybrid.h"
 
 namespace bcast::adapt {
@@ -61,7 +62,8 @@ void Controller::Start() {
   stats_.initial_slots = slots_;
   stats_.final_slots = slots_;
   const double first = static_cast<double>(params_.epoch_cycles) * period_;
-  sim_->ScheduleAt(first, [this, first] { Tick(first); });
+  sim_->ScheduleAt(
+      first, [this, first] { Tick(first); }, des::EventKind::kController);
 }
 
 void Controller::Tick(double now) {
@@ -115,10 +117,18 @@ void Controller::Tick(double now) {
   if (rebuild) Rebuild(now);
   stats_.slot_history.push_back(slots_);
   stats_.final_slots = slots_;
+  BCAST_TIMELINE(BCAST_TIMELINE_PTR(sim_),
+                 Instant(obs::track::kController, "epoch", "adapt", now,
+                         {{"epoch", static_cast<double>(stats_.epochs)},
+                          {"pull_slots", static_cast<double>(slots_)},
+                          {"promotions",
+                           static_cast<double>(stats_.promotions)},
+                          {"rebuild", rebuild ? 1.0 : 0.0}}));
 
   const double next =
       now + static_cast<double>(params_.epoch_cycles) * period_;
-  sim_->ScheduleAt(next, [this, next] { Tick(next); });
+  sim_->ScheduleAt(
+      next, [this, next] { Tick(next); }, des::EventKind::kController);
 }
 
 void Controller::Rebuild(double now) {

@@ -26,11 +26,14 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
     wait_ = done - now;
     BroadcastChannel* channel = channel_;
     const PageId page = page_;
-    channel_->sim_->ScheduleAt(done, [channel, page, h]() {
-      ++channel->served_per_disk_[channel->program_->DiskOf(page)];
-      ++channel->total_served_;
-      h.resume();
-    });
+    channel_->sim_->ScheduleAt(
+        done,
+        [channel, page, h]() {
+          ++channel->served_per_disk_[channel->program_->DiskOf(page)];
+          ++channel->total_served_;
+          h.resume();
+        },
+        des::EventKind::kSlot);
     return;
   }
   start_ = now;
@@ -45,7 +48,8 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
   if (receiver_ == nullptr) {
     const double done = channel_->ArrivalEnd(page_, now);
     pending_ = channel_->sim_->ScheduleAt(
-        done, [this, h, done]() { Finish(h, done, /*via_pull=*/false); });
+        done, [this, h, done]() { Finish(h, done, /*via_pull=*/false); },
+        des::EventKind::kSlot);
     return;
   }
   const double ideal_end = channel_->ArrivalEnd(page_, now);
@@ -68,14 +72,17 @@ void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
   }
   // The awaiter object lives in the suspended coroutine frame until h
   // is resumed, so capturing `this` across re-arms is safe.
-  pending_ = channel_->sim_->ScheduleAt(end, [this, h, end]() {
-    if (receiver_->Attempt(page_, end)) {
-      receiver_->EndWait(end);
-      Finish(h, end, /*via_pull=*/false);
-      return;
-    }
-    ScheduleAttempt(h, receiver_->NextRetryTime(end));
-  });
+  pending_ = channel_->sim_->ScheduleAt(
+      end,
+      [this, h, end]() {
+        if (receiver_->Attempt(page_, end)) {
+          receiver_->EndWait(end);
+          Finish(h, end, /*via_pull=*/false);
+          return;
+        }
+        ScheduleAttempt(h, receiver_->NextRetryTime(end));
+      },
+      des::EventKind::kSlot);
 }
 
 void BroadcastChannel::PageAwaiter::Finish(std::coroutine_handle<> h,
@@ -124,7 +131,8 @@ void BroadcastChannel::PageAwaiter::Resync(double now) {
   if (receiver_ == nullptr) {
     const double done = channel_->ArrivalEnd(page_, now);
     pending_ = channel_->sim_->ScheduleAt(
-        done, [this, done]() { Finish(handle_, done, /*via_pull=*/false); });
+        done, [this, done]() { Finish(handle_, done, /*via_pull=*/false); },
+        des::EventKind::kSlot);
     return;
   }
   // The receiver keeps its wait state (deadline, backoff, attempts):

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/timeline.h"
 #include "pull/pull_client.h"
 
 namespace bcast {
@@ -24,12 +25,19 @@ Client::Client(des::Simulation* sim, BroadcastChannel* channel,
   BCAST_CHECK(mapping != nullptr);
   BCAST_CHECK_GE(mapping->num_pages(), gen->access_range())
       << "client would request pages outside the broadcast";
-  if (config_.trace != nullptr) {
-    // Capture eviction victims for the trace; the callback stays unset —
-    // and the eviction path branch-free — when tracing is off.
+  if (config_.trace != nullptr || BCAST_TIMELINE_PTR(sim_) != nullptr) {
+    // Capture eviction victims for the trace and the timeline; the
+    // callback stays unset — and the eviction path branch-free — when
+    // neither observer is attached.
     cache_->SetEvictionCallback([this](PageId victim, double score) {
       pending_victim_ = static_cast<int64_t>(victim);
       pending_victim_score_ = score;
+      BCAST_TIMELINE(
+          BCAST_TIMELINE_PTR(sim_),
+          Instant(obs::track::Client(config_.client_id), "evict", "cache",
+                  sim_->Now(),
+                  {{"victim", static_cast<double>(victim)},
+                   {"score", score}}));
     });
   }
 }
@@ -53,6 +61,7 @@ void Client::TraceRequest(double start, PageId logical, bool hit,
   event.disk = disk;
   event.victim = pending_victim_;
   event.victim_score = pending_victim_score_;
+  event.client = config_.client_id;
   pending_victim_ = -1;
   pending_victim_score_ = 0.0;
   config_.trace->Record(event);
@@ -60,6 +69,12 @@ void Client::TraceRequest(double start, PageId logical, bool hit,
 
 des::Process Client::Run() {
   obs::Stopwatch phase_watch;
+  [[maybe_unused]] obs::TimelineWriter* const timeline =
+      BCAST_TIMELINE_PTR(sim_);
+  [[maybe_unused]] const uint32_t tl_track =
+      obs::track::Client(config_.client_id);
+  BCAST_TIMELINE(timeline, BeginSpan(tl_track, "warmup", "phase",
+                                     sim_->Now()));
   // Warm-up: run unrecorded requests until the cache is full. The target
   // is capped by the access range (the cache can never hold more distinct
   // pages than the client requests) and by a request budget.
@@ -100,6 +115,9 @@ des::Process Client::Run() {
   }
   warmup_wall_seconds_ = phase_watch.ElapsedSeconds();
   phase_watch.Restart();
+  BCAST_TIMELINE(timeline, EndSpan(tl_track, sim_->Now()));
+  BCAST_TIMELINE(timeline, BeginSpan(tl_track, "measured", "phase",
+                                     sim_->Now()));
 
   // Measured phase. (Channel-level delivery stats are shared across
   // clients and are NOT reset here; per-client accounting lives in
@@ -137,6 +155,10 @@ des::Process Client::Run() {
                                   /*measured=*/true, IsColdDisk(disk));
       }
       metrics_.RecordMiss(wait, disk);
+      BCAST_TIMELINE(timeline,
+                     Span(tl_track, "miss_wait", "client", start, wait,
+                          {{"page", static_cast<double>(logical)},
+                           {"disk", static_cast<double>(disk)}}));
       if (config_.cold_pages != nullptr && (*config_.cold_pages)[physical]) {
         ++cold_requests_;
         if (config_.cold_wait != nullptr) config_.cold_wait->Add(wait);
@@ -162,6 +184,7 @@ des::Process Client::Run() {
     co_await sim_->Delay(gen_->NextThinkTime());
   }
   measured_wall_seconds_ = phase_watch.ElapsedSeconds();
+  BCAST_TIMELINE(timeline, EndSpan(tl_track, sim_->Now()));
   finished_ = true;
 }
 

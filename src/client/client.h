@@ -74,6 +74,10 @@ struct ClientRunConfig {
   /// Optional histogram of measured-phase response times of misses on
   /// `cold_pages` (unowned). Feeds the adapt cold-latency gate.
   obs::LogHistogram* cold_wait = nullptr;
+
+  /// This client's index in its population (0 in single-client runs).
+  /// Stamped into trace records and selects the timeline track.
+  uint32_t client_id = 0;
 };
 
 /// \brief A single client workload driving a cache against the broadcast.

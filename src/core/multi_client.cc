@@ -1,5 +1,7 @@
 #include "core/multi_client.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -14,6 +16,8 @@
 #include "core/simulator.h"
 #include "des/simulation.h"
 #include "fault/fault_model.h"
+#include "obs/stats_stream.h"
+#include "obs/timeline.h"
 #include "pull/hybrid.h"
 #include "pull/pull_client.h"
 #include "pull/pull_server.h"
@@ -100,6 +104,11 @@ Status MultiClientParams::Validate() const {
 
 Result<MultiClientResult> RunMultiClientSimulation(
     const MultiClientParams& params) {
+  return RunMultiClientSimulation(params, SimObservers{});
+}
+
+Result<MultiClientResult> RunMultiClientSimulation(
+    const MultiClientParams& params, const SimObservers& observers) {
   obs::Stopwatch total_watch;
   obs::PhaseTimings timings;
 
@@ -147,6 +156,10 @@ Result<MultiClientResult> RunMultiClientSimulation(
   const uint64_t total = layout->TotalPages();
   obs::Stopwatch setup_watch;
   des::Simulation sim;
+  if (observers.profile_des) sim.EnableProfiling();
+  sim.AttachTimeline(observers.timeline);
+  BCAST_TIMELINE(observers.timeline,
+                 NameTrack(obs::track::kSim, "des"));
   BroadcastChannel channel(&sim, &*program);
 
   // One pull server is shared by the whole population: the backchannel
@@ -158,6 +171,8 @@ Result<MultiClientResult> RunMultiClientSimulation(
     pull_server = std::make_unique<pull::PullServer>(&sim, hybrid_layout,
                                                      params.pull);
     if (pull_server->enabled()) channel.AttachPullServer(pull_server.get());
+    BCAST_TIMELINE(observers.timeline,
+                   NameTrack(obs::track::kPull, "pull"));
   }
 
   // Cold-page set pinned to the initial program (see RunSimulation).
@@ -189,6 +204,8 @@ Result<MultiClientResult> RunMultiClientSimulation(
     hooks.loss = loss_monitor.get();
     controller = std::make_unique<adapt::Controller>(&sim, *layout,
                                                      params.adapt, hooks);
+    BCAST_TIMELINE(observers.timeline,
+                   NameTrack(obs::track::kController, "adapt"));
   }
 
   // Assemble every client's private machinery. Objects are kept in
@@ -207,6 +224,9 @@ Result<MultiClientResult> RunMultiClientSimulation(
   for (size_t c = 0; c < params.clients.size(); ++c) {
     const ClientSpec& spec = params.clients[c];
     const Rng client_rng = master.Split(1000 + c);
+    BCAST_TIMELINE(observers.timeline,
+                   NameTrack(obs::track::Client(static_cast<uint32_t>(c)),
+                             "client" + std::to_string(c)));
 
     // Interest shift s composes with the offset rotation: the client's
     // logical page l maps to physical (l + s - offset) mod total, i.e. an
@@ -251,6 +271,8 @@ Result<MultiClientResult> RunMultiClientSimulation(
       worlds[c].receiver =
           fault::MakeReceiver(params.fault, /*client_id=*/c,
                               static_cast<double>(program->period()));
+      worlds[c].receiver->AttachTimeline(
+          observers.timeline, obs::track::Client(static_cast<uint32_t>(c)));
       if (loss_monitor != nullptr) {
         worlds[c].receiver->AttachLossSink(loss_monitor.get());
       }
@@ -273,8 +295,10 @@ Result<MultiClientResult> RunMultiClientSimulation(
     ClientRunConfig config;
     config.measured_requests = params.measured_requests;
     config.max_warmup_requests = params.max_warmup_requests;
+    config.trace = observers.trace;
     config.receiver = worlds[c].receiver.get();
     config.pull = worlds[c].pull.get();
+    config.client_id = static_cast<uint32_t>(c);
     if (!cold_pages.empty()) {
       config.cold_pages = &cold_pages;
       if (controller != nullptr) {
@@ -287,6 +311,74 @@ Result<MultiClientResult> RunMultiClientSimulation(
   }
 
   timings.setup_seconds = setup_watch.ElapsedSeconds();
+
+  // The population-wide stats sampler: one snapshot aggregates every
+  // client's totals — the same view MakePopulationRunReport summarizes,
+  // so a stream summary reproduces the report's headline numbers. As in
+  // the single-client runner it is the one observer that *does* add DES
+  // events (tagged kStats); the tick re-arms only while some client is
+  // still running, so Run() can drain the queue and return.
+  uint64_t stats_prev_requests = 0;
+  uint64_t stats_prev_hits = 0;
+  double stats_prev_rt_sum = 0.0;
+  auto take_stats_sample = [&](bool final_sample) {
+    obs::StatsSample s;
+    s.t = sim.Now();
+    s.wall_seconds = observers.stats->ElapsedSeconds();
+    s.events = sim.events_dispatched();
+    double rt_sum = 0.0;
+    for (const auto& world : worlds) {
+      const ClientMetrics& m = world.client->metrics();
+      s.requests += m.requests();
+      s.hits += m.cache_hits();
+      s.warmup_requests += world.client->warmup_requests();
+      rt_sum += m.response_time().sum();
+      const std::vector<uint64_t>& per_disk = m.served_per_disk();
+      if (s.served_per_disk.size() < per_disk.size()) {
+        s.served_per_disk.resize(per_disk.size(), 0);
+      }
+      for (size_t d = 0; d < per_disk.size(); ++d) {
+        s.served_per_disk[d] += per_disk[d];
+      }
+      if (world.receiver != nullptr) {
+        s.fault_lost += world.receiver->stats().lost;
+        s.fault_retries += world.receiver->stats().retries;
+      }
+    }
+    s.mean_rt =
+        s.requests > 0 ? rt_sum / static_cast<double>(s.requests) : 0.0;
+    s.win_requests = s.requests - stats_prev_requests;
+    s.win_hits = s.hits - stats_prev_hits;
+    s.win_mean_rt = s.win_requests > 0
+                        ? (rt_sum - stats_prev_rt_sum) /
+                              static_cast<double>(s.win_requests)
+                        : 0.0;
+    if (pull_server != nullptr) {
+      s.pull_queue_depth = pull_server->queue_depth();
+      s.pull_serviced = pull_server->stats().serviced_pages;
+    }
+    s.final_sample = final_sample;
+    stats_prev_requests = s.requests;
+    stats_prev_hits = s.hits;
+    stats_prev_rt_sum = rt_sum;
+    observers.stats->Write(s);
+  };
+  std::function<void()> stats_tick;
+  if (observers.stats != nullptr) {
+    const double interval = std::max(observers.stats_interval, 1.0);
+    stats_tick = [&take_stats_sample, &stats_tick, &sim, &worlds,
+                  interval]() {
+      take_stats_sample(false);
+      const bool all_finished =
+          std::all_of(worlds.begin(), worlds.end(),
+                      [](const auto& w) { return w.client->finished(); });
+      if (!all_finished) {
+        sim.Schedule(interval, stats_tick, des::EventKind::kStats);
+      }
+    };
+    sim.Schedule(interval, stats_tick, des::EventKind::kStats);
+  }
+
   obs::Stopwatch run_watch;
   for (auto& world : worlds) sim.Spawn(world.client->Run());
   if (controller != nullptr) controller->Start();
@@ -310,6 +402,8 @@ Result<MultiClientResult> RunMultiClientSimulation(
     result.cold_requests += worlds[c].client->cold_requests();
     result.cold_hits += worlds[c].client->cold_hits();
   }
+  // The exact end-of-run record (after the finished checks above).
+  if (observers.stats != nullptr) take_stats_sample(true);
   if (pull_server != nullptr) {
     pull_server->FinishRun(sim.Now());
     result.pull_stats = pull_server->stats();
@@ -321,6 +415,10 @@ Result<MultiClientResult> RunMultiClientSimulation(
   }
   result.end_time = sim.Now();
   result.events_dispatched = sim.events_dispatched();
+  if (observers.profile_des) {
+    result.profile = sim.profile();
+    result.profile_active = true;
+  }
   timings.total_seconds = total_watch.ElapsedSeconds();
   result.timings = timings;
   return result;
@@ -382,6 +480,9 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
   }
   if (result.adapt_active) {
     AppendAdaptExtras(params.adapt, result.adapt_stats, &report);
+  }
+  if (result.profile_active) {
+    AppendProfileExtras(result.profile, &report);
   }
   return report;
 }

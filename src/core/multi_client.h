@@ -27,6 +27,8 @@
 #include "adapt/adapt_stats.h"
 #include "core/metrics.h"
 #include "core/params.h"
+#include "core/simulator.h"
+#include "des/simulation.h"
 #include "fault/fault_params.h"
 #include "fault/recovery.h"
 #include "obs/run_report.h"
@@ -157,12 +159,25 @@ struct MultiClientResult {
   /// cold-page set; populated when pull or adaptation is active.
   uint64_t cold_requests = 0;
   uint64_t cold_hits = 0;
+
+  /// Per-event-kind DES dispatch profile; populated (and
+  /// `profile_active` set) only when `SimObservers::profile_des` was on.
+  des::DesProfile profile;
+  bool profile_active = false;
 };
 
 /// \brief Runs the population against one shared broadcast.
 /// Deterministic in `params.seed`.
 Result<MultiClientResult> RunMultiClientSimulation(
     const MultiClientParams& params);
+
+/// \brief Same, with observability hooks attached. Trace records carry
+/// each issuer's client index; timeline spans land on per-client tracks;
+/// the stats stream samples population-wide totals. As in the
+/// single-client runner, only the stats sampler adds DES events — every
+/// other observer leaves the run bit-identical.
+Result<MultiClientResult> RunMultiClientSimulation(
+    const MultiClientParams& params, const SimObservers& observers);
 
 /// \brief Renders a population run as a run report (mode "population"):
 /// aggregate counts and distributions plus per-population fairness

@@ -1,5 +1,7 @@
 #include "core/simulator.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "adapt/controller.h"
@@ -122,6 +124,12 @@ Result<SimResult> RunSimulation(const SimParams& params,
   if (!cache.ok()) return cache.status();
 
   des::Simulation sim;
+  if (observers.profile_des) sim.EnableProfiling();
+  sim.AttachTimeline(observers.timeline);
+  BCAST_TIMELINE(observers.timeline,
+                 NameTrack(obs::track::kSim, "des"));
+  BCAST_TIMELINE(observers.timeline,
+                 NameTrack(obs::track::Client(0), "client0"));
   BroadcastChannel channel(&sim, &*program);
   // The receiver exists only for active fault params: an inactive run
   // builds no fault machinery and draws no extra randomness.
@@ -129,6 +137,7 @@ Result<SimResult> RunSimulation(const SimParams& params,
   if (params.fault.Active()) {
     receiver = fault::MakeReceiver(params.fault, /*client_id=*/0,
                                    static_cast<double>(program->period()));
+    receiver->AttachTimeline(observers.timeline, obs::track::Client(0));
   }
   // Pull machinery exists only for active pull params; with zero pull
   // slots the server is inert (never attached, never scheduling), so
@@ -139,6 +148,8 @@ Result<SimResult> RunSimulation(const SimParams& params,
     pull_server = std::make_unique<pull::PullServer>(&sim, hybrid_layout,
                                                      params.pull);
     if (pull_server->enabled()) channel.AttachPullServer(pull_server.get());
+    BCAST_TIMELINE(observers.timeline,
+                   NameTrack(obs::track::kPull, "pull"));
     // The uplink shares the air with the downlink: requests are lost in
     // flight at the channel's loss rate, drawn from the dedicated
     // (client, kUplink) fault sub-stream so pull never perturbs the
@@ -185,6 +196,8 @@ Result<SimResult> RunSimulation(const SimParams& params,
     hooks.loss = loss_monitor.get();
     controller = std::make_unique<adapt::Controller>(&sim, *layout,
                                                      params.adapt, hooks);
+    BCAST_TIMELINE(observers.timeline,
+                   NameTrack(obs::track::kController, "adapt"));
   }
   ClientRunConfig run_config{params.measured_requests,
                              params.max_warmup_requests,
@@ -200,11 +213,67 @@ Result<SimResult> RunSimulation(const SimParams& params,
                 run_config);
   result.timings.setup_seconds = setup_watch.ElapsedSeconds();
 
+  // The periodic stats sampler. It is the one observer that *does* add
+  // DES events (tagged kStats, visible in events_dispatched), so golden
+  // comparisons keep it off; with it off the run is bit-identical. The
+  // tick re-arms only while the client is unfinished — a perpetual
+  // event would keep the queue non-empty and Run() would never return.
+  uint64_t stats_prev_requests = 0;
+  uint64_t stats_prev_hits = 0;
+  double stats_prev_rt_sum = 0.0;
+  auto take_stats_sample = [&](bool final_sample) {
+    obs::StatsSample s;
+    s.t = sim.Now();
+    s.wall_seconds = observers.stats->ElapsedSeconds();
+    s.events = sim.events_dispatched();
+    const ClientMetrics& m = client.metrics();
+    s.requests = m.requests();
+    s.hits = m.cache_hits();
+    s.warmup_requests = client.warmup_requests();
+    s.mean_rt = m.response_time().mean();
+    s.win_requests = s.requests - stats_prev_requests;
+    s.win_hits = s.hits - stats_prev_hits;
+    const double rt_sum = m.response_time().sum();
+    s.win_mean_rt = s.win_requests > 0
+                        ? (rt_sum - stats_prev_rt_sum) /
+                              static_cast<double>(s.win_requests)
+                        : 0.0;
+    s.served_per_disk = m.served_per_disk();
+    if (pull_server != nullptr) {
+      s.pull_queue_depth = pull_server->queue_depth();
+      s.pull_serviced = pull_server->stats().serviced_pages;
+    }
+    if (receiver != nullptr) {
+      s.fault_lost = receiver->stats().lost;
+      s.fault_retries = receiver->stats().retries;
+    }
+    s.final_sample = final_sample;
+    stats_prev_requests = s.requests;
+    stats_prev_hits = s.hits;
+    stats_prev_rt_sum = rt_sum;
+    observers.stats->Write(s);
+  };
+  std::function<void()> stats_tick;
+  if (observers.stats != nullptr) {
+    const double interval = std::max(observers.stats_interval, 1.0);
+    stats_tick = [&take_stats_sample, &stats_tick, &sim, &client,
+                  interval]() {
+      take_stats_sample(false);
+      if (!client.finished()) {
+        sim.Schedule(interval, stats_tick, des::EventKind::kStats);
+      }
+    };
+    sim.Schedule(interval, stats_tick, des::EventKind::kStats);
+  }
+
   sim.Spawn(client.Run());
   if (controller != nullptr) controller->Start();
   sim.Run();
 
   BCAST_CHECK(client.finished()) << "client did not complete its requests";
+  // The exact end-of-run record: totals here equal the run report's, so
+  // a stream summary reproduces the report's headline numbers.
+  if (observers.stats != nullptr) take_stats_sample(true);
 
   result.metrics = client.metrics();
   result.warmup_requests = client.warmup_requests();
@@ -231,6 +300,10 @@ Result<SimResult> RunSimulation(const SimParams& params,
   }
   result.cold_requests = client.cold_requests();
   result.cold_hits = client.cold_hits();
+  if (observers.profile_des) {
+    result.profile = sim.profile();
+    result.profile_active = true;
+  }
 
   if (observers.registry != nullptr) {
     obs::MetricsRegistry& reg = *observers.registry;
@@ -335,6 +408,9 @@ obs::RunReport MakeRunReport(const SimParams& params,
   }
   if (result.adapt_active) {
     AppendAdaptExtras(params.adapt, result.adapt_stats, &report);
+  }
+  if (result.profile_active) {
+    AppendProfileExtras(result.profile, &report);
   }
   return report;
 }
@@ -443,6 +519,26 @@ void AppendAdaptExtras(const adapt::AdaptParams& params,
   add("adapt_slot_range_late", static_cast<double>(stats.SlotRangeLate()));
   add("adapt_cold_mean_rt", stats.cold_wait.mean());
   add("adapt_cold_count", static_cast<double>(stats.cold_wait.count()));
+}
+
+void AppendProfileExtras(const des::DesProfile& profile,
+                         obs::RunReport* report) {
+  auto add = [report](const std::string& key, double value) {
+    report->extra.emplace_back(key, value);
+  };
+  // Totals first, then every kind in enum order — a stable schema even
+  // for kinds a particular run never dispatched.
+  add("profile_total_dispatches",
+      static_cast<double>(profile.total_dispatches()));
+  add("profile_total_cpu_ns", static_cast<double>(profile.total_cpu_ns()));
+  for (size_t i = 0; i < des::kNumEventKinds; ++i) {
+    const std::string name =
+        des::EventKindName(static_cast<des::EventKind>(i));
+    add("profile_" + name + "_dispatches",
+        static_cast<double>(profile.kinds[i].dispatches));
+    add("profile_" + name + "_cpu_ns",
+        static_cast<double>(profile.kinds[i].cpu_ns));
+  }
 }
 
 }  // namespace bcast

@@ -15,10 +15,13 @@
 #include "client/mapping.h"
 #include "core/metrics.h"
 #include "core/params.h"
+#include "des/simulation.h"
 #include "fault/recovery.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
+#include "obs/stats_stream.h"
 #include "obs/stopwatch.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "pull/pull_params.h"
 #include "pull/pull_stats.h"
@@ -82,10 +85,16 @@ struct SimResult {
   /// pull or adaptation is active; never emitted into run reports.
   uint64_t cold_requests = 0;
   uint64_t cold_hits = 0;
+
+  /// Per-event-kind DES dispatch profile; populated (and
+  /// `profile_active` set) only when `SimObservers::profile_des` was on.
+  des::DesProfile profile;
+  bool profile_active = false;
 };
 
-/// \brief Optional observability hooks for a run. Both default to off;
-/// a null member costs the hot loop at most one pointer test.
+/// \brief Optional observability hooks for a run. All default to off; a
+/// null member costs the hot loop at most one pointer test, and none of
+/// them can perturb the simulation (same events, same randomness).
 struct SimObservers {
   /// Sampled per-request trace records (unowned).
   obs::TraceSink* trace = nullptr;
@@ -95,6 +104,27 @@ struct SimObservers {
   /// warmup_requests, events, the period/end_time gauges, and the
   /// response_slots / tuning_slots histograms.
   obs::MetricsRegistry* registry = nullptr;
+
+  /// Chrome trace-event timeline (unowned). Spans and instants are
+  /// emitted for the DES run, client phases, miss waits, cache
+  /// evictions, fault-recovery episodes, pull service, and controller
+  /// epochs. Observation only: the attached run stays bit-identical.
+  obs::TimelineWriter* timeline = nullptr;
+
+  /// Periodic stats stream (unowned). When set, a sampler event fires
+  /// every `stats_interval` simulated slots and appends one JSONL
+  /// snapshot; one exact final sample is appended after the run. The
+  /// sampler adds events to the DES (visible in `events_dispatched`),
+  /// so golden-report comparisons must keep it off.
+  obs::StatsWriter* stats = nullptr;
+
+  /// Slots between stats samples (>= 1; values below 1 are clamped).
+  double stats_interval = 1000.0;
+
+  /// Per-event-kind DES dispatch profiling (counts + wall-clock ns),
+  /// surfaced as `profile_*` report extras. Wall-clock only; cannot
+  /// perturb the simulation.
+  bool profile_des = false;
 };
 
 /// \brief The `PageCatalog` a simulation exposes to its cache policy:
@@ -168,6 +198,13 @@ void AppendPullExtras(const pull::PullParams& params,
 void AppendAdaptExtras(const adapt::AdaptParams& params,
                        const adapt::AdaptStats& stats,
                        obs::RunReport* report);
+
+/// \brief Appends the DES dispatch profile (`profile_<kind>_dispatches`
+/// and `profile_<kind>_cpu_ns` per event kind, plus totals) to
+/// \p report. Call only when profiling ran: an unprofiled run's report
+/// must stay byte-identical to the pre-profiling format.
+void AppendProfileExtras(const des::DesProfile& profile,
+                         obs::RunReport* report);
 
 }  // namespace bcast
 

@@ -10,7 +10,7 @@ void Event::Signal() {
   std::vector<std::coroutine_handle<>> woken = std::move(waiters_);
   waiters_.clear();
   for (auto h : woken) {
-    sim_->Schedule(0.0, [h]() { h.resume(); });
+    sim_->Schedule(0.0, [h]() { h.resume(); }, EventKind::kSignal);
   }
 }
 

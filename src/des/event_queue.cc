@@ -4,9 +4,34 @@
 
 namespace bcast::des {
 
-EventQueue::EventId EventQueue::Push(double time, std::function<void()> fn) {
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGeneric:
+      return "generic";
+    case EventKind::kProcessStart:
+      return "process_start";
+    case EventKind::kDelay:
+      return "delay";
+    case EventKind::kSignal:
+      return "signal";
+    case EventKind::kSlot:
+      return "slot";
+    case EventKind::kPull:
+      return "pull";
+    case EventKind::kController:
+      return "controller";
+    case EventKind::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+EventQueue::EventId EventQueue::Push(double time, std::function<void()> fn,
+                                     EventKind kind) {
   const EventId id = next_id_++;
-  heap_.push(Entry{time, id, std::move(fn)});
+  BCAST_CHECK_LT(id, kMaxSeq) << "EventId space exhausted";
+  heap_.push(Entry{
+      time, (id << kKindBits) | static_cast<uint64_t>(kind), std::move(fn)});
   pending_.insert(id);
   ++live_;
   return id;
@@ -24,7 +49,7 @@ bool EventQueue::Cancel(EventId id) {
 
 void EventQueue::SkipCancelled() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
+    auto it = cancelled_.find(heap_.top().seq_and_kind >> kKindBits);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
     heap_.pop();
@@ -37,7 +62,7 @@ double EventQueue::PeekTime() {
   return heap_.top().time;
 }
 
-std::function<void()> EventQueue::Pop(double* time) {
+std::function<void()> EventQueue::Pop(double* time, EventKind* kind) {
   SkipCancelled();
   BCAST_CHECK(!heap_.empty()) << "Pop on empty EventQueue";
   // priority_queue::top() is const; moving the callback out requires a
@@ -45,8 +70,11 @@ std::function<void()> EventQueue::Pop(double* time) {
   // heap ordering does not depend on `fn`.
   Entry& top = const_cast<Entry&>(heap_.top());
   *time = top.time;
+  if (kind != nullptr) {
+    *kind = static_cast<EventKind>(top.seq_and_kind & 0xff);
+  }
   std::function<void()> fn = std::move(top.fn);
-  pending_.erase(top.id);
+  pending_.erase(top.seq_and_kind >> kKindBits);
   heap_.pop();
   --live_;
   return fn;

@@ -12,6 +12,26 @@
 
 namespace bcast::des {
 
+/// \brief What a scheduled event does, for per-kind DES profiling and
+/// timeline attribution. Purely descriptive: kinds never affect ordering
+/// or dispatch, so tagging a call site cannot change a simulation.
+enum class EventKind : uint8_t {
+  kGeneric = 0,    ///< untagged call sites
+  kProcessStart,   ///< coroutine start scheduled by Spawn
+  kDelay,          ///< Delay awaiter resumption (think times)
+  kSignal,         ///< Event::Signal wake-ups
+  kSlot,           ///< broadcast-channel slot arrivals
+  kPull,           ///< pull-server service/delivery and client timeouts
+  kController,     ///< adaptive-controller epoch ticks
+  kStats,          ///< periodic stats-stream sampling
+};
+
+/// Number of distinct `EventKind` values (array sizing).
+inline constexpr size_t kNumEventKinds = 8;
+
+/// Stable lower-case name of \p kind (report extra keys).
+const char* EventKindName(EventKind kind);
+
 /// \brief A time-ordered queue of callbacks with FIFO tie-breaking.
 ///
 /// Events at equal timestamps fire in the order they were scheduled, which
@@ -23,7 +43,8 @@ class EventQueue {
   using EventId = uint64_t;
 
   /// Schedules \p fn at absolute \p time. Returns an id for cancellation.
-  EventId Push(double time, std::function<void()> fn);
+  EventId Push(double time, std::function<void()> fn,
+               EventKind kind = EventKind::kGeneric);
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was cancelled before, or never existed. O(1): the entry is tombstoned
@@ -40,22 +61,31 @@ class EventQueue {
   double PeekTime();
 
   /// Removes and returns the earliest live event's callback, setting
-  /// \p time to its timestamp. Must not be called when empty.
-  std::function<void()> Pop(double* time);
+  /// \p time to its timestamp (and \p kind, when non-null, to its kind).
+  /// Must not be called when empty.
+  std::function<void()> Pop(double* time, EventKind* kind = nullptr);
 
   /// Drops all pending events.
   void Clear();
 
  private:
+  // The kind rides in the low byte under the shifted sequence number so
+  // Entry stays at 48 bytes — the heap sifts whole entries, and growing
+  // them measurably slows dispatch. Sequences are unique, so comparing
+  // the packed word IS the FIFO tie-break (the kind byte never decides),
+  // and 2^56 sequence numbers is far beyond any run.
+  static constexpr int kKindBits = 8;
+  static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kKindBits);
+
   struct Entry {
     double time;
-    EventId id;  // also the FIFO sequence number
+    uint64_t seq_and_kind;  // (sequence == EventId) << kKindBits | kind
     std::function<void()> fn;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq_and_kind > b.seq_and_kind;
     }
   };
 

@@ -1,6 +1,9 @@
 #include "des/simulation.h"
 
+#include <chrono>
+
 #include "common/logging.h"
+#include "obs/timeline.h"
 
 namespace bcast::des {
 
@@ -25,7 +28,7 @@ Process::~Process() {
 
 void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   BCAST_CHECK_GE(delay_, 0.0);
-  sim_->Schedule(delay_, [h]() { h.resume(); });
+  sim_->Schedule(delay_, [h]() { h.resume(); }, EventKind::kDelay);
 }
 
 Simulation::~Simulation() {
@@ -38,15 +41,17 @@ Simulation::~Simulation() {
 }
 
 EventQueue::EventId Simulation::Schedule(double delay,
-                                         std::function<void()> fn) {
+                                         std::function<void()> fn,
+                                         EventKind kind) {
   BCAST_CHECK_GE(delay, 0.0);
-  return queue_.Push(now_ + delay, std::move(fn));
+  return queue_.Push(now_ + delay, std::move(fn), kind);
 }
 
 EventQueue::EventId Simulation::ScheduleAt(double time,
-                                           std::function<void()> fn) {
+                                           std::function<void()> fn,
+                                           EventKind kind) {
   BCAST_CHECK_GE(time, now_);
-  return queue_.Push(time, std::move(fn));
+  return queue_.Push(time, std::move(fn), kind);
 }
 
 void Simulation::Spawn(Process process) {
@@ -55,7 +60,7 @@ void Simulation::Spawn(Process process) {
   process.handle_ = nullptr;  // ownership moves to the simulation
   h.promise().sim = this;
   processes_.insert(h.address());
-  Schedule(0.0, [h]() { h.resume(); });
+  Schedule(0.0, [h]() { h.resume(); }, EventKind::kProcessStart);
 }
 
 void Simulation::OnProcessFinished(Process::Handle h) {
@@ -65,18 +70,46 @@ void Simulation::OnProcessFinished(Process::Handle h) {
   h.destroy();
 }
 
+void Simulation::Dispatch(std::function<void()>& fn, EventKind kind) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  DesProfile::KindStats& stats = profile_.kinds[static_cast<size_t>(kind)];
+  ++stats.dispatches;
+  stats.cpu_ns += static_cast<uint64_t>(ns);
+}
+
 void Simulation::Run() {
   BCAST_CHECK(!running_) << "Run is not reentrant";
   running_ = true;
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    double t;
-    std::function<void()> fn = queue_.Pop(&t);
-    BCAST_CHECK_GE(t, now_) << "event scheduled in the past";
-    now_ = t;
-    ++events_dispatched_;
-    fn();
+  BCAST_TIMELINE(timeline_, BeginSpan(obs::track::kSim, "des_run", "des",
+                                      now_));
+  // The unprofiled loop never extracts event kinds — with profiling off
+  // the dispatch path is exactly the pre-profiling one.
+  if (!profiling_) {
+    while (!stopped_ && !queue_.empty()) {
+      double t;
+      std::function<void()> fn = queue_.Pop(&t);
+      BCAST_CHECK_GE(t, now_) << "event scheduled in the past";
+      now_ = t;
+      ++events_dispatched_;
+      fn();
+    }
+  } else {
+    while (!stopped_ && !queue_.empty()) {
+      double t;
+      EventKind kind;
+      std::function<void()> fn = queue_.Pop(&t, &kind);
+      BCAST_CHECK_GE(t, now_) << "event scheduled in the past";
+      now_ = t;
+      ++events_dispatched_;
+      Dispatch(fn, kind);
+    }
   }
+  BCAST_TIMELINE(timeline_, EndSpan(obs::track::kSim, now_));
   running_ = false;
 }
 
@@ -87,10 +120,19 @@ void Simulation::RunUntil(double time) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.PeekTime() <= time) {
     double t;
-    std::function<void()> fn = queue_.Pop(&t);
-    now_ = t;
-    ++events_dispatched_;
-    fn();
+    std::function<void()> fn;
+    if (!profiling_) {
+      fn = queue_.Pop(&t);
+      now_ = t;
+      ++events_dispatched_;
+      fn();
+    } else {
+      EventKind kind;
+      fn = queue_.Pop(&t, &kind);
+      now_ = t;
+      ++events_dispatched_;
+      Dispatch(fn, kind);
+    }
   }
   if (!stopped_ && now_ < time) now_ = time;
   running_ = false;

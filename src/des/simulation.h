@@ -22,6 +22,7 @@
 #ifndef BCAST_DES_SIMULATION_H_
 #define BCAST_DES_SIMULATION_H_
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -29,9 +30,48 @@
 
 #include "des/event_queue.h"
 
+namespace bcast::obs {
+class TimelineWriter;
+}  // namespace bcast::obs
+
 namespace bcast::des {
 
 class Simulation;
+
+/// \brief Per-event-kind dispatch profile of one run.
+///
+/// Filled only when `Simulation::EnableProfiling()` was called: each
+/// dispatched event adds one to its kind's count and its wall-clock
+/// duration to the kind's cumulative nanoseconds. Profiling measures
+/// the host, never the simulation — enabling it cannot change event
+/// order, timing, or randomness.
+struct DesProfile {
+  struct KindStats {
+    uint64_t dispatches = 0;
+    uint64_t cpu_ns = 0;  ///< cumulative wall-clock ns inside callbacks
+  };
+
+  std::array<KindStats, kNumEventKinds> kinds{};
+
+  uint64_t total_dispatches() const {
+    uint64_t total = 0;
+    for (const KindStats& k : kinds) total += k.dispatches;
+    return total;
+  }
+  uint64_t total_cpu_ns() const {
+    uint64_t total = 0;
+    for (const KindStats& k : kinds) total += k.cpu_ns;
+    return total;
+  }
+
+  /// Element-wise accumulation (multi-seed aggregation).
+  void Merge(const DesProfile& other) {
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      kinds[i].dispatches += other.kinds[i].dispatches;
+      kinds[i].cpu_ns += other.kinds[i].cpu_ns;
+    }
+  }
+};
 
 /// \brief The coroutine type for simulation processes.
 ///
@@ -112,11 +152,14 @@ class Simulation {
   double Now() const { return now_; }
 
   /// Schedules \p fn to run at `Now() + delay`; \p delay must be >= 0.
-  /// Returns an id usable with `CancelEvent`.
-  EventQueue::EventId Schedule(double delay, std::function<void()> fn);
+  /// Returns an id usable with `CancelEvent`. \p kind is descriptive
+  /// only (profiling/timeline attribution) and never affects ordering.
+  EventQueue::EventId Schedule(double delay, std::function<void()> fn,
+                               EventKind kind = EventKind::kGeneric);
 
   /// Schedules \p fn at absolute \p time (>= Now()).
-  EventQueue::EventId ScheduleAt(double time, std::function<void()> fn);
+  EventQueue::EventId ScheduleAt(double time, std::function<void()> fn,
+                                 EventKind kind = EventKind::kGeneric);
 
   /// Cancels a scheduled event; false if it already fired or was cancelled.
   bool CancelEvent(EventQueue::EventId id) { return queue_.Cancel(id); }
@@ -145,17 +188,44 @@ class Simulation {
   /// Suspends the calling process for \p delay (>= 0) simulated units.
   DelayAwaiter Delay(double delay) { return DelayAwaiter(this, delay); }
 
+  /// Turns on per-event-kind dispatch profiling (count + wall-clock ns
+  /// per kind, read back via `profile()`). Wall-clock only: enabling it
+  /// cannot perturb the simulation.
+  void EnableProfiling() { profiling_ = true; }
+
+  /// True when `EnableProfiling()` was called.
+  bool profiling() const { return profiling_; }
+
+  /// The dispatch profile accumulated so far (zeros unless profiling).
+  const DesProfile& profile() const { return profile_; }
+
+  /// Attaches a timeline writer (unowned; may be null to detach).
+  /// Subsystems holding a `Simulation*` reach it via `timeline()`; the
+  /// writer observes only — it never schedules events.
+  void AttachTimeline(obs::TimelineWriter* timeline) {
+    timeline_ = timeline;
+  }
+
+  /// The attached timeline writer, or nullptr.
+  obs::TimelineWriter* timeline() const { return timeline_; }
+
  private:
   friend struct Process::promise_type;
 
   // Called from Process::promise_type::FinalAwaiter.
   void OnProcessFinished(Process::Handle h);
 
+  // Runs one popped callback, profiled when profiling is on.
+  void Dispatch(std::function<void()>& fn, EventKind kind);
+
   EventQueue queue_;
   double now_ = 0.0;
   bool stopped_ = false;
   bool running_ = false;
+  bool profiling_ = false;
   uint64_t events_dispatched_ = 0;
+  DesProfile profile_;
+  obs::TimelineWriter* timeline_ = nullptr;
   std::unordered_set<void*> processes_;  // live coroutine frames
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/timeline.h"
 
 namespace bcast::fault {
 
@@ -96,6 +97,9 @@ double Receiver::NoteDozeMiss(double arrival_start) {
     backoff_.Reset();
     deadline_at_ =
         wake + static_cast<double>(deadline_arrivals_) * wait_gap_;
+    BCAST_TIMELINE(timeline_,
+                   Instant(timeline_track_, "deadline_expiry", "fault",
+                           wake, {{"page", static_cast<double>(page_)}}));
   }
   return wake;
 }
@@ -108,6 +112,10 @@ bool Receiver::Attempt(PageId page, double end) {
     ++stats_.delivered;
     if (resync_since_ >= 0.0) {
       stats_.resync_slots.Add(end - resync_since_);
+      BCAST_TIMELINE(timeline_,
+                     Span(timeline_track_, "resync", "fault", resync_since_,
+                          end - resync_since_,
+                          {{"page", static_cast<double>(page)}}));
       resync_since_ = -1.0;
     }
     return true;
@@ -131,6 +139,9 @@ double Receiver::NextRetryTime(double now) {
     ++stats_.deadline_expiries;
     backoff_.Reset();
     deadline_at_ = now + static_cast<double>(deadline_arrivals_) * wait_gap_;
+    BCAST_TIMELINE(timeline_,
+                   Instant(timeline_track_, "deadline_expiry", "fault", now,
+                           {{"page", static_cast<double>(page_)}}));
     return now;
   }
   const double off = backoff_.Next();

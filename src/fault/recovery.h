@@ -27,6 +27,10 @@
 #include "fault/fault_params.h"
 #include "obs/histogram.h"
 
+namespace bcast::obs {
+class TimelineWriter;
+}  // namespace bcast::obs
+
 namespace bcast::fault {
 
 /// \brief Capped exponential backoff with overflow-proof arithmetic: the
@@ -194,9 +198,19 @@ class Receiver {
   /// every receiver of a population in adaptive runs.
   void AttachLossSink(PageLossSink* sink) { loss_sink_ = sink; }
 
+  /// Attaches a timeline writer (unowned; may be null): recovery
+  /// episodes — deadline expiries and doze-to-intact resyncs — are
+  /// emitted on \p track (the owning client's timeline track).
+  void AttachTimeline(obs::TimelineWriter* timeline, uint32_t track) {
+    timeline_ = timeline;
+    timeline_track_ = track;
+  }
+
  private:
   std::unique_ptr<FaultModel> model_;
   PageLossSink* loss_sink_ = nullptr;
+  obs::TimelineWriter* timeline_ = nullptr;
+  uint32_t timeline_track_ = 0;
   DozeSchedule doze_;
   BackoffPolicy backoff_;
   uint64_t deadline_arrivals_;

@@ -1,0 +1,228 @@
+#include "obs/stats_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/json_reader.h"
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+
+StatsWriter::StatsWriter(std::ostream* out) : out_(out) {
+  BCAST_CHECK(out != nullptr);
+}
+
+StatsWriter::StatsWriter(std::ofstream file)
+    : file_(std::move(file)), out_(&file_) {}
+
+Result<std::unique_ptr<StatsWriter>> StatsWriter::Open(
+    const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open stats file: " + path);
+  }
+  return std::unique_ptr<StatsWriter>(new StatsWriter(std::move(file)));
+}
+
+void StatsWriter::Write(const StatsSample& sample) {
+  ++samples_;
+  std::ostream& out = *out_;
+  out << "{\"t\": ";
+  AppendJsonNumber(out, sample.t);
+  out << ", \"wall\": ";
+  AppendJsonNumber(out, sample.wall_seconds);
+  out << ", \"events\": " << sample.events
+      << ", \"requests\": " << sample.requests
+      << ", \"hits\": " << sample.hits
+      << ", \"warmup\": " << sample.warmup_requests << ", \"mean_rt\": ";
+  AppendJsonNumber(out, sample.mean_rt);
+  out << ", \"win_requests\": " << sample.win_requests
+      << ", \"win_hits\": " << sample.win_hits << ", \"win_mean_rt\": ";
+  AppendJsonNumber(out, sample.win_mean_rt);
+  out << ", \"disks\": [";
+  for (size_t d = 0; d < sample.served_per_disk.size(); ++d) {
+    if (d > 0) out << ", ";
+    out << sample.served_per_disk[d];
+  }
+  out << "], \"pull_depth\": " << sample.pull_queue_depth
+      << ", \"pull_serviced\": " << sample.pull_serviced
+      << ", \"fault_lost\": " << sample.fault_lost
+      << ", \"fault_retries\": " << sample.fault_retries << ", \"final\": "
+      << (sample.final_sample ? "true" : "false") << "}\n";
+  // Flush per line: tailers (bcasttop) must never see a torn record.
+  out.flush();
+}
+
+void StatsWriter::Flush() { out_->flush(); }
+
+namespace {
+
+// Optional-field readers: absent keys default, present keys must have
+// the right shape.
+Status ReadU64(const JsonValue& obj, std::string_view key, uint64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  Result<uint64_t> parsed = v->AsUint64();
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::OK();
+}
+
+Status ReadDouble(const JsonValue& obj, std::string_view key, double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Status::OK();
+  Result<double> parsed = v->AsNumber();
+  if (!parsed.ok()) return parsed.status();
+  *out = *parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StatsSample> ParseStatsLine(std::string_view line) {
+  Result<JsonValue> doc = JsonValue::Parse(line);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("stats line is not a JSON object");
+  }
+  StatsSample sample;
+  // Required shape: a record that cannot say when it was taken or what
+  // it counted is useless to every consumer.
+  for (const char* key : {"t", "events", "requests"}) {
+    if (doc->Find(key) == nullptr) {
+      return Status::InvalidArgument(std::string("stats line missing \"") +
+                                     key + "\"");
+    }
+  }
+  BCAST_RETURN_IF_ERROR(ReadDouble(*doc, "t", &sample.t));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*doc, "wall", &sample.wall_seconds));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "events", &sample.events));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "requests", &sample.requests));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "hits", &sample.hits));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "warmup", &sample.warmup_requests));
+  BCAST_RETURN_IF_ERROR(ReadDouble(*doc, "mean_rt", &sample.mean_rt));
+  BCAST_RETURN_IF_ERROR(
+      ReadU64(*doc, "win_requests", &sample.win_requests));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "win_hits", &sample.win_hits));
+  BCAST_RETURN_IF_ERROR(
+      ReadDouble(*doc, "win_mean_rt", &sample.win_mean_rt));
+  BCAST_RETURN_IF_ERROR(
+      ReadU64(*doc, "pull_depth", &sample.pull_queue_depth));
+  BCAST_RETURN_IF_ERROR(
+      ReadU64(*doc, "pull_serviced", &sample.pull_serviced));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "fault_lost", &sample.fault_lost));
+  BCAST_RETURN_IF_ERROR(
+      ReadU64(*doc, "fault_retries", &sample.fault_retries));
+  if (const JsonValue* f = doc->Find("final"); f != nullptr) {
+    Result<bool> parsed = f->AsBool();
+    if (!parsed.ok()) return parsed.status();
+    sample.final_sample = *parsed;
+  }
+  if (const JsonValue* disks = doc->Find("disks"); disks != nullptr) {
+    if (!disks->is_array()) {
+      return Status::InvalidArgument("stats \"disks\" is not an array");
+    }
+    for (const JsonValue& item : disks->items()) {
+      Result<uint64_t> count = item.AsUint64();
+      if (!count.ok()) return count.status();
+      sample.served_per_disk.push_back(*count);
+    }
+  }
+  return sample;
+}
+
+namespace {
+
+// Folds the last sample of one segment (one run / seed) into the
+// cross-segment accumulators of \p summary.
+void FoldSegment(const StatsSample& last, double* weighted_rt_sum,
+                 StatsSummary* summary) {
+  ++summary->segments;
+  summary->events += last.events;
+  summary->requests += last.requests;
+  summary->hits += last.hits;
+  *weighted_rt_sum += last.mean_rt * static_cast<double>(last.requests);
+  if (summary->served_per_disk.size() < last.served_per_disk.size()) {
+    summary->served_per_disk.resize(last.served_per_disk.size(), 0);
+  }
+  for (size_t d = 0; d < last.served_per_disk.size(); ++d) {
+    summary->served_per_disk[d] += last.served_per_disk[d];
+  }
+  summary->fault_lost += last.fault_lost;
+  summary->end_time = last.t;
+}
+
+}  // namespace
+
+Result<StatsSummary> SummarizeStatsStream(std::istream& in) {
+  StatsSummary summary;
+  double weighted_rt_sum = 0.0;
+  bool have_segment = false;
+  StatsSample last;  // latest valid sample of the current segment
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<StatsSample> sample = ParseStatsLine(line);
+    if (!sample.ok()) {
+      ++summary.invalid_lines;
+      continue;
+    }
+    ++summary.samples;
+    if (have_segment && sample->t < last.t) {
+      // The simulated clock ran backwards: a new run (seed) started
+      // writing into the same stream. Close out the finished segment.
+      FoldSegment(last, &weighted_rt_sum, &summary);
+    }
+    last = std::move(*sample);
+    have_segment = true;
+    summary.max_win_mean_rt =
+        std::max(summary.max_win_mean_rt, last.win_mean_rt);
+    summary.pull_queue_depth_max =
+        std::max(summary.pull_queue_depth_max, last.pull_queue_depth);
+    summary.wall_seconds = std::max(summary.wall_seconds, last.wall_seconds);
+  }
+  if (!have_segment) {
+    return Status::InvalidArgument("stats stream holds no valid samples");
+  }
+  FoldSegment(last, &weighted_rt_sum, &summary);
+  if (summary.requests > 0) {
+    summary.mean_rt =
+        weighted_rt_sum / static_cast<double>(summary.requests);
+    summary.hit_rate = static_cast<double>(summary.hits) /
+                       static_cast<double>(summary.requests);
+  }
+  if (summary.wall_seconds > 0.0) {
+    summary.events_per_second =
+        static_cast<double>(summary.events) / summary.wall_seconds;
+  }
+  return summary;
+}
+
+void WriteStatsSummaryJson(const StatsSummary& summary, std::ostream& out) {
+  out << "{\n  \"samples\": " << summary.samples
+      << ",\n  \"invalid_lines\": " << summary.invalid_lines
+      << ",\n  \"segments\": " << summary.segments << ",\n  \"end_time\": ";
+  AppendJsonNumber(out, summary.end_time);
+  out << ",\n  \"wall_seconds\": ";
+  AppendJsonNumber(out, summary.wall_seconds);
+  out << ",\n  \"events\": " << summary.events
+      << ",\n  \"requests\": " << summary.requests
+      << ",\n  \"hits\": " << summary.hits << ",\n  \"mean_rt\": ";
+  AppendJsonNumber(out, summary.mean_rt);
+  out << ",\n  \"hit_rate\": ";
+  AppendJsonNumber(out, summary.hit_rate);
+  out << ",\n  \"events_per_second\": ";
+  AppendJsonNumber(out, summary.events_per_second);
+  out << ",\n  \"max_win_mean_rt\": ";
+  AppendJsonNumber(out, summary.max_win_mean_rt);
+  out << ",\n  \"served_per_disk\": [";
+  for (size_t d = 0; d < summary.served_per_disk.size(); ++d) {
+    if (d > 0) out << ", ";
+    out << summary.served_per_disk[d];
+  }
+  out << "],\n  \"pull_queue_depth_max\": " << summary.pull_queue_depth_max
+      << ",\n  \"fault_lost\": " << summary.fault_lost << "\n}\n";
+}
+
+}  // namespace bcast::obs

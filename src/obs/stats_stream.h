@@ -1,0 +1,126 @@
+/// \file stats_stream.h
+/// \brief Periodic run-statistics streaming (JSONL) and its reader.
+///
+/// Every K simulated slots the simulator snapshots its live counters —
+/// DES events, measured requests and hits, cumulative and windowed mean
+/// response time, the per-disk service mix, pull queue depth, and fault
+/// counters — and appends one JSON object per line to a stream. The
+/// `bcasttop` tool tails that stream for a live dashboard; its
+/// `--summarize` mode folds a whole stream back into the headline
+/// numbers so CI can cross-check them against the run report.
+///
+/// The reader is deliberately lenient: a tail line truncated mid-write,
+/// or garbage injected into the stream, is counted and skipped rather
+/// than fatal (the stream may be read while the producer is still
+/// running). A multi-seed run writes several concatenated segments into
+/// one stream; the summarizer detects the simulated-clock reset at each
+/// segment boundary and aggregates across segments.
+
+#ifndef BCAST_OBS_STATS_STREAM_H_
+#define BCAST_OBS_STATS_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/stopwatch.h"
+
+namespace bcast::obs {
+
+/// \brief One periodic snapshot of a running simulation.
+///
+/// Counters are cumulative since the start of the current run (segment);
+/// the `win_*` fields cover only the interval since the previous sample.
+struct StatsSample {
+  double t = 0.0;             ///< simulated time (broadcast units)
+  double wall_seconds = 0.0;  ///< wall clock since the writer was created
+  uint64_t events = 0;        ///< DES events dispatched
+  uint64_t requests = 0;      ///< measured-phase requests
+  uint64_t hits = 0;          ///< measured-phase cache hits
+  uint64_t warmup_requests = 0;
+  double mean_rt = 0.0;       ///< cumulative mean response time (slots)
+  uint64_t win_requests = 0;  ///< requests since the previous sample
+  uint64_t win_hits = 0;
+  double win_mean_rt = 0.0;   ///< mean response time of the window
+  std::vector<uint64_t> served_per_disk;  ///< broadcast service mix
+  uint64_t pull_queue_depth = 0;  ///< 0 when pull is off
+  uint64_t pull_serviced = 0;
+  uint64_t fault_lost = 0;  ///< 0 when faults are off
+  uint64_t fault_retries = 0;
+  bool final_sample = false;  ///< exact end-of-run record
+};
+
+/// \brief Appends `StatsSample`s as JSONL to a stream or file.
+class StatsWriter {
+ public:
+  /// Creates a writer over \p out (unowned; must outlive the writer).
+  explicit StatsWriter(std::ostream* out);
+
+  /// Opens \p path for writing and returns a file-backed writer.
+  static Result<std::unique_ptr<StatsWriter>> Open(const std::string& path);
+
+  StatsWriter(const StatsWriter&) = delete;
+  StatsWriter& operator=(const StatsWriter&) = delete;
+
+  /// Writes one sample line and flushes it (tailers see whole lines).
+  void Write(const StatsSample& sample);
+
+  /// Samples written so far.
+  uint64_t samples_written() const { return samples_; }
+
+  /// Wall-clock seconds since the writer was created (the `wall` field
+  /// producers stamp into samples).
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  void Flush();
+
+ private:
+  explicit StatsWriter(std::ofstream file);
+
+  std::ofstream file_;  // backing storage when Open()ed; else unused
+  std::ostream* out_;
+  uint64_t samples_ = 0;
+  Stopwatch watch_;
+};
+
+/// Parses one JSONL stats line. Unknown keys are ignored; missing
+/// optional keys default to zero. Errors on malformed JSON or a line
+/// missing the required `t`/`events`/`requests` fields.
+Result<StatsSample> ParseStatsLine(std::string_view line);
+
+/// \brief Whole-stream aggregation for `bcasttop --summarize`.
+struct StatsSummary {
+  uint64_t samples = 0;        ///< valid sample lines
+  uint64_t invalid_lines = 0;  ///< non-empty lines that failed to parse
+  uint64_t segments = 0;       ///< concatenated runs (multi-seed)
+  double end_time = 0.0;       ///< simulated end of the last segment
+  double wall_seconds = 0.0;   ///< last wall stamp seen
+  uint64_t events = 0;         ///< summed final events per segment
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  double mean_rt = 0.0;   ///< request-weighted mean across segments
+  double hit_rate = 0.0;
+  double events_per_second = 0.0;  ///< events / wall_seconds
+  double max_win_mean_rt = 0.0;    ///< worst window seen anywhere
+  std::vector<uint64_t> served_per_disk;  ///< summed final mixes
+  uint64_t pull_queue_depth_max = 0;
+  uint64_t fault_lost = 0;
+};
+
+/// Reads a whole stats stream and folds it into a summary. Invalid
+/// lines are skipped and counted; errors only when no valid sample
+/// exists at all.
+Result<StatsSummary> SummarizeStatsStream(std::istream& in);
+
+/// Writes \p summary as one pretty-printed JSON object.
+void WriteStatsSummaryJson(const StatsSummary& summary, std::ostream& out);
+
+}  // namespace bcast::obs
+
+#endif  // BCAST_OBS_STATS_STREAM_H_

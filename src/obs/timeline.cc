@@ -1,0 +1,144 @@
+#include "obs/timeline.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/json_util.h"
+
+namespace bcast::obs {
+
+TimelineWriter::TimelineWriter(std::ostream* out) : out_(out) {
+  BCAST_CHECK(out != nullptr);
+  *out_ << "{\"traceEvents\": [\n";
+}
+
+TimelineWriter::TimelineWriter(std::ofstream file)
+    : file_(std::move(file)), out_(&file_) {
+  *out_ << "{\"traceEvents\": [\n";
+}
+
+Result<std::unique_ptr<TimelineWriter>> TimelineWriter::Open(
+    const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open timeline file: " + path);
+  }
+  return std::unique_ptr<TimelineWriter>(
+      new TimelineWriter(std::move(file)));
+}
+
+TimelineWriter::~TimelineWriter() { Close(); }
+
+void TimelineWriter::Close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+void TimelineWriter::Flush() {
+  if (!closed_) out_->flush();
+}
+
+void TimelineWriter::EmitSeparator() {
+  if (!first_event_) *out_ << ",\n";
+  first_event_ = false;
+}
+
+std::ostream& TimelineWriter::EmitCommon(std::string_view name,
+                                         std::string_view cat, char ph,
+                                         uint32_t tid, double ts) {
+  EmitSeparator();
+  ++events_written_;
+  std::ostream& out = *out_;
+  out << "{\"name\": ";
+  AppendJsonString(out, name);
+  if (!cat.empty()) {
+    out << ", \"cat\": ";
+    AppendJsonString(out, cat);
+  }
+  out << ", \"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": " << tid
+      << ", \"ts\": ";
+  AppendJsonNumber(out, ts);
+  return out;
+}
+
+void TimelineWriter::EmitArgs(std::initializer_list<TimelineArg> args) {
+  if (args.size() == 0) return;
+  std::ostream& out = *out_;
+  out << ", \"args\": {";
+  bool first = true;
+  for (const TimelineArg& arg : args) {
+    if (!first) out << ", ";
+    first = false;
+    AppendJsonString(out, arg.key);
+    out << ": ";
+    AppendJsonNumber(out, arg.value);
+  }
+  out << "}";
+}
+
+void TimelineWriter::NameTrack(uint32_t tid, std::string_view name) {
+  if (closed_) return;
+  EmitSeparator();
+  ++events_written_;
+  std::ostream& out = *out_;
+  out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": "
+      << tid << ", \"args\": {\"name\": ";
+  AppendJsonString(out, name);
+  out << "}}";
+}
+
+void TimelineWriter::BeginSpan(uint32_t tid, std::string_view name,
+                               std::string_view cat, double ts,
+                               std::initializer_list<TimelineArg> args) {
+  if (closed_) return;
+  EmitCommon(name, cat, 'B', tid, ts);
+  EmitArgs(args);
+  *out_ << "}";
+  ++open_spans_;
+  ++depth_per_track_[tid];
+}
+
+void TimelineWriter::EndSpan(uint32_t tid, double ts) {
+  if (closed_) return;
+  int64_t& depth = depth_per_track_[tid];
+  BCAST_CHECK_GT(depth, 0) << "EndSpan with no open span on track " << tid;
+  EmitCommon("", "", 'E', tid, ts);
+  *out_ << "}";
+  --open_spans_;
+  --depth;
+}
+
+void TimelineWriter::Span(uint32_t tid, std::string_view name,
+                          std::string_view cat, double ts, double dur,
+                          std::initializer_list<TimelineArg> args) {
+  if (closed_) return;
+  std::ostream& out = EmitCommon(name, cat, 'X', tid, ts);
+  out << ", \"dur\": ";
+  AppendJsonNumber(out, dur);
+  EmitArgs(args);
+  out << "}";
+}
+
+void TimelineWriter::Instant(uint32_t tid, std::string_view name,
+                             std::string_view cat, double ts,
+                             std::initializer_list<TimelineArg> args) {
+  if (closed_) return;
+  std::ostream& out = EmitCommon(name, cat, 'i', tid, ts);
+  out << ", \"s\": \"t\"";
+  EmitArgs(args);
+  out << "}";
+}
+
+void TimelineWriter::Counter(uint32_t tid, std::string_view name, double ts,
+                             double value) {
+  if (closed_) return;
+  std::ostream& out = EmitCommon(name, "", 'C', tid, ts);
+  out << ", \"args\": {\"value\": ";
+  AppendJsonNumber(out, value);
+  out << "}}";
+}
+
+}  // namespace bcast::obs

@@ -1,0 +1,175 @@
+/// \file timeline.h
+/// \brief Chrome trace-event timeline writer for simulation runs.
+///
+/// Where the metrics registry aggregates and the trace sink samples
+/// requests, the timeline records *when things happened*: spans (phases,
+/// miss waits, resync episodes), instant events (evictions, epoch
+/// decisions, pull service), and counter tracks (pull queue depth), all
+/// in the Chrome trace-event JSON format that Perfetto and
+/// `chrome://tracing` load directly. Timestamps are simulated broadcast
+/// units rendered as microseconds (1 slot = 1 us on the viewer's axis).
+///
+/// The writer is pure observation: it never schedules events and never
+/// draws randomness, so a run with a timeline attached is bit-identical
+/// (same requests, same event count) to one without. Call sites go
+/// through the `BCAST_TIMELINE` macro, which reduces to a null-pointer
+/// test when tracing is compiled in and to nothing at all when the build
+/// defines `BCAST_DISABLE_TIMELINE` (CMake option `BCAST_DISABLE_TIMELINE`).
+
+#ifndef BCAST_OBS_TIMELINE_H_
+#define BCAST_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace bcast::obs {
+
+/// \brief Timeline track ("tid") assignments, one per subsystem. Client
+/// c gets track 1 + c; the server-side subsystems sit above any
+/// plausible population size.
+namespace track {
+inline constexpr uint32_t kSim = 0;         ///< DES kernel (run span)
+inline constexpr uint32_t kController = 100;  ///< adaptive controller
+inline constexpr uint32_t kPull = 101;        ///< pull server
+
+/// Track of client \p client_id (0-based).
+constexpr uint32_t Client(uint32_t client_id) { return 1 + client_id; }
+}  // namespace track
+
+/// \brief One numeric argument attached to a timeline event.
+struct TimelineArg {
+  const char* key;
+  double value;
+};
+
+/// \brief Streams Chrome trace-event JSON: `{"traceEvents": [...]}`.
+///
+/// Events are appended one per line as they happen; `Close()` (or the
+/// destructor) terminates the array so the file is valid JSON. The
+/// writer tracks per-track span depth so tests can assert B/E nesting
+/// stays balanced.
+class TimelineWriter {
+ public:
+  /// Creates a writer over \p out (unowned; must outlive the writer).
+  explicit TimelineWriter(std::ostream* out);
+
+  /// Opens \p path for writing and returns a file-backed writer.
+  static Result<std::unique_ptr<TimelineWriter>> Open(
+      const std::string& path);
+
+  ~TimelineWriter();
+
+  TimelineWriter(const TimelineWriter&) = delete;
+  TimelineWriter& operator=(const TimelineWriter&) = delete;
+
+  /// Emits the thread_name metadata record naming \p tid in the viewer.
+  void NameTrack(uint32_t tid, std::string_view name);
+
+  /// Opens a span ("B") on \p tid at simulated time \p ts.
+  void BeginSpan(uint32_t tid, std::string_view name, std::string_view cat,
+                 double ts, std::initializer_list<TimelineArg> args = {});
+
+  /// Closes the innermost open span ("E") on \p tid.
+  void EndSpan(uint32_t tid, double ts);
+
+  /// Emits a complete span ("X") of duration \p dur starting at \p ts.
+  void Span(uint32_t tid, std::string_view name, std::string_view cat,
+            double ts, double dur,
+            std::initializer_list<TimelineArg> args = {});
+
+  /// Emits a thread-scoped instant event ("i").
+  void Instant(uint32_t tid, std::string_view name, std::string_view cat,
+               double ts, std::initializer_list<TimelineArg> args = {});
+
+  /// Emits a counter sample ("C") for the series \p name.
+  void Counter(uint32_t tid, std::string_view name, double ts,
+               double value);
+
+  /// Terminates the JSON document; further events are dropped.
+  void Close();
+
+  /// Flushes the underlying stream (does not close the array).
+  void Flush();
+
+  /// Events emitted so far (metadata records included).
+  uint64_t events_written() const { return events_written_; }
+
+  /// Spans currently open across all tracks; 0 when nesting is balanced.
+  int64_t open_spans() const { return open_spans_; }
+
+ private:
+  explicit TimelineWriter(std::ofstream file);
+
+  // Writes the shared `{"name":...,"cat":...,"ph":.,"pid":1,"tid":...,
+  // "ts":...` prefix and returns the stream for phase-specific fields.
+  std::ostream& EmitCommon(std::string_view name, std::string_view cat,
+                           char ph, uint32_t tid, double ts);
+  void EmitArgs(std::initializer_list<TimelineArg> args);
+  void EmitSeparator();
+
+  std::ofstream file_;  // backing storage when Open()ed; else unused
+  std::ostream* out_;
+  bool closed_ = false;
+  bool first_event_ = true;
+  uint64_t events_written_ = 0;
+  int64_t open_spans_ = 0;
+  std::unordered_map<uint32_t, int64_t> depth_per_track_;
+};
+
+/// \brief RAII span helper: begins on construction, ends on destruction.
+/// \p NowFn supplies the (simulated) timestamp at both edges.
+template <typename NowFn>
+class ScopedSpan {
+ public:
+  ScopedSpan(TimelineWriter* writer, uint32_t tid, std::string_view name,
+             std::string_view cat, NowFn now)
+      : writer_(writer), tid_(tid), now_(now) {
+    if (writer_ != nullptr) writer_->BeginSpan(tid_, name, cat, now_());
+  }
+  ~ScopedSpan() {
+    if (writer_ != nullptr) writer_->EndSpan(tid_, now_());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TimelineWriter* writer_;
+  uint32_t tid_;
+  NowFn now_;
+};
+
+}  // namespace bcast::obs
+
+// Instrumentation points funnel through these macros so a build with
+// BCAST_DISABLE_TIMELINE compiles every timeline call out of the hot
+// paths entirely (the argument expressions are not evaluated).
+#ifndef BCAST_DISABLE_TIMELINE
+// Fetches the attached writer from a des::Simulation* (nullptr when no
+// timeline is attached).
+#define BCAST_TIMELINE_PTR(sim) ((sim)->timeline())
+// Invokes `writer->call(...)` when a writer is attached. The call is
+// passed as variadic tokens so brace-enclosed argument lists with commas
+// survive preprocessing.
+#define BCAST_TIMELINE(writer, ...)                 \
+  do {                                              \
+    if ((writer) != nullptr) (writer)->__VA_ARGS__; \
+  } while (0)
+#else
+#define BCAST_TIMELINE_PTR(sim) \
+  (static_cast<::bcast::obs::TimelineWriter*>(nullptr))
+#define BCAST_TIMELINE(writer, ...) \
+  do {                              \
+    (void)sizeof(writer);           \
+  } while (0)
+#endif
+
+#endif  // BCAST_OBS_TIMELINE_H_

@@ -34,7 +34,8 @@ TraceSink::TraceSink(std::ostream* out, double sample, TraceFormat format,
       sampler_state_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
   BCAST_CHECK(out != nullptr);
   if (format_ == TraceFormat::kCsv) {
-    *out_ << "time,page,hit,warmup,wait_slots,disk,victim,victim_score\n";
+    *out_ << "time,page,hit,warmup,wait_slots,disk,victim,victim_score,"
+             "client\n";
   }
 }
 
@@ -46,7 +47,8 @@ TraceSink::TraceSink(std::ofstream file, double sample, TraceFormat format,
       format_(format),
       sampler_state_(seed ^ 0xA5A5A5A55A5A5A5Aull) {
   if (format_ == TraceFormat::kCsv) {
-    *out_ << "time,page,hit,warmup,wait_slots,disk,victim,victim_score\n";
+    *out_ << "time,page,hit,warmup,wait_slots,disk,victim,victim_score,"
+             "client\n";
   }
 }
 
@@ -84,7 +86,7 @@ void TraceSink::Record(const RequestEvent& event) {
     AppendJsonNumber(out, event.wait_slots);
     out << ',' << event.disk << ',' << event.victim << ',';
     AppendJsonNumber(out, event.victim_score);
-    out << '\n';
+    out << ',' << event.client << '\n';
     return;
   }
   out << "{\"t\": ";
@@ -97,7 +99,7 @@ void TraceSink::Record(const RequestEvent& event) {
   out << ", \"disk\": " << event.disk << ", \"victim\": " << event.victim
       << ", \"victim_score\": ";
   AppendJsonNumber(out, event.victim_score);
-  out << "}\n";
+  out << ", \"client\": " << event.client << "}\n";
 }
 
 void TraceSink::Flush() { out_->flush(); }

@@ -62,6 +62,9 @@ struct RequestEvent {
   /// The policy's eviction score for the victim (e.g. its lix value);
   /// 0 when the policy has no score or nothing was evicted.
   double victim_score = 0.0;
+
+  /// Issuing client's index in its population (0 in single-client runs).
+  uint32_t client = 0;
 };
 
 /// \brief Writes sampled `RequestEvent`s to a stream or file.

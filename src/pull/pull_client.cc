@@ -43,15 +43,19 @@ void PullClient::ArmTimeout(double now) {
       static_cast<double>(params_.timeout_services) *
       server_->ServiceInterval();
   timeout_armed_ = true;
-  timeout_event_ = sim_->ScheduleAt(now + delay, [this]() {
-    timeout_armed_ = false;
-    if (!outstanding_) return;
-    // The request was dropped, lost, or is starving in the queue: send
-    // it again (a queued duplicate just bumps the entry's count).
-    const double at = sim_->Now();
-    SubmitOnce(outstanding_page_, at, /*re_request=*/true);
-    ArmTimeout(at);
-  });
+  timeout_event_ = sim_->ScheduleAt(
+      now + delay,
+      [this]() {
+        timeout_armed_ = false;
+        if (!outstanding_) return;
+        // The request was dropped, lost, or is starving in the queue:
+        // send it again (a queued duplicate just bumps the entry's
+        // count).
+        const double at = sim_->Now();
+        SubmitOnce(outstanding_page_, at, /*re_request=*/true);
+        ArmTimeout(at);
+      },
+      des::EventKind::kPull);
 }
 
 void PullClient::OnFetchDone(PageId page, double now, double wait,

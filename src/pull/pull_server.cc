@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/timeline.h"
 
 namespace bcast::pull {
 
@@ -48,8 +49,8 @@ void PullServer::EnsureServiceScheduled(double now) {
   if (service_scheduled_ || queue_.empty()) return;
   service_scheduled_ = true;
   const double at = NextSlotStart(std::max(now, next_decision_floor_));
-  pending_decision_ =
-      sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+  pending_decision_ = sim_->ScheduleAt(
+      at, [this, at]() { ServiceDecision(at); }, des::EventKind::kPull);
 }
 
 void PullServer::ServiceDecision(double slot_start) {
@@ -59,6 +60,9 @@ void PullServer::ServiceDecision(double slot_start) {
   stats_.queue_depth.Add(static_cast<double>(queue_.depth()));
   window_depth_sum_ += static_cast<double>(queue_.depth());
   ++window_depth_count_;
+  BCAST_TIMELINE(BCAST_TIMELINE_PTR(sim_),
+                 Counter(obs::track::kPull, "pull_queue_depth", slot_start,
+                         static_cast<double>(queue_.depth())));
   std::optional<PendingRequest> pick = queue_.PopNext(slot_start);
   BCAST_CHECK(pick.has_value());
   ++stats_.serviced_pages;
@@ -66,7 +70,12 @@ void PullServer::ServiceDecision(double slot_start) {
 
   const PageId page = pick->page;
   const double end = slot_start + 1.0;
-  sim_->ScheduleAt(end, [this, page, end]() { DeliverPage(page, end); });
+  BCAST_TIMELINE(BCAST_TIMELINE_PTR(sim_),
+                 Span(obs::track::kPull, "pull_service", "pull", slot_start,
+                      1.0, {{"page", static_cast<double>(page)}}));
+  sim_->ScheduleAt(
+      end, [this, page, end]() { DeliverPage(page, end); },
+      des::EventKind::kPull);
 
   if (queue_.empty()) {
     service_scheduled_ = false;
@@ -75,8 +84,8 @@ void PullServer::ServiceDecision(double slot_start) {
   // Pull-slot starts are integers at least one slot apart, so the next
   // opportunity is the first start at or after the current slot's end.
   const double at = NextSlotStart(slot_start + 1.0);
-  pending_decision_ =
-      sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+  pending_decision_ = sim_->ScheduleAt(
+      at, [this, at]() { ServiceDecision(at); }, des::EventKind::kPull);
 }
 
 void PullServer::DeliverPage(PageId page, double end) {
@@ -122,8 +131,8 @@ void PullServer::SetLayout(HybridLayout layout, double now) {
     // new one. The floor still guards a slot that already transmitted.
     sim_->CancelEvent(pending_decision_);
     const double at = NextSlotStart(std::max(now, next_decision_floor_));
-    pending_decision_ =
-        sim_->ScheduleAt(at, [this, at]() { ServiceDecision(at); });
+    pending_decision_ = sim_->ScheduleAt(
+        at, [this, at]() { ServiceDecision(at); }, des::EventKind::kPull);
   }
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "core/simulator.h"
 
 namespace bcast {
@@ -188,6 +192,97 @@ TEST(MultiClientReportTest, CarriesPerClientResponseHistograms) {
       EXPECT_DOUBLE_EQ(v, result->per_client[1].mean_response_time());
     }
   }
+}
+
+TEST(MultiClientObserverTest, TraceRecordsCarryClientIndices) {
+  std::ostringstream trace_out;
+  obs::TraceSink trace(&trace_out, 1.0, obs::TraceFormat::kCsv, 7);
+  SimObservers observers;
+  observers.trace = &trace;
+  auto result = RunMultiClientSimulation(SmallPopulation(3), observers);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(trace.recorded(), 0u);
+
+  // The CSV header grew a client column, and every client index of the
+  // population appears in the stream.
+  std::istringstream in(trace_out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find(",client"), std::string::npos) << header;
+  std::set<std::string> seen;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t comma = line.rfind(',');
+    ASSERT_NE(comma, std::string::npos);
+    seen.insert(line.substr(comma + 1));
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"0", "1", "2"}));
+}
+
+TEST(MultiClientObserverTest, ObserversDoNotPerturbThePopulation) {
+  auto plain = RunMultiClientSimulation(SmallPopulation(2));
+  ASSERT_TRUE(plain.ok());
+
+  std::ostringstream timeline_out;
+  obs::TimelineWriter timeline(&timeline_out);
+  SimObservers observers;
+  observers.timeline = &timeline;
+  observers.profile_des = true;
+  auto observed =
+      RunMultiClientSimulation(SmallPopulation(2), observers);
+  ASSERT_TRUE(observed.ok());
+  timeline.Close();
+
+  EXPECT_EQ(observed->events_dispatched, plain->events_dispatched);
+  EXPECT_EQ(observed->aggregate.requests(), plain->aggregate.requests());
+  EXPECT_DOUBLE_EQ(observed->aggregate.mean_response_time(),
+                   plain->aggregate.mean_response_time());
+  EXPECT_EQ(timeline.open_spans(), 0);
+#ifndef BCAST_DISABLE_TIMELINE
+  EXPECT_GT(timeline.events_written(), 0u);
+#endif
+  ASSERT_TRUE(observed->profile_active);
+  EXPECT_EQ(observed->profile.total_dispatches(),
+            observed->events_dispatched);
+
+  // Profile extras reach the population report only when profiling ran.
+  const obs::RunReport with = MakePopulationRunReport(
+      SmallPopulation(2), *observed, "cfg", "test");
+  bool found = false;
+  for (const auto& [k, v] : with.extra) {
+    if (k == "profile_total_dispatches") {
+      found = true;
+      EXPECT_DOUBLE_EQ(
+          v, static_cast<double>(observed->events_dispatched));
+    }
+  }
+  EXPECT_TRUE(found);
+  const obs::RunReport without = MakePopulationRunReport(
+      SmallPopulation(2), *plain, "cfg", "test");
+  for (const auto& [k, v] : without.extra) {
+    EXPECT_NE(k.rfind("profile_", 0), 0u) << k;
+  }
+}
+
+TEST(MultiClientObserverTest, StatsStreamAggregatesThePopulation) {
+  std::ostringstream stats_out;
+  obs::StatsWriter stats(&stats_out);
+  SimObservers observers;
+  observers.stats = &stats;
+  observers.stats_interval = 500.0;
+  auto result = RunMultiClientSimulation(SmallPopulation(3), observers);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(stats.samples_written(), 2u);
+
+  std::istringstream in(stats_out.str());
+  Result<obs::StatsSummary> summary = obs::SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->requests, result->aggregate.requests());
+  EXPECT_EQ(summary->hits, result->aggregate.cache_hits());
+  EXPECT_NEAR(summary->mean_rt, result->aggregate.mean_response_time(),
+              1e-8 * result->aggregate.mean_response_time());
+  EXPECT_EQ(summary->served_per_disk,
+            result->aggregate.served_per_disk());
 }
 
 }  // namespace

@@ -185,6 +185,112 @@ TEST(RunSimulationTest, ObserversDoNotPerturbResults) {
   EXPECT_GT(trace.recorded(), 0u);
 }
 
+TEST(RunSimulationTest, TimelineAndProfilingAreBitIdentical) {
+  const SimParams params = SmallParams();
+  auto plain = RunSimulation(params);
+  ASSERT_TRUE(plain.ok());
+
+  std::ostringstream timeline_out;
+  obs::TimelineWriter timeline(&timeline_out);
+  SimObservers observers;
+  observers.timeline = &timeline;
+  observers.profile_des = true;
+  auto observed = RunSimulation(params, observers);
+  ASSERT_TRUE(observed.ok());
+  timeline.Close();
+
+  // Timeline and profiling add no events and change nothing: the run is
+  // bit-identical, event count included (unlike the stats sampler).
+  EXPECT_EQ(observed->events_dispatched, plain->events_dispatched);
+  EXPECT_EQ(observed->metrics.requests(), plain->metrics.requests());
+  EXPECT_EQ(observed->metrics.cache_hits(), plain->metrics.cache_hits());
+  EXPECT_DOUBLE_EQ(observed->metrics.mean_response_time(),
+                   plain->metrics.mean_response_time());
+  EXPECT_DOUBLE_EQ(observed->end_time, plain->end_time);
+
+  // The timeline saw the run and closed balanced. (Call sites vanish
+  // when the tracer is compiled out, so only check balance then.)
+#ifndef BCAST_DISABLE_TIMELINE
+  EXPECT_GT(timeline.events_written(), 0u);
+#endif
+  EXPECT_EQ(timeline.open_spans(), 0);
+
+  // The profile covered every dispatched event.
+  ASSERT_TRUE(observed->profile_active);
+  EXPECT_EQ(observed->profile.total_dispatches(),
+            observed->events_dispatched);
+}
+
+TEST(RunSimulationTest, StatsStreamReproducesRunTotals) {
+  const SimParams params = SmallParams();
+  auto plain = RunSimulation(params);
+  ASSERT_TRUE(plain.ok());
+
+  std::ostringstream stats_out;
+  obs::StatsWriter stats(&stats_out);
+  SimObservers observers;
+  observers.stats = &stats;
+  observers.stats_interval = 500.0;
+  auto observed = RunSimulation(params, observers);
+  ASSERT_TRUE(observed.ok());
+
+  // The sampler adds kStats events (documented exception)...
+  EXPECT_GT(observed->events_dispatched, plain->events_dispatched);
+  // ...but never touches what the simulation computes.
+  EXPECT_EQ(observed->metrics.requests(), plain->metrics.requests());
+  EXPECT_EQ(observed->metrics.cache_hits(), plain->metrics.cache_hits());
+  EXPECT_DOUBLE_EQ(observed->metrics.mean_response_time(),
+                   plain->metrics.mean_response_time());
+  // The last armed tick may land past the client's final event, so the
+  // clock can end up to one interval later — never earlier.
+  EXPECT_GE(observed->end_time, plain->end_time);
+  EXPECT_LE(observed->end_time, plain->end_time + observers.stats_interval);
+
+  // The stream's final record reproduces the run's headline numbers
+  // (mean_rt passes through JSON text, so compare to rounding precision).
+  EXPECT_GE(stats.samples_written(), 2u);
+  std::istringstream in(stats_out.str());
+  Result<obs::StatsSummary> summary = obs::SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->segments, 1u);
+  EXPECT_EQ(summary->requests, observed->metrics.requests());
+  EXPECT_EQ(summary->hits, observed->metrics.cache_hits());
+  EXPECT_NEAR(summary->mean_rt, observed->metrics.mean_response_time(),
+              1e-8 * observed->metrics.mean_response_time());
+  EXPECT_EQ(summary->served_per_disk,
+            observed->metrics.served_per_disk());
+  EXPECT_EQ(summary->events, observed->events_dispatched);
+}
+
+TEST(RunSimulationTest, ProfileExtrasAppendedOnlyWhenActive) {
+  const SimParams params = SmallParams();
+  SimObservers observers;
+  observers.profile_des = true;
+  auto profiled = RunSimulation(params, observers);
+  ASSERT_TRUE(profiled.ok());
+  const obs::RunReport with =
+      MakeRunReport(params, *profiled, "test");
+  uint64_t profile_extras = 0;
+  double total_dispatches = -1.0;
+  for (const auto& [key, value] : with.extra) {
+    if (key.rfind("profile_", 0) == 0) ++profile_extras;
+    if (key == "profile_total_dispatches") total_dispatches = value;
+  }
+  // Totals plus one (dispatches, cpu_ns) pair per event kind — a stable
+  // schema: kinds with zero dispatches still appear.
+  EXPECT_EQ(profile_extras, 2u + 2u * des::kNumEventKinds);
+  EXPECT_DOUBLE_EQ(total_dispatches,
+                   static_cast<double>(profiled->events_dispatched));
+
+  auto unprofiled = RunSimulation(params);
+  ASSERT_TRUE(unprofiled.ok());
+  const obs::RunReport without =
+      MakeRunReport(params, *unprofiled, "test");
+  for (const auto& [key, value] : without.extra) {
+    EXPECT_NE(key.rfind("profile_", 0), 0u) << key;
+  }
+}
+
 TEST(RunSimulationTest, MakeRunReportFillsHeadlineFields) {
   const SimParams params = SmallParams();
   auto result = RunSimulation(params);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace bcast::des {
@@ -171,6 +172,72 @@ TEST(ProcessTest, LiveProcessCountTracksCompletion) {
   EXPECT_EQ(sim.live_processes(), 1u);
   sim.Run();
   EXPECT_EQ(sim.live_processes(), 0u);
+}
+
+TEST(ProfilingTest, DisabledByDefaultAndZeroed) {
+  Simulation sim;
+  EXPECT_FALSE(sim.profiling());
+  sim.Schedule(1.0, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.profile().total_dispatches(), 0u);
+}
+
+TEST(ProfilingTest, CountsMatchDispatchesPerKind) {
+  Simulation sim;
+  sim.EnableProfiling();
+  sim.Schedule(1.0, [] {});  // kGeneric
+  sim.Schedule(2.0, [] {}, EventKind::kSlot);
+  sim.Schedule(3.0, [] {}, EventKind::kSlot);
+  sim.Schedule(4.0, [] {}, EventKind::kStats);
+  sim.Run();
+  const DesProfile& profile = sim.profile();
+  EXPECT_EQ(profile.total_dispatches(), sim.events_dispatched());
+  EXPECT_EQ(
+      profile.kinds[static_cast<size_t>(EventKind::kGeneric)].dispatches,
+      1u);
+  EXPECT_EQ(profile.kinds[static_cast<size_t>(EventKind::kSlot)].dispatches,
+            2u);
+  EXPECT_EQ(
+      profile.kinds[static_cast<size_t>(EventKind::kStats)].dispatches,
+      1u);
+}
+
+TEST(ProfilingTest, ProfilingDoesNotChangeEventOrder) {
+  const auto run = [](bool profiled) {
+    Simulation sim;
+    if (profiled) sim.EnableProfiling();
+    std::vector<int> order;
+    sim.Schedule(2.0, [&order] { order.push_back(2); });
+    sim.Schedule(1.0, [&order] { order.push_back(1); }, EventKind::kSlot);
+    sim.Schedule(1.0, [&order] { order.push_back(3); });
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ProfilingTest, MergeAccumulatesElementWise) {
+  DesProfile a;
+  a.kinds[0].dispatches = 3;
+  a.kinds[0].cpu_ns = 100;
+  DesProfile b;
+  b.kinds[0].dispatches = 2;
+  b.kinds[1].dispatches = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.kinds[0].dispatches, 5u);
+  EXPECT_EQ(a.kinds[1].dispatches, 5u);
+  EXPECT_EQ(a.total_dispatches(), 10u);
+  EXPECT_EQ(a.total_cpu_ns(), 100u);
+}
+
+TEST(EventKindTest, EveryKindHasAName) {
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    const char* name = EventKindName(static_cast<EventKind>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+  EXPECT_STREQ(EventKindName(EventKind::kSlot), "slot");
+  EXPECT_STREQ(EventKindName(EventKind::kStats), "stats");
 }
 
 TEST(SimulationDeathTest, NegativeDelayDies) {

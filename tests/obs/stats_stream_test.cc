@@ -1,0 +1,227 @@
+#include "obs/stats_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/json_reader.h"
+
+namespace bcast::obs {
+namespace {
+
+StatsSample MakeSample(double t, uint64_t requests, double mean_rt) {
+  StatsSample s;
+  s.t = t;
+  s.wall_seconds = 0.5;
+  s.events = requests * 3;
+  s.requests = requests;
+  s.hits = requests / 2;
+  s.warmup_requests = 10;
+  s.mean_rt = mean_rt;
+  s.win_requests = requests;
+  s.win_hits = requests / 2;
+  s.win_mean_rt = mean_rt;
+  s.served_per_disk = {5, 3, 1};
+  s.pull_queue_depth = 2;
+  s.pull_serviced = 7;
+  s.fault_lost = 4;
+  s.fault_retries = 6;
+  return s;
+}
+
+TEST(StatsStreamTest, WriteParseRoundTrip) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(123.5, 40, 17.25));
+  EXPECT_EQ(writer.samples_written(), 1u);
+
+  std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+
+  Result<StatsSample> parsed = ParseStatsLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->t, 123.5);
+  EXPECT_EQ(parsed->events, 120u);
+  EXPECT_EQ(parsed->requests, 40u);
+  EXPECT_EQ(parsed->hits, 20u);
+  EXPECT_EQ(parsed->warmup_requests, 10u);
+  EXPECT_DOUBLE_EQ(parsed->mean_rt, 17.25);
+  EXPECT_EQ(parsed->win_requests, 40u);
+  EXPECT_DOUBLE_EQ(parsed->win_mean_rt, 17.25);
+  EXPECT_EQ(parsed->served_per_disk, (std::vector<uint64_t>{5, 3, 1}));
+  EXPECT_EQ(parsed->pull_queue_depth, 2u);
+  EXPECT_EQ(parsed->pull_serviced, 7u);
+  EXPECT_EQ(parsed->fault_lost, 4u);
+  EXPECT_EQ(parsed->fault_retries, 6u);
+  EXPECT_FALSE(parsed->final_sample);
+}
+
+TEST(StatsStreamTest, FinalFlagRoundTrips) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  StatsSample s = MakeSample(10.0, 5, 1.0);
+  s.final_sample = true;
+  writer.Write(s);
+  Result<StatsSample> parsed = ParseStatsLine(out.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->final_sample);
+}
+
+TEST(StatsStreamTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseStatsLine("not json at all").ok());
+  EXPECT_FALSE(ParseStatsLine("{\"t\": 1.0}").ok());  // missing required
+  EXPECT_FALSE(ParseStatsLine("[1, 2, 3]").ok());
+  EXPECT_FALSE(ParseStatsLine("{\"t\": \"x\", \"events\": 1, "
+                              "\"requests\": 1}")
+                   .ok());  // wrong type
+}
+
+TEST(StatsStreamTest, SummaryAggregatesOneSegment) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  writer.Write(MakeSample(200.0, 30, 8.0));
+  StatsSample last = MakeSample(300.0, 50, 6.0);
+  last.final_sample = true;
+  writer.Write(last);
+
+  std::istringstream in(out.str());
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->samples, 3u);
+  EXPECT_EQ(summary->invalid_lines, 0u);
+  EXPECT_EQ(summary->segments, 1u);
+  EXPECT_DOUBLE_EQ(summary->end_time, 300.0);
+  // Totals come from the segment's last sample, not a sum over samples.
+  EXPECT_EQ(summary->requests, 50u);
+  EXPECT_EQ(summary->hits, 25u);
+  EXPECT_DOUBLE_EQ(summary->mean_rt, 6.0);
+  EXPECT_DOUBLE_EQ(summary->max_win_mean_rt, 8.0);
+  EXPECT_EQ(summary->served_per_disk, (std::vector<uint64_t>{5, 3, 1}));
+}
+
+TEST(StatsStreamTest, SummaryDetectsSegmentsOnClockReset) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  // Segment 1: two samples ending at t=200 with 20 requests, mean 4.
+  writer.Write(MakeSample(100.0, 10, 3.0));
+  writer.Write(MakeSample(200.0, 20, 4.0));
+  // Segment 2 (t resets): ends at t=150 with 10 requests, mean 10.
+  writer.Write(MakeSample(50.0, 5, 9.0));
+  writer.Write(MakeSample(150.0, 10, 10.0));
+
+  std::istringstream in(out.str());
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->segments, 2u);
+  EXPECT_EQ(summary->requests, 30u);
+  EXPECT_DOUBLE_EQ(summary->end_time, 150.0);
+  // Request-weighted mean across segments: (20*4 + 10*10) / 30.
+  EXPECT_NEAR(summary->mean_rt, (20.0 * 4.0 + 10.0 * 10.0) / 30.0, 1e-9);
+}
+
+TEST(StatsStreamTest, SummarySkipsAndCountsInvalidLines) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  out << "garbage line\n";
+  out << "{\"truncated\": \n";
+  writer.Write(MakeSample(200.0, 20, 6.0));
+
+  std::istringstream in(out.str());
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->samples, 2u);
+  EXPECT_EQ(summary->invalid_lines, 2u);
+  EXPECT_EQ(summary->requests, 20u);
+}
+
+TEST(StatsStreamTest, SummaryErrorsOnlyWithNoValidSample) {
+  std::istringstream empty("");
+  EXPECT_FALSE(SummarizeStatsStream(empty).ok());
+  std::istringstream junk("nope\nstill nope\n");
+  EXPECT_FALSE(SummarizeStatsStream(junk).ok());
+}
+
+TEST(StatsStreamTest, ReaderSurvivesFuzzedLines) {
+  // The reader must never crash on arbitrary input: feed it random
+  // bytes, random truncations of a valid line, and random JSON-ish
+  // fragments. Deterministic seed — failures reproduce.
+  std::ostringstream valid_out;
+  StatsWriter writer(&valid_out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  std::string valid = valid_out.str();
+  if (!valid.empty() && valid.back() == '\n') valid.pop_back();
+
+  Rng rng(20260808);
+  const std::string charset =
+      "{}[]\":,.0123456789eE+-truefalsn \t\\\"xyz";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line;
+    switch (rng.NextBounded(3)) {
+      case 0: {  // random bytes
+        const uint64_t len = rng.NextBounded(64);
+        for (uint64_t i = 0; i < len; ++i) {
+          line += charset[rng.NextBounded(charset.size())];
+        }
+        break;
+      }
+      case 1:  // truncation of a valid line (torn tail write)
+        line = valid.substr(0, rng.NextBounded(valid.size() + 1));
+        break;
+      default: {  // valid line with a corrupted byte
+        line = valid;
+        if (!line.empty()) {
+          line[rng.NextBounded(line.size())] =
+              charset[rng.NextBounded(charset.size())];
+        }
+        break;
+      }
+    }
+    Result<StatsSample> parsed = ParseStatsLine(line);  // must not crash
+    (void)parsed;
+  }
+}
+
+TEST(StatsStreamTest, SummaryJsonIsParseable) {
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  std::istringstream in(out.str());
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+
+  std::ostringstream rendered;
+  WriteStatsSummaryJson(*summary, rendered);
+  Result<JsonValue> doc = JsonValue::Parse(rendered.str());
+  ASSERT_TRUE(doc.ok()) << rendered.str();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(*(*doc->Get("samples"))->AsUint64(), 1u);
+  EXPECT_EQ(*(*doc->Get("requests"))->AsUint64(), 10u);
+  EXPECT_DOUBLE_EQ(*(*doc->Get("mean_rt"))->AsNumber(), 5.0);
+}
+
+TEST(StatsWriterTest, OpenWritesToFileAndBadPathFails) {
+  const std::string path = ::testing::TempDir() + "/stats_test.jsonl";
+  {
+    Result<std::unique_ptr<StatsWriter>> writer = StatsWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->Write(MakeSample(1.0, 1, 1.0));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(ParseStatsLine(line).ok());
+
+  EXPECT_FALSE(StatsWriter::Open("/nonexistent_dir_zzz/stats.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace bcast::obs

@@ -1,0 +1,189 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json_reader.h"
+
+namespace bcast::obs {
+namespace {
+
+// Parses the writer's output and returns the traceEvents array.
+Result<JsonValue> ParseTimeline(const std::string& text) {
+  Result<JsonValue> doc = JsonValue::Parse(text);
+  if (!doc.ok()) return doc.status();
+  EXPECT_TRUE(doc->is_object()) << text;
+  return doc;
+}
+
+TEST(TimelineWriterTest, EmptyTimelineIsValidJson) {
+  std::ostringstream out;
+  {
+    TimelineWriter writer(&out);
+    writer.Close();
+  }
+  Result<JsonValue> doc = ParseTimeline(out.str());
+  ASSERT_TRUE(doc.ok()) << out.str();
+  Result<const JsonValue*> events = doc->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE((*events)->is_array());
+  EXPECT_EQ((*events)->items().size(), 0u);
+}
+
+TEST(TimelineWriterTest, EventsRoundTripThroughJsonReader) {
+  std::ostringstream out;
+  {
+    TimelineWriter writer(&out);
+    writer.NameTrack(track::kSim, "des");
+    writer.BeginSpan(track::kSim, "run", "des", 0.0);
+    writer.Span(track::Client(0), "miss_wait", "client", 10.0, 3.5,
+                {{"page", 42.0}, {"disk", 2.0}});
+    writer.Instant(track::Client(0), "evict", "cache", 11.0,
+                   {{"victim", 7.0}});
+    writer.Counter(track::kPull, "pull_queue_depth", 12.0, 5.0);
+    writer.EndSpan(track::kSim, 20.0);
+    writer.Close();
+  }
+  Result<JsonValue> doc = ParseTimeline(out.str());
+  ASSERT_TRUE(doc.ok()) << out.str();
+  Result<const JsonValue*> events = doc->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  const auto& items = (*events)->items();
+  ASSERT_EQ(items.size(), 6u);
+
+  // Every event carries the required trace-event fields.
+  for (const JsonValue& event : items) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_TRUE(event.Get("name").ok());
+    EXPECT_TRUE(event.Get("ph").ok());
+    EXPECT_TRUE(event.Get("pid").ok());
+    EXPECT_TRUE(event.Get("tid").ok());
+  }
+
+  // Metadata record names the track.
+  EXPECT_EQ(*(*items[0].Get("ph"))->AsString(), "M");
+  EXPECT_EQ(*(*items[0].Get("name"))->AsString(), "thread_name");
+
+  // The complete span has a duration and its args survive.
+  const JsonValue& x = items[2];
+  EXPECT_EQ(*(*x.Get("ph"))->AsString(), "X");
+  EXPECT_DOUBLE_EQ(*(*x.Get("dur"))->AsNumber(), 3.5);
+  Result<const JsonValue*> args = x.Get("args");
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(*(*(*args)->Get("page"))->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(*(*(*args)->Get("disk"))->AsNumber(), 2.0);
+
+  // Counter events carry their value under args.
+  const JsonValue& c = items[4];
+  EXPECT_EQ(*(*c.Get("ph"))->AsString(), "C");
+
+  // B/E nesting is balanced per track across the whole stream.
+  std::map<uint64_t, int64_t> depth;
+  for (const JsonValue& event : items) {
+    const std::string ph = *(*event.Get("ph"))->AsString();
+    const uint64_t tid = *(*event.Get("tid"))->AsUint64();
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0);
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "track " << tid;
+}
+
+TEST(TimelineWriterTest, OpenSpanBookkeeping) {
+  std::ostringstream out;
+  TimelineWriter writer(&out);
+  EXPECT_EQ(writer.open_spans(), 0);
+  writer.BeginSpan(1, "a", "t", 0.0);
+  writer.BeginSpan(1, "b", "t", 1.0);
+  writer.BeginSpan(2, "c", "t", 1.0);
+  EXPECT_EQ(writer.open_spans(), 3);
+  writer.EndSpan(1, 2.0);
+  writer.EndSpan(2, 2.0);
+  writer.EndSpan(1, 3.0);
+  EXPECT_EQ(writer.open_spans(), 0);
+  EXPECT_EQ(writer.events_written(), 6u);
+}
+
+TEST(TimelineWriterTest, EventsAfterCloseAreDropped) {
+  std::ostringstream out;
+  TimelineWriter writer(&out);
+  writer.Instant(0, "before", "t", 1.0);
+  writer.Close();
+  const std::string closed = out.str();
+  writer.Instant(0, "after", "t", 2.0);
+  writer.Close();  // idempotent
+  EXPECT_EQ(out.str(), closed);
+  EXPECT_EQ(writer.events_written(), 1u);
+  EXPECT_EQ(out.str().find("after"), std::string::npos);
+}
+
+TEST(TimelineWriterTest, DestructorClosesTheDocument) {
+  std::ostringstream out;
+  {
+    TimelineWriter writer(&out);
+    writer.Instant(0, "only", "t", 1.0);
+  }
+  Result<JsonValue> doc = ParseTimeline(out.str());
+  ASSERT_TRUE(doc.ok()) << out.str();
+}
+
+TEST(TimelineWriterTest, NamesAreJsonEscaped) {
+  std::ostringstream out;
+  {
+    TimelineWriter writer(&out);
+    writer.Instant(0, "quote\"back\\slash", "cat\n", 1.0);
+    writer.Close();
+  }
+  Result<JsonValue> doc = ParseTimeline(out.str());
+  ASSERT_TRUE(doc.ok()) << out.str();
+  const auto& items = (*doc->Get("traceEvents"))->items();
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(*(*items[0].Get("name"))->AsString(), "quote\"back\\slash");
+}
+
+TEST(TimelineWriterTest, ScopedSpanBalances) {
+  std::ostringstream out;
+  TimelineWriter writer(&out);
+  double now = 5.0;
+  const auto now_fn = [&now]() { return now; };
+  {
+    ScopedSpan span(&writer, 3, "scope", "t", now_fn);
+    EXPECT_EQ(writer.open_spans(), 1);
+    now = 9.0;
+  }
+  EXPECT_EQ(writer.open_spans(), 0);
+  // A null writer is a no-op, not a crash.
+  { ScopedSpan span(static_cast<TimelineWriter*>(nullptr), 3, "n", "t",
+                    now_fn); }
+}
+
+TEST(TimelineWriterTest, OpenWritesToFile) {
+  const std::string path = ::testing::TempDir() + "/timeline_test.json";
+  {
+    Result<std::unique_ptr<TimelineWriter>> writer =
+        TimelineWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->Instant(0, "x", "t", 1.0);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> doc = ParseTimeline(buffer.str());
+  ASSERT_TRUE(doc.ok()) << buffer.str();
+}
+
+TEST(TimelineWriterTest, OpenBadPathFails) {
+  Result<std::unique_ptr<TimelineWriter>> writer =
+      TimelineWriter::Open("/nonexistent_dir_zzz/timeline.json");
+  EXPECT_FALSE(writer.ok());
+}
+
+}  // namespace
+}  // namespace bcast::obs

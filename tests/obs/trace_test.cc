@@ -20,6 +20,7 @@ RequestEvent SampleEvent() {
   event.disk = 2;
   event.victim = 7;
   event.victim_score = 0.25;
+  event.client = 3;
   return event;
 }
 
@@ -88,6 +89,7 @@ TEST(TraceSinkTest, JsonlRecordContents) {
   EXPECT_NE(line.find("\"disk\": 2"), std::string::npos);
   EXPECT_NE(line.find("\"victim\": 7"), std::string::npos);
   EXPECT_NE(line.find("\"victim_score\": 0.25"), std::string::npos);
+  EXPECT_NE(line.find("\"client\": 3"), std::string::npos);
   EXPECT_EQ(line.back(), '\n');
   EXPECT_EQ(sink.recorded(), 1u);
 }
@@ -99,10 +101,10 @@ TEST(TraceSinkTest, CsvHeaderAndRow) {
   sink.Record(SampleEvent());
   const std::string text = out.str();
   EXPECT_EQ(text.find("time,page,hit,warmup,wait_slots,disk,victim,"
-                      "victim_score\n"),
+                      "victim_score,client\n"),
             0u)
       << text;
-  EXPECT_NE(text.find("123.5,42,0,0,17,2,7,0.25"), std::string::npos)
+  EXPECT_NE(text.find("123.5,42,0,0,17,2,7,0.25,3"), std::string::npos)
       << text;
 }
 

@@ -63,6 +63,7 @@
 #include "check/invariants.h"
 #include "check/paper_checks.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/report_reader.h"
 
@@ -94,6 +95,7 @@ int Run(int argc, const char* const* argv) {
   std::string bench_baseline_path;
   double bench_tolerance = 0.10;
   bool bench_informational = false;
+  std::string log_level;
 
   FlagSet flags("bcastcheck");
   flags.AddString("report", &report_path, "JSON run report to verify");
@@ -145,6 +147,8 @@ int Run(int argc, const char* const* argv) {
                   "relative tolerance for per-iteration CPU time");
   flags.AddBool("bench_informational", &bench_informational,
                 "record bench time deltas without failing on them");
+  flags.AddString("log_level", &log_level,
+                  "log threshold: debug|info|warn|error|fatal");
 
   Status st = flags.Parse(argc - 1, argv + 1);
   if (!st.ok()) {
@@ -155,21 +159,31 @@ int Run(int argc, const char* const* argv) {
     std::cout << flags.HelpText();
     return 0;
   }
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      BCAST_LOG(kError) << "unknown --log_level: " << log_level
+                        << " (debug|info|warn|error|fatal)";
+      return 2;
+    }
+    SetLogThreshold(level);
+  }
   if (report_path.empty() && program_path.empty() && !paper &&
       fault_sweep.empty() && pull_sweep.empty() && adapt_sweep.empty() &&
       bench_path.empty()) {
-    std::cerr << "nothing to check: give --report, --program, "
-                 "--fault_sweep, --pull_sweep, --adapt_sweep, --bench, "
-                 "and/or --paper\n\n"
-              << flags.HelpText();
+    BCAST_LOG(kError) << "nothing to check: give --report, --program, "
+                         "--fault_sweep, --pull_sweep, --adapt_sweep, "
+                         "--bench, and/or --paper";
+    std::cerr << flags.HelpText();
     return 2;
   }
   if (baseline_path.empty() && bench_path.empty() && !diff_out.empty()) {
-    std::cerr << "--diff_out requires --baseline or --bench\n";
+    BCAST_LOG(kError) << "--diff_out requires --baseline or --bench";
     return 2;
   }
   if (bench_path.empty() != bench_baseline_path.empty()) {
-    std::cerr << "--bench and --bench_baseline must be given together\n";
+    BCAST_LOG(kError)
+        << "--bench and --bench_baseline must be given together";
     return 2;
   }
 
@@ -178,9 +192,10 @@ int Run(int argc, const char* const* argv) {
   if (!report_path.empty()) {
     Result<obs::RunReport> report = obs::ReadRunReportFile(report_path);
     if (!report.ok()) {
-      std::cerr << "--report: " << report.status().ToString() << "\n";
+      BCAST_LOG(kError) << "--report: " << report.status().ToString();
       return 2;
     }
+    BCAST_LOG(kInfo) << "checking report invariants: " << report_path;
     all.Extend(check::CheckReportInvariants(*report));
 
     if (!baseline_path.empty()) {
@@ -190,7 +205,8 @@ int Run(int argc, const char* const* argv) {
         Result<std::string> found =
             check::FindBaselineFile(*report, baseline_path);
         if (!found.ok()) {
-          std::cerr << "--baseline: " << found.status().ToString() << "\n";
+          BCAST_LOG(kError) << "--baseline: "
+                            << found.status().ToString();
           return 1;  // a missing baseline IS a gate failure
         }
         baseline_file = *found;
@@ -198,7 +214,8 @@ int Run(int argc, const char* const* argv) {
       Result<obs::RunReport> baseline =
           obs::ReadRunReportFile(baseline_file);
       if (!baseline.ok()) {
-        std::cerr << "--baseline: " << baseline.status().ToString() << "\n";
+        BCAST_LOG(kError) << "--baseline: "
+                          << baseline.status().ToString();
         return 2;
       }
       check::ToleranceOptions tolerances;
@@ -212,7 +229,7 @@ int Run(int argc, const char* const* argv) {
       if (!diff_out.empty()) {
         std::ofstream out(diff_out);
         if (!out) {
-          std::cerr << "--diff_out: cannot open " << diff_out << "\n";
+          BCAST_LOG(kError) << "--diff_out: cannot open " << diff_out;
           return 2;
         }
         check::WriteDiffJson(diff, out);
@@ -225,27 +242,28 @@ int Run(int argc, const char* const* argv) {
                                                 "tolerance");
     }
   } else if (!baseline_path.empty()) {
-    std::cerr << "--baseline requires --report\n";
+    BCAST_LOG(kError) << "--baseline requires --report";
     return 2;
   }
 
   if (!program_path.empty()) {
     std::ifstream in(program_path);
     if (!in) {
-      std::cerr << "--program: cannot open " << program_path << "\n";
+      BCAST_LOG(kError) << "--program: cannot open " << program_path;
       return 2;
     }
     Result<BroadcastProgram> program = LoadProgram(&in);
     if (!program.ok()) {
-      std::cerr << "--program: " << program.status().ToString() << "\n";
+      BCAST_LOG(kError) << "--program: " << program.status().ToString();
       return 2;
     }
+    BCAST_LOG(kInfo) << "checking program invariants: " << program_path;
     all.Extend(check::CheckProgramInvariants(*program, !allow_irregular));
 
     if (!disks.empty()) {
       Result<std::vector<uint64_t>> sizes = ParseUint64List(disks);
       if (!sizes.ok()) {
-        std::cerr << "--disks: " << sizes.status().ToString() << "\n";
+        BCAST_LOG(kError) << "--disks: " << sizes.status().ToString();
         return 2;
       }
       Result<DiskLayout> layout = [&]() -> Result<DiskLayout> {
@@ -255,7 +273,7 @@ int Run(int argc, const char* const* argv) {
         return MakeLayout(*sizes, *f);
       }();
       if (!layout.ok()) {
-        std::cerr << layout.status().ToString() << "\n";
+        BCAST_LOG(kError) << layout.status().ToString();
         return 2;
       }
       all.Extend(check::CheckLayoutProgramAgreement(*layout, *program));
@@ -267,8 +285,8 @@ int Run(int argc, const char* const* argv) {
     for (const std::string& path : Split(fault_sweep, ',')) {
       Result<obs::RunReport> report = obs::ReadRunReportFile(path);
       if (!report.ok()) {
-        std::cerr << "--fault_sweep: " << report.status().ToString()
-                  << "\n";
+        BCAST_LOG(kError) << "--fault_sweep: "
+                          << report.status().ToString();
         return 2;
       }
       // Every sweep member must itself be a sane report before its
@@ -284,7 +302,8 @@ int Run(int argc, const char* const* argv) {
     for (const std::string& path : Split(pull_sweep, ',')) {
       Result<obs::RunReport> report = obs::ReadRunReportFile(path);
       if (!report.ok()) {
-        std::cerr << "--pull_sweep: " << report.status().ToString() << "\n";
+        BCAST_LOG(kError) << "--pull_sweep: "
+                          << report.status().ToString();
         return 2;
       }
       // Every sweep member must itself be a sane report before its
@@ -300,8 +319,8 @@ int Run(int argc, const char* const* argv) {
     for (const std::string& path : Split(adapt_sweep, ',')) {
       Result<obs::RunReport> report = obs::ReadRunReportFile(path);
       if (!report.ok()) {
-        std::cerr << "--adapt_sweep: " << report.status().ToString()
-                  << "\n";
+        BCAST_LOG(kError) << "--adapt_sweep: "
+                          << report.status().ToString();
         return 2;
       }
       // Every comparison member must itself be a sane report before its
@@ -316,14 +335,14 @@ int Run(int argc, const char* const* argv) {
   if (!bench_path.empty()) {
     Result<check::BenchRun> bench = check::LoadBenchJson(bench_path);
     if (!bench.ok()) {
-      std::cerr << "--bench: " << bench.status().ToString() << "\n";
+      BCAST_LOG(kError) << "--bench: " << bench.status().ToString();
       return 2;
     }
     Result<check::BenchRun> bench_baseline =
         check::LoadBenchJson(bench_baseline_path);
     if (!bench_baseline.ok()) {
-      std::cerr << "--bench_baseline: "
-                << bench_baseline.status().ToString() << "\n";
+      BCAST_LOG(kError) << "--bench_baseline: "
+                        << bench_baseline.status().ToString();
       return 2;
     }
     check::BenchToleranceOptions bench_options;
@@ -336,7 +355,7 @@ int Run(int argc, const char* const* argv) {
     if (!diff_out.empty() && baseline_path.empty()) {
       std::ofstream out(diff_out);
       if (!out) {
-        std::cerr << "--diff_out: cannot open " << diff_out << "\n";
+        BCAST_LOG(kError) << "--diff_out: cannot open " << diff_out;
         return 2;
       }
       check::WriteDiffJson(diff, out);
@@ -349,12 +368,15 @@ int Run(int argc, const char* const* argv) {
   }
 
   if (paper) {
+    BCAST_LOG(kInfo) << "running simulation-backed paper checks ("
+                     << paper_requests << " requests, seed " << paper_seed
+                     << ")";
     check::PaperCheckOptions options;
     options.requests = paper_requests;
     options.seed = paper_seed;
     Result<check::CheckList> checks = check::RunPaperChecks(options);
     if (!checks.ok()) {
-      std::cerr << "--paper: " << checks.status().ToString() << "\n";
+      BCAST_LOG(kError) << "--paper: " << checks.status().ToString();
       return 2;
     }
     all.Extend(*checks);

@@ -31,6 +31,8 @@
 #include "core/updates.h"
 #include "obs/registry.h"
 #include "obs/run_report.h"
+#include "obs/stats_stream.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "pull/pull_params.h"
 
@@ -53,7 +55,8 @@ bool MaybeWriteReport(const obs::RunReport& report,
 // Runs the population mode: `clients` specs whose interests are spread
 // evenly across the database.
 int RunPopulation(const SimParams& base, uint64_t clients,
-                  const std::string& report_out) {
+                  const std::string& report_out,
+                  const SimObservers& observers) {
   MultiClientParams params;
   params.disk_sizes = base.disk_sizes;
   params.delta = base.delta;
@@ -78,7 +81,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   params.fault = base.fault;
   params.pull = base.pull;
   params.adapt = base.adapt;
-  auto result = RunMultiClientSimulation(params);
+  auto result = RunMultiClientSimulation(params, observers);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
@@ -170,6 +173,10 @@ int Run(int argc, const char* const* argv) {
   std::string trace_out;
   double trace_sample = 1.0;
   std::string trace_format = "jsonl";
+  std::string trace_timeline;
+  std::string stats_out;
+  double stats_interval = 1000.0;
+  bool profile_des = false;
   std::string log_level;
 
   // The whole simulation surface comes from SimConfig; only the
@@ -189,10 +196,21 @@ int Run(int argc, const char* const* argv) {
   flags.AddString("report_out", &report_out,
                   "write a JSON run report to this path");
   flags.AddString("trace_out", &trace_out,
-                  "single mode: write sampled per-request trace here");
+                  "write sampled per-request trace here "
+                  "(single and population modes)");
   flags.AddDouble("trace_sample", &trace_sample,
                   "trace sampling probability in [0, 1]");
   flags.AddString("trace_format", &trace_format, "trace encoding: jsonl | csv");
+  flags.AddString("trace_timeline", &trace_timeline,
+                  "write a Chrome trace-event timeline (JSON, loadable in "
+                  "Perfetto) here");
+  flags.AddString("stats_out", &stats_out,
+                  "stream periodic run stats (JSONL, for bcasttop) here");
+  flags.AddDouble("stats_interval", &stats_interval,
+                  "simulated slots between stats samples");
+  flags.AddBool("profile_des", &profile_des,
+                "per-event-kind DES dispatch profiling (profile_* report "
+                "extras)");
   flags.AddString("log_level", &log_level,
                   "log threshold: debug|info|warn|error|fatal");
 
@@ -224,24 +242,25 @@ int Run(int argc, const char* const* argv) {
   }
   SimParams& params = config.params;
 
-  if (mode != "single" && !trace_out.empty()) {
-    BCAST_LOG(kWarning) << "--trace_out only applies to --mode=single; "
-                           "no trace will be written";
-  }
-  if (mode == "population") {
-    return RunPopulation(params, clients, report_out);
+  if (mode == "updates" &&
+      (!trace_out.empty() || !trace_timeline.empty() ||
+       !stats_out.empty() || profile_des)) {
+    BCAST_LOG(kWarning)
+        << "--trace_out/--trace_timeline/--stats_out/--profile_des do "
+           "not apply to --mode=updates; ignored";
   }
   if (mode == "updates") {
     return RunUpdates(params, update_rate, update_theta, consistency,
                       report_out);
   }
-  if (mode != "single") {
+  if (mode != "single" && mode != "population") {
     std::cerr << "unknown --mode: " << mode << "\n";
     return 2;
   }
 
-  // Observability: one registry and (optionally) one trace sink shared
-  // across all seeds.
+  // Observability: one registry, and (optionally) one trace sink, one
+  // timeline, and one stats stream shared across all seeds. All of them
+  // apply to single and population runs alike.
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::TraceSink> trace;
   if (!trace_out.empty()) {
@@ -262,9 +281,38 @@ int Run(int argc, const char* const* argv) {
     }
     trace = std::move(*sink);
   }
+  std::unique_ptr<obs::TimelineWriter> timeline;
+  if (!trace_timeline.empty()) {
+    Result<std::unique_ptr<obs::TimelineWriter>> writer =
+        obs::TimelineWriter::Open(trace_timeline);
+    if (!writer.ok()) {
+      std::cerr << "--trace_timeline: " << writer.status().ToString()
+                << "\n";
+      return 1;
+    }
+    timeline = std::move(*writer);
+  }
+  std::unique_ptr<obs::StatsWriter> stats;
+  if (!stats_out.empty()) {
+    Result<std::unique_ptr<obs::StatsWriter>> writer =
+        obs::StatsWriter::Open(stats_out);
+    if (!writer.ok()) {
+      std::cerr << "--stats_out: " << writer.status().ToString() << "\n";
+      return 1;
+    }
+    stats = std::move(*writer);
+  }
   SimObservers observers;
   observers.trace = trace.get();
   observers.registry = &registry;
+  observers.timeline = timeline.get();
+  observers.stats = stats.get();
+  observers.stats_interval = stats_interval;
+  observers.profile_des = profile_des;
+
+  if (mode == "population") {
+    return RunPopulation(params, clients, report_out, observers);
+  }
 
   // Run (averaging over seeds if requested); keep the last run's
   // breakdown for display and an across-seeds aggregate for the report.
@@ -305,9 +353,15 @@ int Run(int argc, const char* const* argv) {
       }
       aggregate.cold_requests += last->cold_requests;
       aggregate.cold_hits += last->cold_hits;
+      if (last->profile_active) {
+        aggregate.profile.Merge(last->profile);
+        aggregate.profile_active = true;
+      }
     }
   }
   if (trace != nullptr) trace->Flush();
+  if (timeline != nullptr) timeline->Flush();
+  if (stats != nullptr) stats->Flush();
   if (!report_out.empty()) {
     obs::RunReport report = MakeRunReport(params, aggregate, "bcastsim");
     report.seeds = num_seeds;

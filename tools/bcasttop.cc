@@ -1,0 +1,242 @@
+// bcasttop — terminal dashboard over a bcastsim stats stream.
+//
+// bcastsim --stats_out=stats.jsonl appends one JSON snapshot every K
+// simulated slots; this tool consumes that stream:
+//
+//   bcasttop --in stats.jsonl              one rendered frame (batch)
+//   bcasttop --in stats.jsonl --follow     live dashboard, tails the file
+//   bcastsim ... --stats_out=/dev/stdout | bcasttop --follow
+//   bcasttop --in stats.jsonl --summarize  whole-stream JSON summary
+//
+// --summarize is the CI surface: it folds the stream back into the
+// headline numbers (request-weighted mean response time, events/sec,
+// service mix) so they can be cross-checked against the run report.
+// Exit codes: 0 = ok, 1 = no valid samples in the stream, 2 = usage or
+// I/O error.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/stats_stream.h"
+
+namespace bcast {
+namespace {
+
+// Eight-level unicode sparkline of `values` scaled to its own min..max.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* const kLevels[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double lo = values.front();
+  double hi = values.front();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (double v : values) {
+    const int level =
+        span <= 0.0
+            ? 0
+            : std::min(7, static_cast<int>((v - lo) / span * 8.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+// Proportional bar of `frac` in [0, 1], `width` cells wide.
+std::string Bar(double frac, int width) {
+  frac = std::max(0.0, std::min(1.0, frac));
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string out;
+  for (int i = 0; i < width; ++i) out += i < filled ? "█" : "·";
+  return out;
+}
+
+// Rolling dashboard state fed one sample at a time.
+struct Dashboard {
+  obs::StatsSample last;
+  std::vector<double> win_rt_history;
+  uint64_t samples = 0;
+  uint64_t invalid_lines = 0;
+  uint64_t segments = 0;
+  double last_t = 0.0;
+
+  void Feed(const obs::StatsSample& s) {
+    if (samples == 0 || s.t < last_t) ++segments;
+    last_t = s.t;
+    last = s;
+    ++samples;
+    win_rt_history.push_back(s.win_mean_rt);
+    constexpr size_t kHistory = 60;
+    if (win_rt_history.size() > kHistory) {
+      win_rt_history.erase(win_rt_history.begin());
+    }
+  }
+
+  void Render(std::ostream& out) const {
+    const obs::StatsSample& s = last;
+    const double hit_rate =
+        s.requests > 0 ? static_cast<double>(s.hits) /
+                             static_cast<double>(s.requests)
+                       : 0.0;
+    const double eps =
+        s.wall_seconds > 0.0
+            ? static_cast<double>(s.events) / s.wall_seconds
+            : 0.0;
+    out << "bcasttop — " << samples << " sample(s)";
+    if (segments > 1) out << ", " << segments << " segments";
+    if (invalid_lines > 0) out << ", " << invalid_lines << " invalid";
+    if (s.final_sample) out << " [run complete]";
+    out << "\n";
+    out << "  t " << FormatDouble(s.t, 1) << " slots   wall "
+        << FormatDouble(s.wall_seconds, 2) << " s   events " << s.events
+        << " (" << FormatDouble(eps / 1e6, 2) << "M ev/s)\n";
+    out << "  requests " << s.requests << "   hits " << s.hits << " ("
+        << FormatDouble(100.0 * hit_rate, 1) << "%)   warmup "
+        << s.warmup_requests << "\n";
+    out << "  mean_rt " << FormatDouble(s.mean_rt, 2) << "   win_rt "
+        << FormatDouble(s.win_mean_rt, 2) << "   win_requests "
+        << s.win_requests << "\n";
+    if (!win_rt_history.empty()) {
+      out << "  win_rt " << Sparkline(win_rt_history) << "\n";
+    }
+    uint64_t served_total = 0;
+    for (uint64_t d : s.served_per_disk) served_total += d;
+    if (served_total > 0) {
+      out << "  broadcast service mix\n";
+      for (size_t d = 0; d < s.served_per_disk.size(); ++d) {
+        const double frac = static_cast<double>(s.served_per_disk[d]) /
+                            static_cast<double>(served_total);
+        out << "    disk" << d << " " << Bar(frac, 24) << " "
+            << FormatDouble(100.0 * frac, 1) << "%\n";
+      }
+    }
+    if (s.pull_serviced > 0 || s.pull_queue_depth > 0) {
+      out << "  pull queue " << s.pull_queue_depth << "   serviced "
+          << s.pull_serviced << "\n";
+    }
+    if (s.fault_lost > 0 || s.fault_retries > 0) {
+      out << "  fault lost " << s.fault_lost << "   retries "
+          << s.fault_retries << "\n";
+    }
+    out.flush();
+  }
+};
+
+int Run(int argc, const char* const* argv) {
+  std::string in_path = "-";
+  bool summarize = false;
+  bool follow = false;
+  uint64_t interval_ms = 500;
+  std::string log_level;
+
+  FlagSet flags("bcasttop");
+  flags.AddString("in", &in_path,
+                  "stats stream to read (JSONL; \"-\" = stdin)");
+  flags.AddBool("summarize", &summarize,
+                "batch mode: fold the whole stream into one JSON summary");
+  flags.AddBool("follow", &follow,
+                "keep tailing the stream and re-render on new samples");
+  flags.AddUint64("interval_ms", &interval_ms,
+                  "--follow: poll interval in milliseconds");
+  flags.AddString("log_level", &log_level,
+                  "log threshold: debug|info|warn|error|fatal");
+
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n\n" << flags.HelpText();
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpText();
+    return 0;
+  }
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      BCAST_LOG(kError) << "unknown --log_level: " << log_level
+                        << " (debug|info|warn|error|fatal)";
+      return 2;
+    }
+    SetLogThreshold(level);
+  }
+  if (summarize && follow) {
+    BCAST_LOG(kError) << "--summarize and --follow are exclusive";
+    return 2;
+  }
+
+  std::ifstream file;
+  const bool from_stdin = in_path == "-";
+  if (!from_stdin) {
+    file.open(in_path);
+    if (!file) {
+      BCAST_LOG(kError) << "--in: cannot open " << in_path;
+      return 2;
+    }
+  }
+  std::istream& in = from_stdin ? std::cin : file;
+
+  if (summarize) {
+    Result<obs::StatsSummary> summary = obs::SummarizeStatsStream(in);
+    if (!summary.ok()) {
+      BCAST_LOG(kError) << summary.status().ToString();
+      return 1;
+    }
+    obs::WriteStatsSummaryJson(*summary, std::cout);
+    return 0;
+  }
+
+  // Dashboard: consume the stream line by line; --follow clears the
+  // stream state at EOF and polls for more (the producer flushes whole
+  // lines, so a torn tail line is at worst counted invalid once).
+  Dashboard dash;
+  std::string line;
+  bool done = false;
+  while (!done) {
+    bool progressed = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Result<obs::StatsSample> sample = obs::ParseStatsLine(line);
+      if (!sample.ok()) {
+        ++dash.invalid_lines;
+        continue;
+      }
+      dash.Feed(*sample);
+      progressed = true;
+    }
+    if (follow && progressed && dash.samples > 0) {
+      std::cout << "\x1b[H\x1b[2J";  // cursor home + clear screen
+      dash.Render(std::cout);
+    }
+    if (!follow || from_stdin || dash.last.final_sample) {
+      done = true;
+    } else {
+      in.clear();  // rewind the EOF bit and poll for appended lines
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(interval_ms));
+    }
+  }
+  if (dash.samples == 0) {
+    BCAST_LOG(kError) << "no valid stats samples in "
+                      << (from_stdin ? "stdin" : in_path);
+    return 1;
+  }
+  if (!follow) dash.Render(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcast
+
+int main(int argc, char** argv) { return bcast::Run(argc, argv); }
