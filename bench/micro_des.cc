@@ -1,8 +1,21 @@
 // Microbenchmarks: the DES kernel's event throughput — raw callbacks,
-// cancellation, and coroutine delay loops.
+// cancellation, coroutine delay loops, and the churn-heavy steady state
+// the calendar queue exists for.
+//
+// The unsuffixed benchmarks run the session default backend (calendar,
+// or $BCAST_DES_QUEUE), so their names stay comparable against recorded
+// baselines from any vintage: `BCAST_DES_QUEUE=heap ./micro_des` measures
+// the heap path under the historical names, and the `_Backend/heap` /
+// `_Backend/calendar` captures measure both sides in one run for the
+// CI comparison artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "des/event_queue.h"
 #include "des/simulation.h"
 
 namespace bcast {
@@ -49,6 +62,95 @@ void BM_CoroutineDelays(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CoroutineDelays)->Arg(1000)->Arg(10000);
+
+// The timeout-churn steady state: every iteration schedules one work
+// event and one far-future timeout, cancels the timeout scheduled
+// `window` iterations ago (deadlines are almost always met), and pops
+// the earliest work event. This is the pull-client/fault-recovery
+// pattern that dominated profiles: under the tombstone kernel every
+// cancelled timeout stayed in the heap (and two hash sets) until the
+// clock reached it — never — so the heap grew without bound and every
+// push paid O(log garbage).
+void RunChurnMix(benchmark::State& state, des::EventQueue* q,
+                 size_t window) {
+  Rng rng(7);
+  std::deque<uint64_t> timeouts;
+  double now = 0.0;
+  // Prefill to the steady-state window.
+  for (size_t i = 0; i < window; ++i) {
+    q->Push(now + 1.0 + static_cast<double>(rng.NextBounded(1000)), [] {});
+    timeouts.push_back(q->Push(now + 1e9, [] {}));
+  }
+  for (auto _ : state) {
+    q->Push(now + 1.0 + static_cast<double>(rng.NextBounded(1000)), [] {});
+    timeouts.push_back(q->Push(now + 1e9, [] {}));
+    benchmark::DoNotOptimize(q->Cancel(timeouts.front()));
+    timeouts.pop_front();
+    double t;
+    q->Pop(&t);
+    now = t;
+  }
+  // 2 pushes + 1 cancel + 1 pop per iteration.
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void BM_ChurnMix(benchmark::State& state) {
+  des::EventQueue q;
+  RunChurnMix(state, &q, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_ChurnMix)->Arg(1024)->Arg(16384);
+
+void BM_ChurnMix_Backend(benchmark::State& state,
+                         des::QueueBackend backend) {
+  des::EventQueue q(backend);
+  RunChurnMix(state, &q, static_cast<size_t>(state.range(0)));
+}
+BENCHMARK_CAPTURE(BM_ChurnMix_Backend, heap, des::QueueBackend::kHeap)
+    ->Arg(1024)
+    ->Arg(16384);
+BENCHMARK_CAPTURE(BM_ChurnMix_Backend, calendar,
+                  des::QueueBackend::kCalendar)
+    ->Arg(1024)
+    ->Arg(16384);
+
+// Pure push/pop steady state at a fixed pending-set size.
+void RunSteadyState(benchmark::State& state, des::EventQueue* q) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  double now = 0.0;
+  for (size_t i = 0; i < window; ++i) {
+    q->Push(now + rng.NextExponential(500.0), [] {});
+  }
+  for (auto _ : state) {
+    q->Push(now + rng.NextExponential(500.0), [] {});
+    double t;
+    q->Pop(&t);
+    now = t;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_SteadyState(benchmark::State& state) {
+  des::EventQueue q;
+  RunSteadyState(state, &q);
+}
+BENCHMARK(BM_SteadyState)->Arg(8)->Arg(1024)->Arg(65536);
+
+// Both backends in one run (the CI calendar-vs-heap artifact).
+void BM_SteadyState_Backend(benchmark::State& state,
+                            des::QueueBackend backend) {
+  des::EventQueue q(backend);
+  RunSteadyState(state, &q);
+}
+BENCHMARK_CAPTURE(BM_SteadyState_Backend, heap, des::QueueBackend::kHeap)
+    ->Arg(8)
+    ->Arg(1024)
+    ->Arg(65536);
+BENCHMARK_CAPTURE(BM_SteadyState_Backend, calendar,
+                  des::QueueBackend::kCalendar)
+    ->Arg(8)
+    ->Arg(1024)
+    ->Arg(65536);
 
 }  // namespace
 }  // namespace bcast

@@ -31,47 +31,84 @@ LixCache::LixCache(uint64_t capacity, PageId num_pages,
       alpha_(alpha),
       estimator_(std::move(estimator)),
       name_(std::move(name)),
-      state_(num_pages),
-      cached_(num_pages, false) {
+      pages_(num_pages) {
   BCAST_CHECK_GT(alpha, 0.0);
   BCAST_CHECK_LE(alpha, 1.0);
   BCAST_CHECK(estimator_ != nullptr);
   const uint64_t num_disks = std::max<uint64_t>(catalog->NumDisks(), 1);
-  chains_.reserve(num_disks);
-  for (uint64_t d = 0; d < num_disks; ++d) chains_.emplace_back(num_pages);
+  chains_.resize(num_disks);
+  bottoms_.reserve(num_disks);
+}
+
+void LixCache::PushFront(Chain* chain, PageId page) {
+  PageRec& rec = pages_[page];
+  rec.prev = kEmptySlot;
+  rec.next = chain->head;
+  if (chain->head != kEmptySlot) pages_[chain->head].prev = page;
+  chain->head = page;
+  if (chain->tail == kEmptySlot) chain->tail = page;
+  ++chain->size;
+}
+
+void LixCache::Remove(Chain* chain, PageId page) {
+  PageRec& rec = pages_[page];
+  if (rec.prev != kEmptySlot) {
+    pages_[rec.prev].next = rec.next;
+  } else {
+    chain->head = rec.next;
+  }
+  if (rec.next != kEmptySlot) {
+    pages_[rec.next].prev = rec.prev;
+  } else {
+    chain->tail = rec.prev;
+  }
+  rec.prev = kEmptySlot;
+  rec.next = kEmptySlot;
+  --chain->size;
 }
 
 double LixCache::AgedEstimate(PageId page, double now) const {
-  const PageState& ps = state_[page];
-  const double gap = std::max(now - ps.last_access, kMinGap);
-  return alpha_ / gap + (1.0 - alpha_) * ps.estimate;
+  const PageRec& rec = pages_[page];
+  const double gap = std::max(now - rec.last_access, kMinGap);
+  return alpha_ / gap + (1.0 - alpha_) * rec.estimate;
 }
 
 double LixCache::EvaluateLix(PageId page, double now) const {
-  BCAST_CHECK(cached_[page]);
+  BCAST_CHECK(pages_[page].cached);
   return estimator_->Value(page, AgedEstimate(page, now));
 }
 
 bool LixCache::Lookup(PageId page, double now) {
-  if (!cached_[page]) return false;
-  PageState& ps = state_[page];
-  ps.estimate = AgedEstimate(page, now);
-  ps.last_access = now;
-  chains_[catalog().DiskOf(page)].Touch(page);
+  PageRec& rec = pages_[page];
+  if (!rec.cached) return false;
+  const double gap = std::max(now - rec.last_access, kMinGap);
+  rec.estimate = alpha_ / gap + (1.0 - alpha_) * rec.estimate;
+  rec.last_access = now;
+  Chain* chain = &chains_[catalog().DiskOf(page)];
+  if (chain->head != page) {
+    Remove(chain, page);
+    PushFront(chain, page);
+  }
   return true;
 }
 
 void LixCache::Insert(PageId page, double now) {
-  BCAST_CHECK(!cached_[page]) << "inserting a cached page";
+  BCAST_CHECK(!pages_[page].cached) << "inserting a cached page";
   if (size_ == capacity()) {
     // Evaluate only the least-recently-used page of each chain; evict the
     // one with the smallest lix value. Ties break toward the faster disk's
-    // candidate (its pages are the cheapest to re-acquire).
+    // candidate (its pages are the cheapest to re-acquire). The bottoms
+    // are gathered and their records prefetched before any is evaluated,
+    // so the evaluations don't stall on one miss at a time.
+    bottoms_.clear();
+    for (const Chain& chain : chains_) {
+      if (chain.tail == kEmptySlot) continue;
+      bottoms_.push_back(chain.tail);
+      __builtin_prefetch(&pages_[chain.tail]);
+    }
     PageId victim = kEmptySlot;
     double victim_lix = 0.0;
-    for (const LruList& chain : chains_) {
-      const PageId bottom = chain.Back();
-      if (bottom == kEmptySlot) continue;
+    for (const PageId bottom : bottoms_) {
       const double lix = EvaluateLix(bottom, now);
       if (victim == kEmptySlot || lix < victim_lix) {
         victim = bottom;
@@ -79,16 +116,18 @@ void LixCache::Insert(PageId page, double now) {
       }
     }
     BCAST_CHECK_NE(victim, kEmptySlot);
-    chains_[catalog().DiskOf(victim)].Remove(victim);
-    cached_[victim] = false;
+    Remove(&chains_[catalog().DiskOf(victim)], victim);
+    pages_[victim].cached = false;
     --size_;
     NotifyEviction(victim, victim_lix);
   }
   // The newcomer enters the chain of the disk it is broadcast on, with a
   // fresh estimate (p = 0, t = now).
-  state_[page] = PageState{0.0, now};
-  cached_[page] = true;
-  chains_[catalog().DiskOf(page)].PushFront(page);
+  PageRec& rec = pages_[page];
+  rec.estimate = 0.0;
+  rec.last_access = now;
+  rec.cached = true;
+  PushFront(&chains_[catalog().DiskOf(page)], page);
   ++size_;
 }
 

@@ -28,7 +28,6 @@
 
 #include "cache/cache_policy.h"
 #include "cache/cost.h"
-#include "cache/lru.h"
 
 namespace bcast {
 
@@ -48,6 +47,13 @@ struct LixOptions {
 /// `CostEstimator`: `InverseFrequencyCost` gives the paper's LIX,
 /// `UnitCost` gives L, and `PullAwareCost` gives the pull-aware PLIX
 /// variant that discounts pages a backchannel can refetch cheaply.
+///
+/// All per-page state — chain links, the probability estimate, the last
+/// access time, the cached bit — lives in one page-indexed record array
+/// (a page is in at most one chain, so the links are shared across
+/// disks). An eviction therefore touches one cache line per candidate,
+/// and the candidates' records are prefetched as a batch before any is
+/// evaluated.
 class LixCache : public CachePolicy {
  public:
   LixCache(uint64_t capacity, PageId num_pages, const PageCatalog* catalog,
@@ -61,7 +67,7 @@ class LixCache : public CachePolicy {
 
   bool Lookup(PageId page, double now) override;
   void Insert(PageId page, double now) override;
-  bool Contains(PageId page) const override { return cached_[page]; }
+  bool Contains(PageId page) const override { return pages_[page].cached; }
   uint64_t size() const override { return size_; }
   std::string name() const override { return name_; }
 
@@ -71,26 +77,43 @@ class LixCache : public CachePolicy {
 
   /// Current length of the chain for disk \p d (chains resize dynamically
   /// with the access pattern; exposed for tests and metrics).
-  uint64_t ChainSize(DiskIndex d) const { return chains_[d].size(); }
+  uint64_t ChainSize(DiskIndex d) const { return chains_[d].size; }
 
   /// The cost estimator ranking candidates (for tests).
   const CostEstimator& estimator() const { return *estimator_; }
 
  private:
+  // Everything the policy knows about one page, in one record: the
+  // estimator fields read on every hit, and the intrusive chain links
+  // walked on eviction.
+  struct PageRec {
+    double estimate = 0.0;     // running probability estimate
+    double last_access = 0.0;  // simulated time of the last hit
+    PageId prev = kEmptySlot;
+    PageId next = kEmptySlot;
+    bool cached = false;
+  };
+
+  // One per-disk LRU chain; the links live in `pages_`.
+  struct Chain {
+    PageId head = kEmptySlot;  // MRU end
+    PageId tail = kEmptySlot;  // LRU end
+    uint64_t size = 0;
+  };
+
   /// Ages the running estimate of \p page to \p now without committing.
   double AgedEstimate(PageId page, double now) const;
 
-  struct PageState {
-    double estimate = 0.0;   // running probability estimate
-    double last_access = 0.0;
-  };
+  // O(1) intrusive list operations over `pages_`.
+  void PushFront(Chain* chain, PageId page);
+  void Remove(Chain* chain, PageId page);
 
   double alpha_;
   std::unique_ptr<CostEstimator> estimator_;
   std::string name_;
-  std::vector<LruList> chains_;  // one per broadcast disk
-  std::vector<PageState> state_;
-  std::vector<bool> cached_;
+  std::vector<Chain> chains_;    // one per broadcast disk
+  std::vector<PageRec> pages_;   // page-indexed records
+  std::vector<PageId> bottoms_;  // eviction scratch (avoids reallocating)
   uint64_t size_ = 0;
 };
 

@@ -106,7 +106,9 @@ BaselineDiff CompareBenchRuns(const BenchRun& baseline,
     entry.tolerance = options.time;
     const double denom = std::max(std::fabs(base_ns), 1e-12);
     entry.relative_delta = std::fabs(act_ns - base_ns) / denom;
-    entry.informational = !options.check_time;
+    const bool improvement = act_ns <= base_ns;
+    entry.informational =
+        !options.check_time || (options.regressions_only && improvement);
     entry.ok =
         entry.informational || entry.relative_delta <= options.time;
     diff.entries.push_back(std::move(entry));

@@ -60,6 +60,13 @@ struct BenchToleranceOptions {
   /// When false, time deltas are recorded in the diff but never fail it
   /// (cross-machine comparisons).
   bool check_time = true;
+
+  /// When true, only slowdowns beyond `time` fail; speedups of any size
+  /// are recorded but pass. A perf gate (e.g. CI comparing a PR's heap
+  /// path against its merge base on the same runner) wants this; a
+  /// baseline-freshness check wants the symmetric default, where an
+  /// improvement also prompts a baseline update.
+  bool regressions_only = false;
 };
 
 /// \brief Diffs \p actual against \p baseline benchmark-by-benchmark

@@ -155,7 +155,7 @@ Result<MultiClientResult> RunMultiClientSimulation(
 
   const uint64_t total = layout->TotalPages();
   obs::Stopwatch setup_watch;
-  des::Simulation sim;
+  des::Simulation sim(params.des_queue);
   if (observers.profile_des) sim.EnableProfiling();
   sim.AttachTimeline(observers.timeline);
   BCAST_TIMELINE(observers.timeline,

@@ -87,6 +87,10 @@ struct MultiClientParams {
   /// Master seed; client c draws from independent sub-streams.
   uint64_t seed = 42;
 
+  /// Pending-event-set backend of the DES kernel (never semantic; see
+  /// SimParams::des_queue).
+  des::QueueBackend des_queue = des::DefaultQueueBackend();
+
   /// Unreliable-channel knobs, shared by the population; each client
   /// gets its own receiver with (client id, purpose)-keyed fault
   /// streams. Inactive by default.

@@ -55,6 +55,9 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
                    "backchannel requests accepted per broadcast slot");
   flags->AddString("pull_sched", &pull_sched,
                    "pull-slot scheduler: fcfs | mrf | lxw");
+  flags->AddString("des_queue", &des_queue,
+                   "DES pending-event backend: heap | calendar (default "
+                   "calendar, or $BCAST_DES_QUEUE; never changes results)");
   flags->AddDouble("pull_threshold", &params.pull.threshold,
                    "request only when the scheduled wait exceeds this "
                    "many slots");
@@ -156,6 +159,12 @@ Status SimConfig::Finalize(const FlagSet* flags) {
   } else {
     return Status::InvalidArgument("unknown --noise_scope: " +
                                    noise_scope + " (access_range|all)");
+  }
+
+  if (!des_queue.empty() &&
+      !des::ParseQueueBackend(des_queue, &params.des_queue)) {
+    return Status::InvalidArgument("unknown --des_queue: " + des_queue +
+                                   " (heap|calendar)");
   }
 
   Result<pull::PullScheduler> sched =

@@ -46,6 +46,7 @@ struct SimConfig {
   std::string program = "multidisk";    ///< multidisk | skewed | random
   std::string noise_scope = "access_range";  ///< access_range | all
   std::string pull_sched = "fcfs";      ///< fcfs | mrf | lxw
+  std::string des_queue;                ///< heap | calendar ("" = default)
   /// @}
 
   /// Registers every simulation flag on \p flags, bound to this config.

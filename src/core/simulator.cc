@@ -123,7 +123,7 @@ Result<SimResult> RunSimulation(const SimParams& params,
       policy_options);
   if (!cache.ok()) return cache.status();
 
-  des::Simulation sim;
+  des::Simulation sim(params.des_queue);
   if (observers.profile_des) sim.EnableProfiling();
   sim.AttachTimeline(observers.timeline);
   BCAST_TIMELINE(observers.timeline,

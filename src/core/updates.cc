@@ -300,7 +300,7 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
       &catalog, base.policy_options);
   if (!cache.ok()) return cache.status();
 
-  des::Simulation sim;
+  des::Simulation sim(base.des_queue);
   BroadcastChannel channel(&sim, &*program);
   std::unique_ptr<fault::Receiver> receiver;
   if (base.fault.Active()) {

@@ -1,0 +1,256 @@
+#include "des/calendar_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bcast::des {
+namespace {
+
+// Initial calendar geometry: small enough that an empty simulation costs
+// nothing, grown as soon as the population warrants it.
+constexpr size_t kInitialBuckets = 8;
+
+// Bucket-count ceiling (2^22 buckets ≈ 8M pending events before the
+// per-bucket occupancy rises above two — far beyond any current run).
+constexpr size_t kMaxBuckets = size_t{1} << 22;
+
+// Virtual-bucket clamp. Well below 2^62 so `cursor_ + num_buckets` can
+// never overflow, far above any realistic time / width quotient.
+constexpr int64_t kMaxVBucket = int64_t{1} << 60;
+
+// Grow when occupancy exceeds kGrowPerBucket events per bucket; shrink
+// below 1/kShrinkDivisor. The hysteresis gap (entries must quarter after
+// a growth before shrinking) prevents resize thrash at the boundary.
+constexpr uint64_t kGrowPerBucket = 2;
+constexpr uint64_t kShrinkDivisor = 4;
+
+bool AscendingRef(const EventRef& a, const EventRef& b) {
+  return EarlierRef(a, b);
+}
+
+}  // namespace
+
+CalendarEventSet::CalendarEventSet()
+    : buckets_(kInitialBuckets), mask_(kInitialBuckets - 1) {}
+
+int64_t CalendarEventSet::VBucket(double time) const {
+  const double q = time / width_;
+  if (q >= static_cast<double>(kMaxVBucket)) return kMaxVBucket;
+  if (q <= -static_cast<double>(kMaxVBucket)) return -kMaxVBucket;
+  return static_cast<int64_t>(std::floor(q));
+}
+
+void CalendarEventSet::EnsureSorted(Bucket* bucket) {
+  if (bucket->sorted) return;
+  std::sort(bucket->items.begin() + static_cast<ptrdiff_t>(bucket->head),
+            bucket->items.end(), AscendingRef);
+  bucket->sorted = true;
+}
+
+void CalendarEventSet::InsertRef(const EventRef& ref) {
+  const int64_t v = VBucket(ref.time);
+  // The cursor must stay a lower bound on the earliest entry's virtual
+  // bucket: reset it on the first entry, pull it back for earlier ones.
+  if (entries_ == 0 || v < cursor_) cursor_ = v;
+  Bucket& bucket = buckets_[IndexOf(v)];
+  // Appending in non-decreasing order keeps the bucket sorted for free —
+  // the common DES pattern. Anything else defers one sort to the scan.
+  if (bucket.sorted && bucket.count() > 0 &&
+      EarlierRef(ref, bucket.items.back())) {
+    bucket.sorted = false;
+  }
+  bucket.items.push_back(ref);
+  ++entries_;
+  peek_valid_ = false;
+}
+
+void CalendarEventSet::Push(const EventRef& ref) {
+  InsertRef(ref);
+  MaybeGrow();
+}
+
+void CalendarEventSet::DirectMin() {
+  // Global minimum across every bucket head; jumps the cursor to it.
+  const size_t n = buckets_.size();
+  size_t best = n;
+  for (size_t index = 0; index < n; ++index) {
+    Bucket& bucket = buckets_[index];
+    if (bucket.count() == 0) continue;
+    EnsureSorted(&bucket);
+    if (best == n || EarlierRef(bucket.items[bucket.head],
+                                buckets_[best].items[buckets_[best].head])) {
+      best = index;
+    }
+  }
+  BCAST_CHECK_LT(best, n) << "calendar lost track of its entries";
+  cursor_ = VBucket(buckets_[best].items[buckets_[best].head].time);
+  peek_bucket_ = best;
+  peek_valid_ = true;
+}
+
+bool CalendarEventSet::Locate(bool allow_retune) {
+  if (entries_ == 0) return false;
+  const size_t n = buckets_.size();
+  // One lap over the current day, starting at the cursor. A bucket's
+  // earliest entry is eligible only once the scan has reached its
+  // virtual bucket — entries for later laps stay put.
+  for (size_t step = 0; step < n; ++step) {
+    const int64_t v = cursor_ + static_cast<int64_t>(step);
+    const size_t index = IndexOf(v);
+    Bucket& bucket = buckets_[index];
+    if (bucket.count() == 0) continue;
+    EnsureSorted(&bucket);
+    if (VBucket(bucket.items[bucket.head].time) <= v) {
+      cursor_ = v;
+      peek_bucket_ = index;
+      peek_valid_ = true;
+      return true;
+    }
+  }
+  // Nothing within a full lap: every entry is at least a day ahead,
+  // which means the width is far too small for the current spacing
+  // (e.g. the near-term mass just drained, leaving a sparse far-future
+  // tail). Re-seat the calendar at the same size to re-estimate the
+  // width from the live population, then retry once; if the population
+  // carries no positive gaps the retry falls through to the direct
+  // scan.
+  if (allow_retune && entries_ >= 2) {
+    Resize(buckets_.size());
+    return Locate(false);
+  }
+  DirectMin();
+  return true;
+}
+
+bool CalendarEventSet::PeekMin(EventRef* out) {
+  if (!peek_valid_ && !Locate()) return false;
+  const Bucket& bucket = buckets_[peek_bucket_];
+  *out = bucket.items[bucket.head];
+  return true;
+}
+
+void CalendarEventSet::PopMin() {
+  BCAST_CHECK(peek_valid_) << "PopMin without a preceding PeekMin";
+  Bucket& bucket = buckets_[peek_bucket_];
+  ++bucket.head;
+  if (bucket.head == bucket.items.size()) {
+    bucket.items.clear();
+    bucket.head = 0;
+    bucket.sorted = true;
+  } else if (bucket.head >= 64 && bucket.head * 2 >= bucket.items.size()) {
+    bucket.items.erase(bucket.items.begin(),
+                       bucket.items.begin() +
+                           static_cast<ptrdiff_t>(bucket.head));
+    bucket.head = 0;
+  }
+  --entries_;
+  peek_valid_ = false;
+  // Same-bucket fast path: if the bucket's next entry is still eligible
+  // this day it is the global minimum — a virtual bucket maps to exactly
+  // one bucket index, and every later virtual bucket holds strictly
+  // later times — so the next scan can skip its lap entirely.
+  if (bucket.count() > 0 && bucket.sorted &&
+      VBucket(bucket.items[bucket.head].time) <= cursor_) {
+    peek_valid_ = true;
+  }
+  MaybeShrink();
+}
+
+void CalendarEventSet::Clear() {
+  buckets_.assign(kInitialBuckets, Bucket{});
+  mask_ = kInitialBuckets - 1;
+  width_ = 1.0;
+  cursor_ = 0;
+  entries_ = 0;
+  peek_valid_ = false;
+}
+
+void CalendarEventSet::Compact(
+    const std::function<bool(const EventRef&)>& keep) {
+  uint64_t kept = 0;
+  for (Bucket& bucket : buckets_) {
+    if (bucket.head > 0) {
+      bucket.items.erase(bucket.items.begin(),
+                         bucket.items.begin() +
+                             static_cast<ptrdiff_t>(bucket.head));
+      bucket.head = 0;
+    }
+    auto removed = std::remove_if(
+        bucket.items.begin(), bucket.items.end(),
+        [&keep](const EventRef& ref) { return !keep(ref); });
+    bucket.items.erase(removed, bucket.items.end());
+    kept += bucket.items.size();
+  }
+  entries_ = kept;
+  peek_valid_ = false;
+  MaybeShrink();
+}
+
+void CalendarEventSet::Resize(size_t new_buckets) {
+  std::vector<EventRef> all;
+  all.reserve(entries_);
+  for (Bucket& bucket : buckets_) {
+    for (size_t i = bucket.head; i < bucket.items.size(); ++i) {
+      all.push_back(bucket.items[i]);
+    }
+  }
+  // Width estimate: the calendar only ever needs to resolve the *head*
+  // of the queue, so the day width comes from the local event density
+  // there — the median positive gap among the K earliest timestamps.
+  // The median is robust against both a far-future mass (timeouts at
+  // now + 1e9 holding half the entries would stretch any global span
+  // estimate until every near-term event shared one bucket) and dense
+  // equal-time bursts (zero gaps carry no information and are skipped).
+  if (all.size() >= 2) {
+    constexpr size_t kSample = 256;
+    const size_t k = std::min(all.size(), kSample);
+    std::vector<double> times;
+    times.reserve(all.size());
+    for (const EventRef& ref : all) times.push_back(ref.time);
+    std::nth_element(times.begin(),
+                     times.begin() + static_cast<ptrdiff_t>(k - 1),
+                     times.end());
+    std::sort(times.begin(), times.begin() + static_cast<ptrdiff_t>(k));
+    std::vector<double> gaps;
+    gaps.reserve(k);
+    for (size_t i = 1; i < k; ++i) {
+      const double gap = times[i] - times[i - 1];
+      if (gap > 0.0) gaps.push_back(gap);
+    }
+    if (!gaps.empty()) {
+      auto mid = gaps.begin() + static_cast<ptrdiff_t>(gaps.size() / 2);
+      std::nth_element(gaps.begin(), mid, gaps.end());
+      // Four median gaps per bucket: several head-mass events share a
+      // bucket, so the same-bucket pop fast path fires on most pops and
+      // the scan rarely steps over empty buckets. Measured best among
+      // {2, 4, 8}x on both churn and steady-state microbenches.
+      const double width = 4.0 * *mid;
+      if (std::isfinite(width) && width > 1e-12) width_ = width;
+    }
+  }
+
+  buckets_.assign(new_buckets, Bucket{});
+  mask_ = new_buckets - 1;
+  entries_ = 0;
+  peek_valid_ = false;
+  ++resizes_;
+  for (const EventRef& ref : all) InsertRef(ref);
+}
+
+void CalendarEventSet::MaybeGrow() {
+  if (entries_ > buckets_.size() * kGrowPerBucket &&
+      buckets_.size() < kMaxBuckets) {
+    Resize(buckets_.size() * 2);
+  }
+}
+
+void CalendarEventSet::MaybeShrink() {
+  if (buckets_.size() > kInitialBuckets &&
+      entries_ < buckets_.size() / kShrinkDivisor) {
+    Resize(buckets_.size() / 2);
+  }
+}
+
+}  // namespace bcast::des

@@ -1,0 +1,123 @@
+/// \file calendar_queue.h
+/// \brief Calendar-queue pending-event set [Brown88] — the default DES
+/// backend.
+///
+/// A calendar queue hashes events by timestamp into a power-of-two array
+/// of *day* buckets of equal `width`: an event at time `t` lands in
+/// bucket `floor(t / width) mod num_buckets`. Popping walks the calendar
+/// from a cursor that never overtakes the earliest event, so on the
+/// bounded-horizon schedules a DES produces (events land within a few
+/// think-times of now) both push and pop are amortized O(1) — no O(log n)
+/// sift, no hashing of event ids.
+///
+/// Design choices, in the order the header declares them:
+///
+///   - **Sorted-on-demand FIFO-stable buckets.** Buckets append pushes
+///     and sort only when the scan actually reads them; the comparator is
+///     (time, sequence), so equal timestamps preserve schedule order —
+///     the determinism contract every golden depends on. The common DES
+///     push pattern (monotonically later events) appends in order and
+///     never pays the sort.
+///   - **Lazy power-of-two resize.** The bucket count doubles when
+///     occupancy exceeds two events per bucket and halves below one per
+///     four, with the width re-estimated as 4× the median positive gap
+///     among the earliest timestamps — the head density — so neither a
+///     far-future mass nor equal-time bursts can smear the calendar
+///     into one bucket. A fruitless lap also retunes the width once
+///     (small queues never cross a resize threshold, so this is how
+///     they adapt). Resize happens only at push/pop boundaries.
+///   - **Year eligibility by virtual bucket.** The cursor counts virtual
+///     buckets (`floor(t / width)`, unbounded), and an entry is eligible
+///     only when its own virtual bucket has been reached — events a whole
+///     day ahead wait in their modulo bucket for a later lap. When a full
+///     lap finds nothing eligible the scan falls back to a direct minimum
+///     search and jumps the cursor there (the all-far-future case).
+///
+/// Like every `PendingEventSet`, the calendar holds stale refs for
+/// cancelled events until the facade's compaction drops them; it orders
+/// whatever it holds and never looks inside.
+
+#ifndef BCAST_DES_CALENDAR_QUEUE_H_
+#define BCAST_DES_CALENDAR_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "des/pending_event_set.h"
+
+namespace bcast::des {
+
+/// \brief Calendar-queue backend. See the file comment for the design.
+class CalendarEventSet : public PendingEventSet {
+ public:
+  CalendarEventSet();
+
+  void Push(const EventRef& ref) override;
+  bool PeekMin(EventRef* out) override;
+  void PopMin() override;
+  void Clear() override;
+  void Compact(const std::function<bool(const EventRef&)>& keep) override;
+  uint64_t entries() const override { return entries_; }
+  QueueBackend backend() const override { return QueueBackend::kCalendar; }
+
+  /// \name Introspection for the resize/property tests.
+  /// @{
+  size_t num_buckets() const { return buckets_.size(); }
+  double bucket_width() const { return width_; }
+  uint64_t resizes() const { return resizes_; }
+  /// @}
+
+ private:
+  // One day bucket. Entries [head, items.size()) are pending, in
+  // ascending (time, seq) order once `sorted`; the popped prefix is
+  // compacted away amortized so a hot bucket cannot grow unboundedly.
+  struct Bucket {
+    std::vector<EventRef> items;
+    size_t head = 0;
+    bool sorted = true;
+
+    size_t count() const { return items.size() - head; }
+  };
+
+  // Virtual (un-wrapped) bucket number of a timestamp, clamped so that
+  // astronomically far times cannot overflow the cursor arithmetic.
+  int64_t VBucket(double time) const;
+
+  size_t IndexOf(int64_t vbucket) const {
+    return static_cast<size_t>(static_cast<uint64_t>(vbucket) & mask_);
+  }
+
+  void EnsureSorted(Bucket* bucket);
+
+  // Push without the grow check (shared by Push and Resize reinsertion).
+  void InsertRef(const EventRef& ref);
+
+  // Rebuilds the calendar with \p new_buckets buckets and a freshly
+  // estimated width.
+  void Resize(size_t new_buckets);
+
+  void MaybeGrow();
+  void MaybeShrink();
+
+  // Positions peek_bucket_ on the earliest entry. False when empty.
+  // A fruitless lap retunes the width once (allow_retune) before the
+  // direct-min fallback; tiny populations skip straight to DirectMin.
+  bool Locate(bool allow_retune = true);
+
+  // Scans every bucket head for the global minimum and jumps the
+  // cursor to it. Exact for any width, O(num_buckets).
+  void DirectMin();
+
+  std::vector<Bucket> buckets_;
+  uint64_t mask_;
+  double width_ = 1.0;
+  int64_t cursor_ = 0;  // lower bound on VBucket(earliest entry time)
+  uint64_t entries_ = 0;
+  uint64_t resizes_ = 0;
+  bool peek_valid_ = false;
+  size_t peek_bucket_ = 0;
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_CALENDAR_QUEUE_H_

@@ -1,8 +1,34 @@
 #include "des/event_queue.h"
 
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
 #include "common/logging.h"
+#include "des/calendar_queue.h"
+#include "des/heap_queue.h"
 
 namespace bcast::des {
+namespace {
+
+// Compaction trigger: purge the backend once stale refs both exceed this
+// floor and outnumber the live events. The floor keeps tiny queues from
+// compacting on every cancel; the ratio bounds memory at O(live).
+constexpr uint64_t kCompactFloor = 64;
+
+std::unique_ptr<PendingEventSet> MakeBackend(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kHeap:
+      return std::make_unique<HeapEventSet>();
+    case QueueBackend::kCalendar:
+      return std::make_unique<CalendarEventSet>();
+  }
+  BCAST_LOG(kFatal) << "unknown QueueBackend "
+                    << static_cast<int>(backend);
+  return nullptr;
+}
+
+}  // namespace
 
 const char* EventKindName(EventKind kind) {
   switch (kind) {
@@ -26,65 +52,149 @@ const char* EventKindName(EventKind kind) {
   return "unknown";
 }
 
+const char* QueueBackendName(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kHeap:
+      return "heap";
+    case QueueBackend::kCalendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+bool ParseQueueBackend(const std::string& name, QueueBackend* out) {
+  if (name == "heap") {
+    *out = QueueBackend::kHeap;
+    return true;
+  }
+  if (name == "calendar") {
+    *out = QueueBackend::kCalendar;
+    return true;
+  }
+  return false;
+}
+
+QueueBackend DefaultQueueBackend() {
+  static const QueueBackend cached = [] {
+    const char* env = std::getenv("BCAST_DES_QUEUE");
+    QueueBackend backend = QueueBackend::kCalendar;
+    if (env != nullptr && *env != '\0' &&
+        !ParseQueueBackend(env, &backend)) {
+      BCAST_LOG(kWarning) << "BCAST_DES_QUEUE=" << env
+                          << " is not a backend (heap|calendar); using "
+                             "calendar";
+    }
+    return backend;
+  }();
+  return cached;
+}
+
+EventQueue::EventQueue(QueueBackend backend)
+    : set_(MakeBackend(backend)) {}
+
+EventQueue::~EventQueue() = default;
+
+uint32_t EventQueue::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  BCAST_CHECK_LT(slab_.size(), uint64_t{1} << 32)
+      << "EventQueue slot space exhausted";
+  slab_.push_back(Slot{});
+  slab_.back().gen = 1;
+  return static_cast<uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Slot& s = slab_[slot];
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // generation 0 is reserved (never a valid id)
+  s.fn = nullptr;           // release captured state immediately
+  free_slots_.push_back(slot);
+}
+
 EventQueue::EventId EventQueue::Push(double time, std::function<void()> fn,
                                      EventKind kind) {
-  const EventId id = next_id_++;
-  BCAST_CHECK_LT(id, kMaxSeq) << "EventId space exhausted";
-  heap_.push(Entry{
-      time, (id << kKindBits) | static_cast<uint64_t>(kind), std::move(fn)});
-  pending_.insert(id);
+  BCAST_CHECK(std::isfinite(time))
+      << "event time must be finite, got " << time;
+  BCAST_CHECK_LT(next_seq_, kMaxSeq) << "EventQueue sequence exhausted";
+  const uint32_t slot = AllocSlot();
+  Slot& s = slab_[slot];
+  s.fn = std::move(fn);
+  const uint64_t seq_and_kind =
+      (next_seq_++ << kKindBits) | static_cast<uint64_t>(kind);
+  set_->Push(EventRef{time, seq_and_kind, slot, s.gen});
   ++live_;
-  return id;
+  return MakeId(slot, s.gen);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;  // unknown, fired, or cancelled
-  pending_.erase(it);
-  cancelled_.insert(id);
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slab_.size() || slab_[slot].gen != gen) {
+    return false;  // unknown, fired, or cancelled
+  }
+  FreeSlot(slot);
   --live_;
-  SkipCancelled();
+  ++stale_;
+  MaybeCompact();
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq_and_kind >> kKindBits);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::MaybeCompact() {
+  if (stale_ <= kCompactFloor || stale_ <= live_) return;
+  set_->Compact([this](const EventRef& ref) { return IsLive(ref); });
+  stale_ = 0;
+}
+
+void EventQueue::SkipStale() {
+  EventRef ref;
+  while (set_->PeekMin(&ref) && !IsLive(ref)) {
+    set_->PopMin();
+    --stale_;
   }
 }
 
 double EventQueue::PeekTime() {
-  SkipCancelled();
-  BCAST_CHECK(!heap_.empty()) << "PeekTime on empty EventQueue";
-  return heap_.top().time;
+  BCAST_CHECK(live_ > 0) << "PeekTime on empty EventQueue";
+  SkipStale();
+  EventRef ref;
+  BCAST_CHECK(set_->PeekMin(&ref)) << "backend lost a live event";
+  return ref.time;
 }
 
 std::function<void()> EventQueue::Pop(double* time, EventKind* kind) {
-  SkipCancelled();
-  BCAST_CHECK(!heap_.empty()) << "Pop on empty EventQueue";
-  // priority_queue::top() is const; moving the callback out requires a
-  // const_cast. This is safe: the entry is popped immediately after and the
-  // heap ordering does not depend on `fn`.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  *time = top.time;
+  BCAST_CHECK(live_ > 0) << "Pop on empty EventQueue";
+  SkipStale();
+  EventRef ref;
+  BCAST_CHECK(set_->PeekMin(&ref)) << "backend lost a live event";
+  *time = ref.time;
   if (kind != nullptr) {
-    *kind = static_cast<EventKind>(top.seq_and_kind & 0xff);
+    *kind = static_cast<EventKind>(ref.seq_and_kind & 0xff);
   }
-  std::function<void()> fn = std::move(top.fn);
-  pending_.erase(top.seq_and_kind >> kKindBits);
-  heap_.pop();
+  std::function<void()> fn = std::move(slab_[ref.slot].fn);
+  FreeSlot(ref.slot);
+  set_->PopMin();
   --live_;
   return fn;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) heap_.pop();
-  pending_.clear();
-  cancelled_.clear();
+  set_->Clear();
+  // Rebuild the free list deterministically (slot 0 first out) so the
+  // id sequence after a Clear is identical under every backend.
+  free_slots_.clear();
+  for (size_t i = slab_.size(); i-- > 0;) {
+    Slot& s = slab_[i];
+    ++s.gen;
+    if (s.gen == 0) ++s.gen;
+    s.fn = nullptr;
+    free_slots_.push_back(static_cast<uint32_t>(i));
+  }
   live_ = 0;
+  stale_ = 0;
 }
 
 }  // namespace bcast::des

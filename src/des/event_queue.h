@@ -1,14 +1,24 @@
 /// \file event_queue.h
 /// \brief The pending-event set of the discrete-event simulation kernel.
+///
+/// `EventQueue` is a facade over two interchangeable backends (see
+/// des/pending_event_set.h): it owns every event payload in a
+/// generation-tagged slot slab and delegates only the *ordering* of
+/// lightweight refs to a `PendingEventSet` — the binary-heap oracle or
+/// the default calendar queue. The observable contract is identical
+/// under either backend (timestamp order, FIFO tie-break on schedule
+/// sequence, O(1) `Cancel`, `EventKind` tagging), which the randomized
+/// differential suite and the golden bit-identity test enforce.
 
 #ifndef BCAST_DES_EVENT_QUEUE_H_
 #define BCAST_DES_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
+
+#include "des/pending_event_set.h"
 
 namespace bcast::des {
 
@@ -37,18 +47,38 @@ const char* EventKindName(EventKind kind);
 /// Events at equal timestamps fire in the order they were scheduled, which
 /// makes simulations deterministic — a property the paper's reproducibility
 /// (and our tests) depend on.
+///
+/// Payloads (the `std::function` callbacks) live in a slab of reusable
+/// slots; each slot carries a generation counter bumped on every reuse.
+/// Cancellation is O(1): the slot is reclaimed immediately (its callback
+/// released), and the stale ref the backend still holds is recognized by
+/// its outdated generation and dropped lazily — or purged in bulk when
+/// stale refs outnumber live events, so repeated schedule/cancel cycles
+/// keep memory proportional to the live population.
 class EventQueue {
  public:
   /// Opaque handle identifying a scheduled event, usable to cancel it.
+  /// Handles are never zero and never reused within a generation epoch
+  /// of their slot; a run's handle sequence is deterministic and, by
+  /// construction, identical under every backend.
   using EventId = uint64_t;
 
-  /// Schedules \p fn at absolute \p time. Returns an id for cancellation.
+  /// Builds the queue on \p backend (default: `DefaultQueueBackend()` —
+  /// the calendar queue unless `BCAST_DES_QUEUE` overrides it).
+  explicit EventQueue(QueueBackend backend = DefaultQueueBackend());
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules \p fn at absolute \p time (any finite value; NaN and
+  /// infinities are rejected). Returns an id for cancellation.
   EventId Push(double time, std::function<void()> fn,
                EventKind kind = EventKind::kGeneric);
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was cancelled before, or never existed. O(1): the entry is tombstoned
-  /// and skipped when popped.
+  /// was cancelled before, or never existed. O(1): the payload slot is
+  /// reclaimed immediately; the backend's ref is dropped lazily.
   bool Cancel(EventId id);
 
   /// True when no live events remain.
@@ -65,38 +95,72 @@ class EventQueue {
   /// Must not be called when empty.
   std::function<void()> Pop(double* time, EventKind* kind = nullptr);
 
-  /// Drops all pending events.
+  /// Drops all pending events and releases their callbacks.
   void Clear();
+
+  /// The backend this queue runs on.
+  QueueBackend backend() const { return set_->backend(); }
+
+  /// Stable name of the backend ("heap" / "calendar").
+  const char* backend_name() const {
+    return QueueBackendName(set_->backend());
+  }
+
+  /// \name Memory introspection (tests and diagnostics).
+  /// @{
+  /// Refs the backend holds, cancelled stragglers included.
+  uint64_t backend_entries() const { return set_->entries(); }
+
+  /// Payload slots ever allocated (the slab's high-water mark).
+  uint64_t allocated_slots() const { return slab_.size(); }
+  /// @}
 
  private:
   // The kind rides in the low byte under the shifted sequence number so
-  // Entry stays at 48 bytes — the heap sifts whole entries, and growing
-  // them measurably slows dispatch. Sequences are unique, so comparing
+  // backends order one packed word. Sequences are unique, so comparing
   // the packed word IS the FIFO tie-break (the kind byte never decides),
   // and 2^56 sequence numbers is far beyond any run.
   static constexpr int kKindBits = 8;
   static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kKindBits);
 
-  struct Entry {
-    double time;
-    uint64_t seq_and_kind;  // (sequence == EventId) << kKindBits | kind
+  // One payload slot. `gen` starts at 1 and is bumped on every reclaim
+  // (pop or cancel), so a generation match means exactly one thing: the
+  // ref belongs to the slot's current, still-live owner. Ids are
+  // therefore never zero and stale cancels of any vintage fail cleanly.
+  struct Slot {
     std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq_and_kind > b.seq_and_kind;
-    }
+    uint32_t gen = 0;
   };
 
-  // Pops tombstoned entries off the top so the head is live.
-  void SkipCancelled();
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(gen) << 32) | slot;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    // ids currently live in heap_
-  std::unordered_set<EventId> cancelled_;  // tombstones still in heap_
+  uint32_t AllocSlot();
+
+  // Reclaims \p slot: bumps the generation (staling any backend ref),
+  // releases the callback, and returns the slot to the free list.
+  void FreeSlot(uint32_t slot);
+
+  // True when \p ref still points at the live owner of its slot.
+  bool IsLive(const EventRef& ref) const {
+    return slab_[ref.slot].gen == ref.gen;
+  }
+
+  // Drops stale refs off the backend's minimum until a live event (or
+  // nothing) is at the front.
+  void SkipStale();
+
+  // Purges all stale refs from the backend when they outnumber the live
+  // events, bounding backend memory at O(live).
+  void MaybeCompact();
+
+  std::unique_ptr<PendingEventSet> set_;
+  std::vector<Slot> slab_;
+  std::vector<uint32_t> free_slots_;
   uint64_t live_ = 0;
-  EventId next_id_ = 1;
+  uint64_t stale_ = 0;  // cancelled refs still inside set_
+  uint64_t next_seq_ = 1;
 };
 
 }  // namespace bcast::des

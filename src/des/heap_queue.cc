@@ -1,0 +1,47 @@
+#include "des/heap_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bcast::des {
+namespace {
+
+struct LaterRef {
+  bool operator()(const EventRef& a, const EventRef& b) const {
+    return EarlierRef(b, a);
+  }
+};
+
+}  // namespace
+
+void HeapEventSet::Push(const EventRef& ref) {
+  heap_.push_back(ref);
+  std::push_heap(heap_.begin(), heap_.end(), LaterRef{});
+}
+
+bool HeapEventSet::PeekMin(EventRef* out) {
+  if (heap_.empty()) return false;
+  *out = heap_.front();
+  return true;
+}
+
+void HeapEventSet::PopMin() {
+  BCAST_CHECK(!heap_.empty()) << "PopMin on empty HeapEventSet";
+  std::pop_heap(heap_.begin(), heap_.end(), LaterRef{});
+  heap_.pop_back();
+}
+
+void HeapEventSet::Clear() { heap_.clear(); }
+
+void HeapEventSet::Compact(
+    const std::function<bool(const EventRef&)>& keep) {
+  auto removed = std::remove_if(
+      heap_.begin(), heap_.end(),
+      [&keep](const EventRef& ref) { return !keep(ref); });
+  if (removed == heap_.end()) return;
+  heap_.erase(removed, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), LaterRef{});
+}
+
+}  // namespace bcast::des

@@ -1,0 +1,38 @@
+/// \file heap_queue.h
+/// \brief Binary-heap pending-event set — the differential oracle.
+///
+/// The straightforward implementation of `PendingEventSet`: a min-heap of
+/// 24-byte `EventRef`s. O(log n) push/pop, O(n) compaction. It carries no
+/// tuning parameters and its correctness argument is one comparator, which
+/// is exactly what makes it the oracle the randomized differential suite
+/// replays the calendar queue against (tests/des/queue_differential_test).
+
+#ifndef BCAST_DES_HEAP_QUEUE_H_
+#define BCAST_DES_HEAP_QUEUE_H_
+
+#include <vector>
+
+#include "des/pending_event_set.h"
+
+namespace bcast::des {
+
+/// \brief Min-heap backend over a flat `EventRef` vector.
+class HeapEventSet : public PendingEventSet {
+ public:
+  void Push(const EventRef& ref) override;
+  bool PeekMin(EventRef* out) override;
+  void PopMin() override;
+  void Clear() override;
+  void Compact(const std::function<bool(const EventRef&)>& keep) override;
+  uint64_t entries() const override { return heap_.size(); }
+  QueueBackend backend() const override { return QueueBackend::kHeap; }
+
+ private:
+  // std::push_heap builds a max-heap, so the comparator inverts
+  // EarlierRef to keep the minimum at the front.
+  std::vector<EventRef> heap_;
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_HEAP_QUEUE_H_

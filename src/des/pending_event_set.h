@@ -1,0 +1,114 @@
+/// \file pending_event_set.h
+/// \brief The pluggable pending-event-set backend of the DES kernel.
+///
+/// `EventQueue` (the kernel's facade) owns event payloads in a slab and
+/// hands each backend a lightweight, trivially-copyable `EventRef`; the
+/// backend's only job is to return those refs in (time, sequence) order.
+/// Two backends implement the contract:
+///
+///   - `HeapEventSet` (des/heap_queue.h): a binary heap. O(log n) per
+///     operation, no tuning knobs, and simple enough to trust — it is the
+///     *differential oracle* the randomized test harness checks the
+///     calendar queue against (docs/TESTING.md).
+///   - `CalendarEventSet` (des/calendar_queue.h): a calendar queue
+///     [Brown88]. Amortized O(1) per operation on the bounded-horizon
+///     schedules a DES produces, which is what the `--profile_des` numbers
+///     said the simulator needed (DESIGN.md §9).
+///
+/// Both backends may hold *stale* refs — events the facade has already
+/// cancelled. A ref is stale when its generation no longer matches the
+/// facade's slab slot; backends never interpret generations, they simply
+/// surface refs and the facade skips the dead ones. `Compact` exists so
+/// the facade can purge accumulated stale refs (far-future cancellations
+/// would otherwise linger forever) and keep memory proportional to the
+/// number of live events.
+
+#ifndef BCAST_DES_PENDING_EVENT_SET_H_
+#define BCAST_DES_PENDING_EVENT_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bcast::des {
+
+/// \brief Which pending-event-set implementation an `EventQueue` runs on.
+enum class QueueBackend : uint8_t {
+  kHeap = 0,      ///< binary heap + lazy tombstones (the oracle)
+  kCalendar = 1,  ///< calendar queue (the default)
+};
+
+/// Stable lower-case name of \p backend ("heap" / "calendar").
+const char* QueueBackendName(QueueBackend backend);
+
+/// Parses "heap" / "calendar" into \p out. Returns false on anything else.
+bool ParseQueueBackend(const std::string& name, QueueBackend* out);
+
+/// \brief The process-wide default backend: `BCAST_DES_QUEUE` when the
+/// environment names a valid backend, else the calendar queue. Read once
+/// and cached — the tier-1 suite runs under either backend by exporting
+/// the variable, no per-test plumbing required.
+QueueBackend DefaultQueueBackend();
+
+/// \brief One scheduled event as the backend sees it: ordering key plus
+/// the slab coordinates of the payload. 24 bytes, trivially copyable —
+/// backends shuffle refs, never `std::function` payloads.
+struct EventRef {
+  /// Absolute timestamp (broadcast units). Always finite.
+  double time;
+
+  /// `(sequence << 8) | kind`. Sequences are unique and monotonic, so
+  /// comparing the packed word breaks timestamp ties FIFO (the kind byte
+  /// never decides: it only differs when the sequence already does).
+  uint64_t seq_and_kind;
+
+  /// Slab slot of the payload in the owning `EventQueue`.
+  uint32_t slot;
+
+  /// Slot generation at push time; a mismatch with the slab's current
+  /// generation marks this ref stale (event cancelled or already fired).
+  uint32_t gen;
+};
+
+/// Dispatch order: earliest time first, FIFO within a timestamp.
+inline bool EarlierRef(const EventRef& a, const EventRef& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq_and_kind < b.seq_and_kind;
+}
+
+/// \brief Ordered multiset of `EventRef`s. Not aware of cancellation:
+/// stale refs flow out of `PeekMin` like live ones and the facade drops
+/// them. Implementations must be deterministic — same push/pop sequence,
+/// same output order — because simulations are replayable by contract.
+class PendingEventSet {
+ public:
+  virtual ~PendingEventSet() = default;
+
+  /// Adds \p ref. Refs are unique (sequence numbers never repeat).
+  virtual void Push(const EventRef& ref) = 0;
+
+  /// Writes the minimum ref (stale or live) to \p out and returns true;
+  /// false when no refs are held. Repeated calls without an intervening
+  /// mutation return the same ref.
+  virtual bool PeekMin(EventRef* out) = 0;
+
+  /// Removes the ref the last `PeekMin` returned. Must follow a
+  /// successful `PeekMin` with no mutation in between.
+  virtual void PopMin() = 0;
+
+  /// Drops every ref.
+  virtual void Clear() = 0;
+
+  /// Removes every ref for which \p keep returns false (stale purge).
+  virtual void Compact(const std::function<bool(const EventRef&)>& keep) = 0;
+
+  /// Refs currently held, stale ones included.
+  virtual uint64_t entries() const = 0;
+
+  /// The backend this set implements.
+  virtual QueueBackend backend() const = 0;
+};
+
+}  // namespace bcast::des
+
+#endif  // BCAST_DES_PENDING_EVENT_SET_H_

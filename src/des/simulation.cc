@@ -31,6 +31,8 @@ void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   sim_->Schedule(delay_, [h]() { h.resume(); }, EventKind::kDelay);
 }
 
+Simulation::Simulation(QueueBackend backend) : queue_(backend) {}
+
 Simulation::~Simulation() {
   // Drop pending events first so nothing can resume a process while the
   // frames below are being destroyed.

@@ -142,7 +142,10 @@ class DelayAwaiter {
 /// simulations instead).
 class Simulation {
  public:
-  Simulation() = default;
+  /// Builds the kernel on \p backend (default: `DefaultQueueBackend()`).
+  /// The backend is an implementation choice, never a semantic one —
+  /// runs are bit-identical under heap and calendar, golden-proven.
+  explicit Simulation(QueueBackend backend = DefaultQueueBackend());
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -208,6 +211,12 @@ class Simulation {
 
   /// The attached timeline writer, or nullptr.
   obs::TimelineWriter* timeline() const { return timeline_; }
+
+  /// The pending-event-set backend this kernel runs on.
+  QueueBackend queue_backend() const { return queue_.backend(); }
+
+  /// The kernel's event queue (memory introspection in tests).
+  const EventQueue& queue() const { return queue_; }
 
  private:
   friend struct Process::promise_type;

@@ -103,6 +103,38 @@ TEST(CompareBenchRunsTest, InformationalModeNeverFailsOnTime) {
   EXPECT_TRUE(e->informational);
 }
 
+TEST(CompareBenchRunsTest, RegressionsOnlyPassesLargeSpeedups) {
+  // A 4x speedup trips the symmetric check but passes the perf-gate
+  // posture, where only slowdowns count.
+  auto baseline = ParseBenchJson(BenchJson(400.0, 3.5));
+  auto actual = ParseBenchJson(BenchJson(100.0, 3.5));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_FALSE(CompareBenchRuns(*baseline, *actual).ok());
+  BenchToleranceOptions options;
+  options.regressions_only = true;
+  const BaselineDiff diff = CompareBenchRuns(*baseline, *actual, options);
+  EXPECT_TRUE(diff.ok());
+  const DiffEntry* e = FindEntry(diff, "BM_Foo/64.cpu_ns");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->informational);  // recorded, not gated
+  EXPECT_NEAR(e->relative_delta, 0.75, 1e-9);
+}
+
+TEST(CompareBenchRunsTest, RegressionsOnlyStillFailsSlowdowns) {
+  auto baseline = ParseBenchJson(BenchJson(100.0, 3.5));
+  auto actual = ParseBenchJson(BenchJson(125.0, 3.5));  // +25% > 10%
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(actual.ok());
+  BenchToleranceOptions options;
+  options.regressions_only = true;
+  const BaselineDiff diff = CompareBenchRuns(*baseline, *actual, options);
+  EXPECT_FALSE(diff.ok());
+  const DiffEntry* e = FindEntry(diff, "BM_Foo/64.cpu_ns");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->ok);
+}
+
 TEST(CompareBenchRunsTest, UnitsAreNormalizedBeforeComparing) {
   // 3.5 us in the baseline vs 3500 ns in the candidate: identical.
   auto baseline = ParseBenchJson(BenchJson(100.0, 3.5));

@@ -7,14 +7,31 @@
 namespace bcast::des {
 namespace {
 
-TEST(EventQueueTest, StartsEmpty) {
-  EventQueue q;
+// Every contract test runs under both backends: the heap oracle and the
+// calendar queue must be observably indistinguishable.
+class EventQueueTest : public testing::TestWithParam<QueueBackend> {
+ protected:
+  EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
+                         testing::Values(QueueBackend::kHeap,
+                                         QueueBackend::kCalendar),
+                         [](const auto& info) {
+                           return QueueBackendName(info.param);
+                         });
+
+TEST_P(EventQueueTest, StartsEmpty) {
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueueTest, PopsInTimeOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, ReportsItsBackend) {
+  EXPECT_EQ(q.backend(), GetParam());
+  EXPECT_STREQ(q.backend_name(), QueueBackendName(GetParam()));
+}
+
+TEST_P(EventQueueTest, PopsInTimeOrder) {
   std::vector<int> order;
   q.Push(3.0, [&] { order.push_back(3); });
   q.Push(1.0, [&] { order.push_back(1); });
@@ -26,8 +43,7 @@ TEST(EventQueueTest, PopsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueueTest, EqualTimesFireFifo) {
-  EventQueue q;
+TEST_P(EventQueueTest, EqualTimesFireFifo) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.Push(5.0, [&order, i] { order.push_back(i); });
@@ -39,23 +55,31 @@ TEST(EventQueueTest, EqualTimesFireFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueueTest, PopReportsTime) {
-  EventQueue q;
+TEST_P(EventQueueTest, PopReportsTime) {
   q.Push(7.25, [] {});
   double t = 0.0;
   q.Pop(&t);
   EXPECT_DOUBLE_EQ(t, 7.25);
 }
 
-TEST(EventQueueTest, PeekTimeDoesNotPop) {
-  EventQueue q;
+TEST_P(EventQueueTest, PopReportsKind) {
+  q.Push(1.0, [] {}, EventKind::kSlot);
+  q.Push(2.0, [] {}, EventKind::kPull);
+  double t;
+  EventKind kind;
+  q.Pop(&t, &kind);
+  EXPECT_EQ(kind, EventKind::kSlot);
+  q.Pop(&t, &kind);
+  EXPECT_EQ(kind, EventKind::kPull);
+}
+
+TEST_P(EventQueueTest, PeekTimeDoesNotPop) {
   q.Push(2.0, [] {});
   EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueueTest, CancelRemovesEvent) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelRemovesEvent) {
   bool fired = false;
   const auto id = q.Push(1.0, [&] { fired = true; });
   EXPECT_TRUE(q.Cancel(id));
@@ -63,29 +87,38 @@ TEST(EventQueueTest, CancelRemovesEvent) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueueTest, CancelTwiceFails) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelTwiceFails) {
   const auto id = q.Push(1.0, [] {});
   EXPECT_TRUE(q.Cancel(id));
   EXPECT_FALSE(q.Cancel(id));
 }
 
-TEST(EventQueueTest, CancelFiredEventFails) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelFiredEventFails) {
   const auto id = q.Push(1.0, [] {});
   double t;
   q.Pop(&t);
   EXPECT_FALSE(q.Cancel(id));
 }
 
-TEST(EventQueueTest, CancelUnknownIdFails) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelUnknownIdFails) {
   EXPECT_FALSE(q.Cancel(0));
   EXPECT_FALSE(q.Cancel(999));
 }
 
-TEST(EventQueueTest, CancelMiddleKeepsOthers) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelStaleIdFromReusedSlotFails) {
+  const auto id1 = q.Push(1.0, [] {});
+  double t;
+  q.Pop(&t);
+  // The new event reuses the slot under a new generation; the old id
+  // must not cancel it.
+  const auto id2 = q.Push(2.0, [] {});
+  EXPECT_NE(id1, id2);
+  EXPECT_FALSE(q.Cancel(id1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.Cancel(id2));
+}
+
+TEST_P(EventQueueTest, CancelMiddleKeepsOthers) {
   std::vector<int> order;
   q.Push(1.0, [&] { order.push_back(1); });
   const auto id2 = q.Push(2.0, [&] { order.push_back(2); });
@@ -99,16 +132,14 @@ TEST(EventQueueTest, CancelMiddleKeepsOthers) {
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
-TEST(EventQueueTest, CancelHeadAdvancesPeek) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelHeadAdvancesPeek) {
   const auto id1 = q.Push(1.0, [] {});
   q.Push(2.0, [] {});
   EXPECT_TRUE(q.Cancel(id1));
   EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
 }
 
-TEST(EventQueueTest, ClearDropsEverything) {
-  EventQueue q;
+TEST_P(EventQueueTest, ClearDropsEverything) {
   q.Push(1.0, [] {});
   q.Push(2.0, [] {});
   q.Clear();
@@ -116,8 +147,28 @@ TEST(EventQueueTest, ClearDropsEverything) {
   EXPECT_EQ(q.size(), 0u);
 }
 
-TEST(EventQueueTest, ManyEventsStressOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, ClearInvalidatesOldIds) {
+  const auto id = q.Push(1.0, [] {});
+  q.Clear();
+  EXPECT_FALSE(q.Cancel(id));
+  q.Push(2.0, [] {});
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST_P(EventQueueTest, NegativeTimesAreOrdered) {
+  std::vector<double> popped;
+  q.Push(0.0, [] {});
+  q.Push(-5.5, [] {});
+  q.Push(-1.0, [] {});
+  while (!q.empty()) {
+    double t;
+    q.Pop(&t);
+    popped.push_back(t);
+  }
+  EXPECT_EQ(popped, (std::vector<double>{-5.5, -1.0, 0.0}));
+}
+
+TEST_P(EventQueueTest, ManyEventsStressOrder) {
   // Deterministic pseudo-random times with duplicates.
   uint64_t state = 42;
   std::vector<double> times;
@@ -138,10 +189,40 @@ TEST(EventQueueTest, ManyEventsStressOrder) {
   EXPECT_EQ(popped.size(), times.size());
 }
 
-TEST(EventQueueDeathTest, PopEmptyDies) {
-  EventQueue q;
+using EventQueueDeathTest = EventQueueTest;
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueDeathTest,
+                         testing::Values(QueueBackend::kHeap,
+                                         QueueBackend::kCalendar),
+                         [](const auto& info) {
+                           return QueueBackendName(info.param);
+                         });
+
+TEST_P(EventQueueDeathTest, PopEmptyDies) {
   double t;
   EXPECT_DEATH(q.Pop(&t), "empty EventQueue");
+}
+
+TEST_P(EventQueueDeathTest, PeekEmptyDies) {
+  EXPECT_DEATH(q.PeekTime(), "empty EventQueue");
+}
+
+TEST_P(EventQueueDeathTest, NonFiniteTimesRejected) {
+  EXPECT_DEATH(q.Push(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               "finite");
+  EXPECT_DEATH(q.Push(std::numeric_limits<double>::infinity(), [] {}),
+               "finite");
+  EXPECT_DEATH(q.Push(-std::numeric_limits<double>::infinity(), [] {}),
+               "finite");
+}
+
+TEST(QueueBackendTest, ParseRoundTrips) {
+  QueueBackend backend;
+  ASSERT_TRUE(ParseQueueBackend("heap", &backend));
+  EXPECT_EQ(backend, QueueBackend::kHeap);
+  ASSERT_TRUE(ParseQueueBackend("calendar", &backend));
+  EXPECT_EQ(backend, QueueBackend::kCalendar);
+  EXPECT_FALSE(ParseQueueBackend("splay", &backend));
+  EXPECT_FALSE(ParseQueueBackend("", &backend));
 }
 
 }  // namespace

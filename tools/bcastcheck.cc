@@ -95,6 +95,7 @@ int Run(int argc, const char* const* argv) {
   std::string bench_baseline_path;
   double bench_tolerance = 0.10;
   bool bench_informational = false;
+  bool bench_regressions_only = false;
   std::string log_level;
 
   FlagSet flags("bcastcheck");
@@ -147,6 +148,9 @@ int Run(int argc, const char* const* argv) {
                   "relative tolerance for per-iteration CPU time");
   flags.AddBool("bench_informational", &bench_informational,
                 "record bench time deltas without failing on them");
+  flags.AddBool("bench_regressions_only", &bench_regressions_only,
+                "fail only on slowdowns beyond --bench_tolerance; "
+                "speedups of any size pass (perf-gate posture)");
   flags.AddString("log_level", &log_level,
                   "log threshold: debug|info|warn|error|fatal");
 
@@ -348,6 +352,7 @@ int Run(int argc, const char* const* argv) {
     check::BenchToleranceOptions bench_options;
     bench_options.time = bench_tolerance;
     bench_options.check_time = !bench_informational;
+    bench_options.regressions_only = bench_regressions_only;
     const check::BaselineDiff diff =
         check::CompareBenchRuns(*bench_baseline, *bench, bench_options);
     std::cout << "Bench baseline: " << bench_baseline_path << "\n";

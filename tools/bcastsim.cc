@@ -52,11 +52,23 @@ bool MaybeWriteReport(const obs::RunReport& report,
   return true;
 }
 
+// Appends the opt-in backend marker to \p report. Off by default: runs
+// are bit-identical under every backend, and golden reports must stay
+// byte-for-byte comparable across backends.
+void MaybeRecordBackend(obs::RunReport* report, bool record,
+                        des::QueueBackend backend) {
+  if (!record) return;
+  report->extra.emplace_back(
+      "des_queue_calendar",
+      backend == des::QueueBackend::kCalendar ? 1.0 : 0.0);
+}
+
 // Runs the population mode: `clients` specs whose interests are spread
 // evenly across the database.
 int RunPopulation(const SimParams& base, uint64_t clients,
                   const std::string& report_out,
-                  const SimObservers& observers) {
+                  const SimObservers& observers,
+                  bool record_des_queue) {
   MultiClientParams params;
   params.disk_sizes = base.disk_sizes;
   params.delta = base.delta;
@@ -81,6 +93,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   params.fault = base.fault;
   params.pull = base.pull;
   params.adapt = base.adapt;
+  params.des_queue = base.des_queue;
   auto result = RunMultiClientSimulation(params, observers);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
@@ -106,6 +119,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   if (!report_out.empty()) {
     obs::RunReport report = MakePopulationRunReport(
         params, *result, base.ToString(), "bcastsim");
+    MaybeRecordBackend(&report, record_des_queue, base.des_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   return 0;
@@ -114,7 +128,7 @@ int RunPopulation(const SimParams& base, uint64_t clients,
 // Runs the updates mode with the given consistency action name.
 int RunUpdates(const SimParams& base, double update_rate,
                double update_theta, const std::string& consistency,
-               const std::string& report_out) {
+               const std::string& report_out, bool record_des_queue) {
   UpdateParams updates;
   updates.update_rate = update_rate;
   updates.update_theta = update_theta;
@@ -155,6 +169,7 @@ int RunUpdates(const SimParams& base, double update_rate,
     obs::RunReport report =
         MakeUpdateRunReport(base, updates, *result, "bcastsim");
     report.metrics = registry.TakeSnapshot();
+    MaybeRecordBackend(&report, record_des_queue, base.des_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   return 0;
@@ -177,6 +192,7 @@ int Run(int argc, const char* const* argv) {
   std::string stats_out;
   double stats_interval = 1000.0;
   bool profile_des = false;
+  bool record_des_queue = false;
   std::string log_level;
 
   // The whole simulation surface comes from SimConfig; only the
@@ -211,6 +227,10 @@ int Run(int argc, const char* const* argv) {
   flags.AddBool("profile_des", &profile_des,
                 "per-event-kind DES dispatch profiling (profile_* report "
                 "extras)");
+  flags.AddBool("record_des_queue", &record_des_queue,
+                "stamp the des_queue_calendar extra (0/1) into the run "
+                "report (off by default: backends are bit-identical and "
+                "golden reports must stay byte-comparable)");
   flags.AddString("log_level", &log_level,
                   "log threshold: debug|info|warn|error|fatal");
 
@@ -251,7 +271,7 @@ int Run(int argc, const char* const* argv) {
   }
   if (mode == "updates") {
     return RunUpdates(params, update_rate, update_theta, consistency,
-                      report_out);
+                      report_out, record_des_queue);
   }
   if (mode != "single" && mode != "population") {
     std::cerr << "unknown --mode: " << mode << "\n";
@@ -311,7 +331,8 @@ int Run(int argc, const char* const* argv) {
   observers.profile_des = profile_des;
 
   if (mode == "population") {
-    return RunPopulation(params, clients, report_out, observers);
+    return RunPopulation(params, clients, report_out, observers,
+                         record_des_queue);
   }
 
   // Run (averaging over seeds if requested); keep the last run's
@@ -366,6 +387,7 @@ int Run(int argc, const char* const* argv) {
     obs::RunReport report = MakeRunReport(params, aggregate, "bcastsim");
     report.seeds = num_seeds;
     report.metrics = registry.TakeSnapshot();
+    MaybeRecordBackend(&report, record_des_queue, params.des_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   const ClientMetrics& m = last->metrics;
