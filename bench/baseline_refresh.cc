@@ -129,6 +129,40 @@ std::vector<BaselineConfig> Configs() {
     config.params.seed = kSeed;
     configs.push_back(config);
   }
+  {
+    // The lossy hybrid under process faults: cold crash–restart on top
+    // of channel loss and pull. Gates the crash counters, the resync
+    // path after a restart, and the uplink books when crashes orphan
+    // in-flight requests.
+    BaselineConfig config;
+    config.name = "single_crash_d5";
+    config.params.access_range = 5000;
+    config.params.fault.loss = 0.1;
+    config.params.pull.pull_slots = 2;
+    config.params.pull.threshold = 100.0;
+    config.params.fault.process.crash_every = 1000000.0;
+    config.params.fault.process.crash_down = 200.0;
+    config.params.fault.process.crash_cold = true;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
+  {
+    // single_crash_d5 with the process block zeroed: the crash-off twin.
+    // Its golden pins the promise that compiled-in-but-disabled crash
+    // machinery leaves this configuration's bytes untouched — any
+    // process-fault code leaking into the disabled path breaks this
+    // gate (and every older golden) in bcastcheck.
+    BaselineConfig config;
+    config.name = "single_crashoff_d5";
+    config.params.access_range = 5000;
+    config.params.fault.loss = 0.1;
+    config.params.pull.pull_slots = 2;
+    config.params.pull.threshold = 100.0;
+    config.params.measured_requests = kRequests;
+    config.params.seed = kSeed;
+    configs.push_back(config);
+  }
   return configs;
 }
 
@@ -173,6 +207,13 @@ int Run() {
     }
     if (std::string(config.name) == "single_lru_d5_fault0") {
       fault0_response_sum = result->metrics.response_time().sum();
+    }
+    if (std::string(config.name) == "single_crash_d5" &&
+        result->faults.crashes == 0) {
+      // A crash golden that never crashed gates nothing: refuse it.
+      std::cerr << "single_crash_d5 recorded zero crashes\n";
+      ++failures;
+      continue;
     }
     obs::RunReport report = MakeRunReport(config.params, *result, kTool);
     if (!WriteReport(report, out_dir, config.name,

@@ -62,25 +62,29 @@ void BroadcastChannel::PageAwaiter::await_suspend(std::coroutine_handle<> h) {
 
 void BroadcastChannel::PageAwaiter::ScheduleAttempt(std::coroutine_handle<> h,
                                                     double listen_from) {
-  // Skip past arrivals the doze schedule would sleep through: a
-  // reception counts only when the radio is up for the whole slot.
+  // Skip past arrivals the client cannot hear — dozed through, lost to a
+  // crash downtime window, or silenced by a server stall: a reception
+  // counts only when the whole slot was audible.
   double at = listen_from;
   double end = channel_->ArrivalEnd(page_, at);
-  while (!receiver_->AwakeDuring(end - 1.0, end)) {
-    at = receiver_->NoteDozeMiss(end - 1.0);
+  while (!receiver_->AudibleDuring(end - 1.0, end)) {
+    at = receiver_->NoteMissedArrival(end - 1.0);
     end = channel_->ArrivalEnd(page_, at);
   }
+  // Server-side jitter may smear the completion past the nominal slot
+  // boundary; identical to `end` when jitter is off.
+  const double done = receiver_->DeliveryEnd(end);
   // The awaiter object lives in the suspended coroutine frame until h
   // is resumed, so capturing `this` across re-arms is safe.
   pending_ = channel_->sim_->ScheduleAt(
-      end,
-      [this, h, end]() {
-        if (receiver_->Attempt(page_, end)) {
-          receiver_->EndWait(end);
-          Finish(h, end, /*via_pull=*/false);
+      done,
+      [this, h, done]() {
+        if (receiver_->Attempt(page_, done)) {
+          receiver_->EndWait(done);
+          Finish(h, done, /*via_pull=*/false);
           return;
         }
-        ScheduleAttempt(h, receiver_->NextRetryTime(end));
+        ScheduleAttempt(h, receiver_->NextRetryTime(done));
       },
       des::EventKind::kSlot);
 }
@@ -108,7 +112,7 @@ bool BroadcastChannel::PageAwaiter::OnPullDelivery(double deliver_end) {
   // fading, or corrupting radio can miss it, in which case the waiter
   // stays armed on its push schedule.
   if (receiver_ != nullptr) {
-    if (!receiver_->AwakeDuring(deliver_end - 1.0, deliver_end)) {
+    if (!receiver_->AudibleDuring(deliver_end - 1.0, deliver_end)) {
       return false;
     }
     if (!receiver_->Attempt(page_, deliver_end)) return false;

@@ -84,6 +84,13 @@ class CachePolicy {
   /// Human-readable policy name ("LRU", "PIX", ...).
   virtual std::string name() const = 0;
 
+  /// Drops every cached page and resets all volatile policy state
+  /// (recency orders, reference histories, ghost lists, credit/inflation
+  /// accounting). Construction-time knowledge — capacity, catalog, static
+  /// value tables — survives. Models a cold restart after a client crash
+  /// (src/fault/process_faults): the next Lookup of any page misses.
+  virtual void Clear() = 0;
+
   /// Maximum pages the cache can hold.
   uint64_t capacity() const { return capacity_; }
 

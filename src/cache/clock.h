@@ -25,6 +25,14 @@ class ClockCache : public CachePolicy {
   bool Contains(PageId page) const override { return slot_of_[page] >= 0; }
   uint64_t size() const override { return used_; }
   std::string name() const override { return "CLOCK"; }
+  void Clear() override {
+    for (Slot& slot : slots_) {
+      if (slot.page != kEmptySlot) slot_of_[slot.page] = -1;
+      slot = Slot{};
+    }
+    hand_ = 0;
+    used_ = 0;
+  }
 
  private:
   struct Slot {

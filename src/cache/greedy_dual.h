@@ -53,6 +53,14 @@ class GreedyDualCache : public CachePolicy {
   bool Contains(PageId page) const override { return cached_[page]; }
   uint64_t size() const override { return ordered_.size(); }
   std::string name() const override { return "GD"; }
+  void Clear() override {
+    for (const auto& [credit, page] : ordered_) {
+      cached_[page] = false;
+      credit_[page] = 0.0;
+    }
+    ordered_.clear();
+    inflation_ = 0.0;  // L is volatile accounting, not knowledge
+  }
 
   /// Current credit of a cached page (for tests).
   double CreditOf(PageId page) const;

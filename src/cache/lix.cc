@@ -67,6 +67,20 @@ void LixCache::Remove(Chain* chain, PageId page) {
   --chain->size;
 }
 
+void LixCache::Clear() {
+  for (Chain& chain : chains_) {
+    PageId page = chain.head;
+    while (page != kEmptySlot) {
+      PageRec& rec = pages_[page];
+      const PageId next = rec.next;
+      rec = PageRec{};  // estimate and last_access are volatile state too
+      page = next;
+    }
+    chain = Chain{};
+  }
+  size_ = 0;
+}
+
 double LixCache::AgedEstimate(PageId page, double now) const {
   const PageRec& rec = pages_[page];
   const double gap = std::max(now - rec.last_access, kMinGap);

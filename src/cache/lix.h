@@ -70,6 +70,7 @@ class LixCache : public CachePolicy {
   bool Contains(PageId page) const override { return pages_[page].cached; }
   uint64_t size() const override { return size_; }
   std::string name() const override { return name_; }
+  void Clear() override;
 
   /// The lix value \p page would have if evaluated at \p now (for tests).
   /// The page must be cached.

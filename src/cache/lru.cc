@@ -36,6 +36,19 @@ void LruList::Touch(PageId page) {
   PushFront(page);
 }
 
+void LruList::Clear() {
+  PageId page = head_;
+  while (page != kEmptySlot) {
+    Node& node = nodes_[page];
+    const PageId next = node.next;
+    node.linked = false;
+    node.prev = node.next = kEmptySlot;
+    page = next;
+  }
+  head_ = tail_ = kEmptySlot;
+  size_ = 0;
+}
+
 LruCache::LruCache(uint64_t capacity, PageId num_pages,
                    const PageCatalog* catalog)
     : CachePolicy(capacity, num_pages, catalog), list_(num_pages) {}

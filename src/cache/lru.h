@@ -40,6 +40,9 @@ class LruList {
   /// Number of linked pages.
   uint64_t size() const { return size_; }
 
+  /// Unlinks every page (O(linked), not O(num_pages)).
+  void Clear();
+
  private:
   struct Node {
     PageId prev = kEmptySlot;
@@ -62,6 +65,7 @@ class LruCache : public CachePolicy {
   bool Contains(PageId page) const override { return list_.Contains(page); }
   uint64_t size() const override { return list_.size(); }
   std::string name() const override { return "LRU"; }
+  void Clear() override { list_.Clear(); }
 
  private:
   LruList list_;

@@ -26,6 +26,16 @@ std::string LruKCache::name() const {
   return n;
 }
 
+void LruKCache::Clear() {
+  for (auto& chain : chains_) {
+    for (const auto& [time, page] : chain) cached_[page] = false;
+    chain.clear();
+  }
+  // Access histories survive eviction by design, but not a crash.
+  for (History& h : history_) h = History{};
+  size_ = 0;
+}
+
 double LruKCache::OldestTracked(PageId page) const {
   const History& h = history_[page];
   BCAST_CHECK_GT(h.count, 0u);

@@ -44,6 +44,7 @@ class LruKCache : public CachePolicy {
   bool Contains(PageId page) const override { return cached_[page]; }
   uint64_t size() const override { return size_; }
   std::string name() const override;
+  void Clear() override;
 
   /// The eviction value of \p page at \p now (rate [/ frequency]); lower
   /// is evicted sooner. Page must be cached. Exposed for tests.

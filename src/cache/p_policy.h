@@ -43,6 +43,13 @@ class StaticValueCache : public CachePolicy {
   /// The ranking value of \p page (for tests).
   double ValueOf(PageId page) const { return values_[page]; }
 
+  /// Drops all cached pages; the static value table is construction-time
+  /// knowledge and survives a cold restart.
+  void Clear() override {
+    for (const auto& [value, page] : ordered_) cached_[page] = false;
+    ordered_.clear();
+  }
+
  protected:
   StaticValueCache(uint64_t capacity, PageId num_pages,
                    const PageCatalog* catalog, std::vector<double> values);

@@ -50,6 +50,12 @@ class TwoQCache : public CachePolicy {
   std::string name() const override {
     return options_.use_frequency ? "2QX" : "2Q";
   }
+  void Clear() override {
+    a1in_.Clear();
+    am_.Clear();
+    for (const PageId ghost : a1out_) in_a1out_[ghost] = false;
+    a1out_.clear();
+  }
 
   /// Pages currently in the probation FIFO (for tests).
   uint64_t a1in_size() const { return a1in_.size(); }

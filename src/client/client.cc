@@ -82,6 +82,12 @@ des::Process Client::Run() {
       std::min<uint64_t>(cache_->capacity(), gen_->access_range());
   while (cache_->size() < fill_target &&
          warmup_requests_ < config_.max_warmup_requests) {
+    if (config_.receiver != nullptr) {
+      // A crash during think time surfaces here: apply its state loss
+      // and, if the client is still down, sleep until the restart.
+      const double up_at = config_.receiver->CrashResume(sim_->Now());
+      if (up_at > sim_->Now()) co_await sim_->Delay(up_at - sim_->Now());
+    }
     ++warmup_requests_;
     const PageId logical = gen_->NextPage();
     const bool sampled = config_.trace && config_.trace->ShouldSample();
@@ -123,6 +129,10 @@ des::Process Client::Run() {
   // clients and are NOT reset here; per-client accounting lives in
   // metrics_.)
   for (uint64_t i = 0; i < config_.measured_requests; ++i) {
+    if (config_.receiver != nullptr) {
+      const double up_at = config_.receiver->CrashResume(sim_->Now());
+      if (up_at > sim_->Now()) co_await sim_->Delay(up_at - sim_->Now());
+    }
     const PageId logical = gen_->NextPage();
     const bool sampled = config_.trace && config_.trace->ShouldSample();
     const double start = sim_->Now();

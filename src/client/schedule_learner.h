@@ -46,6 +46,16 @@ class ScheduleLearner {
   /// periodic source.
   bool converged() const;
 
+  /// Discards every observation: the learned stream and its prefix
+  /// function are volatile client state, lost on a crash–restart
+  /// (src/fault/process_faults). The learner reconverges from scratch by
+  /// listening again; a truly periodic source is relearned after at most
+  /// two fresh periods.
+  void Reset() {
+    stream_.clear();
+    pi_.clear();
+  }
+
   /// Builds the learned program: the first period of the observed stream
   /// (a rotation of the transmitter's program — all frequencies and gap
   /// structure are preserved), with per-page disks inferred by grouping

@@ -13,6 +13,7 @@
 #include "client/client.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "core/simulator.h"
 #include "des/simulation.h"
 #include "fault/fault_model.h"
@@ -175,6 +176,22 @@ Result<MultiClientResult> RunMultiClientSimulation(
                    NameTrack(obs::track::kPull, "pull"));
   }
 
+  // Server-side process faults (stalls + jitter): the plane is a
+  // server-side resource like the pull server — one per run, shared by
+  // every receiver, because the server's trouble is common-mode across
+  // the population. Built only when the axes are on.
+  std::unique_ptr<fault::ServerFaultPlane> server_faults;
+  if (params.fault.process.ServerActive()) {
+    Rng salt_rng = fault::FaultStream(Rng(params.fault.fault_seed),
+                                      /*client_id=*/0,
+                                      fault::Purpose::kJitter);
+    server_faults = std::make_unique<fault::ServerFaultPlane>(
+        params.fault.process,
+        fault::FaultStream(Rng(params.fault.fault_seed), /*client_id=*/0,
+                           fault::Purpose::kStall),
+        salt_rng.Next());
+  }
+
   // Cold-page set pinned to the initial program (see RunSimulation).
   std::vector<bool> cold_pages;
   if ((params.pull.Active() || params.adapt.Active()) &&
@@ -276,6 +293,9 @@ Result<MultiClientResult> RunMultiClientSimulation(
       if (loss_monitor != nullptr) {
         worlds[c].receiver->AttachLossSink(loss_monitor.get());
       }
+      if (server_faults != nullptr) {
+        worlds[c].receiver->AttachServerFaults(server_faults.get());
+      }
     }
     if (pull_server != nullptr) {
       // Each client gets its own requester; the in-flight uplink loss
@@ -291,6 +311,17 @@ Result<MultiClientResult> RunMultiClientSimulation(
       }
       worlds[c].pull = std::make_unique<pull::PullClient>(
           &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
+    }
+    // Crash–restart state loss for this client: the in-flight pull
+    // request and (cold restarts) the cache go with the process; each
+    // client crashes on its own schedule (per-client kCrash stream).
+    if (params.fault.process.CrashActive()) {
+      worlds[c].receiver->SetCrashHook(
+          [pull = worlds[c].pull.get(), cache_ptr = worlds[c].cache.get(),
+           cold = params.fault.process.crash_cold]() {
+            if (pull != nullptr) pull->OnCrash();
+            if (cold) cache_ptr->Clear();
+          });
     }
     ClientRunConfig config;
     config.measured_requests = params.measured_requests;
@@ -379,10 +410,43 @@ Result<MultiClientResult> RunMultiClientSimulation(
     sim.Schedule(interval, stats_tick, des::EventKind::kStats);
   }
 
+  // Schedule-version bumps (see RunSimulation): the server re-announces
+  // its program every version_every slots, re-arming every in-flight
+  // wait across the whole population through the resync path.
+  uint64_t version_bumps = 0;
+  std::function<void()> version_tick;
+  if (params.fault.process.version_every > 0.0) {
+    channel.EnableResync();
+    const double every = params.fault.process.version_every;
+    version_tick = [&version_tick, &version_bumps, &sim, &channel,
+                    every]() {
+      if (sim.live_processes() == 0) return;
+      channel.SetProgram(&channel.program(), sim.Now());
+      ++version_bumps;
+      sim.Schedule(every, version_tick, des::EventKind::kController);
+    };
+    sim.Schedule(every, version_tick, des::EventKind::kController);
+  }
+
   obs::Stopwatch run_watch;
   for (auto& world : worlds) sim.Spawn(world.client->Run());
   if (controller != nullptr) controller->Start();
-  sim.Run();
+  if (observers.horizon > 0.0) {
+    // Bounded run (chaos no-hang check): an unfinished client at the
+    // horizon is a liveness violation, reported instead of aborting.
+    sim.RunUntil(observers.horizon);
+    for (size_t c = 0; c < worlds.size(); ++c) {
+      if (!worlds[c].client->finished()) {
+        return Status::Internal(StrFormat(
+            "no-hang violation: client %zu unfinished at horizon %.0f "
+            "(t=%.0f, events=%llu)",
+            c, observers.horizon, sim.Now(),
+            static_cast<unsigned long long>(sim.events_dispatched())));
+      }
+    }
+  } else {
+    sim.Run();
+  }
   timings.measured_seconds = run_watch.ElapsedSeconds();
 
   MultiClientResult result;
@@ -402,6 +466,9 @@ Result<MultiClientResult> RunMultiClientSimulation(
     result.cold_requests += worlds[c].client->cold_requests();
     result.cold_hits += worlds[c].client->cold_hits();
   }
+  // Version bumps are a per-run fact, not a per-client sum: assign after
+  // the merges (each receiver contributes zero).
+  if (result.faults_active) result.faults.version_bumps = version_bumps;
   // The exact end-of-run record (after the finished checks above).
   if (observers.stats != nullptr) take_stats_sample(true);
   if (pull_server != nullptr) {

@@ -48,6 +48,22 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
                    "retry backoff base delay (slots)");
   flags->AddDouble("backoff_cap", &params.fault.backoff_cap,
                    "retry backoff cap (slots)");
+  flags->AddDouble("crash_every", &params.fault.process.crash_every,
+                   "mean slots between client crash-restarts (0 = never)");
+  flags->AddDouble("crash_down", &params.fault.process.crash_down,
+                   "slots the client stays down per crash (0 = instant "
+                   "reboot)");
+  flags->AddString("crash_cache", &crash_cache,
+                   "cache fate across a crash: warm (survives) | cold "
+                   "(wiped)");
+  flags->AddDouble("stall_every", &params.fault.process.stall_every,
+                   "mean slots between server transmission stalls");
+  flags->AddDouble("stall_len", &params.fault.process.stall_len,
+                   "slots each server stall silences the broadcast");
+  flags->AddDouble("slot_jitter", &params.fault.process.slot_jitter,
+                   "max slot-boundary jitter in slots, in [0, 1)");
+  flags->AddDouble("version_every", &params.fault.process.version_every,
+                   "slots between schedule-version bumps (0 = never)");
   flags->AddUint64("pull_slots", &params.pull.pull_slots,
                    "pull slots interleaved per minor cycle (0 = pure "
                    "push)");
@@ -97,6 +113,17 @@ Status SimConfig::Finalize(const FlagSet* flags) {
     if (flags->WasSet("doze_awake") && !flags->WasSet("doze")) {
       return Status::InvalidArgument(
           "--doze_awake sets the duty cycle's on-phase; it needs --doze");
+    }
+    for (const char* name : {"crash_down", "crash_cache"}) {
+      if (flags->WasSet(name) && !flags->WasSet("crash_every")) {
+        return Status::InvalidArgument(
+            std::string("--") + name +
+            " shapes the crash-restart process; it needs --crash_every");
+      }
+    }
+    if (flags->WasSet("stall_len") && !flags->WasSet("stall_every")) {
+      return Status::InvalidArgument(
+          "--stall_len sizes the server stalls; it needs --stall_every");
     }
     if (flags->WasSet("uplink_cap") && !flags->WasSet("pull_slots") &&
         !flags->WasSet("pull_force")) {
@@ -159,6 +186,15 @@ Status SimConfig::Finalize(const FlagSet* flags) {
   } else {
     return Status::InvalidArgument("unknown --noise_scope: " +
                                    noise_scope + " (access_range|all)");
+  }
+
+  if (crash_cache == "warm") {
+    params.fault.process.crash_cold = false;
+  } else if (crash_cache == "cold") {
+    params.fault.process.crash_cold = true;
+  } else {
+    return Status::InvalidArgument("unknown --crash_cache: " + crash_cache +
+                                   " (warm|cold)");
   }
 
   if (!des_queue.empty() &&

@@ -47,6 +47,7 @@ struct SimConfig {
   std::string noise_scope = "access_range";  ///< access_range | all
   std::string pull_sched = "fcfs";      ///< fcfs | mrf | lxw
   std::string des_queue;                ///< heap | calendar ("" = default)
+  std::string crash_cache = "warm";     ///< warm | cold (restart cache fate)
   /// @}
 
   /// Registers every simulation flag on \p flags, bound to this config.

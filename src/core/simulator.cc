@@ -11,6 +11,7 @@
 #include "client/client.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "des/simulation.h"
 #include "fault/fault_model.h"
 #include "pull/hybrid.h"
@@ -139,6 +140,22 @@ Result<SimResult> RunSimulation(const SimParams& params,
                                    static_cast<double>(program->period()));
     receiver->AttachTimeline(observers.timeline, obs::track::Client(0));
   }
+  // Server-side process faults (transmission stalls + slot jitter): one
+  // plane per run, shared by every receiver — the server's trouble is
+  // common-mode. Built only when the axes are on; an inactive run
+  // attaches nothing and draws nothing.
+  std::unique_ptr<fault::ServerFaultPlane> server_faults;
+  if (params.fault.process.ServerActive()) {
+    Rng salt_rng = fault::FaultStream(Rng(params.fault.fault_seed),
+                                      /*client_id=*/0,
+                                      fault::Purpose::kJitter);
+    server_faults = std::make_unique<fault::ServerFaultPlane>(
+        params.fault.process,
+        fault::FaultStream(Rng(params.fault.fault_seed), /*client_id=*/0,
+                           fault::Purpose::kStall),
+        salt_rng.Next());
+    receiver->AttachServerFaults(server_faults.get());
+  }
   // Pull machinery exists only for active pull params; with zero pull
   // slots the server is inert (never attached, never scheduling), so
   // the forced zero-capacity path stays bit-identical to pure push.
@@ -164,6 +181,19 @@ Result<SimResult> RunSimulation(const SimParams& params,
     }
     pull_client = std::make_unique<pull::PullClient>(
         &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
+  }
+  // Crash–restart state loss: a restart forgets the in-flight pull
+  // request (the server's orphaned copy stays accounted) and — on a cold
+  // restart — the cache contents. The receiver's own volatile timers are
+  // reset inside its crash application; this hook covers the state it
+  // does not own.
+  if (params.fault.process.CrashActive()) {
+    receiver->SetCrashHook(
+        [pull = pull_client.get(), cache_ptr = cache->get(),
+         cold = params.fault.process.crash_cold]() {
+          if (pull != nullptr) pull->OnCrash();
+          if (cold) cache_ptr->Clear();
+        });
   }
   // The cold-page set pinned to the initial program: the slowest-disk
   // class whose fate the adaptive gates (and the pull ablations) track
@@ -266,11 +296,47 @@ Result<SimResult> RunSimulation(const SimParams& params,
     sim.Schedule(interval, stats_tick, des::EventKind::kStats);
   }
 
+  // Schedule-version bumps: every version_every slots the server
+  // re-announces its program (same content, new epoch), which re-arms
+  // every in-flight wait through the resync path — a program switch as a
+  // fault source mid-tune. The tick re-arms only while the client runs,
+  // like the stats sampler, so the queue still drains.
+  uint64_t version_bumps = 0;
+  std::function<void()> version_tick;
+  if (params.fault.process.version_every > 0.0) {
+    channel.EnableResync();
+    const double every = params.fault.process.version_every;
+    version_tick = [&version_tick, &version_bumps, &sim, &channel,
+                    every]() {
+      if (sim.live_processes() == 0) return;
+      channel.SetProgram(&channel.program(), sim.Now());
+      ++version_bumps;
+      sim.Schedule(every, version_tick, des::EventKind::kController);
+    };
+    sim.Schedule(every, version_tick, des::EventKind::kController);
+  }
+
   sim.Spawn(client.Run());
   if (controller != nullptr) controller->Start();
-  sim.Run();
-
-  BCAST_CHECK(client.finished()) << "client did not complete its requests";
+  if (observers.horizon > 0.0) {
+    // Bounded run: the chaos harness's no-hang check. A scenario whose
+    // client cannot finish by the horizon is a liveness violation,
+    // reported as an error instead of aborting the process.
+    sim.RunUntil(observers.horizon);
+    if (!client.finished()) {
+      return Status::Internal(StrFormat(
+          "no-hang violation: client unfinished at horizon %.0f "
+          "(t=%.0f, events=%llu, measured %llu/%llu requests)",
+          observers.horizon, sim.Now(),
+          static_cast<unsigned long long>(sim.events_dispatched()),
+          static_cast<unsigned long long>(client.metrics().requests()),
+          static_cast<unsigned long long>(params.measured_requests)));
+    }
+  } else {
+    sim.Run();
+    BCAST_CHECK(client.finished())
+        << "client did not complete its requests";
+  }
   // The exact end-of-run record: totals here equal the run report's, so
   // a stream summary reproduces the report's headline numbers.
   if (observers.stats != nullptr) take_stats_sample(true);
@@ -287,6 +353,7 @@ Result<SimResult> RunSimulation(const SimParams& params,
   result.timings.total_seconds = total_watch.ElapsedSeconds();
   if (receiver != nullptr) {
     result.faults = receiver->stats();
+    result.faults.version_bumps = version_bumps;
     result.faults_active = true;
   }
   if (pull_server != nullptr) {
@@ -335,6 +402,14 @@ Result<SimResult> RunSimulation(const SimParams& params,
       reg.GetGauge("fault/delivery_ratio")->Set(fs.delivery_ratio());
       reg.GetHistogram("fault/extra_cycles")->Merge(fs.extra_cycles);
       reg.GetHistogram("fault/resync_slots")->Merge(fs.resync_slots);
+      if (params.fault.process.Active()) {
+        reg.GetCounter("fault/crashes")->Increment(fs.crashes);
+        reg.GetCounter("fault/crash_missed_arrivals")
+            ->Increment(fs.crash_missed_arrivals);
+        reg.GetCounter("fault/stall_missed_arrivals")
+            ->Increment(fs.stall_missed_arrivals);
+        reg.GetCounter("fault/version_bumps")->Increment(fs.version_bumps);
+      }
     }
     if (result.pull_active) {
       const pull::PullStats& ps = result.pull_stats;
@@ -456,6 +531,23 @@ void AppendFaultExtras(const fault::FaultParams& params,
           : stats.resync_slots.sum() /
                 static_cast<double>(stats.resync_slots.count()));
   add("fault_resync_slots_max", stats.resync_slots.max());
+  // Process-fault extras last, gated on their own activity: pre-process
+  // fault reports keep their exact byte format.
+  if (params.process.Active()) {
+    add("fault_crash_every", params.process.crash_every);
+    add("fault_crash_down", params.process.crash_down);
+    add("fault_crash_cold", params.process.crash_cold ? 1.0 : 0.0);
+    add("fault_stall_every", params.process.stall_every);
+    add("fault_stall_len", params.process.stall_len);
+    add("fault_slot_jitter", params.process.slot_jitter);
+    add("fault_version_every", params.process.version_every);
+    add("fault_crashes", static_cast<double>(stats.crashes));
+    add("fault_crash_missed_arrivals",
+        static_cast<double>(stats.crash_missed_arrivals));
+    add("fault_stall_missed_arrivals",
+        static_cast<double>(stats.stall_missed_arrivals));
+    add("fault_version_bumps", static_cast<double>(stats.version_bumps));
+  }
 }
 
 void AppendPullExtras(const pull::PullParams& params,

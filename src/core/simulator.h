@@ -125,6 +125,14 @@ struct SimObservers {
   /// surfaced as `profile_*` report extras. Wall-clock only; cannot
   /// perturb the simulation.
   bool profile_des = false;
+
+  /// Simulated-time budget for the run; 0 = unbounded (the default, the
+  /// historical behavior). When > 0 the event loop stops at this time and
+  /// an unfinished client yields a Status error instead of a crash — the
+  /// chaos harness's no-hang invariant (tools/bcastchaos) runs every
+  /// adversarial scenario under a horizon. A run that finishes before the
+  /// horizon is untouched by it (same events, same results).
+  double horizon = 0.0;
 };
 
 /// \brief The `PageCatalog` a simulation exposes to its cache policy:

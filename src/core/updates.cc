@@ -307,6 +307,11 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
     receiver = fault::MakeReceiver(base.fault, /*client_id=*/0,
                                    static_cast<double>(program->period()));
   }
+  // GCC 12 issues a spurious maybe-uninitialized for the value-initialized
+  // histogram vectors nested in `result` once the aggregate crosses an
+  // inlining threshold; every member below is explicitly initialized.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   VolatileClient client{
       &sim,
       &channel,
@@ -330,6 +335,7 @@ Result<UpdateSimResult> RunUpdateSimulation(const SimParams& base,
       0.0,
       -std::numeric_limits<double>::infinity(),
       obs::LogHistogram()};
+#pragma GCC diagnostic pop
   obs::Stopwatch run_watch;
   sim.Spawn(client.Run());
   sim.Run();

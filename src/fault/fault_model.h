@@ -126,6 +126,12 @@ enum class Purpose : uint64_t {
   kDoze = 3,
   /// In-flight loss of backchannel request sends (src/pull).
   kUplink = 4,
+  /// Client crash–restart instants (src/fault/process_faults).
+  kCrash = 5,
+  /// Server transmission-stall windows (shared; keyed by client id 0).
+  kStall = 6,
+  /// Salt for the deterministic per-slot delivery-jitter hash.
+  kJitter = 7,
 };
 
 /// \brief The (client id, purpose)-keyed fault stream off \p fault_master

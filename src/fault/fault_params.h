@@ -21,6 +21,74 @@
 
 namespace bcast::fault {
 
+/// \brief Process-level fault knobs: client crash–restart, server
+/// transmission stalls, slot-boundary jitter, and schedule-version bumps.
+///
+/// Where `FaultParams` perturbs the *channel*, these perturb the
+/// *processes* at its two ends. A crash wipes the client's volatile state
+/// (outstanding pull request, backoff/deadline timers, learned schedule
+/// position, and — under `crash_cold` — the cache) and the client re-tunes
+/// through the existing resync path. A stall silences the server for a run
+/// of slots without shifting the schedule, so fixed per-page inter-arrival
+/// is violated transiently and clients must detect the gap via the
+/// deadline machinery. Jitter smears each transmission's completion
+/// within its slot. Version bumps re-phase the broadcast program
+/// mid-cycle, exercising the resync path from the server side.
+/// Default-constructed params are *inactive*: no windows are generated,
+/// no randomness is drawn, and every run is bit-identical to the
+/// process-fault-free tree.
+struct ProcessFaultParams {
+  /// Mean slots between client crashes (exponential inter-crash gaps,
+  /// drawn per client from the (client id, crash) fault stream). 0 = off.
+  double crash_every = 0.0;
+
+  /// Downtime, in slots, after each crash before the client restarts.
+  /// 0 models an instantaneous reboot: state is lost but no slot is
+  /// missed by the radio.
+  double crash_down = 0.0;
+
+  /// When true the cache is flushed on restart (cold restart); otherwise
+  /// cache contents survive the crash (warm restart, e.g. flash-backed).
+  bool crash_cold = false;
+
+  /// Mean slots between server transmission stalls. 0 = off.
+  double stall_every = 0.0;
+
+  /// Length of each stall, in slots. Slots inside a stall window are
+  /// transmitted to no one; the schedule resumes on its nominal
+  /// boundaries afterwards (airtime is lost, not shifted).
+  double stall_len = 0.0;
+
+  /// Maximum per-slot delivery jitter in [0, 1): each transmission
+  /// completes up to this many slots late, by a deterministic per-slot
+  /// draw shared by every listener. Latency, never loss.
+  double slot_jitter = 0.0;
+
+  /// Slots between schedule-version bumps: the server re-phases the
+  /// current program (`SetProgram` at a non-boundary instant), forcing
+  /// every tracked wait through the resync path. 0 = off.
+  double version_every = 0.0;
+
+  /// True when the client-side crash axis is configured.
+  bool CrashActive() const { return crash_every > 0.0; }
+
+  /// True when any server-side axis (stall or jitter) is configured.
+  bool ServerActive() const { return stall_every > 0.0 || slot_jitter > 0.0; }
+
+  /// True when any process-fault source is configured.
+  bool Active() const {
+    return CrashActive() || ServerActive() || version_every > 0.0;
+  }
+
+  /// Structural validation; OK for inactive params.
+  Status Validate() const;
+
+  /// Stable rendering appended to FaultParams::ToString, e.g.
+  /// ",proc<crash=3000/50:cold,stall=2000/20,jitter=0.5,version=1500>".
+  /// Empty when inactive (process-fault-free configs must not change).
+  std::string ToString() const;
+};
+
 /// \brief Fault-injection and recovery knobs for one run.
 ///
 /// Fault randomness is seeded by `fault_seed`, never by the master
@@ -81,12 +149,19 @@ struct FaultParams {
   /// ideal channel bit-identically.
   bool force = false;
 
+  /// Process-level faults (crash–restart, stalls, jitter, version bumps);
+  /// inactive by default, in which case no schedule of fault windows is
+  /// generated and the run is bit-identical to the process-fault-free
+  /// tree.
+  ProcessFaultParams process;
+
   /// True when any fault source is configured (or `force` is set): the
   /// simulator builds receivers, reports carry fault metrics, and
   /// `ToString` gains a fault section. Inactive params leave every code
   /// path and output byte-for-byte unchanged.
   bool Active() const {
-    return force || loss > 0.0 || corrupt > 0.0 || doze_for > 0.0;
+    return force || loss > 0.0 || corrupt > 0.0 || doze_for > 0.0 ||
+           process.Active();
   }
 
   /// Structural validation; OK for inactive params.

@@ -10,9 +10,15 @@ namespace bcast::fault {
 
 double BackoffPolicy::Next() {
   const double delay = next_;
-  // Clamp before and after the multiply: the value can never leave
-  // [base, cap], so no failure count overflows it.
-  next_ = std::min(cap_, next_ * mult_);
+  // Saturate *before* the multiply: once within one factor of the cap the
+  // product itself can overflow to +inf at extreme retry counts or
+  // extreme (base, mult, cap) choices, and a non-finite intermediate must
+  // never be formed even though min(cap, inf) would happen to absorb it.
+  if (next_ >= cap_ / mult_) {
+    next_ = cap_;
+  } else {
+    next_ = std::min(cap_, next_ * mult_);
+  }
   if (next_ < base_) next_ = base_;
   return delay;
 }
@@ -57,6 +63,10 @@ void FaultStats::Merge(const FaultStats& other) {
   doze_missed_arrivals += other.doze_missed_arrivals;
   deadline_expiries += other.deadline_expiries;
   loss_delayed_fetches += other.loss_delayed_fetches;
+  crashes += other.crashes;
+  crash_missed_arrivals += other.crash_missed_arrivals;
+  stall_missed_arrivals += other.stall_missed_arrivals;
+  version_bumps += other.version_bumps;
   extra_cycles.Merge(other.extra_cycles);
   resync_slots.Merge(other.resync_slots);
 }
@@ -82,7 +92,92 @@ void Receiver::BeginWait(PageId page, double now, double ideal_end,
   deadline_at_ = now + static_cast<double>(deadline_arrivals_) * wait_gap_;
   wait_attempts_ = 0;
   wait_radio_off_ = 0.0;
+  panic_ = false;
   backoff_.Reset();
+}
+
+bool Receiver::AudibleDuring(double from, double to) {
+  if (!panic_ && !doze_.AwakeDuring(from, to)) return false;
+  if (crash_ != nullptr && crash_->DownDuring(from, to)) return false;
+  if (server_faults_ != nullptr && server_faults_->StalledDuring(from, to)) {
+    return false;
+  }
+  return true;
+}
+
+double Receiver::NoteMissedArrival(double arrival_start) {
+  const double slot_end = arrival_start + 1.0;
+  // Causes dispatch in severity order: a crashed client has no radio
+  // state to speak of, a stalled server silences even an awake radio,
+  // and only then is the miss the client's own doze choice.
+  if (crash_ != nullptr && crash_->DownDuring(arrival_start, slot_end)) {
+    return NoteCrashMiss(arrival_start);
+  }
+  if (server_faults_ != nullptr &&
+      server_faults_->StalledDuring(arrival_start, slot_end)) {
+    return NoteStallMiss(arrival_start);
+  }
+  return NoteDozeMiss(arrival_start);
+}
+
+double Receiver::DeliveryEnd(double end) const {
+  return server_faults_ == nullptr ? end : server_faults_->DeliveryEnd(end);
+}
+
+double Receiver::NoteCrashMiss(double arrival_start) {
+  ++stats_.crash_missed_arrivals;
+  const double restart = crash_->ClearTime(arrival_start + 1.0);
+  wait_radio_off_ += restart - arrival_start;
+  if (resync_since_ < 0.0) resync_since_ = restart;
+  ApplyCrashesUpTo(restart);
+  // The restart forgets the deadline clock with the rest of the volatile
+  // state; re-base it at the restart instant (backoff was reset per
+  // crash by ApplyCrashesUpTo).
+  deadline_at_ =
+      restart + static_cast<double>(deadline_arrivals_) * wait_gap_;
+  return restart;
+}
+
+double Receiver::NoteStallMiss(double arrival_start) {
+  ++stats_.stall_missed_arrivals;
+  const double resume = server_faults_->StallClearTime(arrival_start + 1.0);
+  // The radio stays on through a stall — the client listens to silence —
+  // so nothing accrues to radio-off time. The transient inter-arrival
+  // violation is detected the only way a client can: the reception
+  // deadline expires.
+  if (resume >= deadline_at_) {
+    ++stats_.deadline_expiries;
+    backoff_.Reset();
+    if (doze_.enabled()) panic_ = true;
+    deadline_at_ =
+        resume + static_cast<double>(deadline_arrivals_) * wait_gap_;
+    BCAST_TIMELINE(timeline_,
+                   Instant(timeline_track_, "deadline_expiry", "fault",
+                           resume, {{"page", static_cast<double>(page_)}}));
+  }
+  return resume;
+}
+
+void Receiver::ApplyCrashesUpTo(double t) {
+  if (crash_ == nullptr) return;
+  const uint64_t n = crash_->CountUpTo(t);
+  while (applied_crashes_ < n) {
+    ++applied_crashes_;
+    ++stats_.crashes;
+    backoff_.Reset();
+    panic_ = false;  // volatile, like every other recovery timer
+    BCAST_TIMELINE(timeline_,
+                   Instant(timeline_track_, "crash_restart", "fault", t,
+                           {{"crash", static_cast<double>(applied_crashes_)}}));
+    if (crash_hook_) crash_hook_();
+  }
+}
+
+double Receiver::CrashResume(double now) {
+  if (crash_ == nullptr) return now;
+  const double resume = crash_->ClearTime(now);
+  ApplyCrashesUpTo(resume);
+  return resume;
 }
 
 double Receiver::NoteDozeMiss(double arrival_start) {
@@ -91,10 +186,14 @@ double Receiver::NoteDozeMiss(double arrival_start) {
   wait_radio_off_ += wake - arrival_start;
   if (resync_since_ < 0.0) resync_since_ = wake;
   // A slept-through deadline expires on wake, not retroactively per
-  // missed arrival: dozing is a choice, not a channel fault.
+  // missed arrival: dozing is a choice, not a channel fault. An expired
+  // deadline revokes that choice for the rest of the wait (panic
+  // listening): a duty cycle commensurate with the program period would
+  // otherwise hide every future arrival of this page too.
   if (wake >= deadline_at_) {
     ++stats_.deadline_expiries;
     backoff_.Reset();
+    panic_ = true;
     deadline_at_ =
         wake + static_cast<double>(deadline_arrivals_) * wait_gap_;
     BCAST_TIMELINE(timeline_,
@@ -138,6 +237,7 @@ double Receiver::NextRetryTime(double now) {
     // the end of the attempt that crossed it.
     ++stats_.deadline_expiries;
     backoff_.Reset();
+    if (doze_.enabled()) panic_ = true;
     deadline_at_ = now + static_cast<double>(deadline_arrivals_) * wait_gap_;
     BCAST_TIMELINE(timeline_,
                    Instant(timeline_track_, "deadline_expiry", "fault", now,
@@ -175,8 +275,14 @@ std::unique_ptr<Receiver> MakeReceiver(const FaultParams& params,
     doze.phase =
         doze_rng.NextDouble() * (params.awake_for + params.doze_for);
   }
-  return std::make_unique<Receiver>(MakeFaultModel(params, client_id),
-                                    params, doze, period);
+  auto receiver = std::make_unique<Receiver>(MakeFaultModel(params, client_id),
+                                             params, doze, period);
+  if (params.process.CrashActive()) {
+    receiver->EnableCrashes(std::make_unique<FaultWindows>(
+        FaultStream(Rng(params.fault_seed), client_id, Purpose::kCrash),
+        params.process.crash_every, params.process.crash_down));
+  }
+  return receiver;
 }
 
 }  // namespace bcast::fault

@@ -20,11 +20,13 @@
 #define BCAST_FAULT_RECOVERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "broadcast/types.h"
 #include "fault/fault_model.h"
 #include "fault/fault_params.h"
+#include "fault/process_faults.h"
 #include "obs/histogram.h"
 
 namespace bcast::obs {
@@ -108,6 +110,20 @@ struct FaultStats {
   /// the misses delayed by loss, as opposed to plain cold misses.
   uint64_t loss_delayed_fetches = 0;
 
+  /// Crash–restart episodes applied (volatile state wiped).
+  uint64_t crashes = 0;
+
+  /// Wanted arrivals that fell into a crash downtime window.
+  uint64_t crash_missed_arrivals = 0;
+
+  /// Wanted arrivals that fell into a server stall window.
+  uint64_t stall_missed_arrivals = 0;
+
+  /// Schedule-version bumps the server applied mid-run. Set by the
+  /// simulator wiring (a per-run fact, not a per-receiver one); a merged
+  /// population carries the run's count, not a per-client sum.
+  uint64_t version_bumps = 0;
+
   /// Extra broadcast cycles waited per fetch versus the ideal lossless,
   /// always-awake receiver.
   obs::LogHistogram extra_cycles;
@@ -166,9 +182,26 @@ class Receiver {
     return doze_.AwakeDuring(from, to);
   }
 
+  /// True when the client can receive the whole slot [\p from, \p to]:
+  /// awake (dozing is waived while panic listening is armed — see
+  /// `panic_`), not crashed, and the server is not stalled. Collapses to
+  /// `AwakeDuring` when no process faults are attached (bit-identical
+  /// fast path). Non-const: window schedules extend lazily.
+  bool AudibleDuring(double from, double to);
+
+  /// The wanted arrival starting at \p arrival_start was inaudible;
+  /// dispatches on the cause (crash > stall > doze) and returns the
+  /// earliest time to resume listening. Equals `NoteDozeMiss` when no
+  /// process faults are attached.
+  double NoteMissedArrival(double arrival_start);
+
   /// The wanted arrival starting at \p arrival_start fell into a doze
   /// window; returns the earliest time to resume listening.
   double NoteDozeMiss(double arrival_start);
+
+  /// The (possibly jittered) completion time of the transmission with
+  /// nominal completion \p end; equal to \p end without a server plane.
+  double DeliveryEnd(double end) const;
 
   /// The transmission of \p page ending at \p end was heard in full;
   /// draws the fault outcome, verifies the checksum, and accounts.
@@ -206,11 +239,53 @@ class Receiver {
     timeline_track_ = track;
   }
 
+  /// \name Process-fault plane (src/fault/process_faults).
+  /// @{
+
+  /// Installs this client's crash schedule (owned). Without one every
+  /// crash query is a no-op.
+  void EnableCrashes(std::unique_ptr<FaultWindows> windows) {
+    crash_ = std::move(windows);
+  }
+
+  /// Called once per applied crash, after timers are reset: wiring hooks
+  /// the pull client's volatile state and (cold restarts) the cache here.
+  void SetCrashHook(std::function<void()> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  /// Attaches the run's shared server fault plane (unowned; may be null).
+  void AttachServerFaults(ServerFaultPlane* plane) { server_faults_ = plane; }
+
+  /// Applies any crash whose window has opened by \p now and returns the
+  /// earliest instant >= \p now the client is up (== \p now when no crash
+  /// is in progress). Called by the client loop between requests; crashes
+  /// mid-wait are applied by `NoteMissedArrival` instead.
+  double CrashResume(double now);
+  /// @}
+
  private:
+  /// The wanted arrival starting at \p arrival_start fell into a crash
+  /// downtime window: apply the crash, wipe volatile timers, and resume
+  /// at the restart instant.
+  double NoteCrashMiss(double arrival_start);
+
+  /// The wanted arrival starting at \p arrival_start fell into a server
+  /// stall window: keep listening (radio stays on) and let the deadline
+  /// machinery register the staleness.
+  double NoteStallMiss(double arrival_start);
+
+  /// Applies every crash with start <= \p t exactly once (the awaiter
+  /// path and the client-loop poll share the applied counter).
+  void ApplyCrashesUpTo(double t);
   std::unique_ptr<FaultModel> model_;
   PageLossSink* loss_sink_ = nullptr;
   obs::TimelineWriter* timeline_ = nullptr;
   uint32_t timeline_track_ = 0;
+  std::unique_ptr<FaultWindows> crash_;
+  ServerFaultPlane* server_faults_ = nullptr;
+  std::function<void()> crash_hook_;
+  uint64_t applied_crashes_ = 0;
   DozeSchedule doze_;
   BackoffPolicy backoff_;
   uint64_t deadline_arrivals_;
@@ -230,6 +305,15 @@ class Receiver {
   // Pending resynchronization: set on the first doze miss of an episode,
   // cleared (and measured) by the next intact reception.
   double resync_since_ = -1.0;
+
+  // Panic listening: armed by a deadline expiry while dozing is enabled,
+  // cleared at the next BeginWait (and, with the rest of the volatile
+  // recovery state, by a crash restart). While armed the client forgoes
+  // dozing for the remainder of the wait. Without it a strictly periodic
+  // duty cycle commensurate with the (possibly re-anchored) program
+  // period can starve a page forever: every one of its arrivals lands in
+  // a doze window, and no amount of backoff changes the phase.
+  bool panic_ = false;
 };
 
 /// \brief Builds the complete receiver for \p client_id from \p params

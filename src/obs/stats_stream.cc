@@ -162,10 +162,14 @@ Result<StatsSummary> SummarizeStatsStream(std::istream& in) {
   StatsSample last;  // latest valid sample of the current segment
   std::string line;
   while (std::getline(in, line)) {
+    // The writer terminates every record with '\n', so a final line
+    // without one is a torn in-progress write (the stream may be read
+    // while the producer is live), not corruption.
+    const bool torn_tail = in.eof();
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     Result<StatsSample> sample = ParseStatsLine(line);
     if (!sample.ok()) {
-      ++summary.invalid_lines;
+      if (!torn_tail) ++summary.invalid_lines;
       continue;
     }
     ++summary.samples;

@@ -80,4 +80,12 @@ void PullClient::OnFetchDone(PageId page, double now, double wait,
   }
 }
 
+void PullClient::OnCrash() {
+  outstanding_ = false;
+  if (timeout_armed_) {
+    sim_->CancelEvent(timeout_event_);
+    timeout_armed_ = false;
+  }
+}
+
 }  // namespace bcast::pull

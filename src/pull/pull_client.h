@@ -56,6 +56,13 @@ class PullClient {
   /// True while a request is outstanding (for tests).
   bool outstanding() const { return outstanding_; }
 
+  /// The client crashed: its outstanding request (if any) is forgotten
+  /// and the pending re-request timeout is cancelled. The request the
+  /// server may still hold is orphaned — it was accounted at submission,
+  /// so the uplink books (requests + re_requests == accepted + dropped)
+  /// stay balanced, and its eventual service simply finds no waiter.
+  void OnCrash();
+
  private:
   // One uplink send: admission, loss draw, enqueue.
   void SubmitOnce(PageId page, double now, bool re_request);

@@ -1,0 +1,111 @@
+// The chaos harness itself: scenario generation is a pure function of
+// (seed, axes), disabling one axis never reshuffles another, scenarios
+// run clean, the disabled-axes two-backend identity holds, and — the
+// mutation check — a deliberately injected accounting bug is caught by
+// an invariant (proving the net has no holes where it claims coverage).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/chaos.h"
+
+namespace bcast::chaos {
+namespace {
+
+TEST(ChaosGeneratorTest, DeterministicInSeedAndAxes) {
+  const ChaosScenario a = GenerateScenario(77, ChaosAxes::All());
+  const ChaosScenario b = GenerateScenario(77, ChaosAxes::All());
+  EXPECT_EQ(a.params.ToString(), b.params.ToString());
+  EXPECT_EQ(a.horizon, b.horizon);
+  const ChaosScenario c = GenerateScenario(78, ChaosAxes::All());
+  EXPECT_NE(a.params.ToString(), c.params.ToString());
+}
+
+TEST(ChaosGeneratorTest, DisablingOneAxisNeverReshufflesOthers) {
+  // The shrinker depends on this: turning the crash axis off must leave
+  // every other axis's drawn values bit-identical.
+  ChaosAxes no_crash = ChaosAxes::All();
+  no_crash.crash = false;
+  const ChaosScenario all = GenerateScenario(5, ChaosAxes::All());
+  const ChaosScenario less = GenerateScenario(5, no_crash);
+  EXPECT_EQ(less.params.fault.process.crash_every, 0.0);
+  EXPECT_EQ(all.params.fault.loss, less.params.fault.loss);
+  EXPECT_EQ(all.params.fault.doze_for, less.params.fault.doze_for);
+  EXPECT_EQ(all.params.fault.process.stall_every,
+            less.params.fault.process.stall_every);
+  EXPECT_EQ(all.params.fault.process.slot_jitter,
+            less.params.fault.process.slot_jitter);
+  EXPECT_EQ(all.params.fault.process.version_every,
+            less.params.fault.process.version_every);
+  EXPECT_EQ(all.params.pull.threshold, less.params.pull.threshold);
+  EXPECT_EQ(all.params.cache_size, less.params.cache_size);
+  EXPECT_EQ(all.params.seed, less.params.seed);
+}
+
+TEST(ChaosGeneratorTest, AxesToStringAndEmpty) {
+  EXPECT_EQ(ChaosAxes::None().ToString(), "none");
+  EXPECT_TRUE(ChaosAxes::None().Empty());
+  EXPECT_FALSE(ChaosAxes::All().Empty());
+  ChaosAxes only_crash = ChaosAxes::None();
+  only_crash.crash = true;
+  EXPECT_EQ(only_crash.ToString(), "crash");
+}
+
+TEST(ChaosRunTest, FirstSeedsRunClean) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const ChaosScenario scenario = GenerateScenario(seed, ChaosAxes::All());
+    const ChaosOutcome outcome = RunScenario(scenario);
+    EXPECT_TRUE(outcome.ok()) << "seed " << seed << ": "
+                              << (outcome.violations.empty()
+                                      ? ""
+                                      : outcome.violations[0].detail);
+    EXPECT_TRUE(outcome.completed);
+  }
+}
+
+TEST(ChaosRunTest, AxislessScenarioRunsClean) {
+  const ChaosScenario scenario = GenerateScenario(3, ChaosAxes::None());
+  EXPECT_FALSE(scenario.params.fault.process.Active());
+  const ChaosOutcome outcome = RunScenario(scenario);
+  EXPECT_TRUE(outcome.ok());
+}
+
+TEST(ChaosRunTest, MutationCheckCatchesInjectedAccountingBug) {
+  // The acceptance gate: an off-by-one planted in the request books must
+  // trip an invariant. If this test ever passes with outcome.ok(), the
+  // net has a hole exactly where it claims coverage.
+  const ChaosScenario scenario = GenerateScenario(0, ChaosAxes::All());
+  const ChaosOutcome outcome =
+      RunScenario(scenario, [](obs::RunReport* report) { ++report->requests; });
+  ASSERT_FALSE(outcome.ok());
+  bool caught = false;
+  for (const ChaosViolation& v : outcome.violations) {
+    if (v.invariant == "measured_count") caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ChaosRunTest, DisabledIdentityHoldsOnSampledSeeds) {
+  for (uint64_t seed : {0ull, 9ull, 23ull}) {
+    const ChaosScenario scenario = GenerateScenario(seed, ChaosAxes::All());
+    const auto violation = CheckDisabledIdentity(scenario);
+    EXPECT_FALSE(violation.has_value())
+        << "seed " << seed << ": " << violation->detail;
+  }
+}
+
+TEST(ChaosMinimizeTest, PassingSeedMinimizesToItself) {
+  // MinimizeAxes only removes an axis when the scenario still fails
+  // without it; a passing scenario must come back untouched.
+  const ChaosAxes minimal = MinimizeAxes(0, ChaosAxes::All());
+  EXPECT_EQ(minimal.ToString(), ChaosAxes::All().ToString());
+}
+
+TEST(ChaosReproTest, CommandNamesTheSeed) {
+  EXPECT_NE(ReproCommand(42).find("--chaos_seed 42"), std::string::npos);
+  EXPECT_NE(ReproCommand(42).find("bcastchaos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcast::chaos

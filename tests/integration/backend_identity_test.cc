@@ -87,6 +87,25 @@ std::vector<std::pair<std::string, SimParams>> GoldenConfigs() {
     params.adapt.epoch_cycles = 4;
     configs.emplace_back("single_adapt_d5", params);
   }
+  {
+    SimParams params;
+    params.access_range = 5000;
+    params.fault.loss = 0.1;
+    params.pull.pull_slots = 2;
+    params.pull.threshold = 100.0;
+    params.fault.process.crash_every = 1000000.0;
+    params.fault.process.crash_down = 200.0;
+    params.fault.process.crash_cold = true;
+    configs.emplace_back("single_crash_d5", params);
+  }
+  {
+    SimParams params;
+    params.access_range = 5000;
+    params.fault.loss = 0.1;
+    params.pull.pull_slots = 2;
+    params.pull.threshold = 100.0;
+    configs.emplace_back("single_crashoff_d5", params);
+  }
   for (auto& [name, params] : configs) {
     params.measured_requests = kRequests;
     params.seed = kSeed;

@@ -147,6 +147,51 @@ TEST(StatsStreamTest, SummaryErrorsOnlyWithNoValidSample) {
   EXPECT_FALSE(SummarizeStatsStream(empty).ok());
   std::istringstream junk("nope\nstill nope\n");
   EXPECT_FALSE(SummarizeStatsStream(junk).ok());
+  std::istringstream blank("\n   \n\t\r\n");
+  EXPECT_FALSE(SummarizeStatsStream(blank).ok());
+}
+
+TEST(StatsStreamTest, SummaryIgnoresTornTrailingLine) {
+  // The writer ends every record with '\n'; a final line without one is
+  // an in-progress write (the stream is read live), not corruption — it
+  // must be skipped without inflating invalid_lines.
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  std::string stream = out.str();
+  stream += "{\"t\": 200.0, \"events\": 77, \"requ";  // torn mid-write
+
+  std::istringstream in(stream);
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->samples, 1u);
+  EXPECT_EQ(summary->invalid_lines, 0u);
+  EXPECT_EQ(summary->requests, 10u);
+}
+
+TEST(StatsStreamTest, SummaryAcceptsCompleteUnterminatedTail) {
+  // A complete record whose trailing newline never made it (a truncated
+  // copy) still parses — only unparseable torn tails are dropped.
+  std::ostringstream out;
+  StatsWriter writer(&out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  writer.Write(MakeSample(200.0, 20, 6.0));
+  std::string stream = out.str();
+  ASSERT_EQ(stream.back(), '\n');
+  stream.pop_back();
+
+  std::istringstream in(stream);
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->samples, 2u);
+  EXPECT_EQ(summary->invalid_lines, 0u);
+  EXPECT_EQ(summary->requests, 20u);
+}
+
+TEST(StatsStreamTest, TornOnlyStreamErrorsCleanly) {
+  std::istringstream in("{\"t\": 1.0, \"ev");
+  Result<StatsSummary> summary = SummarizeStatsStream(in);
+  EXPECT_FALSE(summary.ok());
 }
 
 TEST(StatsStreamTest, ReaderSurvivesFuzzedLines) {
@@ -186,6 +231,47 @@ TEST(StatsStreamTest, ReaderSurvivesFuzzedLines) {
     }
     Result<StatsSample> parsed = ParseStatsLine(line);  // must not crash
     (void)parsed;
+  }
+}
+
+TEST(StatsStreamTest, SummarizerSurvivesFuzzedStreams) {
+  // Whole-stream fuzz: random compositions of valid lines, garbage,
+  // blank lines, and a randomly truncated tail. The summarizer must
+  // never crash, and when at least one intact line precedes the damage
+  // it must still produce a summary counting exactly those lines.
+  std::ostringstream valid_out;
+  StatsWriter writer(&valid_out);
+  writer.Write(MakeSample(100.0, 10, 5.0));
+  const std::string valid = valid_out.str();  // newline-terminated
+
+  Rng rng(877);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string stream;
+    uint64_t intact = 0;
+    const uint64_t lines = rng.NextBounded(6);
+    for (uint64_t i = 0; i < lines; ++i) {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          stream += valid;
+          ++intact;
+          break;
+        case 1:
+          stream += "garbage\n";
+          break;
+        default:
+          stream += "\n";
+          break;
+      }
+    }
+    if (rng.NextBernoulli(0.7)) {  // torn tail, cut at a random byte
+      stream += valid.substr(0, rng.NextBounded(valid.size()));
+    }
+    std::istringstream in(stream);
+    Result<StatsSummary> summary = SummarizeStatsStream(in);
+    if (intact > 0) {
+      ASSERT_TRUE(summary.ok()) << "iter " << iter;
+      EXPECT_GE(summary->samples, intact) << "iter " << iter;
+    }
   }
 }
 

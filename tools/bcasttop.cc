@@ -197,29 +197,50 @@ int Run(int argc, const char* const* argv) {
     return 0;
   }
 
-  // Dashboard: consume the stream line by line; --follow clears the
-  // stream state at EOF and polls for more (the producer flushes whole
-  // lines, so a torn tail line is at worst counted invalid once).
+  // Dashboard: consume the stream line by line. --follow clears the
+  // stream state at EOF and polls for more. The producer terminates
+  // every record with '\n', so a final line without one is a torn
+  // in-progress write: its bytes are stashed and glued to the remainder
+  // on a later poll, never parsed (and miscounted) as two fragments.
   Dashboard dash;
   std::string line;
+  std::string stash;  // bytes of an unterminated (torn) tail line
   bool done = false;
+  auto feed_line = [&dash](const std::string& l) {
+    if (l.find_first_not_of(" \t\r") == std::string::npos) return false;
+    Result<obs::StatsSample> sample = obs::ParseStatsLine(l);
+    if (!sample.ok()) {
+      ++dash.invalid_lines;
+      return false;
+    }
+    dash.Feed(*sample);
+    return true;
+  };
   while (!done) {
     bool progressed = false;
     while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      Result<obs::StatsSample> sample = obs::ParseStatsLine(line);
-      if (!sample.ok()) {
-        ++dash.invalid_lines;
-        continue;
+      if (in.eof()) {
+        stash += line;
+        break;
       }
-      dash.Feed(*sample);
-      progressed = true;
+      if (!stash.empty()) {
+        line.insert(0, stash);
+        stash.clear();
+      }
+      progressed = feed_line(line) || progressed;
     }
     if (follow && progressed && dash.samples > 0) {
       std::cout << "\x1b[H\x1b[2J";  // cursor home + clear screen
       dash.Render(std::cout);
     }
     if (!follow || from_stdin || dash.last.final_sample) {
+      // End of input for good: a parseable unterminated tail is a
+      // complete record whose newline never made it (truncated copy);
+      // an unparseable one is a torn write, skipped without penalty.
+      if (!stash.empty()) {
+        Result<obs::StatsSample> tail = obs::ParseStatsLine(stash);
+        if (tail.ok()) dash.Feed(*tail);
+      }
       done = true;
     } else {
       in.clear();  // rewind the EOF bit and poll for appended lines
