@@ -62,6 +62,7 @@ void Controller::Start() {
   stats_.initial_slots = slots_;
   stats_.final_slots = slots_;
   const double first = static_cast<double>(params_.epoch_cycles) * period_;
+  next_tick_ = first;
   sim_->ScheduleAt(
       first, [this, first] { Tick(first); }, des::EventKind::kController);
 }
@@ -69,7 +70,9 @@ void Controller::Start() {
 void Controller::Tick(double now) {
   // All clients done: let the event queue drain instead of ticking
   // forever.
-  if (sim_->live_processes() == 0) return;
+  const bool live = hooks_.liveness ? hooks_.liveness()
+                                    : sim_->live_processes() > 0;
+  if (!live) return;
   ++stats_.epochs;
   bool rebuild = false;
 
@@ -127,6 +130,7 @@ void Controller::Tick(double now) {
 
   const double next =
       now + static_cast<double>(params_.epoch_cycles) * period_;
+  next_tick_ = next;
   sim_->ScheduleAt(
       next, [this, next] { Tick(next); }, des::EventKind::kController);
 }
@@ -142,7 +146,10 @@ void Controller::Rebuild(double now) {
     programs_.push_back(
         std::make_unique<BroadcastProgram>(std::move(*remapped)));
     hooks_.channel->SetProgram(programs_.back().get(), now);
-    hooks_.pull->SetLayout(std::move(hybrid->layout), now);
+    hooks_.pull->SetLayout(hybrid->layout, now);
+    if (hooks_.on_switch) {
+      hooks_.on_switch(programs_.back().get(), &hooks_.pull->layout(), now);
+    }
   } else {
     Result<BroadcastProgram> seats = GenerateMultiDiskProgram(layout_);
     BCAST_CHECK(seats.ok()) << seats.status().ToString();
@@ -151,6 +158,9 @@ void Controller::Rebuild(double now) {
     programs_.push_back(
         std::make_unique<BroadcastProgram>(std::move(*remapped)));
     hooks_.channel->SetProgram(programs_.back().get(), now);
+    if (hooks_.on_switch) {
+      hooks_.on_switch(programs_.back().get(), nullptr, now);
+    }
   }
   period_ = static_cast<double>(programs_.back()->period());
 }

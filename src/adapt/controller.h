@@ -31,6 +31,7 @@
 #define BCAST_ADAPT_CONTROLLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,19 @@ class Controller {
     BroadcastChannel* channel = nullptr;  ///< required
     pull::PullServer* pull = nullptr;     ///< null: push-only adaptation
     LossMonitor* loss = nullptr;          ///< null: no frequency repair
+    /// Whether any client process is still running. Unset, the
+    /// controller asks its own simulation (`live_processes() > 0`) —
+    /// the single-sim behavior. The population engine, whose clients
+    /// live in other simulations, supplies the population-wide answer.
+    std::function<bool()> liveness;
+    /// Observes every program switch, after the channel (and pull
+    /// server) attached to this controller have been moved onto it:
+    /// (new program, new hybrid layout or null on push-only runs,
+    /// switch time). The population engine uses it to propagate the
+    /// switch into every shard's channel replica at the epoch barrier.
+    std::function<void(const BroadcastProgram*, const pull::HybridLayout*,
+                       double)>
+        on_switch;
   };
 
   /// \p layout is the disk geometry the programs are generated from;
@@ -97,6 +111,10 @@ class Controller {
 
   /// Current pull-slot count (the initial count on push-only runs).
   uint64_t current_slots() const { return slots_; }
+
+  /// Simulated time of the next scheduled epoch boundary (valid after
+  /// `Start()`); the population engine aligns a barrier round on it.
+  double next_tick_time() const { return next_tick_; }
 
   /// The seat permutation accumulated so far (for tests).
   const PromotionMap& promotions() const { return perm_; }
@@ -116,6 +134,7 @@ class Controller {
   std::vector<std::unique_ptr<BroadcastProgram>> programs_;
   uint64_t slots_;
   double period_ = 0.0;  // period of the program currently on the air
+  double next_tick_ = 0.0;  // when the next epoch boundary fires
   AdaptStats stats_;
 };
 

@@ -11,10 +11,12 @@
 #ifndef BCAST_ADAPT_LOSS_MONITOR_H_
 #define BCAST_ADAPT_LOSS_MONITOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "broadcast/types.h"
+#include "common/logging.h"
 #include "fault/recovery.h"
 
 namespace bcast::adapt {
@@ -40,6 +42,21 @@ class LossMonitor : public fault::PageLossSink {
 
   /// Failed attempts in the current window (for tests).
   uint64_t window_total() const { return window_total_; }
+
+  /// Folds \p other's window into this one and resets \p other. The
+  /// population engine gives each shard a private monitor (receivers
+  /// report without synchronization) and absorbs them, in shard order,
+  /// into the controller's monitor at every epoch barrier; pure integer
+  /// addition, so the aggregate is exactly the shared-monitor count.
+  void Absorb(LossMonitor& other) {
+    BCAST_CHECK_EQ(counts_.size(), other.counts_.size());
+    for (size_t p = 0; p < counts_.size(); ++p) {
+      counts_[p] += other.counts_[p];
+    }
+    window_total_ += other.window_total_;
+    std::fill(other.counts_.begin(), other.counts_.end(), 0);
+    other.window_total_ = 0;
+  }
 
  private:
   std::vector<uint64_t> counts_;

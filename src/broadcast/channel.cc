@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "pull/pull_server.h"
+// pull interaction goes through pull::WaiterRegistry (pull/pull_sink.h).
 
 namespace bcast {
 

@@ -38,10 +38,6 @@
 
 namespace bcast {
 
-namespace pull {
-class PullServer;
-}  // namespace pull
-
 /// \brief A shared broadcast medium carrying one `BroadcastProgram`.
 ///
 /// Any number of client processes may wait on the channel concurrently;
@@ -55,9 +51,11 @@ class BroadcastChannel {
   /// The program on the air.
   const BroadcastProgram& program() const { return *program_; }
 
-  /// Attaches the hybrid pull server (unowned; must outlive the
-  /// channel). Waits started afterwards race push against pull.
-  void AttachPullServer(pull::PullServer* server) { pull_ = server; }
+  /// Attaches the hybrid pull provider's waiter table (unowned; must
+  /// outlive the channel). Waits started afterwards race push against
+  /// pull. Single-threaded paths pass the `PullServer` itself; the
+  /// population engine passes its shard-local pull hub.
+  void AttachPullServer(pull::WaiterRegistry* registry) { pull_ = registry; }
 
   /// Start time of the next transmission of \p p at or after now.
   double NextArrivalStart(PageId p) const {
@@ -169,7 +167,7 @@ class BroadcastChannel {
   des::Simulation* sim_;
   const BroadcastProgram* program_;
   double origin_ = 0.0;  // simulated time the current program's cycle began
-  pull::PullServer* pull_ = nullptr;
+  pull::WaiterRegistry* pull_ = nullptr;
   bool resync_enabled_ = false;
   std::vector<PageAwaiter*> active_;  // in-flight waits, resync mode only
   std::vector<uint64_t> served_per_disk_;

@@ -8,8 +8,11 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/multi_client.h"
 #include "core/simulator.h"
 #include "des/pending_event_set.h"
+#include "pop/engine.h"
+#include "pop/pop_params.h"
 
 namespace bcast::chaos {
 namespace {
@@ -21,6 +24,7 @@ constexpr uint64_t kWorkloadStream = 2;
 constexpr uint64_t kChannelStream = 3;
 constexpr uint64_t kProcessStream = 4;
 constexpr uint64_t kPullStream = 5;
+constexpr uint64_t kPopStream = 6;
 
 double Uniform(Rng* rng, double lo, double hi) {
   return lo + rng->NextDouble() * (hi - lo);
@@ -58,13 +62,13 @@ std::string DeterministicBytes(obs::RunReport report) {
 ChaosAxes ChaosAxes::None() {
   ChaosAxes axes;
   axes.loss = axes.corrupt = axes.doze = axes.crash = axes.stall =
-      axes.jitter = axes.version = axes.pull = false;
+      axes.jitter = axes.version = axes.pull = axes.pop = false;
   return axes;
 }
 
 bool ChaosAxes::Empty() const {
   return !loss && !corrupt && !doze && !crash && !stall && !jitter &&
-         !version && !pull;
+         !version && !pull && !pop;
 }
 
 std::string ChaosAxes::ToString() const {
@@ -82,6 +86,7 @@ std::string ChaosAxes::ToString() const {
   append(jitter, "jitter");
   append(version, "version");
   append(pull, "pull");
+  append(pop, "pop");
   return s.empty() ? "none" : s;
 }
 
@@ -213,6 +218,20 @@ ChaosScenario GenerateScenario(uint64_t chaos_seed, const ChaosAxes& axes) {
     }
   }
 
+  // --- Population axis: a small sharded population instead of the
+  // single client, through the population engine at a drawn shard
+  // count. Scenarios stay cheap (2-5 clients); the point is the fault
+  // axes composing with barrier rounds, not scale.
+  {
+    Rng rng = root.Split(kPopStream);
+    const uint64_t clients = 2 + rng.NextBounded(4);
+    const uint64_t shards = 1 + rng.NextBounded(3);
+    if (axes.pop) {
+      scenario.clients = clients;
+      scenario.shards = std::min(shards, clients);
+    }
+  }
+
   // A generous liveness budget: worst-case wait (a full major cycle,
   // stalls, crash downtime, think time) per request across both phases,
   // plus fixed slack. The horizon only costs anything when something
@@ -223,32 +242,106 @@ ChaosScenario GenerateScenario(uint64_t chaos_seed, const ChaosAxes& axes) {
   return scenario;
 }
 
-ChaosOutcome RunScenario(const ChaosScenario& scenario,
-                         const ReportMutator& mutate) {
-  ChaosOutcome outcome;
+namespace {
+
+// Expands the scenario's single-client draw into a population: every
+// client shares the drawn workload shape with its interest shifted
+// around the database, exactly as bcastsim --mode=population does.
+MultiClientParams PopulationParams(const ChaosScenario& scenario) {
+  const SimParams& base = scenario.params;
+  MultiClientParams params;
+  params.disk_sizes = base.disk_sizes;
+  params.delta = base.delta;
+  params.rel_freqs = base.rel_freqs;
+  params.program_kind = base.program_kind;
+  params.measured_requests = base.measured_requests;
+  params.max_warmup_requests = base.max_warmup_requests;
+  params.seed = base.seed;
+  const uint64_t db = params.ServerDbSize();
+  for (uint64_t c = 0; c < scenario.clients; ++c) {
+    ClientSpec spec;
+    spec.access_range = base.access_range;
+    spec.theta = base.theta;
+    spec.region_size = base.region_size;
+    spec.cache_size = base.cache_size;
+    spec.policy = base.policy;
+    spec.offset = base.offset;
+    spec.noise_percent = base.noise_percent;
+    spec.think_time = base.think_time;
+    spec.interest_shift = db * c / scenario.clients;
+    params.clients.push_back(spec);
+  }
+  params.fault = base.fault;
+  params.pull = base.pull;
+  params.adapt = base.adapt;
+  params.des_queue = base.des_queue;
+  return params;
+}
+
+// Runs a population scenario through the engine at \p shards and
+// renders its report (no pop extras: identity comparisons need bytes
+// that do not mention the execution layout).
+Result<obs::RunReport> RunPopulationScenario(const ChaosScenario& scenario,
+                                             uint64_t shards,
+                                             obs::TimelineWriter* timeline) {
+  const MultiClientParams params = PopulationParams(scenario);
+  pop::PopParams pp;
+  pp.clients = scenario.clients;
+  pp.shards = shards;
+  pp.force_engine = true;
   SimObservers observers;
   observers.horizon = scenario.horizon;
-  Result<SimResult> result = RunSimulation(scenario.params, observers);
-  if (!result.ok()) {
-    outcome.violations.push_back(
-        {"no_hang", result.status().ToString()});
-    return outcome;
+  observers.timeline = timeline;
+  Result<MultiClientResult> result =
+      pop::RunPopulationSimulation(params, pp, observers);
+  if (!result.ok()) return result.status();
+  return MakePopulationRunReport(params, *result,
+                                 scenario.params.ToString(), "bcastchaos");
+}
+
+}  // namespace
+
+ChaosOutcome RunScenario(const ChaosScenario& scenario,
+                         const ReportMutator& mutate,
+                         obs::TimelineWriter* timeline) {
+  ChaosOutcome outcome;
+  if (scenario.clients > 1) {
+    Result<obs::RunReport> report =
+        RunPopulationScenario(scenario, scenario.shards, timeline);
+    if (!report.ok()) {
+      outcome.violations.push_back(
+          {"no_hang", report.status().ToString()});
+      return outcome;
+    }
+    outcome.completed = true;
+    outcome.report = std::move(*report);
+  } else {
+    SimObservers observers;
+    observers.horizon = scenario.horizon;
+    observers.timeline = timeline;
+    Result<SimResult> result = RunSimulation(scenario.params, observers);
+    if (!result.ok()) {
+      outcome.violations.push_back(
+          {"no_hang", result.status().ToString()});
+      return outcome;
+    }
+    outcome.completed = true;
+    outcome.report =
+        MakeRunReport(scenario.params, *result, "bcastchaos");
   }
-  outcome.completed = true;
-  outcome.report =
-      MakeRunReport(scenario.params, *result, "bcastchaos");
   if (mutate) mutate(&outcome.report);
   const obs::RunReport& report = outcome.report;
 
   // Response-time books: exactly the configured number of measured
-  // requests, each counted once, crash or no crash.
-  if (report.requests != scenario.params.measured_requests) {
+  // requests — per client, each counted once, crash or no crash.
+  const uint64_t expected_requests =
+      scenario.params.measured_requests * scenario.clients;
+  if (report.requests != expected_requests) {
     outcome.violations.push_back(
         {"measured_count",
          StrFormat("report counts %llu measured requests, configured %llu",
                    static_cast<unsigned long long>(report.requests),
-                   static_cast<unsigned long long>(
-                       scenario.params.measured_requests))});
+                   static_cast<unsigned long long>(expected_requests))});
   }
 
   // Structural report invariants (percentiles, request accounting, and —
@@ -326,6 +419,32 @@ std::optional<ChaosViolation> CheckDisabledIdentity(
   return std::nullopt;
 }
 
+std::optional<ChaosViolation> CheckShardIdentity(
+    const ChaosScenario& scenario) {
+  if (scenario.clients <= 1) return std::nullopt;
+  std::string bytes[2];
+  const uint64_t shard_counts[2] = {scenario.shards, 1};
+  for (int i = 0; i < 2; ++i) {
+    Result<obs::RunReport> report =
+        RunPopulationScenario(scenario, shard_counts[i], nullptr);
+    if (!report.ok()) {
+      return ChaosViolation{
+          "shard_identity",
+          StrFormat("population run failed at shards=%llu: %s",
+                    static_cast<unsigned long long>(shard_counts[i]),
+                    report.status().ToString().c_str())};
+    }
+    bytes[i] = DeterministicBytes(std::move(*report));
+  }
+  if (bytes[0] != bytes[1]) {
+    return ChaosViolation{
+        "shard_identity",
+        StrFormat("reports differ between shards=%llu and shards=1",
+                  static_cast<unsigned long long>(scenario.shards))};
+  }
+  return std::nullopt;
+}
+
 ChaosAxes MinimizeAxes(uint64_t chaos_seed, const ChaosAxes& axes) {
   auto fails = [chaos_seed](const ChaosAxes& candidate) {
     return !RunScenario(GenerateScenario(chaos_seed, candidate)).ok();
@@ -336,7 +455,7 @@ ChaosAxes MinimizeAxes(uint64_t chaos_seed, const ChaosAxes& axes) {
     shrunk = false;
     bool* members[] = {&current.loss,  &current.corrupt, &current.doze,
                        &current.crash, &current.stall,   &current.jitter,
-                       &current.version, &current.pull};
+                       &current.version, &current.pull, &current.pop};
     for (bool* axis : members) {
       if (!*axis) continue;
       *axis = false;

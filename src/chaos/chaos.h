@@ -28,6 +28,7 @@
 
 #include "core/params.h"
 #include "obs/run_report.h"
+#include "obs/timeline.h"
 
 namespace bcast::chaos {
 
@@ -44,6 +45,7 @@ struct ChaosAxes {
   bool jitter = true;   ///< slot-boundary delivery jitter
   bool version = true;  ///< schedule-version bumps mid-run
   bool pull = true;     ///< hybrid pull machinery (books under crashes)
+  bool pop = true;      ///< sharded population engine (clients > 1)
 
   /// Every axis on (the default fleet configuration).
   static ChaosAxes All() { return ChaosAxes{}; }
@@ -63,6 +65,13 @@ struct ChaosScenario {
   uint64_t chaos_seed = 0;
   ChaosAxes axes;
   SimParams params;
+
+  /// Population shape (the `pop` axis): with `clients > 1` the scenario
+  /// runs through the sharded population engine at this shard count
+  /// instead of the single-client simulator. Both stay 1 when the axis
+  /// is disabled.
+  uint64_t clients = 1;
+  uint64_t shards = 1;
 
   /// Simulated-time budget; a run that cannot finish by here violates
   /// the no-hang invariant.
@@ -100,9 +109,12 @@ struct ChaosOutcome {
 using ReportMutator = std::function<void(obs::RunReport*)>;
 
 /// \brief Runs \p scenario to completion under its horizon and checks
-/// every global invariant against the resulting report.
+/// every global invariant against the resulting report. \p timeline,
+/// when given, is attached to the run (artifact re-runs of failing
+/// seeds; population scenarios emit per-shard tracks).
 ChaosOutcome RunScenario(const ChaosScenario& scenario,
-                         const ReportMutator& mutate = nullptr);
+                         const ReportMutator& mutate = nullptr,
+                         obs::TimelineWriter* timeline = nullptr);
 
 /// \brief The disabled-axes bit-identity check: the scenario with every
 /// *process* axis (crash/stall/jitter/version) stripped must produce a
@@ -110,6 +122,14 @@ ChaosOutcome RunScenario(const ChaosScenario& scenario,
 /// machinery is inert when off and the backends still agree. Returns the
 /// violation when the serialized reports differ.
 std::optional<ChaosViolation> CheckDisabledIdentity(
+    const ChaosScenario& scenario);
+
+/// \brief The shard-count bit-identity check for population scenarios:
+/// the scenario re-run single-sharded (K = 1, engine forced) must
+/// produce a byte-identical report to the drawn shard count — the
+/// engine's K-invariance contract exercised under full fault
+/// composition. Returns std::nullopt for single-client scenarios.
+std::optional<ChaosViolation> CheckShardIdentity(
     const ChaosScenario& scenario);
 
 /// \brief Greedy scenario shrinking: starting from \p axes (which must

@@ -564,13 +564,14 @@ AdaptSweepPoint AdaptSweepPointFromReport(const obs::RunReport& report) {
   point.slot_shrinks = ExtraOr(report, "adapt_slot_shrinks", 0.0);
   point.min_slots = ExtraOr(report, "adapt_min_slots", 0.0);
   point.max_slots = ExtraOr(report, "adapt_max_slots", 0.0);
+  point.initial_slots = ExtraOr(report, "adapt_initial_slots", 0.0);
   point.final_slots = ExtraOr(report, "adapt_final_slots", 0.0);
   point.slot_range_late = ExtraOr(report, "adapt_slot_range_late", 0.0);
   return point;
 }
 
 CheckList CheckAdaptImprovement(std::vector<AdaptSweepPoint> points,
-                                double slack) {
+                                double slack, bool require_grow) {
   CheckList list;
   list.Add("adapt_sweep.nonempty", !points.empty(),
            "the comparison needs at least one point");
@@ -664,6 +665,23 @@ CheckList CheckAdaptImprovement(std::vector<AdaptSweepPoint> points,
           << " (controller still hunting)";
       converge_detail = out.str();
     }
+  }
+  if (require_grow) {
+    // The backlog gate: some adaptive point must have moved the split
+    // toward pull and ended above where it started. A sweep whose
+    // controller only held or shrank under a sustained queue is broken
+    // in the direction the scenario was built to exercise.
+    bool grew = false;
+    for (const AdaptSweepPoint& p : points) {
+      if (p.epoch_cycles == 0.0) continue;
+      if (p.slot_grows > 0.0 && p.final_slots > p.initial_slots) {
+        grew = true;
+        break;
+      }
+    }
+    list.Add("adapt_sweep.slot_split_grew", grew,
+             "no adaptive point grew its pull-slot split (slot_grows > 0 "
+             "and final_slots > initial_slots)");
   }
   list.Add("adapt_sweep.controller_ran", controller_ran, ran_detail);
   list.Add("adapt_sweep.cold_latency_improves", cold_improves,

@@ -202,10 +202,11 @@ struct AdaptSweepPoint {
   double slot_grows = 0.0;
   double slot_shrinks = 0.0;
 
-  /// Slot trajectory summary: configured bounds, end state, and the
+  /// Slot trajectory summary: configured bounds, end points, and the
   /// max-minus-min range over the last half of the epoch history.
   double min_slots = 0.0;
   double max_slots = 0.0;
+  double initial_slots = 0.0;
   double final_slots = 0.0;
   double slot_range_late = 0.0;
 };
@@ -223,9 +224,14 @@ AdaptSweepPoint AdaptSweepPointFromReport(const obs::RunReport& report);
 /// response must *strictly* improve on the best static anchor (beyond
 /// `slack` relative margin); and the slot controller must converge —
 /// final slot counts within configured bounds and a late-epoch slot
-/// range of at most one (bounded oscillation).
+/// range of at most one (bounded oscillation). With \p require_grow
+/// the sweep must additionally contain an adaptive point whose slot
+/// split *increased* (`slot_grows > 0` and `final_slots >
+/// initial_slots`) — the gate population backlog scenarios run under:
+/// a sustained pull queue must push the split toward pull.
 CheckList CheckAdaptImprovement(std::vector<AdaptSweepPoint> points,
-                                double slack = 0.0);
+                                double slack = 0.0,
+                                bool require_grow = false);
 
 }  // namespace bcast::check
 

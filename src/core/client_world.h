@@ -1,0 +1,88 @@
+/// \file client_world.h
+/// \brief Shared per-client assembly for population runs.
+///
+/// `RunMultiClientSimulation` (one simulation, one thread) and the
+/// sharded population engine (`src/pop/`) build exactly the same
+/// per-client machinery — mapping, access generator, catalog, cache,
+/// receiver, pull requester, client — from the same (client id,
+/// purpose)-keyed randomness. Keeping the assembly in one place is what
+/// makes the engine's K=1 bit-identity to the legacy path a structural
+/// property instead of a convention: both callers run this code, and
+/// only the injection points below (which simulation, which channel,
+/// how pull requests travel, where cold-wait latencies land) differ.
+
+#ifndef BCAST_CORE_CLIENT_WORLD_H_
+#define BCAST_CORE_CLIENT_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "broadcast/channel.h"
+#include "client/client.h"
+#include "core/multi_client.h"
+#include "des/simulation.h"
+#include "fault/fault_model.h"
+#include "fault/recovery.h"
+#include "obs/timeline.h"
+#include "pull/hybrid.h"
+#include "pull/pull_client.h"
+
+namespace bcast {
+
+namespace adapt {
+class LossMonitor;
+}  // namespace adapt
+
+/// \brief One client's private machinery, in index-stable storage so the
+/// spawned coroutine can reference it.
+struct ClientWorld {
+  std::unique_ptr<Mapping> mapping;
+  std::unique_ptr<AccessGenerator> gen;
+  std::unique_ptr<SimCatalog> catalog;
+  std::unique_ptr<CachePolicy> cache;
+  std::unique_ptr<fault::Receiver> receiver;  // null when faults are off
+  std::unique_ptr<pull::PullClient> pull;     // null when pull is off
+  std::unique_ptr<Client> client;
+};
+
+/// \brief The run-level context a client world is assembled against.
+/// All pointers unowned; null members disable the matching feature.
+struct ClientWorldDeps {
+  des::Simulation* sim = nullptr;            ///< required
+  BroadcastChannel* channel = nullptr;       ///< required
+  const DiskLayout* layout = nullptr;        ///< required
+  const BroadcastProgram* program = nullptr; ///< required (initial program)
+  const pull::HybridLayout* hybrid = nullptr;  ///< null: no hybrid layout
+  obs::TimelineWriter* timeline = nullptr;
+  obs::TraceSink* trace = nullptr;
+  adapt::LossMonitor* loss_monitor = nullptr;
+  fault::ServerFaultPlane* server_faults = nullptr;
+  const std::vector<bool>* cold_pages = nullptr;  // null/empty: no cold set
+
+  /// Builds client \p c's pull requester from its scaled fault knobs;
+  /// null when pull is off. The legacy path returns a server-attached
+  /// requester; the engine returns a transport-attached one.
+  std::function<std::unique_ptr<pull::PullClient>(
+      size_t c, const fault::FaultParams& scaled)>
+      make_pull;
+
+  /// Where client \p c's measured cold-set miss waits land; null for
+  /// none. The legacy path aims every client at the controller's shared
+  /// histogram; the engine gives each client its own (merged in client
+  /// order at the end, so the fold order is canonical).
+  std::function<obs::LogHistogram*(size_t c)> cold_wait_for;
+};
+
+/// \brief Assembles client \p c of \p params into \p out: identical
+/// randomness, identical construction order, identical attachment
+/// wiring on every path that calls it. \p master is the population's
+/// master RNG (client c splits sub-stream 1000 + c).
+Status BuildClientWorld(const MultiClientParams& params, size_t c,
+                        const Rng& master, const ClientWorldDeps& deps,
+                        ClientWorld* out);
+
+}  // namespace bcast
+
+#endif  // BCAST_CORE_CLIENT_WORLD_H_

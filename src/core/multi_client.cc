@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/client_world.h"
 #include "core/simulator.h"
 #include "des/simulation.h"
 #include "fault/fault_model.h"
@@ -26,11 +27,8 @@
 namespace bcast {
 namespace {
 
-// Sub-stream tags. Client c uses streams (c, kClientRequest) and
-// (c, kClientNoise) so adding/removing a client never disturbs another's
-// randomness.
-constexpr uint64_t kClientRequest = 1001;
-constexpr uint64_t kClientNoise = 1002;
+// Sub-stream tag of the random-program draw. Per-client tags live in
+// core/client_world.cc with the shared assembly code.
 constexpr uint64_t kProgramStream = 3;
 
 }  // namespace
@@ -72,6 +70,12 @@ Status MultiClientParams::Validate() const {
     }
     if (spec.think_time < 0.0) {
       return Status::InvalidArgument(who + "think_time must be >= 0");
+    }
+    if (spec.loss_scale < 0.0) {
+      return Status::InvalidArgument(who + "loss_scale must be >= 0");
+    }
+    if (spec.doze_scale < 0.0) {
+      return Status::InvalidArgument(who + "doze_scale must be >= 0");
     }
   }
   if (measured_requests == 0) {
@@ -225,120 +229,47 @@ Result<MultiClientResult> RunMultiClientSimulation(
                    NameTrack(obs::track::kController, "adapt"));
   }
 
-  // Assemble every client's private machinery. Objects are kept in
-  // index-stable storage so the spawned coroutines can reference them.
-  struct ClientWorld {
-    std::unique_ptr<Mapping> mapping;
-    std::unique_ptr<AccessGenerator> gen;
-    std::unique_ptr<SimCatalog> catalog;
-    std::unique_ptr<CachePolicy> cache;
-    std::unique_ptr<fault::Receiver> receiver;  // null when faults are off
-    std::unique_ptr<pull::PullClient> pull;     // null when pull is off
-    std::unique_ptr<Client> client;
-  };
-  std::vector<ClientWorld> worlds(params.clients.size());
-
-  for (size_t c = 0; c < params.clients.size(); ++c) {
-    const ClientSpec& spec = params.clients[c];
-    const Rng client_rng = master.Split(1000 + c);
-    BCAST_TIMELINE(observers.timeline,
-                   NameTrack(obs::track::Client(static_cast<uint32_t>(c)),
-                             "client" + std::to_string(c)));
-
-    // Interest shift s composes with the offset rotation: the client's
-    // logical page l maps to physical (l + s - offset) mod total, i.e. an
-    // effective offset of (offset - s) mod total.
-    const uint64_t effective_offset =
-        (spec.offset + total - spec.interest_shift % total) % total;
-    NoiseModel noise;
-    noise.percent = spec.noise_percent;
-    noise.coin_pages = spec.noise_scope == NoiseScope::kAccessRange
-                           ? spec.access_range
-                           : 0;
-    Result<Mapping> mapping = Mapping::Make(
-        *layout, effective_offset, noise, client_rng.Split(kClientNoise));
-    if (!mapping.ok()) return mapping.status();
-    worlds[c].mapping = std::make_unique<Mapping>(std::move(*mapping));
-
-    Result<AccessGenerator> gen = AccessGenerator::Make(
-        spec.access_range, spec.region_size, spec.theta, spec.think_time,
-        spec.think_kind, client_rng.Split(kClientRequest));
-    if (!gen.ok()) return gen.status();
-    worlds[c].gen = std::make_unique<AccessGenerator>(std::move(*gen));
-
-    worlds[c].catalog = std::make_unique<SimCatalog>(
-        worlds[c].gen.get(), &*program, worlds[c].mapping.get());
-    PolicyOptions policy_options = spec.policy_options;
-    if (params.pull.Active() && hybrid_layout.enabled()) {
-      // Pull-aware estimator's refetch bound: mean pull-slot spacing.
-      policy_options.pull_service_interval =
-          static_cast<double>(hybrid_layout.period()) /
-          static_cast<double>(hybrid_layout.pull_per_minor *
-                              hybrid_layout.num_minor);
-    }
-    Result<std::unique_ptr<CachePolicy>> cache = MakeCachePolicy(
-        spec.policy, spec.cache_size, static_cast<PageId>(total),
-        worlds[c].catalog.get(), policy_options);
-    if (!cache.ok()) return cache.status();
-    worlds[c].cache = std::move(*cache);
-
-    if (params.fault.Active()) {
-      // Each client gets its own radio: independent (client id)-keyed
-      // fault streams, independent doze phase.
-      worlds[c].receiver =
-          fault::MakeReceiver(params.fault, /*client_id=*/c,
-                              static_cast<double>(program->period()));
-      worlds[c].receiver->AttachTimeline(
-          observers.timeline, obs::track::Client(static_cast<uint32_t>(c)));
-      if (loss_monitor != nullptr) {
-        worlds[c].receiver->AttachLossSink(loss_monitor.get());
-      }
-      if (server_faults != nullptr) {
-        worlds[c].receiver->AttachServerFaults(server_faults.get());
-      }
-    }
-    if (pull_server != nullptr) {
-      // Each client gets its own requester; the in-flight uplink loss
-      // draw comes from the (client id, kUplink) fault sub-stream so
-      // pull never perturbs the downlink draws.
+  // Assemble every client's private machinery through the shared
+  // builder (core/client_world.h) — the same code the population engine
+  // runs, so the two paths cannot drift apart.
+  ClientWorldDeps deps;
+  deps.sim = &sim;
+  deps.channel = &channel;
+  deps.layout = &*layout;
+  deps.program = &*program;
+  deps.hybrid = &hybrid_layout;
+  deps.timeline = observers.timeline;
+  deps.trace = observers.trace;
+  deps.loss_monitor = loss_monitor.get();
+  deps.server_faults = server_faults.get();
+  deps.cold_pages = &cold_pages;
+  if (pull_server != nullptr) {
+    // Each client gets its own requester; the in-flight uplink loss
+    // draw comes from the (client id, kUplink) fault sub-stream so
+    // pull never perturbs the downlink draws.
+    deps.make_pull = [&sim, &pull_server, &params](
+                         size_t c, const fault::FaultParams& scaled) {
       std::optional<Rng> uplink_rng;
       double uplink_loss = 0.0;
-      if (params.fault.Active() && params.fault.loss > 0.0) {
-        uplink_rng = fault::FaultStream(Rng(params.fault.fault_seed),
+      if (scaled.Active() && scaled.loss > 0.0) {
+        uplink_rng = fault::FaultStream(Rng(scaled.fault_seed),
                                         /*client_id=*/c,
                                         fault::Purpose::kUplink);
-        uplink_loss = params.fault.loss;
+        uplink_loss = scaled.loss;
       }
-      worlds[c].pull = std::make_unique<pull::PullClient>(
+      return std::make_unique<pull::PullClient>(
           &sim, pull_server.get(), params.pull, uplink_rng, uplink_loss);
-    }
-    // Crash–restart state loss for this client: the in-flight pull
-    // request and (cold restarts) the cache go with the process; each
-    // client crashes on its own schedule (per-client kCrash stream).
-    if (params.fault.process.CrashActive()) {
-      worlds[c].receiver->SetCrashHook(
-          [pull = worlds[c].pull.get(), cache_ptr = worlds[c].cache.get(),
-           cold = params.fault.process.crash_cold]() {
-            if (pull != nullptr) pull->OnCrash();
-            if (cold) cache_ptr->Clear();
-          });
-    }
-    ClientRunConfig config;
-    config.measured_requests = params.measured_requests;
-    config.max_warmup_requests = params.max_warmup_requests;
-    config.trace = observers.trace;
-    config.receiver = worlds[c].receiver.get();
-    config.pull = worlds[c].pull.get();
-    config.client_id = static_cast<uint32_t>(c);
-    if (!cold_pages.empty()) {
-      config.cold_pages = &cold_pages;
-      if (controller != nullptr) {
-        config.cold_wait = &controller->stats().cold_wait;
-      }
-    }
-    worlds[c].client = std::make_unique<Client>(
-        &sim, &channel, worlds[c].cache.get(), worlds[c].gen.get(),
-        worlds[c].mapping.get(), config);
+    };
+  }
+  if (controller != nullptr) {
+    deps.cold_wait_for = [&controller](size_t) {
+      return &controller->stats().cold_wait;
+    };
+  }
+  std::vector<ClientWorld> worlds(params.clients.size());
+  for (size_t c = 0; c < params.clients.size(); ++c) {
+    BCAST_RETURN_IF_ERROR(
+        BuildClientWorld(params, c, master, deps, &worlds[c]));
   }
 
   timings.setup_seconds = setup_watch.ElapsedSeconds();
@@ -522,8 +453,13 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
   // Per-client response-time distributions: the fairness extras above
   // only summarize means, but a client can share the population mean
   // while suffering a far heavier tail (e.g. when its interest lives on
-  // the slow disk). One block per client, in `clients` order.
-  for (size_t c = 0; c < result.per_client.size(); ++c) {
+  // the slow disk). One block per client, in `clients` order — capped so
+  // an engine-scale population (100k clients) cannot bloat the report;
+  // large runs rely on the class blocks instead.
+  constexpr size_t kMaxPerClientBlocks = 256;
+  for (size_t c = 0; c < result.per_client.size() &&
+                     result.per_client.size() <= kMaxPerClientBlocks;
+       ++c) {
     const ClientMetrics& m = result.per_client[c];
     const obs::HistogramSummary rt = m.response_histogram().Summary();
     const std::string prefix = "client" + std::to_string(c) + "_";

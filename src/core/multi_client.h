@@ -65,7 +65,27 @@ struct ClientSpec {
   /// Think-time model.
   double think_time = 2.0;
   ThinkTimeKind think_kind = ThinkTimeKind::kFixed;
+
+  /// Receiver-class scaling of the population-shared fault knobs: this
+  /// client's channel/uplink loss probabilities are `fault.loss *
+  /// loss_scale` (clamped to [0, 1]) and its doze duty cycle stretches
+  /// by `doze_scale` (doze_for *= doze_scale; 0 disables dozing). The
+  /// defaults leave the shared knobs untouched, so homogeneous
+  /// populations are bit-identical to the pre-class behavior. "Near"
+  /// receivers set scales < 1, "far" ones > 1 (paper §5's receiver
+  /// heterogeneity).
+  double loss_scale = 1.0;
+  double doze_scale = 1.0;
+
+  /// Receiver-class index this spec was expanded from (reporting only;
+  /// 0 = the default class).
+  uint32_t class_id = 0;
 };
+
+/// \brief The population-shared fault knobs specialized to one client's
+/// receiver class (identity when both scales are 1).
+fault::FaultParams ScaledFaultParams(const fault::FaultParams& base,
+                                     const ClientSpec& spec);
 
 /// \brief Population-level experiment parameters.
 struct MultiClientParams {

@@ -1,5 +1,8 @@
 #include "core/sim_config.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/string_util.h"
 
 namespace bcast {
@@ -97,6 +100,15 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
                    "pull-slot floor the controller may choose");
   flags->AddUint64("adapt_max_slots", &params.adapt.max_slots,
                    "pull-slot ceiling the controller may choose");
+  flags->AddUint64("shards", &pop.shards,
+                   "population worker shards (1 = classic single-threaded "
+                   "path; results are shard-count invariant)");
+  flags->AddString("pop_classes", &pop_classes,
+                   "receiver classes \"name:frac[:loss_scale[:doze_scale]]"
+                   ",...\" (population mode)");
+  flags->AddBool("force_pop_engine", &pop.force_engine,
+                 "route population runs through the sharded engine even "
+                 "with --shards=1");
   flags->AddUint64("seed", &params.seed, "master RNG seed");
 }
 
@@ -210,6 +222,18 @@ Status SimConfig::Finalize(const FlagSet* flags) {
                                    sched.status().ToString());
   }
   params.pull.scheduler = *sched;
+
+  if (!pop_classes.empty()) {
+    Result<std::vector<pop::ClassProfile>> classes =
+        pop::ParseClassProfiles(pop_classes);
+    if (!classes.ok()) {
+      return Status::InvalidArgument("--pop_classes: " +
+                                     classes.status().ToString());
+    }
+    pop.classes = std::move(*classes);
+  }
+  Status pop_status = pop.Validate();
+  if (!pop_status.ok()) return pop_status;
 
   return params.Validate();
 }

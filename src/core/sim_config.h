@@ -29,6 +29,7 @@
 #include "common/flags.h"
 #include "common/status.h"
 #include "core/params.h"
+#include "pop/pop_params.h"
 
 namespace bcast {
 
@@ -39,6 +40,11 @@ struct SimConfig {
   /// it, string-typed fields below are parsed into it by `Finalize`.
   SimParams params;
 
+  /// Population-engine knobs (`--shards`, `--pop_classes`,
+  /// `--force_pop_engine`); `pop.clients` is stamped by the tool from its
+  /// population-size flag. Only population-mode tools consult this.
+  pop::PopParams pop;
+
   /// \name Raw string-typed fields (flag syntax), parsed by `Finalize`.
   /// @{
   std::string disks = "500,2000,2500";  ///< comma-separated disk sizes
@@ -48,6 +54,7 @@ struct SimConfig {
   std::string pull_sched = "fcfs";      ///< fcfs | mrf | lxw
   std::string des_queue;                ///< heap | calendar ("" = default)
   std::string crash_cache = "warm";     ///< warm | cold (restart cache fate)
+  std::string pop_classes;  ///< "name:frac[:loss[:doze]],..." receiver classes
   /// @}
 
   /// Registers every simulation flag on \p flags, bound to this config.

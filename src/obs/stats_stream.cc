@@ -48,8 +48,17 @@ void StatsWriter::Write(const StatsSample& sample) {
   out << "], \"pull_depth\": " << sample.pull_queue_depth
       << ", \"pull_serviced\": " << sample.pull_serviced
       << ", \"fault_lost\": " << sample.fault_lost
-      << ", \"fault_retries\": " << sample.fault_retries << ", \"final\": "
-      << (sample.final_sample ? "true" : "false") << "}\n";
+      << ", \"fault_retries\": " << sample.fault_retries;
+  if (sample.pop_clients > 0) {
+    out << ", \"pop_clients\": " << sample.pop_clients
+        << ", \"pop_shards\": " << sample.pop_shards
+        << ", \"pop_req_rate\": ";
+    AppendJsonNumber(out, sample.pop_req_rate);
+    out << ", \"pop_worst_p99\": ";
+    AppendJsonNumber(out, sample.pop_worst_p99);
+  }
+  out << ", \"final\": " << (sample.final_sample ? "true" : "false")
+      << "}\n";
   // Flush per line: tailers (bcasttop) must never see a torn record.
   out.flush();
 }
@@ -114,6 +123,12 @@ Result<StatsSample> ParseStatsLine(std::string_view line) {
   BCAST_RETURN_IF_ERROR(ReadU64(*doc, "fault_lost", &sample.fault_lost));
   BCAST_RETURN_IF_ERROR(
       ReadU64(*doc, "fault_retries", &sample.fault_retries));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "pop_clients", &sample.pop_clients));
+  BCAST_RETURN_IF_ERROR(ReadU64(*doc, "pop_shards", &sample.pop_shards));
+  BCAST_RETURN_IF_ERROR(
+      ReadDouble(*doc, "pop_req_rate", &sample.pop_req_rate));
+  BCAST_RETURN_IF_ERROR(
+      ReadDouble(*doc, "pop_worst_p99", &sample.pop_worst_p99));
   if (const JsonValue* f = doc->Find("final"); f != nullptr) {
     Result<bool> parsed = f->AsBool();
     if (!parsed.ok()) return parsed.status();
@@ -185,6 +200,14 @@ Result<StatsSummary> SummarizeStatsStream(std::istream& in) {
     summary.pull_queue_depth_max =
         std::max(summary.pull_queue_depth_max, last.pull_queue_depth);
     summary.wall_seconds = std::max(summary.wall_seconds, last.wall_seconds);
+    if (last.pop_clients > summary.pop_clients) {
+      summary.pop_clients = last.pop_clients;
+      summary.pop_shards = last.pop_shards;
+    }
+    summary.pop_req_rate_max =
+        std::max(summary.pop_req_rate_max, last.pop_req_rate);
+    summary.pop_worst_p99 =
+        std::max(summary.pop_worst_p99, last.pop_worst_p99);
   }
   if (!have_segment) {
     return Status::InvalidArgument("stats stream holds no valid samples");
@@ -226,7 +249,16 @@ void WriteStatsSummaryJson(const StatsSummary& summary, std::ostream& out) {
     out << summary.served_per_disk[d];
   }
   out << "],\n  \"pull_queue_depth_max\": " << summary.pull_queue_depth_max
-      << ",\n  \"fault_lost\": " << summary.fault_lost << "\n}\n";
+      << ",\n  \"fault_lost\": " << summary.fault_lost;
+  if (summary.pop_clients > 0) {
+    out << ",\n  \"pop_clients\": " << summary.pop_clients
+        << ",\n  \"pop_shards\": " << summary.pop_shards
+        << ",\n  \"pop_req_rate_max\": ";
+    AppendJsonNumber(out, summary.pop_req_rate_max);
+    out << ",\n  \"pop_worst_p99\": ";
+    AppendJsonNumber(out, summary.pop_worst_p99);
+  }
+  out << "\n}\n";
 }
 
 }  // namespace bcast::obs

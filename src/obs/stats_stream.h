@@ -53,6 +53,14 @@ struct StatsSample {
   uint64_t pull_serviced = 0;
   uint64_t fault_lost = 0;  ///< 0 when faults are off
   uint64_t fault_retries = 0;
+  /// \name Population-engine fields; serialized only when
+  /// `pop_clients > 0` so non-population streams stay byte-identical.
+  /// @{
+  uint64_t pop_clients = 0;  ///< population size (0: not an engine run)
+  uint64_t pop_shards = 0;   ///< worker shards
+  double pop_req_rate = 0.0;  ///< window requests per simulated slot
+  double pop_worst_p99 = 0.0;  ///< worst per-class response p99 so far
+  /// @}
   bool final_sample = false;  ///< exact end-of-run record
 };
 
@@ -111,6 +119,10 @@ struct StatsSummary {
   std::vector<uint64_t> served_per_disk;  ///< summed final mixes
   uint64_t pull_queue_depth_max = 0;
   uint64_t fault_lost = 0;
+  uint64_t pop_clients = 0;     ///< largest population seen (0: none)
+  uint64_t pop_shards = 0;      ///< shards of that population
+  double pop_req_rate_max = 0.0;   ///< busiest window, requests/slot
+  double pop_worst_p99 = 0.0;      ///< worst per-class p99 seen
 };
 
 /// Reads a whole stats stream and folds it into a summary. Invalid

@@ -30,6 +30,7 @@ Result<std::unique_ptr<TimelineWriter>> TimelineWriter::Open(
 TimelineWriter::~TimelineWriter() { Close(); }
 
 void TimelineWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   closed_ = true;
   *out_ << "\n]}\n";
@@ -37,6 +38,7 @@ void TimelineWriter::Close() {
 }
 
 void TimelineWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!closed_) out_->flush();
 }
 
@@ -79,6 +81,7 @@ void TimelineWriter::EmitArgs(std::initializer_list<TimelineArg> args) {
 }
 
 void TimelineWriter::NameTrack(uint32_t tid, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   EmitSeparator();
   ++events_written_;
@@ -93,6 +96,7 @@ void TimelineWriter::NameTrack(uint32_t tid, std::string_view name) {
 void TimelineWriter::BeginSpan(uint32_t tid, std::string_view name,
                                std::string_view cat, double ts,
                                std::initializer_list<TimelineArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   EmitCommon(name, cat, 'B', tid, ts);
   EmitArgs(args);
@@ -102,6 +106,7 @@ void TimelineWriter::BeginSpan(uint32_t tid, std::string_view name,
 }
 
 void TimelineWriter::EndSpan(uint32_t tid, double ts) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   int64_t& depth = depth_per_track_[tid];
   BCAST_CHECK_GT(depth, 0) << "EndSpan with no open span on track " << tid;
@@ -114,6 +119,7 @@ void TimelineWriter::EndSpan(uint32_t tid, double ts) {
 void TimelineWriter::Span(uint32_t tid, std::string_view name,
                           std::string_view cat, double ts, double dur,
                           std::initializer_list<TimelineArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   std::ostream& out = EmitCommon(name, cat, 'X', tid, ts);
   out << ", \"dur\": ";
@@ -125,6 +131,7 @@ void TimelineWriter::Span(uint32_t tid, std::string_view name,
 void TimelineWriter::Instant(uint32_t tid, std::string_view name,
                              std::string_view cat, double ts,
                              std::initializer_list<TimelineArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   std::ostream& out = EmitCommon(name, cat, 'i', tid, ts);
   out << ", \"s\": \"t\"";
@@ -134,6 +141,7 @@ void TimelineWriter::Instant(uint32_t tid, std::string_view name,
 
 void TimelineWriter::Counter(uint32_t tid, std::string_view name, double ts,
                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return;
   std::ostream& out = EmitCommon(name, "", 'C', tid, ts);
   out << ", \"args\": {\"value\": ";

@@ -23,6 +23,7 @@
 #include <fstream>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -42,6 +43,10 @@ inline constexpr uint32_t kPull = 101;        ///< pull server
 
 /// Track of client \p client_id (0-based).
 constexpr uint32_t Client(uint32_t client_id) { return 1 + client_id; }
+
+/// Track of population-engine shard \p shard (0-based); parked in the
+/// top half of the id space so client tracks can never collide with it.
+constexpr uint32_t Shard(uint32_t shard) { return 0x80000000u + shard; }
 }  // namespace track
 
 /// \brief One numeric argument attached to a timeline event.
@@ -56,6 +61,12 @@ struct TimelineArg {
 /// destructor) terminates the array so the file is valid JSON. The
 /// writer tracks per-track span depth so tests can assert B/E nesting
 /// stays balanced.
+///
+/// Emission is serialized by an internal mutex: one writer may be shared
+/// by every shard of the population engine. Record order across threads
+/// follows wall-clock interleaving (each record is internally complete;
+/// viewers sort by ts), so timeline *files* are not byte-deterministic
+/// under the multi-shard engine even though the run's report is.
 class TimelineWriter {
  public:
   /// Creates a writer over \p out (unowned; must outlive the writer).
@@ -115,6 +126,7 @@ class TimelineWriter {
   void EmitArgs(std::initializer_list<TimelineArg> args);
   void EmitSeparator();
 
+  std::mutex mu_;       // serializes emission across engine shards
   std::ofstream file_;  // backing storage when Open()ed; else unused
   std::ostream* out_;
   bool closed_ = false;

@@ -67,6 +67,7 @@ Result<std::unique_ptr<TraceSink>> TraceSink::Open(const std::string& path,
 TraceSink::~TraceSink() { Flush(); }
 
 bool TraceSink::ShouldSample() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++offered_;
   if (sample_ >= 1.0) return true;
   if (sample_ <= 0.0) return false;
@@ -77,6 +78,7 @@ bool TraceSink::ShouldSample() {
 }
 
 void TraceSink::Record(const RequestEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++recorded_;
   std::ostream& out = *out_;
   if (format_ == TraceFormat::kCsv) {
@@ -102,6 +104,9 @@ void TraceSink::Record(const RequestEvent& event) {
   out << ", \"client\": " << event.client << "}\n";
 }
 
-void TraceSink::Flush() { out_->flush(); }
+void TraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
 
 }  // namespace bcast::obs

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -110,6 +111,11 @@ class TraceSink {
   TraceSink(std::ofstream file, double sample, TraceFormat format,
             uint64_t seed);
 
+  // Serializes the sampler and the stream across population-engine
+  // shards. Under the multi-shard engine the coin-flip order follows
+  // thread interleaving, so the *sampled subset* is only deterministic
+  // on single-threaded paths; the run report never depends on it.
+  std::mutex mu_;
   std::ofstream file_;  // backing storage when Open()ed; else unused
   std::ostream* out_;
   double sample_;

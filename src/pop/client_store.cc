@@ -1,0 +1,55 @@
+#include "pop/client_store.h"
+
+#include "common/logging.h"
+
+namespace bcast::pop {
+
+ClientStore::ClientStore(uint64_t clients, uint64_t shards,
+                         const std::vector<ClassProfile>& classes,
+                         bool need_pull, bool need_cold)
+    : clients_(clients), shards_(shards) {
+  BCAST_CHECK(clients > 0 && shards > 0 && shards <= clients);
+  class_of_.resize(clients);
+  for (uint64_t c = 0; c < clients; ++c) {
+    class_of_[c] = ClassOfClient(c, clients, classes);
+  }
+  if (need_pull) pull_blocks_ = std::vector<ClientPullBlock>(clients);
+  if (need_cold) cold_blocks_ = std::vector<ClientColdBlock>(clients);
+}
+
+uint64_t ClientStore::ShardOf(uint64_t c) const {
+  // Blocks are floor(s*N/K)-bounded, so the owner is found directly.
+  uint64_t s = (c * shards_) / clients_;
+  while (ShardBeginOf(s) > c) --s;
+  while (ShardEndOf(s) <= c) ++s;
+  return s;
+}
+
+void ClientStore::MergePullStats(pull::PullStats* total) const {
+  for (const ClientPullBlock& block : pull_blocks_) {
+    total->push_deliveries += block.stats.push_deliveries;
+    total->pull_latency.Merge(block.stats.pull_latency);
+    total->push_latency.Merge(block.stats.push_latency);
+    total->cold_wait.Merge(block.stats.cold_wait);
+  }
+}
+
+void ClientStore::MergeColdWait(obs::LogHistogram* total) const {
+  for (const ClientColdBlock& block : cold_blocks_) {
+    total->Merge(block.wait);
+  }
+}
+
+void ApplyClassProfiles(const std::vector<ClassProfile>& classes,
+                        std::vector<ClientSpec>* specs) {
+  if (classes.empty()) return;
+  for (size_t c = 0; c < specs->size(); ++c) {
+    const uint32_t k = ClassOfClient(c, specs->size(), classes);
+    ClientSpec& spec = (*specs)[c];
+    spec.class_id = k;
+    spec.loss_scale = classes[k].loss_scale;
+    spec.doze_scale = classes[k].doze_scale;
+  }
+}
+
+}  // namespace bcast::pop

@@ -1,0 +1,106 @@
+/// \file client_store.h
+/// \brief Population-wide SoA bookkeeping for the sharded engine.
+///
+/// The heavyweight per-client machinery (cache, generator, receiver,
+/// coroutine) lives in each shard's `ClientWorld` vector; this store
+/// holds the *engine's* per-client state as parallel arrays partitioned
+/// by shard: class assignment, the pull bookkeeping blocks each client's
+/// requester writes during a round, and the per-client cold-wait
+/// histograms the adaptive gate reads. The arrays are laid out so that
+/// no two shards ever write the same cache line — each client's
+/// mutable block is cache-line aligned, and a shard only touches the
+/// blocks of its contiguous client range — which is what lets shards
+/// run a round with zero synchronization.
+///
+/// Merging is canonical: every fold over these arrays walks client ids
+/// in ascending order, so floating-point sums come out bit-identical
+/// for any shard count.
+
+#ifndef BCAST_POP_CLIENT_STORE_H_
+#define BCAST_POP_CLIENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/multi_client.h"
+#include "obs/histogram.h"
+#include "pop/pop_params.h"
+#include "pull/pull_stats.h"
+
+namespace bcast::pop {
+
+/// \brief One client's mutable pull bookkeeping, padded to its own
+/// cache line(s) so neighboring clients on different shards never
+/// false-share.
+struct alignas(64) ClientPullBlock {
+  pull::PullStats stats;
+};
+
+/// \brief One client's cold-wait histogram, likewise padded.
+struct alignas(64) ClientColdBlock {
+  obs::LogHistogram wait;
+};
+
+/// \brief SoA per-client engine state for a population of N clients
+/// over K shards.
+class ClientStore {
+ public:
+  /// \p need_pull allocates the per-client pull blocks (only pull runs
+  /// pay for them); \p need_cold the per-client cold-wait histograms
+  /// (only adaptive runs).
+  ClientStore(uint64_t clients, uint64_t shards,
+              const std::vector<ClassProfile>& classes, bool need_pull,
+              bool need_cold);
+
+  uint64_t clients() const { return clients_; }
+  uint64_t shards() const { return shards_; }
+
+  /// Client id range owned by shard \p s: [begin, end).
+  uint64_t ShardBeginOf(uint64_t s) const {
+    return ShardBegin(s, shards_, clients_);
+  }
+  uint64_t ShardEndOf(uint64_t s) const {
+    return ShardBegin(s + 1, shards_, clients_);
+  }
+
+  /// Shard owning client \p c.
+  uint64_t ShardOf(uint64_t c) const;
+
+  /// Receiver class of client \p c (0 = default).
+  uint32_t class_of(uint64_t c) const { return class_of_[c]; }
+
+  /// Pull bookkeeping of client \p c; null when pull is off.
+  pull::PullStats* pull_stats(uint64_t c) {
+    return pull_blocks_.empty() ? nullptr : &pull_blocks_[c].stats;
+  }
+
+  /// Cold-wait histogram of client \p c; null when adaptation is off.
+  obs::LogHistogram* cold_wait(uint64_t c) {
+    return cold_blocks_.empty() ? nullptr : &cold_blocks_[c].wait;
+  }
+
+  /// Folds every client's pull block into \p total, in client order.
+  void MergePullStats(pull::PullStats* total) const;
+
+  /// Folds every client's cold-wait histogram into \p total, in client
+  /// order.
+  void MergeColdWait(obs::LogHistogram* total) const;
+
+ private:
+  uint64_t clients_;
+  uint64_t shards_;
+  std::vector<uint32_t> class_of_;
+  std::vector<ClientPullBlock> pull_blocks_;
+  std::vector<ClientColdBlock> cold_blocks_;
+};
+
+/// \brief Expands class profiles onto a spec vector: stamps class_id,
+/// loss_scale, and doze_scale of each client's spec from its class.
+/// No-op when \p classes is empty.
+void ApplyClassProfiles(const std::vector<ClassProfile>& classes,
+                        std::vector<ClientSpec>* specs);
+
+}  // namespace bcast::pop
+
+#endif  // BCAST_POP_CLIENT_STORE_H_

@@ -1,0 +1,109 @@
+#include "pop/pop_params.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace bcast::pop {
+namespace {
+
+Result<double> ParseScale(const std::string& field, const char* what,
+                          double fallback) {
+  if (field.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(std::string("class profile: bad ") +
+                                   what + " '" + field + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status PopParams::Validate() const {
+  if (clients == 0) {
+    return Status::InvalidArgument("population needs at least one client");
+  }
+  if (shards == 0) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  double total_fraction = 0.0;
+  for (const ClassProfile& cls : classes) {
+    if (cls.name.empty()) {
+      return Status::InvalidArgument("class profile needs a name");
+    }
+    if (cls.fraction <= 0.0 || cls.fraction > 1.0) {
+      return Status::InvalidArgument("class '" + cls.name +
+                                     "': fraction must be in (0, 1]");
+    }
+    if (cls.loss_scale < 0.0) {
+      return Status::InvalidArgument("class '" + cls.name +
+                                     "': loss_scale must be >= 0");
+    }
+    if (cls.doze_scale < 0.0) {
+      return Status::InvalidArgument("class '" + cls.name +
+                                     "': doze_scale must be >= 0");
+    }
+    total_fraction += cls.fraction;
+  }
+  if (total_fraction > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "class profile fractions must sum to at most 1");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ClassProfile>> ParseClassProfiles(
+    const std::string& spec) {
+  std::vector<ClassProfile> classes;
+  if (spec.empty()) return classes;
+  for (const std::string& entry : Split(spec, ',')) {
+    const std::vector<std::string> fields = Split(entry, ':');
+    if (fields.empty() || fields[0].empty() || fields.size() > 4) {
+      return Status::InvalidArgument(
+          "class profile entry must be name:fraction[:loss[:doze]]: '" +
+          entry + "'");
+    }
+    ClassProfile cls;
+    cls.name = fields[0];
+    Result<double> fraction = ParseScale(
+        fields.size() > 1 ? fields[1] : "", "fraction", 1.0);
+    if (!fraction.ok()) return fraction.status();
+    cls.fraction = *fraction;
+    Result<double> loss =
+        ParseScale(fields.size() > 2 ? fields[2] : "", "loss_scale", 1.0);
+    if (!loss.ok()) return loss.status();
+    cls.loss_scale = *loss;
+    Result<double> doze =
+        ParseScale(fields.size() > 3 ? fields[3] : "", "doze_scale", 1.0);
+    if (!doze.ok()) return doze.status();
+    cls.doze_scale = *doze;
+    classes.push_back(cls);
+  }
+  return classes;
+}
+
+uint32_t ClassOfClient(uint64_t c, uint64_t clients,
+                       const std::vector<ClassProfile>& classes) {
+  if (classes.empty() || clients == 0) return 0;
+  // Contiguous ranges: class k covers [round(cum_{k-1} * N),
+  // round(cum_k * N)); the remainder of fractions summing below 1
+  // joins the last class.
+  double cum = 0.0;
+  for (size_t k = 0; k + 1 < classes.size(); ++k) {
+    cum += classes[k].fraction;
+    const uint64_t end = static_cast<uint64_t>(
+        cum * static_cast<double>(clients) + 0.5);
+    if (c < end) return static_cast<uint32_t>(k);
+  }
+  return static_cast<uint32_t>(classes.size() - 1);
+}
+
+uint64_t ShardBegin(uint64_t s, uint64_t shards, uint64_t clients) {
+  if (shards == 0) return 0;
+  // Contiguous blocks: shard s owns floor(s*N/K) .. floor((s+1)*N/K).
+  return (s * clients) / shards;
+}
+
+}  // namespace bcast::pop

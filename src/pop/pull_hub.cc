@@ -1,0 +1,46 @@
+#include "pop/pull_hub.h"
+
+#include <algorithm>
+
+namespace bcast::pop {
+
+void ShardPullHub::RemoveWaiter(PageId page, pull::PullSink* sink) {
+  auto it = waiters_.find(page);
+  if (it == waiters_.end()) return;
+  std::vector<pull::PullSink*>& sinks = it->second;
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+  if (sinks.empty()) waiters_.erase(it);
+}
+
+void ShardPullHub::Deliver(PageId page, double end) {
+  auto it = waiters_.find(page);
+  if (it == waiters_.end()) return;
+  // Detach the list first: consuming sinks resume client coroutines,
+  // which may register new waiters (for other pages) re-entrantly.
+  std::vector<pull::PullSink*> sinks = std::move(it->second);
+  waiters_.erase(it);
+  for (pull::PullSink* sink : sinks) {
+    if (sink->OnPullDelivery(end)) {
+      ++pull_deliveries_;
+    } else {
+      // This receiver could not hear the pull slot (doze/loss/corrupt);
+      // it keeps waiting and stays eligible for a later pull.
+      waiters_[page].push_back(sink);
+    }
+  }
+}
+
+pull::PullTransport ShardPullHub::MakeTransport(uint64_t client_id,
+                                                pull::PullStats* stats) {
+  pull::PullTransport transport;
+  transport.enabled = enabled_;
+  transport.submit = [this, client_id](PageId page, double now,
+                                       bool re_request) {
+    queue_.Push(UplinkMsg{now, client_id, page, re_request});
+  };
+  transport.service_interval = [this]() { return service_interval_; };
+  transport.stats = stats;
+  return transport;
+}
+
+}  // namespace bcast::pop

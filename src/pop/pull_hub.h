@@ -1,0 +1,97 @@
+/// \file pull_hub.h
+/// \brief Shard-side half of the hybrid pull path.
+///
+/// The population engine keeps uplink admission, queueing, and service
+/// decisions centralized in the coordinator's `pull::PullServer` — the
+/// paper's backchannel is one shared scarce resource and must stay one.
+/// What each shard owns locally is the *air side*: the waiter table its
+/// `BroadcastChannel` replica registers page waits into, and the mirror
+/// deliveries that resume those waiters when the coordinator's server
+/// transmits a pull slot.
+///
+/// Requests flow the other way through an SPSC queue: a client's
+/// `PullClient` submits into its shard's queue during a round, and the
+/// coordinator drains all queues at the round barrier, replaying each
+/// submit against the real server in canonical (time, client) order so
+/// admission accounting and per-client uplink loss draws are identical
+/// for every shard count.
+///
+/// `Deliver` is a verbatim mirror of `PullServer::DeliverPage` —
+/// detach-then-offer with re-registration on refusal — except the
+/// consumed-offer count lands in a shard-local counter that the engine
+/// sums into the merged stats (hub order is irrelevant: the counter is
+/// an integer).
+
+#ifndef BCAST_POP_PULL_HUB_H_
+#define BCAST_POP_PULL_HUB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "pop/spsc_queue.h"
+#include "pull/pull_client.h"
+#include "pull/pull_sink.h"
+#include "pull/pull_stats.h"
+
+namespace bcast::pop {
+
+/// \brief One uplink submit crossing a shard→coordinator queue.
+struct UplinkMsg {
+  double t = 0.0;          ///< simulation time of the submit
+  uint64_t client = 0;     ///< submitting client id (global)
+  PageId page = 0;         ///< requested page
+  bool re_request = false; ///< timeout-driven re-send
+};
+
+/// \brief Shard-local waiter table + uplink forwarding for one shard.
+class ShardPullHub : public pull::WaiterRegistry {
+ public:
+  /// \p enabled mirrors `PullServer::enabled()`: whether the program
+  /// carries pull capacity at all. \p service_interval is the initial
+  /// mean slots between pull-slot starts (updated at program switches
+  /// via `set_service_interval`, always at a round boundary).
+  ShardPullHub(bool enabled, double service_interval)
+      : enabled_(enabled), service_interval_(service_interval) {}
+
+  // pull::WaiterRegistry — called re-entrantly from the shard's channel.
+  void AddWaiter(PageId page, pull::PullSink* sink) override {
+    waiters_[page].push_back(sink);
+  }
+  void RemoveWaiter(PageId page, pull::PullSink* sink) override;
+
+  /// Mirror of `PullServer::DeliverPage`: the coordinator's server
+  /// transmitted \p page in a pull slot ending at \p end; offer it to
+  /// this shard's waiters.
+  void Deliver(PageId page, double end);
+
+  /// Transport for client \p client_id: submits land in this shard's
+  /// queue, delivery/latency accounting lands in \p stats (the client's
+  /// own store block).
+  pull::PullTransport MakeTransport(uint64_t client_id,
+                                    pull::PullStats* stats);
+
+  /// New mean pull service interval after a program switch (applied by
+  /// the shard at the round start where the switch lands).
+  void set_service_interval(double interval) {
+    service_interval_ = interval;
+  }
+
+  /// Consumed pull-delivery offers on this shard.
+  uint64_t pull_deliveries() const { return pull_deliveries_; }
+
+  /// The shard→coordinator uplink queue (drained at barriers).
+  SpscQueue<UplinkMsg>& queue() { return queue_; }
+
+ private:
+  bool enabled_;
+  double service_interval_;
+  uint64_t pull_deliveries_ = 0;
+  std::unordered_map<PageId, std::vector<pull::PullSink*>> waiters_;
+  SpscQueue<UplinkMsg> queue_;
+};
+
+}  // namespace bcast::pop
+
+#endif  // BCAST_POP_PULL_HUB_H_

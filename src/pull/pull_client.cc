@@ -8,7 +8,6 @@ PullClient::PullClient(des::Simulation* sim, PullServer* server,
                        const PullParams& params,
                        std::optional<Rng> uplink_rng, double uplink_loss)
     : sim_(sim),
-      server_(server),
       params_(params),
       uplink_rng_(uplink_rng),
       uplink_loss_(uplink_loss) {
@@ -16,11 +15,34 @@ PullClient::PullClient(des::Simulation* sim, PullServer* server,
   BCAST_CHECK(server != nullptr);
   BCAST_CHECK(uplink_loss == 0.0 || uplink_rng.has_value())
       << "uplink loss needs an rng";
+  transport_.enabled = server->enabled();
+  transport_.submit = [this, server](PageId page, double now,
+                                     bool re_request) {
+    if (!server->TryUplink(now, re_request)) return;  // dropped
+    if (uplink_loss_ > 0.0 && uplink_rng_->NextDouble() < uplink_loss_) {
+      server->NoteUplinkLost();
+      return;
+    }
+    server->Enqueue(page, now);
+  };
+  transport_.service_interval = [server]() {
+    return server->ServiceInterval();
+  };
+  transport_.stats = &server->stats();
+}
+
+PullClient::PullClient(des::Simulation* sim, PullTransport transport,
+                       const PullParams& params)
+    : sim_(sim), transport_(std::move(transport)), params_(params) {
+  BCAST_CHECK(sim != nullptr);
+  BCAST_CHECK(!transport_.enabled ||
+              (transport_.submit && transport_.service_interval &&
+               transport_.stats != nullptr));
 }
 
 void PullClient::MaybeRequest(PageId page, double now,
                               double scheduled_wait) {
-  if (!server_->enabled()) return;
+  if (!transport_.enabled) return;
   if (outstanding_) return;
   if (scheduled_wait <= params_.threshold) return;
   outstanding_ = true;
@@ -30,18 +52,13 @@ void PullClient::MaybeRequest(PageId page, double now,
 }
 
 void PullClient::SubmitOnce(PageId page, double now, bool re_request) {
-  if (!server_->TryUplink(now, re_request)) return;  // dropped: backpressure
-  if (uplink_loss_ > 0.0 && uplink_rng_->NextDouble() < uplink_loss_) {
-    server_->NoteUplinkLost();
-    return;
-  }
-  server_->Enqueue(page, now);
+  transport_.submit(page, now, re_request);
 }
 
 void PullClient::ArmTimeout(double now) {
   const double delay =
       static_cast<double>(params_.timeout_services) *
-      server_->ServiceInterval();
+      transport_.service_interval();
   timeout_armed_ = true;
   timeout_event_ = sim_->ScheduleAt(
       now + delay,
@@ -61,7 +78,7 @@ void PullClient::ArmTimeout(double now) {
 void PullClient::OnFetchDone(PageId page, double now, double wait,
                              bool via_pull, bool measured, bool cold) {
   (void)now;
-  PullStats& stats = server_->stats();
+  PullStats& stats = *transport_.stats;
   if (!via_pull) ++stats.push_deliveries;
   if (measured) {
     if (via_pull) {

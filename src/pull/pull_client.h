@@ -16,7 +16,9 @@
 #define BCAST_PULL_PULL_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <utility>
 
 #include "broadcast/types.h"
 #include "common/rng.h"
@@ -25,6 +27,27 @@
 #include "pull/pull_server.h"
 
 namespace bcast::pull {
+
+/// \brief How a PullClient reaches the pull server.
+///
+/// The single-threaded paths talk to the in-simulation `PullServer`
+/// directly; the population engine substitutes a shard-side transport
+/// that forwards submits through an SPSC queue to the coordinator. The
+/// decision rule never depends on the submit's outcome (admission, loss,
+/// and enqueue are server-side accounting), which is exactly what makes
+/// the asynchronous transport equivalent.
+struct PullTransport {
+  /// Whether the program carries pull capacity (constant over a layout
+  /// generation; the adaptive controller never toggles enablement).
+  bool enabled = false;
+  /// One uplink send: admission + in-flight loss + enqueue, all on the
+  /// server side of the transport.
+  std::function<void(PageId page, double now, bool re_request)> submit;
+  /// Mean slots between pull-slot starts under the current layout.
+  std::function<double()> service_interval;
+  /// Where this client's delivery/latency accounting lands.
+  PullStats* stats = nullptr;
+};
 
 /// \brief Per-client pull requester. Hooks into the client request loop:
 /// `MaybeRequest` just before a broadcast wait begins, `OnFetchDone`
@@ -38,6 +61,13 @@ class PullClient {
   PullClient(des::Simulation* sim, PullServer* server,
              const PullParams& params, std::optional<Rng> uplink_rng,
              double uplink_loss);
+
+  /// Engine-side constructor: requests flow through \p transport instead
+  /// of a directly attached server. The uplink loss draw, if any, lives
+  /// on the far side of the transport (the coordinator owns the
+  /// per-client fault streams so draw order is canonical).
+  PullClient(des::Simulation* sim, PullTransport transport,
+             const PullParams& params);
 
   /// A cache miss for \p page is about to wait on the broadcast;
   /// \p scheduled_wait is the wait the push schedule promises. Sends an
@@ -71,10 +101,10 @@ class PullClient {
   void ArmTimeout(double now);
 
   des::Simulation* sim_;
-  PullServer* server_;
+  PullTransport transport_;
   PullParams params_;
   std::optional<Rng> uplink_rng_;
-  double uplink_loss_;
+  double uplink_loss_ = 0.0;
 
   bool outstanding_ = false;
   PageId outstanding_page_ = 0;

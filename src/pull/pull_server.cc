@@ -76,6 +76,7 @@ void PullServer::ServiceDecision(double slot_start) {
   sim_->ScheduleAt(
       end, [this, page, end]() { DeliverPage(page, end); },
       des::EventKind::kPull);
+  if (service_fanout_) service_fanout_(page, end);
 
   if (queue_.empty()) {
     service_scheduled_ = false;

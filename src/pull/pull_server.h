@@ -15,6 +15,7 @@
 #define BCAST_PULL_PULL_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,7 +33,7 @@ namespace bcast::pull {
 
 /// \brief One shared pull server per broadcast: admits uplink requests,
 /// queues them, and transmits the scheduler's pick in each pull slot.
-class PullServer {
+class PullServer : public WaiterRegistry {
  public:
   /// \p sim must outlive the server; \p layout describes the hybrid
   /// program on the air (a disabled layout yields an inert server that
@@ -86,9 +87,18 @@ class PullServer {
 
   /// \name Waiter registry, driven by BroadcastChannel's awaiter.
   /// @{
-  void AddWaiter(PageId page, PullSink* sink);
-  void RemoveWaiter(PageId page, PullSink* sink);
+  void AddWaiter(PageId page, PullSink* sink) override;
+  void RemoveWaiter(PageId page, PullSink* sink) override;
   /// @}
+
+  /// Observes every service decision: called with the picked page and
+  /// its delivery-end time the moment the decision fires, before the
+  /// delivery event runs. The population engine uses this to mirror the
+  /// transmission into every shard's local waiter table; unset (the
+  /// default) it costs nothing.
+  void SetServiceFanout(std::function<void(PageId, double)> fanout) {
+    service_fanout_ = std::move(fanout);
+  }
 
   /// Finalizes run-length accounting (pull opportunities offered).
   void FinishRun(double end_time);
@@ -145,6 +155,7 @@ class PullServer {
   // a timeout re-request landing exactly on a slot start) re-arming a
   // second decision in a slot that already transmitted.
   double next_decision_floor_ = 0.0;
+  std::function<void(PageId, double)> service_fanout_;
   std::unordered_map<PageId, std::vector<PullSink*>> waiters_;
 };
 

@@ -9,6 +9,8 @@
 #ifndef BCAST_PULL_PULL_SINK_H_
 #define BCAST_PULL_PULL_SINK_H_
 
+#include "broadcast/types.h"
+
 namespace bcast::pull {
 
 /// \brief A party waiting for a page that a pull slot may deliver early.
@@ -23,6 +25,27 @@ class PullSink {
 
  protected:
   ~PullSink() = default;
+};
+
+/// \brief The waiter-table side of a pull provider, as the broadcast
+/// channel sees it.
+///
+/// `BroadcastChannel` races every tracked wait against "something that
+/// may transmit the page out of band". For the single-threaded paths
+/// that something is the `PullServer` itself; the sharded population
+/// engine substitutes a shard-local hub that mirrors the server's
+/// delivery schedule. Keeping the channel against this interface is
+/// what lets one channel implementation serve both worlds.
+class WaiterRegistry {
+ public:
+  /// Registers \p sink for the next pull transmission of \p page.
+  virtual void AddWaiter(PageId page, PullSink* sink) = 0;
+
+  /// Removes \p sink from \p page's waiter list (no-op when absent).
+  virtual void RemoveWaiter(PageId page, PullSink* sink) = 0;
+
+ protected:
+  ~WaiterRegistry() = default;
 };
 
 }  // namespace bcast::pull

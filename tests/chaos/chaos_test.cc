@@ -95,6 +95,53 @@ TEST(ChaosRunTest, DisabledIdentityHoldsOnSampledSeeds) {
   }
 }
 
+TEST(ChaosPopulationTest, PopAxisDrawsBoundedShape) {
+  bool saw_population = false;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    const ChaosScenario scenario = GenerateScenario(seed, ChaosAxes::All());
+    EXPECT_GE(scenario.clients, 2u);
+    EXPECT_LE(scenario.clients, 5u);
+    EXPECT_GE(scenario.shards, 1u);
+    EXPECT_LE(scenario.shards, scenario.clients);
+    if (scenario.clients > 1) saw_population = true;
+    // Disabling the axis collapses the shape without reshuffling the
+    // rest of the scenario (the shrinker's contract).
+    ChaosAxes no_pop = ChaosAxes::All();
+    no_pop.pop = false;
+    const ChaosScenario single = GenerateScenario(seed, no_pop);
+    EXPECT_EQ(single.clients, 1u);
+    EXPECT_EQ(single.shards, 1u);
+    EXPECT_EQ(single.params.ToString(), scenario.params.ToString());
+  }
+  EXPECT_TRUE(saw_population);
+}
+
+TEST(ChaosPopulationTest, PopAxisNamedInToString) {
+  EXPECT_NE(ChaosAxes::All().ToString().find("pop"), std::string::npos);
+  ChaosAxes only_pop = ChaosAxes::None();
+  only_pop.pop = true;
+  EXPECT_EQ(only_pop.ToString(), "pop");
+  EXPECT_FALSE(only_pop.Empty());
+}
+
+TEST(ChaosPopulationTest, ShardIdentityHoldsOnSampledSeeds) {
+  // The K-invariance contract under full fault composition: the drawn
+  // shard count and a single-shard re-run must serialize identically.
+  for (uint64_t seed : {0ull, 5ull, 11ull}) {
+    const ChaosScenario scenario = GenerateScenario(seed, ChaosAxes::All());
+    const auto violation = CheckShardIdentity(scenario);
+    EXPECT_FALSE(violation.has_value())
+        << "seed " << seed << ": " << violation->detail;
+  }
+}
+
+TEST(ChaosPopulationTest, ShardIdentityIsVacuousForSingleClient) {
+  ChaosAxes no_pop = ChaosAxes::All();
+  no_pop.pop = false;
+  const ChaosScenario scenario = GenerateScenario(2, no_pop);
+  EXPECT_FALSE(CheckShardIdentity(scenario).has_value());
+}
+
 TEST(ChaosMinimizeTest, PassingSeedMinimizesToItself) {
   // MinimizeAxes only removes an axis when the scenario still fails
   // without it; a passing scenario must come back untouched.

@@ -393,6 +393,39 @@ TEST(AdaptSweepTest, FinalSlotsOutsideBoundsFail) {
   EXPECT_TRUE(ContainsFailure(checks, "adapt_sweep.slots_within_bounds"));
 }
 
+TEST(AdaptSweepTest, RequireGrowGatesOnSlotSplitDirection) {
+  // A backlog scenario must show the split moving toward pull: grows
+  // recorded AND a final count above the initial one. Holding steady,
+  // or growing then shrinking back, both fail the gate.
+  AdaptSweepPoint grew = AdaptPoint(4, 6500.0);
+  grew.initial_slots = 1.0;
+  grew.final_slots = 3.0;
+  grew.slot_grows = 2.0;
+  EXPECT_TRUE(CheckAdaptImprovement({StaticAnchor(6700.0), grew},
+                                    /*slack=*/0.0, /*require_grow=*/true)
+                  .all_ok());
+
+  AdaptSweepPoint held = AdaptPoint(4, 6500.0);
+  held.initial_slots = 1.0;
+  held.final_slots = 1.0;
+  EXPECT_TRUE(ContainsFailure(
+      CheckAdaptImprovement({StaticAnchor(6700.0), held}, 0.0, true),
+      "adapt_sweep.slot_split_grew"));
+
+  AdaptSweepPoint bounced = AdaptPoint(4, 6500.0);
+  bounced.initial_slots = 2.0;
+  bounced.final_slots = 2.0;
+  bounced.slot_grows = 1.0;
+  bounced.slot_shrinks = 1.0;
+  EXPECT_TRUE(ContainsFailure(
+      CheckAdaptImprovement({StaticAnchor(6700.0), bounced}, 0.0, true),
+      "adapt_sweep.slot_split_grew"));
+
+  // Without the gate the same held point passes.
+  EXPECT_TRUE(
+      CheckAdaptImprovement({StaticAnchor(6700.0), held}).all_ok());
+}
+
 TEST(AdaptSweepTest, HuntingControllerFailsConvergence) {
   AdaptSweepPoint hunting = AdaptPoint(4, 6500.0);
   hunting.slot_range_late = 2.0;

@@ -1,0 +1,117 @@
+// The population SoA store: shard partition geometry, class stamping,
+// conditional block allocation, canonical merges, and the cache-line
+// padding the zero-synchronization rounds depend on.
+
+#include "pop/client_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pop/pop_params.h"
+
+namespace bcast::pop {
+namespace {
+
+std::vector<ClassProfile> TwoClasses() {
+  return {{"near", 0.6, 0.5, 0.0}, {"far", 0.4, 2.0, 3.0}};
+}
+
+TEST(ClientStoreTest, ShardRangesMatchShardBegin) {
+  ClientStore store(10, 3, {}, /*need_pull=*/false, /*need_cold=*/false);
+  EXPECT_EQ(store.clients(), 10u);
+  EXPECT_EQ(store.shards(), 3u);
+  for (uint64_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(store.ShardBeginOf(s), ShardBegin(s, 3, 10));
+    EXPECT_EQ(store.ShardEndOf(s), ShardBegin(s + 1, 3, 10));
+    for (uint64_t c = store.ShardBeginOf(s); c < store.ShardEndOf(s); ++c) {
+      EXPECT_EQ(store.ShardOf(c), s) << "client " << c;
+    }
+  }
+}
+
+TEST(ClientStoreTest, ClassAssignmentMatchesClassOfClient) {
+  const auto classes = TwoClasses();
+  ClientStore store(10, 2, classes, false, false);
+  for (uint64_t c = 0; c < 10; ++c) {
+    EXPECT_EQ(store.class_of(c), ClassOfClient(c, 10, classes)) << c;
+  }
+}
+
+TEST(ClientStoreTest, BlocksAllocatedOnlyWhenNeeded) {
+  ClientStore bare(4, 2, {}, false, false);
+  EXPECT_EQ(bare.pull_stats(0), nullptr);
+  EXPECT_EQ(bare.cold_wait(0), nullptr);
+
+  ClientStore full(4, 2, {}, true, true);
+  ASSERT_NE(full.pull_stats(0), nullptr);
+  ASSERT_NE(full.cold_wait(0), nullptr);
+  EXPECT_NE(full.pull_stats(0), full.pull_stats(1));
+}
+
+TEST(ClientStoreTest, BlocksAreCacheLinePadded) {
+  // The no-false-sharing contract: each client's mutable block starts
+  // on its own cache line.
+  static_assert(alignof(ClientPullBlock) >= 64);
+  static_assert(alignof(ClientColdBlock) >= 64);
+  static_assert(sizeof(ClientPullBlock) % 64 == 0);
+  static_assert(sizeof(ClientColdBlock) % 64 == 0);
+  ClientStore store(3, 3, {}, true, true);
+  for (uint64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(store.pull_stats(c)) % 64, 0u);
+  }
+}
+
+TEST(ClientStoreTest, MergePullStatsFoldsClientSideFields) {
+  // The blocks carry only what the client-side requester writes —
+  // deliveries and wait histograms. Admission counters (attempted,
+  // accepted, dropped, lost) are accounted by the coordinator's replay
+  // against the real pull server and must NOT be double-folded here.
+  ClientStore store(5, 2, {}, true, false);
+  for (uint64_t c = 0; c < 5; ++c) {
+    store.pull_stats(c)->requests_attempted = 100;  // replay-owned
+    store.pull_stats(c)->push_deliveries = c + 1;
+    store.pull_stats(c)->pull_latency.Add(static_cast<double>(c));
+    store.pull_stats(c)->push_latency.Add(static_cast<double>(c));
+  }
+  pull::PullStats total;
+  store.MergePullStats(&total);
+  EXPECT_EQ(total.push_deliveries, 1u + 2 + 3 + 4 + 5);
+  EXPECT_EQ(total.pull_latency.count(), 5u);
+  EXPECT_EQ(total.push_latency.count(), 5u);
+  EXPECT_EQ(total.requests_attempted, 0u);
+}
+
+TEST(ClientStoreTest, MergeColdWaitFoldsEveryClient) {
+  ClientStore store(4, 4, {}, false, true);
+  for (uint64_t c = 0; c < 4; ++c) {
+    store.cold_wait(c)->Add(10.0 * static_cast<double>(c + 1));
+  }
+  obs::LogHistogram total;
+  store.MergeColdWait(&total);
+  EXPECT_EQ(total.count(), 4u);
+}
+
+TEST(ApplyClassProfilesTest, StampsSpecsFromClasses) {
+  const auto classes = TwoClasses();
+  std::vector<ClientSpec> specs(10);
+  ApplyClassProfiles(classes, &specs);
+  for (uint64_t c = 0; c < 10; ++c) {
+    const uint32_t k = ClassOfClient(c, 10, classes);
+    EXPECT_EQ(specs[c].class_id, k);
+    EXPECT_DOUBLE_EQ(specs[c].loss_scale, classes[k].loss_scale);
+    EXPECT_DOUBLE_EQ(specs[c].doze_scale, classes[k].doze_scale);
+  }
+}
+
+TEST(ApplyClassProfilesTest, EmptyClassListIsNoOp) {
+  std::vector<ClientSpec> specs(3);
+  specs[1].loss_scale = 7.0;
+  ApplyClassProfiles({}, &specs);
+  EXPECT_EQ(specs[0].class_id, 0u);
+  EXPECT_DOUBLE_EQ(specs[1].loss_scale, 7.0);
+}
+
+}  // namespace
+}  // namespace bcast::pop

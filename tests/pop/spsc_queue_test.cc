@@ -1,0 +1,105 @@
+// The shard-to-coordinator ring: capacity rounding, FIFO through ring
+// and spill, and a two-thread soak of the lock-free fast path.
+
+#include "pop/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace bcast::pop {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1025).capacity(), 2048u);
+}
+
+TEST(SpscQueueTest, PopOnEmptyFails) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));
+  q.Push(7);
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(SpscQueueTest, FifoWithinRingCapacity) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) q.Push(i);
+  EXPECT_EQ(q.spilled(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscQueueTest, OverflowSpillsAndDrainsFifo) {
+  // A parked producer that overfills the ring models the barrier drain:
+  // pops must come back in exact push order, ring bytes first, spill
+  // after — which *is* push order, since spilling only starts when the
+  // ring is full.
+  SpscQueue<int> q(4);
+  constexpr int kTotal = 100;
+  for (int i = 0; i < kTotal; ++i) q.Push(i);
+  EXPECT_GT(q.spilled(), 0u);
+  for (int i = 0; i < kTotal; ++i) {
+    int out = -1;
+    ASSERT_TRUE(q.TryPop(&out)) << "lost entry " << i;
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(SpscQueueTest, QueueIsReusableAfterFullDrain) {
+  SpscQueue<int> q(2);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) q.Push(round * 10 + i);
+    for (int i = 0; i < 10; ++i) {
+      int out = -1;
+      ASSERT_TRUE(q.TryPop(&out));
+      EXPECT_EQ(out, round * 10 + i);
+    }
+    int out = -1;
+    EXPECT_FALSE(q.TryPop(&out));
+  }
+}
+
+TEST(SpscQueueTest, ConcurrentProducerConsumerLosesNothing) {
+  // Live producer + live consumer: every pushed value must arrive
+  // exactly once. (Cross spill/ring interleavings may reorder under a
+  // racing producer; the engine only drains at barriers, where order is
+  // covered by the FIFO tests above.)
+  SpscQueue<uint64_t> q(64);
+  constexpr uint64_t kTotal = 200000;
+  std::thread producer([&q] {
+    for (uint64_t i = 0; i < kTotal; ++i) q.Push(i);
+  });
+  std::vector<uint8_t> seen(kTotal, 0);
+  uint64_t received = 0;
+  while (received < kTotal) {
+    uint64_t v = 0;
+    if (!q.TryPop(&v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(v, kTotal);
+    ASSERT_EQ(seen[v], 0) << "duplicate " << v;
+    seen[v] = 1;
+    ++received;
+  }
+  producer.join();
+  uint64_t v = 0;
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+}  // namespace
+}  // namespace bcast::pop

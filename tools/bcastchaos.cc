@@ -6,7 +6,9 @@
 // invariants: no hang, every request serviced with balanced books,
 // response accounting matching the request count, and — periodically —
 // byte-identical reports under both DES backends with the process axes
-// stripped. Any violation reproduces from one integer.
+// stripped, plus byte-identical population reports re-run single-sharded
+// (the engine's shard-count invariance under full fault composition).
+// Any violation reproduces from one integer.
 //
 //   bcastchaos --seeds 500                 # the CI smoke sweep
 //   bcastchaos --chaos_seed 123 --replay   # re-run one seed, verbosely
@@ -40,14 +42,13 @@ void WriteArtifacts(const chaos::ChaosScenario& scenario,
       dir + "/chaos_fail_" + std::to_string(scenario.chaos_seed);
   Result<std::unique_ptr<obs::TimelineWriter>> timeline =
       obs::TimelineWriter::Open(stem + ".timeline.json");
-  SimObservers observers;
-  observers.horizon = scenario.horizon;
-  if (timeline.ok()) observers.timeline = timeline->get();
-  Result<SimResult> result = RunSimulation(scenario.params, observers);
-  if (result.ok()) {
-    obs::RunReport report =
-        MakeRunReport(scenario.params, *result, "bcastchaos");
-    Status st = report.WriteToFile(stem + ".report.json");
+  // Population scenarios re-run through the engine so the artifact
+  // shows the run that actually failed (per-shard timeline tracks
+  // included); single-client scenarios re-run the plain simulator.
+  chaos::ChaosOutcome rerun = chaos::RunScenario(
+      scenario, nullptr, timeline.ok() ? timeline->get() : nullptr);
+  if (rerun.completed) {
+    Status st = rerun.report.WriteToFile(stem + ".report.json");
     if (!st.ok()) {
       std::cerr << "artifact write failed: " << st.ToString() << "\n";
     }
@@ -69,6 +70,7 @@ int Run(int argc, char** argv) {
   uint64_t start_seed = 0;
   uint64_t chaos_seed = 0;
   uint64_t identity_every = 16;
+  uint64_t shard_identity_every = 8;
   bool replay = false;
   bool minimize = false;
   std::string artifact_dir = ".";
@@ -81,6 +83,9 @@ int Run(int argc, char** argv) {
   flags.AddUint64("identity_every", &identity_every,
                   "every Nth seed also runs the disabled-axes two-backend "
                   "bit-identity check (0 = never)");
+  flags.AddUint64("shard_identity_every", &shard_identity_every,
+                  "every Nth population seed also re-runs single-sharded "
+                  "and requires a bit-identical report (0 = never)");
   flags.AddBool("replay", &replay, "re-run one seed and print its report");
   flags.AddBool("min", &minimize,
                 "shrink a failing seed by disabling axes one at a time");
@@ -133,6 +138,15 @@ int Run(int argc, char** argv) {
     }
     if (identity_every > 0 && (s - start_seed) % identity_every == 0) {
       if (auto v = chaos::CheckDisabledIdentity(scenario)) {
+        ++failures;
+        std::cerr << "FAIL seed " << s << " [" << v->invariant
+                  << "]: " << v->detail << "\n";
+        std::cerr << "repro: " << chaos::ReproCommand(s) << "\n";
+      }
+    }
+    if (shard_identity_every > 0 &&
+        (s - start_seed) % shard_identity_every == 0) {
+      if (auto v = chaos::CheckShardIdentity(scenario)) {
         ++failures;
         std::cerr << "FAIL seed " << s << " [" << v->invariant
                   << "]: " << v->detail << "\n";

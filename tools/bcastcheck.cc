@@ -91,6 +91,7 @@ int Run(int argc, const char* const* argv) {
   double pull_slack = 0.05;
   std::string adapt_sweep;
   double adapt_slack = 0.0;
+  bool adapt_require_grow = false;
   std::string bench_path;
   std::string bench_baseline_path;
   double bench_tolerance = 0.10;
@@ -140,6 +141,9 @@ int Run(int argc, const char* const* argv) {
   flags.AddDouble("adapt_slack", &adapt_slack,
                   "relative margin the adaptive cold-class latency must "
                   "beat the static anchor by");
+  flags.AddBool("adapt_require_grow", &adapt_require_grow,
+                "--adapt_sweep: additionally require an adaptive point "
+                "whose pull-slot split grew (backlog scenarios)");
   flags.AddString("bench", &bench_path,
                   "google-benchmark JSON file to diff");
   flags.AddString("bench_baseline", &bench_baseline_path,
@@ -332,8 +336,8 @@ int Run(int argc, const char* const* argv) {
       all.Extend(check::CheckReportInvariants(*report));
       points.push_back(check::AdaptSweepPointFromReport(*report));
     }
-    all.Extend(
-        check::CheckAdaptImprovement(std::move(points), adapt_slack));
+    all.Extend(check::CheckAdaptImprovement(std::move(points), adapt_slack,
+                                            adapt_require_grow));
   }
 
   if (!bench_path.empty()) {

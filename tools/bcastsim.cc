@@ -34,6 +34,9 @@
 #include "obs/stats_stream.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "pop/client_store.h"
+#include "pop/engine.h"
+#include "pop/pop_params.h"
 #include "pull/pull_params.h"
 
 namespace bcast {
@@ -64,11 +67,15 @@ void MaybeRecordBackend(obs::RunReport* report, bool record,
 }
 
 // Runs the population mode: `clients` specs whose interests are spread
-// evenly across the database.
-int RunPopulation(const SimParams& base, uint64_t clients,
+// evenly across the database. `pop` (clients already stamped) selects
+// the execution engine: the classic single-threaded runner, or the
+// sharded multi-threaded engine when `--shards` > 1 or
+// `--force_pop_engine` is set — results are shard-count invariant.
+int RunPopulation(const SimParams& base, const pop::PopParams& pop,
                   const std::string& report_out,
                   const SimObservers& observers,
                   bool record_des_queue) {
+  const uint64_t clients = pop.clients;
   MultiClientParams params;
   params.disk_sizes = base.disk_sizes;
   params.delta = base.delta;
@@ -94,20 +101,31 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   params.pull = base.pull;
   params.adapt = base.adapt;
   params.des_queue = base.des_queue;
-  auto result = RunMultiClientSimulation(params, observers);
+  pop::ApplyClassProfiles(pop.classes, &params.clients);
+  auto result = pop.UseEngine()
+                    ? pop::RunPopulationSimulation(params, pop, observers)
+                    : RunMultiClientSimulation(params, observers);
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
   }
-  AsciiTable table({"Client", "InterestShift", "MeanRT", "CacheHit%"});
-  for (size_t c = 0; c < params.clients.size(); ++c) {
-    table.AddRow({std::to_string(c),
-                  std::to_string(params.clients[c].interest_shift),
-                  FormatDouble(result->mean_response_times[c], 1),
-                  FormatDouble(100.0 * result->per_client[c].hit_rate(),
-                               1)});
+  // Per-client rows stay readable for paper-scale populations; a 100k
+  // client run gets the aggregate lines only.
+  constexpr size_t kMaxClientRows = 32;
+  if (params.clients.size() <= kMaxClientRows) {
+    AsciiTable table({"Client", "InterestShift", "MeanRT", "CacheHit%"});
+    for (size_t c = 0; c < params.clients.size(); ++c) {
+      table.AddRow({std::to_string(c),
+                    std::to_string(params.clients[c].interest_shift),
+                    FormatDouble(result->mean_response_times[c], 1),
+                    FormatDouble(100.0 * result->per_client[c].hit_rate(),
+                                 1)});
+    }
+    table.Print(std::cout);
+  } else {
+    std::cout << params.clients.size() << " clients over "
+              << pop.EffectiveShards() << " shard(s)\n";
   }
-  table.Print(std::cout);
   std::cout << "Population mean "
             << FormatDouble(result->response_across_clients.mean(), 1)
             << ", max/min "
@@ -119,6 +137,9 @@ int RunPopulation(const SimParams& base, uint64_t clients,
   if (!report_out.empty()) {
     obs::RunReport report = MakePopulationRunReport(
         params, *result, base.ToString(), "bcastsim");
+    if (pop.UseEngine()) {
+      pop::AppendPopulationExtras(pop, *result, &report);
+    }
     MaybeRecordBackend(&report, record_des_queue, base.des_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
@@ -331,7 +352,9 @@ int Run(int argc, const char* const* argv) {
   observers.profile_des = profile_des;
 
   if (mode == "population") {
-    return RunPopulation(params, clients, report_out, observers,
+    pop::PopParams pop = config.pop;
+    pop.clients = clients;
+    return RunPopulation(params, pop, report_out, observers,
                          record_des_queue);
   }
 

@@ -122,6 +122,12 @@ struct Dashboard {
             << FormatDouble(100.0 * frac, 1) << "%\n";
       }
     }
+    if (s.pop_clients > 0) {
+      out << "  population " << s.pop_clients << " clients / "
+          << s.pop_shards << " shard(s)   req_rate "
+          << FormatDouble(s.pop_req_rate, 3) << "/slot   worst_p99 "
+          << FormatDouble(s.pop_worst_p99, 1) << "\n";
+    }
     if (s.pull_serviced > 0 || s.pull_queue_depth > 0) {
       out << "  pull queue " << s.pull_queue_depth << "   serviced "
           << s.pull_serviced << "\n";
