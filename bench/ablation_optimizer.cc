@@ -1,13 +1,28 @@
-// Ablation A5: automatic broadcast design (the paper's future work).
-// Compares the coordinate-descent optimizer's layout against the paper's
-// hand-picked D1-D5 at their best delta, both analytically and in
-// simulation, plus the continuous square-root-rule lower-bound estimate.
+// Ablation A5: the schedule-optimizer frontier (the paper's future work).
+// Races the registry's optimizers — the paper's Δ-rule (`delta`), the
+// square-root-rule frequency assignment (`ksy`), and the bit-reversal
+// schedule (`rbo`) — on one skewed scenario, both analytically and in
+// simulation, and gates the claims that justify the frontier:
+//
+//   1. `delta` through the registry is the paper's schedule re-expressed:
+//      it must match an explicit Δ-rule frequency run exactly.
+//   2. `ksy` analytically never loses to `delta` (the Δ-rule is one of
+//      its candidates) and strictly beats it here, where the Δ-rule's
+//      arithmetic frequency ladder is far from the square-root optimum.
+//   3. Every optimizer's predicted expected delay agrees with its
+//      simulated mean response time (minus the 1-unit transmission)
+//      within tolerance — the analytic machinery is not a fairy tale.
+//
+// Also prints the continuous square-root-rule lower bound
+// E[delay] >= (sum_i sqrt(p_i))^2 / 2 that every integer schedule chases.
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "broadcast/optimizer.h"
+#include "broadcast/disk_config.h"
+#include "broadcast/schedule_optimizer.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "common/zipf.h"
@@ -16,72 +31,114 @@ namespace bcast {
 namespace {
 
 void Run() {
-  bench::Banner("Ablation A5", "optimizer vs hand-picked configurations");
+  bench::Banner("Ablation A5", "schedule-optimizer frontier race");
 
-  // The client's (and, with Noise 0, the server's) access distribution.
-  auto zipf = RegionZipfGenerator::Make(1000, 50, 0.95);
-  BCAST_CHECK(zipf.ok());
-  std::vector<double> probs(5000, 0.0);
-  for (PageId p = 0; p < 1000; ++p) probs[p] = zipf->Probability(p);
-
-  // Continuous square-root-rule bound: E[delay] >= (sum_i sqrt(p_i))^2 / 2
-  // in units of the database scan (with per-page slots).
-  double sqrt_sum = 0.0;
-  for (double p : probs) sqrt_sum += std::sqrt(p);
-  const double sqrt_rule_bound = sqrt_sum * sqrt_sum / 2.0;
-
-  AsciiTable table(
-      {"Config", "BestDelta", "AnalyticRT", "SimulatedRT"});
+  // The skewed scenario: the paper's workload (Zipf 0.95 over the hottest
+  // 1000 of 5000 pages) against the D5 disks, no cache, so the simulated
+  // mean response time is the expected broadcast delay plus the 1-unit
+  // transmission.
   SimParams base = bench::PaperParams();
   base.cache_size = 1;
   base.measured_requests = bench::MeasuredRequests(40000);
 
-  auto evaluate = [&](const std::string& name,
-                      const std::vector<uint64_t>& sizes, uint64_t delta) {
-    auto layout = MakeDeltaLayout(sizes, delta);
-    BCAST_CHECK(layout.ok());
-    const double analytic = AnalyticExpectedDelay(*layout, probs);
+  const std::vector<double> probs =
+      NominalAccessProbs(base.access_range, base.region_size, base.theta,
+                         base.ServerDbSize());
+  double sqrt_sum = 0.0;
+  for (double p : probs) sqrt_sum += std::sqrt(p);
+  const double sqrt_rule_bound = sqrt_sum * sqrt_sum / 2.0;
+
+  // Gate 1 reference: the Δ-rule pinned by explicit frequencies, i.e. the
+  // pre-frontier build path. `delta` through the registry must match it
+  // exactly — same program, same draws, same metrics.
+  double baseline_rt = 0.0;
+  {
+    Result<DiskLayout> layout =
+        MakeDeltaLayout(base.disk_sizes, base.delta);
+    BCAST_CHECK(layout.ok()) << layout.status().ToString();
     SimParams params = base;
-    params.disk_sizes = sizes;
-    params.delta = delta;
+    params.rel_freqs = layout->rel_freqs;
     auto result = RunSimulation(params);
     BCAST_CHECK(result.ok()) << result.status().ToString();
-    table.AddRow({name, std::to_string(delta), FormatDouble(analytic, 1),
-                  FormatDouble(result->metrics.mean_response_time(), 1)});
-  };
+    baseline_rt = result->metrics.mean_response_time();
+  }
 
-  // Hand-picked configs at their analytically best delta in [0, 7].
-  for (const auto& config : bench::kFigure5Configs) {
-    uint64_t best_delta = 0;
-    double best = 1e18;
-    for (uint64_t delta = 0; delta <= 7; ++delta) {
-      auto layout = MakeDeltaLayout(config.sizes, delta);
-      BCAST_CHECK(layout.ok());
-      const double cost = AnalyticExpectedDelay(*layout, probs);
-      if (cost < best) {
-        best = cost;
-        best_delta = delta;
-      }
+  AsciiTable table({"Optimizer", "Layout", "AnalyticRT", "SimulatedRT",
+                    "vs delta"});
+  double delta_analytic = 0.0;
+  double delta_sim = 0.0;
+  double ksy_analytic = 0.0;
+  double ksy_sim = 0.0;
+  for (const std::string& name : ScheduleOptimizerNames()) {
+    SimParams params = base;
+    params.optimizer = name;
+    auto result = RunSimulation(params);
+    BCAST_CHECK(result.ok()) << result.status().ToString();
+    const double sim_rt = result->metrics.mean_response_time();
+    // The runner skips the prediction for delta (byte-format stability);
+    // recompute it from the layout the Δ-rule builds.
+    double analytic = result->predicted_delay;
+    if (name == "delta") {
+      Result<DiskLayout> layout =
+          MakeDeltaLayout(base.disk_sizes, base.delta);
+      BCAST_CHECK(layout.ok()) << layout.status().ToString();
+      analytic = AnalyticExpectedDelay(*layout, probs);
+      delta_analytic = analytic;
+      delta_sim = sim_rt;
+      BCAST_CHECK_EQ(sim_rt, baseline_rt)
+          << "delta through the registry diverged from the explicit "
+             "Delta-rule run";
     }
-    evaluate(config.name, config.sizes, best_delta);
+    if (name == "ksy") {
+      ksy_analytic = analytic;
+      ksy_sim = sim_rt;
+    }
+    OptimizerRequest request;
+    request.disk_sizes = base.disk_sizes;
+    request.delta = base.delta;
+    request.probs = probs;
+    auto built = FindScheduleOptimizer(name)->Build(request);
+    BCAST_CHECK(built.ok()) << built.status().ToString();
+    table.AddRow({name, built->layout.ToString(), FormatDouble(analytic, 1),
+                  FormatDouble(sim_rt, 1),
+                  delta_sim > 0.0 ? StrFormat("%.2fx", delta_sim / sim_rt)
+                                  : "-"});
   }
-
-  // Optimizer-designed layouts with 2 and 3 disks.
-  for (uint64_t disks : {2u, 3u}) {
-    auto optimized = OptimizeLayout(probs, disks, 7);
-    BCAST_CHECK(optimized.ok()) << optimized.status().ToString();
-    std::string name = "OPT" + std::to_string(disks) +
-                       optimized->layout.ToString();
-    evaluate(name, optimized->layout.sizes, optimized->delta);
-  }
-
   table.Print(std::cout);
   std::cout << "\nSquare-root-rule continuous bound (no integrality, no "
                "chunk padding): "
             << FormatDouble(sqrt_rule_bound, 1) << " units\n";
-  std::cout << "\nExpected: the optimizer matches or beats every "
-               "hand-picked config; the bound\nshows how much the integer "
-               "multi-disk structure gives up (little).\n";
+
+  // Gate 2: ksy never loses analytically, and on this skewed scenario it
+  // must win outright in simulation too.
+  BCAST_CHECK_LE(ksy_analytic, delta_analytic + 1e-9)
+      << "ksy lost to delta analytically — the Delta-rule candidate is "
+         "supposed to make that impossible";
+  BCAST_CHECK_LT(ksy_sim, delta_sim)
+      << "ksy did not beat delta in simulation on the skewed scenario";
+
+  // Gate 3: prediction vs simulation, within 20% after removing the
+  // 1-unit transmission the response time includes. The slack is mostly
+  // think-time/slot-phase correlation: requests are not uniformly random
+  // in time after a fetch completes, which the analytic model assumes.
+  const double tolerance = 0.2;
+  auto check_agreement = [&](const char* name, double analytic,
+                             double sim_rt) {
+    const double simulated_delay = sim_rt - 1.0;
+    BCAST_CHECK_LE(std::fabs(simulated_delay - analytic),
+                   tolerance * analytic)
+        << name << ": predicted " << analytic << " but simulated "
+        << simulated_delay;
+  };
+  check_agreement("delta", delta_analytic, delta_sim);
+  check_agreement("ksy", ksy_analytic, ksy_sim);
+
+  std::cout << "\nGates passed: delta == explicit Delta-rule run exactly; "
+               "ksy beat delta ("
+            << FormatDouble(delta_sim, 1) << " -> "
+            << FormatDouble(ksy_sim, 1)
+            << " simulated); predictions within "
+            << FormatDouble(100.0 * tolerance, 0) << "% of simulation.\n";
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <utility>
 
-#include "broadcast/optimizer.h"
+#include "broadcast/schedule_optimizer.h"
 #include "common/table.h"
 #include "common/string_util.h"
 #include "common/zipf.h"
@@ -38,32 +40,47 @@ int main(int argc, char** argv) {
             << ") access to " << access_range << "/" << db_size
             << " pages\n\n";
 
-  AsciiTable table({"Disks", "Layout", "Delta", "AnalyticRT",
-                    "vs flat"});
+  const ScheduleOptimizer* designer = FindScheduleOptimizer("delta");
+
+  AsciiTable table({"Disks", "Layout", "AnalyticRT", "vs flat"});
   const double flat_rt = static_cast<double>(db_size) / 2.0;
-  OptimizedLayout best;
-  bool have_best = false;
+  std::optional<OptimizedSchedule> best;
   for (uint64_t disks = 1; disks <= 4; ++disks) {
-    auto result = OptimizeLayout(probs, disks, 7);
+    OptimizerRequest request;
+    request.probs = probs;
+    request.num_disks = disks;
+    request.max_delta = 7;
+    auto result = designer->Design(request);
     if (!result.ok()) {
       std::cerr << result.status().ToString() << "\n";
       return 1;
     }
     table.AddRow({std::to_string(disks), result->layout.ToString(),
-                  std::to_string(result->delta),
-                  FormatDouble(result->expected_delay, 1),
-                  StrFormat("%.2fx", flat_rt / result->expected_delay)});
-    if (!have_best || result->expected_delay < best.expected_delay) {
-      best = *result;
-      have_best = true;
+                  FormatDouble(result->predicted_delay, 1),
+                  StrFormat("%.2fx", flat_rt / result->predicted_delay)});
+    if (!best || result->predicted_delay < best->predicted_delay) {
+      best = std::move(*result);
     }
   }
   table.Print(std::cout);
 
-  // Validate the winner in simulation.
+  // Race the whole optimizer frontier on the winning partition.
+  std::cout << "\nFrontier on the winning partition:\n";
+  for (const std::string& name : ScheduleOptimizerNames()) {
+    OptimizerRequest request;
+    request.disk_sizes = best->layout.sizes;
+    request.probs = probs;
+    auto raced = FindScheduleOptimizer(name)->Build(request);
+    if (raced.ok()) {
+      std::cout << "  " << name << ": analytic "
+                << FormatDouble(raced->predicted_delay, 1) << " units\n";
+    }
+  }
+
+  // Validate the winner in simulation: pin its exact frequency vector.
   SimParams params;
-  params.disk_sizes = best.layout.sizes;
-  params.delta = best.delta;
+  params.disk_sizes = best->layout.sizes;
+  params.rel_freqs = best->layout.rel_freqs;
   params.access_range = access_range;
   params.theta = theta;
   params.cache_size = 1;  // validate the raw broadcast, no cache
@@ -73,9 +90,8 @@ int main(int argc, char** argv) {
     std::cerr << sim.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\nBest design " << best.layout.ToString() << " at delta "
-            << best.delta << ":\n  analytic "
-            << FormatDouble(best.expected_delay, 1) << " units, simulated "
+  std::cout << "\nBest design " << best->layout.ToString() << ":\n  analytic "
+            << FormatDouble(best->predicted_delay, 1) << " units, simulated "
             << FormatDouble(sim->metrics.mean_response_time(), 1)
             << " units (includes the 1-unit transmission).\n";
   std::cout << "\nDesign principles this reproduces: two disks capture "

@@ -1,0 +1,66 @@
+/// \file access_monitor.h
+/// \brief Per-page demand measurement feeding epoch re-optimization.
+///
+/// The paper's server builds its schedule from *nominal* access
+/// probabilities; `--adapt_reopt` closes the loop on *measured* demand
+/// instead. Every client reports each broadcast fetch (cache misses —
+/// the accesses the schedule actually serves) into a shared monitor, and
+/// the controller drains the window at every epoch boundary to re-seat
+/// the layout hottest-measured-first. The same window/absorb shape as
+/// `LossMonitor`, so the population engine's shard barrier works
+/// unchanged for both signals.
+
+#ifndef BCAST_ADAPT_ACCESS_MONITOR_H_
+#define BCAST_ADAPT_ACCESS_MONITOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/types.h"
+#include "common/logging.h"
+
+namespace bcast::adapt {
+
+/// \brief Window counters of broadcast fetches per physical page.
+class AccessMonitor {
+ public:
+  explicit AccessMonitor(PageId num_pages) : counts_(num_pages, 0) {}
+
+  /// Records one broadcast fetch of physical \p page.
+  void OnFetch(PageId page) {
+    ++counts_[page];
+    ++window_total_;
+  }
+
+  /// Fetches per page since the last `TakeWindow`; resets the window.
+  std::vector<uint64_t> TakeWindow() {
+    std::vector<uint64_t> window(counts_.size(), 0);
+    window.swap(counts_);
+    window_total_ = 0;
+    return window;
+  }
+
+  /// Fetches in the current window (for tests and idle-epoch skips).
+  uint64_t window_total() const { return window_total_; }
+
+  /// Folds \p other's window into this one and resets \p other — the
+  /// same shard-barrier aggregation contract as `LossMonitor::Absorb`.
+  void Absorb(AccessMonitor& other) {
+    BCAST_CHECK_EQ(counts_.size(), other.counts_.size());
+    for (size_t p = 0; p < counts_.size(); ++p) {
+      counts_[p] += other.counts_[p];
+    }
+    window_total_ += other.window_total_;
+    std::fill(other.counts_.begin(), other.counts_.end(), 0);
+    other.window_total_ = 0;
+  }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t window_total_ = 0;
+};
+
+}  // namespace bcast::adapt
+
+#endif  // BCAST_ADAPT_ACCESS_MONITOR_H_

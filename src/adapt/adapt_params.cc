@@ -28,14 +28,19 @@ Status AdaptParams::Validate() const {
 }
 
 std::string AdaptParams::ToString() const {
-  return StrFormat(
+  std::string summary = StrFormat(
       "adapt<epoch=%llu promote=%llu qhi=%.2f idle=[%.2f,%.2f] hyst=%llu "
-      "slots=[%llu,%llu]>",
+      "slots=[%llu,%llu]",
       static_cast<unsigned long long>(epoch_cycles),
       static_cast<unsigned long long>(max_promote), queue_high, idle_low,
       idle_high, static_cast<unsigned long long>(hysteresis_epochs),
       static_cast<unsigned long long>(min_slots),
       static_cast<unsigned long long>(max_slots));
+  // Reopt changes what the controller does each epoch, so it is part of
+  // the identity; the default leaves historical strings untouched.
+  if (reopt) summary += " reopt";
+  summary += ">";
+  return summary;
 }
 
 }  // namespace bcast::adapt

@@ -49,6 +49,14 @@ struct AdaptParams {
   uint64_t min_slots = 1;
   uint64_t max_slots = 8;
 
+  /// Rerun the configured schedule optimizer each epoch on *measured*
+  /// access frequencies: clients report every broadcast fetch to an
+  /// `AccessMonitor`, and the controller re-seats the whole layout
+  /// hottest-measured-first — pages cool off (demotion) as readily as
+  /// they heat up, unlike loss repair's promote-only path. Counts as an
+  /// adaptation signal on its own (no fault/pull machinery required).
+  bool reopt = false;
+
   /// True when the control plane is on.
   bool Active() const { return epoch_cycles > 0; }
 

@@ -23,6 +23,8 @@ struct AdaptStats {
   uint64_t epochs = 0;        ///< controller ticks fired
   uint64_t rebuilds = 0;      ///< program regenerations broadcast
   uint64_t promotions = 0;    ///< pages promoted a disk hotter
+  uint64_t demotions = 0;     ///< pages demoted a disk colder (reopt)
+  uint64_t reopts = 0;        ///< measured-frequency re-seats applied
   uint64_t slot_grows = 0;    ///< pull-slot count increments
   uint64_t slot_shrinks = 0;  ///< pull-slot count decrements
 
@@ -43,6 +45,8 @@ struct AdaptStats {
     epochs += other.epochs;
     rebuilds += other.rebuilds;
     promotions += other.promotions;
+    demotions += other.demotions;
+    reopts += other.reopts;
     slot_grows += other.slot_grows;
     slot_shrinks += other.slot_shrinks;
     final_slots = other.final_slots;

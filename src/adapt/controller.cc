@@ -76,6 +76,29 @@ void Controller::Tick(double now) {
   ++stats_.epochs;
   bool rebuild = false;
 
+  if (params_.reopt && hooks_.access != nullptr &&
+      hooks_.access->window_total() > 0) {
+    const std::vector<uint64_t> demand = hooks_.access->TakeWindow();
+    // The optimizer's assignment rule on measured frequencies: seats go
+    // hottest-measured-first. Ties break toward the lower page id, so
+    // unmeasured pages keep their nominal hottest-first order and an
+    // all-idle epoch re-seats nothing.
+    std::vector<PageId> order(demand.size());
+    for (PageId p = 0; p < static_cast<PageId>(order.size()); ++p) {
+      order[p] = p;
+    }
+    std::sort(order.begin(), order.end(),
+              [&demand](PageId a, PageId b) {
+                if (demand[a] != demand[b]) return demand[a] > demand[b];
+                return a < b;
+              });
+    const PromotionMap::ReseatResult moved = perm_.Reseat(order);
+    ++stats_.reopts;
+    stats_.promotions += moved.promoted;
+    stats_.demotions += moved.demoted;
+    if (moved.promoted > 0 || moved.demoted > 0) rebuild = true;
+  }
+
   if (hooks_.loss != nullptr && params_.max_promote > 0) {
     const std::vector<uint64_t> failures = hooks_.loss->TakeWindow();
     // The promotion candidates: lossy pages not already on the fastest
@@ -126,6 +149,8 @@ void Controller::Tick(double now) {
                           {"pull_slots", static_cast<double>(slots_)},
                           {"promotions",
                            static_cast<double>(stats_.promotions)},
+                          {"demotions",
+                           static_cast<double>(stats_.demotions)},
                           {"rebuild", rebuild ? 1.0 : 0.0}}));
 
   const double next =
@@ -151,7 +176,9 @@ void Controller::Rebuild(double now) {
       hooks_.on_switch(programs_.back().get(), &hooks_.pull->layout(), now);
     }
   } else {
-    Result<BroadcastProgram> seats = GenerateMultiDiskProgram(layout_);
+    Result<BroadcastProgram> seats =
+        hooks_.make_program ? hooks_.make_program(layout_)
+                            : GenerateMultiDiskProgram(layout_);
     BCAST_CHECK(seats.ok()) << seats.status().ToString();
     Result<BroadcastProgram> remapped = perm_.Apply(*seats);
     BCAST_CHECK(remapped.ok()) << remapped.status().ToString();

@@ -10,6 +10,15 @@
 ///      promotes each one disk hotter via a seat swap (`PromotionMap`),
 ///      so the effective post-loss inter-arrival of lossy pages tracks
 ///      the paper's frequency rule.
+///   1b. **Re-optimizes from measured demand** (`--adapt_reopt`): drains
+///      the `AccessMonitor` window and re-seats the whole layout
+///      hottest-measured-first, demoting pages whose demand cooled as
+///      readily as it promotes pages whose demand grew. The disk
+///      geometry (sizes and relative frequencies) stays the one the
+///      schedule optimizer chose at build time; reopt re-solves the
+///      page-to-disk *assignment* each epoch — for fixed geometry this
+///      is exactly the optimizer's assignment rule applied to measured
+///      rather than nominal frequencies.
 ///   2. **Adjusts the push/pull split**: feeds the pull server's epoch
 ///      window (mean queue depth, idle-slot rate) to a hysteresis
 ///      controller that grows the pull-slot count under sustained
@@ -35,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "adapt/access_monitor.h"
 #include "adapt/adapt_params.h"
 #include "adapt/adapt_stats.h"
 #include "adapt/loss_monitor.h"
@@ -82,6 +92,15 @@ class Controller {
     BroadcastChannel* channel = nullptr;  ///< required
     pull::PullServer* pull = nullptr;     ///< null: push-only adaptation
     LossMonitor* loss = nullptr;          ///< null: no frequency repair
+    AccessMonitor* access = nullptr;      ///< null: no demand reopt
+    /// Regenerates the seat program for push-only rebuilds; unset, the
+    /// controller uses `GenerateMultiDiskProgram(layout)` — correct for
+    /// the delta and ksy optimizers, whose layouts carry integer
+    /// relative frequencies. The simulator supplies the chosen
+    /// optimizer's builder here so rebuilds keep the schedule *shape*
+    /// (a bit-reversal program is not a chunked minor-cycle program,
+    /// even over the same layout).
+    std::function<Result<BroadcastProgram>(const DiskLayout&)> make_program;
     /// Whether any client process is still running. Unset, the
     /// controller asks its own simulation (`live_processes() > 0`) —
     /// the single-sim behavior. The population engine, whose clients

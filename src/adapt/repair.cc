@@ -56,6 +56,32 @@ bool PromotionMap::Promote(PageId page,
   return true;
 }
 
+PromotionMap::ReseatResult PromotionMap::Reseat(
+    const std::vector<PageId>& order) {
+  BCAST_CHECK_EQ(order.size(), page_at_.size());
+  std::vector<DiskIndex> old_disk(page_at_.size());
+  for (PageId p = 0; p < static_cast<PageId>(page_at_.size()); ++p) {
+    old_disk[p] = DiskOf(p);
+  }
+  std::vector<bool> seen(page_at_.size(), false);
+  for (uint64_t s = 0; s < order.size(); ++s) {
+    const PageId page = order[s];
+    BCAST_CHECK_LT(page, page_at_.size()) << "Reseat order out of range";
+    BCAST_CHECK(!seen[page]) << "Reseat order repeats page " << page;
+    seen[page] = true;
+    page_at_[s] = page;
+    seat_of_[page] = s;
+  }
+  ReseatResult result;
+  for (PageId p = 0; p < static_cast<PageId>(page_at_.size()); ++p) {
+    const DiskIndex now = DiskOf(p);
+    if (now < old_disk[p]) ++result.promoted;
+    if (now > old_disk[p]) ++result.demoted;
+  }
+  if (result.promoted > 0 || result.demoted > 0) dirty_ = true;
+  return result;
+}
+
 Result<BroadcastProgram> PromotionMap::Apply(
     const BroadcastProgram& base) const {
   BCAST_CHECK_EQ(base.num_pages(), page_at_.size());

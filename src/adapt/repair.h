@@ -40,6 +40,21 @@ class PromotionMap {
   /// false) when \p page already sits on disk 0.
   bool Promote(PageId page, const std::vector<uint64_t>& failures);
 
+  /// \brief Disk moves applied by one `Reseat`.
+  struct ReseatResult {
+    uint64_t promoted = 0;  ///< pages re-seated onto a hotter disk
+    uint64_t demoted = 0;   ///< pages re-seated onto a colder disk
+  };
+
+  /// Re-seats the whole layout: `order[i]` becomes the page occupying
+  /// seat i (hottest-first), so \p order must be a permutation of the
+  /// page ids. Unlike `Promote`, this moves pages in *both* directions —
+  /// demand that cooled off is demoted to free hot seats for demand that
+  /// grew — which is what `--adapt_reopt`'s measured-frequency pass
+  /// needs. Seat patterns are untouched, so the fixed inter-arrival
+  /// guarantee survives exactly as it does for swaps.
+  ReseatResult Reseat(const std::vector<PageId>& order);
+
   /// Relabels \p base (a program generated over seat ids; `kEmptySlot`
   /// passes through) into a program over page ids, with per-page disks
   /// implied by the current seating.

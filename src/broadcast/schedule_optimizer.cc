@@ -1,0 +1,576 @@
+#include "broadcast/schedule_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "broadcast/generator.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace bcast {
+namespace {
+
+// Expected delay of a layout given the cumulative probability at each page
+// boundary (prefix[k] = sum of probs of pages [0, k)).
+double DelayFromPrefix(const DiskLayout& layout,
+                       const std::vector<double>& prefix) {
+  const uint64_t n = layout.NumDisks();
+  Result<uint64_t> lcm = LcmOfAll(layout.rel_freqs);
+  BCAST_CHECK(lcm.ok()) << lcm.status().ToString();
+  const uint64_t max_chunks = *lcm;
+
+  std::vector<uint64_t> num_chunks(n);
+  uint64_t minor_len = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    num_chunks[i] = max_chunks / layout.rel_freqs[i];
+    minor_len += CeilDiv(layout.sizes[i], num_chunks[i]);
+  }
+
+  double delay = 0.0;
+  uint64_t base = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Every page of disk i recurs after exactly num_chunks(i) minor
+    // cycles, so its fixed gap is num_chunks(i) * minor_len and the
+    // expected wait for a uniformly timed request is half the gap.
+    const double gap =
+        static_cast<double>(num_chunks[i]) * static_cast<double>(minor_len);
+    const double mass = prefix[base + layout.sizes[i]] - prefix[base];
+    delay += mass * gap / 2.0;
+    base += layout.sizes[i];
+  }
+  const double total_mass = prefix.back();
+  return total_mass > 0.0 ? delay / total_mass : 0.0;
+}
+
+std::vector<double> PrefixSums(const std::vector<double>& probs) {
+  std::vector<double> prefix(probs.size() + 1, 0.0);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    prefix[i + 1] = prefix[i] + probs[i];
+  }
+  return prefix;
+}
+
+Status CheckSortedHotFirst(const std::vector<double>& probs) {
+  for (size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[i - 1] + 1e-12) {
+      return Status::InvalidArgument(
+          "probabilities must be sorted hottest first");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t SumOf(const std::vector<uint64_t>& values) {
+  uint64_t total = 0;
+  for (uint64_t v : values) total += v;
+  return total;
+}
+
+// Reverses the low \p bits bits of \p value.
+uint64_t ReverseBits(uint64_t value, uint64_t bits) {
+  uint64_t out = 0;
+  for (uint64_t b = 0; b < bits; ++b) {
+    out = (out << 1) | ((value >> b) & 1);
+  }
+  return out;
+}
+
+// Largest power of two <= value (value >= 1).
+uint64_t Pow2Floor(uint64_t value) {
+  uint64_t p = 1;
+  while (p * 2 <= value) p *= 2;
+  return p;
+}
+
+// The shared boundary search: deterministic coordinate descent from an
+// equal split, with geometrically shrinking steps, minimizing \p eval
+// (which receives per-disk sizes). Returns the final boundary positions
+// b_0=0 < b_1 < ... < b_K=total and leaves the best cost in *cost.
+template <typename Eval>
+std::vector<uint64_t> DescendBoundaries(uint64_t total, uint64_t num_disks,
+                                        const Eval& eval, double* cost) {
+  std::vector<uint64_t> bounds(num_disks + 1);
+  for (uint64_t i = 0; i <= num_disks; ++i) {
+    bounds[i] = total * i / num_disks;
+  }
+  auto sizes_from = [&](const std::vector<uint64_t>& b) {
+    std::vector<uint64_t> sizes(num_disks);
+    for (uint64_t i = 0; i < num_disks; ++i) {
+      sizes[i] = b[i + 1] - b[i];
+    }
+    return sizes;
+  };
+
+  *cost = eval(sizes_from(bounds));
+  for (uint64_t step = std::max<uint64_t>(total / 8, 1); step >= 1;
+       step /= 2) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint64_t i = 1; i < num_disks; ++i) {
+        for (int dir : {-1, +1}) {
+          const int64_t moved = static_cast<int64_t>(bounds[i]) +
+                                dir * static_cast<int64_t>(step);
+          if (moved <= static_cast<int64_t>(bounds[i - 1]) ||
+              moved >= static_cast<int64_t>(bounds[i + 1])) {
+            continue;
+          }
+          std::vector<uint64_t> cand = bounds;
+          cand[i] = static_cast<uint64_t>(moved);
+          const double c = eval(sizes_from(cand));
+          if (c + 1e-12 < *cost) {
+            *cost = c;
+            bounds = std::move(cand);
+            improved = true;
+          }
+        }
+      }
+    }
+    if (step == 1) break;
+  }
+  return bounds;
+}
+
+Status CheckDesignRequest(const OptimizerRequest& request) {
+  if (request.probs.empty()) {
+    return Status::InvalidArgument("need at least one page");
+  }
+  if (request.num_disks == 0) {
+    return Status::InvalidArgument("need at least one disk");
+  }
+  if (request.num_disks > request.probs.size()) {
+    return Status::InvalidArgument("more disks than pages");
+  }
+  return CheckSortedHotFirst(request.probs);
+}
+
+// ---------------------------------------------------------------------------
+// delta — the paper's Section-2.2 schedule, unchanged.
+
+class DeltaOptimizer : public ScheduleOptimizer {
+ public:
+  const char* name() const override { return "delta"; }
+
+  Result<OptimizedSchedule> Build(
+      const OptimizerRequest& request) const override {
+    Result<DiskLayout> layout =
+        request.rel_freqs.empty()
+            ? MakeDeltaLayout(request.disk_sizes, request.delta)
+            : MakeLayout(request.disk_sizes, request.rel_freqs);
+    if (!layout.ok()) return layout.status();
+    Result<BroadcastProgram> program = GenerateMultiDiskProgram(*layout);
+    if (!program.ok()) return program.status();
+    double predicted = 0.0;
+    if (!request.probs.empty()) {
+      if (request.probs.size() != layout->TotalPages()) {
+        return Status::InvalidArgument(
+            "probs must cover every physical page");
+      }
+      predicted = DelayFromPrefix(*layout, PrefixSums(request.probs));
+    }
+    return OptimizedSchedule{std::move(*layout), std::move(*program),
+                             predicted};
+  }
+
+  // The historical OptimizeLayout search: for every Delta in
+  // [0, max_delta], coordinate-descend the boundaries under the exact
+  // analytic delay, and keep the best (Delta, boundaries) pair.
+  Result<OptimizedSchedule> Design(
+      const OptimizerRequest& request) const override {
+    Status st = CheckDesignRequest(request);
+    if (!st.ok()) return st;
+    const std::vector<double> prefix = PrefixSums(request.probs);
+
+    std::vector<uint64_t> best_sizes;
+    uint64_t best_delta = 0;
+    double best_cost = 0.0;
+    bool have_best = false;
+    for (uint64_t delta = 0; delta <= request.max_delta; ++delta) {
+      auto eval = [&](const std::vector<uint64_t>& sizes) {
+        Result<DiskLayout> layout = MakeDeltaLayout(sizes, delta);
+        BCAST_CHECK(layout.ok()) << layout.status().ToString();
+        return DelayFromPrefix(*layout, prefix);
+      };
+      double cost = 0.0;
+      std::vector<uint64_t> bounds = DescendBoundaries(
+          request.probs.size(), request.num_disks, eval, &cost);
+      if (!have_best || cost < best_cost) {
+        best_sizes.assign(request.num_disks, 0);
+        for (uint64_t i = 0; i < request.num_disks; ++i) {
+          best_sizes[i] = bounds[i + 1] - bounds[i];
+        }
+        best_delta = delta;
+        best_cost = cost;
+        have_best = true;
+      }
+    }
+
+    OptimizerRequest chosen = request;
+    chosen.disk_sizes = std::move(best_sizes);
+    chosen.rel_freqs.clear();
+    chosen.delta = best_delta;
+    return Build(chosen);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ksy — square-root-rule frequencies, raced as integer candidates.
+
+// Per-disk design weight: mean sqrt(p) over the disk's pages. With probs
+// sorted hottest first the weights are non-increasing.
+std::vector<double> DiskWeights(const std::vector<uint64_t>& sizes,
+                                const std::vector<double>& probs) {
+  std::vector<double> weights(sizes.size(), 0.0);
+  size_t base = 0;
+  for (size_t d = 0; d < sizes.size(); ++d) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < sizes[d]; ++i) {
+      sum += std::sqrt(probs[base + i]);
+    }
+    weights[d] = sizes[d] > 0 ? sum / static_cast<double>(sizes[d]) : 0.0;
+    base += sizes[d];
+  }
+  return weights;
+}
+
+// Picks the feasible integer frequency vector with the lowest analytic
+// delay for the given partition. Candidates: the Delta rule itself (so
+// ksy can never lose to delta), integer roundings of the square-root
+// weights at increasing resolution, and power-of-two roundings of the
+// same (small LCMs, so high ratios stay feasible). Returns false when no
+// candidate is feasible under \p max_period.
+bool KsyBestFreqs(const std::vector<uint64_t>& sizes,
+                  const std::vector<double>& probs,
+                  const std::vector<double>& prefix, uint64_t delta,
+                  uint64_t max_period, std::vector<uint64_t>* best_freqs,
+                  double* best_cost) {
+  const uint64_t n = sizes.size();
+  const std::vector<double> weights = DiskWeights(sizes, probs);
+  const double w_max = weights.empty() ? 0.0 : weights.front();
+
+  bool have_best = false;
+  auto consider = [&](std::vector<uint64_t> freqs) {
+    // Clamp to the layout contract (positive, non-increasing).
+    for (uint64_t d = 0; d < n; ++d) {
+      if (freqs[d] == 0) freqs[d] = 1;
+      if (d > 0 && freqs[d] > freqs[d - 1]) freqs[d] = freqs[d - 1];
+    }
+    Result<DiskLayout> layout = MakeLayout(sizes, freqs);
+    if (!layout.ok()) return;
+    Result<MultiDiskGeometry> geometry = ComputeMultiDiskGeometry(*layout);
+    if (!geometry.ok() || geometry->period > max_period) return;
+    const double cost = DelayFromPrefix(*layout, prefix);
+    if (!have_best || cost < *best_cost) {
+      *best_cost = cost;
+      *best_freqs = std::move(freqs);
+      have_best = true;
+    }
+  };
+
+  // The Delta rule first, so exact ties keep the paper's schedule.
+  {
+    std::vector<uint64_t> freqs(n);
+    for (uint64_t d = 0; d < n; ++d) freqs[d] = (n - 1 - d) * delta + 1;
+    consider(std::move(freqs));
+  }
+  if (w_max > 0.0) {
+    for (uint64_t k = 1; k <= 32; ++k) {
+      std::vector<uint64_t> freqs(n);
+      for (uint64_t d = 0; d < n; ++d) {
+        freqs[d] = static_cast<uint64_t>(std::llround(
+            std::max(1.0, static_cast<double>(k) * weights[d] / w_max)));
+      }
+      consider(std::move(freqs));
+    }
+    for (uint64_t k = 1; k <= 256; k *= 2) {
+      std::vector<uint64_t> freqs(n);
+      for (uint64_t d = 0; d < n; ++d) {
+        const double ideal =
+            std::max(1.0, static_cast<double>(k) * weights[d] / w_max);
+        // Round to the nearest power of two in log space.
+        const double lg = std::log2(ideal);
+        freqs[d] = uint64_t{1} << static_cast<uint64_t>(std::llround(lg));
+      }
+      consider(std::move(freqs));
+    }
+  }
+  return have_best;
+}
+
+class KsyOptimizer : public ScheduleOptimizer {
+ public:
+  const char* name() const override { return "ksy"; }
+
+  Result<OptimizedSchedule> Build(
+      const OptimizerRequest& request) const override {
+    if (!request.rel_freqs.empty()) {
+      return Status::InvalidArgument(
+          "ksy derives frequencies from probabilities; explicit rel_freqs "
+          "require the delta optimizer");
+    }
+    if (request.probs.empty()) {
+      return Status::InvalidArgument("ksy needs access probabilities");
+    }
+    if (request.probs.size() != SumOf(request.disk_sizes)) {
+      return Status::InvalidArgument("probs must cover every physical page");
+    }
+    Status st = CheckSortedHotFirst(request.probs);
+    if (!st.ok()) return st;
+
+    const std::vector<double> prefix = PrefixSums(request.probs);
+    std::vector<uint64_t> freqs;
+    double cost = 0.0;
+    if (!KsyBestFreqs(request.disk_sizes, request.probs, prefix,
+                      request.delta, request.max_period, &freqs, &cost)) {
+      return Status::InvalidArgument(
+          "no feasible ksy frequency assignment under the period cap");
+    }
+    Result<DiskLayout> layout = MakeLayout(request.disk_sizes, freqs);
+    if (!layout.ok()) return layout.status();
+    Result<BroadcastProgram> program = GenerateMultiDiskProgram(*layout);
+    if (!program.ok()) return program.status();
+    return OptimizedSchedule{std::move(*layout), std::move(*program), cost};
+  }
+
+  Result<OptimizedSchedule> Design(
+      const OptimizerRequest& request) const override {
+    Status st = CheckDesignRequest(request);
+    if (!st.ok()) return st;
+    const std::vector<double> prefix = PrefixSums(request.probs);
+    auto eval = [&](const std::vector<uint64_t>& sizes) {
+      std::vector<uint64_t> freqs;
+      double cost = 0.0;
+      if (!KsyBestFreqs(sizes, request.probs, prefix, request.delta,
+                        request.max_period, &freqs, &cost)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return cost;
+    };
+    double cost = 0.0;
+    std::vector<uint64_t> bounds = DescendBoundaries(
+        request.probs.size(), request.num_disks, eval, &cost);
+    OptimizerRequest chosen = request;
+    chosen.disk_sizes.assign(request.num_disks, 0);
+    for (uint64_t i = 0; i < request.num_disks; ++i) {
+      chosen.disk_sizes[i] = bounds[i + 1] - bounds[i];
+    }
+    return Build(chosen);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rbo — bit-reversal schedules with an arithmetic locator.
+
+class RboOptimizer : public ScheduleOptimizer {
+ public:
+  const char* name() const override { return "rbo"; }
+
+  Result<OptimizedSchedule> Build(
+      const OptimizerRequest& request) const override {
+    if (!request.rel_freqs.empty()) {
+      return Status::InvalidArgument(
+          "rbo derives frequencies from probabilities; explicit rel_freqs "
+          "require the delta optimizer");
+    }
+    if (!request.disk_sizes.empty() &&
+        request.probs.size() != SumOf(request.disk_sizes)) {
+      return Status::InvalidArgument("probs must cover every physical page");
+    }
+    Result<RboLocator> locator =
+        MakeRboLocator(request.probs, request.max_period);
+    if (!locator.ok()) return locator.status();
+
+    // Materialize one period from the locator's residue arithmetic, and
+    // regroup the input partition into frequency classes: pages sorted
+    // hottest first get non-increasing power-of-two frequencies, so equal
+    // frequencies form contiguous runs — each run is one "disk" of the
+    // reported layout (the paper's same-disk-same-frequency contract).
+    const uint64_t n = locator->modulus.size();
+    std::vector<PageId> slots(locator->period, kEmptySlot);
+    std::vector<DiskIndex> disk_of(n, 0);
+    std::vector<uint64_t> sizes;
+    std::vector<uint64_t> rel_freqs;
+    double predicted = 0.0;
+    double total_mass = 0.0;
+    for (uint64_t p = 0; p < n; ++p) {
+      const uint64_t m = locator->modulus[p];
+      for (uint64_t t = locator->residue[p]; t < locator->period; t += m) {
+        slots[t] = static_cast<PageId>(p);
+      }
+      const uint64_t freq = locator->period / m;
+      if (rel_freqs.empty() || rel_freqs.back() != freq) {
+        rel_freqs.push_back(freq);
+        sizes.push_back(0);
+      }
+      ++sizes.back();
+      disk_of[p] = static_cast<DiskIndex>(sizes.size() - 1);
+      predicted += request.probs[p] * static_cast<double>(m) / 2.0;
+      total_mass += request.probs[p];
+    }
+    predicted = total_mass > 0.0 ? predicted / total_mass : 0.0;
+
+    Result<DiskLayout> layout = MakeLayout(std::move(sizes),
+                                           std::move(rel_freqs));
+    if (!layout.ok()) return layout.status();
+    Result<BroadcastProgram> program = BroadcastProgram::Make(
+        std::move(slots), static_cast<PageId>(n), std::move(disk_of));
+    if (!program.ok()) return program.status();
+    return OptimizedSchedule{std::move(*layout), std::move(*program),
+                             predicted};
+  }
+
+  // The bit-reversal assignment is per page, so boundary search is moot:
+  // Design is Build with the partition ignored.
+  Result<OptimizedSchedule> Design(
+      const OptimizerRequest& request) const override {
+    Status st = CheckDesignRequest(request);
+    if (!st.ok()) return st;
+    OptimizerRequest flat = request;
+    flat.disk_sizes = {request.probs.size()};
+    flat.rel_freqs.clear();
+    return Build(flat);
+  }
+};
+
+}  // namespace
+
+Result<OptimizedSchedule> ScheduleOptimizer::Design(
+    const OptimizerRequest& request) const {
+  Status st = CheckDesignRequest(request);
+  if (!st.ok()) return st;
+  auto eval = [&](const std::vector<uint64_t>& sizes) {
+    OptimizerRequest cand = request;
+    cand.disk_sizes = sizes;
+    Result<OptimizedSchedule> built = Build(cand);
+    return built.ok() ? built->predicted_delay
+                      : std::numeric_limits<double>::infinity();
+  };
+  double cost = 0.0;
+  std::vector<uint64_t> bounds = DescendBoundaries(
+      request.probs.size(), request.num_disks, eval, &cost);
+  OptimizerRequest chosen = request;
+  chosen.disk_sizes.assign(request.num_disks, 0);
+  for (uint64_t i = 0; i < request.num_disks; ++i) {
+    chosen.disk_sizes[i] = bounds[i + 1] - bounds[i];
+  }
+  return Build(chosen);
+}
+
+const ScheduleOptimizer* FindScheduleOptimizer(const std::string& name) {
+  static const DeltaOptimizer* delta = new DeltaOptimizer;
+  static const KsyOptimizer* ksy = new KsyOptimizer;
+  static const RboOptimizer* rbo = new RboOptimizer;
+  if (name == "delta") return delta;
+  if (name == "ksy") return ksy;
+  if (name == "rbo") return rbo;
+  return nullptr;
+}
+
+const std::vector<std::string>& ScheduleOptimizerNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"delta", "ksy", "rbo"};
+  return *names;
+}
+
+double AnalyticExpectedDelay(const DiskLayout& layout,
+                             const std::vector<double>& probs_hot_first) {
+  BCAST_CHECK_EQ(layout.TotalPages(), probs_hot_first.size());
+  Status st = ValidateLayout(layout);
+  BCAST_CHECK(st.ok()) << st.ToString();
+  return DelayFromPrefix(layout, PrefixSums(probs_hot_first));
+}
+
+std::vector<double> SquareRootBandwidthShares(
+    const std::vector<double>& probs) {
+  std::vector<double> shares(probs.size());
+  double total = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    BCAST_CHECK_GE(probs[i], 0.0);
+    shares[i] = std::sqrt(probs[i]);
+    total += shares[i];
+  }
+  if (total > 0.0) {
+    for (double& s : shares) s /= total;
+  }
+  return shares;
+}
+
+Result<RboLocator> MakeRboLocator(
+    const std::vector<double>& probs_hot_first, uint64_t max_period) {
+  const uint64_t n = probs_hot_first.size();
+  if (n == 0) return Status::InvalidArgument("need at least one page");
+  Status st = CheckSortedHotFirst(probs_hot_first);
+  if (!st.ok()) return st;
+
+  // Period 2^K: the smallest K that fits one slot per page, plus three
+  // doublings of headroom for frequency resolution, capped by max_period.
+  uint64_t k_min = 0;
+  while ((uint64_t{1} << k_min) < n) ++k_min;
+  uint64_t k_cap = 0;
+  while ((uint64_t{1} << (k_cap + 1)) <= max_period) ++k_cap;
+  if (k_cap < k_min) {
+    return Status::InvalidArgument(
+        "max_period too small for a bit-reversal schedule over " +
+        std::to_string(n) + " pages");
+  }
+  const uint64_t K = std::min(k_min + 3, k_cap);
+  const uint64_t period = uint64_t{1} << K;
+
+  // Power-of-two frequency per page from the square-root rule. Shares of
+  // an all-zero distribution degenerate to uniform (every page still
+  // needs one slot).
+  std::vector<double> shares = SquareRootBandwidthShares(probs_hot_first);
+  std::vector<uint64_t> freqs(n, 1);
+  uint64_t sum = 0;
+  for (uint64_t p = 0; p < n; ++p) {
+    const double ideal = shares[p] * static_cast<double>(period);
+    freqs[p] = ideal >= 2.0
+                   ? Pow2Floor(static_cast<uint64_t>(ideal))
+                   : 1;
+    sum += freqs[p];
+  }
+  // The round-up-to-1 of cold pages can overshoot the period; halving the
+  // last page holding the current maximum keeps the vector non-increasing
+  // and terminates (the floor is one slot per page, which fits by k_min).
+  while (sum > period) {
+    uint64_t last_max = 0;
+    for (uint64_t p = 1; p < n; ++p) {
+      if (freqs[p] >= freqs[last_max]) last_max = p;
+    }
+    BCAST_CHECK_GT(freqs[last_max], 1u);
+    freqs[last_max] /= 2;
+    sum -= freqs[last_max];
+  }
+  // Spend leftover bandwidth by doubling everything while it fits; this
+  // bounds the empty-slot waste below half the period.
+  while (sum * 2 <= period) {
+    for (uint64_t& f : freqs) f *= 2;
+    sum *= 2;
+  }
+
+  // Pack pages in order as aligned dyadic intervals [c, c + f) of the
+  // bit-reversed slot space: the slots whose K-bit reversal lands in that
+  // interval are exactly t ≡ rev_{K-j}(c / f) (mod 2^{K-j}) with f = 2^j —
+  // the arithmetic the locator hands to clients. Non-increasing
+  // power-of-two frequencies keep the cursor aligned automatically.
+  RboLocator locator;
+  locator.period = period;
+  locator.modulus.resize(n);
+  locator.residue.resize(n);
+  uint64_t cursor = 0;
+  for (uint64_t p = 0; p < n; ++p) {
+    const uint64_t f = freqs[p];
+    BCAST_CHECK_EQ(cursor % f, 0u);
+    uint64_t j = 0;
+    while ((uint64_t{1} << j) < f) ++j;
+    locator.modulus[p] = period / f;
+    locator.residue[p] = ReverseBits(cursor / f, K - j);
+    cursor += f;
+  }
+  return locator;
+}
+
+}  // namespace bcast

@@ -1,0 +1,148 @@
+/// \file schedule_optimizer.h
+/// \brief Pluggable schedule construction: named optimizers mapping
+/// (access probabilities, page set, constraints) to a DiskLayout plus
+/// BroadcastProgram.
+///
+/// The paper leaves "the automatic determination of these parameters for
+/// a given access probability distribution" as future work (Section 2.2).
+/// This module turns schedule construction into an interface so stronger
+/// schedulers can race the paper's Δ-rule under one API:
+///
+///  - `delta` — the paper's Section-2.2 algorithm: Δ-rule (or explicit)
+///    relative frequencies, chunk-interleaved program. Bit-identical to
+///    the historical `GenerateMultiDiskProgram(MakeDeltaLayout(...))`
+///    path; the goldens prove it.
+///  - `ksy`   — Kenyon–Schabanel–Young-style frequency assignment: disk
+///    frequencies chosen from the square-root rule (bandwidth share
+///    proportional to sqrt(p)) by racing integer roundings against the
+///    Δ-rule under the exact analytic expected delay. Never worse than
+///    `delta` analytically, because the Δ-rule is one of its candidates.
+///  - `rbo`   — Kik-style bit-reversal schedule: per-page power-of-two
+///    frequencies packed as aligned dyadic intervals in bit-reversed
+///    slot space, giving every page fixed inter-arrival *and* an O(1)
+///    arithmetic next-slot locator (`RboLocator`) — a client can compute
+///    when a page comes around without a broadcast index.
+///
+/// Every optimizer reports its predicted expected delay (broadcast units,
+/// to transmission start) so analytic claims can be cross-checked against
+/// simulation.
+
+#ifndef BCAST_BROADCAST_SCHEDULE_OPTIMIZER_H_
+#define BCAST_BROADCAST_SCHEDULE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/disk_config.h"
+#include "broadcast/program.h"
+
+namespace bcast {
+
+/// \brief Everything an optimizer may consult when building a schedule.
+struct OptimizerRequest {
+  /// Pages per disk, hottest block first (the fixed partition `Build`
+  /// schedules; `Design` treats it as absent and searches boundaries).
+  std::vector<uint64_t> disk_sizes;
+
+  /// Explicit relative frequencies. Only `delta` honors these; the other
+  /// optimizers reject them (their frequencies are derived from `probs`).
+  std::vector<uint64_t> rel_freqs;
+
+  /// The paper's Δ, used by `delta` when `rel_freqs` is empty and seeded
+  /// into `ksy`'s candidate set.
+  uint64_t delta = 2;
+
+  /// Per-physical-page access probability, hottest first (non-increasing;
+  /// zero entries allowed; need not be normalized). `delta` works without
+  /// it; `ksy` and `rbo` require it.
+  std::vector<double> probs;
+
+  /// Feasibility cap on the generated program's period in slots.
+  uint64_t max_period = 1ull << 20;
+
+  /// `Design` only: disks to use and the largest Δ to consider.
+  uint64_t num_disks = 3;
+  uint64_t max_delta = 7;
+};
+
+/// \brief An optimizer's answer: the layout it chose, the program it
+/// generated, and the expected delay it predicts for that program under
+/// the request's access distribution (0 when no probabilities were given).
+struct OptimizedSchedule {
+  DiskLayout layout;
+  BroadcastProgram program;
+  double predicted_delay = 0.0;
+};
+
+/// \brief A named schedule-construction strategy. Implementations are
+/// stateless and deterministic: the same request always yields the same
+/// schedule, byte for byte.
+class ScheduleOptimizer {
+ public:
+  virtual ~ScheduleOptimizer() = default;
+
+  /// Registry name ("delta", "ksy", "rbo").
+  virtual const char* name() const = 0;
+
+  /// Builds a schedule for the request's fixed disk partition.
+  virtual Result<OptimizedSchedule> Build(
+      const OptimizerRequest& request) const = 0;
+
+  /// Searches the disk-boundary positions too (`request.num_disks` disks
+  /// over `request.probs.size()` pages), returning the best schedule the
+  /// optimizer can construct. The default derives boundaries by
+  /// deterministic coordinate descent on `Build`'s predicted delay.
+  virtual Result<OptimizedSchedule> Design(
+      const OptimizerRequest& request) const;
+};
+
+/// \brief Looks up an optimizer by name; nullptr when unknown. Returned
+/// pointers are static singletons, valid forever.
+const ScheduleOptimizer* FindScheduleOptimizer(const std::string& name);
+
+/// \brief All registered optimizer names, in registry order
+/// ("delta", "ksy", "rbo").
+const std::vector<std::string>& ScheduleOptimizerNames();
+
+/// \brief Exact expected wait (in broadcast units, to transmission start)
+/// for the multi-disk program generated from \p layout, under access
+/// probabilities \p probs_hot_first (one entry per physical page, page 0
+/// hottest; zero entries allowed; need not be normalized — the result is
+/// scaled by their sum if they are not).
+double AnalyticExpectedDelay(const DiskLayout& layout,
+                             const std::vector<double>& probs_hot_first);
+
+/// \brief The optimal continuous bandwidth share per page: proportional to
+/// sqrt(p_i). Returned shares sum to 1. The lower bound every integer
+/// schedule approximates: E[delay] >= (sum sqrt(p_i))^2 / 2.
+std::vector<double> SquareRootBandwidthShares(
+    const std::vector<double>& probs);
+
+/// \brief The arithmetic page locator for an `rbo` schedule: page \p p
+/// occupies exactly the slots `t ≡ residue[p] (mod modulus[p])`, so the
+/// next transmission after any slot is one mod away — no index needed.
+struct RboLocator {
+  uint64_t period = 0;                ///< 2^K slots.
+  std::vector<uint64_t> modulus;      ///< period / frequency(p).
+  std::vector<uint64_t> residue;      ///< first slot of p, < modulus[p].
+
+  /// First slot >= \p slot (absolute, may exceed one period) carrying
+  /// page \p page.
+  uint64_t NextSlot(PageId page, uint64_t slot) const {
+    const uint64_t m = modulus[page];
+    const uint64_t r = residue[page];
+    return slot + (r + m - slot % m) % m;
+  }
+};
+
+/// \brief Derives the `rbo` frequency assignment and slot arithmetic for
+/// \p probs_hot_first (non-increasing). The `rbo` optimizer's program is
+/// materialized from exactly this locator, so the two agree by
+/// construction; the fuzz tests re-verify it against the slot vector.
+Result<RboLocator> MakeRboLocator(
+    const std::vector<double>& probs_hot_first, uint64_t max_period);
+
+}  // namespace bcast
+
+#endif  // BCAST_BROADCAST_SCHEDULE_OPTIMIZER_H_

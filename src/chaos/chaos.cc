@@ -25,6 +25,7 @@ constexpr uint64_t kChannelStream = 3;
 constexpr uint64_t kProcessStream = 4;
 constexpr uint64_t kPullStream = 5;
 constexpr uint64_t kPopStream = 6;
+constexpr uint64_t kOptimizerStream = 7;
 
 double Uniform(Rng* rng, double lo, double hi) {
   return lo + rng->NextDouble() * (hi - lo);
@@ -62,13 +63,14 @@ std::string DeterministicBytes(obs::RunReport report) {
 ChaosAxes ChaosAxes::None() {
   ChaosAxes axes;
   axes.loss = axes.corrupt = axes.doze = axes.crash = axes.stall =
-      axes.jitter = axes.version = axes.pull = axes.pop = false;
+      axes.jitter = axes.version = axes.pull = axes.pop = axes.optimizer =
+          false;
   return axes;
 }
 
 bool ChaosAxes::Empty() const {
   return !loss && !corrupt && !doze && !crash && !stall && !jitter &&
-         !version && !pull && !pop;
+         !version && !pull && !pop && !optimizer;
 }
 
 std::string ChaosAxes::ToString() const {
@@ -87,6 +89,7 @@ std::string ChaosAxes::ToString() const {
   append(version, "version");
   append(pull, "pull");
   append(pop, "pop");
+  append(optimizer, "optimizer");
   return s.empty() ? "none" : s;
 }
 
@@ -144,6 +147,35 @@ ChaosScenario GenerateScenario(uint64_t chaos_seed, const ChaosAxes& axes) {
     p.fault.fault_seed = chaos_seed * 6364136223846793005ull + 17;
   }
 
+  // --- Optimizer axis: the schedule on the air. Drawn before the
+  // process axes so the version-bump cadence below is scaled to the
+  // period of the program that actually broadcasts (rbo's power-of-two
+  // period can be several times the Δ-rule's). The draw happens whether
+  // or not the axis is enabled, like every other axis.
+  {
+    Rng rng = root.Split(kOptimizerStream);
+    static constexpr const char* kOptimizers[] = {"delta", "ksy", "rbo"};
+    const char* name = kOptimizers[rng.NextBounded(3)];
+    if (axes.optimizer) {
+      // Validate rejects pull+rbo (the hybrid program stretch breaks the
+      // locator's residue arithmetic); downgrade to ksy — a deterministic
+      // transform of the same draw, so no sub-stream reshuffles.
+      if (axes.pull && std::string(name) == "rbo") name = "ksy";
+      p.optimizer = name;
+    }
+  }
+
+  // The on-air period drives both the version-bump cadence and the
+  // liveness horizon below: rbo's power-of-two periods (whose coldest
+  // pages broadcast once per period) can dwarf the Δ-rule's major
+  // cycle, so budgets calibrated in Δ-rule cycles would flag
+  // slow-but-live bit-reversal runs as hangs.
+  const double period = [&] {
+    Result<BroadcastProgram> program = BuildProgram(p);
+    return program.ok() ? static_cast<double>(program->period())
+                        : static_cast<double>(db);
+  }();
+
   // --- Channel axes. Every value is drawn whether or not its axis is
   // enabled: disabling one axis must not reshuffle the others.
   {
@@ -193,10 +225,6 @@ ChaosScenario GenerateScenario(uint64_t chaos_seed, const ChaosAxes& axes) {
       // also clears the hybrid program's pull-slot stretch). This is a
       // deterministic transform of the same draw, so the other axes'
       // sub-streams stay untouched.
-      Result<BroadcastProgram> program = BuildProgram(p);
-      const double period = program.ok()
-                                ? static_cast<double>(program->period())
-                                : static_cast<double>(db);
       const double factor =
           2.5 + (version_every - 1500.0) / 13500.0 * 5.5;
       p.fault.process.version_every = period * factor;
@@ -232,13 +260,14 @@ ChaosScenario GenerateScenario(uint64_t chaos_seed, const ChaosAxes& axes) {
     }
   }
 
-  // A generous liveness budget: worst-case wait (a full major cycle,
+  // A generous liveness budget: worst-case wait (a few on-air periods,
   // stalls, crash downtime, think time) per request across both phases,
   // plus fixed slack. The horizon only costs anything when something
   // actually hangs.
   scenario.horizon =
-      500000.0 + 2000.0 * static_cast<double>(p.measured_requests +
-                                              p.max_warmup_requests);
+      500000.0 + (2000.0 + 3.0 * period) *
+                     static_cast<double>(p.measured_requests +
+                                         p.max_warmup_requests);
   return scenario;
 }
 
@@ -254,6 +283,7 @@ MultiClientParams PopulationParams(const ChaosScenario& scenario) {
   params.delta = base.delta;
   params.rel_freqs = base.rel_freqs;
   params.program_kind = base.program_kind;
+  params.optimizer = base.optimizer;
   params.measured_requests = base.measured_requests;
   params.max_warmup_requests = base.max_warmup_requests;
   params.seed = base.seed;
@@ -455,7 +485,8 @@ ChaosAxes MinimizeAxes(uint64_t chaos_seed, const ChaosAxes& axes) {
     shrunk = false;
     bool* members[] = {&current.loss,  &current.corrupt, &current.doze,
                        &current.crash, &current.stall,   &current.jitter,
-                       &current.version, &current.pull, &current.pop};
+                       &current.version, &current.pull, &current.pop,
+                       &current.optimizer};
     for (bool* axis : members) {
       if (!*axis) continue;
       *axis = false;

@@ -4,7 +4,10 @@
 /// A chaos scenario is a randomized simulation configuration — geometry,
 /// workload, policy — composed with a randomized schedule of every fault
 /// axis the repo models: loss, corruption, doze, crash–restart, server
-/// stalls, slot jitter, and schedule-version bumps. Each scenario is a
+/// stalls, slot jitter, and schedule-version bumps — and, on the
+/// `optimizer` axis, a schedule optimizer drawn per seed, so every fault
+/// composition also runs against ksy and bit-reversal programs, not just
+/// the paper's Δ-rule. Each scenario is a
 /// pure function of its `chaos_seed` and axis mask, runs to completion
 /// under a time horizon, and is judged against *global* invariants that
 /// must hold no matter how the axes compose: the event queue drains (no
@@ -46,6 +49,7 @@ struct ChaosAxes {
   bool version = true;  ///< schedule-version bumps mid-run
   bool pull = true;     ///< hybrid pull machinery (books under crashes)
   bool pop = true;      ///< sharded population engine (clients > 1)
+  bool optimizer = true;  ///< schedule optimizer drawn per seed (delta|ksy|rbo)
 
   /// Every axis on (the default fleet configuration).
   static ChaosAxes All() { return ChaosAxes{}; }

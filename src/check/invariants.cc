@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "broadcast/schedule_optimizer.h"
 #include "common/math_util.h"
 
 namespace bcast::check {
@@ -360,6 +361,21 @@ CheckList CheckReportInvariants(const obs::RunReport& report) {
                          ", expected 0 (heap) or 1 (calendar)");
   } else {
     list.Add("report.des_queue_backend_known", true, "not recorded");
+  }
+
+  // Schedule-optimizer provenance. Reports predating the optimizer
+  // frontier carry no marker and pass vacuously; a recorded name must be
+  // one the registry knows.
+  if (!report.optimizer.empty()) {
+    const std::vector<std::string>& names = ScheduleOptimizerNames();
+    const bool known = std::find(names.begin(), names.end(),
+                                 report.optimizer) != names.end();
+    list.Add("report.optimizer_known", known,
+             known ? "produced by the " + report.optimizer + " optimizer"
+                   : "optimizer '" + report.optimizer +
+                         "' is not in the registry");
+  } else {
+    list.Add("report.optimizer_known", true, "not recorded");
   }
   return list;
 }

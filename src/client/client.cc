@@ -94,6 +94,7 @@ des::Process Client::Run() {
     const double start = sim_->Now();
     if (!cache_->Lookup(logical, start)) {
       const PageId physical = mapping_->ToPhysical(logical);
+      if (config_.access != nullptr) config_.access->OnFetch(physical);
       if (config_.pull != nullptr) {
         config_.pull->MaybeRequest(
             physical, start,
@@ -150,6 +151,7 @@ des::Process Client::Run() {
       }
     } else {
       const PageId physical = mapping_->ToPhysical(logical);
+      if (config_.access != nullptr) config_.access->OnFetch(physical);
       if (config_.pull != nullptr) {
         config_.pull->MaybeRequest(
             physical, start,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "adapt/access_monitor.h"
 #include "broadcast/channel.h"
 #include "cache/cache_policy.h"
 #include "client/access_generator.h"
@@ -62,6 +63,12 @@ struct ClientRunConfig {
   /// nullptr — the default — never touches the backchannel,
   /// bit-identical to the pure-push client.
   pull::PullClient* pull = nullptr;
+
+  /// Optional per-page demand monitor (unowned; must outlive the run).
+  /// When set, every broadcast fetch — warm-up and measured — reports
+  /// its physical page, feeding `--adapt_reopt`'s measured-frequency
+  /// re-seating. nullptr — the default — adds no per-miss work.
+  adapt::AccessMonitor* access = nullptr;
 
   /// Optional cold-page set, indexed by *physical* page and pinned to
   /// the initial program (unowned; must outlive the run). When set, the

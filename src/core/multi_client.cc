@@ -10,6 +10,7 @@
 #include "adapt/loss_monitor.h"
 #include "broadcast/channel.h"
 #include "broadcast/generator.h"
+#include "broadcast/schedule_optimizer.h"
 #include "client/client.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -32,6 +33,21 @@ namespace {
 constexpr uint64_t kProgramStream = 3;
 
 }  // namespace
+
+// Each addend is non-increasing hottest-first, so the mean is too, as
+// the optimizers require.
+std::vector<double> PopulationNominalProbs(const MultiClientParams& params) {
+  const uint64_t db = params.ServerDbSize();
+  std::vector<double> probs(db, 0.0);
+  for (const ClientSpec& spec : params.clients) {
+    const std::vector<double> one = NominalAccessProbs(
+        spec.access_range, spec.region_size, spec.theta, db);
+    for (uint64_t page = 0; page < db; ++page) probs[page] += one[page];
+  }
+  const double scale = 1.0 / static_cast<double>(params.clients.size());
+  for (double& p : probs) p *= scale;
+  return probs;
+}
 
 uint64_t MultiClientParams::ServerDbSize() const {
   return std::accumulate(disk_sizes.begin(), disk_sizes.end(), uint64_t{0});
@@ -81,6 +97,22 @@ Status MultiClientParams::Validate() const {
   if (measured_requests == 0) {
     return Status::InvalidArgument("measured_requests must be positive");
   }
+  if (FindScheduleOptimizer(optimizer) == nullptr) {
+    return Status::InvalidArgument(
+        "unknown optimizer: " + optimizer + " (delta|ksy|rbo)");
+  }
+  if (optimizer != "delta") {
+    if (program_kind != ProgramKind::kMultiDisk) {
+      return Status::InvalidArgument(
+          "--optimizer applies to the multi-disk program; use "
+          "--program=multidisk with --optimizer=" + optimizer);
+    }
+    if (!rel_freqs.empty()) {
+      return Status::InvalidArgument(
+          "explicit --freqs pin the schedule; they require "
+          "--optimizer=delta");
+    }
+  }
   Status fault_status = fault.Validate();
   if (!fault_status.ok()) return fault_status;
   Status pull_status = pull.Validate();
@@ -90,6 +122,12 @@ Status MultiClientParams::Validate() const {
         "pull slots interleave into the multi-disk program's minor "
         "cycles; use the multi-disk program with pull");
   }
+  if (pull.Active() && optimizer == "rbo") {
+    return Status::InvalidArgument(
+        "pull slots interleave into chunked minor cycles, which "
+        "bit-reversal schedules do not have; use --optimizer=delta or "
+        "ksy with pull");
+  }
   Status adapt_status = adapt.Validate();
   if (!adapt_status.ok()) return adapt_status;
   if (adapt.Active()) {
@@ -97,6 +135,12 @@ Status MultiClientParams::Validate() const {
       return Status::InvalidArgument(
           "the adaptive controller regenerates the multi-disk program; "
           "use the multi-disk program with adaptation");
+    }
+    if (adapt.reopt) {
+      return Status::InvalidArgument(
+          "measured-frequency re-optimization (--adapt_reopt) is "
+          "single-client only: a population has no one demand ranking "
+          "to re-seat by");
     }
     if (!fault.Active() && !pull.Active()) {
       return Status::InvalidArgument(
@@ -119,48 +163,67 @@ Result<MultiClientResult> RunMultiClientSimulation(
 
   BCAST_RETURN_IF_ERROR(params.Validate());
 
-  Result<DiskLayout> layout =
-      params.rel_freqs.empty() ? MakeDeltaLayout(params.disk_sizes,
-                                                 params.delta)
-                               : MakeLayout(params.disk_sizes,
-                                            params.rel_freqs);
-  if (!layout.ok()) return layout.status();
-
   const Rng master(params.seed);
-  // With active pull params the air carries the hybrid program: the
-  // multi-disk program with pull slots interleaved into every minor
+  // The configured optimizer designs layout and program together. With
+  // active pull params the air carries the hybrid program: the
+  // optimizer's program with pull slots interleaved into every minor
   // cycle (slot-identical to the plain program when pull_slots == 0).
   pull::HybridLayout hybrid_layout;
-  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+  Result<ServerSchedule> schedule = [&]() -> Result<ServerSchedule> {
     obs::ScopedTimer timer(&timings.build_program_seconds);
-    switch (params.program_kind) {
-      case ProgramKind::kMultiDisk: {
-        if (params.pull.Active()) {
-          Result<pull::HybridProgram> hybrid =
-              pull::GenerateHybridProgram(*layout, params.pull.pull_slots);
-          if (!hybrid.ok()) return hybrid.status();
-          hybrid_layout = std::move(hybrid->layout);
-          return std::move(hybrid->program);
-        }
-        return GenerateMultiDiskProgram(*layout);
+    if (params.program_kind == ProgramKind::kMultiDisk) {
+      const ScheduleOptimizer* optimizer =
+          FindScheduleOptimizer(params.optimizer);
+      BCAST_CHECK(optimizer != nullptr);  // Validate() vetted the name
+      OptimizerRequest request;
+      request.disk_sizes = params.disk_sizes;
+      request.rel_freqs = params.rel_freqs;
+      request.delta = params.delta;
+      // As in BuildSchedule: delta skips the probabilities (its
+      // historical build path stays byte-for-byte); the others derive
+      // their frequencies from the population's mean nominal demand.
+      if (params.optimizer != "delta") {
+        request.probs = PopulationNominalProbs(params);
       }
-      case ProgramKind::kSkewed:
-        return GenerateSkewedProgram(*layout);
-      case ProgramKind::kRandom: {
-        Result<BroadcastProgram> reference =
-            GenerateMultiDiskProgram(*layout);
-        if (!reference.ok()) return reference.status();
-        Rng rng = master.Split(kProgramStream);
-        return GenerateRandomProgram(*layout, reference->period(), &rng);
+      Result<OptimizedSchedule> built = optimizer->Build(request);
+      if (!built.ok()) return built.status();
+      ServerSchedule out{std::move(built->layout), std::move(built->program),
+                         built->predicted_delay};
+      if (params.pull.Active()) {
+        Result<pull::HybridProgram> hybrid = pull::GenerateHybridProgram(
+            out.layout, params.pull.pull_slots);
+        if (!hybrid.ok()) return hybrid.status();
+        hybrid_layout = std::move(hybrid->layout);
+        out.program = std::move(hybrid->program);
       }
+      return out;
     }
-    return Status::Internal("unreachable program kind");
+    Result<DiskLayout> layout =
+        params.rel_freqs.empty()
+            ? MakeDeltaLayout(params.disk_sizes, params.delta)
+            : MakeLayout(params.disk_sizes, params.rel_freqs);
+    if (!layout.ok()) return layout.status();
+    Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+      if (params.program_kind == ProgramKind::kSkewed) {
+        return GenerateSkewedProgram(*layout);
+      }
+      Result<BroadcastProgram> reference = GenerateMultiDiskProgram(*layout);
+      if (!reference.ok()) return reference.status();
+      Rng rng = master.Split(kProgramStream);
+      return GenerateRandomProgram(*layout, reference->period(), &rng);
+    }();
+    if (!program.ok()) return program.status();
+    return ServerSchedule{std::move(*layout), std::move(*program), 0.0};
   }();
-  if (!program.ok()) return program.status();
+  if (!schedule.ok()) return schedule.status();
+  const DiskLayout* const layout = &schedule->layout;
+  BroadcastProgram* const program = &schedule->program;
 
   const uint64_t total = layout->TotalPages();
   obs::Stopwatch setup_watch;
-  des::Simulation sim(params.des_queue);
+  const des::QueueBackend resolved_queue = des::ResolveQueueBackend(
+      params.des_queue, /*expected_clients=*/params.clients.size());
+  des::Simulation sim(resolved_queue);
   if (observers.profile_des) sim.EnableProfiling();
   sim.AttachTimeline(observers.timeline);
   BCAST_TIMELINE(observers.timeline,
@@ -413,6 +476,8 @@ Result<MultiClientResult> RunMultiClientSimulation(
   }
   result.end_time = sim.Now();
   result.events_dispatched = sim.events_dispatched();
+  result.predicted_delay = schedule->predicted_delay;
+  result.resolved_queue = resolved_queue;
   if (observers.profile_des) {
     result.profile = sim.profile();
     result.profile_active = true;
@@ -430,6 +495,7 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
   report.tool = tool;
   report.mode = "population";
   report.config = config;
+  report.optimizer = params.optimizer;
   report.seed = params.seed;
   report.requests = result.aggregate.requests();
   report.cache_hits = result.aggregate.cache_hits();
@@ -474,6 +540,12 @@ obs::RunReport MakePopulationRunReport(const MultiClientParams& params,
             ? static_cast<double>(m.cache_hits()) /
                   static_cast<double>(m.requests())
             : 0.0);
+  }
+  // The analytic prediction rides along only for the non-default
+  // optimizers: delta reports keep their historical byte format.
+  if (params.optimizer != "delta") {
+    report.extra.emplace_back("optimizer_predicted_delay",
+                              result.predicted_delay);
   }
   if (result.faults_active) {
     AppendFaultExtras(params.fault, result.faults, &report);

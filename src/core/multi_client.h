@@ -87,6 +87,16 @@ struct ClientSpec {
 fault::FaultParams ScaledFaultParams(const fault::FaultParams& base,
                                      const ClientSpec& spec);
 
+struct MultiClientParams;
+
+/// \brief The access distribution the server designs for: the mean of
+/// every client's nominal (unshifted) distribution, hottest-first and
+/// non-increasing. Interest shifts, offsets and noise are deliberately
+/// ignored — the server schedules for its advertised ordering, and
+/// per-client misalignment is exactly what the population experiments
+/// measure. This is what the non-default optimizers consume.
+std::vector<double> PopulationNominalProbs(const MultiClientParams& params);
+
 /// \brief Population-level experiment parameters.
 struct MultiClientParams {
   /// Server side: disks, frequencies, program kind — as in SimParams.
@@ -94,6 +104,14 @@ struct MultiClientParams {
   uint64_t delta = 2;
   std::vector<uint64_t> rel_freqs;  ///< overrides delta when non-empty
   ProgramKind program_kind = ProgramKind::kMultiDisk;
+
+  /// Schedule optimizer building the multi-disk program (registry name;
+  /// see broadcast/schedule_optimizer.h). Non-default optimizers derive
+  /// their frequencies from the population's mean nominal access
+  /// distribution, so they require the multi-disk program and empty
+  /// `rel_freqs`; `rbo` additionally excludes pull (no chunked minor
+  /// cycles to interleave into).
+  std::string optimizer = "delta";
 
   /// The clients. Must be non-empty.
   std::vector<ClientSpec> clients;
@@ -162,6 +180,15 @@ struct MultiClientResult {
 
   /// Events the DES kernel dispatched.
   uint64_t events_dispatched = 0;
+
+  /// Expected delay the optimizer predicted for its program under the
+  /// population's mean nominal distribution (0 for `delta`, which skips
+  /// the prediction to keep its historical build path byte-for-byte).
+  double predicted_delay = 0.0;
+
+  /// Pending-event-set backend the run actually used (`auto` resolved
+  /// against the population size).
+  des::QueueBackend resolved_queue = des::QueueBackend::kHeap;
 
   /// Channel-fault accounting merged over all clients; populated (and
   /// `faults_active` set) only when `params.fault.Active()`.

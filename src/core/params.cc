@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "broadcast/disk_config.h"
+#include "broadcast/schedule_optimizer.h"
 #include "common/string_util.h"
 
 namespace bcast {
@@ -50,6 +51,22 @@ Status SimParams::Validate() const {
   if (measured_requests == 0) {
     return Status::InvalidArgument("measured_requests must be positive");
   }
+  if (FindScheduleOptimizer(optimizer) == nullptr) {
+    return Status::InvalidArgument(
+        "unknown optimizer: " + optimizer + " (delta|ksy|rbo)");
+  }
+  if (optimizer != "delta") {
+    if (program_kind != ProgramKind::kMultiDisk) {
+      return Status::InvalidArgument(
+          "--optimizer applies to the multi-disk program; use "
+          "--program=multidisk with --optimizer=" + optimizer);
+    }
+    if (!rel_freqs.empty()) {
+      return Status::InvalidArgument(
+          "explicit --freqs pin the schedule; they require "
+          "--optimizer=delta");
+    }
+  }
   Status fault_status = fault.Validate();
   if (!fault_status.ok()) return fault_status;
   Status pull_status = pull.Validate();
@@ -59,6 +76,12 @@ Status SimParams::Validate() const {
         "pull slots interleave into the multi-disk program's minor "
         "cycles; use --program=multidisk with pull");
   }
+  if (pull.Active() && optimizer == "rbo") {
+    return Status::InvalidArgument(
+        "pull slots interleave into chunked minor cycles, which "
+        "bit-reversal schedules do not have; use --optimizer=delta or "
+        "ksy with pull");
+  }
   Status adapt_status = adapt.Validate();
   if (!adapt_status.ok()) return adapt_status;
   if (adapt.Active()) {
@@ -67,11 +90,12 @@ Status SimParams::Validate() const {
           "the adaptive controller regenerates the multi-disk program; "
           "use --program=multidisk with --adapt_epoch");
     }
-    if (!fault.Active() && !pull.Active()) {
+    if (!fault.Active() && !pull.Active() && !adapt.reopt) {
       return Status::InvalidArgument(
           "adaptation needs a signal to adapt to: enable the fault model "
-          "(--loss/--corrupt/--doze) for frequency repair or pull "
-          "(--pull_slots/--pull_force) for slot control");
+          "(--loss/--corrupt/--doze) for frequency repair, pull "
+          "(--pull_slots/--pull_force) for slot control, or "
+          "--adapt_reopt for measured-frequency re-optimization");
     }
   }
   // Delegate frequency validation to the layout builder.
@@ -94,6 +118,11 @@ std::string SimParams::ToString() const {
       static_cast<unsigned long long>(cache_size),
       static_cast<unsigned long long>(offset), noise_percent, theta,
       static_cast<unsigned long long>(seed));
+  // A non-default optimizer is part of the run's identity; the default
+  // ("delta") leaves every historical config string untouched.
+  if (optimizer != "delta") {
+    summary += " optimizer=" + optimizer;
+  }
   // Faults extend the identity string only when active, so every
   // pre-fault config string (and golden baseline) is untouched.
   if (fault.Active()) {

@@ -62,6 +62,13 @@ struct SimParams {
   /// Program construction (multi-disk unless studying alternatives).
   ProgramKind program_kind = ProgramKind::kMultiDisk;
 
+  /// Which `ScheduleOptimizer` builds the multi-disk schedule ("delta",
+  /// "ksy", "rbo"). The default reproduces the paper's Δ-rule exactly, so
+  /// the config identity string mentions the optimizer only when it is
+  /// not "delta" — every pre-frontier config string (and golden baseline)
+  /// is untouched.
+  std::string optimizer = "delta";
+
   /// Pages shifted from the fastest disk to the end of the slowest
   /// (set to cache_size when the server knows the client caches).
   uint64_t offset = 0;

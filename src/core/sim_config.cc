@@ -13,6 +13,9 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
                    "broadcast shape: rel_freq(i) = (N-i)*delta + 1");
   flags->AddString("program", &program,
                    "program kind: multidisk | skewed | random");
+  flags->AddString("optimizer", &params.optimizer,
+                   "schedule optimizer for the multi-disk program: "
+                   "delta | ksy | rbo");
   flags->AddString("policy", &policy,
                    "cache policy: p|pix|lru|l|lix|plix|lru-k|2q|clock");
   flags->AddUint64("cache_size", &params.cache_size, "client cache pages");
@@ -75,8 +78,9 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
   flags->AddString("pull_sched", &pull_sched,
                    "pull-slot scheduler: fcfs | mrf | lxw");
   flags->AddString("des_queue", &des_queue,
-                   "DES pending-event backend: heap | calendar (default "
-                   "calendar, or $BCAST_DES_QUEUE; never changes results)");
+                   "DES pending-event backend: heap | calendar | auto "
+                   "(auto picks heap for tiny populations; default auto, "
+                   "or $BCAST_DES_QUEUE; never changes results)");
   flags->AddDouble("pull_threshold", &params.pull.threshold,
                    "request only when the scheduled wait exceeds this "
                    "many slots");
@@ -100,6 +104,9 @@ void SimConfig::RegisterFlags(FlagSet* flags) {
                    "pull-slot floor the controller may choose");
   flags->AddUint64("adapt_max_slots", &params.adapt.max_slots,
                    "pull-slot ceiling the controller may choose");
+  flags->AddBool("adapt_reopt", &params.adapt.reopt,
+                 "re-run the schedule optimizer each epoch on measured "
+                 "access frequencies (demotes as well as promotes)");
   flags->AddUint64("shards", &pop.shards,
                    "population worker shards (1 = classic single-threaded "
                    "path; results are shard-count invariant)");
@@ -144,23 +151,25 @@ Status SimConfig::Finalize(const FlagSet* flags) {
           "--pull_slots (or --pull_force)");
     }
     // The adaptive controller needs a signal to adapt to: a loss model
-    // (frequency repair) or pull capacity (slot control).
+    // (frequency repair), pull capacity (slot control), or measured
+    // demand (--adapt_reopt re-optimization).
     const bool fault_set = flags->WasSet("loss") ||
                            flags->WasSet("corrupt") ||
                            flags->WasSet("doze");
     const bool pull_set =
         flags->WasSet("pull_slots") || flags->WasSet("pull_force");
-    if (flags->WasSet("adapt_epoch") && !fault_set && !pull_set) {
+    if (flags->WasSet("adapt_epoch") && !fault_set && !pull_set &&
+        !flags->WasSet("adapt_reopt")) {
       return Status::InvalidArgument(
-          "--adapt_epoch adapts to measured loss or pull load; it needs "
-          "--loss (or --corrupt/--doze) or --pull_slots (or "
-          "--pull_force)");
+          "--adapt_epoch adapts to measured loss, pull load, or measured "
+          "demand; it needs --loss (or --corrupt/--doze), --pull_slots "
+          "(or --pull_force), or --adapt_reopt");
     }
     // And the controller knobs need the controller.
     for (const char* name :
          {"adapt_promote", "adapt_queue_high", "adapt_idle_low",
           "adapt_idle_high", "adapt_hysteresis", "adapt_min_slots",
-          "adapt_max_slots"}) {
+          "adapt_max_slots", "adapt_reopt"}) {
       if (flags->WasSet(name) && !flags->WasSet("adapt_epoch")) {
         return Status::InvalidArgument(
             std::string("--") + name +
@@ -212,7 +221,7 @@ Status SimConfig::Finalize(const FlagSet* flags) {
   if (!des_queue.empty() &&
       !des::ParseQueueBackend(des_queue, &params.des_queue)) {
     return Status::InvalidArgument("unknown --des_queue: " + des_queue +
-                                   " (heap|calendar)");
+                                   " (heap|calendar|auto)");
   }
 
   Result<pull::PullScheduler> sched =

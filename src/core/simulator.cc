@@ -4,14 +4,17 @@
 #include <functional>
 #include <utility>
 
+#include "adapt/access_monitor.h"
 #include "adapt/controller.h"
 #include "adapt/loss_monitor.h"
 #include "broadcast/channel.h"
 #include "broadcast/generator.h"
+#include "broadcast/schedule_optimizer.h"
 #include "client/client.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/zipf.h"
 #include "des/simulation.h"
 #include "fault/fault_model.h"
 #include "pull/hybrid.h"
@@ -34,26 +37,77 @@ Result<DiskLayout> LayoutFromParams(const SimParams& params) {
 
 }  // namespace
 
-Result<BroadcastProgram> BuildProgram(const SimParams& params) {
-  BCAST_RETURN_IF_ERROR(params.Validate());
-  Result<DiskLayout> layout = LayoutFromParams(params);
-  if (!layout.ok()) return layout.status();
-
-  switch (params.program_kind) {
-    case ProgramKind::kMultiDisk:
-      return GenerateMultiDiskProgram(*layout);
-    case ProgramKind::kSkewed:
-      return GenerateSkewedProgram(*layout);
-    case ProgramKind::kRandom: {
-      // Match the multi-disk program's period so bandwidth and cycle
-      // length are comparable.
-      Result<BroadcastProgram> reference = GenerateMultiDiskProgram(*layout);
-      if (!reference.ok()) return reference.status();
-      Rng rng = Rng(params.seed).Split(kProgramStream);
-      return GenerateRandomProgram(*layout, reference->period(), &rng);
+std::vector<double> NominalAccessProbs(uint64_t access_range,
+                                       uint64_t region_size, double theta,
+                                       uint64_t db_size) {
+  std::vector<double> probs(db_size, 0.0);
+  Result<RegionZipfGenerator> zipf =
+      RegionZipfGenerator::Make(access_range, region_size, theta);
+  BCAST_CHECK(zipf.ok()) << zipf.status().ToString();
+  const uint64_t hot = std::min(access_range, db_size);
+  for (uint64_t page = 0; page < hot; ++page) {
+    probs[page] = zipf->Probability(page);
+  }
+  // A partial final region crams its full Zipf weight into fewer pages,
+  // making the tail *hotter* per page than the region before it — which
+  // would break the non-increasing contract. The server designs for
+  // uniform-width regions: rescale the tail back to full region width.
+  const uint64_t rem = access_range % region_size;
+  if (rem != 0 && access_range > region_size) {
+    for (uint64_t page = access_range - rem; page < hot; ++page) {
+      probs[page] *= static_cast<double>(rem) / region_size;
     }
   }
-  return Status::Internal("unreachable program kind");
+  return probs;
+}
+
+Result<ServerSchedule> BuildSchedule(const SimParams& params) {
+  BCAST_RETURN_IF_ERROR(params.Validate());
+  if (params.program_kind == ProgramKind::kMultiDisk) {
+    const ScheduleOptimizer* optimizer =
+        FindScheduleOptimizer(params.optimizer);
+    BCAST_CHECK(optimizer != nullptr);  // Validate() vetted the name
+    OptimizerRequest request;
+    request.disk_sizes = params.disk_sizes;
+    request.rel_freqs = params.rel_freqs;
+    request.delta = params.delta;
+    // The delta optimizer works without probabilities (and skipping them
+    // keeps its historical build path byte-for-byte); the others derive
+    // their frequencies from the nominal access distribution.
+    if (params.optimizer != "delta") {
+      request.probs =
+          NominalAccessProbs(params.access_range, params.region_size,
+                             params.theta, params.ServerDbSize());
+    }
+    Result<OptimizedSchedule> built = optimizer->Build(request);
+    if (!built.ok()) return built.status();
+    return ServerSchedule{std::move(built->layout), std::move(built->program),
+                          built->predicted_delay};
+  }
+
+  // The skewed/random study programs bypass the optimizer frontier; they
+  // exist to ablate the multi-disk construction, not to compete with it.
+  Result<DiskLayout> layout = LayoutFromParams(params);
+  if (!layout.ok()) return layout.status();
+  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+    if (params.program_kind == ProgramKind::kSkewed) {
+      return GenerateSkewedProgram(*layout);
+    }
+    // Match the multi-disk program's period so bandwidth and cycle
+    // length are comparable.
+    Result<BroadcastProgram> reference = GenerateMultiDiskProgram(*layout);
+    if (!reference.ok()) return reference.status();
+    Rng rng = Rng(params.seed).Split(kProgramStream);
+    return GenerateRandomProgram(*layout, reference->period(), &rng);
+  }();
+  if (!program.ok()) return program.status();
+  return ServerSchedule{std::move(*layout), std::move(*program), 0.0};
+}
+
+Result<BroadcastProgram> BuildProgram(const SimParams& params) {
+  Result<ServerSchedule> schedule = BuildSchedule(params);
+  if (!schedule.ok()) return schedule.status();
+  return std::move(schedule->program);
 }
 
 Result<SimResult> RunSimulation(const SimParams& params) {
@@ -67,25 +121,28 @@ Result<SimResult> RunSimulation(const SimParams& params,
 
   BCAST_RETURN_IF_ERROR(params.Validate());
 
-  Result<DiskLayout> layout = LayoutFromParams(params);
-  if (!layout.ok()) return layout.status();
-
-  // With active pull params the program on the air is the hybrid one:
-  // the multi-disk program with pull slots interleaved into every minor
+  // The configured optimizer designs layout and program together. With
+  // active pull params the program on the air is the hybrid one: the
+  // optimizer's program with pull slots interleaved into every minor
   // cycle (identical to the plain program when pull_slots == 0).
   pull::HybridLayout hybrid_layout;
-  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+  Result<ServerSchedule> schedule = [&]() -> Result<ServerSchedule> {
     obs::ScopedTimer timer(&result.timings.build_program_seconds);
+    Result<ServerSchedule> built = BuildSchedule(params);
+    if (!built.ok()) return built;
     if (params.pull.Active()) {
-      Result<pull::HybridProgram> hybrid =
-          pull::GenerateHybridProgram(*layout, params.pull.pull_slots);
+      Result<pull::HybridProgram> hybrid = pull::GenerateHybridProgram(
+          built->layout, params.pull.pull_slots);
       if (!hybrid.ok()) return hybrid.status();
       hybrid_layout = std::move(hybrid->layout);
-      return std::move(hybrid->program);
+      built->program = std::move(hybrid->program);
     }
-    return BuildProgram(params);
+    return built;
   }();
-  if (!program.ok()) return program.status();
+  if (!schedule.ok()) return schedule.status();
+  result.predicted_delay = schedule->predicted_delay;
+  const DiskLayout* const layout = &schedule->layout;
+  BroadcastProgram* const program = &schedule->program;
 
   obs::Stopwatch setup_watch;
   const Rng master(params.seed);
@@ -124,7 +181,9 @@ Result<SimResult> RunSimulation(const SimParams& params,
       policy_options);
   if (!cache.ok()) return cache.status();
 
-  des::Simulation sim(params.des_queue);
+  result.resolved_queue =
+      des::ResolveQueueBackend(params.des_queue, /*expected_clients=*/1);
+  des::Simulation sim(result.resolved_queue);
   if (observers.profile_des) sim.EnableProfiling();
   sim.AttachTimeline(observers.timeline);
   BCAST_TIMELINE(observers.timeline,
@@ -208,9 +267,11 @@ Result<SimResult> RunSimulation(const SimParams& params,
       cold_pages[p] = program->DiskOf(p) == coldest;
     }
   }
-  // The adaptive control plane: a shared loss monitor feeding the epoch
-  // controller. Nothing is built (and no event scheduled) when off.
+  // The adaptive control plane: a shared loss monitor (and, under
+  // --adapt_reopt, a demand monitor) feeding the epoch controller.
+  // Nothing is built (and no event scheduled) when off.
   std::unique_ptr<adapt::LossMonitor> loss_monitor;
+  std::unique_ptr<adapt::AccessMonitor> access_monitor;
   std::unique_ptr<adapt::Controller> controller;
   if (params.adapt.Active()) {
     if (receiver != nullptr) {
@@ -218,12 +279,28 @@ Result<SimResult> RunSimulation(const SimParams& params,
           static_cast<PageId>(params.ServerDbSize()));
       receiver->AttachLossSink(loss_monitor.get());
     }
+    if (params.adapt.reopt) {
+      access_monitor = std::make_unique<adapt::AccessMonitor>(
+          static_cast<PageId>(params.ServerDbSize()));
+    }
     adapt::Controller::Hooks hooks;
     hooks.channel = &channel;
     hooks.pull = (pull_server != nullptr && pull_server->enabled())
                      ? pull_server.get()
                      : nullptr;
     hooks.loss = loss_monitor.get();
+    hooks.access = access_monitor.get();
+    if (params.optimizer == "rbo") {
+      // A bit-reversal schedule is not a chunked minor-cycle program, so
+      // rebuilds must not regenerate through GenerateMultiDiskProgram;
+      // the geometry never changes mid-run, so the original seat program
+      // (seats == pages at build time) is exactly the rebuild target.
+      const BroadcastProgram* const seat_program = program;
+      hooks.make_program =
+          [seat_program](const DiskLayout&) -> Result<BroadcastProgram> {
+        return BroadcastProgram(*seat_program);
+      };
+    }
     controller = std::make_unique<adapt::Controller>(&sim, *layout,
                                                      params.adapt, hooks);
     BCAST_TIMELINE(observers.timeline,
@@ -233,6 +310,7 @@ Result<SimResult> RunSimulation(const SimParams& params,
                              params.max_warmup_requests,
                              params.knows_schedule, observers.trace,
                              receiver.get(), pull_client.get()};
+  run_config.access = access_monitor.get();
   if (!cold_pages.empty()) {
     run_config.cold_pages = &cold_pages;
     if (controller != nullptr) {
@@ -435,6 +513,8 @@ Result<SimResult> RunSimulation(const SimParams& params,
       reg.GetCounter("adapt/epochs")->Increment(as.epochs);
       reg.GetCounter("adapt/rebuilds")->Increment(as.rebuilds);
       reg.GetCounter("adapt/promotions")->Increment(as.promotions);
+      reg.GetCounter("adapt/demotions")->Increment(as.demotions);
+      reg.GetCounter("adapt/reopts")->Increment(as.reopts);
       reg.GetCounter("adapt/slot_grows")->Increment(as.slot_grows);
       reg.GetCounter("adapt/slot_shrinks")->Increment(as.slot_shrinks);
       reg.GetGauge("adapt/initial_slots")
@@ -456,6 +536,7 @@ obs::RunReport MakeRunReport(const SimParams& params,
   report.tool = tool;
   report.mode = "single";
   report.config = params.ToString();
+  report.optimizer = params.optimizer;
   report.seed = params.seed;
   report.period = result.period;
   report.empty_slots = result.empty_slots;
@@ -475,6 +556,13 @@ obs::RunReport MakeRunReport(const SimParams& params,
   report.FinalizeThroughput(
       result.end_time,
       result.timings.warmup_seconds + result.timings.measured_seconds);
+  // The analytic prediction rides along only for the non-default
+  // optimizers: delta reports keep their historical byte format, and the
+  // frontier's prediction-vs-simulation cross-check reads it back.
+  if (params.optimizer != "delta") {
+    report.extra.emplace_back("optimizer_predicted_delay",
+                              result.predicted_delay);
+  }
   if (result.faults_active) {
     AppendFaultExtras(params.fault, result.faults, &report);
   }
@@ -604,6 +692,13 @@ void AppendAdaptExtras(const adapt::AdaptParams& params,
   add("adapt_epochs", static_cast<double>(stats.epochs));
   add("adapt_rebuilds", static_cast<double>(stats.rebuilds));
   add("adapt_promotions", static_cast<double>(stats.promotions));
+  // Reopt extras gated on their own activity, like the process-fault
+  // rows: pre-reopt adaptive reports keep their exact byte format.
+  if (params.reopt) {
+    add("adapt_reopt", 1.0);
+    add("adapt_reopts", static_cast<double>(stats.reopts));
+    add("adapt_demotions", static_cast<double>(stats.demotions));
+  }
   add("adapt_slot_grows", static_cast<double>(stats.slot_grows));
   add("adapt_slot_shrinks", static_cast<double>(stats.slot_shrinks));
   add("adapt_initial_slots", static_cast<double>(stats.initial_slots));

@@ -11,6 +11,7 @@
 
 #include "adapt/adapt_params.h"
 #include "adapt/adapt_stats.h"
+#include "broadcast/disk_config.h"
 #include "broadcast/program.h"
 #include "client/mapping.h"
 #include "core/metrics.h"
@@ -38,6 +39,19 @@ inline constexpr uint64_t kNoiseStream = 2;
 inline constexpr uint64_t kProgramStream = 3;
 inline constexpr uint64_t kUpdateStream = 7;
 }  // namespace internal
+
+/// \brief The server-side schedule one run broadcasts: the layout the
+/// chosen `ScheduleOptimizer` designed, the (push-only) program over it,
+/// and the optimizer's analytic expected-delay prediction.
+struct ServerSchedule {
+  DiskLayout layout;
+  BroadcastProgram program;
+
+  /// Expected wait (broadcast units, to transmission start) the optimizer
+  /// predicts under the nominal access distribution; 0 when the schedule
+  /// was built without probabilities (the historical delta path).
+  double predicted_delay = 0.0;
+};
 
 /// \brief Everything a run produced.
 struct SimResult {
@@ -90,6 +104,15 @@ struct SimResult {
   /// `profile_active` set) only when `SimObservers::profile_des` was on.
   des::DesProfile profile;
   bool profile_active = false;
+
+  /// The schedule optimizer's analytic expected-delay prediction for the
+  /// program this run broadcast (0 when built without probabilities).
+  double predicted_delay = 0.0;
+
+  /// The concrete DES backend the run executed on: `params.des_queue`
+  /// with `kAuto` resolved against the run's client count. Backends are
+  /// bit-identical by contract, so this is provenance, not semantics.
+  des::QueueBackend resolved_queue = des::QueueBackend::kHeap;
 };
 
 /// \brief Optional observability hooks for a run. All default to off; a
@@ -162,8 +185,32 @@ class SimCatalog : public PageCatalog {
   const Mapping* mapping_;
 };
 
+/// \brief The nominal per-page access probabilities the server designs
+/// against: the client's RegionZipf distribution over the hottest
+/// `access_range` physical pages, padded with zeros to \p db_size.
+/// Non-increasing hottest-first by construction (what the non-delta
+/// optimizers require): a partial final region — whose true pmf is
+/// hotter per page than the region before it, since the full region
+/// weight covers fewer pages — is rescaled to uniform region width.
+/// Exact otherwise — no sampling, no RNG. Mapping offset and
+/// noise are deliberately ignored: the server designs for the advertised
+/// hot-first ordering, and the client-side mapping perturbations are the
+/// paper's misalignment experiments, not server knowledge.
+std::vector<double> NominalAccessProbs(uint64_t access_range,
+                                       uint64_t region_size, double theta,
+                                       uint64_t db_size);
+
+/// \brief Builds the full server schedule \p params describes: for the
+/// multi-disk program, the configured `ScheduleOptimizer` ("delta",
+/// "ksy", "rbo") designs layout and program together; the skewed and
+/// random study programs bypass the optimizer frontier and carry the
+/// Δ-rule (or explicit-frequency) layout.
+Result<ServerSchedule> BuildSchedule(const SimParams& params);
+
 /// \brief Builds the broadcast program \p params describes (multi-disk,
 /// skewed, or random; the paper's Delta rule or explicit frequencies).
+/// A thin wrapper over `BuildSchedule` for callers that only need the
+/// program (the chaos version axis, the updates runner).
 Result<BroadcastProgram> BuildProgram(const SimParams& params);
 
 /// \brief Runs one complete simulation. Deterministic in `params.seed`

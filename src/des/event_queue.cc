@@ -22,6 +22,11 @@ std::unique_ptr<PendingEventSet> MakeBackend(QueueBackend backend) {
       return std::make_unique<HeapEventSet>();
     case QueueBackend::kCalendar:
       return std::make_unique<CalendarEventSet>();
+    case QueueBackend::kAuto:
+      // Runners resolve auto against their client count before building
+      // the kernel; a queue constructed with auto directly is a
+      // single-world queue, which is the tiny-depth shape.
+      return std::make_unique<HeapEventSet>();
   }
   BCAST_LOG(kFatal) << "unknown QueueBackend "
                     << static_cast<int>(backend);
@@ -58,6 +63,8 @@ const char* QueueBackendName(QueueBackend backend) {
       return "heap";
     case QueueBackend::kCalendar:
       return "calendar";
+    case QueueBackend::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -71,22 +78,37 @@ bool ParseQueueBackend(const std::string& name, QueueBackend* out) {
     *out = QueueBackend::kCalendar;
     return true;
   }
+  if (name == "auto") {
+    *out = QueueBackend::kAuto;
+    return true;
+  }
   return false;
 }
 
 QueueBackend DefaultQueueBackend() {
   static const QueueBackend cached = [] {
     const char* env = std::getenv("BCAST_DES_QUEUE");
-    QueueBackend backend = QueueBackend::kCalendar;
+    QueueBackend backend = QueueBackend::kAuto;
     if (env != nullptr && *env != '\0' &&
         !ParseQueueBackend(env, &backend)) {
       BCAST_LOG(kWarning) << "BCAST_DES_QUEUE=" << env
-                          << " is not a backend (heap|calendar); using "
-                             "calendar";
+                          << " is not a backend (heap|calendar|auto); "
+                             "using auto";
     }
     return backend;
   }();
   return cached;
+}
+
+QueueBackend ResolveQueueBackend(QueueBackend requested,
+                                 uint64_t expected_clients) {
+  if (requested != QueueBackend::kAuto) return requested;
+  // Each client keeps only a few events pending (think-timer, fetch wait,
+  // fault timers), so depth scales with the client count; the heap wins
+  // until roughly depth ~20, i.e. a handful of clients.
+  constexpr uint64_t kHeapClientCeiling = 8;
+  return expected_clients <= kHeapClientCeiling ? QueueBackend::kHeap
+                                                : QueueBackend::kCalendar;
 }
 
 EventQueue::EventQueue(QueueBackend backend)

@@ -35,20 +35,32 @@ namespace bcast::des {
 /// \brief Which pending-event-set implementation an `EventQueue` runs on.
 enum class QueueBackend : uint8_t {
   kHeap = 0,      ///< binary heap + lazy tombstones (the oracle)
-  kCalendar = 1,  ///< calendar queue (the default)
+  kCalendar = 1,  ///< calendar queue
+  kAuto = 2,      ///< resolved per run by `ResolveQueueBackend` (default)
 };
 
-/// Stable lower-case name of \p backend ("heap" / "calendar").
+/// Stable lower-case name of \p backend ("heap" / "calendar" / "auto").
 const char* QueueBackendName(QueueBackend backend);
 
-/// Parses "heap" / "calendar" into \p out. Returns false on anything else.
+/// Parses "heap" / "calendar" / "auto" into \p out. Returns false on
+/// anything else.
 bool ParseQueueBackend(const std::string& name, QueueBackend* out);
 
 /// \brief The process-wide default backend: `BCAST_DES_QUEUE` when the
-/// environment names a valid backend, else the calendar queue. Read once
-/// and cached — the tier-1 suite runs under either backend by exporting
-/// the variable, no per-test plumbing required.
+/// environment names a valid backend, else auto. Read once and cached —
+/// the tier-1 suite runs under either backend by exporting the variable,
+/// no per-test plumbing required.
 QueueBackend DefaultQueueBackend();
+
+/// \brief Resolves `kAuto` against the run's shape: a handful of clients
+/// keeps the pending set tiny (observed depth <= ~20), where the binary
+/// heap's simplicity beats the calendar queue's bucket bookkeeping by
+/// ~13% end to end — so tiny runs get the heap and everything else the
+/// calendar. Explicit backends pass through unchanged. Both backends are
+/// bit-identical by contract, so resolution can never change results,
+/// only wall-clock speed.
+QueueBackend ResolveQueueBackend(QueueBackend requested,
+                                 uint64_t expected_clients);
 
 /// \brief One scheduled event as the backend sees it: ordering key plus
 /// the slab coordinates of the payload. 24 bytes, trivially copyable —

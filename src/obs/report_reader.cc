@@ -97,6 +97,11 @@ Result<RunReport> ReadRunReport(std::string_view text) {
   BCAST_RETURN_IF_ERROR(ReadString(root, "tool", &report.tool));
   BCAST_RETURN_IF_ERROR(ReadString(root, "mode", &report.mode));
   BCAST_RETURN_IF_ERROR(ReadString(root, "config", &report.config));
+  // Optional: the writer emits the optimizer only when non-empty, and
+  // reports predating the optimizer frontier never carry it.
+  if (root.Get("optimizer").ok()) {
+    BCAST_RETURN_IF_ERROR(ReadString(root, "optimizer", &report.optimizer));
+  }
   BCAST_RETURN_IF_ERROR(ReadUint64(root, "seed", &report.seed));
   BCAST_RETURN_IF_ERROR(ReadUint64(root, "seeds", &report.seeds));
 

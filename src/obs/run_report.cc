@@ -43,6 +43,10 @@ void RunReport::WriteJson(std::ostream& out) const {
   AppendJsonString(out, mode);
   out << ",\n  \"config\": ";
   AppendJsonString(out, config);
+  if (!optimizer.empty()) {
+    out << ",\n  \"optimizer\": ";
+    AppendJsonString(out, optimizer);
+  }
   out << ",\n  \"seed\": " << seed << ",\n  \"seeds\": " << seeds;
   out << ",\n  \"program\": {\"period\": " << period
       << ", \"empty_slots\": " << empty_slots

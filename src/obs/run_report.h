@@ -37,6 +37,12 @@ struct RunReport {
   /// Run mode ("single", "population", "updates", ...).
   std::string mode;
 
+  /// Schedule optimizer that built the broadcast program ("delta",
+  /// "ksy", "rbo"); empty in reports predating the optimizer frontier
+  /// (and in hand-built goldens). Serialized only when non-empty, so
+  /// those historical documents round-trip byte-identically.
+  std::string optimizer;
+
   /// Master seed of the (first) run and how many consecutive seeds were
   /// aggregated into this report.
   uint64_t seed = 0;

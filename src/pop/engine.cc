@@ -18,6 +18,7 @@
 #include "adapt/loss_monitor.h"
 #include "broadcast/channel.h"
 #include "broadcast/generator.h"
+#include "broadcast/schedule_optimizer.h"
 #include "client/client.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -138,40 +139,59 @@ Result<MultiClientResult> RunPopulationSimulation(
   const uint64_t n_shards =
       std::min<uint64_t>(pop.shards > 0 ? pop.shards : 1, n_clients);
 
-  Result<DiskLayout> layout =
-      params.rel_freqs.empty()
-          ? MakeDeltaLayout(params.disk_sizes, params.delta)
-          : MakeLayout(params.disk_sizes, params.rel_freqs);
-  if (!layout.ok()) return layout.status();
-
   const Rng master(params.seed);
+  // Same schedule construction as RunMultiClientSimulation: the
+  // configured optimizer designs layout and program together (with pull
+  // the air carries the hybrid program built from the optimizer's
+  // layout), so the engine and the legacy runner race identical
+  // schedules.
   pull::HybridLayout hybrid_layout;
-  Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+  Result<ServerSchedule> schedule = [&]() -> Result<ServerSchedule> {
     obs::ScopedTimer timer(&timings.build_program_seconds);
-    switch (params.program_kind) {
-      case ProgramKind::kMultiDisk: {
-        if (params.pull.Active()) {
-          Result<pull::HybridProgram> hybrid =
-              pull::GenerateHybridProgram(*layout, params.pull.pull_slots);
-          if (!hybrid.ok()) return hybrid.status();
-          hybrid_layout = std::move(hybrid->layout);
-          return std::move(hybrid->program);
-        }
-        return GenerateMultiDiskProgram(*layout);
+    if (params.program_kind == ProgramKind::kMultiDisk) {
+      const ScheduleOptimizer* optimizer =
+          FindScheduleOptimizer(params.optimizer);
+      BCAST_CHECK(optimizer != nullptr);  // Validate() vetted the name
+      OptimizerRequest request;
+      request.disk_sizes = params.disk_sizes;
+      request.rel_freqs = params.rel_freqs;
+      request.delta = params.delta;
+      if (params.optimizer != "delta") {
+        request.probs = PopulationNominalProbs(params);
       }
-      case ProgramKind::kSkewed:
-        return GenerateSkewedProgram(*layout);
-      case ProgramKind::kRandom: {
-        Result<BroadcastProgram> reference =
-            GenerateMultiDiskProgram(*layout);
-        if (!reference.ok()) return reference.status();
-        Rng rng = master.Split(kProgramStream);
-        return GenerateRandomProgram(*layout, reference->period(), &rng);
+      Result<OptimizedSchedule> built = optimizer->Build(request);
+      if (!built.ok()) return built.status();
+      ServerSchedule out{std::move(built->layout), std::move(built->program),
+                         built->predicted_delay};
+      if (params.pull.Active()) {
+        Result<pull::HybridProgram> hybrid = pull::GenerateHybridProgram(
+            out.layout, params.pull.pull_slots);
+        if (!hybrid.ok()) return hybrid.status();
+        hybrid_layout = std::move(hybrid->layout);
+        out.program = std::move(hybrid->program);
       }
+      return out;
     }
-    return Status::Internal("unreachable program kind");
+    Result<DiskLayout> layout =
+        params.rel_freqs.empty()
+            ? MakeDeltaLayout(params.disk_sizes, params.delta)
+            : MakeLayout(params.disk_sizes, params.rel_freqs);
+    if (!layout.ok()) return layout.status();
+    Result<BroadcastProgram> program = [&]() -> Result<BroadcastProgram> {
+      if (params.program_kind == ProgramKind::kSkewed) {
+        return GenerateSkewedProgram(*layout);
+      }
+      Result<BroadcastProgram> reference = GenerateMultiDiskProgram(*layout);
+      if (!reference.ok()) return reference.status();
+      Rng rng = master.Split(kProgramStream);
+      return GenerateRandomProgram(*layout, reference->period(), &rng);
+    }();
+    if (!program.ok()) return program.status();
+    return ServerSchedule{std::move(*layout), std::move(*program), 0.0};
   }();
-  if (!program.ok()) return program.status();
+  if (!schedule.ok()) return schedule.status();
+  const DiskLayout* const layout = &schedule->layout;
+  BroadcastProgram* const program = &schedule->program;
 
   const uint64_t total = layout->TotalPages();
   obs::Stopwatch setup_watch;
@@ -180,7 +200,13 @@ Result<MultiClientResult> RunPopulationSimulation(
   // pull server, adaptive controller, and the channel the controller
   // steers (no client ever waits on this channel; the shards' replicas
   // carry the waiters).
-  des::Simulation server_sim(params.des_queue);
+  // The server simulation hosts only the centralized subsystems (no
+  // client waits), so an `auto` backend resolves against zero clients —
+  // the heap. Each shard resolves against its own slice (shard.cc).
+  const des::QueueBackend resolved_queue =
+      des::ResolveQueueBackend(params.des_queue, n_clients);
+  des::Simulation server_sim(
+      des::ResolveQueueBackend(params.des_queue, /*expected_clients=*/0));
   if (observers.profile_des) server_sim.EnableProfiling();
   server_sim.AttachTimeline(observers.timeline);
   BCAST_TIMELINE(observers.timeline, NameTrack(obs::track::kSim, "des"));
@@ -590,6 +616,8 @@ Result<MultiClientResult> RunPopulationSimulation(
   }
   result.end_time = end_time;
   result.events_dispatched = merged_events();
+  result.predicted_delay = schedule->predicted_delay;
+  result.resolved_queue = resolved_queue;
   if (observers.profile_des) {
     result.profile = server_sim.profile();
     for (const auto& shard : shards) {

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "adapt/access_monitor.h"
 #include "core/multi_client.h"
 #include "core/simulator.h"
 
@@ -139,6 +140,87 @@ TEST(AdaptSimTest, SlotControlStaysWithinBounds) {
   }
   EXPECT_GE(stats.final_slots, params.adapt.min_slots);
   EXPECT_LE(stats.final_slots, params.adapt.max_slots);
+}
+
+TEST(AccessMonitorTest, WindowCountsAndDrains) {
+  adapt::AccessMonitor monitor(4);
+  EXPECT_EQ(monitor.window_total(), 0u);
+  monitor.OnFetch(1);
+  monitor.OnFetch(1);
+  monitor.OnFetch(3);
+  EXPECT_EQ(monitor.window_total(), 3u);
+  const std::vector<uint64_t> window = monitor.TakeWindow();
+  EXPECT_EQ(window, (std::vector<uint64_t>{0, 2, 0, 1}));
+  EXPECT_EQ(monitor.window_total(), 0u);
+  EXPECT_EQ(monitor.TakeWindow(), (std::vector<uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(AccessMonitorTest, AbsorbFoldsAndResetsTheSource) {
+  adapt::AccessMonitor a(3);
+  adapt::AccessMonitor b(3);
+  a.OnFetch(0);
+  b.OnFetch(0);
+  b.OnFetch(2);
+  a.Absorb(b);
+  EXPECT_EQ(a.window_total(), 3u);
+  EXPECT_EQ(b.window_total(), 0u);
+  EXPECT_EQ(a.TakeWindow(), (std::vector<uint64_t>{2, 0, 1}));
+  EXPECT_EQ(b.TakeWindow(), (std::vector<uint64_t>{0, 0, 0}));
+}
+
+// Demand misaligned with the nominal layout: the client's hot region
+// starts 250 pages in, seated on the slow disks until reopt notices.
+SimParams ReoptParams() {
+  SimParams params = SmallParams();
+  params.offset = 250;
+  params.adapt.epoch_cycles = 2;
+  params.adapt.reopt = true;
+  return params;
+}
+
+TEST(AdaptSimTest, ReoptReseatsToMeasuredDemand) {
+  const SimParams params = ReoptParams();
+  auto result = RunSimulation(params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->adapt_active);
+  const adapt::AdaptStats& stats = result->adapt_stats;
+  EXPECT_GT(stats.epochs, 0u);
+  EXPECT_GT(stats.reopts, 0u);
+  EXPECT_GT(stats.promotions, 0u);
+  EXPECT_GT(stats.demotions, 0u)
+      << "re-seating a misaligned layout must also demote";
+  EXPECT_GT(stats.rebuilds, 0u);
+
+  const obs::RunReport report = MakeRunReport(params, *result, "test");
+  EXPECT_TRUE(HasExtra(report, "adapt_reopts"));
+  EXPECT_TRUE(HasExtra(report, "adapt_demotions"));
+}
+
+TEST(AdaptSimTest, ReoptRunsAreBitIdentical) {
+  const SimParams params = ReoptParams();
+  auto a = RunSimulation(params);
+  auto b = RunSimulation(params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->metrics.response_time().sum(),
+            b->metrics.response_time().sum());
+  EXPECT_EQ(a->end_time, b->end_time);
+  EXPECT_EQ(a->adapt_stats.reopts, b->adapt_stats.reopts);
+  EXPECT_EQ(a->adapt_stats.promotions, b->adapt_stats.promotions);
+  EXPECT_EQ(a->adapt_stats.demotions, b->adapt_stats.demotions);
+}
+
+TEST(AdaptSimTest, ReoptHelpsWhenInterestDisagreesWithNominal) {
+  SimParams fixed = ReoptParams();
+  fixed.adapt.epoch_cycles = 0;  // nominal schedule, never re-seated
+  fixed.adapt.reopt = false;
+  auto without = RunSimulation(fixed);
+  auto with = RunSimulation(ReoptParams());
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_LT(with->metrics.mean_response_time(),
+            without->metrics.mean_response_time())
+      << "re-seating hot-but-cold-seated pages must pay off";
 }
 
 TEST(AdaptSimTest, PopulationRunAdaptsAndStaysDeterministic) {

@@ -181,5 +181,88 @@ TEST(PromotionMapPropertyTest, RepairKeepsInterArrivalFixed) {
   EXPECT_GE(checked, 20);  // the generator must not degenerate-skip away
 }
 
+TEST(PromotionMapTest, ReseatIdentityOrderIsANoOp) {
+  PromotionMap perm(SmallD3());
+  const PromotionMap::ReseatResult moves =
+      perm.Reseat({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(moves.promoted, 0u);
+  EXPECT_EQ(moves.demoted, 0u);
+  EXPECT_FALSE(perm.dirty());
+}
+
+TEST(PromotionMapTest, ReseatMovesPagesInBothDirections) {
+  PromotionMap perm(SmallD3());
+  // Reversed demand ranking: what was coldest is now hottest, so pages
+  // must be demoted as readily as promoted — the capability Promote
+  // alone lacks.
+  const PromotionMap::ReseatResult moves =
+      perm.Reseat({8, 7, 6, 5, 4, 3, 2, 1, 0});
+  EXPECT_GT(moves.promoted, 0u);
+  EXPECT_GT(moves.demoted, 0u);
+  EXPECT_TRUE(perm.dirty());
+  EXPECT_EQ(perm.PageAt(0), 8u);
+  EXPECT_EQ(perm.DiskOf(8), 0u);
+  EXPECT_EQ(perm.DiskOf(0), 2u);  // the old hottest page fell to disk 2
+}
+
+TEST(PromotionMapDeathTest, ReseatRejectsNonPermutations) {
+  PromotionMap perm(SmallD3());
+  EXPECT_DEATH(perm.Reseat({0, 0, 2, 3, 4, 5, 6, 7, 8}), "repeats");
+}
+
+// The reopt analogue of the repair property: re-seating the whole layout
+// by an arbitrary permutation still relabels seat programs into programs
+// with fixed per-page inter-arrival, with each page inheriting exactly
+// its seat's gap train.
+TEST(PromotionMapPropertyTest, ReseatKeepsInterArrivalFixed) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t num_disks = 1 + rng.NextBounded(4);
+    std::vector<uint64_t> sizes;
+    std::vector<uint64_t> freqs;
+    uint64_t freq = 1 + rng.NextBounded(8);
+    for (uint64_t d = 0; d < num_disks; ++d) {
+      sizes.push_back(1 + rng.NextBounded(12));
+      freqs.push_back(freq);
+      if (freq > 1) freq -= rng.NextBounded(freq);
+      if (freq == 0) freq = 1;
+    }
+    auto layout = MakeLayout(sizes, freqs);
+    if (!layout.ok()) continue;
+    const uint64_t num_pages = layout->TotalPages();
+    auto base = GenerateMultiDiskProgram(*layout);
+    ASSERT_TRUE(base.ok());
+
+    // Random demand ranking (Fisher-Yates on the identity).
+    std::vector<PageId> order(num_pages);
+    for (uint64_t p = 0; p < num_pages; ++p) {
+      order[p] = static_cast<PageId>(p);
+    }
+    for (uint64_t i = num_pages - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.NextBounded(i + 1)]);
+    }
+
+    PromotionMap perm(*layout);
+    perm.Reseat(order);
+    for (uint64_t s = 0; s < num_pages; ++s) {
+      ASSERT_EQ(perm.PageAt(s), order[s]);
+    }
+    auto mapped = perm.Apply(*base);
+    ASSERT_TRUE(mapped.ok());
+    check::CheckList checks = check::CheckProgramInvariants(*mapped, true);
+    EXPECT_TRUE(checks.all_ok()) << "trial " << trial;
+    const auto base_gaps = GapsOf(*base);
+    const auto mapped_gaps = GapsOf(*mapped);
+    for (PageId p = 0; p < static_cast<PageId>(num_pages); ++p) {
+      const auto seat_it =
+          base_gaps.find(static_cast<PageId>(perm.SeatOf(p)));
+      const auto page_it = mapped_gaps.find(p);
+      ASSERT_NE(seat_it, base_gaps.end());
+      ASSERT_NE(page_it, mapped_gaps.end());
+      EXPECT_EQ(page_it->second, seat_it->second) << "page " << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bcast::adapt

@@ -1,0 +1,406 @@
+#include "broadcast/schedule_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "broadcast/analysis.h"
+#include "broadcast/disk_config.h"
+#include "broadcast/generator.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace bcast {
+namespace {
+
+std::vector<double> ZipfProbs(uint64_t access_range, uint64_t db_size,
+                              double theta) {
+  auto gen = RegionZipfGenerator::Make(access_range, 50, theta);
+  EXPECT_TRUE(gen.ok());
+  std::vector<double> probs(db_size, 0.0);
+  for (uint64_t p = 0; p < access_range; ++p) {
+    probs[p] = gen->Probability(p);
+  }
+  return probs;
+}
+
+// A random normalized hottest-first distribution; cubing the uniform
+// draws skews it enough that frequency assignment actually matters.
+std::vector<double> RandomSkewedProbs(Rng* rng, uint64_t n) {
+  std::vector<double> probs(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double u = rng->NextDouble();
+    probs[i] = u * u * u + 1e-9;
+    total += probs[i];
+  }
+  std::sort(probs.begin(), probs.end(), std::greater<double>());
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, KnowsEveryAdvertisedName) {
+  for (const std::string& name : ScheduleOptimizerNames()) {
+    const ScheduleOptimizer* opt = FindScheduleOptimizer(name);
+    ASSERT_NE(opt, nullptr) << name;
+    EXPECT_EQ(opt->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNull) {
+  EXPECT_EQ(FindScheduleOptimizer("simulated-annealing"), nullptr);
+  EXPECT_EQ(FindScheduleOptimizer(""), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// delta — must be the paper's build path re-expressed, bit for bit.
+
+TEST(DeltaBuildTest, MatchesLegacyDeltaRulePath) {
+  auto legacy_layout = MakeDeltaLayout({500, 2000, 2500}, 3);
+  ASSERT_TRUE(legacy_layout.ok());
+  auto legacy_program = GenerateMultiDiskProgram(*legacy_layout);
+  ASSERT_TRUE(legacy_program.ok());
+
+  OptimizerRequest request;
+  request.disk_sizes = {500, 2000, 2500};
+  request.delta = 3;
+  auto built = FindScheduleOptimizer("delta")->Build(request);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->layout.sizes, legacy_layout->sizes);
+  EXPECT_EQ(built->layout.rel_freqs, legacy_layout->rel_freqs);
+  ASSERT_EQ(built->program.period(), legacy_program->period());
+  for (SlotId s = 0; s < built->program.period(); ++s) {
+    ASSERT_EQ(built->program.page_at(s), legacy_program->page_at(s))
+        << "slot " << s;
+  }
+}
+
+TEST(DeltaBuildTest, HonorsExplicitFrequencies) {
+  OptimizerRequest request;
+  request.disk_sizes = {1, 4, 4};
+  request.rel_freqs = {4, 2, 1};
+  auto built = FindScheduleOptimizer("delta")->Build(request);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->layout.rel_freqs, (std::vector<uint64_t>{4, 2, 1}));
+}
+
+TEST(DeltaBuildTest, PredictedDelayMatchesAnalytic) {
+  OptimizerRequest request;
+  request.disk_sizes = {500, 2000, 2500};
+  request.delta = 3;
+  request.probs = ZipfProbs(1000, 5000, 0.95);
+  auto built = FindScheduleOptimizer("delta")->Build(request);
+  ASSERT_TRUE(built.ok());
+  EXPECT_NEAR(built->predicted_delay,
+              AnalyticExpectedDelay(built->layout, request.probs), 1e-9);
+}
+
+TEST(DeltaBuildTest, RejectsProbsNotCoveringEveryPage) {
+  OptimizerRequest request;
+  request.disk_sizes = {10, 20};
+  request.probs = std::vector<double>(7, 1.0 / 7);
+  EXPECT_FALSE(FindScheduleOptimizer("delta")->Build(request).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Design — the layout search behind every optimizer.
+
+TEST(DesignTest, RejectsBadInputs) {
+  const ScheduleOptimizer* delta = FindScheduleOptimizer("delta");
+  OptimizerRequest request;
+  request.num_disks = 2;
+  EXPECT_FALSE(delta->Design(request).ok());  // no probabilities
+  request.probs = {0.5, 0.5};
+  request.num_disks = 0;
+  EXPECT_FALSE(delta->Design(request).ok());
+  request.num_disks = 3;
+  EXPECT_FALSE(delta->Design(request).ok());  // more disks than pages
+  request.probs = {0.1, 0.9};                 // unsorted
+  request.num_disks = 1;
+  EXPECT_FALSE(delta->Design(request).ok());
+}
+
+TEST(DesignTest, SingleDiskIsFlat) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(100, 500, 0.95);
+  request.num_disks = 1;
+  request.max_delta = 5;
+  auto result = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->layout.NumDisks(), 1u);
+  EXPECT_DOUBLE_EQ(result->predicted_delay, 250.0);
+}
+
+TEST(DesignTest, UniformAccessPrefersFlat) {
+  // With uniform probabilities, any skew hurts; the search should land
+  // on delta 0 (or an equivalent-cost layout).
+  OptimizerRequest request;
+  request.probs = std::vector<double>(500, 1.0 / 500);
+  request.num_disks = 2;
+  request.max_delta = 5;
+  auto result = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->predicted_delay, 250.0, 1.0);
+}
+
+TEST(DesignTest, BeatsFlatOnSkewedAccess) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(1000, 5000, 0.95);
+  request.num_disks = 3;
+  request.max_delta = 7;
+  auto result = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->predicted_delay, 2500.0 * 0.5)
+      << "the search should at least halve the flat delay";
+}
+
+TEST(DesignTest, BeatsOrMatchesHandPickedD5) {
+  const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+  auto d5 = MakeDeltaLayout({500, 2000, 2500}, 3);
+  ASSERT_TRUE(d5.ok());
+  const double hand = AnalyticExpectedDelay(*d5, probs);
+  OptimizerRequest request;
+  request.probs = probs;
+  request.num_disks = 3;
+  request.max_delta = 7;
+  auto result = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->predicted_delay, hand + 1e-9);
+}
+
+TEST(DesignTest, ReturnedDelayMatchesReturnedLayout) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(200, 1000, 0.95);
+  request.num_disks = 2;
+  request.max_delta = 4;
+  auto result = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->predicted_delay,
+              AnalyticExpectedDelay(result->layout, request.probs), 1e-9);
+}
+
+TEST(DesignTest, DeterministicAcrossCalls) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(200, 1000, 0.95);
+  request.num_disks = 3;
+  request.max_delta = 4;
+  auto a = FindScheduleOptimizer("delta")->Design(request);
+  auto b = FindScheduleOptimizer("delta")->Design(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->layout.sizes, b->layout.sizes);
+  EXPECT_EQ(a->layout.rel_freqs, b->layout.rel_freqs);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic machinery.
+
+TEST(AnalyticExpectedDelayTest, MatchesProgramAnalysis) {
+  // The O(num_disks) closed form must agree with the per-page gap
+  // analysis of the actually generated program.
+  for (uint64_t delta : {0u, 1u, 3u, 5u}) {
+    auto layout = MakeDeltaLayout({500, 2000, 2500}, delta);
+    ASSERT_TRUE(layout.ok());
+    auto program = GenerateMultiDiskProgram(*layout);
+    ASSERT_TRUE(program.ok());
+    const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+    EXPECT_NEAR(AnalyticExpectedDelay(*layout, probs),
+                ExpectedDelayForDistribution(*program, probs), 1e-9)
+        << "delta " << delta;
+  }
+}
+
+TEST(AnalyticExpectedDelayTest, FlatEqualsHalfPeriod) {
+  auto layout = MakeDeltaLayout({5000}, 0);
+  const std::vector<double> probs = ZipfProbs(1000, 5000, 0.95);
+  EXPECT_DOUBLE_EQ(AnalyticExpectedDelay(*layout, probs), 2500.0);
+}
+
+TEST(SquareRootSharesTest, SharesSumToOne) {
+  const std::vector<double> shares =
+      SquareRootBandwidthShares({0.5, 0.3, 0.2});
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SquareRootSharesTest, ProportionalToSqrt) {
+  const std::vector<double> shares = SquareRootBandwidthShares({0.64, 0.04});
+  EXPECT_NEAR(shares[0] / shares[1], std::sqrt(0.64 / 0.04), 1e-12);
+}
+
+TEST(SquareRootSharesTest, ZeroProbabilityGetsZeroShare) {
+  const std::vector<double> shares = SquareRootBandwidthShares({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+}
+
+TEST(SquareRootSharesTest, AllZeroStaysZero) {
+  const std::vector<double> shares = SquareRootBandwidthShares({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ksy.
+
+TEST(KsyTest, RejectsExplicitFrequencies) {
+  OptimizerRequest request;
+  request.disk_sizes = {10, 20};
+  request.rel_freqs = {2, 1};
+  request.probs = std::vector<double>(30, 1.0 / 30);
+  EXPECT_FALSE(FindScheduleOptimizer("ksy")->Build(request).ok());
+}
+
+TEST(KsyTest, RejectsMissingProbabilities) {
+  OptimizerRequest request;
+  request.disk_sizes = {10, 20};
+  EXPECT_FALSE(FindScheduleOptimizer("ksy")->Build(request).ok());
+}
+
+TEST(KsyTest, PredictedDelayMatchesReturnedLayout) {
+  OptimizerRequest request;
+  request.disk_sizes = {50, 150, 300};
+  request.probs = ZipfProbs(100, 500, 0.95);
+  auto built = FindScheduleOptimizer("ksy")->Build(request);
+  ASSERT_TRUE(built.ok());
+  EXPECT_NEAR(built->predicted_delay,
+              AnalyticExpectedDelay(built->layout, request.probs), 1e-9);
+}
+
+TEST(KsyTest, StrictlyBeatsDeltaOnPaperWorkload) {
+  // The Δ-rule's arithmetic ladder (7,4,1 at best) is far from the
+  // square-root optimum on the paper's skew; ksy must win outright.
+  OptimizerRequest request;
+  request.disk_sizes = {500, 2000, 2500};
+  request.delta = 3;
+  request.probs = ZipfProbs(1000, 5000, 0.95);
+  auto delta = FindScheduleOptimizer("delta")->Build(request);
+  auto ksy = FindScheduleOptimizer("ksy")->Build(request);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(ksy.ok());
+  EXPECT_LT(ksy->predicted_delay, delta->predicted_delay);
+}
+
+TEST(KsyTest, NeverLosesToDeltaOnRandomizedSkew) {
+  // Property: the Δ-rule frequency vector is one of ksy's candidates, so
+  // for any hottest-first distribution and any partition, ksy's analytic
+  // delay is at most delta's.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 25; ++trial) {
+    const uint64_t n = 60 + rng.NextBounded(240);
+    const uint64_t a = 1 + rng.NextBounded(n / 3);
+    const uint64_t b = 1 + rng.NextBounded(n - a - 1);
+    OptimizerRequest request;
+    request.disk_sizes = {a, b, n - a - b};
+    request.delta = 1 + rng.NextBounded(5);
+    request.probs = RandomSkewedProbs(&rng, n);
+    auto delta = FindScheduleOptimizer("delta")->Build(request);
+    auto ksy = FindScheduleOptimizer("ksy")->Build(request);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(ksy.ok()) << ksy.status().ToString();
+    EXPECT_LE(ksy->predicted_delay, delta->predicted_delay + 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rbo.
+
+TEST(RboTest, RejectsExplicitFrequencies) {
+  OptimizerRequest request;
+  request.rel_freqs = {2, 1};
+  request.probs = std::vector<double>(30, 1.0 / 30);
+  EXPECT_FALSE(FindScheduleOptimizer("rbo")->Build(request).ok());
+}
+
+TEST(RboTest, PeriodIsAPowerOfTwo) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(100, 300, 0.95);
+  auto built = FindScheduleOptimizer("rbo")->Build(request);
+  ASSERT_TRUE(built.ok());
+  const uint64_t period = built->program.period();
+  EXPECT_EQ(period & (period - 1), 0u);
+}
+
+TEST(RboTest, PredictedDelayMatchesProgramAnalysis) {
+  OptimizerRequest request;
+  request.probs = ZipfProbs(100, 300, 0.95);
+  auto built = FindScheduleOptimizer("rbo")->Build(request);
+  ASSERT_TRUE(built.ok());
+  EXPECT_NEAR(built->predicted_delay,
+              ExpectedDelayForDistribution(built->program, request.probs),
+              1e-9);
+}
+
+TEST(RboTest, LocatorAgreesWithProgramOnFuzzedQueries) {
+  // Property: for fuzzed (page, slot) queries, the O(1) residue
+  // arithmetic names exactly the next slot where the materialized
+  // program broadcasts the page.
+  const std::vector<double> probs = ZipfProbs(100, 300, 0.95);
+  auto locator = MakeRboLocator(probs, uint64_t{1} << 20);
+  ASSERT_TRUE(locator.ok());
+  OptimizerRequest request;
+  request.probs = probs;
+  auto built = FindScheduleOptimizer("rbo")->Build(request);
+  ASSERT_TRUE(built.ok());
+  const BroadcastProgram& program = built->program;
+  ASSERT_EQ(program.period(), locator->period);
+
+  auto next_by_scan = [&](PageId page, SlotId from) {
+    for (SlotId s = from; s < from + locator->period; ++s) {
+      if (program.page_at(s % locator->period) == page) return s;
+    }
+    ADD_FAILURE() << "page " << page << " never broadcast";
+    return from;
+  };
+  Rng rng(7);
+  for (int q = 0; q < 500; ++q) {
+    const PageId page = static_cast<PageId>(rng.NextBounded(probs.size()));
+    const SlotId from = rng.NextBounded(4 * locator->period);
+    EXPECT_EQ(locator->NextSlot(page, from), next_by_scan(page, from))
+        << "page " << page << " from slot " << from;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-optimizer properties.
+
+TEST(FrontierTest, EveryOptimizerBroadcastsWithFixedInterArrival) {
+  // The Bus Stop Paradox: gap variance only ever hurts, so every
+  // optimizer in the registry must emit zero-variance per-page gaps.
+  const std::vector<double> probs = ZipfProbs(100, 400, 0.95);
+  for (const std::string& name : ScheduleOptimizerNames()) {
+    OptimizerRequest request;
+    request.disk_sizes = {50, 120, 230};
+    request.probs = probs;
+    auto built = FindScheduleOptimizer(name)->Build(request);
+    ASSERT_TRUE(built.ok()) << name << ": " << built.status().ToString();
+    for (PageId p = 0; p < 400; ++p) {
+      ASSERT_DOUBLE_EQ(GapVariance(built->program, p), 0.0)
+          << name << " page " << p;
+    }
+  }
+}
+
+TEST(FrontierTest, EveryOptimizerReportsItsOwnLayoutsDelay) {
+  const std::vector<double> probs = ZipfProbs(100, 400, 0.95);
+  for (const std::string& name : ScheduleOptimizerNames()) {
+    OptimizerRequest request;
+    request.disk_sizes = {50, 120, 230};
+    request.probs = probs;
+    auto built = FindScheduleOptimizer(name)->Build(request);
+    ASSERT_TRUE(built.ok()) << name;
+    EXPECT_NEAR(built->predicted_delay,
+                ExpectedDelayForDistribution(built->program, probs), 1e-9)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace bcast

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 #include "chaos/chaos.h"
@@ -93,6 +94,56 @@ TEST(ChaosRunTest, DisabledIdentityHoldsOnSampledSeeds) {
     EXPECT_FALSE(violation.has_value())
         << "seed " << seed << ": " << violation->detail;
   }
+}
+
+TEST(ChaosOptimizerTest, AxisDrawsTheWholeFrontier) {
+  // With the pull axis off, nothing forces a downgrade, so the draw must
+  // reach every registered optimizer across a handful of seeds.
+  ChaosAxes no_pull = ChaosAxes::All();
+  no_pull.pull = false;
+  std::set<std::string> seen;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    seen.insert(GenerateScenario(seed, no_pull).params.optimizer);
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"delta", "ksy", "rbo"}));
+}
+
+TEST(ChaosOptimizerTest, PullScenariosDowngradeRboToKsy) {
+  // Validate rejects pull+rbo, so scenarios with the pull axis enabled
+  // must never draw a bit-reversal schedule — and every generated
+  // scenario must be structurally valid.
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const ChaosScenario scenario = GenerateScenario(seed, ChaosAxes::All());
+    EXPECT_NE(scenario.params.optimizer, "rbo") << "seed " << seed;
+    const Status st = scenario.params.Validate();
+    EXPECT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString();
+  }
+}
+
+TEST(ChaosOptimizerTest, DisabledAxisKeepsThePaperSchedule) {
+  ChaosAxes no_opt = ChaosAxes::All();
+  no_opt.optimizer = false;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const ChaosScenario all = GenerateScenario(seed, ChaosAxes::All());
+    const ChaosScenario less = GenerateScenario(seed, no_opt);
+    EXPECT_EQ(less.params.optimizer, "delta");
+    // The other axes' drawn values stay put (the shrinker's contract);
+    // only version_every may move, since its cadence is derived from the
+    // on-air program's period.
+    EXPECT_EQ(all.params.fault.loss, less.params.fault.loss);
+    EXPECT_EQ(all.params.cache_size, less.params.cache_size);
+    EXPECT_EQ(all.params.pull.threshold, less.params.pull.threshold);
+    EXPECT_EQ(all.params.seed, less.params.seed);
+  }
+}
+
+TEST(ChaosOptimizerTest, NamedInToString) {
+  EXPECT_NE(ChaosAxes::All().ToString().find("optimizer"),
+            std::string::npos);
+  ChaosAxes only_optimizer = ChaosAxes::None();
+  only_optimizer.optimizer = true;
+  EXPECT_EQ(only_optimizer.ToString(), "optimizer");
+  EXPECT_FALSE(only_optimizer.Empty());
 }
 
 TEST(ChaosPopulationTest, PopAxisDrawsBoundedShape) {

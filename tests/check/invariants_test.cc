@@ -121,6 +121,22 @@ TEST(ReportInvariantsTest, ConsistentReportPasses) {
   EXPECT_TRUE(checks.all_ok()) << out.str();
 }
 
+TEST(ReportInvariantsTest, KnownOptimizerNamesPass) {
+  for (const char* name : {"delta", "ksy", "rbo", ""}) {
+    obs::RunReport report = ConsistentReport();
+    report.optimizer = name;
+    const CheckList checks = CheckReportInvariants(report);
+    EXPECT_TRUE(checks.all_ok()) << "optimizer '" << name << "'";
+  }
+}
+
+TEST(ReportInvariantsTest, UnknownOptimizerNameFails) {
+  obs::RunReport report = ConsistentReport();
+  report.optimizer = "annealing";
+  const CheckList checks = CheckReportInvariants(report);
+  EXPECT_TRUE(ContainsFailure(checks, "report.optimizer_known"));
+}
+
 TEST(ReportInvariantsTest, NonMonotonePercentilesFail) {
   obs::RunReport report = ConsistentReport();
   report.response.p90 = report.response.p99 + 5.0;

@@ -46,6 +46,125 @@ TEST(MultiClientValidationTest, RejectsBadClient) {
   EXPECT_FALSE(params.Validate().ok());
 }
 
+TEST(MultiClientValidationTest, RejectsUnknownOptimizer) {
+  MultiClientParams params = SmallPopulation(2);
+  params.optimizer = "annealing";
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(MultiClientValidationTest, NonDeltaOptimizerRejectsExplicitFreqs) {
+  MultiClientParams params = SmallPopulation(2);
+  params.optimizer = "ksy";
+  params.rel_freqs = {5, 3, 1};
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(MultiClientValidationTest, RejectsRboWithPull) {
+  MultiClientParams params = SmallPopulation(2);
+  params.optimizer = "rbo";
+  params.pull.pull_slots = 2;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(MultiClientValidationTest, RejectsReoptForPopulations) {
+  MultiClientParams params = SmallPopulation(2);
+  params.adapt.epoch_cycles = 2;
+  params.adapt.reopt = true;
+  const Status st = params.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("single-client only"), std::string::npos);
+}
+
+TEST(MultiClientTest, PopulationNominalProbsIsTheHottestFirstMean) {
+  MultiClientParams params = SmallPopulation(3);
+  params.clients[1].interest_shift = 200;  // shifts must NOT matter
+  params.clients[2].noise_percent = 30.0;  // nor noise
+  const std::vector<double> probs = PopulationNominalProbs(params);
+  ASSERT_EQ(probs.size(), params.ServerDbSize());
+  double sum = 0.0;
+  for (size_t p = 1; p < probs.size(); ++p) {
+    EXPECT_LE(probs[p], probs[p - 1]) << "page " << p;
+  }
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  MultiClientParams plain = SmallPopulation(3);
+  EXPECT_EQ(PopulationNominalProbs(params), PopulationNominalProbs(plain));
+}
+
+TEST(MultiClientTest, KsyPopulationRunsAndRecordsProvenance) {
+  MultiClientParams params = SmallPopulation(3);
+  params.optimizer = "ksy";
+  auto result = RunMultiClientSimulation(params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->predicted_delay, 0.0);
+  const obs::RunReport report =
+      MakePopulationRunReport(params, *result, "cfg", "test");
+  EXPECT_EQ(report.optimizer, "ksy");
+  bool has_predicted = false;
+  for (const auto& [k, v] : report.extra) {
+    if (k == "optimizer_predicted_delay") {
+      has_predicted = true;
+      EXPECT_DOUBLE_EQ(v, result->predicted_delay);
+    }
+  }
+  EXPECT_TRUE(has_predicted);
+}
+
+TEST(MultiClientTest, DeltaPopulationReportOmitsThePredictionExtra) {
+  MultiClientParams params = SmallPopulation(2);
+  auto result = RunMultiClientSimulation(params);
+  ASSERT_TRUE(result.ok());
+  const obs::RunReport report =
+      MakePopulationRunReport(params, *result, "cfg", "test");
+  EXPECT_EQ(report.optimizer, "delta");
+  for (const auto& [k, v] : report.extra) {
+    EXPECT_NE(k, "optimizer_predicted_delay");
+  }
+}
+
+TEST(MultiClientTest, AutoBackendResolvesByPopulationSize) {
+  MultiClientParams small = SmallPopulation(3);
+  small.des_queue = des::QueueBackend::kAuto;
+  small.measured_requests = 200;
+  auto tiny = RunMultiClientSimulation(small);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->resolved_queue, des::QueueBackend::kHeap);
+
+  MultiClientParams big = SmallPopulation(9);
+  big.des_queue = des::QueueBackend::kAuto;
+  big.measured_requests = 200;
+  auto large = RunMultiClientSimulation(big);
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large->resolved_queue, des::QueueBackend::kCalendar);
+
+  // Resolution can never change results — only which backend ran.
+  MultiClientParams pinned = SmallPopulation(9);
+  pinned.des_queue = des::QueueBackend::kHeap;
+  pinned.measured_requests = 200;
+  auto heap = RunMultiClientSimulation(pinned);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ(heap->resolved_queue, des::QueueBackend::kHeap);
+  EXPECT_EQ(heap->response_across_clients.sum(),
+            large->response_across_clients.sum());
+  EXPECT_EQ(heap->events_dispatched, large->events_dispatched);
+}
+
+TEST(MultiClientTest, OptimizerChoiceChangesTheScheduleDeterministically) {
+  for (const char* name : {"ksy", "rbo"}) {
+    MultiClientParams params = SmallPopulation(2);
+    params.optimizer = name;
+    auto a = RunMultiClientSimulation(params);
+    auto b = RunMultiClientSimulation(params);
+    ASSERT_TRUE(a.ok()) << name << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->response_across_clients.sum(),
+              b->response_across_clients.sum())
+        << name;
+    EXPECT_EQ(a->events_dispatched, b->events_dispatched) << name;
+  }
+}
+
 TEST(MultiClientTest, EveryClientCompletes) {
   auto result = RunMultiClientSimulation(SmallPopulation(4));
   ASSERT_TRUE(result.ok()) << result.status().ToString();

@@ -89,8 +89,8 @@ TEST(SimConfigTest, AdaptEpochNeedsASignal) {
   SimConfig config;
   const Status st = ConfigureFrom(&config, {"--adapt_epoch=4"});
   ASSERT_FALSE(st.ok());
-  EXPECT_NE(st.message().find("--adapt_epoch adapts to measured loss or "
-                              "pull load"),
+  EXPECT_NE(st.message().find("--adapt_epoch adapts to measured loss, "
+                              "pull load, or measured demand"),
             std::string::npos);
   // Any of the signal flags satisfies it.
   for (const char* signal :
@@ -145,6 +145,76 @@ TEST(SimConfigTest, RejectsUnknownEnumStrings) {
   {
     SimConfig config;
     EXPECT_FALSE(ConfigureFrom(&config, {"--disks=1,x"}).ok());
+  }
+}
+
+TEST(SimConfigTest, OptimizerFlagFlowsIntoParams) {
+  SimConfig config;
+  const Status st = ConfigureFrom(&config, {"--optimizer=ksy"});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(config.params.optimizer, "ksy");
+}
+
+TEST(SimConfigTest, UnknownOptimizerRejected) {
+  SimConfig config;
+  const Status st = ConfigureFrom(&config, {"--optimizer=annealing"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unknown optimizer: annealing"),
+            std::string::npos);
+}
+
+TEST(SimConfigTest, NonDeltaOptimizerNeedsTheMultiDiskProgram) {
+  SimConfig config;
+  const Status st =
+      ConfigureFrom(&config, {"--optimizer=rbo", "--program=skewed"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--program=multidisk"), std::string::npos);
+}
+
+TEST(SimConfigTest, RboRejectsPull) {
+  SimConfig config;
+  const Status st =
+      ConfigureFrom(&config, {"--optimizer=rbo", "--pull_slots=2"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bit-reversal"), std::string::npos);
+}
+
+TEST(SimConfigTest, AdaptReoptIsAnAdaptSignal) {
+  // Re-optimization is itself a signal: no fault or pull flag needed.
+  SimConfig config;
+  const Status st =
+      ConfigureFrom(&config, {"--adapt_epoch=4", "--adapt_reopt"});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(config.params.adapt.reopt);
+  EXPECT_EQ(config.params.adapt.epoch_cycles, 4u);
+}
+
+TEST(SimConfigTest, AdaptReoptNeedsTheController) {
+  SimConfig config;
+  const Status st = ConfigureFrom(&config, {"--adapt_reopt"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(
+                " tunes the epoch controller; it needs --adapt_epoch"),
+            std::string::npos);
+}
+
+TEST(SimConfigTest, DesQueueParsesEveryBackend) {
+  {
+    SimConfig config;
+    ASSERT_TRUE(ConfigureFrom(&config, {"--des_queue=auto"}).ok());
+    EXPECT_EQ(config.params.des_queue, des::QueueBackend::kAuto);
+  }
+  {
+    SimConfig config;
+    ASSERT_TRUE(ConfigureFrom(&config, {"--des_queue=heap"}).ok());
+    EXPECT_EQ(config.params.des_queue, des::QueueBackend::kHeap);
+  }
+  {
+    SimConfig config;
+    const Status st = ConfigureFrom(&config, {"--des_queue=splay"});
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("(heap|calendar|auto)"),
+              std::string::npos);
   }
 }
 

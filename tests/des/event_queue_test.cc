@@ -221,8 +221,34 @@ TEST(QueueBackendTest, ParseRoundTrips) {
   EXPECT_EQ(backend, QueueBackend::kHeap);
   ASSERT_TRUE(ParseQueueBackend("calendar", &backend));
   EXPECT_EQ(backend, QueueBackend::kCalendar);
+  ASSERT_TRUE(ParseQueueBackend("auto", &backend));
+  EXPECT_EQ(backend, QueueBackend::kAuto);
   EXPECT_FALSE(ParseQueueBackend("splay", &backend));
   EXPECT_FALSE(ParseQueueBackend("", &backend));
+}
+
+TEST(QueueBackendTest, AutoResolvesByClientCount) {
+  // A handful of clients keeps the pending set tiny, where the heap
+  // wins; the ceiling is 8 clients, and the boundary must be exact.
+  EXPECT_EQ(ResolveQueueBackend(QueueBackend::kAuto, 0),
+            QueueBackend::kHeap);
+  EXPECT_EQ(ResolveQueueBackend(QueueBackend::kAuto, 1),
+            QueueBackend::kHeap);
+  EXPECT_EQ(ResolveQueueBackend(QueueBackend::kAuto, 8),
+            QueueBackend::kHeap);
+  EXPECT_EQ(ResolveQueueBackend(QueueBackend::kAuto, 9),
+            QueueBackend::kCalendar);
+  EXPECT_EQ(ResolveQueueBackend(QueueBackend::kAuto, 1000),
+            QueueBackend::kCalendar);
+}
+
+TEST(QueueBackendTest, ExplicitBackendsPassThroughResolution) {
+  for (uint64_t clients : {0u, 1u, 8u, 9u, 1000u}) {
+    EXPECT_EQ(ResolveQueueBackend(QueueBackend::kHeap, clients),
+              QueueBackend::kHeap);
+    EXPECT_EQ(ResolveQueueBackend(QueueBackend::kCalendar, clients),
+              QueueBackend::kCalendar);
+  }
 }
 
 }  // namespace

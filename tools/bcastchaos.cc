@@ -1,7 +1,9 @@
 // bcastchaos — seeded chaos harness over the whole fault surface.
 //
-// Generates randomized scenarios (geometry, workload, and a composition
-// of loss/corruption/doze/crash/stall/jitter/version-bump schedules),
+// Generates randomized scenarios (geometry, workload, a schedule
+// optimizer drawn per seed — delta, ksy, or bit-reversal — and a
+// composition of loss/corruption/doze/crash/stall/jitter/version-bump
+// schedules),
 // runs each to completion under a liveness horizon, and checks global
 // invariants: no hang, every request serviced with balanced books,
 // response accounting matching the request count, and — periodically —

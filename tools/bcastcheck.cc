@@ -20,7 +20,11 @@
 //   bcastcheck --program prog.txt [--disks 500,2000,2500 --delta 2]
 //       structural invariants of a serialized broadcast program (fixed
 //       inter-arrival spacing, service mix); with a layout given, also
-//       the Section-2.2 period identity and per-disk frequencies.
+//       the Section-2.2 period identity and per-disk frequencies. The
+//       layout checks assume the Δ-rule's chunked structure — check
+//       bit-reversal (--optimizer=rbo) programs without --disks, since
+//       their dyadic slot layout keeps fixed inter-arrival but not the
+//       chunk-interleaved period identity.
 //
 //   bcastcheck --paper
 //       simulation-backed checks of the paper's quantitative claims

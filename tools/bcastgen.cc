@@ -6,14 +6,17 @@
 //
 //   bcastgen --disks=1,4,4 --freqs=4,2,1 --dump     # the paper's Figure 3
 //   bcastgen --disks=500,2000,2500 --delta=7
+//   bcastgen --disks=500,2000,2500 --optimizer=ksy
 //   bcastgen --disks=500,2000,2500 --delta=3 --optimize
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 
 #include "broadcast/analysis.h"
 #include "broadcast/generator.h"
-#include "broadcast/optimizer.h"
+#include "broadcast/schedule_optimizer.h"
 #include "broadcast/serialize.h"
 #include "common/flags.h"
 #include "common/logging.h"
@@ -27,6 +30,7 @@ namespace {
 int Run(int argc, const char* const* argv) {
   std::string disks = "500,2000,2500";
   std::string freqs;
+  std::string optimizer_name = "delta";
   uint64_t delta = 3;
   bool dump = false;
   bool optimize = false;
@@ -40,9 +44,13 @@ int Run(int argc, const char* const* argv) {
   flags.AddString("freqs", &freqs,
                   "explicit relative frequencies (overrides --delta)");
   flags.AddUint64("delta", &delta, "frequency rule parameter");
+  flags.AddString("optimizer", &optimizer_name,
+                  "schedule optimizer: delta | ksy | rbo (non-delta "
+                  "derive frequencies from the analytic workload)");
   flags.AddBool("dump", &dump, "print the full slot sequence");
   flags.AddBool("optimize", &optimize,
-                "also search for a better layout (same disk count)");
+                "also search for a better layout with the chosen "
+                "optimizer (same disk count)");
   flags.AddUint64("access_range", &access_range,
                   "hot pages for the analytic workload");
   flags.AddDouble("theta", &theta, "Zipf skew of the analytic workload");
@@ -76,22 +84,52 @@ int Run(int argc, const char* const* argv) {
     std::cerr << "--disks: " << sizes.status().ToString() << "\n";
     return 2;
   }
-  Result<DiskLayout> layout = [&]() -> Result<DiskLayout> {
-    if (freqs.empty()) return MakeDeltaLayout(*sizes, delta);
-    Result<std::vector<uint64_t>> f = ParseUint64List(freqs);
-    if (!f.ok()) return f.status();
-    return MakeLayout(*sizes, *f);
-  }();
-  if (!layout.ok()) {
-    std::cerr << layout.status().ToString() << "\n";
+  const ScheduleOptimizer* opt = FindScheduleOptimizer(optimizer_name);
+  if (opt == nullptr) {
+    std::cerr << "unknown --optimizer: " << optimizer_name
+              << " (delta|ksy|rbo)\n";
     return 2;
   }
+  if (optimizer_name != "delta" && !freqs.empty()) {
+    std::cerr << "explicit --freqs pin the schedule; they require "
+                 "--optimizer=delta\n";
+    return 2;
+  }
+  const uint64_t total_pages =
+      std::accumulate(sizes->begin(), sizes->end(), uint64_t{0});
+  // The analytic workload (also what ksy/rbo optimize for): Zipf over
+  // the hottest access_range pages, zero elsewhere.
+  auto workload_probs = [&]() -> std::vector<double> {
+    std::vector<double> probs(total_pages, 0.0);
+    auto zipf = RegionZipfGenerator::Make(access_range, 50, theta);
+    if (zipf.ok()) {
+      const uint64_t hot = std::min(access_range, total_pages);
+      for (PageId p = 0; p < static_cast<PageId>(hot); ++p) {
+        probs[p] = zipf->Probability(p);
+      }
+    }
+    return probs;
+  };
 
-  Result<BroadcastProgram> program = GenerateMultiDiskProgram(*layout);
-  if (!program.ok()) {
-    std::cerr << program.status().ToString() << "\n";
+  OptimizerRequest request;
+  request.disk_sizes = *sizes;
+  request.delta = delta;
+  if (!freqs.empty()) {
+    Result<std::vector<uint64_t>> f = ParseUint64List(freqs);
+    if (!f.ok()) {
+      std::cerr << "--freqs: " << f.status().ToString() << "\n";
+      return 2;
+    }
+    request.rel_freqs = *f;
+  }
+  if (optimizer_name != "delta") request.probs = workload_probs();
+  Result<OptimizedSchedule> built = opt->Build(request);
+  if (!built.ok()) {
+    std::cerr << built.status().ToString() << "\n";
     return 1;
   }
+  const DiskLayout* const layout = &built->layout;
+  const BroadcastProgram* const program = &built->program;
 
   if (!save_path.empty()) {
     std::ofstream out(save_path);
@@ -108,6 +146,10 @@ int Run(int argc, const char* const* argv) {
   }
 
   std::cout << "Layout " << layout->ToString() << "\n";
+  if (optimizer_name != "delta") {
+    std::cout << "Optimizer " << optimizer_name << " predicts E[delay] "
+              << FormatDouble(built->predicted_delay, 1) << " units\n";
+  }
   std::cout << "Period " << program->period() << " slots, "
             << program->EmptySlots() << " empty ("
             << FormatDouble(100.0 * program->EmptySlots() /
@@ -145,11 +187,18 @@ int Run(int argc, const char* const* argv) {
                 << FormatDouble(static_cast<double>(total) / 2.0, 1)
                 << ")\n";
       if (optimize) {
-        auto best = OptimizeLayout(probs, layout->NumDisks(), 7);
+        OptimizerRequest search;
+        search.disk_sizes = *sizes;
+        search.delta = delta;
+        search.probs = probs;
+        search.num_disks = layout->NumDisks();
+        search.max_delta = 7;
+        Result<OptimizedSchedule> best = opt->Design(search);
         if (best.ok()) {
-          std::cout << "Optimizer suggests " << best->layout.ToString()
-                    << " at delta " << best->delta << ": "
-                    << FormatDouble(best->expected_delay, 1) << " units\n";
+          std::cout << "Optimizer (" << opt->name() << ") suggests "
+                    << best->layout.ToString() << ": "
+                    << FormatDouble(best->predicted_delay, 1)
+                    << " units\n";
         }
       }
     }

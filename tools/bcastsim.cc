@@ -81,6 +81,7 @@ int RunPopulation(const SimParams& base, const pop::PopParams& pop,
   params.delta = base.delta;
   params.rel_freqs = base.rel_freqs;
   params.program_kind = base.program_kind;
+  params.optimizer = base.optimizer;
   params.measured_requests = base.measured_requests;
   params.seed = base.seed;
   const uint64_t db = params.ServerDbSize();
@@ -140,7 +141,7 @@ int RunPopulation(const SimParams& base, const pop::PopParams& pop,
     if (pop.UseEngine()) {
       pop::AppendPopulationExtras(pop, *result, &report);
     }
-    MaybeRecordBackend(&report, record_des_queue, base.des_queue);
+    MaybeRecordBackend(&report, record_des_queue, result->resolved_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   return 0;
@@ -190,7 +191,9 @@ int RunUpdates(const SimParams& base, double update_rate,
     obs::RunReport report =
         MakeUpdateRunReport(base, updates, *result, "bcastsim");
     report.metrics = registry.TakeSnapshot();
-    MaybeRecordBackend(&report, record_des_queue, base.des_queue);
+    MaybeRecordBackend(
+        &report, record_des_queue,
+        des::ResolveQueueBackend(base.des_queue, /*expected_clients=*/1));
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   return 0;
@@ -410,7 +413,8 @@ int Run(int argc, const char* const* argv) {
     obs::RunReport report = MakeRunReport(params, aggregate, "bcastsim");
     report.seeds = num_seeds;
     report.metrics = registry.TakeSnapshot();
-    MaybeRecordBackend(&report, record_des_queue, params.des_queue);
+    MaybeRecordBackend(&report, record_des_queue,
+                       aggregate.resolved_queue);
     if (!MaybeWriteReport(report, report_out)) return 1;
   }
   const ClientMetrics& m = last->metrics;
@@ -488,6 +492,11 @@ int Run(int argc, const char* const* argv) {
                   std::to_string(as.epochs) + " (" +
                       std::to_string(as.rebuilds) + ")"});
     table.AddRow({"pages promoted", std::to_string(as.promotions)});
+    if (params.adapt.reopt) {
+      table.AddRow({"reopt epochs / pages demoted",
+                    std::to_string(as.reopts) + " / " +
+                        std::to_string(as.demotions)});
+    }
     table.AddRow({"pull slots start -> end",
                   std::to_string(as.initial_slots) + " -> " +
                       std::to_string(as.final_slots)});
